@@ -1,0 +1,135 @@
+//===- er_cli.cpp - Command-line front end over the bug corpus --------------------===//
+//
+// A small operator tool over the library:
+//
+//   er_cli list                 show the 13 evaluation bugs
+//   er_cli run <BugId> [seed]   run the full ER loop on one bug
+//   er_cli trace <BugId>        show trace statistics for one failing run
+//
+// Build & run:  ./build/examples/er_cli list
+//
+//===----------------------------------------------------------------------===//
+
+#include "er/Driver.h"
+#include "support/Rng.h"
+#include "trace/OverheadModel.h"
+#include "vm/Interpreter.h"
+#include "workloads/Workloads.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+using namespace er;
+
+static int usage() {
+  std::printf("usage: er_cli list\n"
+              "       er_cli run <BugId> [seed]\n"
+              "       er_cli trace <BugId>\n");
+  return 2;
+}
+
+static int cmdList() {
+  std::printf("%-22s %-34s %-28s %s\n", "BugId", "Application", "Bug type",
+              "MT");
+  for (const auto &S : allBugSpecs())
+    std::printf("%-22s %-34s %-28s %s\n", S.Id.c_str(), S.App.c_str(),
+                S.BugType.c_str(), S.Multithreaded ? "yes" : "no");
+  return 0;
+}
+
+static int cmdRun(const BugSpec &Spec, uint64_t Seed) {
+  auto M = compileBug(Spec);
+  DriverConfig DC;
+  DC.Solver.WorkBudget = Spec.SolverWorkBudget;
+  DC.Vm.ChunkSize = Spec.VmChunkSize;
+  DC.Seed = Seed;
+  ReconstructionDriver Driver(*M, DC);
+  ReconstructionReport Report =
+      Driver.reconstruct([&](Rng &R) { return Spec.ProductionInput(R); });
+
+  std::printf("bug:          %s (%s)\n", Spec.Id.c_str(), Spec.App.c_str());
+  if (!Report.Success) {
+    std::printf("result:       FAILED — %s\n", Report.FailureDetail.c_str());
+    return 1;
+  }
+  std::printf("result:       reproduced\n");
+  std::printf("failure:      %s\n", Report.Failure.describe().c_str());
+  std::printf("occurrences:  %u\n", Report.Occurrences);
+  std::printf("symbex time:  %.2fs\n", Report.TotalSymexSeconds);
+  std::printf("test case:    %s (schedule seed %llu)\n",
+              Report.TestCase.describe().c_str(),
+              (unsigned long long)Report.ReplayScheduleSeed);
+  for (size_t I = 0; I < Report.Iterations.size(); ++I) {
+    const IterationReport &IR = Report.Iterations[I];
+    std::printf("  iteration %zu: %-12s +%u recorded values "
+                "(%u sites total), trace %llu bytes, symbex %.2fs\n",
+                I + 1, symexStatusName(IR.Status), IR.NewRecordedValues,
+                IR.TotalInstrumentationSites,
+                (unsigned long long)IR.Trace.BytesWritten, IR.SymexSeconds);
+  }
+
+  VmConfig VC;
+  VC.ChunkSize = Spec.VmChunkSize;
+  VC.ScheduleSeed = Report.ReplayScheduleSeed;
+  Interpreter VM(*M, VC);
+  RunResult RR = VM.run(Report.TestCase);
+  std::printf("replay:       %s\n",
+              RR.Status == ExitStatus::Failure ? RR.Failure.describe().c_str()
+                                               : "no failure (BUG)");
+  return 0;
+}
+
+static int cmdTrace(const BugSpec &Spec) {
+  auto M = compileBug(Spec);
+  Rng R(1);
+  VmConfig VC;
+  VC.ChunkSize = Spec.VmChunkSize;
+  for (int Tries = 0; Tries < 5000; ++Tries) {
+    ProgramInput In = Spec.ProductionInput(R);
+    VC.ScheduleSeed = R.next();
+    TraceConfig TC;
+    TraceRecorder Rec(TC);
+    Interpreter VM(*M, VC);
+    RunResult RR = VM.run(In, &Rec);
+    if (RR.Status != ExitStatus::Failure)
+      continue;
+    const TraceStats &TS = Rec.getStats();
+    std::printf("failing run:  %llu instructions, %llu threads\n",
+                (unsigned long long)RR.InstrCount,
+                (unsigned long long)RR.NumThreads);
+    std::printf("trace:        %llu bytes (%llu TNT, %llu TIP, %llu chunk, "
+                "%llu PTW packets)\n",
+                (unsigned long long)TS.BytesWritten,
+                (unsigned long long)TS.TntPackets,
+                (unsigned long long)TS.TipPackets,
+                (unsigned long long)TS.ChunkPackets,
+                (unsigned long long)TS.PtwPackets);
+    OverheadParams P;
+    std::printf("modelled recording overhead: %.3f%%\n",
+                erOverheadPercentExact(RR.InstrCount, TS, P));
+    return 0;
+  }
+  std::printf("no failing run found\n");
+  return 1;
+}
+
+int main(int argc, char **argv) {
+  if (argc < 2)
+    return usage();
+  if (!std::strcmp(argv[1], "list"))
+    return cmdList();
+  if (argc >= 3) {
+    const BugSpec *Spec = findBug(argv[2]);
+    if (!Spec) {
+      std::printf("unknown bug id '%s' (try: er_cli list)\n", argv[2]);
+      return 2;
+    }
+    if (!std::strcmp(argv[1], "run"))
+      return cmdRun(*Spec, argc >= 4 ? std::strtoull(argv[3], nullptr, 10)
+                                     : 20260706);
+    if (!std::strcmp(argv[1], "trace"))
+      return cmdTrace(*Spec);
+  }
+  return usage();
+}

@@ -1,0 +1,141 @@
+//===- er_lang.cpp - MiniLang compiler driver -------------------------------------===//
+//
+// A conventional compiler-driver front end over the library:
+//
+//   er_langc run <file.mini> [--arg N]... [--input FILE|--bytes HEX]
+//   er_langc ir <file.mini>            print the generated IR
+//   er_langc trace <file.mini> [...]   run under PT-style tracing, dump stats
+//
+// MiniLang reference: see the workloads in src/workloads/*.cpp and the
+// grammar comment in src/lang/Parser.cpp.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Codegen.h"
+#include "trace/OverheadModel.h"
+#include "trace/Trace.h"
+#include "vm/Interpreter.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+using namespace er;
+
+namespace {
+
+int usage() {
+  std::printf("usage: er_langc run   <file.mini> [--arg N]... [--input FILE] "
+              "[--bytes HEX]\n"
+              "       er_langc ir    <file.mini>\n"
+              "       er_langc trace <file.mini> [run options]\n");
+  return 2;
+}
+
+bool readFile(const char *Path, std::string &Out) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return false;
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  Out = SS.str();
+  return true;
+}
+
+bool parseRunArgs(int argc, char **argv, int First, ProgramInput &In) {
+  for (int I = First; I < argc; ++I) {
+    if (!std::strcmp(argv[I], "--arg") && I + 1 < argc) {
+      In.Args.push_back(std::strtoull(argv[++I], nullptr, 0));
+    } else if (!std::strcmp(argv[I], "--input") && I + 1 < argc) {
+      std::string Data;
+      if (!readFile(argv[++I], Data)) {
+        std::printf("cannot read input file '%s'\n", argv[I]);
+        return false;
+      }
+      In.Bytes.assign(Data.begin(), Data.end());
+    } else if (!std::strcmp(argv[I], "--bytes") && I + 1 < argc) {
+      const char *Hex = argv[++I];
+      size_t Len = std::strlen(Hex);
+      for (size_t K = 0; K + 1 < Len; K += 2) {
+        char Buf[3] = {Hex[K], Hex[K + 1], 0};
+        In.Bytes.push_back(
+            static_cast<uint8_t>(std::strtoul(Buf, nullptr, 16)));
+      }
+    } else {
+      std::printf("unknown option '%s'\n", argv[I]);
+      return false;
+    }
+  }
+  return true;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  if (argc < 3)
+    return usage();
+  const char *Cmd = argv[1];
+  const char *Path = argv[2];
+
+  std::string Source;
+  if (!readFile(Path, Source)) {
+    std::printf("cannot read '%s'\n", Path);
+    return 1;
+  }
+  CompileResult CR = compileMiniLang(Source);
+  if (!CR.ok()) {
+    std::printf("%s: %s\n", Path, CR.Error.c_str());
+    return 1;
+  }
+
+  if (!std::strcmp(Cmd, "ir")) {
+    std::fputs(printModule(*CR.M).c_str(), stdout);
+    return 0;
+  }
+
+  ProgramInput In;
+  if (!parseRunArgs(argc, argv, 3, In))
+    return 2;
+
+  if (!std::strcmp(Cmd, "run")) {
+    Interpreter VM(*CR.M, VmConfig());
+    RunResult RR = VM.run(In);
+    std::fputs(RR.Output.c_str(), stdout);
+    if (RR.Status == ExitStatus::Failure) {
+      std::printf("FAILURE: %s\n", RR.Failure.describe().c_str());
+      return 1;
+    }
+    std::printf("exit value: %lld (%llu instructions)\n",
+                static_cast<long long>(RR.RetVal),
+                static_cast<unsigned long long>(RR.InstrCount));
+    return 0;
+  }
+
+  if (!std::strcmp(Cmd, "trace")) {
+    TraceConfig TC;
+    TraceRecorder Rec(TC);
+    Interpreter VM(*CR.M, VmConfig());
+    RunResult RR = VM.run(In, &Rec);
+    const TraceStats &TS = Rec.getStats();
+    std::printf("status:      %s\n",
+                RR.Status == ExitStatus::Failure
+                    ? RR.Failure.describe().c_str()
+                    : "ok");
+    std::printf("instructions: %llu across %llu thread(s)\n",
+                static_cast<unsigned long long>(RR.InstrCount),
+                static_cast<unsigned long long>(RR.NumThreads));
+    std::printf("trace bytes:  %llu (TNT %llu, TIP %llu, chunk %llu, "
+                "PTW %llu)\n",
+                static_cast<unsigned long long>(TS.BytesWritten),
+                static_cast<unsigned long long>(TS.TntPackets),
+                static_cast<unsigned long long>(TS.TipPackets),
+                static_cast<unsigned long long>(TS.ChunkPackets),
+                static_cast<unsigned long long>(TS.PtwPackets));
+    OverheadParams P;
+    std::printf("modelled PT overhead: %.3f%%\n",
+                erOverheadPercentExact(RR.InstrCount, TS, P));
+    return RR.Status == ExitStatus::Failure ? 1 : 0;
+  }
+  return usage();
+}

@@ -1,0 +1,83 @@
+//===- quickstart.cpp - ER public API in ~60 lines -------------------------------===//
+//
+// The smallest end-to-end use of the library:
+//   1. compile a MiniLang program that crashes on certain inputs,
+//   2. hand the (mutable) module to the ReconstructionDriver together with
+//      a production input distribution,
+//   3. receive a concrete failing test case, and replay it.
+//
+// Build & run:  ./build/examples/quickstart
+//
+//===----------------------------------------------------------------------===//
+
+#include "er/Driver.h"
+#include "support/Rng.h"
+#include "lang/Codegen.h"
+#include "vm/Interpreter.h"
+
+#include <cstdio>
+
+using namespace er;
+
+int main() {
+  // A service that parses a tiny login packet; a malformed length crashes
+  // it. Production traffic is mostly well-formed.
+  const char *Source = R"(
+    global sessions: u32[64];
+    fn main() -> i64 {
+      var magic: u8 = input_byte();
+      if (magic != 0x4c) { return 1; }    // 'L'
+      var user: u8 = input_byte();
+      var len: u8 = input_byte();
+      var sum: i64 = 0;
+      for (var i: i64 = 0; i < (len as i64); i = i + 1) {
+        sum = sum + (input_byte() as i64);
+      }
+      // BUG: the session slot is the unvalidated user id.
+      sessions[user as i64] = (sum % 1000) as u32;
+      return sum;
+    }
+  )";
+
+  CompileResult CR = compileMiniLang(Source);
+  if (!CR.ok()) {
+    std::printf("compile error: %s\n", CR.Error.c_str());
+    return 1;
+  }
+
+  ReconstructionDriver Driver(*CR.M, DriverConfig());
+  ReconstructionReport Report = Driver.reconstruct([](Rng &R) {
+    ProgramInput In;
+    In.Bytes.push_back(0x4c);
+    // user ids are usually valid; rarely a corrupted packet arrives.
+    In.Bytes.push_back(static_cast<uint8_t>(
+        R.nextBool(0.2) ? 64 + R.nextBounded(190) : R.nextBounded(64)));
+    uint8_t Len = static_cast<uint8_t>(2 + R.nextBounded(6));
+    In.Bytes.push_back(Len);
+    for (uint8_t I = 0; I < Len; ++I)
+      In.Bytes.push_back(static_cast<uint8_t>(R.nextBounded(256)));
+    return In;
+  });
+
+  if (!Report.Success) {
+    std::printf("reconstruction failed: %s\n", Report.FailureDetail.c_str());
+    return 1;
+  }
+
+  std::printf("failure:    %s\n", Report.Failure.describe().c_str());
+  std::printf("occurrences consumed: %u\n", Report.Occurrences);
+  std::printf("generated test case:  %s\n",
+              Report.TestCase.describe().c_str());
+  std::printf("test bytes: ");
+  for (uint8_t B : Report.TestCase.Bytes)
+    std::printf("%02x ", B);
+  std::printf("\n");
+
+  // Replay the generated input: it must hit the same failure.
+  Interpreter VM(*CR.M, VmConfig());
+  RunResult RR = VM.run(Report.TestCase);
+  std::printf("replay:     %s\n",
+              RR.Status == ExitStatus::Failure ? RR.Failure.describe().c_str()
+                                               : "did not fail (BUG)");
+  return RR.Status == ExitStatus::Failure ? 0 : 1;
+}

@@ -1,0 +1,85 @@
+//===- sql_reconstruction.cpp - Reconstructing a database CLI crash ---------------===//
+//
+// The scenario the paper's evaluation highlights for SQLite: a CLI-level
+// mode interaction (".stats" / ".eqp") crashes the process on specific
+// command sequences. This example runs the full ER loop on the
+// SQLite-7be932d analog and then *diffs* the generated command stream
+// against the production one, illustrating Section 5.2's observation that
+// the reconstructed input can differ from the original while following the
+// same control flow.
+//
+// Build & run:  ./build/examples/sql_reconstruction
+//
+//===----------------------------------------------------------------------===//
+
+#include "er/Driver.h"
+#include "vm/Interpreter.h"
+#include "workloads/Workloads.h"
+
+#include <cstdio>
+
+using namespace er;
+
+namespace {
+
+void printCommands(const char *Label, const std::vector<uint8_t> &Bytes) {
+  std::printf("%s (%zu bytes): ", Label, Bytes.size());
+  for (size_t I = 0; I < Bytes.size() && I < 48; ++I) {
+    uint8_t B = Bytes[I];
+    if (B >= 32 && B < 127)
+      std::printf("%c", B);
+    else
+      std::printf("\\x%02x", B);
+  }
+  if (Bytes.size() > 48)
+    std::printf("...");
+  std::printf("\n");
+}
+
+} // namespace
+
+int main() {
+  const BugSpec &Spec = *findBug("SQLite-7be932d");
+  auto M = compileBug(Spec);
+
+  std::printf("reconstructing %s (%s, %s)\n\n", Spec.Id.c_str(),
+              Spec.App.c_str(), Spec.BugType.c_str());
+
+  // Keep the production input around so we can compare afterwards.
+  ProgramInput LastProduction;
+  DriverConfig DC;
+  DC.Solver.WorkBudget = Spec.SolverWorkBudget;
+  DC.Seed = 1234;
+  ReconstructionDriver Driver(*M, DC);
+  ReconstructionReport Report = Driver.reconstruct([&](Rng &R) {
+    LastProduction = Spec.ProductionInput(R);
+    return LastProduction;
+  });
+
+  if (!Report.Success) {
+    std::printf("reconstruction failed: %s\n", Report.FailureDetail.c_str());
+    return 1;
+  }
+
+  std::printf("failure: %s\n", Report.Failure.describe().c_str());
+  std::printf("occurrences consumed: %u; symbolic execution: %.2fs\n\n",
+              Report.Occurrences, Report.TotalSymexSeconds);
+
+  printCommands("production command stream ", LastProduction.Bytes);
+  printCommands("reconstructed test case   ", Report.TestCase.Bytes);
+  std::printf("\nThe streams may differ byte-for-byte (query bounds are "
+              "only constrained by the branches they drove), exactly like "
+              "the paper's sEleCT-vs-SELECT observation — yet:\n\n");
+
+  Interpreter VM(*M, VmConfig());
+  RunResult RR = VM.run(Report.TestCase);
+  if (RR.Status == ExitStatus::Failure &&
+      RR.Failure.sameFailure(Report.Failure)) {
+    std::printf("replaying the reconstructed input reproduces the same "
+                "failure: %s\n",
+                RR.Failure.describe().c_str());
+    return 0;
+  }
+  std::printf("replay mismatch (unexpected)\n");
+  return 1;
+}

@@ -1,0 +1,61 @@
+//===- RecordReplay.cpp --------------------------------------------------------===//
+
+#include "baselines/RecordReplay.h"
+
+#include "support/Rng.h"
+
+#include <cmath>
+
+using namespace er;
+
+RecordLog FullRecordReplay::record(const ProgramInput &In,
+                                   const VmConfig &Vm) {
+  RecordLog Log;
+  Log.Input = In;
+  Log.ScheduleSeed = Vm.ScheduleSeed;
+  Log.Vm = Vm;
+  Interpreter VM(M, Vm);
+  Log.Recorded = VM.run(In);
+  // Event-log size: header per event + payloads + schedule records.
+  Log.LogBytes = 16 * (Log.Recorded.InputEvents + Log.Recorded.ThreadEvents +
+                       Log.Recorded.SyncEvents +
+                       Log.Recorded.ContextSwitches) +
+                 Log.Recorded.InputBytes + 8 * In.Args.size();
+  return Log;
+}
+
+RunResult FullRecordReplay::replay(const RecordLog &Log) {
+  Interpreter VM(M, Log.Vm);
+  return VM.run(Log.Input);
+}
+
+double FullRecordReplay::overheadPercent(const RunResult &R,
+                                         const RrOverheadParams &P,
+                                         Rng &Noise) {
+  if (R.InstrCount == 0)
+    return 0.0;
+  double Base = static_cast<double>(R.InstrCount) * P.CyclesPerInstr;
+  double Traps = static_cast<double>(R.InputEvents) / P.EventsPerTrap +
+                 static_cast<double>(R.ThreadEvents);
+  double SyncCost = static_cast<double>(R.SyncEvents) * P.CyclesPerSyncEvent;
+  double Switches =
+      R.NumThreads > 1
+          ? static_cast<double>(R.InstrCount) / P.NominalQuantumInstrs
+          : 0.0;
+  double Cost = Traps * P.CyclesPerEventTrap + SyncCost +
+                static_cast<double>(R.InputBytes) * P.CyclesPerInputByte +
+                Switches * P.CyclesPerContextSwitch;
+  double Pct = Cost / Base * 100.0;
+  // Single-core serialization for multithreaded programs.
+  if (R.NumThreads > 1)
+    Pct += 100.0 * P.SerializationPerThread *
+           static_cast<double>(R.NumThreads - 1);
+  // Measurement noise.
+  double U1 = Noise.nextDouble();
+  double U2 = Noise.nextDouble();
+  if (U1 < 1e-12)
+    U1 = 1e-12;
+  double Gauss = std::sqrt(-2.0 * std::log(U1)) * std::cos(6.28318530718 * U2);
+  Pct += Gauss * P.NoiseStdDev * 100.0;
+  return Pct < 0 ? 0 : Pct;
+}

@@ -1,0 +1,82 @@
+//===- RecordReplay.h - Full record/replay baseline (rr-like) ----*- C++ -*-===//
+///
+/// \file
+/// A Mozilla-rr-style full record/replay baseline (Section 5.3's
+/// comparison). It records every source of non-determinism — all input
+/// events (with payloads) and the thread schedule — which makes replay
+/// deterministic and reproduction trivially effective/accurate, at high
+/// runtime cost.
+///
+/// The recording itself is exact (the log is real and replay really runs
+/// from it). The *runtime overhead* is modelled: each intercepted event
+/// costs a trap-and-copy, input payloads cost per-byte copying, and
+/// multithreaded execution pays rr's single-core serialization. Constants
+/// are calibrated to rr's published range (mean ~48%, max ~142% in Fig. 6;
+/// 49%-685% in the rr paper).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ER_BASELINES_RECORDREPLAY_H
+#define ER_BASELINES_RECORDREPLAY_H
+
+#include "ir/IR.h"
+#include "vm/Interpreter.h"
+
+#include <cstdint>
+
+namespace er {
+
+class Rng;
+
+/// A complete record/replay log: sufficient to re-execute deterministically.
+struct RecordLog {
+  ProgramInput Input;
+  uint64_t ScheduleSeed = 0;
+  VmConfig Vm;
+  uint64_t LogBytes = 0; ///< Serialized event-log size.
+  RunResult Recorded;    ///< Outcome observed while recording.
+};
+
+/// rr-style overhead cost constants.
+struct RrOverheadParams {
+  double CyclesPerInstr = 1.0;
+  /// libc buffers input: one intercepted syscall covers ~EventsPerTrap
+  /// input.byte/input.arg events.
+  double EventsPerTrap = 64.0;
+  double CyclesPerEventTrap = 600.0; ///< ptrace-style interception.
+  /// Synchronization ops are intercepted in-process (LD_PRELOAD), far
+  /// cheaper than syscall traps.
+  double CyclesPerSyncEvent = 25.0;
+  double CyclesPerInputByte = 1.5;   ///< Copy into the log.
+  /// rr context-switches on its own scheduling quantum, not on the VM's
+  /// (much finer) trace chunks: one switch per NominalQuantum instructions
+  /// when more than one thread is live.
+  double NominalQuantumInstrs = 10'000.0;
+  double CyclesPerContextSwitch = 450.0;
+  /// Fractional slowdown added per extra thread (single-core scheduling).
+  double SerializationPerThread = 0.35;
+  double NoiseStdDev = 0.015;
+};
+
+/// rr-like recorder/replayer.
+class FullRecordReplay {
+public:
+  explicit FullRecordReplay(const Module &M) : M(M) {}
+
+  /// Records one run (the log makes it reproducible).
+  RecordLog record(const ProgramInput &In, const VmConfig &Vm);
+
+  /// Replays a log; the result is bit-identical to the recorded run.
+  RunResult replay(const RecordLog &Log);
+
+  /// Modelled runtime overhead (percent) of recording the given run.
+  static double overheadPercent(const RunResult &R,
+                                const RrOverheadParams &P, Rng &Noise);
+
+private:
+  const Module &M;
+};
+
+} // namespace er
+
+#endif // ER_BASELINES_RECORDREPLAY_H

@@ -1,0 +1,350 @@
+//===- ReptRecovery.cpp - REPT-style value recovery -----------------------------===//
+//
+// Two passes over a deterministic failing run:
+//   1. Execute to the failure and snapshot the final memory (the "dump").
+//   2. Re-execute with a shadow observer that recovers values over a
+//      Known/Guess/Unknown lattice, comparing every recovered register to
+//      the ground truth the VM computes alongside.
+//
+//===----------------------------------------------------------------------===//
+
+#include "baselines/ReptRecovery.h"
+
+#include "solver/Expr.h" // maskToWidth / signExtend.
+#include "support/Error.h"
+
+#include <unordered_map>
+
+using namespace er;
+
+namespace {
+
+enum class RState : uint8_t { Known, Guess, Unknown };
+
+struct RValue {
+  uint64_t V = 0;
+  RState S = RState::Unknown;
+
+  static RValue known(uint64_t V) { return {V, RState::Known}; }
+  static RValue guess(uint64_t V) { return {V, RState::Guess}; }
+  static RValue unknown() { return {0, RState::Unknown}; }
+  bool recovered() const { return S != RState::Unknown; }
+};
+
+/// Combines operand states: a result is only as good as its weakest input.
+RState combine(RState A, RState B) {
+  if (A == RState::Unknown || B == RState::Unknown)
+    return RState::Unknown;
+  if (A == RState::Guess || B == RState::Guess)
+    return RState::Guess;
+  return RState::Known;
+}
+
+/// Evaluates an arithmetic/compare/cast instruction over recovered operand
+/// values (same semantics as the concrete VM).
+uint64_t evalArith(const Instruction &I, uint64_t A, uint64_t B) {
+  unsigned W = I.getType().isInt() ? I.getType().Bits : 64;
+  unsigned OpW = I.getOperand(0)->getType().isInt()
+                     ? I.getOperand(0)->getType().Bits
+                     : 64;
+  int64_t SA = signExtend(A, OpW), SB = signExtend(B, OpW);
+  switch (I.getOpcode()) {
+  case Opcode::Add:  return maskToWidth(A + B, W);
+  case Opcode::Sub:  return maskToWidth(A - B, W);
+  case Opcode::Mul:  return maskToWidth(A * B, W);
+  case Opcode::UDiv: return B ? maskToWidth(A / B, W) : 0;
+  case Opcode::URem: return B ? maskToWidth(A % B, W) : 0;
+  case Opcode::SDiv:
+    return (SB != 0 && !(SB == -1 && SA == INT64_MIN))
+               ? maskToWidth(static_cast<uint64_t>(SA / SB), W)
+               : 0;
+  case Opcode::SRem:
+    return (SB != 0 && SB != -1)
+               ? maskToWidth(static_cast<uint64_t>(SA % SB), W)
+               : 0;
+  case Opcode::And:  return A & B;
+  case Opcode::Or:   return A | B;
+  case Opcode::Xor:  return maskToWidth(A ^ B, W);
+  case Opcode::Shl:  return B >= W ? 0 : maskToWidth(A << B, W);
+  case Opcode::LShr: return B >= W ? 0 : A >> B;
+  case Opcode::AShr:
+    return maskToWidth(
+        static_cast<uint64_t>(B >= W ? (SA < 0 ? -1 : 0) : (SA >> B)), W);
+  case Opcode::Eq:   return A == B;
+  case Opcode::Ne:   return A != B;
+  case Opcode::Ult:  return A < B;
+  case Opcode::Ule:  return A <= B;
+  case Opcode::Ugt:  return A > B;
+  case Opcode::Uge:  return A >= B;
+  case Opcode::Slt:  return SA < SB;
+  case Opcode::Sle:  return SA <= SB;
+  case Opcode::Sgt:  return SA > SB;
+  case Opcode::Sge:  return SA >= SB;
+  case Opcode::ZExt: return A;
+  case Opcode::SExt: return maskToWidth(static_cast<uint64_t>(SA), W);
+  case Opcode::Trunc: return maskToWidth(A, W);
+  case Opcode::PtrAdd: return A + B;
+  default:
+    return 0;
+  }
+}
+
+/// The recovery shadow: mirrors frames/memory with lattice values, driven by
+/// the concrete execution's observer callbacks (which stand in for the
+/// control-flow trace REPT follows).
+class ShadowObserver : public ExecObserver {
+public:
+  ShadowObserver(const MemoryManager &Dump, uint64_t WindowStart)
+      : Dump(Dump), WindowStart(WindowStart) {}
+
+  void onCall(uint32_t Tid, const Function &F,
+              const std::vector<uint64_t> &Args) override {
+    auto &Stack = Stacks[Tid];
+    ShadowFrame Fr;
+    Fr.F = &F;
+    Fr.Regs.assign(F.getNumInstructions(), RValue::unknown());
+    // Argument lattice was staged by the caller's Call/Spawn instruction;
+    // main()'s (empty) args are trivially known.
+    if (PendingArgs.size() == Args.size())
+      Fr.Args = std::move(PendingArgs);
+    else
+      Fr.Args.assign(Args.size(), RValue::unknown());
+    PendingArgs.clear();
+    Stack.push_back(std::move(Fr));
+  }
+
+  void onReturn(uint32_t Tid, const Function &F, bool HasValue,
+                uint64_t Value) override {
+    (void)F;
+    (void)Value;
+    auto &Stack = Stacks[Tid];
+    if (Stack.empty())
+      return;
+    PendingRet = HasValue && !Stack.back().RetStaged
+                     ? RValue::unknown()
+                     : Stack.back().Ret;
+    HaveRet = HasValue;
+    Stack.pop_back();
+  }
+
+  void onInst(uint32_t Tid, const Instruction &I, uint64_t Truth) override {
+    ++Position;
+    auto &Stack = Stacks[Tid];
+    if (Stack.empty())
+      return;
+    // Before the trace window: only the frame structure is maintained; no
+    // values are recoverable and memory stays at its dump guesses.
+    if (Position < WindowStart)
+      return;
+
+    // The Call instruction's onInst fires after the callee frame pushed:
+    // operate on the caller frame (one below top) for its operands.
+    Opcode Op = I.getOpcode();
+    bool IsCall = Op == Opcode::Call || Op == Opcode::Spawn;
+    size_t FrameIdx = Stack.size() - 1;
+    if (IsCall && Stack.size() >= 2 &&
+        I.getParent()->getParent() == Stack[Stack.size() - 2].F)
+      FrameIdx = Stack.size() - 2;
+    ShadowFrame &Fr = Stack[FrameIdx];
+    if (I.getParent()->getParent() != Fr.F)
+      return; // Shadow desynchronized (defensive; should not happen).
+
+    auto OperandValue = [&](unsigned Idx) -> RValue {
+      const Value *V = I.getOperand(Idx);
+      if (const auto *C = dyn_cast<ConstantInt>(V))
+        return RValue::known(C->getValue());
+      if (isa<ConstantNull>(V))
+        return RValue::known(0);
+      if (const auto *A = dyn_cast<Argument>(V))
+        return A->getArgNo() < Fr.Args.size() ? Fr.Args[A->getArgNo()]
+                                              : RValue::unknown();
+      if (const auto *DefI = dyn_cast<Instruction>(V))
+        return Fr.Regs[DefI->getLocalId()];
+      return RValue::unknown();
+    };
+
+    RValue R = RValue::unknown();
+    switch (Op) {
+    case Opcode::InputArg:
+    case Opcode::InputByte:
+    case Opcode::InputSize:
+      // Inputs were never recorded: the heart of REPT's limitation.
+      R = RValue::unknown();
+      break;
+    case Opcode::Alloca:
+    case Opcode::Malloc:
+    case Opcode::GlobalAddr:
+      // Addresses are reconstructible from the dump layout.
+      R = RValue::known(Truth);
+      break;
+    case Opcode::Load: {
+      RValue Addr = OperandValue(0);
+      R = Addr.recovered() ? loadCell(Addr.V) : RValue::unknown();
+      break;
+    }
+    case Opcode::Store: {
+      RValue Addr = OperandValue(1);
+      RValue Val = OperandValue(0);
+      if (Addr.recovered())
+        storeCell(Addr.V, Val);
+      // Unknown address: the written cell silently keeps its stale guess —
+      // exactly how best-effort recovery goes wrong.
+      break;
+    }
+    case Opcode::Call:
+    case Opcode::Spawn: {
+      // Stage argument lattice for the callee frame (already pushed).
+      std::vector<RValue> Args;
+      for (unsigned A = 0; A < I.getNumOperands(); ++A)
+        Args.push_back(OperandValue(A));
+      ShadowFrame &Callee = Stack.back();
+      if (&Callee != &Fr && Callee.Args.size() == Args.size())
+        Callee.Args = std::move(Args);
+      else if (Op == Opcode::Spawn)
+        SpawnArgs[Truth] = std::move(Args); // Keyed by the new tid.
+      R = Op == Opcode::Spawn ? RValue::known(Truth) : RValue::unknown();
+      break;
+    }
+    case Opcode::Ret:
+      if (I.getNumOperands() == 1) {
+        Fr.Ret = OperandValue(0);
+        Fr.RetStaged = true;
+      }
+      break;
+    case Opcode::Select: {
+      RValue C = OperandValue(0), T = OperandValue(1), F2 = OperandValue(2);
+      if (C.recovered())
+        R = C.V ? T : F2;
+      break;
+    }
+    default:
+      if (isBinaryOp(Op) || isCompareOp(Op) || Op == Opcode::ZExt ||
+          Op == Opcode::SExt || Op == Opcode::Trunc ||
+          Op == Opcode::PtrAdd) {
+        RState S = RState::Known;
+        bool All = true;
+        for (unsigned K = 0; K < I.getNumOperands(); ++K) {
+          RValue OV = OperandValue(K);
+          if (!OV.recovered())
+            All = false;
+          S = combine(S, OV.S);
+        }
+        if (All) {
+          // Recompute over the *recovered* operand values: stale guesses
+          // propagate their error into derived values.
+          RValue A = OperandValue(0);
+          RValue B = I.getNumOperands() > 1 ? OperandValue(1) : RValue();
+          R = {evalArith(I, A.V, B.V), S};
+        }
+      }
+      break;
+    }
+
+    // Consume pending return value at the call site.
+    if (Op == Opcode::Call && HaveRet) {
+      R = PendingRet;
+      HaveRet = false;
+    }
+
+    // Record accuracy for value-producing instructions.
+    if (!I.getType().isVoid()) {
+      Fr.Regs[I.getLocalId()] = R;
+      Samples.push_back({Position, R.S,
+                         R.recovered() && R.V == Truth});
+    }
+  }
+
+  /// Thread start: adopt staged spawn args.
+  void adoptSpawnArgs(uint32_t Tid) { (void)Tid; }
+
+  struct Sample {
+    uint64_t Position;
+    RState S;
+    bool Correct;
+  };
+  std::vector<Sample> Samples;
+
+private:
+  struct ShadowFrame {
+    const Function *F = nullptr;
+    std::vector<RValue> Regs;
+    std::vector<RValue> Args;
+    RValue Ret;
+    bool RetStaged = false;
+  };
+
+  RValue loadCell(uint64_t Packed) {
+    auto It = Cells.find(Packed);
+    if (It != Cells.end())
+      return It->second;
+    // First touch: guess from the post-mortem dump.
+    if (PackedPtr::isNull(Packed))
+      return RValue::unknown();
+    uint32_t Obj = PackedPtr::objectId(Packed);
+    uint64_t Off = PackedPtr::offset(Packed);
+    if (Obj >= Dump.numObjects() || Off >= Dump.object(Obj).NumElems)
+      return RValue::unknown();
+    return RValue::guess(Dump.object(Obj).Data[Off]);
+  }
+
+  void storeCell(uint64_t Packed, RValue V) { Cells[Packed] = V; }
+
+  const MemoryManager &Dump;
+  uint64_t WindowStart = 0;
+  std::unordered_map<uint32_t, std::vector<ShadowFrame>> Stacks;
+  std::unordered_map<uint64_t, RValue> Cells;
+  std::unordered_map<uint64_t, std::vector<RValue>> SpawnArgs;
+  std::vector<RValue> PendingArgs;
+  RValue PendingRet;
+  bool HaveRet = false;
+  uint64_t Position = 0;
+};
+
+} // namespace
+
+ReptReport er::reptRecover(const Module &M, const ProgramInput &In,
+                           const VmConfig &Vm, uint64_t WindowInstrs) {
+  ReptReport Report;
+
+  // Pass 1: run to the failure, keep the dump.
+  Interpreter VM1(M, Vm);
+  RunResult R1 = VM1.run(In);
+  if (R1.Status != ExitStatus::Failure) {
+    Report.Failed = true;
+    return Report;
+  }
+  const MemoryManager &Dump = VM1.getMemory();
+  Report.TraceLength = R1.InstrCount;
+  uint64_t WindowStart =
+      (WindowInstrs && WindowInstrs < R1.InstrCount)
+          ? R1.InstrCount - WindowInstrs
+          : 0;
+
+  // Pass 2: deterministic re-execution with the recovery shadow.
+  ShadowObserver Shadow(Dump, WindowStart);
+  Interpreter VM2(M, Vm);
+  VM2.run(In, nullptr, &Shadow);
+
+  // Bucket samples by distance from the failure.
+  const uint64_t Bounds[] = {1'000, 10'000, 100'000, UINT64_MAX};
+  for (uint64_t B : Bounds) {
+    ReptBucket Bucket;
+    Bucket.UpperBound = B;
+    Report.Buckets.push_back(Bucket);
+  }
+  for (const auto &S : Shadow.Samples) {
+    uint64_t Distance = Report.TraceLength - S.Position;
+    for (auto &Bucket : Report.Buckets) {
+      if (Distance < Bucket.UpperBound) {
+        if (S.S == RState::Unknown)
+          ++Bucket.Unknown;
+        else if (S.Correct)
+          ++Bucket.Correct;
+        else
+          ++Bucket.Incorrect;
+        break;
+      }
+    }
+  }
+  return Report;
+}

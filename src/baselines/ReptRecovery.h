@@ -1,0 +1,76 @@
+//===- ReptRecovery.h - REPT-style value recovery baseline -------*- C++ -*-===//
+///
+/// \file
+/// A model of REPT [Cui et al., OSDI'18]: given only the control-flow trace
+/// of a failing execution and the post-mortem memory dump, reconstruct the
+/// data values of the execution without any data recording.
+///
+/// The analysis replays the control flow with a three-state value lattice
+/// (Known / Guess / Unknown): constants and values computed from recovered
+/// operands are Known; program inputs are Unknown (they were never
+/// recorded); memory reads through recovered addresses consult the final
+/// dump, which yields a *guess* — correct only if the location was not
+/// overwritten between the read and the failure. This reproduces REPT's
+/// published accuracy profile: values close to the failure recover well,
+/// values far from it are increasingly wrong or unknown (15-60% incorrect
+/// beyond 100K instructions), and a developer cannot tell which are which —
+/// the accuracy critique in Sections 2.3 and 5.2 of the ER paper.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ER_BASELINES_REPTRECOVERY_H
+#define ER_BASELINES_REPTRECOVERY_H
+
+#include "ir/IR.h"
+#include "vm/Interpreter.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace er {
+
+/// Recovery statistics for one distance band.
+struct ReptBucket {
+  uint64_t UpperBound = 0; ///< Distance-from-failure upper bound (instrs).
+  uint64_t Correct = 0;
+  uint64_t Incorrect = 0;
+  uint64_t Unknown = 0;
+
+  uint64_t total() const { return Correct + Incorrect + Unknown; }
+  double incorrectFraction() const {
+    return total() ? static_cast<double>(Incorrect) / total() : 0.0;
+  }
+  double unknownFraction() const {
+    return total() ? static_cast<double>(Unknown) / total() : 0.0;
+  }
+  double badFraction() const {
+    return total() ? static_cast<double>(Incorrect + Unknown) / total() : 0.0;
+  }
+};
+
+/// Accuracy of one recovery run, bucketed by distance from the failure.
+struct ReptReport {
+  uint64_t TraceLength = 0;
+  std::vector<ReptBucket> Buckets;
+  bool Failed = false; ///< True when the run did not fail (nothing to do).
+
+  const ReptBucket *bucketFor(uint64_t Distance) const {
+    for (const auto &B : Buckets)
+      if (Distance < B.UpperBound)
+        return &B;
+    return Buckets.empty() ? nullptr : &Buckets.back();
+  }
+};
+
+/// Runs REPT-style recovery for a failing run of \p M. \p WindowInstrs
+/// models the bounded hardware trace: only the last WindowInstrs
+/// instructions before the failure are covered by the control-flow trace
+/// (0 = the whole execution). State written before the window is only
+/// available as (possibly stale) post-mortem dump guesses — the mechanism
+/// behind REPT's published error rates on long executions.
+ReptReport reptRecover(const Module &M, const ProgramInput &In,
+                       const VmConfig &Vm, uint64_t WindowInstrs = 0);
+
+} // namespace er
+
+#endif // ER_BASELINES_REPTRECOVERY_H

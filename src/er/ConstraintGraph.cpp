@@ -1,0 +1,37 @@
+//===- ConstraintGraph.cpp ----------------------------------------------------===//
+
+#include "er/ConstraintGraph.h"
+
+using namespace er;
+
+void ConstraintGraph::visit(ExprRef E) {
+  std::vector<ExprRef> Stack{E};
+  while (!Stack.empty()) {
+    ExprRef N = Stack.back();
+    Stack.pop_back();
+    if (!Nodes.insert(N).second)
+      continue;
+    NumEdges += N->getNumOps();
+    for (unsigned I = 0; I < N->getNumOps(); ++I)
+      Stack.push_back(N->getOp(I));
+  }
+}
+
+ConstraintGraph::ConstraintGraph(const SymexSnapshot &Snap) : Snap(Snap) {
+  for (ExprRef C : Snap.PathConstraint)
+    visit(C);
+  for (const auto &Chain : Snap.Chains) {
+    for (const auto &W : Chain.Writes) {
+      visit(W.Index);
+      visit(W.Value);
+      NumEdges += 2; // Address and value dependency edges of the write node.
+    }
+    if (!Longest || Chain.Writes.size() > Longest->Writes.size())
+      Longest = &Chain;
+    if (!LargestObject ||
+        Chain.byteSize() > LargestObject->byteSize())
+      LargestObject = &Chain;
+  }
+  if (Snap.CulpritExpr)
+    visit(Snap.CulpritExpr);
+}

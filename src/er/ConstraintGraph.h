@@ -1,0 +1,60 @@
+//===- ConstraintGraph.h - Dependency graph over path constraints -*- C++ -*-===//
+///
+/// \file
+/// The constraint graph of Section 3.2: nodes are operations, constants,
+/// symbolic inputs, symbolic-memory arrays, reads and writes; edges point
+/// from a node to its input dependencies (value edges) and from memory
+/// operations to their address expressions (address edges).
+///
+/// The graph is an analysis view over the hash-consed expression DAG plus
+/// the per-object symbolic write chains captured by shepherded symbolic
+/// execution. Key data value selection consumes it; the offline-cost
+/// experiment (Section 5.3) reports its size.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ER_ER_CONSTRAINTGRAPH_H
+#define ER_ER_CONSTRAINTGRAPH_H
+
+#include "solver/Expr.h"
+#include "symex/SymExecutor.h"
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace er {
+
+/// Node/edge statistics and chain queries over one stalled execution.
+class ConstraintGraph {
+public:
+  /// Builds the graph from a symex snapshot.
+  explicit ConstraintGraph(const SymexSnapshot &Snap);
+
+  /// Total distinct nodes (expressions + array states).
+  uint64_t numNodes() const { return Nodes.size(); }
+  uint64_t numEdges() const { return NumEdges; }
+
+  /// The chain with the most symbolic writes ("length of symbolic write
+  /// chains", Section 3.3.1). Null if no chains exist.
+  const ObjectChain *longestChain() const { return Longest; }
+  /// The chain updating the largest symbolic memory object ("size of the
+  /// accessed symbolic memory"). Null if no chains exist.
+  const ObjectChain *largestObjectChain() const { return LargestObject; }
+
+  const SymexSnapshot &snapshot() const { return Snap; }
+
+private:
+  void visit(ExprRef E);
+
+  const SymexSnapshot &Snap;
+  std::unordered_set<ExprRef> Nodes;
+  uint64_t NumEdges = 0;
+  const ObjectChain *Longest = nullptr;
+  const ObjectChain *LargestObject = nullptr;
+};
+
+} // namespace er
+
+#endif // ER_ER_CONSTRAINTGRAPH_H

@@ -1,0 +1,186 @@
+//===- Driver.cpp - Iterative execution reconstruction --------------------------===//
+
+#include "er/Driver.h"
+
+#include "er/ConstraintGraph.h"
+#include "er/Instrumenter.h"
+#include "support/Format.h"
+#include "support/Rng.h"
+#include "support/Timer.h"
+
+using namespace er;
+
+ReconstructionDriver::ReconstructionDriver(Module &M, DriverConfig Config)
+    : M(M), Config(Config), Solver(Ctx, Config.Solver) {}
+
+ReconstructionReport
+ReconstructionDriver::reconstruct(const InputGenerator &Gen) {
+  ReconstructionReport Report;
+  Rng ProdRng(Config.Seed);
+  bool HaveTarget = false;
+  FailureRecord Target;
+
+  // Optional warm-up: tracing disabled until the failure shows it recurs
+  // (Section 3.1). These occurrences are observed but not analyzed.
+  for (unsigned Skip = 0; Skip < Config.EnableTracingAfterOccurrences;
+       ++Skip) {
+    bool Observed = false;
+    for (uint64_t Run = 0; Run < Config.MaxRunsPerOccurrence; ++Run) {
+      ProgramInput In = Gen(ProdRng);
+      VmConfig VC = Config.Vm;
+      VC.ScheduleSeed = ProdRng.next();
+      Interpreter VM(M, VC);
+      RunResult RR = VM.run(In);
+      if (RR.Status != ExitStatus::Failure)
+        continue;
+      if (HaveTarget && !RR.Failure.sameFailure(Target))
+        continue;
+      Target = RR.Failure;
+      HaveTarget = true;
+      Observed = true;
+      break;
+    }
+    if (!Observed) {
+      Report.FailureDetail = "failure did not reoccur within the run budget";
+      return Report;
+    }
+    ++Report.Occurrences;
+    Report.Failure = Target;
+  }
+
+  for (unsigned Iter = 0; Iter < Config.MaxIterations; ++Iter) {
+    IterationReport IR;
+    IR.TotalInstrumentationSites = countInstrumentation(M);
+
+    //===--- Online phase: wait for the failure to (re)occur --------------===
+    TraceRecorder Rec(Config.Trace);
+    RunResult FailingRun;
+    uint64_t FailingSeed = 0;
+    bool Observed = false;
+    for (uint64_t Run = 0; Run < Config.MaxRunsPerOccurrence; ++Run) {
+      ProgramInput In = Gen(ProdRng);
+      VmConfig VC = Config.Vm;
+      VC.ScheduleSeed = ProdRng.next();
+      TraceRecorder RunRec(Config.Trace);
+      Interpreter VM(M, VC);
+      RunResult RR = VM.run(In, &RunRec);
+      ++IR.RunsUntilFailure;
+      if (RR.Status != ExitStatus::Failure)
+        continue;
+      if (HaveTarget && !RR.Failure.sameFailure(Target))
+        continue; // A different bug; production keeps running.
+      Target = RR.Failure;
+      HaveTarget = true;
+      FailingRun = RR;
+      FailingSeed = VC.ScheduleSeed;
+      Rec = std::move(RunRec);
+      Observed = true;
+      break;
+    }
+    if (!Observed) {
+      Report.FailureDetail = "failure did not reoccur within the run budget";
+      Report.Iterations.push_back(IR);
+      return Report;
+    }
+
+    ++Report.Occurrences;
+    Report.Failure = Target;
+    Report.FailingInstrCount = FailingRun.InstrCount;
+    IR.FailingRunInstrs = FailingRun.InstrCount;
+    IR.Trace = Rec.getStats();
+
+    //===--- Offline phase: shepherded symbolic execution ------------------===
+    // Tied chunk timestamps make the cross-thread order ambiguous; on a
+    // reconstruction that fails validation (or desynchronizes), explore a
+    // few alternative tie-break orders (Section 3.4) before waiting for
+    // another occurrence.
+    Stopwatch SymexTimer;
+    DecodedTrace Decoded = Rec.decode();
+    SymexResult SR;
+    for (unsigned Retry = 0; Retry <= Config.MaxTieBreakRetries; ++Retry) {
+      SymexConfig SC = Config.Symex;
+      SC.ChunkTieBreakSeed = Retry;
+      ShepherdedExecutor SE(M, Ctx, Solver, SC);
+      SR = SE.run(Decoded, Target);
+      if (SR.Status == SymexStatus::Reproduced) {
+        VmConfig VC = Config.Vm;
+        VC.ScheduleSeed = FailingSeed;
+        Interpreter Probe(M, VC);
+        RunResult ProbeR = Probe.run(SR.GeneratedInput);
+        if (ProbeR.Status == ExitStatus::Failure &&
+            ProbeR.Failure.sameFailure(Target))
+          break; // Validated.
+        continue; // Wrong interleaving choice: try the next order.
+      }
+      if (SR.Status != SymexStatus::TraceMismatch)
+        break; // Stall/truncation: tie-breaking will not help.
+    }
+    IR.SymexSeconds = SymexTimer.seconds();
+    IR.SymexInstrs = SR.InstrExecuted;
+    IR.SymexWork = SR.SolverWork;
+    IR.Status = SR.Status;
+    IR.Detail = SR.Detail;
+    Report.TotalSymexSeconds += IR.SymexSeconds;
+
+    switch (SR.Status) {
+    case SymexStatus::Reproduced: {
+      // Validate the generated test case by concrete replay under the
+      // failing run's schedule.
+      VmConfig VC = Config.Vm;
+      VC.ScheduleSeed = FailingSeed;
+      Interpreter Replay(M, VC);
+      RunResult RepR = Replay.run(SR.GeneratedInput);
+      if (RepR.Status == ExitStatus::Failure &&
+          RepR.Failure.sameFailure(Target)) {
+        Report.Success = true;
+        Report.TestCase = SR.GeneratedInput;
+        Report.ReplayScheduleSeed = FailingSeed;
+        Report.Iterations.push_back(IR);
+        return Report;
+      }
+      // Rare: the reconstruction picked an interleaving-inconsistent
+      // ordering (Section 3.4's caveat). Use the next occurrence's trace.
+      IR.Detail = "generated input failed validation; retrying with a "
+                  "fresh trace";
+      Report.Iterations.push_back(IR);
+      continue;
+    }
+
+    case SymexStatus::Stalled: {
+      Stopwatch SelTimer;
+      ConstraintGraph Graph(SR.Snapshot);
+      IR.GraphNodes = Graph.numNodes();
+      KeyValueSelector Selector(Graph, instrumentedSites(M));
+      RecordingPlan Plan = Selector.computeRecordingSet();
+      if (Config.UseRandomSelection) {
+        Rng SelRng(Config.Seed ^ 0x5eedf00d);
+        Plan = Selector.randomRecordingSet(SelRng, Plan);
+      }
+      IR.SelectionSeconds = SelTimer.seconds();
+      IR.RecordingCost = Plan.totalCost();
+      IR.NewRecordedValues = instrumentModule(M, Plan);
+      IR.TotalInstrumentationSites = countInstrumentation(M);
+      Report.Iterations.push_back(IR);
+      if (IR.NewRecordedValues == 0 && !Config.UseRandomSelection) {
+        // No new information can be gathered: reconstruction cannot make
+        // progress (should not happen with key-value selection).
+        Report.FailureDetail =
+            "stalled with no new values to record: " + SR.Detail;
+        return Report;
+      }
+      continue;
+    }
+
+    case SymexStatus::TraceMismatch:
+    case SymexStatus::TraceTruncated:
+    case SymexStatus::Unsupported:
+      Report.FailureDetail = formatString(
+          "%s: %s", symexStatusName(SR.Status), SR.Detail.c_str());
+      Report.Iterations.push_back(IR);
+      return Report;
+    }
+  }
+
+  Report.FailureDetail = "iteration budget exhausted";
+  return Report;
+}

@@ -1,0 +1,114 @@
+//===- Driver.h - Iterative execution reconstruction -------------*- C++ -*-===//
+///
+/// \file
+/// ER's end-to-end loop (Fig. 2 of the paper):
+///
+///   production run (traced) -> failure -> shepherded symbolic execution
+///     -> reproduced? generate + validate test case, done
+///     -> stalled?    key data value selection -> instrument -> redeploy
+///                    -> wait for the failure to *reoccur* -> repeat
+///
+/// "Production" is modelled by an input generator + randomized scheduler
+/// seeds: the driver keeps running the (instrumented) program on generated
+/// inputs until the target failure reoccurs, mirroring how large
+/// deployments see the same failure repeatedly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ER_ER_DRIVER_H
+#define ER_ER_DRIVER_H
+
+#include "er/Selection.h"
+#include "ir/IR.h"
+#include "solver/Solver.h"
+#include "symex/SymExecutor.h"
+#include "trace/Trace.h"
+#include "vm/Interpreter.h"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace er {
+
+/// Tuning for one reconstruction campaign.
+struct DriverConfig {
+  SolverConfig Solver;
+  SymexConfig Symex;
+  VmConfig Vm;
+  TraceConfig Trace;
+  unsigned MaxIterations = 12;
+  uint64_t MaxRunsPerOccurrence = 20000;
+  uint64_t Seed = 1;
+  /// Section 3.1 option: leave tracing off until the failure has been
+  /// observed this many times (0 = always-on tracing). The skipped
+  /// occurrences still count toward the occurrence total.
+  unsigned EnableTracingAfterOccurrences = 0;
+  /// Ablation: replace key data value selection with random recording of
+  /// the same cost (Section 5.2's comparison).
+  bool UseRandomSelection = false;
+  /// Section 3.4 fallback: when a reconstruction fails to validate (or the
+  /// trace replay desynchronizes) under the default tie-break of equal
+  /// chunk timestamps, retry with this many alternative orders before
+  /// consuming another occurrence.
+  unsigned MaxTieBreakRetries = 3;
+};
+
+/// Telemetry for one iteration (one failure occurrence + one offline phase).
+struct IterationReport {
+  SymexStatus Status = SymexStatus::TraceMismatch;
+  unsigned NewRecordedValues = 0;
+  unsigned TotalInstrumentationSites = 0;
+  uint64_t RecordingCost = 0;
+  uint64_t SymexInstrs = 0;
+  uint64_t SymexWork = 0;
+  double SymexSeconds = 0;
+  double SelectionSeconds = 0;
+  uint64_t GraphNodes = 0;
+  uint64_t FailingRunInstrs = 0;
+  uint64_t RunsUntilFailure = 0;
+  TraceStats Trace;
+  std::string Detail;
+};
+
+/// The outcome of a whole reconstruction campaign.
+struct ReconstructionReport {
+  bool Success = false;
+  unsigned Occurrences = 0; ///< Failure occurrences consumed (#Occur).
+  double TotalSymexSeconds = 0;
+  ProgramInput TestCase;
+  uint64_t ReplayScheduleSeed = 0; ///< Schedule under which TestCase fails.
+  FailureRecord Failure;
+  uint64_t FailingInstrCount = 0; ///< #Instr of the last failing execution.
+  std::vector<IterationReport> Iterations;
+  std::string FailureDetail; ///< Set when !Success.
+};
+
+/// Drives iterative reconstruction over a (mutable) module.
+class ReconstructionDriver {
+public:
+  /// Generates one production input; the distribution should make the
+  /// target failure reachable but need not make it frequent.
+  using InputGenerator = std::function<ProgramInput(Rng &)>;
+
+  ReconstructionDriver(Module &M, DriverConfig Config);
+
+  /// Runs the full loop until a validated test case is produced or a limit
+  /// is hit.
+  ReconstructionReport reconstruct(const InputGenerator &Gen);
+
+  /// The expression context shared across iterations (exposed for tests
+  /// and benches).
+  ExprContext &getContext() { return Ctx; }
+  ConstraintSolver &getSolver() { return Solver; }
+
+private:
+  Module &M;
+  DriverConfig Config;
+  ExprContext Ctx;
+  ConstraintSolver Solver;
+};
+
+} // namespace er
+
+#endif // ER_ER_DRIVER_H

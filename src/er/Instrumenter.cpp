@@ -1,0 +1,65 @@
+//===- Instrumenter.cpp --------------------------------------------------------===//
+
+#include "er/Instrumenter.h"
+
+#include "support/Error.h"
+
+using namespace er;
+
+unsigned er::instrumentModule(Module &M, const RecordingPlan &Plan) {
+  unsigned Inserted = 0;
+  for (const auto &V : Plan.Values) {
+    Instruction *Def = M.getInstructionById(V.OriginInstr);
+    if (!Def)
+      fatalError("recording plan references an unknown instruction");
+    if (Def->getType().isVoid())
+      continue; // Nothing to record (should not happen).
+    BasicBlock *BB = Def->getParent();
+
+    // Idempotence: skip if a ptwrite of this def already follows it.
+    bool Already = false;
+    for (size_t I = 0; I < BB->size(); ++I) {
+      if (BB->getInst(I) != Def)
+        continue;
+      if (I + 1 < BB->size()) {
+        const Instruction *Next = BB->getInst(I + 1);
+        if (Next->getOpcode() == Opcode::PtWrite &&
+            Next->getOperand(0) == Def)
+          Already = true;
+      }
+      break;
+    }
+    if (Already)
+      continue;
+
+    auto PtW = std::make_unique<Instruction>(Opcode::PtWrite,
+                                             Type::makeVoid());
+    PtW->addOperand(Def);
+    BB->insertAfter(Def, std::move(PtW));
+    ++Inserted;
+  }
+  if (Inserted)
+    M.finalize();
+  return Inserted;
+}
+
+std::unordered_set<unsigned> er::instrumentedSites(const Module &M) {
+  std::unordered_set<unsigned> Sites;
+  for (const auto &F : M.functions())
+    for (const auto &BB : F->blocks())
+      for (const auto &I : BB->instructions())
+        if (I->getOpcode() == Opcode::PtWrite)
+          if (const auto *Def = dyn_cast<Instruction>(I->getOperand(0)))
+            Sites.insert(Def->getGlobalId());
+  return Sites;
+}
+
+unsigned er::countInstrumentation(const Module &M) {
+  unsigned N = 0;
+  for (const auto &F : M.functions())
+    for (const auto &BB : F->blocks())
+      for (const auto &I : BB->instructions())
+        if (I->getOpcode() == Opcode::PtWrite)
+          ++N;
+  return N;
+}

@@ -1,0 +1,35 @@
+//===- Instrumenter.h - ptwrite instrumentation pass -------------*- C++ -*-===//
+///
+/// \file
+/// Applies a RecordingPlan to a module by inserting `ptwrite` instructions
+/// immediately after the def site of each selected value — the moral
+/// equivalent of the paper's 156-line LLVM pass that adds x86 `ptwrite`
+/// instructions and triggers a redeployment.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ER_ER_INSTRUMENTER_H
+#define ER_ER_INSTRUMENTER_H
+
+#include "er/Selection.h"
+#include "ir/IR.h"
+
+#include <unordered_set>
+
+namespace er {
+
+/// Inserts ptwrite instrumentation for \p Plan into \p M (idempotent per
+/// site) and re-finalizes the module (instruction ids are sticky, so
+/// existing trace/failure identities remain valid). Returns the number of
+/// newly inserted instrumentation points.
+unsigned instrumentModule(Module &M, const RecordingPlan &Plan);
+
+/// Counts ptwrite instructions currently in \p M.
+unsigned countInstrumentation(const Module &M);
+
+/// Global ids of instructions that already have a ptwrite attached.
+std::unordered_set<unsigned> instrumentedSites(const Module &M);
+
+} // namespace er
+
+#endif // ER_ER_INSTRUMENTER_H

@@ -1,0 +1,90 @@
+//===- Selection.h - Key data value selection --------------------*- C++ -*-===//
+///
+/// \file
+/// ER's key contribution (Section 3.3): given the constraint graph of a
+/// stalled shepherded execution, compute
+///
+///  1. the **bottleneck set** — every symbolic value read/written by the
+///     operations of (a) the longest symbolic write chain and (b) the chain
+///     updating the largest symbolic object (plus the expression whose
+///     resolution stalled, when the stall preceded any chain activity); and
+///  2. the **recording set** — a cheaper set of graph nodes from which every
+///     bottleneck element can be inferred, found by a DFS over the graph
+///     that replaces an element with descendants whenever that lowers the
+///     total recording cost C = sum(sizeof(E_i) * Count(E_i)).
+///
+/// The recording set maps to concrete instrumentation sites: each element's
+/// defining instruction gets a ptwrite.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ER_ER_SELECTION_H
+#define ER_ER_SELECTION_H
+
+#include "er/ConstraintGraph.h"
+#include "solver/Expr.h"
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+namespace er {
+
+class Rng;
+
+/// One value chosen for recording.
+struct RecordedValue {
+  ExprRef E = nullptr;
+  unsigned OriginInstr = 0; ///< Global id of the defining instruction.
+  unsigned WidthBytes = 0;
+  uint64_t DynCount = 0; ///< Times the def site executed in the trace.
+  uint64_t Cost = 0;     ///< WidthBytes * DynCount.
+};
+
+/// The instrumentation plan for the next deployment.
+struct RecordingPlan {
+  std::vector<RecordedValue> Values;
+  uint64_t totalCost() const {
+    uint64_t C = 0;
+    for (const auto &V : Values)
+      C += V.Cost;
+    return C;
+  }
+};
+
+/// Computes bottleneck and recording sets over a constraint graph.
+class KeyValueSelector {
+public:
+  /// \p AlreadyInstrumented lists instruction sites that carry a ptwrite
+  /// from earlier iterations: recording them again gains nothing, so the
+  /// cover search decomposes through them to upstream values.
+  explicit KeyValueSelector(const ConstraintGraph &Graph,
+                            std::unordered_set<unsigned> AlreadyInstrumented =
+                                {});
+
+  /// The bottleneck set (Section 3.3.2), before cost minimization.
+  const std::vector<ExprRef> &bottleneckSet() const { return Bottleneck; }
+
+  /// The cost-minimized recording set mapped to instrumentation sites.
+  RecordingPlan computeRecordingSet() const;
+
+  /// Ablation baseline: random graph nodes of (approximately) the same
+  /// total recording cost as \p Reference.
+  RecordingPlan randomRecordingSet(Rng &R, const RecordingPlan &Reference)
+      const;
+
+  /// Recording cost of one element (sizeof * dynamic def count);
+  /// UINT64_MAX when the element has no recordable def site.
+  uint64_t costOf(ExprRef E) const;
+
+private:
+  void computeBottleneck();
+
+  const ConstraintGraph &Graph;
+  std::unordered_set<unsigned> AlreadyInstrumented;
+  std::vector<ExprRef> Bottleneck;
+};
+
+} // namespace er
+
+#endif // ER_ER_SELECTION_H

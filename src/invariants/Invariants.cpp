@@ -1,0 +1,211 @@
+//===- Invariants.cpp - Likely-invariant inference ------------------------------===//
+
+#include "invariants/Invariants.h"
+
+#include "support/Format.h"
+
+using namespace er;
+
+namespace {
+
+constexpr size_t MaxTrackedValues = 4;
+
+/// A single observation: point name + variable values.
+struct Observation {
+  std::string Point;
+  std::vector<uint64_t> Values;
+};
+
+} // namespace
+
+/// Collects entry/exit observations during a run.
+class InvariantEngine::Collector : public ExecObserver {
+public:
+  void onCall(uint32_t Tid, const Function &F,
+              const std::vector<uint64_t> &Args) override {
+    (void)Tid;
+    if (F.getName() == "main")
+      return;
+    Observations.push_back({"entry:" + F.getName(), Args});
+  }
+  void onReturn(uint32_t Tid, const Function &F, bool HasValue,
+                uint64_t Value) override {
+    (void)Tid;
+    if (!HasValue || F.getName() == "main")
+      return;
+    Observations.push_back({"exit:" + F.getName(), {Value}});
+  }
+
+  std::vector<Observation> Observations;
+};
+
+bool InvariantEngine::observePassingRun(const ProgramInput &In,
+                                        const VmConfig &Vm) {
+  Collector C;
+  Interpreter VM(M, Vm);
+  RunResult R = VM.run(In, nullptr, &C);
+  if (R.Status != ExitStatus::Ok)
+    return false;
+
+  for (const auto &Obs : C.Observations) {
+    PointStats &PS = Points[Obs.Point];
+    if (PS.Vars.size() < Obs.Values.size())
+      PS.Vars.resize(Obs.Values.size());
+    for (size_t I = 0; I < Obs.Values.size(); ++I) {
+      VarStats &VS = PS.Vars[I];
+      uint64_t V = Obs.Values[I];
+      VS.Min = std::min(VS.Min, V);
+      VS.Max = std::max(VS.Max, V);
+      VS.SeenZero |= V == 0;
+      if (VS.Values.size() <= MaxTrackedValues)
+        VS.Values.insert(V);
+      ++VS.Count;
+    }
+    for (size_t I = 0; I < Obs.Values.size(); ++I)
+      for (size_t J = I + 1; J < Obs.Values.size(); ++J) {
+        PairStats &Pair = PS.Pairs[{static_cast<unsigned>(I),
+                                    static_cast<unsigned>(J)}];
+        Pair.AlwaysEq &= Obs.Values[I] == Obs.Values[J];
+        Pair.AlwaysLe &= Obs.Values[I] <= Obs.Values[J];
+        Pair.AlwaysNe &= Obs.Values[I] != Obs.Values[J];
+        ++Pair.Count;
+      }
+  }
+  return true;
+}
+
+void InvariantEngine::infer() {
+  Inferred.clear();
+  for (const auto &[Point, PS] : Points) {
+    bool IsExit = Point.rfind("exit:", 0) == 0;
+    auto VarName = [&](size_t I) {
+      return IsExit ? std::string("ret")
+                    : "arg" + std::to_string(I);
+    };
+    for (size_t I = 0; I < PS.Vars.size(); ++I) {
+      const VarStats &VS = PS.Vars[I];
+      if (VS.Count == 0)
+        continue;
+      if (VS.Values.size() == 1) {
+        Inferred.push_back(
+            {Point,
+             formatString("%s == %llu", VarName(I).c_str(),
+                          static_cast<unsigned long long>(*VS.Values.begin())),
+             VS.Count});
+      } else if (VS.Values.size() <= MaxTrackedValues) {
+        std::string Set;
+        for (uint64_t V : VS.Values)
+          Set += (Set.empty() ? "" : ", ") + std::to_string(V);
+        Inferred.push_back(
+            {Point, VarName(I) + " in {" + Set + "}", VS.Count});
+      } else {
+        Inferred.push_back(
+            {Point,
+             formatString("%s in [%llu, %llu]", VarName(I).c_str(),
+                          static_cast<unsigned long long>(VS.Min),
+                          static_cast<unsigned long long>(VS.Max)),
+             VS.Count});
+      }
+      if (!VS.SeenZero && VS.Min != 0)
+        Inferred.push_back({Point, VarName(I) + " != 0", VS.Count});
+    }
+    for (const auto &[Idx, Pair] : PS.Pairs) {
+      auto A = VarName(Idx.first), B = VarName(Idx.second);
+      if (Pair.AlwaysEq)
+        Inferred.push_back({Point, A + " == " + B, Pair.Count});
+      else if (Pair.AlwaysLe)
+        Inferred.push_back({Point, A + " <= " + B, Pair.Count});
+      else if (Pair.AlwaysNe)
+        Inferred.push_back({Point, A + " != " + B, Pair.Count});
+    }
+  }
+  Frozen = true;
+}
+
+std::vector<InvariantViolation>
+InvariantEngine::checkFailingRun(const ProgramInput &In, const VmConfig &Vm) {
+  if (!Frozen)
+    infer();
+
+  Collector C;
+  Interpreter VM(M, Vm);
+  VM.run(In, nullptr, &C);
+
+  // Re-evaluate each observation against the per-point stats.
+  std::vector<InvariantViolation> Violations;
+  auto Violate = [&](const std::string &Point, const std::string &Text,
+                     const std::string &Observed, uint64_t Order) {
+    // Deduplicate by (point, invariant).
+    for (const auto &V : Violations)
+      if (V.Inv.Point == Point && V.Inv.Text == Text)
+        return;
+    Invariant Inv{Point, Text, 0};
+    for (const auto &Known : Inferred)
+      if (Known.Point == Point && Known.Text == Text)
+        Inv = Known;
+    Violations.push_back({Inv, Observed, Order});
+  };
+
+  uint64_t Order = 0;
+  for (const auto &Obs : C.Observations) {
+    ++Order;
+    auto It = Points.find(Obs.Point);
+    if (It == Points.end())
+      continue;
+    const PointStats &PS = It->second;
+    bool IsExit = Obs.Point.rfind("exit:", 0) == 0;
+    auto VarName = [&](size_t I) {
+      return IsExit ? std::string("ret") : "arg" + std::to_string(I);
+    };
+    for (size_t I = 0; I < Obs.Values.size() && I < PS.Vars.size(); ++I) {
+      const VarStats &VS = PS.Vars[I];
+      uint64_t V = Obs.Values[I];
+      std::string ObsText =
+          formatString("%s = %llu", VarName(I).c_str(),
+                       static_cast<unsigned long long>(V));
+      if (VS.Values.size() == 1 && V != *VS.Values.begin())
+        Violate(Obs.Point,
+                formatString("%s == %llu", VarName(I).c_str(),
+                             static_cast<unsigned long long>(
+                                 *VS.Values.begin())),
+                ObsText, Order);
+      else if (VS.Values.size() <= MaxTrackedValues &&
+               !VS.Values.count(V)) {
+        std::string Set;
+        for (uint64_t KV : VS.Values)
+          Set += (Set.empty() ? "" : ", ") + std::to_string(KV);
+        Violate(Obs.Point, VarName(I) + " in {" + Set + "}", ObsText, Order);
+      } else if (V < VS.Min || V > VS.Max) {
+        Violate(Obs.Point,
+                formatString("%s in [%llu, %llu]", VarName(I).c_str(),
+                             static_cast<unsigned long long>(VS.Min),
+                             static_cast<unsigned long long>(VS.Max)),
+                ObsText, Order);
+      }
+      if (!VS.SeenZero && VS.Min != 0 && V == 0)
+        Violate(Obs.Point, VarName(I) + " != 0", ObsText, Order);
+    }
+    for (const auto &[Idx, Pair] : PS.Pairs) {
+      if (Idx.second >= Obs.Values.size())
+        continue;
+      uint64_t A = Obs.Values[Idx.first], B = Obs.Values[Idx.second];
+      auto AN = VarName(Idx.first), BN = VarName(Idx.second);
+      std::string ObsText = formatString(
+          "%s = %llu, %s = %llu", AN.c_str(),
+          static_cast<unsigned long long>(A), BN.c_str(),
+          static_cast<unsigned long long>(B));
+      if (Pair.AlwaysEq && A != B)
+        Violate(Obs.Point, AN + " == " + BN, ObsText, Order);
+      else if (Pair.AlwaysLe && !Pair.AlwaysEq && A > B)
+        Violate(Obs.Point, AN + " <= " + BN, ObsText, Order);
+      else if (Pair.AlwaysNe && !Pair.AlwaysEq && !Pair.AlwaysLe && A == B)
+        Violate(Obs.Point, AN + " != " + BN, ObsText, Order);
+    }
+  }
+
+  std::sort(Violations.begin(), Violations.end(),
+            [](const InvariantViolation &A, const InvariantViolation &B) {
+              return A.FirstAtObservation < B.FirstAtObservation;
+            });
+  return Violations;
+}

@@ -1,0 +1,91 @@
+//===- Invariants.h - Likely-invariant inference and localization -*- C++ -*-===//
+///
+/// \file
+/// A Daikon-style likely-invariant engine powering the MIMIC case study
+/// (Section 5.4): observe variables at program points (function entries and
+/// exits) over passing runs, infer invariant templates, then check a failing
+/// (reconstructed) execution and rank the violations as candidate root
+/// causes.
+///
+/// Supported templates per variable: constant, one-of (small value set),
+/// range [min,max], non-zero; per variable pair at the same point: equal,
+/// less-or-equal, not-equal.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ER_INVARIANTS_INVARIANTS_H
+#define ER_INVARIANTS_INVARIANTS_H
+
+#include "ir/IR.h"
+#include "vm/Interpreter.h"
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace er {
+
+/// One inferred likely invariant, printable for reports.
+struct Invariant {
+  std::string Point; ///< "entry:parse" or "exit:parse".
+  std::string Text;  ///< e.g. "arg1 <= arg2", "ret in [0, 10]".
+  uint64_t Support = 0; ///< Observations backing it.
+};
+
+/// A violation of an inferred invariant on the failing run.
+struct InvariantViolation {
+  Invariant Inv;
+  std::string Observed;
+  uint64_t FirstAtObservation = 0; ///< Order of first violation.
+};
+
+/// Infers invariants from passing runs and checks failing runs.
+class InvariantEngine {
+public:
+  explicit InvariantEngine(const Module &M) : M(M) {}
+
+  /// Executes one (expected-passing) run and accumulates observations.
+  /// Returns false if the run failed (it is then ignored).
+  bool observePassingRun(const ProgramInput &In, const VmConfig &Vm);
+
+  /// Freezes observations into invariants. Call after all passing runs.
+  void infer();
+  const std::vector<Invariant> &invariants() const { return Inferred; }
+
+  /// Replays a failing run and reports violated invariants, ranked by
+  /// first occurrence (earlier = closer to the root cause).
+  std::vector<InvariantViolation> checkFailingRun(const ProgramInput &In,
+                                                  const VmConfig &Vm);
+
+private:
+  struct VarStats {
+    uint64_t Min = UINT64_MAX;
+    uint64_t Max = 0;
+    bool SeenZero = false;
+    std::set<uint64_t> Values; ///< Capped small set.
+    uint64_t Count = 0;
+  };
+  struct PairStats {
+    bool AlwaysEq = true;
+    bool AlwaysLe = true;
+    bool AlwaysNe = true;
+    uint64_t Count = 0;
+  };
+  struct PointStats {
+    std::vector<VarStats> Vars;               ///< Per variable slot.
+    std::map<std::pair<unsigned, unsigned>, PairStats> Pairs;
+  };
+
+  class Collector;
+
+  const Module &M;
+  std::map<std::string, PointStats> Points;
+  std::vector<Invariant> Inferred;
+  bool Frozen = false;
+};
+
+} // namespace er
+
+#endif // ER_INVARIANTS_INVARIANTS_H

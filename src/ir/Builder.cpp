@@ -1,0 +1,174 @@
+//===- Builder.cpp - Instruction construction helper ------------------------===//
+
+#include "ir/Builder.h"
+
+#include "support/Error.h"
+
+#include <cassert>
+
+using namespace er;
+
+Instruction *IRBuilder::emit(Opcode Op, Type Ty,
+                             const std::vector<Value *> &Operands) {
+  assert(Block && "no insertion point set");
+  auto I = std::make_unique<Instruction>(Op, Ty);
+  for (Value *V : Operands) {
+    assert(V && "null operand");
+    I->addOperand(V);
+  }
+  return Block->append(std::move(I));
+}
+
+Instruction *IRBuilder::binary(Opcode Op, Value *A, Value *B) {
+  assert(isBinaryOp(Op) && "not a binary opcode");
+  assert(A->getType() == B->getType() && "binary operand type mismatch");
+  return emit(Op, A->getType(), {A, B});
+}
+
+Instruction *IRBuilder::compare(Opcode Op, Value *A, Value *B) {
+  assert(isCompareOp(Op) && "not a comparison opcode");
+  return emit(Op, Type::makeInt(1), {A, B});
+}
+
+Instruction *IRBuilder::select(Value *Cond, Value *T, Value *F) {
+  assert(T->getType() == F->getType() && "select arm type mismatch");
+  return emit(Opcode::Select, T->getType(), {Cond, T, F});
+}
+
+Instruction *IRBuilder::zext(Value *V, Type To) {
+  return emit(Opcode::ZExt, To, {V});
+}
+Instruction *IRBuilder::sext(Value *V, Type To) {
+  return emit(Opcode::SExt, To, {V});
+}
+Instruction *IRBuilder::trunc(Value *V, Type To) {
+  return emit(Opcode::Trunc, To, {V});
+}
+
+Value *IRBuilder::castTo(Value *V, Type To, bool Signed) {
+  const Type &From = V->getType();
+  if (From == To)
+    return V;
+  assert(From.isInt() && To.isInt() && "castTo handles integer types only");
+  if (To.Bits > From.Bits)
+    return Signed ? sext(V, To) : zext(V, To);
+  return trunc(V, To);
+}
+
+Instruction *IRBuilder::alloca_(Type ElemTy, uint64_t Count,
+                                std::string Name) {
+  Instruction *I = emit(Opcode::Alloca, Type::makePtr());
+  I->setAllocElemType(ElemTy);
+  I->setImm(Count);
+  I->setName(std::move(Name));
+  return I;
+}
+
+Instruction *IRBuilder::malloc_(Type ElemTy, Value *Count) {
+  Instruction *I = emit(Opcode::Malloc, Type::makePtr(), {Count});
+  I->setAllocElemType(ElemTy);
+  return I;
+}
+
+Instruction *IRBuilder::free_(Value *Ptr) {
+  return emit(Opcode::Free, Type::makeVoid(), {Ptr});
+}
+
+Instruction *IRBuilder::ptrAdd(Value *Ptr, Value *Delta) {
+  assert(Ptr->getType().isPtr() && "ptradd base must be a pointer");
+  return emit(Opcode::PtrAdd, Ptr->getType(), {Ptr, Delta});
+}
+
+Instruction *IRBuilder::load(Value *Ptr, Type AccessTy) {
+  assert(Ptr->getType().isPtr() && "load base must be a pointer");
+  assert(!AccessTy.isVoid() && "load access type must be a value type");
+  return emit(Opcode::Load, AccessTy, {Ptr});
+}
+
+Instruction *IRBuilder::store(Value *Val, Value *Ptr) {
+  assert(Ptr->getType().isPtr() && "store base must be a pointer");
+  return emit(Opcode::Store, Type::makeVoid(), {Val, Ptr});
+}
+
+Instruction *IRBuilder::globalAddr(GlobalVariable *G) {
+  Instruction *I = emit(Opcode::GlobalAddr, G->getType());
+  I->setGlobal(G);
+  return I;
+}
+
+Instruction *IRBuilder::br(BasicBlock *Dest) {
+  Instruction *I = emit(Opcode::Br, Type::makeVoid());
+  I->setSuccessors(Dest);
+  return I;
+}
+
+Instruction *IRBuilder::condBr(Value *Cond, BasicBlock *Then,
+                               BasicBlock *Else) {
+  assert(Cond->getType().isBool() && "condbr condition must be i1");
+  Instruction *I = emit(Opcode::CondBr, Type::makeVoid(), {Cond});
+  I->setSuccessors(Then, Else);
+  return I;
+}
+
+Instruction *IRBuilder::call(Function *Callee,
+                             const std::vector<Value *> &Args) {
+  assert(Callee->getNumArgs() == Args.size() && "call arity mismatch");
+  Instruction *I = emit(Opcode::Call, Callee->getReturnType(), Args);
+  I->setCallee(Callee);
+  return I;
+}
+
+Instruction *IRBuilder::ret(Value *V) {
+  return V ? emit(Opcode::Ret, Type::makeVoid(), {V})
+           : emit(Opcode::Ret, Type::makeVoid());
+}
+
+Instruction *IRBuilder::inputArg(unsigned Index) {
+  Instruction *I = emit(Opcode::InputArg, Type::makeInt(64));
+  I->setImm(Index);
+  return I;
+}
+
+Instruction *IRBuilder::inputByte() {
+  return emit(Opcode::InputByte, Type::makeInt(8));
+}
+
+Instruction *IRBuilder::inputSize() {
+  return emit(Opcode::InputSize, Type::makeInt(64));
+}
+
+Instruction *IRBuilder::print(Value *V) {
+  return emit(Opcode::Print, Type::makeVoid(), {V});
+}
+
+Instruction *IRBuilder::abort_(std::string Message) {
+  Instruction *I = emit(Opcode::Abort, Type::makeVoid());
+  I->setMessage(std::move(Message));
+  return I;
+}
+
+Instruction *IRBuilder::spawn(Function *Callee, Value *ArgPtr) {
+  Instruction *I = emit(Opcode::Spawn, Type::makeInt(64), {ArgPtr});
+  I->setCallee(Callee);
+  return I;
+}
+
+Instruction *IRBuilder::join(Value *Tid) {
+  return emit(Opcode::Join, Type::makeVoid(), {Tid});
+}
+
+Instruction *IRBuilder::mutexLock(uint64_t MutexId) {
+  Instruction *I = emit(Opcode::MutexLock, Type::makeVoid());
+  I->setImm(MutexId);
+  return I;
+}
+
+Instruction *IRBuilder::mutexUnlock(uint64_t MutexId) {
+  Instruction *I = emit(Opcode::MutexUnlock, Type::makeVoid());
+  I->setImm(MutexId);
+  return I;
+}
+
+Instruction *IRBuilder::ptwrite(Value *V) {
+  return emit(Opcode::PtWrite, Type::makeVoid(), {V});
+}

@@ -1,0 +1,73 @@
+//===- Builder.h - Instruction construction helper --------------*- C++ -*-===//
+///
+/// \file
+/// Convenience builder for emitting IR into a basic block, used by the
+/// MiniLang code generator, the instrumentation pass, and tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ER_IR_BUILDER_H
+#define ER_IR_BUILDER_H
+
+#include "ir/IR.h"
+
+namespace er {
+
+/// Appends instructions to a current insertion block.
+class IRBuilder {
+public:
+  explicit IRBuilder(Module &M) : M(M) {}
+
+  void setInsertPoint(BasicBlock *BB) { Block = BB; }
+  BasicBlock *getInsertBlock() const { return Block; }
+  Module &getModule() { return M; }
+
+  //===--- Arithmetic / comparisons ---------------------------------------===
+  Instruction *binary(Opcode Op, Value *A, Value *B);
+  Instruction *compare(Opcode Op, Value *A, Value *B);
+  Instruction *select(Value *Cond, Value *T, Value *F);
+  Instruction *zext(Value *V, Type To);
+  Instruction *sext(Value *V, Type To);
+  Instruction *trunc(Value *V, Type To);
+  /// Emits the cheapest correct cast from V's type to \p To (or returns V).
+  Value *castTo(Value *V, Type To, bool Signed);
+
+  //===--- Memory -----------------------------------------------------------
+  Instruction *alloca_(Type ElemTy, uint64_t Count, std::string Name = "");
+  Instruction *malloc_(Type ElemTy, Value *Count);
+  Instruction *free_(Value *Ptr);
+  Instruction *ptrAdd(Value *Ptr, Value *Delta);
+  /// Loads one element of type \p AccessTy through \p Ptr.
+  Instruction *load(Value *Ptr, Type AccessTy);
+  Instruction *store(Value *Val, Value *Ptr);
+  Instruction *globalAddr(GlobalVariable *G);
+
+  //===--- Control flow -----------------------------------------------------
+  Instruction *br(BasicBlock *Dest);
+  Instruction *condBr(Value *Cond, BasicBlock *Then, BasicBlock *Else);
+  Instruction *call(Function *Callee, const std::vector<Value *> &Args);
+  Instruction *ret(Value *V = nullptr);
+
+  //===--- Environment ------------------------------------------------------
+  Instruction *inputArg(unsigned Index);
+  Instruction *inputByte();
+  Instruction *inputSize();
+  Instruction *print(Value *V);
+  Instruction *abort_(std::string Message);
+  Instruction *spawn(Function *Callee, Value *ArgPtr);
+  Instruction *join(Value *Tid);
+  Instruction *mutexLock(uint64_t MutexId);
+  Instruction *mutexUnlock(uint64_t MutexId);
+  Instruction *ptwrite(Value *V);
+
+private:
+  Instruction *emit(Opcode Op, Type Ty,
+                    const std::vector<Value *> &Operands = {});
+
+  Module &M;
+  BasicBlock *Block = nullptr;
+};
+
+} // namespace er
+
+#endif // ER_IR_BUILDER_H

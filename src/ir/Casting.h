@@ -1,0 +1,41 @@
+//===- Casting.h - LLVM-style isa/cast/dyn_cast helpers ---------*- C++ -*-===//
+///
+/// \file
+/// Hand-rolled RTTI in the LLVM style: classes expose a static classof, and
+/// these templates dispatch on it. No C++ RTTI is used in the project.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ER_IR_CASTING_H
+#define ER_IR_CASTING_H
+
+#include <cassert>
+
+namespace er {
+
+template <typename To, typename From> bool isa(const From *V) {
+  assert(V && "isa<> on a null pointer");
+  return To::classof(V);
+}
+
+template <typename To, typename From> To *cast(From *V) {
+  assert(isa<To>(V) && "cast<> argument of incompatible type");
+  return static_cast<To *>(V);
+}
+
+template <typename To, typename From> const To *cast(const From *V) {
+  assert(isa<To>(V) && "cast<> argument of incompatible type");
+  return static_cast<const To *>(V);
+}
+
+template <typename To, typename From> To *dyn_cast(From *V) {
+  return isa<To>(V) ? static_cast<To *>(V) : nullptr;
+}
+
+template <typename To, typename From> const To *dyn_cast(const From *V) {
+  return isa<To>(V) ? static_cast<const To *>(V) : nullptr;
+}
+
+} // namespace er
+
+#endif // ER_IR_CASTING_H

@@ -1,0 +1,263 @@
+//===- IR.cpp - IR core implementation -------------------------------------===//
+
+#include "ir/IR.h"
+
+#include "solver/Expr.h"
+#include "support/Error.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace er;
+
+//===----------------------------------------------------------------------===//
+// Types
+//===----------------------------------------------------------------------===//
+
+std::string Type::str() const {
+  switch (Kind) {
+  case TypeKind::Void:
+    return "void";
+  case TypeKind::Int:
+    return "i" + std::to_string(Bits);
+  case TypeKind::Ptr:
+    return "ptr";
+  }
+  fatalError("unknown type kind");
+}
+
+int64_t ConstantInt::getSignedValue() const {
+  return signExtend(Val, getType().Bits);
+}
+
+//===----------------------------------------------------------------------===//
+// Opcode predicates
+//===----------------------------------------------------------------------===//
+
+const char *er::opcodeName(Opcode Op) {
+  switch (Op) {
+  case Opcode::Add:         return "add";
+  case Opcode::Sub:         return "sub";
+  case Opcode::Mul:         return "mul";
+  case Opcode::UDiv:        return "udiv";
+  case Opcode::SDiv:        return "sdiv";
+  case Opcode::URem:        return "urem";
+  case Opcode::SRem:        return "srem";
+  case Opcode::And:         return "and";
+  case Opcode::Or:          return "or";
+  case Opcode::Xor:         return "xor";
+  case Opcode::Shl:         return "shl";
+  case Opcode::LShr:        return "lshr";
+  case Opcode::AShr:        return "ashr";
+  case Opcode::Eq:          return "eq";
+  case Opcode::Ne:          return "ne";
+  case Opcode::Ult:         return "ult";
+  case Opcode::Ule:         return "ule";
+  case Opcode::Ugt:         return "ugt";
+  case Opcode::Uge:         return "uge";
+  case Opcode::Slt:         return "slt";
+  case Opcode::Sle:         return "sle";
+  case Opcode::Sgt:         return "sgt";
+  case Opcode::Sge:         return "sge";
+  case Opcode::Select:      return "select";
+  case Opcode::ZExt:        return "zext";
+  case Opcode::SExt:        return "sext";
+  case Opcode::Trunc:       return "trunc";
+  case Opcode::Alloca:      return "alloca";
+  case Opcode::Malloc:      return "malloc";
+  case Opcode::Free:        return "free";
+  case Opcode::PtrAdd:      return "ptradd";
+  case Opcode::Load:        return "load";
+  case Opcode::Store:       return "store";
+  case Opcode::GlobalAddr:  return "globaladdr";
+  case Opcode::Br:          return "br";
+  case Opcode::CondBr:      return "condbr";
+  case Opcode::Call:        return "call";
+  case Opcode::Ret:         return "ret";
+  case Opcode::InputArg:    return "input.arg";
+  case Opcode::InputByte:   return "input.byte";
+  case Opcode::InputSize:   return "input.size";
+  case Opcode::Print:       return "print";
+  case Opcode::Abort:       return "abort";
+  case Opcode::Spawn:       return "spawn";
+  case Opcode::Join:        return "join";
+  case Opcode::MutexLock:   return "mutex.lock";
+  case Opcode::MutexUnlock: return "mutex.unlock";
+  case Opcode::PtWrite:     return "ptwrite";
+  }
+  fatalError("unknown opcode");
+}
+
+bool er::isTerminator(Opcode Op) {
+  return Op == Opcode::Br || Op == Opcode::CondBr || Op == Opcode::Ret ||
+         Op == Opcode::Abort;
+}
+
+bool er::isBinaryOp(Opcode Op) {
+  switch (Op) {
+  case Opcode::Add:
+  case Opcode::Sub:
+  case Opcode::Mul:
+  case Opcode::UDiv:
+  case Opcode::SDiv:
+  case Opcode::URem:
+  case Opcode::SRem:
+  case Opcode::And:
+  case Opcode::Or:
+  case Opcode::Xor:
+  case Opcode::Shl:
+  case Opcode::LShr:
+  case Opcode::AShr:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool er::isCompareOp(Opcode Op) {
+  switch (Op) {
+  case Opcode::Eq:
+  case Opcode::Ne:
+  case Opcode::Ult:
+  case Opcode::Ule:
+  case Opcode::Ugt:
+  case Opcode::Uge:
+  case Opcode::Slt:
+  case Opcode::Sle:
+  case Opcode::Sgt:
+  case Opcode::Sge:
+    return true;
+  default:
+    return false;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// BasicBlock / Function / Module
+//===----------------------------------------------------------------------===//
+
+Instruction *BasicBlock::insertAfter(Instruction *After,
+                                     std::unique_ptr<Instruction> I) {
+  I->setParent(this);
+  for (size_t Idx = 0; Idx < Insts.size(); ++Idx) {
+    if (Insts[Idx].get() == After) {
+      Insts.insert(Insts.begin() + static_cast<long>(Idx) + 1, std::move(I));
+      return Insts[Idx + 1].get();
+    }
+  }
+  fatalError("insertAfter: anchor instruction not in block");
+}
+
+void BasicBlock::removeInst(Instruction *I) {
+  for (size_t Idx = 0; Idx < Insts.size(); ++Idx) {
+    if (Insts[Idx].get() == I) {
+      Insts.erase(Insts.begin() + static_cast<long>(Idx));
+      return;
+    }
+  }
+  fatalError("removeInst: instruction not in block");
+}
+
+Function::Function(std::string Name, Type RetTy, std::vector<Type> ArgTys,
+                   Module *Parent)
+    : Value(Kind::Function, Type::makeVoid()), ParentM(Parent), RetTy(RetTy) {
+  setName(std::move(Name));
+  for (unsigned I = 0; I < ArgTys.size(); ++I)
+    Args.push_back(std::make_unique<Argument>(ArgTys[I], I, this));
+}
+
+BasicBlock *Function::createBlock(std::string Name) {
+  Blocks.push_back(std::make_unique<BasicBlock>(std::move(Name), this));
+  return Blocks.back().get();
+}
+
+unsigned Function::renumber() {
+  unsigned Id = 0;
+  for (auto &BB : Blocks)
+    for (auto &I : BB->instructions())
+      I->LocalId = Id++;
+  NumInsts = Id;
+  return Id;
+}
+
+Function *Module::createFunction(std::string Name, Type RetTy,
+                                 std::vector<Type> ArgTys) {
+  Funcs.push_back(std::make_unique<Function>(std::move(Name), RetTy,
+                                             std::move(ArgTys), this));
+  return Funcs.back().get();
+}
+
+Function *Module::getFunction(const std::string &Name) const {
+  for (const auto &F : Funcs)
+    if (F->getName() == Name)
+      return F.get();
+  return nullptr;
+}
+
+GlobalVariable *Module::createGlobal(std::string Name, Type ElemTy,
+                                     uint64_t NumElems,
+                                     std::vector<uint64_t> Init) {
+  Globals.push_back(std::make_unique<GlobalVariable>(
+      std::move(Name), ElemTy, NumElems, std::move(Init),
+      static_cast<unsigned>(Globals.size())));
+  return Globals.back().get();
+}
+
+GlobalVariable *Module::getGlobal(const std::string &Name) const {
+  for (const auto &G : Globals)
+    if (G->getName() == Name)
+      return G.get();
+  return nullptr;
+}
+
+ConstantInt *Module::getConstant(Type Ty, uint64_t Value) {
+  assert(Ty.isInt() && "integer constant requires an integer type");
+  Value = maskToWidth(Value, Ty.Bits);
+  for (const auto &C : IntConstants)
+    if (C->getType() == Ty && C->getValue() == Value)
+      return C.get();
+  IntConstants.push_back(std::make_unique<ConstantInt>(Ty, Value));
+  return IntConstants.back().get();
+}
+
+ConstantNull *Module::getNull(Type PtrTy) {
+  assert(PtrTy.isPtr() && "null constant requires a pointer type");
+  for (const auto &C : NullConstants)
+    if (C->getType() == PtrTy)
+      return C.get();
+  NullConstants.push_back(std::make_unique<ConstantNull>(PtrTy));
+  return NullConstants.back().get();
+}
+
+unsigned Module::getStaticInstructionCount() const {
+  unsigned N = 0;
+  for (const auto &F : Funcs)
+    for (const auto &BB : F->blocks())
+      N += static_cast<unsigned>(BB->size());
+  return N;
+}
+
+unsigned Module::finalize() {
+  // First pass: keep already-assigned ids (sticky across instrumentation).
+  unsigned MaxId = 0;
+  for (auto &F : Funcs) {
+    F->renumber();
+    for (auto &BB : F->blocks())
+      for (auto &I : BB->instructions())
+        if (I->hasGlobalId())
+          MaxId = std::max(MaxId, I->GlobalId + 1);
+  }
+  // Second pass: give new instructions fresh ids after all existing ones.
+  unsigned Next = MaxId;
+  for (auto &F : Funcs)
+    for (auto &BB : F->blocks())
+      for (auto &I : BB->instructions())
+        if (!I->hasGlobalId())
+          I->GlobalId = Next++;
+  InstById.assign(Next, nullptr);
+  for (auto &F : Funcs)
+    for (auto &BB : F->blocks())
+      for (auto &I : BB->instructions())
+        InstById[I->GlobalId] = I.get();
+  return Next;
+}

@@ -1,0 +1,468 @@
+//===- IR.h - Typed register IR for the ER substrate ------------*- C++ -*-===//
+///
+/// \file
+/// The intermediate representation executed by the concrete VM and the
+/// shepherded symbolic executor. It is a small LLVM-flavoured register IR:
+///
+///  - Values are integers of 1..64 bits or typed pointers.
+///  - Memory is object-granular: every alloca/global/malloc names an object
+///    of N elements of a fixed element type; pointers are (object, element
+///    offset) pairs packed into 64 bits at runtime. There is no flat address
+///    space, which gives the VM precise bounds/UAF detection and gives the
+///    symbolic executor the per-object Read/Write array theory the paper's
+///    key-data-value selection operates on.
+///  - There are no phis: instruction results never cross basic-block
+///    boundaries (the frontend spills mutable locals to allocas, as at -O0).
+///  - Input, threading, tracing (ptwrite), and failure are IR opcodes, which
+///    stand in for the syscall/pthread/Intel-PT surface of a real system.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ER_IR_IR_H
+#define ER_IR_IR_H
+
+#include "ir/Casting.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace er {
+
+class BasicBlock;
+class Function;
+class Module;
+
+//===----------------------------------------------------------------------===//
+// Types
+//===----------------------------------------------------------------------===//
+
+enum class TypeKind : uint8_t { Void, Int, Ptr };
+
+/// A value type: void, iN, or an opaque pointer (modern-LLVM style: the
+/// pointee type lives on the memory-access instructions, not the pointer).
+/// Types are plain values; compare with ==.
+struct Type {
+  TypeKind Kind = TypeKind::Void;
+  uint8_t Bits = 0; ///< Int: width. Ptr: always 64.
+
+  static Type makeVoid() { return Type(); }
+  static Type makeInt(unsigned Bits) {
+    Type T;
+    T.Kind = TypeKind::Int;
+    T.Bits = static_cast<uint8_t>(Bits);
+    return T;
+  }
+  static Type makePtr() {
+    Type T;
+    T.Kind = TypeKind::Ptr;
+    T.Bits = 64;
+    return T;
+  }
+
+  bool isVoid() const { return Kind == TypeKind::Void; }
+  bool isInt() const { return Kind == TypeKind::Int; }
+  bool isPtr() const { return Kind == TypeKind::Ptr; }
+  bool isBool() const { return isInt() && Bits == 1; }
+
+  bool operator==(const Type &O) const {
+    return Kind == O.Kind && Bits == O.Bits;
+  }
+  bool operator!=(const Type &O) const { return !(*this == O); }
+
+  std::string str() const;
+};
+
+//===----------------------------------------------------------------------===//
+// Pointer packing
+//===----------------------------------------------------------------------===//
+
+/// Runtime pointers pack an object id and an element offset into a uint64:
+/// high 24 bits hold (object id + 1), low 40 bits the offset. Object id 0 in
+/// the packed form (i.e. the whole word zero) is the null pointer.
+struct PackedPtr {
+  static constexpr unsigned OffsetBits = 40;
+  static constexpr uint64_t OffsetMask = (1ULL << OffsetBits) - 1;
+
+  static uint64_t make(uint32_t ObjectId, uint64_t Offset) {
+    return (static_cast<uint64_t>(ObjectId + 1) << OffsetBits) |
+           (Offset & OffsetMask);
+  }
+  static bool isNull(uint64_t P) { return (P >> OffsetBits) == 0; }
+  static uint32_t objectId(uint64_t P) {
+    return static_cast<uint32_t>(P >> OffsetBits) - 1;
+  }
+  static uint64_t offset(uint64_t P) { return P & OffsetMask; }
+};
+
+//===----------------------------------------------------------------------===//
+// Values
+//===----------------------------------------------------------------------===//
+
+/// Root of the value hierarchy (LLVM-style, with hand-rolled RTTI).
+class Value {
+public:
+  enum class Kind : uint8_t {
+    Argument,
+    ConstantInt,
+    ConstantNull,
+    GlobalVariable,
+    Function,
+    Instruction,
+  };
+
+  Kind getKind() const { return K; }
+  const Type &getType() const { return Ty; }
+  const std::string &getName() const { return Name; }
+  void setName(std::string N) { Name = std::move(N); }
+
+  virtual ~Value() = default;
+  Value(const Value &) = delete;
+  Value &operator=(const Value &) = delete;
+
+protected:
+  Value(Kind K, Type Ty) : K(K), Ty(Ty) {}
+
+private:
+  Kind K;
+  Type Ty;
+  std::string Name;
+};
+
+/// A formal parameter of a Function.
+class Argument : public Value {
+public:
+  Argument(Type Ty, unsigned ArgNo, Function *Parent)
+      : Value(Kind::Argument, Ty), ArgNo(ArgNo), Parent(Parent) {}
+  unsigned getArgNo() const { return ArgNo; }
+  Function *getParent() const { return Parent; }
+  static bool classof(const Value *V) {
+    return V->getKind() == Kind::Argument;
+  }
+
+private:
+  unsigned ArgNo;
+  Function *Parent;
+};
+
+/// An integer constant (interned per Module).
+class ConstantInt : public Value {
+public:
+  ConstantInt(Type Ty, uint64_t Val) : Value(Kind::ConstantInt, Ty), Val(Val) {}
+  uint64_t getValue() const { return Val; }
+  int64_t getSignedValue() const;
+  static bool classof(const Value *V) {
+    return V->getKind() == Kind::ConstantInt;
+  }
+
+private:
+  uint64_t Val;
+};
+
+/// The null pointer constant for a given pointer type.
+class ConstantNull : public Value {
+public:
+  explicit ConstantNull(Type Ty) : Value(Kind::ConstantNull, Ty) {}
+  static bool classof(const Value *V) {
+    return V->getKind() == Kind::ConstantNull;
+  }
+};
+
+/// A module-level array of elements with optional concrete initialiser
+/// (zero-initialised by default). Its value is a pointer to element 0.
+class GlobalVariable : public Value {
+public:
+  GlobalVariable(std::string Name, Type ElemTy, uint64_t NumElems,
+                 std::vector<uint64_t> Init, unsigned Id)
+      : Value(Kind::GlobalVariable, Type::makePtr()), ElemTy(ElemTy),
+        NumElems(NumElems), Init(std::move(Init)), Id(Id) {
+    setName(std::move(Name));
+  }
+  const Type &getElemType() const { return ElemTy; }
+  uint64_t getNumElems() const { return NumElems; }
+  const std::vector<uint64_t> &getInit() const { return Init; }
+  unsigned getId() const { return Id; }
+  static bool classof(const Value *V) {
+    return V->getKind() == Kind::GlobalVariable;
+  }
+
+private:
+  Type ElemTy;
+  uint64_t NumElems;
+  std::vector<uint64_t> Init;
+  unsigned Id;
+};
+
+//===----------------------------------------------------------------------===//
+// Instructions
+//===----------------------------------------------------------------------===//
+
+enum class Opcode : uint8_t {
+  // Binary arithmetic / bitwise (operands and result share a width).
+  Add, Sub, Mul, UDiv, SDiv, URem, SRem, And, Or, Xor, Shl, LShr, AShr,
+  // Comparisons (result i1).
+  Eq, Ne, Ult, Ule, Ugt, Uge, Slt, Sle, Sgt, Sge,
+  // Data movement.
+  Select,       ///< (i1 cond, a, b) -> a or b.
+  ZExt, SExt, Trunc,
+  // Memory.
+  Alloca,       ///< Stack object; element type/count from the instruction.
+  Malloc,       ///< (i64 count) -> ptr; heap object.
+  Free,         ///< (ptr) frees a heap object.
+  PtrAdd,       ///< (ptr, i64 delta) -> ptr advanced by delta elements.
+  Load,         ///< (ptr) -> value; the access type is the result type.
+  Store,        ///< (value, ptr).
+  GlobalAddr,   ///< () -> ptr to a module global.
+  // Control flow.
+  Br,           ///< Unconditional branch.
+  CondBr,       ///< (i1 cond); successors then/else.
+  Call,         ///< Direct call; result type from callee.
+  Ret,          ///< Optional operand.
+  // Environment (the program's "syscall" surface).
+  InputArg,     ///< () -> i64; input argument #Imm.
+  InputByte,    ///< () -> i8; next byte of the input stream.
+  InputSize,    ///< () -> i64; total bytes in the input stream.
+  Print,        ///< (value); writes to program output.
+  // Failure.
+  Abort,        ///< Terminates with a failure; message in Msg.
+  // Threading.
+  Spawn,        ///< (ptr arg) -> i64 tid; callee in CalleeF.
+  Join,         ///< (i64 tid).
+  MutexLock,    ///< () on mutex #Imm.
+  MutexUnlock,  ///< () on mutex #Imm.
+  // Tracing (inserted by ER's instrumentation pass).
+  PtWrite,      ///< (value) -> void; records the operand into the PT trace.
+};
+
+const char *opcodeName(Opcode Op);
+bool isTerminator(Opcode Op);
+bool isBinaryOp(Opcode Op);
+bool isCompareOp(Opcode Op);
+
+/// One IR instruction. Operands reference Values; control-flow successors
+/// are stored separately.
+class Instruction : public Value {
+public:
+  Instruction(Opcode Op, Type Ty) : Value(Kind::Instruction, Ty), Op(Op) {}
+
+  Opcode getOpcode() const { return Op; }
+  unsigned getNumOperands() const {
+    return static_cast<unsigned>(Operands.size());
+  }
+  Value *getOperand(unsigned I) const { return Operands[I]; }
+  void addOperand(Value *V) { Operands.push_back(V); }
+  void setOperand(unsigned I, Value *V) { Operands[I] = V; }
+  const std::vector<Value *> &operands() const { return Operands; }
+
+  BasicBlock *getParent() const { return Parent; }
+  void setParent(BasicBlock *BB) { Parent = BB; }
+
+  BasicBlock *getSuccessor(unsigned I) const { return Succs[I]; }
+  void setSuccessors(BasicBlock *S0, BasicBlock *S1 = nullptr) {
+    Succs[0] = S0;
+    Succs[1] = S1;
+  }
+  unsigned getNumSuccessors() const {
+    return Succs[1] ? 2 : (Succs[0] ? 1 : 0);
+  }
+
+  Function *getCallee() const { return CalleeF; }
+  void setCallee(Function *F) { CalleeF = F; }
+
+  GlobalVariable *getGlobal() const { return GlobalV; }
+  void setGlobal(GlobalVariable *G) { GlobalV = G; }
+
+  uint64_t getImm() const { return Imm; }
+  void setImm(uint64_t V) { Imm = V; }
+
+  const std::string &getMessage() const { return Msg; }
+  void setMessage(std::string M) { Msg = std::move(M); }
+
+  /// For Alloca/Malloc: element type of the created object.
+  Type getAllocElemType() const { return AllocTy; }
+  void setAllocElemType(Type T) { AllocTy = T; }
+  /// For Alloca: static element count (in Imm).
+  uint64_t getAllocCount() const { return Imm; }
+
+  /// Function-local dense id (assigned by Function::renumber).
+  unsigned getLocalId() const { return LocalId; }
+  /// Module-wide id (assigned by Module::finalize). Ids are *sticky*:
+  /// re-finalizing after instrumentation gives fresh ids to new
+  /// instructions but never renumbers existing ones, so trace events and
+  /// failure identities stay stable across redeployments.
+  unsigned getGlobalId() const { return GlobalId; }
+  bool hasGlobalId() const { return GlobalId != ~0u; }
+
+  bool isTerminatorInst() const { return isTerminator(Op); }
+
+  static bool classof(const Value *V) {
+    return V->getKind() == Kind::Instruction;
+  }
+
+private:
+  friend class Function;
+  friend class Module;
+  Opcode Op;
+  std::vector<Value *> Operands;
+  BasicBlock *Succs[2] = {nullptr, nullptr};
+  BasicBlock *Parent = nullptr;
+  Function *CalleeF = nullptr;
+  GlobalVariable *GlobalV = nullptr;
+  uint64_t Imm = 0;
+  Type AllocTy; ///< Alloca/Malloc element type.
+  std::string Msg;
+  unsigned LocalId = 0;
+  unsigned GlobalId = ~0u;
+};
+
+//===----------------------------------------------------------------------===//
+// Basic blocks and functions
+//===----------------------------------------------------------------------===//
+
+/// A straight-line sequence of instructions ending in a terminator.
+class BasicBlock {
+public:
+  BasicBlock(std::string Name, Function *Parent)
+      : Name(std::move(Name)), Parent(Parent) {}
+
+  const std::string &getName() const { return Name; }
+  Function *getParent() const { return Parent; }
+
+  Instruction *append(std::unique_ptr<Instruction> I) {
+    I->setParent(this);
+    Insts.push_back(std::move(I));
+    return Insts.back().get();
+  }
+
+  /// Inserts \p I immediately after \p After (which must live in this
+  /// block). Used by the ptwrite instrumentation pass.
+  Instruction *insertAfter(Instruction *After, std::unique_ptr<Instruction> I);
+
+  /// Removes (and destroys) \p I from this block. Used by the optimizer;
+  /// the caller is responsible for use-replacement first.
+  void removeInst(Instruction *I);
+
+  const std::vector<std::unique_ptr<Instruction>> &instructions() const {
+    return Insts;
+  }
+  bool empty() const { return Insts.empty(); }
+  Instruction *getTerminator() const {
+    return Insts.empty() || !Insts.back()->isTerminatorInst()
+               ? nullptr
+               : Insts.back().get();
+  }
+  size_t size() const { return Insts.size(); }
+  Instruction *getInst(size_t I) const { return Insts[I].get(); }
+
+private:
+  std::string Name;
+  Function *Parent;
+  std::vector<std::unique_ptr<Instruction>> Insts;
+};
+
+/// A function: typed arguments, basic blocks, entry block first.
+class Function : public Value {
+public:
+  Function(std::string Name, Type RetTy, std::vector<Type> ArgTys,
+           Module *Parent);
+
+  Module *getParent() const { return ParentM; }
+  const Type &getReturnType() const { return RetTy; }
+  unsigned getNumArgs() const { return static_cast<unsigned>(Args.size()); }
+  Argument *getArg(unsigned I) const { return Args[I].get(); }
+
+  BasicBlock *createBlock(std::string Name);
+  BasicBlock *getEntry() const {
+    return Blocks.empty() ? nullptr : Blocks.front().get();
+  }
+  const std::vector<std::unique_ptr<BasicBlock>> &blocks() const {
+    return Blocks;
+  }
+
+  /// Assigns dense LocalIds to all instructions; returns the count.
+  unsigned renumber();
+  unsigned getNumInstructions() const { return NumInsts; }
+
+  static bool classof(const Value *V) {
+    return V->getKind() == Kind::Function;
+  }
+
+private:
+  Module *ParentM;
+  Type RetTy;
+  std::vector<std::unique_ptr<Argument>> Args;
+  std::vector<std::unique_ptr<BasicBlock>> Blocks;
+  unsigned NumInsts = 0;
+};
+
+//===----------------------------------------------------------------------===//
+// Module
+//===----------------------------------------------------------------------===//
+
+/// A whole program: functions, globals, and interned constants.
+class Module {
+public:
+  Module() = default;
+
+  Function *createFunction(std::string Name, Type RetTy,
+                           std::vector<Type> ArgTys);
+  Function *getFunction(const std::string &Name) const;
+  const std::vector<std::unique_ptr<Function>> &functions() const {
+    return Funcs;
+  }
+
+  GlobalVariable *createGlobal(std::string Name, Type ElemTy,
+                               uint64_t NumElems,
+                               std::vector<uint64_t> Init = {});
+  GlobalVariable *getGlobal(const std::string &Name) const;
+  const std::vector<std::unique_ptr<GlobalVariable>> &globals() const {
+    return Globals;
+  }
+
+  ConstantInt *getConstant(Type Ty, uint64_t Value);
+  ConstantInt *getBool(bool B) { return getConstant(Type::makeInt(1), B); }
+  ConstantInt *getInt64(uint64_t V) {
+    return getConstant(Type::makeInt(64), V);
+  }
+  ConstantNull *getNull(Type PtrTy);
+
+  /// Assigns module-wide GlobalIds to all instructions (run after all
+  /// functions are built or after instrumentation). Returns the total
+  /// instruction count and records the id -> instruction mapping.
+  unsigned finalize();
+  Instruction *getInstructionById(unsigned GlobalId) const {
+    return GlobalId < InstById.size() ? InstById[GlobalId] : nullptr;
+  }
+  unsigned getNumInstructionIds() const {
+    return static_cast<unsigned>(InstById.size());
+  }
+
+  /// Total static instruction count (a "lines of IR" proxy). Counts live
+  /// instructions; the sticky id space (getNumInstructionIds) may be larger
+  /// after optimization removed instructions.
+  unsigned getStaticInstructionCount() const;
+
+private:
+  std::vector<std::unique_ptr<Function>> Funcs;
+  std::vector<std::unique_ptr<GlobalVariable>> Globals;
+  std::vector<std::unique_ptr<ConstantInt>> IntConstants;
+  std::vector<std::unique_ptr<ConstantNull>> NullConstants;
+  std::vector<Instruction *> InstById;
+};
+
+//===----------------------------------------------------------------------===//
+// Verification and printing
+//===----------------------------------------------------------------------===//
+
+/// Structurally verifies \p M (types, terminators, operand scoping). Returns
+/// true on success; otherwise fills \p Err with the first problem found.
+bool verifyModule(const Module &M, std::string *Err);
+
+/// Renders \p M as text (debugging / golden tests).
+std::string printModule(const Module &M);
+std::string printFunction(const Function &F);
+
+} // namespace er
+
+#endif // ER_IR_IR_H

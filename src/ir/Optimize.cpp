@@ -1,0 +1,205 @@
+//===- Optimize.cpp - IR optimization passes ----------------------------------===//
+
+#include "ir/Optimize.h"
+
+#include "solver/Expr.h" // maskToWidth / signExtend.
+
+#include <unordered_map>
+
+using namespace er;
+
+namespace {
+
+/// Folds a binary/compare opcode over constants. Returns false when the
+/// operation must not be folded (division by zero traps at runtime and the
+/// trap must be preserved).
+bool foldBinaryConstant(Opcode Op, uint64_t A, uint64_t B, unsigned Width,
+                        uint64_t &Out) {
+  int64_t SA = signExtend(A, Width), SB = signExtend(B, Width);
+  switch (Op) {
+  case Opcode::Add:  Out = A + B; break;
+  case Opcode::Sub:  Out = A - B; break;
+  case Opcode::Mul:  Out = A * B; break;
+  case Opcode::And:  Out = A & B; break;
+  case Opcode::Or:   Out = A | B; break;
+  case Opcode::Xor:  Out = A ^ B; break;
+  case Opcode::Shl:  Out = B >= Width ? 0 : A << B; break;
+  case Opcode::LShr: Out = B >= Width ? 0 : A >> B; break;
+  case Opcode::AShr:
+    Out = static_cast<uint64_t>(B >= Width ? (SA < 0 ? -1 : 0) : (SA >> B));
+    break;
+  case Opcode::UDiv:
+    if (B == 0)
+      return false; // Keep the runtime trap.
+    Out = A / B;
+    break;
+  case Opcode::URem:
+    if (B == 0)
+      return false;
+    Out = A % B;
+    break;
+  case Opcode::SDiv:
+    if (SB == 0)
+      return false;
+    Out = SB == -1 ? static_cast<uint64_t>(-SA)
+                   : static_cast<uint64_t>(SA / SB);
+    break;
+  case Opcode::SRem:
+    if (SB == 0)
+      return false;
+    Out = SB == -1 ? 0 : static_cast<uint64_t>(SA % SB);
+    break;
+  case Opcode::Eq:  Out = A == B; break;
+  case Opcode::Ne:  Out = A != B; break;
+  case Opcode::Ult: Out = A < B; break;
+  case Opcode::Ule: Out = A <= B; break;
+  case Opcode::Ugt: Out = A > B; break;
+  case Opcode::Uge: Out = A >= B; break;
+  case Opcode::Slt: Out = SA < SB; break;
+  case Opcode::Sle: Out = SA <= SB; break;
+  case Opcode::Sgt: Out = SA > SB; break;
+  case Opcode::Sge: Out = SA >= SB; break;
+  default:
+    return false;
+  }
+  Out = maskToWidth(Out, Width);
+  return true;
+}
+
+/// Replaces all uses of \p From with \p To within \p F.
+void replaceUses(Function &F, Value *From, Value *To) {
+  for (auto &BB : F.blocks())
+    for (auto &I : BB->instructions())
+      for (unsigned OpIdx = 0; OpIdx < I->getNumOperands(); ++OpIdx)
+        if (I->getOperand(OpIdx) == From)
+          I->setOperand(OpIdx, To);
+}
+
+/// True when removing an unused instruction of this opcode is observably
+/// equivalent (no side effects, no traps).
+bool isRemovableWhenUnused(const Instruction &I) {
+  if (isBinaryOp(I.getOpcode())) {
+    // Division can trap on a zero divisor; only remove when the divisor is
+    // a non-zero constant (folding handles that case anyway).
+    switch (I.getOpcode()) {
+    case Opcode::UDiv:
+    case Opcode::SDiv:
+    case Opcode::URem:
+    case Opcode::SRem:
+      if (const auto *C = dyn_cast<ConstantInt>(I.getOperand(1)))
+        return C->getValue() != 0;
+      return false;
+    default:
+      return true;
+    }
+  }
+  if (isCompareOp(I.getOpcode()))
+    return true;
+  switch (I.getOpcode()) {
+  case Opcode::Select:
+  case Opcode::ZExt:
+  case Opcode::SExt:
+  case Opcode::Trunc:
+  case Opcode::PtrAdd:
+  case Opcode::GlobalAddr:
+  case Opcode::Alloca:
+    return true;
+  default:
+    return false; // Loads can trap; everything else has effects.
+  }
+}
+
+bool runOnce(Module &M, OptStats &Stats) {
+  bool Changed = false;
+
+  for (auto &F : M.functions()) {
+    // Use counts within the function (operands never cross functions).
+    std::unordered_map<const Value *, unsigned> Uses;
+    for (auto &BB : F->blocks())
+      for (auto &I : BB->instructions())
+        for (const Value *Op : I->operands())
+          ++Uses[Op];
+
+    for (auto &BB : F->blocks()) {
+      // Collect first (removal invalidates iteration).
+      std::vector<Instruction *> Pending;
+      for (auto &I : BB->instructions())
+        Pending.push_back(I.get());
+
+      for (Instruction *I : Pending) {
+        Opcode Op = I->getOpcode();
+
+        // Constant folding.
+        if ((isBinaryOp(Op) || isCompareOp(Op)) &&
+            isa<ConstantInt>(I->getOperand(0)) &&
+            isa<ConstantInt>(I->getOperand(1))) {
+          uint64_t A = cast<ConstantInt>(I->getOperand(0))->getValue();
+          uint64_t B = cast<ConstantInt>(I->getOperand(1))->getValue();
+          unsigned W = I->getOperand(0)->getType().Bits;
+          uint64_t Out;
+          if (foldBinaryConstant(Op, A, B, W, Out)) {
+            replaceUses(*F, I, M.getConstant(I->getType(), Out));
+            BB->removeInst(I);
+            ++Stats.ConstantsFolded;
+            Changed = true;
+            continue;
+          }
+        }
+        if ((Op == Opcode::ZExt || Op == Opcode::SExt ||
+             Op == Opcode::Trunc) &&
+            isa<ConstantInt>(I->getOperand(0))) {
+          const auto *C = cast<ConstantInt>(I->getOperand(0));
+          uint64_t V = Op == Opcode::SExt
+                           ? static_cast<uint64_t>(C->getSignedValue())
+                           : C->getValue();
+          replaceUses(*F, I, M.getConstant(I->getType(), V));
+          BB->removeInst(I);
+          ++Stats.ConstantsFolded;
+          Changed = true;
+          continue;
+        }
+        if (Op == Opcode::Select && isa<ConstantInt>(I->getOperand(0))) {
+          bool Taken = cast<ConstantInt>(I->getOperand(0))->getValue() != 0;
+          replaceUses(*F, I, I->getOperand(Taken ? 1 : 2));
+          BB->removeInst(I);
+          ++Stats.ConstantsFolded;
+          Changed = true;
+          continue;
+        }
+
+        // Branch simplification.
+        if (Op == Opcode::CondBr && isa<ConstantInt>(I->getOperand(0))) {
+          bool Taken = cast<ConstantInt>(I->getOperand(0))->getValue() != 0;
+          BasicBlock *Dest = I->getSuccessor(Taken ? 0 : 1);
+          auto Br = std::make_unique<Instruction>(Opcode::Br,
+                                                  Type::makeVoid());
+          Br->setSuccessors(Dest);
+          BB->removeInst(I);
+          BB->append(std::move(Br));
+          ++Stats.BranchesSimplified;
+          Changed = true;
+          continue;
+        }
+
+        // Dead code elimination.
+        if (!I->getType().isVoid() && Uses[I] == 0 &&
+            isRemovableWhenUnused(*I)) {
+          BB->removeInst(I);
+          ++Stats.DeadInstrsRemoved;
+          Changed = true;
+        }
+      }
+    }
+  }
+  return Changed;
+}
+
+} // namespace
+
+OptStats er::optimizeModule(Module &M) {
+  OptStats Stats;
+  while (runOnce(M, Stats)) {
+  }
+  M.finalize();
+  return Stats;
+}

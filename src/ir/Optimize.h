@@ -1,0 +1,39 @@
+//===- Optimize.h - IR optimization passes -----------------------*- C++ -*-===//
+///
+/// \file
+/// A small optimization pipeline over the register IR: constant folding,
+/// branch simplification (constant conditions become unconditional
+/// branches), and dead-code elimination of side-effect-free instructions.
+///
+/// Production builds in the paper are optimized (Section 4 discusses the
+/// trace-mapping problems clang's optimizations create); this pass lets the
+/// test suite check that reconstruction works on optimized modules and that
+/// sticky instruction ids keep failure identities stable across -O levels
+/// of the *same* deployment.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ER_IR_OPTIMIZE_H
+#define ER_IR_OPTIMIZE_H
+
+#include "ir/IR.h"
+
+namespace er {
+
+/// Statistics from one optimization run.
+struct OptStats {
+  unsigned ConstantsFolded = 0;
+  unsigned BranchesSimplified = 0;
+  unsigned DeadInstrsRemoved = 0;
+  unsigned total() const {
+    return ConstantsFolded + BranchesSimplified + DeadInstrsRemoved;
+  }
+};
+
+/// Runs the pipeline to a fixed point. The module is re-finalized (ids are
+/// sticky: surviving instructions keep theirs). Returns what changed.
+OptStats optimizeModule(Module &M);
+
+} // namespace er
+
+#endif // ER_IR_OPTIMIZE_H

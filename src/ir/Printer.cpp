@@ -1,0 +1,124 @@
+//===- Printer.cpp - Textual IR output ---------------------------------------===//
+
+#include "ir/IR.h"
+
+#include "support/Format.h"
+
+#include <unordered_map>
+
+using namespace er;
+
+namespace {
+
+/// Assigns %N names to instruction results within one function and renders
+/// operands.
+class FunctionPrinter {
+public:
+  explicit FunctionPrinter(const Function &F) : F(F) {
+    unsigned N = 0;
+    for (const auto &BB : F.blocks())
+      for (const auto &I : BB->instructions())
+        if (!I->getType().isVoid())
+          ValueNames[I.get()] = "%" + std::to_string(N++);
+  }
+
+  std::string print() {
+    std::string Out;
+    Out += "func " + F.getName() + "(";
+    for (unsigned I = 0; I < F.getNumArgs(); ++I) {
+      if (I)
+        Out += ", ";
+      Out += operandStr(F.getArg(I)) + ": " + F.getArg(I)->getType().str();
+    }
+    Out += ") -> " + F.getReturnType().str() + " {\n";
+    for (const auto &BB : F.blocks()) {
+      Out += BB->getName() + ":\n";
+      for (const auto &I : BB->instructions())
+        Out += "  " + instStr(*I) + "\n";
+    }
+    Out += "}\n";
+    return Out;
+  }
+
+private:
+  std::string operandStr(const Value *V) {
+    if (const auto *C = dyn_cast<ConstantInt>(V))
+      return formatString("%llu:%s",
+                          static_cast<unsigned long long>(C->getValue()),
+                          C->getType().str().c_str());
+    if (isa<ConstantNull>(V))
+      return "null";
+    if (const auto *A = dyn_cast<Argument>(V))
+      return "$" + (A->getName().empty() ? std::to_string(A->getArgNo())
+                                         : A->getName());
+    if (const auto *G = dyn_cast<GlobalVariable>(V))
+      return "@" + G->getName();
+    if (const auto *Fn = dyn_cast<Function>(V))
+      return Fn->getName();
+    auto It = ValueNames.find(V);
+    return It != ValueNames.end() ? It->second : "<?>";
+  }
+
+  std::string instStr(const Instruction &I) {
+    std::string S;
+    if (!I.getType().isVoid())
+      S += operandStr(&I) + " = ";
+    S += opcodeName(I.getOpcode());
+    switch (I.getOpcode()) {
+    case Opcode::Alloca:
+      S += formatString(" %s x %llu", I.getAllocElemType().str().c_str(),
+                        static_cast<unsigned long long>(I.getAllocCount()));
+      break;
+    case Opcode::Malloc:
+      S += " " + I.getAllocElemType().str();
+      break;
+    case Opcode::GlobalAddr:
+      S += " @" + I.getGlobal()->getName();
+      break;
+    case Opcode::Call:
+    case Opcode::Spawn:
+      S += " " + I.getCallee()->getName();
+      break;
+    case Opcode::InputArg:
+    case Opcode::MutexLock:
+    case Opcode::MutexUnlock:
+      S += formatString(" #%llu", static_cast<unsigned long long>(I.getImm()));
+      break;
+    case Opcode::Abort:
+      S += " \"" + I.getMessage() + "\"";
+      break;
+    default:
+      break;
+    }
+    for (unsigned OpIdx = 0; OpIdx < I.getNumOperands(); ++OpIdx)
+      S += (OpIdx ? ", " : " ") + operandStr(I.getOperand(OpIdx));
+    if (I.getOpcode() == Opcode::Br)
+      S += " " + I.getSuccessor(0)->getName();
+    else if (I.getOpcode() == Opcode::CondBr)
+      S += ", " + I.getSuccessor(0)->getName() + ", " +
+           I.getSuccessor(1)->getName();
+    return S;
+  }
+
+  const Function &F;
+  std::unordered_map<const Value *, std::string> ValueNames;
+};
+
+} // namespace
+
+std::string er::printFunction(const Function &F) {
+  return FunctionPrinter(F).print();
+}
+
+std::string er::printModule(const Module &M) {
+  std::string Out;
+  for (const auto &G : M.globals())
+    Out += formatString("global @%s: %s x %llu\n", G->getName().c_str(),
+                        G->getElemType().str().c_str(),
+                        static_cast<unsigned long long>(G->getNumElems()));
+  if (!M.globals().empty())
+    Out += "\n";
+  for (const auto &F : M.functions())
+    Out += printFunction(*F) + "\n";
+  return Out;
+}

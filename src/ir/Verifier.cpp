@@ -1,0 +1,226 @@
+//===- Verifier.cpp - IR structural checks ----------------------------------===//
+
+#include "ir/IR.h"
+
+#include "support/Format.h"
+
+#include <unordered_set>
+
+using namespace er;
+
+namespace {
+
+/// Runs all structural checks over a module, reporting the first failure.
+class Verifier {
+public:
+  explicit Verifier(const Module &M) : M(M) {}
+
+  bool run(std::string *Err) {
+    for (const auto &F : M.functions())
+      if (!verifyFunction(*F)) {
+        if (Err)
+          *Err = Error;
+        return false;
+      }
+    return true;
+  }
+
+private:
+  bool fail(const std::string &Msg) {
+    Error = Msg;
+    return false;
+  }
+
+  bool verifyFunction(const Function &F);
+  bool verifyInstruction(const Function &F, const Instruction &I,
+                         const std::unordered_set<const Value *> &DefinedHere);
+
+  const Module &M;
+  std::string Error;
+};
+
+bool Verifier::verifyFunction(const Function &F) {
+  if (F.blocks().empty())
+    return fail("function '" + F.getName() + "' has no blocks");
+  for (const auto &BB : F.blocks()) {
+    if (BB->empty())
+      return fail("empty block '" + BB->getName() + "' in '" + F.getName() +
+                  "'");
+    if (!BB->getTerminator())
+      return fail("block '" + BB->getName() + "' in '" + F.getName() +
+                  "' lacks a terminator");
+    // Results of instructions must not be used outside their block (the IR
+    // has no phis; the frontend routes cross-block values through allocas).
+    std::unordered_set<const Value *> DefinedHere;
+    for (size_t Idx = 0; Idx < BB->size(); ++Idx) {
+      const Instruction *I = BB->getInst(Idx);
+      if (I->isTerminatorInst() && Idx + 1 != BB->size())
+        return fail("terminator mid-block in '" + BB->getName() + "' of '" +
+                    F.getName() + "'");
+      if (!verifyInstruction(F, *I, DefinedHere))
+        return false;
+      DefinedHere.insert(I);
+    }
+  }
+  return true;
+}
+
+bool Verifier::verifyInstruction(
+    const Function &F, const Instruction &I,
+    const std::unordered_set<const Value *> &DefinedHere) {
+  auto Where = [&] {
+    return formatString(" (in %s, block %s, %s)", F.getName().c_str(),
+                        I.getParent()->getName().c_str(),
+                        opcodeName(I.getOpcode()));
+  };
+
+  // Operand scoping. Allocas are exempt from the same-block rule: they are
+  // hoisted to the entry block and act as function-level storage
+  // declarations, executed exactly once per call before any use.
+  for (const Value *Op : I.operands()) {
+    if (const auto *OpI = dyn_cast<Instruction>(Op)) {
+      if (OpI->getParent()->getParent() != &F)
+        return fail("operand from another function" + Where());
+      if (OpI->getOpcode() != Opcode::Alloca && !DefinedHere.count(OpI))
+        return fail("instruction result used outside its block or before "
+                    "definition" +
+                    Where());
+    } else if (const auto *A = dyn_cast<Argument>(Op)) {
+      if (A->getParent() != &F)
+        return fail("argument of another function used" + Where());
+    }
+  }
+
+  Opcode Op = I.getOpcode();
+  auto OperandTy = [&](unsigned Idx) { return I.getOperand(Idx)->getType(); };
+
+  if (isBinaryOp(Op)) {
+    if (I.getNumOperands() != 2 || OperandTy(0) != OperandTy(1) ||
+        OperandTy(0) != I.getType() || !I.getType().isInt())
+      return fail("malformed binary op" + Where());
+    return true;
+  }
+  if (isCompareOp(Op)) {
+    if (I.getNumOperands() != 2 || OperandTy(0) != OperandTy(1) ||
+        !I.getType().isBool())
+      return fail("malformed comparison" + Where());
+    return true;
+  }
+
+  switch (Op) {
+  case Opcode::Select:
+    if (I.getNumOperands() != 3 || !OperandTy(0).isBool() ||
+        OperandTy(1) != OperandTy(2) || I.getType() != OperandTy(1))
+      return fail("malformed select" + Where());
+    break;
+  case Opcode::ZExt:
+  case Opcode::SExt:
+    if (I.getNumOperands() != 1 || !OperandTy(0).isInt() ||
+        !I.getType().isInt() || I.getType().Bits < OperandTy(0).Bits)
+      return fail("malformed extension" + Where());
+    break;
+  case Opcode::Trunc:
+    if (I.getNumOperands() != 1 || !OperandTy(0).isInt() ||
+        !I.getType().isInt() || I.getType().Bits > OperandTy(0).Bits)
+      return fail("malformed truncation" + Where());
+    break;
+  case Opcode::Alloca:
+    if (!I.getType().isPtr() || I.getAllocCount() == 0 ||
+        I.getAllocElemType().isVoid())
+      return fail("malformed alloca" + Where());
+    break;
+  case Opcode::Malloc:
+    if (I.getNumOperands() != 1 || !OperandTy(0).isInt() ||
+        OperandTy(0).Bits != 64 || !I.getType().isPtr())
+      return fail("malformed malloc" + Where());
+    break;
+  case Opcode::Free:
+    if (I.getNumOperands() != 1 || !OperandTy(0).isPtr())
+      return fail("malformed free" + Where());
+    break;
+  case Opcode::PtrAdd:
+    if (I.getNumOperands() != 2 || !OperandTy(0).isPtr() ||
+        !OperandTy(1).isInt() || OperandTy(1).Bits != 64 ||
+        I.getType() != OperandTy(0))
+      return fail("malformed ptradd" + Where());
+    break;
+  case Opcode::Load:
+    if (I.getNumOperands() != 1 || !OperandTy(0).isPtr() ||
+        I.getType().isVoid())
+      return fail("malformed load" + Where());
+    break;
+  case Opcode::Store:
+    if (I.getNumOperands() != 2 || !OperandTy(1).isPtr() ||
+        OperandTy(0).isVoid())
+      return fail("malformed store" + Where());
+    break;
+  case Opcode::GlobalAddr:
+    if (!I.getGlobal() || I.getType() != I.getGlobal()->getType())
+      return fail("malformed globaladdr" + Where());
+    break;
+  case Opcode::Br:
+    if (I.getNumSuccessors() != 1)
+      return fail("br needs one successor" + Where());
+    break;
+  case Opcode::CondBr:
+    if (I.getNumOperands() != 1 || !OperandTy(0).isBool() ||
+        I.getNumSuccessors() != 2)
+      return fail("malformed condbr" + Where());
+    break;
+  case Opcode::Call: {
+    const Function *Callee = I.getCallee();
+    if (!Callee || Callee->getNumArgs() != I.getNumOperands())
+      return fail("malformed call" + Where());
+    for (unsigned A = 0; A < I.getNumOperands(); ++A)
+      if (OperandTy(A) != Callee->getArg(A)->getType())
+        return fail("call argument type mismatch" + Where());
+    if (I.getType() != Callee->getReturnType())
+      return fail("call result type mismatch" + Where());
+    break;
+  }
+  case Opcode::Ret: {
+    const Type &RetTy = F.getReturnType();
+    if (RetTy.isVoid()) {
+      if (I.getNumOperands() != 0)
+        return fail("void function returns a value" + Where());
+    } else if (I.getNumOperands() != 1 || OperandTy(0) != RetTy) {
+      return fail("return type mismatch" + Where());
+    }
+    break;
+  }
+  case Opcode::Spawn:
+    if (!I.getCallee() || I.getNumOperands() != 1 || !OperandTy(0).isPtr() ||
+        I.getCallee()->getNumArgs() != 1 ||
+        !I.getCallee()->getArg(0)->getType().isPtr())
+      return fail("malformed spawn (thread entry takes one pointer)" +
+                  Where());
+    break;
+  case Opcode::Join:
+    if (I.getNumOperands() != 1 || !OperandTy(0).isInt())
+      return fail("malformed join" + Where());
+    break;
+  case Opcode::InputArg:
+  case Opcode::InputByte:
+  case Opcode::InputSize:
+  case Opcode::MutexLock:
+  case Opcode::MutexUnlock:
+  case Opcode::Abort:
+    if (I.getNumOperands() != 0)
+      return fail("nullary opcode given operands" + Where());
+    break;
+  case Opcode::Print:
+  case Opcode::PtWrite:
+    if (I.getNumOperands() != 1)
+      return fail("unary opcode arity" + Where());
+    break;
+  default:
+    break;
+  }
+  return true;
+}
+
+} // namespace
+
+bool er::verifyModule(const Module &M, std::string *Err) {
+  return Verifier(M).run(Err);
+}

@@ -1,0 +1,65 @@
+//===- Ast.cpp - TypeTable implementation -------------------------------------===//
+
+#include "lang/Ast.h"
+
+using namespace er::lang;
+
+std::string LangType::str() const {
+  switch (K) {
+  case Kind::Void:
+    return "void";
+  case Kind::Bool:
+    return "bool";
+  case Kind::Int:
+    return (Signed ? "i" : "u") + std::to_string(Bits);
+  case Kind::Ptr:
+    return "*" + Elem->str();
+  case Kind::Array:
+    return Elem->str() + "[" + std::to_string(NumElems) + "]";
+  }
+  return "?";
+}
+
+TypeTable::TypeTable() {
+  LangType V;
+  V.K = LangType::Kind::Void;
+  VoidTy = intern(V);
+  LangType B;
+  B.K = LangType::Kind::Bool;
+  B.Bits = 1;
+  BoolTy = intern(B);
+}
+
+const LangType *TypeTable::intern(LangType T) {
+  for (const auto &P : Pool) {
+    if (P->K == T.K && P->Bits == T.Bits && P->Signed == T.Signed &&
+        P->Elem == T.Elem && P->NumElems == T.NumElems)
+      return P.get();
+  }
+  Pool.push_back(std::make_unique<LangType>(T));
+  return Pool.back().get();
+}
+
+const LangType *TypeTable::intTy(unsigned Bits, bool Signed) {
+  LangType T;
+  T.K = LangType::Kind::Int;
+  T.Bits = Bits;
+  T.Signed = Signed;
+  return intern(T);
+}
+
+const LangType *TypeTable::ptrTo(const LangType *Elem) {
+  LangType T;
+  T.K = LangType::Kind::Ptr;
+  T.Bits = 64;
+  T.Elem = Elem;
+  return intern(T);
+}
+
+const LangType *TypeTable::arrayOf(const LangType *Elem, uint64_t NumElems) {
+  LangType T;
+  T.K = LangType::Kind::Array;
+  T.Elem = Elem;
+  T.NumElems = NumElems;
+  return intern(T);
+}

@@ -1,0 +1,330 @@
+//===- Ast.h - MiniLang abstract syntax tree ---------------------*- C++ -*-===//
+///
+/// \file
+/// AST node definitions for MiniLang plus the source-level type system. The
+/// parser builds this tree; Sema resolves names and annotates nodes with
+/// types; Codegen lowers it to IR.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ER_LANG_AST_H
+#define ER_LANG_AST_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace er {
+namespace lang {
+
+//===----------------------------------------------------------------------===//
+// Source-level types
+//===----------------------------------------------------------------------===//
+
+/// A MiniLang type. Interned by TypeTable; compare by pointer.
+struct LangType {
+  enum class Kind : uint8_t { Void, Bool, Int, Ptr, Array };
+  Kind K = Kind::Void;
+  unsigned Bits = 0;           ///< Int width.
+  bool Signed = false;         ///< Int signedness.
+  const LangType *Elem = nullptr; ///< Ptr/Array element type.
+  uint64_t NumElems = 0;       ///< Array size.
+
+  bool isVoid() const { return K == Kind::Void; }
+  bool isBool() const { return K == Kind::Bool; }
+  bool isInt() const { return K == Kind::Int; }
+  bool isPtr() const { return K == Kind::Ptr; }
+  bool isArray() const { return K == Kind::Array; }
+  bool isScalar() const { return isBool() || isInt() || isPtr(); }
+
+  std::string str() const;
+};
+
+/// Owns and uniques LangType instances.
+class TypeTable {
+public:
+  TypeTable();
+  const LangType *voidTy() const { return VoidTy; }
+  const LangType *boolTy() const { return BoolTy; }
+  const LangType *intTy(unsigned Bits, bool Signed);
+  const LangType *ptrTo(const LangType *Elem);
+  const LangType *arrayOf(const LangType *Elem, uint64_t NumElems);
+  const LangType *i64() { return intTy(64, true); }
+  const LangType *u8() { return intTy(8, false); }
+
+private:
+  const LangType *intern(LangType T);
+  std::vector<std::unique_ptr<LangType>> Pool;
+  const LangType *VoidTy;
+  const LangType *BoolTy;
+};
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+struct FuncDecl;
+struct GlobalDecl;
+struct VarDeclStmt;
+struct ParamDecl;
+
+/// What an identifier resolved to (filled by Sema).
+struct NameBinding {
+  enum class Kind : uint8_t { None, Local, Param, Global, Func } K =
+      Kind::None;
+  VarDeclStmt *Local = nullptr;
+  ParamDecl *Param = nullptr;
+  GlobalDecl *Global = nullptr;
+  FuncDecl *Func = nullptr;
+};
+
+struct Expr {
+  enum class Kind : uint8_t {
+    IntLit, BoolLit, NullLit, VarRef, Index, Call, Unary, Binary, Cast, New,
+    AddrOf,
+  };
+  Kind K;
+  unsigned Line = 0;
+  /// Filled by Sema.
+  const LangType *Ty = nullptr;
+
+  explicit Expr(Kind K) : K(K) {}
+  virtual ~Expr() = default;
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct IntLitExpr : Expr {
+  uint64_t Value;
+  bool IsChar = false; ///< Char literals default to u8 instead of i64.
+  explicit IntLitExpr(uint64_t V, bool IsChar = false)
+      : Expr(Kind::IntLit), Value(V), IsChar(IsChar) {}
+};
+
+struct BoolLitExpr : Expr {
+  bool Value;
+  explicit BoolLitExpr(bool V) : Expr(Kind::BoolLit), Value(V) {}
+};
+
+struct NullLitExpr : Expr {
+  NullLitExpr() : Expr(Kind::NullLit) {}
+};
+
+struct VarRefExpr : Expr {
+  std::string Name;
+  NameBinding Binding;
+  explicit VarRefExpr(std::string N) : Expr(Kind::VarRef), Name(std::move(N)) {}
+};
+
+struct IndexExpr : Expr {
+  ExprPtr Base;
+  ExprPtr Idx;
+  IndexExpr(ExprPtr B, ExprPtr I)
+      : Expr(Kind::Index), Base(std::move(B)), Idx(std::move(I)) {}
+};
+
+struct CallExpr : Expr {
+  std::string Callee;
+  std::vector<ExprPtr> Args;
+  FuncDecl *Resolved = nullptr; ///< Null for builtins.
+  CallExpr(std::string C, std::vector<ExprPtr> A)
+      : Expr(Kind::Call), Callee(std::move(C)), Args(std::move(A)) {}
+};
+
+enum class UnaryOp : uint8_t { Neg, Not, BitNot };
+
+struct UnaryExpr : Expr {
+  UnaryOp Op;
+  ExprPtr Sub;
+  UnaryExpr(UnaryOp Op, ExprPtr S)
+      : Expr(Kind::Unary), Op(Op), Sub(std::move(S)) {}
+};
+
+enum class BinaryOp : uint8_t {
+  Add, Sub, Mul, Div, Rem,
+  And, Or, Xor, Shl, Shr,
+  Lt, Le, Gt, Ge, Eq, Ne,
+  LogAnd, LogOr,
+};
+
+struct BinaryExpr : Expr {
+  BinaryOp Op;
+  ExprPtr Lhs, Rhs;
+  BinaryExpr(BinaryOp Op, ExprPtr L, ExprPtr R)
+      : Expr(Kind::Binary), Op(Op), Lhs(std::move(L)), Rhs(std::move(R)) {}
+};
+
+struct CastExpr : Expr {
+  ExprPtr Sub;
+  const LangType *Target;
+  CastExpr(ExprPtr S, const LangType *T)
+      : Expr(Kind::Cast), Sub(std::move(S)), Target(T) {}
+};
+
+struct NewExpr : Expr {
+  const LangType *ElemTy;
+  ExprPtr Count;
+  NewExpr(const LangType *E, ExprPtr C)
+      : Expr(Kind::New), ElemTy(E), Count(std::move(C)) {}
+};
+
+/// Address of an element: &a[i] (or &a, yielding element 0).
+struct AddrOfExpr : Expr {
+  ExprPtr Base; ///< VarRef or Index.
+  explicit AddrOfExpr(ExprPtr B) : Expr(Kind::AddrOf), Base(std::move(B)) {}
+};
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+struct Stmt {
+  enum class Kind : uint8_t {
+    VarDecl, Assign, If, While, For, Break, Continue, Return, ExprStmt,
+    Assert, Abort, Delete, Block,
+  };
+  Kind K;
+  unsigned Line = 0;
+  explicit Stmt(Kind K) : K(K) {}
+  virtual ~Stmt() = default;
+};
+
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct VarDeclStmt : Stmt {
+  std::string Name;
+  const LangType *DeclTy;
+  ExprPtr Init; ///< Optional.
+  /// Filled by Codegen: the alloca backing this variable.
+  void *Slot = nullptr;
+  VarDeclStmt(std::string N, const LangType *T, ExprPtr I)
+      : Stmt(Kind::VarDecl), Name(std::move(N)), DeclTy(T),
+        Init(std::move(I)) {}
+};
+
+struct AssignStmt : Stmt {
+  ExprPtr Lhs; ///< VarRef or Index.
+  ExprPtr Rhs;
+  AssignStmt(ExprPtr L, ExprPtr R)
+      : Stmt(Kind::Assign), Lhs(std::move(L)), Rhs(std::move(R)) {}
+};
+
+struct BlockStmt : Stmt {
+  std::vector<StmtPtr> Stmts;
+  BlockStmt() : Stmt(Kind::Block) {}
+};
+
+struct IfStmt : Stmt {
+  ExprPtr Cond;
+  StmtPtr Then; ///< BlockStmt.
+  StmtPtr Else; ///< BlockStmt or null.
+  IfStmt(ExprPtr C, StmtPtr T, StmtPtr E)
+      : Stmt(Kind::If), Cond(std::move(C)), Then(std::move(T)),
+        Else(std::move(E)) {}
+};
+
+struct WhileStmt : Stmt {
+  ExprPtr Cond;
+  StmtPtr Body;
+  WhileStmt(ExprPtr C, StmtPtr B)
+      : Stmt(Kind::While), Cond(std::move(C)), Body(std::move(B)) {}
+};
+
+/// C-style for; Init/Step are optional statements (VarDecl/Assign/ExprStmt).
+/// 'continue' inside the body jumps to Step, so this is a real node rather
+/// than a while-desugaring.
+struct ForStmt : Stmt {
+  StmtPtr Init;
+  ExprPtr Cond; ///< Optional (null = true).
+  StmtPtr Step;
+  StmtPtr Body;
+  ForStmt(StmtPtr I, ExprPtr C, StmtPtr S, StmtPtr B)
+      : Stmt(Kind::For), Init(std::move(I)), Cond(std::move(C)),
+        Step(std::move(S)), Body(std::move(B)) {}
+};
+
+struct BreakStmt : Stmt {
+  BreakStmt() : Stmt(Kind::Break) {}
+};
+
+struct ContinueStmt : Stmt {
+  ContinueStmt() : Stmt(Kind::Continue) {}
+};
+
+struct ReturnStmt : Stmt {
+  ExprPtr Value; ///< Optional.
+  explicit ReturnStmt(ExprPtr V) : Stmt(Kind::Return), Value(std::move(V)) {}
+};
+
+struct ExprStmt : Stmt {
+  ExprPtr E;
+  explicit ExprStmt(ExprPtr E) : Stmt(Kind::ExprStmt), E(std::move(E)) {}
+};
+
+struct AssertStmt : Stmt {
+  ExprPtr Cond;
+  std::string Text; ///< Pretty-printed condition for the failure message.
+  explicit AssertStmt(ExprPtr C) : Stmt(Kind::Assert), Cond(std::move(C)) {}
+};
+
+struct AbortStmt : Stmt {
+  std::string Message;
+  explicit AbortStmt(std::string M)
+      : Stmt(Kind::Abort), Message(std::move(M)) {}
+};
+
+struct DeleteStmt : Stmt {
+  ExprPtr Ptr;
+  explicit DeleteStmt(ExprPtr P) : Stmt(Kind::Delete), Ptr(std::move(P)) {}
+};
+
+//===----------------------------------------------------------------------===//
+// Declarations
+//===----------------------------------------------------------------------===//
+
+struct ParamDecl {
+  std::string Name;
+  const LangType *Ty;
+  unsigned Index = 0;
+};
+
+struct FuncDecl {
+  std::string Name;
+  std::vector<ParamDecl> Params;
+  const LangType *RetTy;
+  StmtPtr Body; ///< BlockStmt.
+  unsigned Line = 0;
+};
+
+struct GlobalDecl {
+  std::string Name;
+  const LangType *Ty; ///< Array or scalar type.
+  std::vector<uint64_t> Init;
+  unsigned Line = 0;
+};
+
+/// A parsed translation unit.
+struct Program {
+  TypeTable Types;
+  std::vector<std::unique_ptr<GlobalDecl>> Globals;
+  std::vector<std::unique_ptr<FuncDecl>> Funcs;
+
+  FuncDecl *findFunc(const std::string &Name) const {
+    for (const auto &F : Funcs)
+      if (F->Name == Name)
+        return F.get();
+    return nullptr;
+  }
+  GlobalDecl *findGlobal(const std::string &Name) const {
+    for (const auto &G : Globals)
+      if (G->Name == Name)
+        return G.get();
+    return nullptr;
+  }
+};
+
+} // namespace lang
+} // namespace er
+
+#endif // ER_LANG_AST_H

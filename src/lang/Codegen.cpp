@@ -1,0 +1,504 @@
+//===- Codegen.cpp - MiniLang to IR lowering -----------------------------------===//
+
+#include "lang/Codegen.h"
+
+#include "lang/Lexer.h"
+#include "lang/Parser.h"
+#include "lang/Sema.h"
+#include "support/Error.h"
+
+#include <cassert>
+
+using namespace er;
+using namespace er::lang;
+
+Type Codegen::lowerScalar(const LangType *Ty) const {
+  switch (Ty->K) {
+  case LangType::Kind::Void:
+    return Type::makeVoid();
+  case LangType::Kind::Bool:
+    return Type::makeInt(1);
+  case LangType::Kind::Int:
+    return Type::makeInt(Ty->Bits);
+  case LangType::Kind::Ptr:
+  case LangType::Kind::Array:
+    // Pointers are opaque; arrays decay to pointers in value positions.
+    return Type::makePtr();
+  }
+  fatalError("unreachable scalar lowering");
+}
+
+/// The IR element type for storage holding values of \p Ty.
+Type Codegen::lowerElem(const LangType *Ty) const {
+  if (Ty->isPtr())
+    return Type::makePtr();
+  if (Ty->isBool())
+    return Type::makeInt(1);
+  assert(Ty->isInt() && "array elements must be scalars");
+  return Type::makeInt(Ty->Bits);
+}
+
+BasicBlock *Codegen::newBlock(const std::string &Hint) {
+  return CurF->createBlock(Hint + "." + std::to_string(BlockCounter++));
+}
+
+bool Codegen::terminated() const {
+  return B->getInsertBlock()->getTerminator() != nullptr;
+}
+
+Instruction *Codegen::createSlot(Type ElemTy, uint64_t Count,
+                                 std::string Name) {
+  BasicBlock *Saved = B->getInsertBlock();
+  B->setInsertPoint(AllocaBlock);
+  Instruction *Slot = B->alloca_(ElemTy, Count, std::move(Name));
+  B->setInsertPoint(Saved);
+  return Slot;
+}
+
+//===----------------------------------------------------------------------===//
+// Addresses and expressions
+//===----------------------------------------------------------------------===//
+
+Value *Codegen::genIndexValue(Expr &Idx) {
+  Value *V = genExpr(Idx);
+  const Type &Ty = V->getType();
+  if (Ty.isInt() && Ty.Bits == 64)
+    return V;
+  // Extend by the MiniLang signedness.
+  bool Signed = Idx.Ty->isInt() && Idx.Ty->Signed;
+  return B->castTo(V, Type::makeInt(64), Signed);
+}
+
+Value *Codegen::genAddr(Expr &E) {
+  if (E.K == Expr::Kind::VarRef) {
+    auto &V = static_cast<VarRefExpr &>(E);
+    switch (V.Binding.K) {
+    case NameBinding::Kind::Local:
+      return LocalSlots.at(V.Binding.Local);
+    case NameBinding::Kind::Global:
+      return B->globalAddr(GlobalMap.at(V.Binding.Global));
+    case NameBinding::Kind::Param:
+      // A pointer parameter used as an indexing base: its value is the
+      // address.
+      return CurF->getArg(V.Binding.Param->Index);
+    default:
+      fatalError("genAddr: unsupported binding");
+    }
+  }
+  if (E.K == Expr::Kind::Index) {
+    auto &I = static_cast<IndexExpr &>(E);
+    Value *Base;
+    const LangType *BaseTy = I.Base->Ty;
+    if (BaseTy->isArray())
+      Base = genAddr(*I.Base);
+    else
+      Base = genExpr(*I.Base); // Pointer value.
+    return B->ptrAdd(Base, genIndexValue(*I.Idx));
+  }
+  fatalError("genAddr: not an lvalue");
+}
+
+Value *Codegen::genExpr(Expr &E) {
+  Module &Mod = *M;
+  switch (E.K) {
+  case Expr::Kind::IntLit: {
+    auto &L = static_cast<IntLitExpr &>(E);
+    return Mod.getConstant(lowerScalar(E.Ty), L.Value);
+  }
+  case Expr::Kind::BoolLit:
+    return Mod.getBool(static_cast<BoolLitExpr &>(E).Value);
+  case Expr::Kind::NullLit:
+    return Mod.getNull(lowerScalar(E.Ty));
+
+  case Expr::Kind::VarRef: {
+    auto &V = static_cast<VarRefExpr &>(E);
+    switch (V.Binding.K) {
+    case NameBinding::Kind::Local:
+      if (V.Binding.Local->DeclTy->isArray())
+        return LocalSlots.at(V.Binding.Local); // Decay to pointer.
+      return B->load(LocalSlots.at(V.Binding.Local),
+                     lowerScalar(V.Binding.Local->DeclTy));
+    case NameBinding::Kind::Param:
+      return CurF->getArg(V.Binding.Param->Index);
+    case NameBinding::Kind::Global: {
+      GlobalVariable *G = GlobalMap.at(V.Binding.Global);
+      if (V.Binding.Global->Ty->isArray())
+        return B->globalAddr(G); // Decay.
+      return B->load(B->globalAddr(G), lowerScalar(V.Binding.Global->Ty));
+    }
+    default:
+      fatalError("codegen: unresolved identifier");
+    }
+  }
+
+  case Expr::Kind::Index:
+    return B->load(genAddr(E), lowerScalar(E.Ty));
+
+  case Expr::Kind::Unary: {
+    auto &U = static_cast<UnaryExpr &>(E);
+    Value *S = genExpr(*U.Sub);
+    switch (U.Op) {
+    case UnaryOp::Neg:
+      return B->binary(Opcode::Sub, Mod.getConstant(S->getType(), 0), S);
+    case UnaryOp::Not:
+      return B->binary(Opcode::Xor, S, Mod.getBool(true));
+    case UnaryOp::BitNot:
+      return B->binary(Opcode::Xor, S,
+                       Mod.getConstant(S->getType(), ~0ULL));
+    }
+    fatalError("unreachable unary op");
+  }
+
+  case Expr::Kind::Binary: {
+    auto &Bin = static_cast<BinaryExpr &>(E);
+    if (Bin.Op == BinaryOp::LogAnd || Bin.Op == BinaryOp::LogOr) {
+      // Short-circuit through an i1 slot.
+      Instruction *Slot = createSlot(Type::makeInt(1), 1, "sc");
+      Value *L = genExpr(*Bin.Lhs);
+      BasicBlock *EvalRhs = newBlock("sc.rhs");
+      BasicBlock *Short = newBlock("sc.short");
+      BasicBlock *End = newBlock("sc.end");
+      if (Bin.Op == BinaryOp::LogAnd)
+        B->condBr(L, EvalRhs, Short);
+      else
+        B->condBr(L, Short, EvalRhs);
+      B->setInsertPoint(EvalRhs);
+      Value *R = genExpr(*Bin.Rhs);
+      B->store(R, Slot);
+      B->br(End);
+      B->setInsertPoint(Short);
+      B->store(Mod.getBool(Bin.Op == BinaryOp::LogOr), Slot);
+      B->br(End);
+      B->setInsertPoint(End);
+      return B->load(Slot, Type::makeInt(1));
+    }
+
+    Value *L = genExpr(*Bin.Lhs);
+    Value *R = genExpr(*Bin.Rhs);
+    bool Signed = Bin.Lhs->Ty->isInt() && Bin.Lhs->Ty->Signed;
+    switch (Bin.Op) {
+    case BinaryOp::Add: return B->binary(Opcode::Add, L, R);
+    case BinaryOp::Sub: return B->binary(Opcode::Sub, L, R);
+    case BinaryOp::Mul: return B->binary(Opcode::Mul, L, R);
+    case BinaryOp::Div:
+      return B->binary(Signed ? Opcode::SDiv : Opcode::UDiv, L, R);
+    case BinaryOp::Rem:
+      return B->binary(Signed ? Opcode::SRem : Opcode::URem, L, R);
+    case BinaryOp::And: return B->binary(Opcode::And, L, R);
+    case BinaryOp::Or:  return B->binary(Opcode::Or, L, R);
+    case BinaryOp::Xor: return B->binary(Opcode::Xor, L, R);
+    case BinaryOp::Shl: return B->binary(Opcode::Shl, L, R);
+    case BinaryOp::Shr:
+      return B->binary(Signed ? Opcode::AShr : Opcode::LShr, L, R);
+    case BinaryOp::Lt:
+      return B->compare(Signed ? Opcode::Slt : Opcode::Ult, L, R);
+    case BinaryOp::Le:
+      return B->compare(Signed ? Opcode::Sle : Opcode::Ule, L, R);
+    case BinaryOp::Gt:
+      return B->compare(Signed ? Opcode::Sgt : Opcode::Ugt, L, R);
+    case BinaryOp::Ge:
+      return B->compare(Signed ? Opcode::Sge : Opcode::Uge, L, R);
+    case BinaryOp::Eq: return B->compare(Opcode::Eq, L, R);
+    case BinaryOp::Ne: return B->compare(Opcode::Ne, L, R);
+    case BinaryOp::LogAnd:
+    case BinaryOp::LogOr:
+      break;
+    }
+    fatalError("unreachable binary op");
+  }
+
+  case Expr::Kind::Cast: {
+    auto &C = static_cast<CastExpr &>(E);
+    Value *S = genExpr(*C.Sub);
+    Type To = lowerScalar(C.Target);
+    const Type &From = S->getType();
+    if (From == To)
+      return S;
+    if (To.Bits > From.Bits) {
+      bool Signed = C.Sub->Ty->isInt() && C.Sub->Ty->Signed;
+      return Signed ? B->sext(S, To) : B->zext(S, To);
+    }
+    return B->trunc(S, To);
+  }
+
+  case Expr::Kind::New: {
+    auto &N = static_cast<NewExpr &>(E);
+    Value *Count = genExpr(*N.Count);
+    return B->malloc_(lowerElem(N.ElemTy), Count);
+  }
+
+  case Expr::Kind::AddrOf: {
+    auto &A = static_cast<AddrOfExpr &>(E);
+    return genAddr(*A.Base);
+  }
+
+  case Expr::Kind::Call: {
+    auto &C = static_cast<CallExpr &>(E);
+    if (!C.Resolved) {
+      // Builtins.
+      if (C.Callee == "input_arg")
+        return B->inputArg(static_cast<unsigned>(
+            static_cast<IntLitExpr *>(C.Args[0].get())->Value));
+      if (C.Callee == "input_byte")
+        return B->inputByte();
+      if (C.Callee == "input_size")
+        return B->inputSize();
+      if (C.Callee == "print")
+        return B->print(genExpr(*C.Args[0]));
+      if (C.Callee == "spawn") {
+        auto *FRef = static_cast<VarRefExpr *>(C.Args[0].get());
+        return B->spawn(FuncMap.at(FRef->Binding.Func), genExpr(*C.Args[1]));
+      }
+      if (C.Callee == "join")
+        return B->join(genExpr(*C.Args[0]));
+      if (C.Callee == "lock")
+        return B->mutexLock(
+            static_cast<IntLitExpr *>(C.Args[0].get())->Value);
+      if (C.Callee == "unlock")
+        return B->mutexUnlock(
+            static_cast<IntLitExpr *>(C.Args[0].get())->Value);
+      fatalError("unknown builtin '" + C.Callee + "'");
+    }
+    std::vector<Value *> Args;
+    for (auto &A : C.Args)
+      Args.push_back(genExpr(*A));
+    return B->call(FuncMap.at(C.Resolved), Args);
+  }
+  }
+  fatalError("unreachable expression kind");
+}
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+void Codegen::genStmt(Stmt &S) {
+  if (terminated())
+    return; // Dead code after return/abort/break.
+
+  switch (S.K) {
+  case Stmt::Kind::Block:
+    for (auto &Sub : static_cast<BlockStmt &>(S).Stmts)
+      genStmt(*Sub);
+    return;
+
+  case Stmt::Kind::VarDecl: {
+    auto &D = static_cast<VarDeclStmt &>(S);
+    Instruction *Slot;
+    if (D.DeclTy->isArray())
+      Slot = createSlot(lowerElem(D.DeclTy->Elem), D.DeclTy->NumElems,
+                        D.Name);
+    else
+      Slot = createSlot(lowerElem(D.DeclTy), 1, D.Name);
+    LocalSlots[&D] = Slot;
+    if (D.Init)
+      B->store(genExpr(*D.Init), Slot);
+    return;
+  }
+
+  case Stmt::Kind::Assign: {
+    auto &A = static_cast<AssignStmt &>(S);
+    Value *Addr = genAddr(*A.Lhs);
+    B->store(genExpr(*A.Rhs), Addr);
+    return;
+  }
+
+  case Stmt::Kind::If: {
+    auto &I = static_cast<IfStmt &>(S);
+    Value *Cond = genExpr(*I.Cond);
+    BasicBlock *ThenBB = newBlock("if.then");
+    BasicBlock *ElseBB = I.Else ? newBlock("if.else") : nullptr;
+    BasicBlock *EndBB = newBlock("if.end");
+    B->condBr(Cond, ThenBB, ElseBB ? ElseBB : EndBB);
+    B->setInsertPoint(ThenBB);
+    genStmt(*I.Then);
+    if (!terminated())
+      B->br(EndBB);
+    if (ElseBB) {
+      B->setInsertPoint(ElseBB);
+      genStmt(*I.Else);
+      if (!terminated())
+        B->br(EndBB);
+    }
+    B->setInsertPoint(EndBB);
+    return;
+  }
+
+  case Stmt::Kind::While: {
+    auto &W = static_cast<WhileStmt &>(S);
+    BasicBlock *CondBB = newBlock("while.cond");
+    BasicBlock *BodyBB = newBlock("while.body");
+    BasicBlock *EndBB = newBlock("while.end");
+    B->br(CondBB);
+    B->setInsertPoint(CondBB);
+    Value *Cond = genExpr(*W.Cond);
+    B->condBr(Cond, BodyBB, EndBB);
+    B->setInsertPoint(BodyBB);
+    LoopStack.push_back({CondBB, EndBB});
+    genStmt(*W.Body);
+    LoopStack.pop_back();
+    if (!terminated())
+      B->br(CondBB);
+    B->setInsertPoint(EndBB);
+    return;
+  }
+
+  case Stmt::Kind::For: {
+    auto &F = static_cast<ForStmt &>(S);
+    if (F.Init)
+      genStmt(*F.Init);
+    BasicBlock *CondBB = newBlock("for.cond");
+    BasicBlock *BodyBB = newBlock("for.body");
+    BasicBlock *StepBB = newBlock("for.step");
+    BasicBlock *EndBB = newBlock("for.end");
+    B->br(CondBB);
+    B->setInsertPoint(CondBB);
+    if (F.Cond)
+      B->condBr(genExpr(*F.Cond), BodyBB, EndBB);
+    else
+      B->br(BodyBB);
+    B->setInsertPoint(BodyBB);
+    LoopStack.push_back({StepBB, EndBB});
+    genStmt(*F.Body);
+    LoopStack.pop_back();
+    if (!terminated())
+      B->br(StepBB);
+    B->setInsertPoint(StepBB);
+    if (F.Step)
+      genStmt(*F.Step);
+    B->br(CondBB);
+    B->setInsertPoint(EndBB);
+    return;
+  }
+
+  case Stmt::Kind::Break:
+    B->br(LoopStack.back().second);
+    return;
+  case Stmt::Kind::Continue:
+    B->br(LoopStack.back().first);
+    return;
+
+  case Stmt::Kind::Return: {
+    auto &R = static_cast<ReturnStmt &>(S);
+    if (R.Value)
+      B->ret(genExpr(*R.Value));
+    else
+      B->ret();
+    return;
+  }
+
+  case Stmt::Kind::ExprStmt:
+    genExpr(*static_cast<ExprStmt &>(S).E);
+    return;
+
+  case Stmt::Kind::Assert: {
+    auto &A = static_cast<AssertStmt &>(S);
+    Value *Cond = genExpr(*A.Cond);
+    BasicBlock *OkBB = newBlock("assert.ok");
+    BasicBlock *FailBB = newBlock("assert.fail");
+    B->condBr(Cond, OkBB, FailBB);
+    B->setInsertPoint(FailBB);
+    B->abort_(A.Text);
+    B->setInsertPoint(OkBB);
+    return;
+  }
+
+  case Stmt::Kind::Abort:
+    B->abort_(static_cast<AbortStmt &>(S).Message);
+    return;
+
+  case Stmt::Kind::Delete:
+    B->free_(genExpr(*static_cast<DeleteStmt &>(S).Ptr));
+    return;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Functions / module
+//===----------------------------------------------------------------------===//
+
+void Codegen::genFunc(FuncDecl &FD) {
+  CurFD = &FD;
+  CurF = FuncMap.at(&FD);
+  LocalSlots.clear();
+  LoopStack.clear();
+  BlockCounter = 0;
+
+  BasicBlock *Entry = CurF->createBlock("entry");
+  AllocaBlock = Entry;
+  BasicBlock *Body = newBlock("body");
+  B->setInsertPoint(Body);
+  genStmt(*FD.Body);
+
+  // Entry holds only (hoisted) allocas; fall through into the body.
+  B->setInsertPoint(Entry);
+  B->br(Body);
+
+  // Terminate any open blocks: implicit return (0 for non-void functions;
+  // unreachable merge blocks get the same treatment harmlessly).
+  for (auto &BB : CurF->blocks()) {
+    if (BB->getTerminator())
+      continue;
+    B->setInsertPoint(BB.get());
+    if (CurF->getReturnType().isVoid())
+      B->ret();
+    else
+      B->ret(M->getConstant(CurF->getReturnType(), 0));
+  }
+}
+
+std::unique_ptr<Module> Codegen::run() {
+  M = std::make_unique<Module>();
+  B = std::make_unique<IRBuilder>(*M);
+
+  for (auto &G : Prog.Globals) {
+    const LangType *Ty = G->Ty;
+    Type ElemIr = Ty->isArray() ? lowerElem(Ty->Elem) : lowerElem(Ty);
+    uint64_t Count = Ty->isArray() ? Ty->NumElems : 1;
+    GlobalMap[G.get()] = M->createGlobal(G->Name, ElemIr, Count, G->Init);
+  }
+
+  for (auto &F : Prog.Funcs) {
+    std::vector<Type> ArgTys;
+    for (auto &P : F->Params)
+      ArgTys.push_back(lowerScalar(P.Ty));
+    Function *Fn =
+        M->createFunction(F->Name, lowerScalar(F->RetTy), std::move(ArgTys));
+    for (unsigned I = 0; I < F->Params.size(); ++I)
+      Fn->getArg(I)->setName(F->Params[I].Name);
+    FuncMap[F.get()] = Fn;
+  }
+
+  for (auto &F : Prog.Funcs)
+    genFunc(*F);
+
+  M->finalize();
+  return std::move(M);
+}
+
+CompileResult er::compileMiniLang(const std::string &Source) {
+  CompileResult R;
+  Lexer Lex(Source);
+  std::vector<Token> Tokens;
+  if (!Lex.tokenize(Tokens, R.Error))
+    return R;
+
+  Program Prog;
+  Parser P(std::move(Tokens), Prog);
+  if (!P.parseProgram(R.Error))
+    return R;
+
+  Sema S(Prog);
+  if (!S.run(R.Error))
+    return R;
+
+  Codegen CG(Prog);
+  std::unique_ptr<Module> M = CG.run();
+  std::string VerifyErr;
+  if (!verifyModule(*M, &VerifyErr)) {
+    R.Error = "internal codegen error: " + VerifyErr;
+    return R;
+  }
+  R.M = std::move(M);
+  return R;
+}

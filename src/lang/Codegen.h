@@ -1,0 +1,75 @@
+//===- Codegen.h - MiniLang to IR lowering -----------------------*- C++ -*-===//
+///
+/// \file
+/// Lowers a Sema-checked Program to the register IR. Mutable locals become
+/// allocas (the IR has no phis); short-circuit booleans route through i1
+/// slots; for/while lower to explicit block graphs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ER_LANG_CODEGEN_H
+#define ER_LANG_CODEGEN_H
+
+#include "ir/Builder.h"
+#include "ir/IR.h"
+#include "lang/Ast.h"
+
+#include <memory>
+#include <unordered_map>
+
+namespace er {
+namespace lang {
+
+/// Generates a Module from a checked Program.
+class Codegen {
+public:
+  explicit Codegen(Program &Prog) : Prog(Prog) {}
+
+  /// Produces the IR module (finalized and verified by the caller).
+  std::unique_ptr<Module> run();
+
+private:
+  Type lowerScalar(const LangType *Ty) const;
+  Type lowerElem(const LangType *Ty) const;
+
+  void genFunc(FuncDecl &FD);
+  void genStmt(Stmt &S);
+  Value *genExpr(Expr &E);
+  /// Computes the address of an lvalue (VarRef to array/scalar slot, or
+  /// Index element).
+  Value *genAddr(Expr &E);
+  Value *genIndexValue(Expr &Idx);
+  bool terminated() const;
+  BasicBlock *newBlock(const std::string &Hint);
+  /// Emits an alloca into the function's entry block (allocas are hoisted so
+  /// each call allocates each local exactly once).
+  Instruction *createSlot(Type ElemTy, uint64_t Count, std::string Name);
+
+  Program &Prog;
+  std::unique_ptr<Module> M;
+  std::unique_ptr<IRBuilder> B;
+  std::unordered_map<const FuncDecl *, Function *> FuncMap;
+  std::unordered_map<const GlobalDecl *, GlobalVariable *> GlobalMap;
+  std::unordered_map<const VarDeclStmt *, Instruction *> LocalSlots;
+  FuncDecl *CurFD = nullptr;
+  Function *CurF = nullptr;
+  BasicBlock *AllocaBlock = nullptr;
+  std::vector<std::pair<BasicBlock *, BasicBlock *>> LoopStack;
+  unsigned BlockCounter = 0;
+};
+
+} // namespace lang
+
+/// End-to-end MiniLang compilation: lex, parse, check, lower, verify.
+/// Returns the module or an error message.
+struct CompileResult {
+  std::unique_ptr<Module> M;
+  std::string Error;
+  bool ok() const { return M != nullptr; }
+};
+
+CompileResult compileMiniLang(const std::string &Source);
+
+} // namespace er
+
+#endif // ER_LANG_CODEGEN_H

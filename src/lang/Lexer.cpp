@@ -1,0 +1,317 @@
+//===- Lexer.cpp - MiniLang lexer ---------------------------------------------===//
+
+#include "lang/Lexer.h"
+
+#include "support/Error.h"
+#include "support/Format.h"
+
+#include <cctype>
+#include <unordered_map>
+
+using namespace er;
+
+const char *er::tokKindName(TokKind K) {
+  switch (K) {
+  case TokKind::Eof:         return "end of file";
+  case TokKind::Identifier:  return "identifier";
+  case TokKind::IntLiteral:  return "integer literal";
+  case TokKind::StrLiteral:  return "string literal";
+  case TokKind::CharLiteral: return "char literal";
+  case TokKind::KwFn:        return "'fn'";
+  case TokKind::KwVar:       return "'var'";
+  case TokKind::KwGlobal:    return "'global'";
+  case TokKind::KwIf:        return "'if'";
+  case TokKind::KwElse:      return "'else'";
+  case TokKind::KwWhile:     return "'while'";
+  case TokKind::KwFor:       return "'for'";
+  case TokKind::KwBreak:     return "'break'";
+  case TokKind::KwContinue:  return "'continue'";
+  case TokKind::KwReturn:    return "'return'";
+  case TokKind::KwTrue:      return "'true'";
+  case TokKind::KwFalse:     return "'false'";
+  case TokKind::KwNull:      return "'null'";
+  case TokKind::KwAssert:    return "'assert'";
+  case TokKind::KwAbort:     return "'abort'";
+  case TokKind::KwAs:        return "'as'";
+  case TokKind::KwNew:       return "'new'";
+  case TokKind::KwDelete:    return "'delete'";
+  case TokKind::KwBool:      return "'bool'";
+  case TokKind::KwI8:        return "'i8'";
+  case TokKind::KwU8:        return "'u8'";
+  case TokKind::KwI16:       return "'i16'";
+  case TokKind::KwU16:       return "'u16'";
+  case TokKind::KwI32:       return "'i32'";
+  case TokKind::KwU32:       return "'u32'";
+  case TokKind::KwI64:       return "'i64'";
+  case TokKind::KwU64:       return "'u64'";
+  case TokKind::KwVoid:      return "'void'";
+  case TokKind::LParen:      return "'('";
+  case TokKind::RParen:      return "')'";
+  case TokKind::LBrace:      return "'{'";
+  case TokKind::RBrace:      return "'}'";
+  case TokKind::LBracket:    return "'['";
+  case TokKind::RBracket:    return "']'";
+  case TokKind::Comma:       return "','";
+  case TokKind::Semicolon:   return "';'";
+  case TokKind::Colon:       return "':'";
+  case TokKind::Arrow:       return "'->'";
+  case TokKind::Plus:        return "'+'";
+  case TokKind::Minus:       return "'-'";
+  case TokKind::Star:        return "'*'";
+  case TokKind::Slash:       return "'/'";
+  case TokKind::Percent:     return "'%'";
+  case TokKind::Amp:         return "'&'";
+  case TokKind::Pipe:        return "'|'";
+  case TokKind::Caret:       return "'^'";
+  case TokKind::Tilde:       return "'~'";
+  case TokKind::Bang:        return "'!'";
+  case TokKind::Shl:         return "'<<'";
+  case TokKind::Shr:         return "'>>'";
+  case TokKind::Lt:          return "'<'";
+  case TokKind::Le:          return "'<='";
+  case TokKind::Gt:          return "'>'";
+  case TokKind::Ge:          return "'>='";
+  case TokKind::EqEq:        return "'=='";
+  case TokKind::BangEq:      return "'!='";
+  case TokKind::AmpAmp:      return "'&&'";
+  case TokKind::PipePipe:    return "'||'";
+  case TokKind::Assign:      return "'='";
+  }
+  fatalError("unknown token kind");
+}
+
+static const std::unordered_map<std::string, TokKind> &keywordTable() {
+  static const std::unordered_map<std::string, TokKind> Table = {
+      {"fn", TokKind::KwFn},           {"var", TokKind::KwVar},
+      {"global", TokKind::KwGlobal},   {"if", TokKind::KwIf},
+      {"else", TokKind::KwElse},       {"while", TokKind::KwWhile},
+      {"for", TokKind::KwFor},         {"break", TokKind::KwBreak},
+      {"continue", TokKind::KwContinue}, {"return", TokKind::KwReturn},
+      {"true", TokKind::KwTrue},       {"false", TokKind::KwFalse},
+      {"null", TokKind::KwNull},       {"assert", TokKind::KwAssert},
+      {"abort", TokKind::KwAbort},     {"as", TokKind::KwAs},
+      {"new", TokKind::KwNew},         {"delete", TokKind::KwDelete},
+      {"bool", TokKind::KwBool},       {"i8", TokKind::KwI8},
+      {"u8", TokKind::KwU8},           {"i16", TokKind::KwI16},
+      {"u16", TokKind::KwU16},         {"i32", TokKind::KwI32},
+      {"u32", TokKind::KwU32},         {"i64", TokKind::KwI64},
+      {"u64", TokKind::KwU64},         {"void", TokKind::KwVoid},
+  };
+  return Table;
+}
+
+Lexer::Lexer(std::string Source) : Src(std::move(Source)) {}
+
+char Lexer::peek(unsigned Ahead) const {
+  return Pos + Ahead < Src.size() ? Src[Pos + Ahead] : '\0';
+}
+
+char Lexer::advance() {
+  char C = Src[Pos++];
+  if (C == '\n') {
+    ++Line;
+    Col = 1;
+  } else {
+    ++Col;
+  }
+  return C;
+}
+
+bool Lexer::match(char C) {
+  if (peek() != C)
+    return false;
+  advance();
+  return true;
+}
+
+void Lexer::skipTrivia() {
+  while (Pos < Src.size()) {
+    char C = peek();
+    if (C == ' ' || C == '\t' || C == '\r' || C == '\n') {
+      advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '/') {
+      while (Pos < Src.size() && peek() != '\n')
+        advance();
+      continue;
+    }
+    break;
+  }
+}
+
+bool Lexer::lexEscape(char &Out, std::string &Err) {
+  char E = advance();
+  switch (E) {
+  case 'n':  Out = '\n'; return true;
+  case 't':  Out = '\t'; return true;
+  case 'r':  Out = '\r'; return true;
+  case '0':  Out = '\0'; return true;
+  case '\\': Out = '\\'; return true;
+  case '\'': Out = '\''; return true;
+  case '"':  Out = '"'; return true;
+  case 'x': {
+    int V = 0;
+    for (int I = 0; I < 2; ++I) {
+      char H = advance();
+      if (H >= '0' && H <= '9')
+        V = V * 16 + (H - '0');
+      else if (H >= 'a' && H <= 'f')
+        V = V * 16 + (H - 'a' + 10);
+      else if (H >= 'A' && H <= 'F')
+        V = V * 16 + (H - 'A' + 10);
+      else {
+        Err = formatString("line %u: bad hex escape", Line);
+        return false;
+      }
+    }
+    Out = static_cast<char>(V);
+    return true;
+  }
+  default:
+    Err = formatString("line %u: unknown escape '\\%c'", Line, E);
+    return false;
+  }
+}
+
+bool Lexer::lexOne(Token &T, std::string &Err) {
+  skipTrivia();
+  T.Line = Line;
+  T.Col = Col;
+  if (Pos >= Src.size()) {
+    T.Kind = TokKind::Eof;
+    return true;
+  }
+
+  char C = advance();
+
+  if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+    std::string Ident(1, C);
+    while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_')
+      Ident += advance();
+    auto It = keywordTable().find(Ident);
+    if (It != keywordTable().end()) {
+      T.Kind = It->second;
+    } else {
+      T.Kind = TokKind::Identifier;
+      T.Text = std::move(Ident);
+    }
+    return true;
+  }
+
+  if (std::isdigit(static_cast<unsigned char>(C))) {
+    uint64_t V = 0;
+    if (C == '0' && (peek() == 'x' || peek() == 'X')) {
+      advance();
+      bool Any = false;
+      while (std::isxdigit(static_cast<unsigned char>(peek()))) {
+        char H = advance();
+        Any = true;
+        V = V * 16 +
+            (H <= '9' ? H - '0' : (H | 0x20) - 'a' + 10);
+      }
+      if (!Any) {
+        Err = formatString("line %u: empty hex literal", Line);
+        return false;
+      }
+    } else {
+      V = static_cast<uint64_t>(C - '0');
+      while (std::isdigit(static_cast<unsigned char>(peek())))
+        V = V * 10 + static_cast<uint64_t>(advance() - '0');
+    }
+    T.Kind = TokKind::IntLiteral;
+    T.IntValue = V;
+    return true;
+  }
+
+  switch (C) {
+  case '\'': {
+    char V = advance();
+    if (V == '\\' && !lexEscape(V, Err))
+      return false;
+    if (!match('\'')) {
+      Err = formatString("line %u: unterminated char literal", Line);
+      return false;
+    }
+    T.Kind = TokKind::CharLiteral;
+    T.IntValue = static_cast<uint8_t>(V);
+    return true;
+  }
+  case '"': {
+    std::string S;
+    while (Pos < Src.size() && peek() != '"') {
+      char V = advance();
+      if (V == '\\' && !lexEscape(V, Err))
+        return false;
+      S += V;
+    }
+    if (!match('"')) {
+      Err = formatString("line %u: unterminated string literal", Line);
+      return false;
+    }
+    T.Kind = TokKind::StrLiteral;
+    T.Text = std::move(S);
+    return true;
+  }
+  case '(': T.Kind = TokKind::LParen; return true;
+  case ')': T.Kind = TokKind::RParen; return true;
+  case '{': T.Kind = TokKind::LBrace; return true;
+  case '}': T.Kind = TokKind::RBrace; return true;
+  case '[': T.Kind = TokKind::LBracket; return true;
+  case ']': T.Kind = TokKind::RBracket; return true;
+  case ',': T.Kind = TokKind::Comma; return true;
+  case ';': T.Kind = TokKind::Semicolon; return true;
+  case ':': T.Kind = TokKind::Colon; return true;
+  case '+': T.Kind = TokKind::Plus; return true;
+  case '-':
+    T.Kind = match('>') ? TokKind::Arrow : TokKind::Minus;
+    return true;
+  case '*': T.Kind = TokKind::Star; return true;
+  case '/': T.Kind = TokKind::Slash; return true;
+  case '%': T.Kind = TokKind::Percent; return true;
+  case '&':
+    T.Kind = match('&') ? TokKind::AmpAmp : TokKind::Amp;
+    return true;
+  case '|':
+    T.Kind = match('|') ? TokKind::PipePipe : TokKind::Pipe;
+    return true;
+  case '^': T.Kind = TokKind::Caret; return true;
+  case '~': T.Kind = TokKind::Tilde; return true;
+  case '!':
+    T.Kind = match('=') ? TokKind::BangEq : TokKind::Bang;
+    return true;
+  case '<':
+    if (match('<'))
+      T.Kind = TokKind::Shl;
+    else if (match('='))
+      T.Kind = TokKind::Le;
+    else
+      T.Kind = TokKind::Lt;
+    return true;
+  case '>':
+    if (match('>'))
+      T.Kind = TokKind::Shr;
+    else if (match('='))
+      T.Kind = TokKind::Ge;
+    else
+      T.Kind = TokKind::Gt;
+    return true;
+  case '=':
+    T.Kind = match('=') ? TokKind::EqEq : TokKind::Assign;
+    return true;
+  default:
+    Err = formatString("line %u: unexpected character '%c'", Line, C);
+    return false;
+  }
+}
+
+bool Lexer::tokenize(std::vector<Token> &Out, std::string &Err) {
+  for (;;) {
+    Token T;
+    if (!lexOne(T, Err))
+      return false;
+    Out.push_back(T);
+    if (T.Kind == TokKind::Eof)
+      return true;
+  }
+}

@@ -1,0 +1,45 @@
+//===- Lexer.h - MiniLang lexer ----------------------------------*- C++ -*-===//
+///
+/// \file
+/// Hand-written lexer for MiniLang. Supports decimal/hex integer literals,
+/// char and string literals with escapes, '//' comments, and the keyword and
+/// operator set in Token.h.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ER_LANG_LEXER_H
+#define ER_LANG_LEXER_H
+
+#include "lang/Token.h"
+
+#include <string>
+#include <vector>
+
+namespace er {
+
+/// Tokenizes a whole source buffer up front.
+class Lexer {
+public:
+  explicit Lexer(std::string Source);
+
+  /// Lexes the entire buffer. Returns false (with \p Err set) on a lexical
+  /// error; the token list always ends with Eof on success.
+  bool tokenize(std::vector<Token> &Out, std::string &Err);
+
+private:
+  bool lexOne(Token &T, std::string &Err);
+  char peek(unsigned Ahead = 0) const;
+  char advance();
+  bool match(char C);
+  void skipTrivia();
+  bool lexEscape(char &Out, std::string &Err);
+
+  std::string Src;
+  size_t Pos = 0;
+  unsigned Line = 1;
+  unsigned Col = 1;
+};
+
+} // namespace er
+
+#endif // ER_LANG_LEXER_H

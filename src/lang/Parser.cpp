@@ -1,0 +1,659 @@
+//===- Parser.cpp - MiniLang recursive-descent parser -------------------------===//
+//
+// Grammar (EBNF-ish):
+//
+//   program    := (global | func)*
+//   global     := 'global' ident ':' type ('=' ginit)? ';'
+//   ginit      := intlit | charlit | strlit | '{' intlit (',' intlit)* '}'
+//   type       := scalar ('[' intlit ']')?
+//   scalar     := ('*')* basetype
+//   basetype   := 'bool' | 'i8' | 'u8' | ... | 'u64'
+//   func       := 'fn' ident '(' (param (',' param)*)? ')' ('->' type)? block
+//   param      := ident ':' scalar
+//   block      := '{' stmt* '}'
+//   stmt       := simple ';' | if | while | for | block
+//   simple     := vardecl | assign-or-expr | 'break' | 'continue'
+//              |  'return' expr? | 'assert' '(' expr ')'
+//              |  'abort' '(' strlit? ')' | 'delete' expr
+//   expr       := binary expression over cast-expr with C precedence,
+//                 including '&&' and '||'
+//   castexpr   := unary ('as' scalar)*
+//   unary      := ('-' | '!' | '~') unary | '&' postfix | postfix
+//   postfix    := primary ('[' expr ']')*
+//   primary    := literal | ident ('(' args ')')? | '(' expr ')'
+//              |  'new' scalar '[' expr ']'
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Parser.h"
+
+#include "support/Format.h"
+
+using namespace er;
+using namespace er::lang;
+
+const Token &Parser::peek(unsigned Ahead) const {
+  size_t Idx = Pos + Ahead;
+  return Idx < Tokens.size() ? Tokens[Idx] : Tokens.back();
+}
+
+const Token &Parser::advance() {
+  const Token &T = Tokens[Pos];
+  if (Pos + 1 < Tokens.size())
+    ++Pos;
+  return T;
+}
+
+bool Parser::accept(TokKind K) {
+  if (!check(K))
+    return false;
+  advance();
+  return true;
+}
+
+bool Parser::error(const std::string &Msg) {
+  if (ErrMsg.empty())
+    ErrMsg = formatString("line %u: %s", peek().Line, Msg.c_str());
+  return false;
+}
+
+bool Parser::expect(TokKind K, const char *Context) {
+  if (accept(K))
+    return true;
+  return error(formatString("expected %s %s, found %s", tokKindName(K),
+                            Context, tokKindName(peek().Kind)));
+}
+
+//===----------------------------------------------------------------------===//
+// Types
+//===----------------------------------------------------------------------===//
+
+const LangType *Parser::parseScalarType() {
+  if (accept(TokKind::Star)) {
+    const LangType *Elem = parseScalarType();
+    return Elem ? Prog.Types.ptrTo(Elem) : nullptr;
+  }
+  switch (peek().Kind) {
+  case TokKind::KwBool: advance(); return Prog.Types.boolTy();
+  case TokKind::KwI8:   advance(); return Prog.Types.intTy(8, true);
+  case TokKind::KwU8:   advance(); return Prog.Types.intTy(8, false);
+  case TokKind::KwI16:  advance(); return Prog.Types.intTy(16, true);
+  case TokKind::KwU16:  advance(); return Prog.Types.intTy(16, false);
+  case TokKind::KwI32:  advance(); return Prog.Types.intTy(32, true);
+  case TokKind::KwU32:  advance(); return Prog.Types.intTy(32, false);
+  case TokKind::KwI64:  advance(); return Prog.Types.intTy(64, true);
+  case TokKind::KwU64:  advance(); return Prog.Types.intTy(64, false);
+  default:
+    error("expected a type");
+    return nullptr;
+  }
+}
+
+const LangType *Parser::parseType() {
+  const LangType *Base = parseScalarType();
+  if (!Base)
+    return nullptr;
+  if (accept(TokKind::LBracket)) {
+    if (!check(TokKind::IntLiteral)) {
+      error("array size must be an integer literal");
+      return nullptr;
+    }
+    uint64_t N = advance().IntValue;
+    if (!expect(TokKind::RBracket, "after array size"))
+      return nullptr;
+    return Prog.Types.arrayOf(Base, N);
+  }
+  return Base;
+}
+
+//===----------------------------------------------------------------------===//
+// Declarations
+//===----------------------------------------------------------------------===//
+
+bool Parser::parseGlobal() {
+  unsigned Line = peek().Line;
+  advance(); // 'global'
+  if (!check(TokKind::Identifier))
+    return error("expected global name");
+  std::string Name = advance().Text;
+  if (!expect(TokKind::Colon, "after global name"))
+    return false;
+  const LangType *Ty = parseType();
+  if (!Ty)
+    return false;
+
+  std::vector<uint64_t> Init;
+  if (accept(TokKind::Assign)) {
+    if (check(TokKind::StrLiteral)) {
+      for (char C : advance().Text)
+        Init.push_back(static_cast<uint8_t>(C));
+    } else if (check(TokKind::IntLiteral) || check(TokKind::CharLiteral)) {
+      Init.push_back(advance().IntValue);
+    } else if (accept(TokKind::LBrace)) {
+      do {
+        bool Negative = accept(TokKind::Minus);
+        if (!check(TokKind::IntLiteral) && !check(TokKind::CharLiteral))
+          return error("expected integer in global initialiser");
+        uint64_t V = advance().IntValue;
+        Init.push_back(Negative ? static_cast<uint64_t>(-static_cast<int64_t>(V))
+                                : V);
+      } while (accept(TokKind::Comma));
+      if (!expect(TokKind::RBrace, "after global initialiser"))
+        return false;
+    } else {
+      return error("invalid global initialiser");
+    }
+  }
+  if (!expect(TokKind::Semicolon, "after global declaration"))
+    return false;
+
+  auto G = std::make_unique<GlobalDecl>();
+  G->Name = std::move(Name);
+  G->Ty = Ty;
+  G->Init = std::move(Init);
+  G->Line = Line;
+  Prog.Globals.push_back(std::move(G));
+  return true;
+}
+
+bool Parser::parseFunc() {
+  unsigned Line = peek().Line;
+  advance(); // 'fn'
+  if (!check(TokKind::Identifier))
+    return error("expected function name");
+  std::string Name = advance().Text;
+  if (!expect(TokKind::LParen, "after function name"))
+    return false;
+
+  std::vector<ParamDecl> Params;
+  if (!check(TokKind::RParen)) {
+    do {
+      if (!check(TokKind::Identifier))
+        return error("expected parameter name");
+      ParamDecl P;
+      P.Name = advance().Text;
+      P.Index = static_cast<unsigned>(Params.size());
+      if (!expect(TokKind::Colon, "after parameter name"))
+        return false;
+      P.Ty = parseScalarType();
+      if (!P.Ty)
+        return false;
+      Params.push_back(std::move(P));
+    } while (accept(TokKind::Comma));
+  }
+  if (!expect(TokKind::RParen, "after parameters"))
+    return false;
+
+  const LangType *RetTy = Prog.Types.voidTy();
+  if (accept(TokKind::Arrow)) {
+    RetTy = parseScalarType();
+    if (!RetTy)
+      return false;
+  }
+
+  StmtPtr Body = parseBlock();
+  if (!Body)
+    return false;
+
+  auto F = std::make_unique<FuncDecl>();
+  F->Name = std::move(Name);
+  F->Params = std::move(Params);
+  F->RetTy = RetTy;
+  F->Body = std::move(Body);
+  F->Line = Line;
+  Prog.Funcs.push_back(std::move(F));
+  return true;
+}
+
+bool Parser::parseProgram(std::string &Err) {
+  while (!check(TokKind::Eof)) {
+    bool Ok;
+    if (check(TokKind::KwGlobal))
+      Ok = parseGlobal();
+    else if (check(TokKind::KwFn))
+      Ok = parseFunc();
+    else
+      Ok = error("expected 'global' or 'fn' at top level");
+    if (!Ok) {
+      Err = ErrMsg;
+      return false;
+    }
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+StmtPtr Parser::parseBlock() {
+  if (!expect(TokKind::LBrace, "to open block"))
+    return nullptr;
+  auto Block = std::make_unique<BlockStmt>();
+  Block->Line = peek().Line;
+  while (!check(TokKind::RBrace) && !check(TokKind::Eof)) {
+    StmtPtr S = parseStmt();
+    if (!S)
+      return nullptr;
+    Block->Stmts.push_back(std::move(S));
+  }
+  if (!expect(TokKind::RBrace, "to close block"))
+    return nullptr;
+  return Block;
+}
+
+StmtPtr Parser::parseStmt() {
+  unsigned Line = peek().Line;
+  switch (peek().Kind) {
+  case TokKind::LBrace:
+    return parseBlock();
+  case TokKind::KwIf: {
+    advance();
+    if (!expect(TokKind::LParen, "after 'if'"))
+      return nullptr;
+    ExprPtr Cond = parseExpr();
+    if (!Cond || !expect(TokKind::RParen, "after if condition"))
+      return nullptr;
+    StmtPtr Then = parseBlock();
+    if (!Then)
+      return nullptr;
+    StmtPtr Else;
+    if (accept(TokKind::KwElse)) {
+      Else = check(TokKind::KwIf) ? parseStmt() : parseBlock();
+      if (!Else)
+        return nullptr;
+    }
+    auto S = std::make_unique<IfStmt>(std::move(Cond), std::move(Then),
+                                      std::move(Else));
+    S->Line = Line;
+    return S;
+  }
+  case TokKind::KwWhile: {
+    advance();
+    if (!expect(TokKind::LParen, "after 'while'"))
+      return nullptr;
+    ExprPtr Cond = parseExpr();
+    if (!Cond || !expect(TokKind::RParen, "after while condition"))
+      return nullptr;
+    StmtPtr Body = parseBlock();
+    if (!Body)
+      return nullptr;
+    auto S = std::make_unique<WhileStmt>(std::move(Cond), std::move(Body));
+    S->Line = Line;
+    return S;
+  }
+  case TokKind::KwFor: {
+    advance();
+    if (!expect(TokKind::LParen, "after 'for'"))
+      return nullptr;
+    StmtPtr Init;
+    if (!check(TokKind::Semicolon)) {
+      Init = parseSimpleStmt(/*RequireSemi=*/false);
+      if (!Init)
+        return nullptr;
+    }
+    if (!expect(TokKind::Semicolon, "after for-init"))
+      return nullptr;
+    ExprPtr Cond;
+    if (!check(TokKind::Semicolon)) {
+      Cond = parseExpr();
+      if (!Cond)
+        return nullptr;
+    }
+    if (!expect(TokKind::Semicolon, "after for-condition"))
+      return nullptr;
+    StmtPtr Step;
+    if (!check(TokKind::RParen)) {
+      Step = parseSimpleStmt(/*RequireSemi=*/false);
+      if (!Step)
+        return nullptr;
+    }
+    if (!expect(TokKind::RParen, "after for-step"))
+      return nullptr;
+    StmtPtr Body = parseBlock();
+    if (!Body)
+      return nullptr;
+    auto S = std::make_unique<ForStmt>(std::move(Init), std::move(Cond),
+                                       std::move(Step), std::move(Body));
+    S->Line = Line;
+    return S;
+  }
+  default:
+    return parseSimpleStmt(/*RequireSemi=*/true);
+  }
+}
+
+StmtPtr Parser::parseSimpleStmt(bool RequireSemi) {
+  unsigned Line = peek().Line;
+  StmtPtr Result;
+
+  switch (peek().Kind) {
+  case TokKind::KwVar: {
+    advance();
+    if (!check(TokKind::Identifier)) {
+      error("expected variable name");
+      return nullptr;
+    }
+    std::string Name = advance().Text;
+    if (!expect(TokKind::Colon, "after variable name"))
+      return nullptr;
+    const LangType *Ty = parseType();
+    if (!Ty)
+      return nullptr;
+    ExprPtr Init;
+    if (accept(TokKind::Assign)) {
+      Init = parseExpr();
+      if (!Init)
+        return nullptr;
+    }
+    Result = std::make_unique<VarDeclStmt>(std::move(Name), Ty,
+                                           std::move(Init));
+    break;
+  }
+  case TokKind::KwBreak:
+    advance();
+    Result = std::make_unique<BreakStmt>();
+    break;
+  case TokKind::KwContinue:
+    advance();
+    Result = std::make_unique<ContinueStmt>();
+    break;
+  case TokKind::KwReturn: {
+    advance();
+    ExprPtr V;
+    if (!check(TokKind::Semicolon)) {
+      V = parseExpr();
+      if (!V)
+        return nullptr;
+    }
+    Result = std::make_unique<ReturnStmt>(std::move(V));
+    break;
+  }
+  case TokKind::KwAssert: {
+    advance();
+    if (!expect(TokKind::LParen, "after 'assert'"))
+      return nullptr;
+    ExprPtr C = parseExpr();
+    if (!C || !expect(TokKind::RParen, "after assert condition"))
+      return nullptr;
+    Result = std::make_unique<AssertStmt>(std::move(C));
+    break;
+  }
+  case TokKind::KwAbort: {
+    advance();
+    if (!expect(TokKind::LParen, "after 'abort'"))
+      return nullptr;
+    std::string Msg = "abort";
+    if (check(TokKind::StrLiteral))
+      Msg = advance().Text;
+    if (!expect(TokKind::RParen, "after abort message"))
+      return nullptr;
+    Result = std::make_unique<AbortStmt>(std::move(Msg));
+    break;
+  }
+  case TokKind::KwDelete: {
+    advance();
+    ExprPtr P = parseExpr();
+    if (!P)
+      return nullptr;
+    Result = std::make_unique<DeleteStmt>(std::move(P));
+    break;
+  }
+  default: {
+    ExprPtr Lhs = parseExpr();
+    if (!Lhs)
+      return nullptr;
+    if (accept(TokKind::Assign)) {
+      if (Lhs->K != Expr::Kind::VarRef && Lhs->K != Expr::Kind::Index) {
+        error("assignment target must be a variable or element");
+        return nullptr;
+      }
+      ExprPtr Rhs = parseExpr();
+      if (!Rhs)
+        return nullptr;
+      Result = std::make_unique<AssignStmt>(std::move(Lhs), std::move(Rhs));
+    } else {
+      Result = std::make_unique<ExprStmt>(std::move(Lhs));
+    }
+    break;
+  }
+  }
+
+  Result->Line = Line;
+  if (RequireSemi && !expect(TokKind::Semicolon, "after statement"))
+    return nullptr;
+  return Result;
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Binary operator precedence (higher binds tighter); -1 = not a binary op.
+int precedenceOf(TokKind K) {
+  switch (K) {
+  case TokKind::Star:
+  case TokKind::Slash:
+  case TokKind::Percent:  return 10;
+  case TokKind::Plus:
+  case TokKind::Minus:    return 9;
+  case TokKind::Shl:
+  case TokKind::Shr:      return 8;
+  case TokKind::Lt:
+  case TokKind::Le:
+  case TokKind::Gt:
+  case TokKind::Ge:       return 7;
+  case TokKind::EqEq:
+  case TokKind::BangEq:   return 6;
+  case TokKind::Amp:      return 5;
+  case TokKind::Caret:    return 4;
+  case TokKind::Pipe:     return 3;
+  case TokKind::AmpAmp:   return 2;
+  case TokKind::PipePipe: return 1;
+  default:                return -1;
+  }
+}
+
+BinaryOp binOpOf(TokKind K) {
+  switch (K) {
+  case TokKind::Star:     return BinaryOp::Mul;
+  case TokKind::Slash:    return BinaryOp::Div;
+  case TokKind::Percent:  return BinaryOp::Rem;
+  case TokKind::Plus:     return BinaryOp::Add;
+  case TokKind::Minus:    return BinaryOp::Sub;
+  case TokKind::Shl:      return BinaryOp::Shl;
+  case TokKind::Shr:      return BinaryOp::Shr;
+  case TokKind::Lt:       return BinaryOp::Lt;
+  case TokKind::Le:       return BinaryOp::Le;
+  case TokKind::Gt:       return BinaryOp::Gt;
+  case TokKind::Ge:       return BinaryOp::Ge;
+  case TokKind::EqEq:     return BinaryOp::Eq;
+  case TokKind::BangEq:   return BinaryOp::Ne;
+  case TokKind::Amp:      return BinaryOp::And;
+  case TokKind::Caret:    return BinaryOp::Xor;
+  case TokKind::Pipe:     return BinaryOp::Or;
+  case TokKind::AmpAmp:   return BinaryOp::LogAnd;
+  case TokKind::PipePipe: return BinaryOp::LogOr;
+  default:                return BinaryOp::Add; // Unreachable.
+  }
+}
+
+} // namespace
+
+ExprPtr Parser::parseExpr() {
+  ExprPtr Lhs = parseCastExpr();
+  if (!Lhs)
+    return nullptr;
+  return parseBinaryRhs(1, std::move(Lhs));
+}
+
+ExprPtr Parser::parseBinaryRhs(int MinPrec, ExprPtr Lhs) {
+  for (;;) {
+    int Prec = precedenceOf(peek().Kind);
+    if (Prec < MinPrec)
+      return Lhs;
+    unsigned Line = peek().Line;
+    TokKind OpTok = advance().Kind;
+    ExprPtr Rhs = parseCastExpr();
+    if (!Rhs)
+      return nullptr;
+    int NextPrec = precedenceOf(peek().Kind);
+    if (NextPrec > Prec) {
+      Rhs = parseBinaryRhs(Prec + 1, std::move(Rhs));
+      if (!Rhs)
+        return nullptr;
+    }
+    auto E = std::make_unique<BinaryExpr>(binOpOf(OpTok), std::move(Lhs),
+                                          std::move(Rhs));
+    E->Line = Line;
+    Lhs = std::move(E);
+  }
+}
+
+ExprPtr Parser::parseCastExpr() {
+  ExprPtr E = parseUnary();
+  if (!E)
+    return nullptr;
+  while (accept(TokKind::KwAs)) {
+    unsigned Line = peek().Line;
+    const LangType *Ty = parseScalarType();
+    if (!Ty)
+      return nullptr;
+    auto C = std::make_unique<CastExpr>(std::move(E), Ty);
+    C->Line = Line;
+    E = std::move(C);
+  }
+  return E;
+}
+
+ExprPtr Parser::parseUnary() {
+  unsigned Line = peek().Line;
+  if (accept(TokKind::Minus)) {
+    ExprPtr S = parseUnary();
+    if (!S)
+      return nullptr;
+    auto E = std::make_unique<UnaryExpr>(UnaryOp::Neg, std::move(S));
+    E->Line = Line;
+    return E;
+  }
+  if (accept(TokKind::Bang)) {
+    ExprPtr S = parseUnary();
+    if (!S)
+      return nullptr;
+    auto E = std::make_unique<UnaryExpr>(UnaryOp::Not, std::move(S));
+    E->Line = Line;
+    return E;
+  }
+  if (accept(TokKind::Tilde)) {
+    ExprPtr S = parseUnary();
+    if (!S)
+      return nullptr;
+    auto E = std::make_unique<UnaryExpr>(UnaryOp::BitNot, std::move(S));
+    E->Line = Line;
+    return E;
+  }
+  if (accept(TokKind::Amp)) {
+    ExprPtr S = parsePostfix();
+    if (!S)
+      return nullptr;
+    if (S->K != Expr::Kind::VarRef && S->K != Expr::Kind::Index) {
+      error("'&' requires a variable or element");
+      return nullptr;
+    }
+    auto E = std::make_unique<AddrOfExpr>(std::move(S));
+    E->Line = Line;
+    return E;
+  }
+  return parsePostfix();
+}
+
+ExprPtr Parser::parsePostfix() {
+  ExprPtr E = parsePrimary();
+  if (!E)
+    return nullptr;
+  while (accept(TokKind::LBracket)) {
+    unsigned Line = peek().Line;
+    ExprPtr Idx = parseExpr();
+    if (!Idx || !expect(TokKind::RBracket, "after index"))
+      return nullptr;
+    auto I = std::make_unique<IndexExpr>(std::move(E), std::move(Idx));
+    I->Line = Line;
+    E = std::move(I);
+  }
+  return E;
+}
+
+ExprPtr Parser::parsePrimary() {
+  unsigned Line = peek().Line;
+  switch (peek().Kind) {
+  case TokKind::IntLiteral:
+  case TokKind::CharLiteral: {
+    bool IsChar = peek().Kind == TokKind::CharLiteral;
+    auto E = std::make_unique<IntLitExpr>(advance().IntValue, IsChar);
+    E->Line = Line;
+    return E;
+  }
+  case TokKind::KwTrue:
+  case TokKind::KwFalse: {
+    bool V = advance().Kind == TokKind::KwTrue;
+    auto E = std::make_unique<BoolLitExpr>(V);
+    E->Line = Line;
+    return E;
+  }
+  case TokKind::KwNull: {
+    advance();
+    auto E = std::make_unique<NullLitExpr>();
+    E->Line = Line;
+    return E;
+  }
+  case TokKind::KwNew: {
+    advance();
+    const LangType *Elem = parseScalarType();
+    if (!Elem)
+      return nullptr;
+    if (!expect(TokKind::LBracket, "after 'new' element type"))
+      return nullptr;
+    ExprPtr Count = parseExpr();
+    if (!Count || !expect(TokKind::RBracket, "after 'new' count"))
+      return nullptr;
+    auto E = std::make_unique<NewExpr>(Elem, std::move(Count));
+    E->Line = Line;
+    return E;
+  }
+  case TokKind::Identifier: {
+    std::string Name = advance().Text;
+    if (accept(TokKind::LParen)) {
+      std::vector<ExprPtr> Args;
+      if (!check(TokKind::RParen)) {
+        do {
+          ExprPtr A = parseExpr();
+          if (!A)
+            return nullptr;
+          Args.push_back(std::move(A));
+        } while (accept(TokKind::Comma));
+      }
+      if (!expect(TokKind::RParen, "after call arguments"))
+        return nullptr;
+      auto E = std::make_unique<CallExpr>(std::move(Name), std::move(Args));
+      E->Line = Line;
+      return E;
+    }
+    auto E = std::make_unique<VarRefExpr>(std::move(Name));
+    E->Line = Line;
+    return E;
+  }
+  case TokKind::LParen: {
+    advance();
+    ExprPtr E = parseExpr();
+    if (!E || !expect(TokKind::RParen, "to close parenthesized expression"))
+      return nullptr;
+    return E;
+  }
+  default:
+    error(formatString("unexpected %s in expression",
+                       tokKindName(peek().Kind)));
+    return nullptr;
+  }
+}

@@ -1,0 +1,61 @@
+//===- Parser.h - MiniLang recursive-descent parser --------------*- C++ -*-===//
+///
+/// \file
+/// Builds a Program AST from a token stream. Precedence-layered recursive
+/// descent; the grammar is documented in Parser.cpp.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ER_LANG_PARSER_H
+#define ER_LANG_PARSER_H
+
+#include "lang/Ast.h"
+#include "lang/Token.h"
+
+#include <string>
+#include <vector>
+
+namespace er {
+namespace lang {
+
+/// Parses a token stream into \p Prog.
+class Parser {
+public:
+  Parser(std::vector<Token> Tokens, Program &Prog)
+      : Tokens(std::move(Tokens)), Prog(Prog) {}
+
+  /// Returns true on success; on failure \p Err holds a diagnostic.
+  bool parseProgram(std::string &Err);
+
+private:
+  const Token &peek(unsigned Ahead = 0) const;
+  const Token &advance();
+  bool check(TokKind K) const { return peek().is(K); }
+  bool accept(TokKind K);
+  bool expect(TokKind K, const char *Context);
+  bool error(const std::string &Msg);
+
+  bool parseGlobal();
+  bool parseFunc();
+  const LangType *parseType();
+  const LangType *parseScalarType();
+  StmtPtr parseBlock();
+  StmtPtr parseStmt();
+  StmtPtr parseSimpleStmt(bool RequireSemi);
+  ExprPtr parseExpr();
+  ExprPtr parseBinaryRhs(int MinPrec, ExprPtr Lhs);
+  ExprPtr parseCastExpr();
+  ExprPtr parseUnary();
+  ExprPtr parsePostfix();
+  ExprPtr parsePrimary();
+
+  std::vector<Token> Tokens;
+  Program &Prog;
+  size_t Pos = 0;
+  std::string ErrMsg;
+};
+
+} // namespace lang
+} // namespace er
+
+#endif // ER_LANG_PARSER_H

@@ -1,0 +1,624 @@
+//===- Sema.cpp - MiniLang semantic analysis ----------------------------------===//
+
+#include "lang/Sema.h"
+
+#include "ir/Casting.h"
+#include "solver/Expr.h" // maskToWidth
+#include "support/Format.h"
+
+using namespace er;
+using namespace er::lang;
+
+bool Sema::error(unsigned Line, const std::string &Msg) {
+  if (ErrMsg.empty())
+    ErrMsg = formatString("line %u: %s", Line, Msg.c_str());
+  return false;
+}
+
+bool Sema::declareLocal(VarDeclStmt *D) {
+  auto &Scope = Scopes.back();
+  if (Scope.count(D->Name))
+    return error(D->Line, "redeclaration of '" + D->Name + "'");
+  NameBinding B;
+  B.K = NameBinding::Kind::Local;
+  B.Local = D;
+  Scope.emplace(D->Name, B);
+  return true;
+}
+
+NameBinding Sema::lookup(const std::string &Name) const {
+  for (auto It = Scopes.rbegin(); It != Scopes.rend(); ++It) {
+    auto Found = It->find(Name);
+    if (Found != It->end())
+      return Found->second;
+  }
+  if (CurFunc)
+    for (auto &P : CurFunc->Params)
+      if (P.Name == Name) {
+        NameBinding B;
+        B.K = NameBinding::Kind::Param;
+        B.Param = &P;
+        return B;
+      }
+  if (GlobalDecl *G = Prog.findGlobal(Name)) {
+    NameBinding B;
+    B.K = NameBinding::Kind::Global;
+    B.Global = G;
+    return B;
+  }
+  if (FuncDecl *F = Prog.findFunc(Name)) {
+    NameBinding B;
+    B.K = NameBinding::Kind::Func;
+    B.Func = F;
+    return B;
+  }
+  return NameBinding();
+}
+
+bool Sema::isWideningOk(const LangType *From, const LangType *To) const {
+  return From->isInt() && To->isInt() && From->Signed == To->Signed &&
+         To->Bits > From->Bits;
+}
+
+bool Sema::coerce(ExprPtr &E, const LangType *Target, unsigned Line) {
+  const LangType *Ty = E->Ty;
+  if (Ty == Target)
+    return true;
+
+  // Integer literals adapt to any integer target when the value fits.
+  if (E->K == Expr::Kind::IntLit && Target->isInt()) {
+    auto *Lit = static_cast<IntLitExpr *>(E.get());
+    uint64_t Masked = maskToWidth(Lit->Value, Target->Bits);
+    // Accept either unsigned fit or a negative-looking 64-bit literal that
+    // survives truncation (e.g. -1 written through unary minus is folded
+    // later; raw literals here are non-negative).
+    if (Masked != Lit->Value && Target->Bits < 64)
+      return error(Line, formatString("literal %llu does not fit in %s",
+                                      static_cast<unsigned long long>(
+                                          Lit->Value),
+                                      Target->str().c_str()));
+    E->Ty = Target;
+    return true;
+  }
+  // Negated literal: -c adapts too.
+  if (E->K == Expr::Kind::Unary && Target->isInt()) {
+    auto *U = static_cast<UnaryExpr *>(E.get());
+    if (U->Op == UnaryOp::Neg && U->Sub->K == Expr::Kind::IntLit) {
+      U->Sub->Ty = Target;
+      E->Ty = Target;
+      return true;
+    }
+  }
+
+  if (isWideningOk(Ty, Target)) {
+    auto C = std::make_unique<CastExpr>(std::move(E), Target);
+    C->Line = Line;
+    C->Ty = Target;
+    E = std::move(C);
+    return true;
+  }
+
+  // Array-to-pointer decay.
+  if (Ty->isArray() && Target->isPtr() && Ty->Elem == Target->Elem) {
+    E->Ty = Target;
+    return true;
+  }
+
+  // Null adapts to any pointer type.
+  if (E->K == Expr::Kind::NullLit && Target->isPtr()) {
+    E->Ty = Target;
+    return true;
+  }
+
+  return error(Line, "cannot convert " + Ty->str() + " to " + Target->str() +
+                         " (use 'as')");
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+const LangType *Sema::checkExpr(Expr &E) {
+  switch (E.K) {
+  case Expr::Kind::IntLit:
+    E.Ty = static_cast<IntLitExpr &>(E).IsChar ? Prog.Types.u8()
+                                               : Prog.Types.i64();
+    return E.Ty;
+  case Expr::Kind::BoolLit:
+    E.Ty = Prog.Types.boolTy();
+    return E.Ty;
+  case Expr::Kind::NullLit:
+    E.Ty = Prog.Types.ptrTo(Prog.Types.u8());
+    return E.Ty;
+
+  case Expr::Kind::VarRef: {
+    auto &V = static_cast<VarRefExpr &>(E);
+    V.Binding = lookup(V.Name);
+    switch (V.Binding.K) {
+    case NameBinding::Kind::Local:
+      E.Ty = V.Binding.Local->DeclTy;
+      return E.Ty;
+    case NameBinding::Kind::Param:
+      E.Ty = V.Binding.Param->Ty;
+      return E.Ty;
+    case NameBinding::Kind::Global:
+      E.Ty = V.Binding.Global->Ty;
+      return E.Ty;
+    case NameBinding::Kind::Func:
+      error(E.Line, "function '" + V.Name + "' used as a value");
+      return nullptr;
+    case NameBinding::Kind::None:
+      error(E.Line, "use of undeclared identifier '" + V.Name + "'");
+      return nullptr;
+    }
+    return nullptr;
+  }
+
+  case Expr::Kind::Index: {
+    auto &I = static_cast<IndexExpr &>(E);
+    const LangType *BaseTy = checkExpr(*I.Base);
+    if (!BaseTy)
+      return nullptr;
+    if (!BaseTy->isArray() && !BaseTy->isPtr()) {
+      error(E.Line, "cannot index a " + BaseTy->str());
+      return nullptr;
+    }
+    const LangType *IdxTy = checkExpr(*I.Idx);
+    if (!IdxTy)
+      return nullptr;
+    if (!IdxTy->isInt() && I.Idx->K != Expr::Kind::IntLit) {
+      error(E.Line, "index must be an integer");
+      return nullptr;
+    }
+    E.Ty = BaseTy->Elem;
+    return E.Ty;
+  }
+
+  case Expr::Kind::Unary: {
+    auto &U = static_cast<UnaryExpr &>(E);
+    const LangType *SubTy = checkExpr(*U.Sub);
+    if (!SubTy)
+      return nullptr;
+    switch (U.Op) {
+    case UnaryOp::Neg:
+    case UnaryOp::BitNot:
+      if (!SubTy->isInt()) {
+        error(E.Line, "unary operator requires an integer");
+        return nullptr;
+      }
+      E.Ty = SubTy;
+      return E.Ty;
+    case UnaryOp::Not:
+      if (!SubTy->isBool()) {
+        error(E.Line, "'!' requires a bool");
+        return nullptr;
+      }
+      E.Ty = SubTy;
+      return E.Ty;
+    }
+    return nullptr;
+  }
+
+  case Expr::Kind::Binary: {
+    auto &B = static_cast<BinaryExpr &>(E);
+    if (B.Op == BinaryOp::LogAnd || B.Op == BinaryOp::LogOr) {
+      const LangType *L = checkExpr(*B.Lhs);
+      const LangType *R = checkExpr(*B.Rhs);
+      if (!L || !R)
+        return nullptr;
+      if (!L->isBool() || !R->isBool()) {
+        error(E.Line, "logical operator requires bool operands");
+        return nullptr;
+      }
+      E.Ty = Prog.Types.boolTy();
+      return E.Ty;
+    }
+
+    const LangType *L = checkExpr(*B.Lhs);
+    const LangType *R = checkExpr(*B.Rhs);
+    if (!L || !R)
+      return nullptr;
+
+    bool IsCmp = B.Op == BinaryOp::Lt || B.Op == BinaryOp::Le ||
+                 B.Op == BinaryOp::Gt || B.Op == BinaryOp::Ge ||
+                 B.Op == BinaryOp::Eq || B.Op == BinaryOp::Ne;
+
+    // Pointer equality (against pointer or null).
+    if ((L->isPtr() || R->isPtr()) &&
+        (B.Op == BinaryOp::Eq || B.Op == BinaryOp::Ne)) {
+      if (L->isPtr() && !coerce(B.Rhs, L, E.Line))
+        return nullptr;
+      if (!L->isPtr() && !coerce(B.Lhs, R, E.Line))
+        return nullptr;
+      E.Ty = Prog.Types.boolTy();
+      return E.Ty;
+    }
+
+    // Unify operand types: adapt literals, then try widening either side.
+    if (L != R) {
+      if (B.Rhs->K == Expr::Kind::IntLit ||
+          (B.Rhs->K == Expr::Kind::Unary && L->isInt())) {
+        if (!coerce(B.Rhs, L, E.Line))
+          return nullptr;
+        R = L;
+      } else if (B.Lhs->K == Expr::Kind::IntLit) {
+        if (!coerce(B.Lhs, R, E.Line))
+          return nullptr;
+        L = R;
+      } else if (isWideningOk(L, R)) {
+        if (!coerce(B.Lhs, R, E.Line))
+          return nullptr;
+        L = R;
+      } else if (isWideningOk(R, L)) {
+        if (!coerce(B.Rhs, L, E.Line))
+          return nullptr;
+        R = L;
+      } else {
+        error(E.Line, "operand type mismatch: " + L->str() + " vs " +
+                          R->str());
+        return nullptr;
+      }
+    }
+    if (!L->isInt()) {
+      error(E.Line, "arithmetic requires integer operands");
+      return nullptr;
+    }
+    E.Ty = IsCmp ? Prog.Types.boolTy() : L;
+    return E.Ty;
+  }
+
+  case Expr::Kind::Cast: {
+    auto &C = static_cast<CastExpr &>(E);
+    const LangType *SubTy = checkExpr(*C.Sub);
+    if (!SubTy)
+      return nullptr;
+    bool Ok = (SubTy->isInt() || SubTy->isBool()) &&
+              (C.Target->isInt() || C.Target->isBool());
+    if (!Ok) {
+      error(E.Line, "invalid cast from " + SubTy->str() + " to " +
+                        C.Target->str());
+      return nullptr;
+    }
+    E.Ty = C.Target;
+    return E.Ty;
+  }
+
+  case Expr::Kind::New: {
+    auto &N = static_cast<NewExpr &>(E);
+    if (!checkExpr(*N.Count))
+      return nullptr;
+    if (!coerce(N.Count, Prog.Types.i64(), E.Line))
+      return nullptr;
+    E.Ty = Prog.Types.ptrTo(N.ElemTy);
+    return E.Ty;
+  }
+
+  case Expr::Kind::AddrOf: {
+    auto &A = static_cast<AddrOfExpr &>(E);
+    const LangType *BaseTy = checkExpr(*A.Base);
+    if (!BaseTy)
+      return nullptr;
+    if (A.Base->K == Expr::Kind::Index) {
+      E.Ty = Prog.Types.ptrTo(BaseTy);
+      return E.Ty;
+    }
+    // &var: pointer to the variable's storage.
+    if (BaseTy->isArray())
+      E.Ty = Prog.Types.ptrTo(BaseTy->Elem);
+    else
+      E.Ty = Prog.Types.ptrTo(BaseTy);
+    return E.Ty;
+  }
+
+  case Expr::Kind::Call: {
+    auto &C = static_cast<CallExpr &>(E);
+    auto CheckArgs = [&](size_t N) {
+      if (C.Args.size() != N) {
+        error(E.Line, formatString("%s expects %zu argument(s)",
+                                   C.Callee.c_str(), N));
+        return false;
+      }
+      for (auto &A : C.Args)
+        if (!checkExpr(*A))
+          return false;
+      return true;
+    };
+
+    // Builtins.
+    if (C.Callee == "input_arg") {
+      if (!CheckArgs(1))
+        return nullptr;
+      if (C.Args[0]->K != Expr::Kind::IntLit) {
+        error(E.Line, "input_arg index must be a literal");
+        return nullptr;
+      }
+      E.Ty = Prog.Types.i64();
+      return E.Ty;
+    }
+    if (C.Callee == "input_byte") {
+      if (!CheckArgs(0))
+        return nullptr;
+      E.Ty = Prog.Types.u8();
+      return E.Ty;
+    }
+    if (C.Callee == "input_size") {
+      if (!CheckArgs(0))
+        return nullptr;
+      E.Ty = Prog.Types.i64();
+      return E.Ty;
+    }
+    if (C.Callee == "print") {
+      if (!CheckArgs(1))
+        return nullptr;
+      if (!C.Args[0]->Ty->isScalar()) {
+        error(E.Line, "print requires a scalar");
+        return nullptr;
+      }
+      E.Ty = Prog.Types.voidTy();
+      return E.Ty;
+    }
+    if (C.Callee == "spawn") {
+      if (C.Args.size() != 2) {
+        error(E.Line, "spawn expects (function, pointer)");
+        return nullptr;
+      }
+      if (C.Args[0]->K != Expr::Kind::VarRef) {
+        error(E.Line, "spawn's first argument must name a function");
+        return nullptr;
+      }
+      auto *FRef = static_cast<VarRefExpr *>(C.Args[0].get());
+      FuncDecl *Entry = Prog.findFunc(FRef->Name);
+      if (!Entry || Entry->Params.size() != 1 ||
+          !Entry->Params[0].Ty->isPtr()) {
+        error(E.Line, "spawn target must be fn(p: *T)");
+        return nullptr;
+      }
+      FRef->Binding.K = NameBinding::Kind::Func;
+      FRef->Binding.Func = Entry;
+      FRef->Ty = Prog.Types.voidTy();
+      if (!checkExpr(*C.Args[1]))
+        return nullptr;
+      if (!coerce(C.Args[1], Entry->Params[0].Ty, E.Line))
+        return nullptr;
+      E.Ty = Prog.Types.i64();
+      return E.Ty;
+    }
+    if (C.Callee == "join") {
+      if (!CheckArgs(1))
+        return nullptr;
+      if (!coerce(C.Args[0], Prog.Types.i64(), E.Line))
+        return nullptr;
+      E.Ty = Prog.Types.voidTy();
+      return E.Ty;
+    }
+    if (C.Callee == "lock" || C.Callee == "unlock") {
+      if (!CheckArgs(1))
+        return nullptr;
+      if (C.Args[0]->K != Expr::Kind::IntLit) {
+        error(E.Line, C.Callee + " requires a literal mutex id");
+        return nullptr;
+      }
+      E.Ty = Prog.Types.voidTy();
+      return E.Ty;
+    }
+
+    // User functions.
+    FuncDecl *F = Prog.findFunc(C.Callee);
+    if (!F) {
+      error(E.Line, "call to undeclared function '" + C.Callee + "'");
+      return nullptr;
+    }
+    C.Resolved = F;
+    if (C.Args.size() != F->Params.size()) {
+      error(E.Line, formatString("'%s' expects %zu argument(s), got %zu",
+                                 C.Callee.c_str(), F->Params.size(),
+                                 C.Args.size()));
+      return nullptr;
+    }
+    for (size_t I = 0; I < C.Args.size(); ++I) {
+      if (!checkExpr(*C.Args[I]))
+        return nullptr;
+      if (!coerce(C.Args[I], F->Params[I].Ty, E.Line))
+        return nullptr;
+    }
+    E.Ty = F->RetTy;
+    return E.Ty;
+  }
+  }
+  return nullptr;
+}
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+bool Sema::checkBlock(BlockStmt &B) {
+  pushScope();
+  for (auto &S : B.Stmts)
+    if (!checkStmt(*S)) {
+      popScope();
+      return false;
+    }
+  popScope();
+  return true;
+}
+
+bool Sema::checkStmt(Stmt &S) {
+  switch (S.K) {
+  case Stmt::Kind::Block:
+    return checkBlock(static_cast<BlockStmt &>(S));
+
+  case Stmt::Kind::VarDecl: {
+    auto &D = static_cast<VarDeclStmt &>(S);
+    if (D.DeclTy->isVoid())
+      return error(S.Line, "variable cannot be void");
+    if (D.Init) {
+      if (D.DeclTy->isArray())
+        return error(S.Line, "array locals cannot have initialisers");
+      if (!checkExpr(*D.Init))
+        return false;
+      if (!coerce(D.Init, D.DeclTy, S.Line))
+        return false;
+    }
+    return declareLocal(&D);
+  }
+
+  case Stmt::Kind::Assign: {
+    auto &A = static_cast<AssignStmt &>(S);
+    if (!checkExpr(*A.Lhs))
+      return false;
+    if (A.Lhs->K == Expr::Kind::VarRef) {
+      auto &V = static_cast<VarRefExpr &>(*A.Lhs);
+      if (V.Binding.K == NameBinding::Kind::Param)
+        return error(S.Line, "parameters are immutable; copy to a var");
+      if (V.Binding.K == NameBinding::Kind::Global && V.Ty->isArray())
+        return error(S.Line, "cannot assign a whole array");
+      if (V.Ty->isArray())
+        return error(S.Line, "cannot assign a whole array");
+    }
+    if (!checkExpr(*A.Rhs))
+      return false;
+    return coerce(A.Rhs, A.Lhs->Ty, S.Line);
+  }
+
+  case Stmt::Kind::If: {
+    auto &I = static_cast<IfStmt &>(S);
+    if (!checkExpr(*I.Cond))
+      return false;
+    if (!I.Cond->Ty->isBool())
+      return error(S.Line, "if condition must be bool");
+    if (!checkStmt(*I.Then))
+      return false;
+    return !I.Else || checkStmt(*I.Else);
+  }
+
+  case Stmt::Kind::While: {
+    auto &W = static_cast<WhileStmt &>(S);
+    if (!checkExpr(*W.Cond))
+      return false;
+    if (!W.Cond->Ty->isBool())
+      return error(S.Line, "while condition must be bool");
+    ++LoopDepth;
+    bool Ok = checkStmt(*W.Body);
+    --LoopDepth;
+    return Ok;
+  }
+
+  case Stmt::Kind::For: {
+    auto &F = static_cast<ForStmt &>(S);
+    pushScope(); // For-init scope covers cond/step/body.
+    bool Ok = true;
+    if (F.Init)
+      Ok = checkStmt(*F.Init);
+    if (Ok && F.Cond) {
+      Ok = checkExpr(*F.Cond) != nullptr;
+      if (Ok && !F.Cond->Ty->isBool())
+        Ok = error(S.Line, "for condition must be bool");
+    }
+    if (Ok && F.Step)
+      Ok = checkStmt(*F.Step);
+    if (Ok) {
+      ++LoopDepth;
+      Ok = checkStmt(*F.Body);
+      --LoopDepth;
+    }
+    popScope();
+    return Ok;
+  }
+
+  case Stmt::Kind::Break:
+  case Stmt::Kind::Continue:
+    if (LoopDepth == 0)
+      return error(S.Line, "break/continue outside a loop");
+    return true;
+
+  case Stmt::Kind::Return: {
+    auto &R = static_cast<ReturnStmt &>(S);
+    if (CurFunc->RetTy->isVoid()) {
+      if (R.Value)
+        return error(S.Line, "void function returns a value");
+      return true;
+    }
+    if (!R.Value)
+      return error(S.Line, "non-void function must return a value");
+    if (!checkExpr(*R.Value))
+      return false;
+    return coerce(R.Value, CurFunc->RetTy, S.Line);
+  }
+
+  case Stmt::Kind::ExprStmt:
+    return checkExpr(*static_cast<ExprStmt &>(S).E) != nullptr;
+
+  case Stmt::Kind::Assert: {
+    auto &A = static_cast<AssertStmt &>(S);
+    if (!checkExpr(*A.Cond))
+      return false;
+    if (!A.Cond->Ty->isBool())
+      return error(S.Line, "assert condition must be bool");
+    A.Text = formatString("assertion failed at line %u", S.Line);
+    return true;
+  }
+
+  case Stmt::Kind::Abort:
+    return true;
+
+  case Stmt::Kind::Delete: {
+    auto &D = static_cast<DeleteStmt &>(S);
+    if (!checkExpr(*D.Ptr))
+      return false;
+    if (!D.Ptr->Ty->isPtr())
+      return error(S.Line, "delete requires a pointer");
+    return true;
+  }
+  }
+  return false;
+}
+
+bool Sema::checkFunc(FuncDecl &F) {
+  CurFunc = &F;
+  LoopDepth = 0;
+  Scopes.clear();
+  pushScope();
+  for (auto &P : F.Params)
+    if (P.Ty->isArray() || P.Ty->isVoid())
+      return error(F.Line, "parameters must be scalar types");
+  bool Ok = checkStmt(*F.Body);
+  popScope();
+  CurFunc = nullptr;
+  return Ok;
+}
+
+bool Sema::run(std::string &Err) {
+  // Duplicate checks.
+  for (size_t I = 0; I < Prog.Funcs.size(); ++I)
+    for (size_t J = I + 1; J < Prog.Funcs.size(); ++J)
+      if (Prog.Funcs[I]->Name == Prog.Funcs[J]->Name)
+        return error(Prog.Funcs[J]->Line,
+                     "duplicate function '" + Prog.Funcs[J]->Name + "'"),
+               Err = ErrMsg,
+               false;
+  for (size_t I = 0; I < Prog.Globals.size(); ++I)
+    for (size_t J = I + 1; J < Prog.Globals.size(); ++J)
+      if (Prog.Globals[I]->Name == Prog.Globals[J]->Name)
+        return error(Prog.Globals[J]->Line,
+                     "duplicate global '" + Prog.Globals[J]->Name + "'"),
+               Err = ErrMsg,
+               false;
+
+  FuncDecl *Main = Prog.findFunc("main");
+  if (!Main) {
+    Err = "program has no 'main' function";
+    return false;
+  }
+  if (!Main->Params.empty() || Main->RetTy != Prog.Types.i64()) {
+    Err = "main must be 'fn main() -> i64'";
+    return false;
+  }
+
+  for (auto &F : Prog.Funcs)
+    if (!checkFunc(*F)) {
+      Err = ErrMsg;
+      return false;
+    }
+  return true;
+}

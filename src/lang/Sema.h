@@ -1,0 +1,63 @@
+//===- Sema.h - MiniLang semantic analysis -----------------------*- C++ -*-===//
+///
+/// \file
+/// Resolves names, checks types, and annotates the AST in place. Codegen
+/// assumes a Sema-checked tree.
+///
+/// Conversion rules: integer literals adapt to the context type when the
+/// value fits; same-signedness widenings are implicit; everything else
+/// requires an explicit 'as' cast. Pointers compare only against pointers of
+/// the same element type or 'null'.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ER_LANG_SEMA_H
+#define ER_LANG_SEMA_H
+
+#include "lang/Ast.h"
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace er {
+namespace lang {
+
+/// Type-checks and resolves a parsed Program.
+class Sema {
+public:
+  explicit Sema(Program &Prog) : Prog(Prog) {}
+
+  /// Returns true if the program is well-formed; otherwise \p Err describes
+  /// the first problem.
+  bool run(std::string &Err);
+
+private:
+  bool error(unsigned Line, const std::string &Msg);
+
+  bool checkFunc(FuncDecl &F);
+  bool checkStmt(Stmt &S);
+  bool checkBlock(BlockStmt &B);
+  /// Types expression \p E; returns its type or null on error.
+  const LangType *checkExpr(Expr &E);
+  /// Coerces \p E to \p Target (literal adaptation / implicit widening /
+  /// array decay). Returns false and reports on failure.
+  bool coerce(ExprPtr &E, const LangType *Target, unsigned Line);
+  bool isWideningOk(const LangType *From, const LangType *To) const;
+
+  void pushScope() { Scopes.emplace_back(); }
+  void popScope() { Scopes.pop_back(); }
+  bool declareLocal(VarDeclStmt *D);
+  NameBinding lookup(const std::string &Name) const;
+
+  Program &Prog;
+  FuncDecl *CurFunc = nullptr;
+  unsigned LoopDepth = 0;
+  std::vector<std::unordered_map<std::string, NameBinding>> Scopes;
+  std::string ErrMsg;
+};
+
+} // namespace lang
+} // namespace er
+
+#endif // ER_LANG_SEMA_H

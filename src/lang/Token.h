@@ -1,0 +1,56 @@
+//===- Token.h - MiniLang tokens ---------------------------------*- C++ -*-===//
+///
+/// \file
+/// Token kinds and the token record produced by the lexer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ER_LANG_TOKEN_H
+#define ER_LANG_TOKEN_H
+
+#include <cstdint>
+#include <string>
+
+namespace er {
+
+enum class TokKind : uint8_t {
+  Eof,
+  Identifier,
+  IntLiteral,
+  StrLiteral,
+  CharLiteral,
+
+  // Keywords.
+  KwFn, KwVar, KwGlobal, KwIf, KwElse, KwWhile, KwFor, KwBreak, KwContinue,
+  KwReturn, KwTrue, KwFalse, KwNull, KwAssert, KwAbort, KwAs, KwNew, KwDelete,
+  KwBool, KwI8, KwU8, KwI16, KwU16, KwI32, KwU32, KwI64, KwU64, KwVoid,
+
+  // Punctuation.
+  LParen, RParen, LBrace, RBrace, LBracket, RBracket,
+  Comma, Semicolon, Colon, Arrow,
+
+  // Operators.
+  Plus, Minus, Star, Slash, Percent,
+  Amp, Pipe, Caret, Tilde, Bang,
+  Shl, Shr,
+  Lt, Le, Gt, Ge, EqEq, BangEq,
+  AmpAmp, PipePipe,
+  Assign,
+};
+
+const char *tokKindName(TokKind K);
+
+/// One lexed token.
+struct Token {
+  TokKind Kind = TokKind::Eof;
+  std::string Text;     ///< Identifier or string/char literal contents.
+  uint64_t IntValue = 0;///< IntLiteral / CharLiteral value.
+  unsigned Line = 0;
+  unsigned Col = 0;
+
+  bool is(TokKind K) const { return Kind == K; }
+};
+
+} // namespace er
+
+#endif // ER_LANG_TOKEN_H

@@ -1,0 +1,781 @@
+//===- Expr.cpp - Hash-consed expression construction ---------------------===//
+
+#include "solver/Expr.h"
+
+#include "support/Error.h"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+
+using namespace er;
+
+const char *er::exprKindName(ExprKind K) {
+  switch (K) {
+  case ExprKind::Const:      return "const";
+  case ExprKind::Var:        return "var";
+  case ExprKind::ConstArray: return "const-array";
+  case ExprKind::DataArray:  return "data-array";
+  case ExprKind::SymArray:   return "sym-array";
+  case ExprKind::Not:        return "not";
+  case ExprKind::Neg:        return "neg";
+  case ExprKind::ZExt:       return "zext";
+  case ExprKind::SExt:       return "sext";
+  case ExprKind::Trunc:      return "trunc";
+  case ExprKind::Add:        return "add";
+  case ExprKind::Sub:        return "sub";
+  case ExprKind::Mul:        return "mul";
+  case ExprKind::UDiv:       return "udiv";
+  case ExprKind::SDiv:       return "sdiv";
+  case ExprKind::URem:       return "urem";
+  case ExprKind::SRem:       return "srem";
+  case ExprKind::And:        return "and";
+  case ExprKind::Or:         return "or";
+  case ExprKind::Xor:        return "xor";
+  case ExprKind::Shl:        return "shl";
+  case ExprKind::LShr:       return "lshr";
+  case ExprKind::AShr:       return "ashr";
+  case ExprKind::Eq:         return "eq";
+  case ExprKind::Ult:        return "ult";
+  case ExprKind::Slt:        return "slt";
+  case ExprKind::Ite:        return "ite";
+  case ExprKind::Read:       return "read";
+  case ExprKind::Write:      return "write";
+  }
+  fatalError("unknown expr kind");
+}
+
+//===----------------------------------------------------------------------===//
+// Interning
+//===----------------------------------------------------------------------===//
+
+static size_t hashCombine(size_t Seed, size_t V) {
+  return Seed ^ (V + 0x9e3779b97f4a7c15ULL + (Seed << 6) + (Seed >> 2));
+}
+
+static size_t computeHash(const Expr &E) {
+  size_t H = static_cast<size_t>(E.getKind());
+  H = hashCombine(H, E.getWidth());
+  H = hashCombine(H, E.getElemWidth());
+  H = hashCombine(H, static_cast<size_t>(E.getNumElems()));
+  H = hashCombine(H, static_cast<size_t>(E.getConstVal()));
+  H = hashCombine(H, E.getVarId());
+  for (unsigned I = 0; I < E.getNumOps(); ++I)
+    H = hashCombine(H, E.getOp(I)->getHash());
+  return H;
+}
+
+bool ExprContext::ExprPtrEq::operator()(const Expr *A, const Expr *B) const {
+  if (A->getKind() != B->getKind() || A->getWidth() != B->getWidth() ||
+      A->getElemWidth() != B->getElemWidth() ||
+      A->getNumElems() != B->getNumElems() ||
+      A->getConstVal() != B->getConstVal() || A->getVarId() != B->getVarId() ||
+      A->getNumOps() != B->getNumOps())
+    return false;
+  for (unsigned I = 0; I < A->getNumOps(); ++I)
+    if (A->getOp(I) != B->getOp(I))
+      return false;
+  return true;
+}
+
+ExprRef ExprContext::intern(Expr Proto) {
+  Proto.HashVal = computeHash(Proto);
+  auto It = Unique.find(&Proto);
+  if (It != Unique.end()) {
+    ++Stats.HashHits;
+    return *It;
+  }
+  Arena.push_back(Proto);
+  Expr *Node = &Arena.back();
+  Node->Id = static_cast<unsigned>(Arena.size() - 1);
+  Unique.insert(Node);
+  ++Stats.NodesCreated;
+  return Node;
+}
+
+//===----------------------------------------------------------------------===//
+// Leaves
+//===----------------------------------------------------------------------===//
+
+ExprRef ExprContext::constant(uint64_t Value, unsigned Width) {
+  assert(Width >= 1 && Width <= 64 && "invalid constant width");
+  Expr P;
+  P.Kind = ExprKind::Const;
+  P.Width = static_cast<uint8_t>(Width);
+  P.ConstVal = maskToWidth(Value, Width);
+  return intern(P);
+}
+
+ExprRef ExprContext::makeVar(const std::string &Name, unsigned Width) {
+  assert(Width >= 1 && Width <= 64 && "invalid variable width");
+  Expr P;
+  P.Kind = ExprKind::Var;
+  P.Width = static_cast<uint8_t>(Width);
+  P.VarId = static_cast<uint32_t>(VarNames.size());
+  VarNames.push_back(Name);
+  return intern(P);
+}
+
+const std::string &ExprContext::getVarName(uint32_t Id) const {
+  assert(Id < VarNames.size() && "variable id out of range");
+  return VarNames[Id];
+}
+
+ExprRef ExprContext::constArray(unsigned ElemWidth, uint64_t NumElems,
+                                uint64_t Fill) {
+  assert(ElemWidth >= 1 && ElemWidth <= 64 && "invalid element width");
+  Expr P;
+  P.Kind = ExprKind::ConstArray;
+  P.ElemWidth = static_cast<uint8_t>(ElemWidth);
+  P.NumElems = NumElems;
+  P.ConstVal = maskToWidth(Fill, ElemWidth);
+  return intern(P);
+}
+
+ExprRef ExprContext::dataArray(unsigned ElemWidth, std::vector<uint64_t> Data) {
+  assert(ElemWidth >= 1 && ElemWidth <= 64 && "invalid element width");
+  for (auto &V : Data)
+    V = maskToWidth(V, ElemWidth);
+  // Collapse all-equal contents to a ConstArray for better sharing.
+  if (!Data.empty() &&
+      std::all_of(Data.begin(), Data.end(),
+                  [&](uint64_t V) { return V == Data.front(); }))
+    return constArray(ElemWidth, Data.size(), Data.front());
+  Expr P;
+  P.Kind = ExprKind::DataArray;
+  P.ElemWidth = static_cast<uint8_t>(ElemWidth);
+  P.NumElems = Data.size();
+  P.VarId = static_cast<uint32_t>(DataArrays.size());
+  DataArrays.push_back(std::move(Data));
+  // DataArray nodes are identified by their storage slot, so each call
+  // creates a distinct node; callers cache them per memory object.
+  return intern(P);
+}
+
+ExprRef ExprContext::symArray(const std::string &Name, unsigned ElemWidth,
+                              uint64_t NumElems) {
+  Expr P;
+  P.Kind = ExprKind::SymArray;
+  P.ElemWidth = static_cast<uint8_t>(ElemWidth);
+  P.NumElems = NumElems;
+  P.VarId = static_cast<uint32_t>(SymArrayNames.size());
+  SymArrayNames.push_back(Name);
+  return intern(P);
+}
+
+const std::vector<uint64_t> &
+ExprContext::getArrayData(ExprRef DataArrayExpr) const {
+  assert(DataArrayExpr->getKind() == ExprKind::DataArray && "not a DataArray");
+  return DataArrays[DataArrayExpr->getVarId()];
+}
+
+const std::string &ExprContext::getSymArrayName(uint32_t Id) const {
+  assert(Id < SymArrayNames.size() && "symbolic array id out of range");
+  return SymArrayNames[Id];
+}
+
+//===----------------------------------------------------------------------===//
+// Constant folding
+//===----------------------------------------------------------------------===//
+
+static uint64_t foldBinaryConst(ExprKind K, uint64_t A, uint64_t B,
+                                unsigned W) {
+  switch (K) {
+  case ExprKind::Add:  return maskToWidth(A + B, W);
+  case ExprKind::Sub:  return maskToWidth(A - B, W);
+  case ExprKind::Mul:  return maskToWidth(A * B, W);
+  case ExprKind::UDiv: return B == 0 ? maskToWidth(~0ULL, W) : A / B;
+  case ExprKind::URem: return B == 0 ? A : A % B;
+  case ExprKind::SDiv: {
+    if (B == 0)
+      return maskToWidth(~0ULL, W);
+    int64_t SA = signExtend(A, W), SB = signExtend(B, W);
+    if (SB == -1 && SA == signExtend(1ULL << (W - 1), W))
+      return maskToWidth(static_cast<uint64_t>(SA), W); // INT_MIN / -1 wraps.
+    return maskToWidth(static_cast<uint64_t>(SA / SB), W);
+  }
+  case ExprKind::SRem: {
+    if (B == 0)
+      return A;
+    int64_t SA = signExtend(A, W), SB = signExtend(B, W);
+    if (SB == -1)
+      return 0;
+    return maskToWidth(static_cast<uint64_t>(SA % SB), W);
+  }
+  case ExprKind::And:  return A & B;
+  case ExprKind::Or:   return A | B;
+  case ExprKind::Xor:  return A ^ B;
+  case ExprKind::Shl:  return B >= W ? 0 : maskToWidth(A << B, W);
+  case ExprKind::LShr: return B >= W ? 0 : A >> B;
+  case ExprKind::AShr: {
+    int64_t SA = signExtend(A, W);
+    if (B >= W)
+      return maskToWidth(static_cast<uint64_t>(SA < 0 ? -1 : 0), W);
+    return maskToWidth(static_cast<uint64_t>(SA >> B), W);
+  }
+  case ExprKind::Eq:   return A == B;
+  case ExprKind::Ult:  return A < B;
+  case ExprKind::Slt:  return signExtend(A, W) < signExtend(B, W);
+  default:
+    fatalError("foldBinaryConst: unexpected kind");
+  }
+}
+
+static bool isCommutative(ExprKind K) {
+  switch (K) {
+  case ExprKind::Add:
+  case ExprKind::Mul:
+  case ExprKind::And:
+  case ExprKind::Or:
+  case ExprKind::Xor:
+  case ExprKind::Eq:
+    return true;
+  default:
+    return false;
+  }
+}
+
+ExprRef ExprContext::foldBinary(ExprKind K, ExprRef A, ExprRef B) {
+  unsigned W = A->getWidth();
+  // Canonicalize commutative ops: constants to the right, then by node id.
+  if (isCommutative(K)) {
+    if (A->isConst() && !B->isConst())
+      std::swap(A, B);
+    else if (!A->isConst() && !B->isConst() && B->getId() < A->getId())
+      std::swap(A, B);
+  }
+
+  if (A->isConst() && B->isConst()) {
+    ++Stats.FoldsApplied;
+    unsigned RW = (K == ExprKind::Eq || K == ExprKind::Ult ||
+                   K == ExprKind::Slt)
+                      ? 1
+                      : W;
+    return constant(foldBinaryConst(K, A->getConstVal(), B->getConstVal(), W),
+                    RW);
+  }
+
+  // Identities with a constant on the right.
+  if (B->isConst()) {
+    uint64_t C = B->getConstVal();
+    uint64_t AllOnes = maskToWidth(~0ULL, W);
+    switch (K) {
+    case ExprKind::Add:
+    case ExprKind::Sub:
+    case ExprKind::Or:
+    case ExprKind::Xor:
+    case ExprKind::Shl:
+    case ExprKind::LShr:
+    case ExprKind::AShr:
+      if (C == 0) {
+        ++Stats.FoldsApplied;
+        return A;
+      }
+      break;
+    case ExprKind::Mul:
+      if (C == 0) {
+        ++Stats.FoldsApplied;
+        return B;
+      }
+      if (C == 1) {
+        ++Stats.FoldsApplied;
+        return A;
+      }
+      break;
+    case ExprKind::UDiv:
+      if (C == 1) {
+        ++Stats.FoldsApplied;
+        return A;
+      }
+      break;
+    case ExprKind::And:
+      if (C == 0) {
+        ++Stats.FoldsApplied;
+        return B;
+      }
+      if (C == AllOnes) {
+        ++Stats.FoldsApplied;
+        return A;
+      }
+      break;
+    case ExprKind::Ult:
+      if (C == 0) { // Nothing is < 0 unsigned.
+        ++Stats.FoldsApplied;
+        return falseExpr();
+      }
+      break;
+    default:
+      break;
+    }
+    if (K == ExprKind::Or && C == AllOnes) {
+      ++Stats.FoldsApplied;
+      return B;
+    }
+  }
+
+  if (A == B) {
+    switch (K) {
+    case ExprKind::Sub:
+    case ExprKind::Xor:
+      ++Stats.FoldsApplied;
+      return constant(0, W);
+    case ExprKind::And:
+    case ExprKind::Or:
+      ++Stats.FoldsApplied;
+      return A;
+    case ExprKind::Eq:
+      ++Stats.FoldsApplied;
+      return trueExpr();
+    case ExprKind::Ult:
+    case ExprKind::Slt:
+      ++Stats.FoldsApplied;
+      return falseExpr();
+    default:
+      break;
+    }
+  }
+
+  // Boolean (width-1) extra identities.
+  if (W == 1 && K == ExprKind::Eq && B->isConst()) {
+    ++Stats.FoldsApplied;
+    return B->getConstVal() ? A : bvnot(A);
+  }
+
+  // (add (add x, c1), c2) -> (add x, c1+c2); same for sub folded into add.
+  if (K == ExprKind::Add && B->isConst() &&
+      A->getKind() == ExprKind::Add && A->getOp1()->isConst()) {
+    ++Stats.FoldsApplied;
+    return add(A->getOp0(),
+               constant(A->getOp1()->getConstVal() + B->getConstVal(), W));
+  }
+
+  return nullptr;
+}
+
+ExprRef ExprContext::binary(ExprKind K, ExprRef A, ExprRef B) {
+  assert(A && B && "null operand");
+  assert(A->getWidth() == B->getWidth() && "operand width mismatch");
+  if (ExprRef Folded = foldBinary(K, A, B))
+    return Folded;
+  // Re-canonicalize after failed fold (foldBinary may have swapped copies).
+  if (isCommutative(K)) {
+    if (A->isConst() && !B->isConst())
+      std::swap(A, B);
+    else if (!A->isConst() && !B->isConst() && B->getId() < A->getId())
+      std::swap(A, B);
+  }
+  Expr P;
+  P.Kind = K;
+  bool Rel = K == ExprKind::Eq || K == ExprKind::Ult || K == ExprKind::Slt;
+  P.Width = static_cast<uint8_t>(Rel ? 1 : A->getWidth());
+  P.NumOps = 2;
+  P.Ops[0] = A;
+  P.Ops[1] = B;
+  return intern(P);
+}
+
+//===----------------------------------------------------------------------===//
+// Public builders
+//===----------------------------------------------------------------------===//
+
+ExprRef ExprContext::add(ExprRef A, ExprRef B) { return binary(ExprKind::Add, A, B); }
+ExprRef ExprContext::sub(ExprRef A, ExprRef B) { return binary(ExprKind::Sub, A, B); }
+ExprRef ExprContext::mul(ExprRef A, ExprRef B) { return binary(ExprKind::Mul, A, B); }
+ExprRef ExprContext::udiv(ExprRef A, ExprRef B) { return binary(ExprKind::UDiv, A, B); }
+ExprRef ExprContext::sdiv(ExprRef A, ExprRef B) { return binary(ExprKind::SDiv, A, B); }
+ExprRef ExprContext::urem(ExprRef A, ExprRef B) { return binary(ExprKind::URem, A, B); }
+ExprRef ExprContext::srem(ExprRef A, ExprRef B) { return binary(ExprKind::SRem, A, B); }
+ExprRef ExprContext::bvand(ExprRef A, ExprRef B) { return binary(ExprKind::And, A, B); }
+ExprRef ExprContext::bvor(ExprRef A, ExprRef B) { return binary(ExprKind::Or, A, B); }
+ExprRef ExprContext::bvxor(ExprRef A, ExprRef B) { return binary(ExprKind::Xor, A, B); }
+ExprRef ExprContext::shl(ExprRef A, ExprRef B) { return binary(ExprKind::Shl, A, B); }
+ExprRef ExprContext::lshr(ExprRef A, ExprRef B) { return binary(ExprKind::LShr, A, B); }
+ExprRef ExprContext::ashr(ExprRef A, ExprRef B) { return binary(ExprKind::AShr, A, B); }
+
+ExprRef ExprContext::bvnot(ExprRef A) {
+  if (A->isConst()) {
+    ++Stats.FoldsApplied;
+    return constant(~A->getConstVal(), A->getWidth());
+  }
+  if (A->getKind() == ExprKind::Not) {
+    ++Stats.FoldsApplied;
+    return A->getOp0();
+  }
+  Expr P;
+  P.Kind = ExprKind::Not;
+  P.Width = static_cast<uint8_t>(A->getWidth());
+  P.NumOps = 1;
+  P.Ops[0] = A;
+  return intern(P);
+}
+
+ExprRef ExprContext::neg(ExprRef A) {
+  if (A->isConst()) {
+    ++Stats.FoldsApplied;
+    return constant(-A->getConstVal(), A->getWidth());
+  }
+  Expr P;
+  P.Kind = ExprKind::Neg;
+  P.Width = static_cast<uint8_t>(A->getWidth());
+  P.NumOps = 1;
+  P.Ops[0] = A;
+  return intern(P);
+}
+
+ExprRef ExprContext::zext(ExprRef A, unsigned Width) {
+  assert(Width >= A->getWidth() && "zext must widen");
+  if (Width == A->getWidth())
+    return A;
+  if (A->isConst()) {
+    ++Stats.FoldsApplied;
+    return constant(A->getConstVal(), Width);
+  }
+  Expr P;
+  P.Kind = ExprKind::ZExt;
+  P.Width = static_cast<uint8_t>(Width);
+  P.NumOps = 1;
+  P.Ops[0] = A;
+  return intern(P);
+}
+
+ExprRef ExprContext::sext(ExprRef A, unsigned Width) {
+  assert(Width >= A->getWidth() && "sext must widen");
+  if (Width == A->getWidth())
+    return A;
+  if (A->isConst()) {
+    ++Stats.FoldsApplied;
+    return constant(
+        static_cast<uint64_t>(signExtend(A->getConstVal(), A->getWidth())),
+        Width);
+  }
+  Expr P;
+  P.Kind = ExprKind::SExt;
+  P.Width = static_cast<uint8_t>(Width);
+  P.NumOps = 1;
+  P.Ops[0] = A;
+  return intern(P);
+}
+
+ExprRef ExprContext::trunc(ExprRef A, unsigned Width) {
+  assert(Width <= A->getWidth() && "trunc must narrow");
+  if (Width == A->getWidth())
+    return A;
+  if (A->isConst()) {
+    ++Stats.FoldsApplied;
+    return constant(A->getConstVal(), Width);
+  }
+  // trunc(zext/sext x) where x already fits -> x or narrower cast.
+  if ((A->getKind() == ExprKind::ZExt || A->getKind() == ExprKind::SExt)) {
+    ExprRef Inner = A->getOp0();
+    if (Inner->getWidth() == Width) {
+      ++Stats.FoldsApplied;
+      return Inner;
+    }
+    if (Inner->getWidth() < Width) {
+      ++Stats.FoldsApplied;
+      return A->getKind() == ExprKind::ZExt ? zext(Inner, Width)
+                                            : sext(Inner, Width);
+    }
+  }
+  Expr P;
+  P.Kind = ExprKind::Trunc;
+  P.Width = static_cast<uint8_t>(Width);
+  P.NumOps = 1;
+  P.Ops[0] = A;
+  return intern(P);
+}
+
+ExprRef ExprContext::castTo(ExprRef A, unsigned Width, bool Signed) {
+  if (A->getWidth() == Width)
+    return A;
+  if (A->getWidth() > Width)
+    return trunc(A, Width);
+  return Signed ? sext(A, Width) : zext(A, Width);
+}
+
+ExprRef ExprContext::eq(ExprRef A, ExprRef B) { return binary(ExprKind::Eq, A, B); }
+ExprRef ExprContext::ne(ExprRef A, ExprRef B) { return bvnot(eq(A, B)); }
+ExprRef ExprContext::ult(ExprRef A, ExprRef B) { return binary(ExprKind::Ult, A, B); }
+ExprRef ExprContext::ule(ExprRef A, ExprRef B) { return bvnot(ult(B, A)); }
+ExprRef ExprContext::ugt(ExprRef A, ExprRef B) { return ult(B, A); }
+ExprRef ExprContext::uge(ExprRef A, ExprRef B) { return bvnot(ult(A, B)); }
+ExprRef ExprContext::slt(ExprRef A, ExprRef B) { return binary(ExprKind::Slt, A, B); }
+ExprRef ExprContext::sle(ExprRef A, ExprRef B) { return bvnot(slt(B, A)); }
+ExprRef ExprContext::sgt(ExprRef A, ExprRef B) { return slt(B, A); }
+ExprRef ExprContext::sge(ExprRef A, ExprRef B) { return bvnot(slt(A, B)); }
+
+ExprRef ExprContext::ite(ExprRef Cond, ExprRef T, ExprRef F) {
+  assert(Cond->getWidth() == 1 && "ite condition must be boolean");
+  assert(T->getWidth() == F->getWidth() && "ite arm width mismatch");
+  if (Cond->isConst()) {
+    ++Stats.FoldsApplied;
+    return Cond->getConstVal() ? T : F;
+  }
+  if (T == F) {
+    ++Stats.FoldsApplied;
+    return T;
+  }
+  // Boolean-valued ite folds to logic ops.
+  if (T->getWidth() == 1 && T->isConst() && F->isConst()) {
+    ++Stats.FoldsApplied;
+    return T->getConstVal() ? Cond : bvnot(Cond);
+  }
+  Expr P;
+  P.Kind = ExprKind::Ite;
+  P.Width = static_cast<uint8_t>(T->getWidth());
+  P.NumOps = 3;
+  P.Ops[0] = Cond;
+  P.Ops[1] = T;
+  P.Ops[2] = F;
+  return intern(P);
+}
+
+ExprRef ExprContext::read(ExprRef Array, ExprRef Index) {
+  assert(Array->isArray() && "read from non-array");
+  // Read-over-write with decidable indices simplifies away.
+  ExprRef A = Array;
+  while (A->getKind() == ExprKind::Write) {
+    ExprRef WIdx = A->getOp1();
+    if (Index == WIdx) {
+      ++Stats.FoldsApplied;
+      return A->getOp2();
+    }
+    if (Index->isConst() && WIdx->isConst()) {
+      // Distinct constants: skip this write.
+      ++Stats.FoldsApplied;
+      A = A->getOp0();
+      continue;
+    }
+    break; // Cannot decide aliasing; keep the symbolic read.
+  }
+  if (A->getKind() == ExprKind::ConstArray) {
+    ++Stats.FoldsApplied;
+    return constant(A->getConstVal(), A->getElemWidth());
+  }
+  if (A->getKind() == ExprKind::DataArray && Index->isConst()) {
+    ++Stats.FoldsApplied;
+    const auto &Data = getArrayData(A);
+    uint64_t I = Index->getConstVal();
+    return constant(I < Data.size() ? Data[I] : 0, A->getElemWidth());
+  }
+  Expr P;
+  P.Kind = ExprKind::Read;
+  P.Width = static_cast<uint8_t>(A->getElemWidth());
+  P.ElemWidth = static_cast<uint8_t>(A->getElemWidth());
+  P.NumOps = 2;
+  P.Ops[0] = A;
+  P.Ops[1] = Index;
+  return intern(P);
+}
+
+ExprRef ExprContext::write(ExprRef Array, ExprRef Index, ExprRef Value) {
+  assert(Array->isArray() && "write to non-array");
+  assert(Value->getWidth() == Array->getElemWidth() &&
+         "write value width mismatch");
+  // Concrete write over concrete storage folds into new concrete storage,
+  // so chains only grow with symbolic-dependent writes (mirroring the
+  // paper's symbolic write chains).
+  if (Index->isConst() && Value->isConst()) {
+    if (Array->getKind() == ExprKind::ConstArray ||
+        Array->getKind() == ExprKind::DataArray) {
+      ++Stats.FoldsApplied;
+      std::vector<uint64_t> Data;
+      if (Array->getKind() == ExprKind::ConstArray)
+        Data.assign(Array->getNumElems(), Array->getConstVal());
+      else
+        Data = getArrayData(Array);
+      uint64_t I = Index->getConstVal();
+      if (I < Data.size())
+        Data[I] = Value->getConstVal();
+      return dataArray(Array->getElemWidth(), std::move(Data));
+    }
+    // Overwrite of the same constant index at the top of a chain.
+    if (Array->getKind() == ExprKind::Write && Array->getOp1() == Index) {
+      ++Stats.FoldsApplied;
+      Array = Array->getOp0();
+      return write(Array, Index, Value);
+    }
+  }
+  Expr P;
+  P.Kind = ExprKind::Write;
+  P.ElemWidth = static_cast<uint8_t>(Array->getElemWidth());
+  P.NumElems = Array->getNumElems();
+  P.NumOps = 3;
+  P.Ops[0] = Array;
+  P.Ops[1] = Index;
+  P.Ops[2] = Value;
+  return intern(P);
+}
+
+//===----------------------------------------------------------------------===//
+// Evaluation
+//===----------------------------------------------------------------------===//
+
+uint64_t ExprContext::evalArrayElem(ExprRef E, uint64_t Index,
+                                    const Assignment &A) const {
+  switch (E->getKind()) {
+  case ExprKind::ConstArray:
+    return E->getConstVal();
+  case ExprKind::DataArray: {
+    const auto &Data = getArrayData(E);
+    return Index < Data.size() ? Data[Index] : 0;
+  }
+  case ExprKind::SymArray:
+    return maskToWidth(A.getArrayElem(E->getVarId(), Index),
+                       E->getElemWidth());
+  case ExprKind::Write: {
+    uint64_t WIdx = evaluate(E->getOp1(), A);
+    if (WIdx == Index)
+      return evaluate(E->getOp2(), A);
+    return evalArrayElem(E->getOp0(), Index, A);
+  }
+  default:
+    fatalError("evalArrayElem: not an array expression");
+  }
+}
+
+uint64_t ExprContext::evalImpl(ExprRef E, const Assignment &A,
+                               std::unordered_map<ExprRef, uint64_t> &Memo)
+    const {
+  auto It = Memo.find(E);
+  if (It != Memo.end())
+    return It->second;
+
+  uint64_t R = 0;
+  unsigned W = E->getWidth();
+  switch (E->getKind()) {
+  case ExprKind::Const:
+    R = E->getConstVal();
+    break;
+  case ExprKind::Var:
+    R = maskToWidth(A.getVar(E->getVarId()), W);
+    break;
+  case ExprKind::Not:
+    R = maskToWidth(~evalImpl(E->getOp0(), A, Memo), W);
+    break;
+  case ExprKind::Neg:
+    R = maskToWidth(-evalImpl(E->getOp0(), A, Memo), W);
+    break;
+  case ExprKind::ZExt:
+    R = evalImpl(E->getOp0(), A, Memo);
+    break;
+  case ExprKind::SExt:
+    R = maskToWidth(static_cast<uint64_t>(signExtend(
+                        evalImpl(E->getOp0(), A, Memo), E->getOp0()->getWidth())),
+                    W);
+    break;
+  case ExprKind::Trunc:
+    R = maskToWidth(evalImpl(E->getOp0(), A, Memo), W);
+    break;
+  case ExprKind::Ite:
+    R = evalImpl(E->getOp0(), A, Memo) ? evalImpl(E->getOp1(), A, Memo)
+                                       : evalImpl(E->getOp2(), A, Memo);
+    break;
+  case ExprKind::Read:
+    R = maskToWidth(
+        evalArrayElem(E->getOp0(), evalImpl(E->getOp1(), A, Memo), A), W);
+    break;
+  case ExprKind::ConstArray:
+  case ExprKind::DataArray:
+  case ExprKind::SymArray:
+  case ExprKind::Write:
+    fatalError("evaluate: array-typed expression; use evalArrayElem");
+  default:
+    R = foldBinaryConst(E->getKind(), evalImpl(E->getOp0(), A, Memo),
+                        evalImpl(E->getOp1(), A, Memo),
+                        E->getOp0()->getWidth());
+    break;
+  }
+  Memo.emplace(E, R);
+  return R;
+}
+
+uint64_t ExprContext::evaluate(ExprRef E, const Assignment &A) const {
+  std::unordered_map<ExprRef, uint64_t> Memo;
+  return evalImpl(E, A, Memo);
+}
+
+//===----------------------------------------------------------------------===//
+// Substitution / traversal / printing
+//===----------------------------------------------------------------------===//
+
+ExprRef ExprContext::substitute(
+    ExprRef E, const std::unordered_map<ExprRef, ExprRef> &Map) {
+  std::unordered_map<ExprRef, ExprRef> Memo;
+  std::function<ExprRef(ExprRef)> Go = [&](ExprRef N) -> ExprRef {
+    auto MIt = Map.find(N);
+    if (MIt != Map.end())
+      return MIt->second;
+    if (N->getNumOps() == 0)
+      return N;
+    auto It = Memo.find(N);
+    if (It != Memo.end())
+      return It->second;
+    ExprRef NewOps[3] = {nullptr, nullptr, nullptr};
+    bool Changed = false;
+    for (unsigned I = 0; I < N->getNumOps(); ++I) {
+      NewOps[I] = Go(N->getOp(I));
+      Changed |= NewOps[I] != N->getOp(I);
+    }
+    ExprRef Result = N;
+    if (Changed) {
+      switch (N->getKind()) {
+      case ExprKind::Not:   Result = bvnot(NewOps[0]); break;
+      case ExprKind::Neg:   Result = neg(NewOps[0]); break;
+      case ExprKind::ZExt:  Result = zext(NewOps[0], N->getWidth()); break;
+      case ExprKind::SExt:  Result = sext(NewOps[0], N->getWidth()); break;
+      case ExprKind::Trunc: Result = trunc(NewOps[0], N->getWidth()); break;
+      case ExprKind::Ite:   Result = ite(NewOps[0], NewOps[1], NewOps[2]); break;
+      case ExprKind::Read:  Result = read(NewOps[0], NewOps[1]); break;
+      case ExprKind::Write: Result = write(NewOps[0], NewOps[1], NewOps[2]); break;
+      default:
+        Result = binary(N->getKind(), NewOps[0], NewOps[1]);
+        break;
+      }
+    }
+    Memo.emplace(N, Result);
+    return Result;
+  };
+  return Go(E);
+}
+
+void ExprContext::collectVars(ExprRef E, std::vector<ExprRef> &Out) const {
+  std::unordered_set<ExprRef> Seen;
+  std::vector<ExprRef> Stack{E};
+  while (!Stack.empty()) {
+    ExprRef N = Stack.back();
+    Stack.pop_back();
+    if (!Seen.insert(N).second)
+      continue;
+    if (N->getKind() == ExprKind::Var)
+      Out.push_back(N);
+    for (unsigned I = 0; I < N->getNumOps(); ++I)
+      Stack.push_back(N->getOp(I));
+  }
+}
+
+std::string ExprContext::toString(ExprRef E) const {
+  switch (E->getKind()) {
+  case ExprKind::Const:
+    return std::to_string(E->getConstVal()) + ":" +
+           std::to_string(E->getWidth());
+  case ExprKind::Var:
+    return getVarName(E->getVarId());
+  case ExprKind::ConstArray:
+    return "(const-array " + std::to_string(E->getConstVal()) + ")";
+  case ExprKind::DataArray:
+    return "(data-array #" + std::to_string(E->getVarId()) + ")";
+  case ExprKind::SymArray:
+    return getSymArrayName(E->getVarId());
+  default: {
+    std::string S = "(";
+    S += exprKindName(E->getKind());
+    for (unsigned I = 0; I < E->getNumOps(); ++I) {
+      S += ' ';
+      S += toString(E->getOp(I));
+    }
+    S += ')';
+    return S;
+  }
+  }
+}

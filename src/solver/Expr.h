@@ -1,0 +1,275 @@
+//===- Expr.h - Hash-consed bitvector/array expression DAG ------*- C++ -*-===//
+///
+/// \file
+/// The constraint language shared by the symbolic executor, the constraint
+/// solver, and ER's key data value selection. Expressions are immutable,
+/// hash-consed nodes owned by an ExprContext; identical subterms are shared,
+/// so structural equality is pointer equality.
+///
+/// The theory is fixed-width bitvectors (1..64 bits) plus extensional arrays
+/// in the STP style used by the paper: Read(A, i) and Write(A, i, v) over
+/// word-typed arrays. Booleans are width-1 bitvectors.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ER_SOLVER_EXPR_H
+#define ER_SOLVER_EXPR_H
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace er {
+
+class ExprContext;
+
+/// Expression node kinds. Derived comparisons (ne/ule/...) are built from
+/// this minimal basis by the ExprContext smart constructors.
+enum class ExprKind : uint8_t {
+  // Leaves.
+  Const,      ///< Constant bitvector (value in ConstVal).
+  Var,        ///< Free bitvector variable (a symbolic input).
+  ConstArray, ///< Array with every element equal to ConstVal.
+  DataArray,  ///< Array with arbitrary concrete contents.
+  SymArray,   ///< Fully symbolic array (each element unconstrained).
+
+  // Unary.
+  Not,  ///< Bitwise complement.
+  Neg,  ///< Two's complement negation.
+  ZExt, ///< Zero extension to Width.
+  SExt, ///< Sign extension to Width.
+  Trunc,///< Truncation to Width (low bits).
+
+  // Binary arithmetic / bitwise.
+  Add, Sub, Mul, UDiv, SDiv, URem, SRem,
+  And, Or, Xor, Shl, LShr, AShr,
+
+  // Binary relations (result width 1).
+  Eq,  ///< Equality.
+  Ult, ///< Unsigned less-than.
+  Slt, ///< Signed less-than.
+
+  // Ternary.
+  Ite, ///< If-then-else: Op0 ? Op1 : Op2.
+
+  // Array theory.
+  Read, ///< Read(Array=Op0, Index=Op1).
+  Write ///< Write(Array=Op0, Index=Op1, Value=Op2).
+};
+
+/// Returns a short mnemonic for \p K (used by the printer).
+const char *exprKindName(ExprKind K);
+
+/// An immutable expression node. Create only through ExprContext.
+class Expr {
+public:
+  ExprKind getKind() const { return Kind; }
+  /// Bit width of the value (1..64); 0 for array-typed expressions.
+  unsigned getWidth() const { return Width; }
+  bool isArray() const { return Width == 0; }
+  /// For arrays: the element bit width.
+  unsigned getElemWidth() const { return ElemWidth; }
+  /// For arrays: the number of elements in the domain.
+  uint64_t getNumElems() const { return NumElems; }
+
+  bool isConst() const { return Kind == ExprKind::Const; }
+  bool isConstArray() const { return Kind == ExprKind::ConstArray; }
+  bool isTrue() const { return isConst() && Width == 1 && ConstVal == 1; }
+  bool isFalse() const { return isConst() && Width == 1 && ConstVal == 0; }
+
+  /// Constant value (valid for Const and ConstArray).
+  uint64_t getConstVal() const { return ConstVal; }
+  /// Variable / symbolic-array identifier (valid for Var, SymArray) or the
+  /// context-side data index (valid for DataArray).
+  uint32_t getVarId() const { return VarId; }
+
+  unsigned getNumOps() const { return NumOps; }
+  const Expr *getOp(unsigned I) const { return Ops[I]; }
+  const Expr *getOp0() const { return Ops[0]; }
+  const Expr *getOp1() const { return Ops[1]; }
+  const Expr *getOp2() const { return Ops[2]; }
+
+  /// Creation-order identifier; stable within one ExprContext, usable for
+  /// deterministic ordering.
+  unsigned getId() const { return Id; }
+
+  size_t getHash() const { return HashVal; }
+
+private:
+  friend class ExprContext;
+  Expr() = default;
+
+  ExprKind Kind = ExprKind::Const;
+  uint8_t Width = 0;
+  uint8_t ElemWidth = 0;
+  uint8_t NumOps = 0;
+  uint32_t VarId = 0;
+  uint64_t NumElems = 0;
+  uint64_t ConstVal = 0;
+  const Expr *Ops[3] = {nullptr, nullptr, nullptr};
+  size_t HashVal = 0;
+  unsigned Id = 0;
+};
+
+using ExprRef = const Expr *;
+
+/// A concrete assignment to the free variables of a formula: scalar variables
+/// and symbolic-array elements.
+struct Assignment {
+  std::unordered_map<uint32_t, uint64_t> VarValues;
+  /// SymArray id -> element index -> value. Absent entries default to 0.
+  std::unordered_map<uint32_t, std::unordered_map<uint64_t, uint64_t>>
+      ArrayValues;
+
+  uint64_t getVar(uint32_t Id) const {
+    auto It = VarValues.find(Id);
+    return It == VarValues.end() ? 0 : It->second;
+  }
+  uint64_t getArrayElem(uint32_t Id, uint64_t Index) const {
+    auto AIt = ArrayValues.find(Id);
+    if (AIt == ArrayValues.end())
+      return 0;
+    auto EIt = AIt->second.find(Index);
+    return EIt == AIt->second.end() ? 0 : EIt->second;
+  }
+};
+
+/// Aggregate counters for expression construction; solver budgets charge
+/// against the deltas of these.
+struct ExprStats {
+  uint64_t NodesCreated = 0;
+  uint64_t HashHits = 0;
+  uint64_t FoldsApplied = 0;
+};
+
+/// Owns and uniques Expr nodes; all construction goes through the smart
+/// constructors below, which apply algebraic simplification eagerly.
+class ExprContext {
+public:
+  ExprContext() = default;
+  ExprContext(const ExprContext &) = delete;
+  ExprContext &operator=(const ExprContext &) = delete;
+
+  //===--- Leaves ---------------------------------------------------------===
+  ExprRef constant(uint64_t Value, unsigned Width);
+  ExprRef trueExpr() { return constant(1, 1); }
+  ExprRef falseExpr() { return constant(0, 1); }
+  /// Creates a fresh named variable of \p Width bits.
+  ExprRef makeVar(const std::string &Name, unsigned Width);
+  /// Returns the name given to variable \p Id at creation.
+  const std::string &getVarName(uint32_t Id) const;
+  /// Total number of scalar variables created so far.
+  uint32_t getNumVars() const { return static_cast<uint32_t>(VarNames.size()); }
+
+  ExprRef constArray(unsigned ElemWidth, uint64_t NumElems, uint64_t Fill);
+  ExprRef dataArray(unsigned ElemWidth, std::vector<uint64_t> Data);
+  ExprRef symArray(const std::string &Name, unsigned ElemWidth,
+                   uint64_t NumElems);
+  const std::vector<uint64_t> &getArrayData(ExprRef DataArrayExpr) const;
+  const std::string &getSymArrayName(uint32_t Id) const;
+
+  //===--- Bitvector operations -------------------------------------------===
+  ExprRef add(ExprRef A, ExprRef B);
+  ExprRef sub(ExprRef A, ExprRef B);
+  ExprRef mul(ExprRef A, ExprRef B);
+  ExprRef udiv(ExprRef A, ExprRef B);
+  ExprRef sdiv(ExprRef A, ExprRef B);
+  ExprRef urem(ExprRef A, ExprRef B);
+  ExprRef srem(ExprRef A, ExprRef B);
+  ExprRef bvand(ExprRef A, ExprRef B);
+  ExprRef bvor(ExprRef A, ExprRef B);
+  ExprRef bvxor(ExprRef A, ExprRef B);
+  ExprRef shl(ExprRef A, ExprRef B);
+  ExprRef lshr(ExprRef A, ExprRef B);
+  ExprRef ashr(ExprRef A, ExprRef B);
+  ExprRef bvnot(ExprRef A);
+  ExprRef neg(ExprRef A);
+  ExprRef zext(ExprRef A, unsigned Width);
+  ExprRef sext(ExprRef A, unsigned Width);
+  ExprRef trunc(ExprRef A, unsigned Width);
+  /// zext/sext/trunc as needed to reach \p Width.
+  ExprRef castTo(ExprRef A, unsigned Width, bool Signed);
+
+  //===--- Relations (all return width-1) ----------------------------------===
+  ExprRef eq(ExprRef A, ExprRef B);
+  ExprRef ne(ExprRef A, ExprRef B);
+  ExprRef ult(ExprRef A, ExprRef B);
+  ExprRef ule(ExprRef A, ExprRef B);
+  ExprRef ugt(ExprRef A, ExprRef B);
+  ExprRef uge(ExprRef A, ExprRef B);
+  ExprRef slt(ExprRef A, ExprRef B);
+  ExprRef sle(ExprRef A, ExprRef B);
+  ExprRef sgt(ExprRef A, ExprRef B);
+  ExprRef sge(ExprRef A, ExprRef B);
+
+  //===--- Boolean structure ----------------------------------------------===
+  ExprRef logicalAnd(ExprRef A, ExprRef B) { return bvand(A, B); }
+  ExprRef logicalOr(ExprRef A, ExprRef B) { return bvor(A, B); }
+  ExprRef logicalNot(ExprRef A) { return bvnot(A); }
+  ExprRef ite(ExprRef Cond, ExprRef T, ExprRef F);
+
+  //===--- Arrays ----------------------------------------------------------===
+  ExprRef read(ExprRef Array, ExprRef Index);
+  ExprRef write(ExprRef Array, ExprRef Index, ExprRef Value);
+
+  //===--- Utilities -------------------------------------------------------===
+  /// Evaluates \p E under \p A. For array-typed expressions use
+  /// evalArrayElem.
+  uint64_t evaluate(ExprRef E, const Assignment &A) const;
+  /// Evaluates element \p Index of array expression \p E under \p A.
+  uint64_t evalArrayElem(ExprRef E, uint64_t Index, const Assignment &A) const;
+
+  /// Rewrites \p E replacing every occurrence of a key in \p Map with its
+  /// mapped expression, re-simplifying along the way.
+  ExprRef substitute(ExprRef E, const std::unordered_map<ExprRef, ExprRef> &Map);
+
+  /// Renders \p E as an S-expression string (for debugging and tests).
+  std::string toString(ExprRef E) const;
+
+  /// Collects the free scalar variables of \p E into \p Out (deduplicated,
+  /// in first-visit order).
+  void collectVars(ExprRef E, std::vector<ExprRef> &Out) const;
+
+  const ExprStats &getStats() const { return Stats; }
+
+private:
+  ExprRef intern(Expr Proto);
+  ExprRef binary(ExprKind K, ExprRef A, ExprRef B);
+  ExprRef foldBinary(ExprKind K, ExprRef A, ExprRef B);
+  uint64_t evalImpl(ExprRef E, const Assignment &A,
+                    std::unordered_map<ExprRef, uint64_t> &Memo) const;
+
+  struct ExprPtrHash {
+    size_t operator()(const Expr *E) const { return E->getHash(); }
+  };
+  struct ExprPtrEq {
+    bool operator()(const Expr *A, const Expr *B) const;
+  };
+
+  std::deque<Expr> Arena;
+  std::unordered_set<Expr *, ExprPtrHash, ExprPtrEq> Unique;
+  std::vector<std::string> VarNames;
+  std::vector<std::string> SymArrayNames;
+  std::vector<std::vector<uint64_t>> DataArrays;
+  ExprStats Stats;
+};
+
+/// Masks \p V to the low \p Width bits.
+inline uint64_t maskToWidth(uint64_t V, unsigned Width) {
+  return Width >= 64 ? V : (V & ((1ULL << Width) - 1));
+}
+
+/// Sign-extends the \p Width-bit value \p V to int64_t.
+inline int64_t signExtend(uint64_t V, unsigned Width) {
+  if (Width >= 64)
+    return static_cast<int64_t>(V);
+  uint64_t SignBit = 1ULL << (Width - 1);
+  return static_cast<int64_t>((V ^ SignBit) - SignBit);
+}
+
+} // namespace er
+
+#endif // ER_SOLVER_EXPR_H

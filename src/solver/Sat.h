@@ -1,0 +1,152 @@
+//===- Sat.h - CDCL SAT solver ----------------------------------*- C++ -*-===//
+///
+/// \file
+/// A from-scratch CDCL SAT solver: two-watched-literal propagation, first-UIP
+/// clause learning, VSIDS branching with an order heap, phase saving, and
+/// Luby restarts. The bit-blaster lowers bitvector queries to CNF and solves
+/// them here.
+///
+/// The solver is budgeted: a conflict/propagation budget models the paper's
+/// solver timeouts deterministically. Exceeding it yields Unknown, which the
+/// symbolic executor reports as a stall.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ER_SOLVER_SAT_H
+#define ER_SOLVER_SAT_H
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace er {
+
+/// A literal: variable index (1-based) with sign. Encoded as 2*var + sign.
+class Lit {
+public:
+  Lit() = default;
+  Lit(unsigned Var, bool Negated) : Code(2 * Var + (Negated ? 1 : 0)) {}
+
+  unsigned var() const { return Code >> 1; }
+  bool negated() const { return Code & 1; }
+  Lit operator~() const {
+    Lit L;
+    L.Code = Code ^ 1;
+    return L;
+  }
+  bool operator==(const Lit &O) const { return Code == O.Code; }
+  bool operator!=(const Lit &O) const { return Code != O.Code; }
+  unsigned code() const { return Code; }
+
+private:
+  unsigned Code = 0;
+};
+
+/// Outcome of a SAT query.
+enum class SatStatus { Sat, Unsat, Unknown };
+
+/// Budget limiting SAT search effort; exhausting any limit aborts the search
+/// with SatStatus::Unknown.
+struct SatBudget {
+  uint64_t MaxConflicts = UINT64_MAX;
+  uint64_t MaxPropagations = UINT64_MAX;
+  /// Wall-clock deadline (the paper's solver timeout is wall time); zero
+  /// time_point = no deadline.
+  std::chrono::steady_clock::time_point Deadline{};
+};
+
+/// Search statistics accumulated across solve() calls.
+struct SatStats {
+  uint64_t Conflicts = 0;
+  uint64_t Decisions = 0;
+  uint64_t Propagations = 0;
+  uint64_t Restarts = 0;
+  uint64_t LearnedClauses = 0;
+};
+
+/// CDCL SAT solver over CNF added via addClause().
+class SatSolver {
+public:
+  SatSolver();
+
+  /// Allocates a fresh variable; returns its index (>= 1).
+  unsigned newVar();
+  unsigned numVars() const { return NumVars; }
+  uint64_t numClauses() const { return Clauses.size(); }
+
+  /// Adds a clause (disjunction of literals). An empty clause makes the
+  /// instance trivially unsatisfiable.
+  void addClause(std::vector<Lit> Clause);
+  void addUnit(Lit L) { addClause({L}); }
+  void addBinary(Lit A, Lit B) { addClause({A, B}); }
+  void addTernary(Lit A, Lit B, Lit C) { addClause({A, B, C}); }
+
+  /// Runs CDCL search under \p Budget, with optional extra assumptions.
+  SatStatus solve(const SatBudget &Budget,
+                  const std::vector<Lit> &Assumptions = {});
+
+  /// After Sat: returns the value assigned to \p Var.
+  bool modelValue(unsigned Var) const;
+
+  const SatStats &getStats() const { return Stats; }
+
+private:
+  enum class LBool : int8_t { False = 0, True = 1, Undef = 2 };
+
+  struct Clause {
+    std::vector<Lit> Lits;
+    bool Learned = false;
+  };
+
+  struct Watcher {
+    unsigned ClauseIdx;
+    Lit Blocker;
+  };
+
+  LBool litValue(Lit L) const;
+  bool assign(Lit L, int Reason);
+  int propagate();
+  void analyze(int ConflictClause, std::vector<Lit> &Learned,
+               unsigned &BtLevel);
+  void backtrack(unsigned Level);
+  Lit pickBranchLit();
+  void bumpVar(unsigned Var);
+  void attachClause(unsigned Idx);
+  static uint64_t luby(uint64_t I);
+
+  // Order-heap operations (max-heap on Activity).
+  void heapInsert(unsigned Var);
+  void heapUpdate(unsigned Var);
+  unsigned heapPop();
+  void heapSiftUp(size_t Pos);
+  void heapSiftDown(size_t Pos);
+  bool heapEmpty() const { return Heap.empty(); }
+
+  unsigned NumVars = 0;
+  unsigned DecisionLevel = 0;
+  std::vector<Clause> Clauses;
+  std::vector<std::vector<Watcher>> Watches; // Indexed by literal code.
+  std::vector<LBool> Values;                 // Indexed by var.
+  std::vector<int> Reasons;                  // Clause index or -1 (decision).
+  std::vector<unsigned> Levels;              // Decision level per var.
+  std::vector<bool> SavedPhase;
+  std::vector<double> Activity;
+  std::vector<Lit> Trail;
+  std::vector<unsigned> TrailLims;
+  std::vector<unsigned> Heap;    // Var indices, max-heap by activity.
+  std::vector<int> HeapPos;      // Var -> heap slot or -1.
+  std::vector<uint8_t> Seen;     // Scratch for analyze().
+  size_t PropHead = 0;
+  double VarInc = 1.0;
+  bool Unsatisfiable = false;
+  SatStats Stats;
+  // Wall deadline state for the current solve() (checked inside propagate,
+  // since a single propagation closure can dominate wall time).
+  std::chrono::steady_clock::time_point CurDeadline{};
+  bool TimedOut = false;
+};
+
+} // namespace er
+
+#endif // ER_SOLVER_SAT_H

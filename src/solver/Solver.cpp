@@ -1,0 +1,372 @@
+//===- Solver.cpp - Budgeted constraint solving ----------------------------===//
+
+#include "solver/Solver.h"
+
+#include "solver/BitBlaster.h"
+#include "solver/Sat.h"
+#include "support/Error.h"
+
+#include <cassert>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace er;
+
+const char *er::queryStatusName(QueryStatus S) {
+  switch (S) {
+  case QueryStatus::Sat:     return "sat";
+  case QueryStatus::Unsat:   return "unsat";
+  case QueryStatus::Timeout: return "timeout";
+  }
+  fatalError("unknown query status");
+}
+
+ConstraintSolver::ConstraintSolver(ExprContext &Ctx, SolverConfig Config)
+    : Ctx(Ctx), Config(Config) {}
+
+//===----------------------------------------------------------------------===//
+// Array elimination
+//===----------------------------------------------------------------------===//
+
+ExprRef ConstraintSolver::lowerRead(
+    ExprRef Array, ExprRef Index, uint64_t Budget, uint64_t &Work,
+    std::unordered_map<ExprRef, ExprRef> &Memo) {
+  // Collect the symbolic write chain (top of chain first).
+  std::vector<ExprRef> Chain;
+  ExprRef Base = Array;
+  while (Base->getKind() == ExprKind::Write) {
+    Chain.push_back(Base);
+    Base = Base->getOp0();
+  }
+
+  unsigned ElemW = Array->getElemWidth();
+
+  // Value read from the base array.
+  ExprRef Result = nullptr;
+  if (Index->isConst() || Base->getKind() == ExprKind::ConstArray) {
+    Result = Ctx.read(Base, Index);
+    Work += 1;
+  } else {
+    // Symbolic index over concrete or symbolic storage: case-split over the
+    // whole domain. This is the "size of the accessed symbolic memory" cost
+    // from the paper (Section 3.3.1).
+    uint64_t N = Base->getNumElems();
+    Work += N * ElemW / 8 + N;
+    ++Totals.ArrayExpansions;
+    if (Work > Budget)
+      return nullptr;
+    Result = Ctx.read(Base, Ctx.constant(0, Index->getWidth()));
+    for (uint64_t K = 1; K < N; ++K) {
+      ExprRef KConst = Ctx.constant(K, Index->getWidth());
+      Result = Ctx.ite(Ctx.eq(Index, KConst), Ctx.read(Base, KConst), Result);
+    }
+  }
+
+  // Apply the writes from oldest to newest. This is the "length of symbolic
+  // write chains" cost from the paper.
+  for (size_t I = Chain.size(); I-- > 0;) {
+    ExprRef W = Chain[I];
+    ExprRef WIdx = lowerArraysImpl(W->getOp1(), Budget, Work, Memo);
+    ExprRef WVal = lowerArraysImpl(W->getOp2(), Budget, Work, Memo);
+    if (!WIdx || !WVal)
+      return nullptr;
+    Work += ElemW / 8 + Index->getWidth();
+    ++Totals.ArrayExpansions;
+    if (Work > Budget)
+      return nullptr;
+    Result = Ctx.ite(Ctx.eq(Index, WIdx), WVal, Result);
+  }
+  return Result;
+}
+
+ExprRef ConstraintSolver::lowerArraysImpl(
+    ExprRef E, uint64_t Budget, uint64_t &Work,
+    std::unordered_map<ExprRef, ExprRef> &Memo) {
+  if (Work > Budget)
+    return nullptr;
+  if (E->getNumOps() == 0)
+    return E;
+  auto It = Memo.find(E);
+  if (It != Memo.end())
+    return It->second;
+
+  ExprRef Result = nullptr;
+  if (E->getKind() == ExprKind::Read) {
+    ExprRef Index = lowerArraysImpl(E->getOp1(), Budget, Work, Memo);
+    if (!Index)
+      return nullptr;
+    // Keep atomic reads of symbolic arrays at constant indices: the blaster
+    // treats them as free variables.
+    if (E->getOp0()->getKind() == ExprKind::SymArray && Index->isConst()) {
+      Result = Index == E->getOp1() ? E : Ctx.read(E->getOp0(), Index);
+    } else {
+      Result = lowerRead(E->getOp0(), Index, Budget, Work, Memo);
+      if (!Result)
+        return nullptr;
+    }
+  } else {
+    assert(E->getKind() != ExprKind::Write &&
+           "free-standing Write outside a Read");
+    ExprRef NewOps[3] = {nullptr, nullptr, nullptr};
+    bool Changed = false;
+    for (unsigned I = 0; I < E->getNumOps(); ++I) {
+      NewOps[I] = lowerArraysImpl(E->getOp(I), Budget, Work, Memo);
+      if (!NewOps[I])
+        return nullptr;
+      Changed |= NewOps[I] != E->getOp(I);
+    }
+    if (!Changed) {
+      Result = E;
+    } else {
+      switch (E->getKind()) {
+      case ExprKind::Not:   Result = Ctx.bvnot(NewOps[0]); break;
+      case ExprKind::Neg:   Result = Ctx.neg(NewOps[0]); break;
+      case ExprKind::ZExt:  Result = Ctx.zext(NewOps[0], E->getWidth()); break;
+      case ExprKind::SExt:  Result = Ctx.sext(NewOps[0], E->getWidth()); break;
+      case ExprKind::Trunc: Result = Ctx.trunc(NewOps[0], E->getWidth()); break;
+      case ExprKind::Ite:
+        Result = Ctx.ite(NewOps[0], NewOps[1], NewOps[2]);
+        break;
+      case ExprKind::Add:  Result = Ctx.add(NewOps[0], NewOps[1]); break;
+      case ExprKind::Sub:  Result = Ctx.sub(NewOps[0], NewOps[1]); break;
+      case ExprKind::Mul:  Result = Ctx.mul(NewOps[0], NewOps[1]); break;
+      case ExprKind::UDiv: Result = Ctx.udiv(NewOps[0], NewOps[1]); break;
+      case ExprKind::SDiv: Result = Ctx.sdiv(NewOps[0], NewOps[1]); break;
+      case ExprKind::URem: Result = Ctx.urem(NewOps[0], NewOps[1]); break;
+      case ExprKind::SRem: Result = Ctx.srem(NewOps[0], NewOps[1]); break;
+      case ExprKind::And:  Result = Ctx.bvand(NewOps[0], NewOps[1]); break;
+      case ExprKind::Or:   Result = Ctx.bvor(NewOps[0], NewOps[1]); break;
+      case ExprKind::Xor:  Result = Ctx.bvxor(NewOps[0], NewOps[1]); break;
+      case ExprKind::Shl:  Result = Ctx.shl(NewOps[0], NewOps[1]); break;
+      case ExprKind::LShr: Result = Ctx.lshr(NewOps[0], NewOps[1]); break;
+      case ExprKind::AShr: Result = Ctx.ashr(NewOps[0], NewOps[1]); break;
+      case ExprKind::Eq:   Result = Ctx.eq(NewOps[0], NewOps[1]); break;
+      case ExprKind::Ult:  Result = Ctx.ult(NewOps[0], NewOps[1]); break;
+      case ExprKind::Slt:  Result = Ctx.slt(NewOps[0], NewOps[1]); break;
+      default:
+        fatalError("unhandled kind in array lowering");
+      }
+    }
+  }
+  Memo.emplace(E, Result);
+  return Result;
+}
+
+ExprRef ConstraintSolver::lowerArrays(ExprRef E, uint64_t Budget,
+                                      uint64_t &Work) {
+  std::unordered_map<ExprRef, ExprRef> Memo;
+  return lowerArraysImpl(E, Budget, Work, Memo);
+}
+
+//===----------------------------------------------------------------------===//
+// Queries
+//===----------------------------------------------------------------------===//
+
+QueryResult ConstraintSolver::checkSat(const std::vector<ExprRef> &Assertions,
+                                       uint64_t BudgetOverride) {
+  ++Totals.Queries;
+  uint64_t Budget = BudgetOverride ? BudgetOverride : Config.WorkBudget;
+  uint64_t Work = 0;
+  QueryResult R;
+
+  // Lower all assertions to array-free form.
+  std::unordered_map<ExprRef, ExprRef> Memo;
+  std::vector<ExprRef> Lowered;
+  Lowered.reserve(Assertions.size());
+  for (ExprRef A : Assertions) {
+    assert(A->getWidth() == 1 && "assertion must be boolean");
+    if (A->isTrue())
+      continue;
+    if (A->isFalse()) {
+      ++Totals.UnsatQueries;
+      R.Status = QueryStatus::Unsat;
+      R.WorkUsed = Work;
+      Totals.TotalWork += Work;
+      return R;
+    }
+    ExprRef L = lowerArraysImpl(A, Budget, Work, Memo);
+    if (!L) {
+      ++Totals.Timeouts;
+      R.Status = QueryStatus::Timeout;
+      R.WorkUsed = Work;
+      Totals.TotalWork += Work;
+      return R;
+    }
+    if (L->isFalse()) {
+      ++Totals.UnsatQueries;
+      R.Status = QueryStatus::Unsat;
+      R.WorkUsed = Work;
+      Totals.TotalWork += Work;
+      return R;
+    }
+    if (!L->isTrue())
+      Lowered.push_back(L);
+  }
+  Totals.MaxLoweredNodes = std::max(Totals.MaxLoweredNodes,
+                                    Ctx.getStats().NodesCreated);
+
+  static const bool Debug = std::getenv("ER_SOLVER_DEBUG") != nullptr;
+  if (Debug)
+    std::fprintf(stderr, "[solver] lowered %zu asserts, work=%llu\n",
+                 Lowered.size(), (unsigned long long)Work);
+
+  // Bit-blast and solve.
+  SatSolver Sat;
+  BitBlaster Blaster(Ctx, Sat, Budget > Work ? Budget - Work : 0);
+  bool Ok = true;
+  for (ExprRef L : Lowered)
+    Ok = Blaster.assertTrue(L) && Ok;
+  Work += Blaster.gatesUsed();
+  if (Debug)
+    std::fprintf(stderr, "[solver] blasted: gates=%llu vars=%u clauses=%llu ok=%d\n",
+                 (unsigned long long)Blaster.gatesUsed(), Sat.numVars(),
+                 (unsigned long long)Sat.numClauses(), Ok);
+  if (!Ok || Work >= Budget) {
+    ++Totals.Timeouts;
+    R.Status = QueryStatus::Timeout;
+    R.WorkUsed = Work;
+    Totals.TotalWork += Work;
+    return R;
+  }
+
+  SatBudget SB;
+  SB.MaxConflicts = (Budget - Work) / Config.ConflictCost;
+  SB.MaxPropagations = (Budget - Work) / Config.PropagationCost;
+  if (Config.WallSecondsBudget > 0)
+    SB.Deadline = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(
+                      static_cast<long>(Config.WallSecondsBudget * 1000));
+  SatStatus S = Sat.solve(SB);
+  if (Debug)
+    std::fprintf(stderr, "[solver] solved: status=%d conflicts=%llu props=%llu\n",
+                 (int)S, (unsigned long long)Sat.getStats().Conflicts,
+                 (unsigned long long)Sat.getStats().Propagations);
+  Work += Sat.getStats().Conflicts * Config.ConflictCost;
+  R.WorkUsed = Work;
+  Totals.TotalWork += Work;
+
+  switch (S) {
+  case SatStatus::Sat: {
+    ++Totals.SatQueries;
+    R.Status = QueryStatus::Sat;
+    Blaster.extractAssignment(R.Model);
+    // Cross-check the model against the original (array-level) assertions;
+    // a mismatch indicates a solver bug, not a user error.
+    for (ExprRef A : Assertions)
+      if (!Ctx.evaluate(A, R.Model))
+        fatalError("solver model does not satisfy assertion: " +
+                   Ctx.toString(A));
+    return R;
+  }
+  case SatStatus::Unsat:
+    ++Totals.UnsatQueries;
+    R.Status = QueryStatus::Unsat;
+    return R;
+  case SatStatus::Unknown:
+    ++Totals.Timeouts;
+    R.Status = QueryStatus::Timeout;
+    return R;
+  }
+  fatalError("unknown SAT status");
+}
+
+QueryStatus ConstraintSolver::mustBeTrue(
+    const std::vector<ExprRef> &Assertions, ExprRef E, bool &Result) {
+  if (E->isTrue()) {
+    Result = true;
+    return QueryStatus::Sat;
+  }
+  std::vector<ExprRef> WithNeg = Assertions;
+  WithNeg.push_back(Ctx.bvnot(E));
+  QueryResult R = checkSat(WithNeg);
+  if (R.Status == QueryStatus::Timeout)
+    return QueryStatus::Timeout;
+  Result = R.Status == QueryStatus::Unsat;
+  return QueryStatus::Sat;
+}
+
+QueryStatus ConstraintSolver::enumerateValues(
+    const std::vector<ExprRef> &Assertions, ExprRef E, unsigned MaxCount,
+    std::vector<uint64_t> &Out, bool &Complete) {
+  Complete = false;
+  if (E->isConst()) {
+    Out.push_back(E->getConstVal());
+    Complete = true;
+    return QueryStatus::Sat;
+  }
+
+  ++Totals.Queries;
+  uint64_t Budget = Config.WorkBudget;
+  uint64_t Work = 0;
+
+  std::unordered_map<ExprRef, ExprRef> Memo;
+  std::vector<ExprRef> Lowered;
+  for (ExprRef A : Assertions) {
+    if (A->isTrue())
+      continue;
+    ExprRef L = lowerArraysImpl(A, Budget, Work, Memo);
+    if (!L) {
+      ++Totals.Timeouts;
+      Totals.TotalWork += Work;
+      return QueryStatus::Timeout;
+    }
+    if (!L->isTrue())
+      Lowered.push_back(L);
+  }
+  ExprRef LE = lowerArraysImpl(E, Budget, Work, Memo);
+  if (!LE) {
+    ++Totals.Timeouts;
+    Totals.TotalWork += Work;
+    return QueryStatus::Timeout;
+  }
+  if (LE->isConst()) {
+    Out.push_back(LE->getConstVal());
+    Complete = true;
+    Totals.TotalWork += Work;
+    ++Totals.SatQueries;
+    return QueryStatus::Sat;
+  }
+
+  SatSolver Sat;
+  BitBlaster Blaster(Ctx, Sat, Budget > Work ? Budget - Work : 0);
+  bool Ok = Blaster.encode(LE);
+  for (ExprRef L : Lowered)
+    Ok = Blaster.assertTrue(L) && Ok;
+  Work += Blaster.gatesUsed();
+  if (!Ok || Work >= Budget) {
+    ++Totals.Timeouts;
+    Totals.TotalWork += Work;
+    return QueryStatus::Timeout;
+  }
+
+  auto WallDeadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(
+          static_cast<long>(Config.WallSecondsBudget * 1000));
+  for (unsigned Iter = 0; Iter < MaxCount; ++Iter) {
+    SatBudget SB;
+    SB.MaxConflicts = (Budget - Work) / Config.ConflictCost;
+    SB.MaxPropagations = (Budget - Work) / Config.PropagationCost;
+    if (Config.WallSecondsBudget > 0)
+      SB.Deadline = WallDeadline;
+    uint64_t ConflictsBefore = Sat.getStats().Conflicts;
+    SatStatus S = Sat.solve(SB);
+    Work += (Sat.getStats().Conflicts - ConflictsBefore) * Config.ConflictCost;
+    if (S == SatStatus::Unknown || Work >= Budget) {
+      ++Totals.Timeouts;
+      Totals.TotalWork += Work;
+      return QueryStatus::Timeout;
+    }
+    if (S == SatStatus::Unsat) {
+      Complete = true;
+      break;
+    }
+    uint64_t V = Blaster.valueOf(LE);
+    Out.push_back(V);
+    Blaster.blockValue(LE, V);
+  }
+  Totals.TotalWork += Work;
+  ++Totals.SatQueries;
+  return QueryStatus::Sat;
+}

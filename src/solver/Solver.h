@@ -1,0 +1,112 @@
+//===- Solver.h - Budgeted bitvector/array constraint solver ----*- C++ -*-===//
+///
+/// \file
+/// The query interface used by shepherded symbolic execution. A query is a
+/// conjunction of boolean expressions over bitvectors and arrays; the solver
+/// eliminates array terms (read-over-write expansion and symbolic-index
+/// case splits), bit-blasts the result, and runs the CDCL core.
+///
+/// Every query runs under a deterministic work budget charged by array
+/// expansion fan-out, gates encoded, and SAT conflicts. Budget exhaustion is
+/// reported as QueryStatus::Timeout — the stall signal at the center of the
+/// ER paper: queries over long symbolic write chains or large symbolic
+/// objects are exactly the ones that exhaust it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ER_SOLVER_SOLVER_H
+#define ER_SOLVER_SOLVER_H
+
+#include "solver/Expr.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace er {
+
+/// Outcome of one solver query.
+enum class QueryStatus { Sat, Unsat, Timeout };
+
+const char *queryStatusName(QueryStatus S);
+
+/// Tuning knobs for the solver; WorkBudget is the stall threshold.
+struct SolverConfig {
+  /// Total abstract work units a single query may consume. Array expansions
+  /// charge (chain length + domain size) x element width; gates charge 1;
+  /// SAT conflicts charge ConflictCost.
+  uint64_t WorkBudget = 4'000'000;
+  /// Work units charged per SAT conflict.
+  uint64_t ConflictCost = 64;
+  /// Work units charged per SAT propagation.
+  uint64_t PropagationCost = 1;
+  /// Wall-clock ceiling per query, in seconds (the analog of the paper's
+  /// 30s solver timeout; a backstop over the deterministic work budget).
+  double WallSecondsBudget = 5.0;
+};
+
+/// Result of a checkSat query.
+struct QueryResult {
+  QueryStatus Status = QueryStatus::Timeout;
+  Assignment Model; ///< Valid when Status == Sat.
+  uint64_t WorkUsed = 0;
+};
+
+/// Cumulative statistics across queries.
+struct SolverTotals {
+  uint64_t Queries = 0;
+  uint64_t SatQueries = 0;
+  uint64_t UnsatQueries = 0;
+  uint64_t Timeouts = 0;
+  uint64_t TotalWork = 0;
+  uint64_t ArrayExpansions = 0;
+  uint64_t MaxLoweredNodes = 0;
+};
+
+/// Budgeted solver for conjunctions of constraints.
+class ConstraintSolver {
+public:
+  ConstraintSolver(ExprContext &Ctx, SolverConfig Config = SolverConfig());
+
+  /// Decides satisfiability of the conjunction of \p Assertions. On Sat,
+  /// the result carries a model assigning every free variable the encoding
+  /// touched. \p BudgetOverride (if nonzero) replaces the configured budget
+  /// for this query only.
+  QueryResult checkSat(const std::vector<ExprRef> &Assertions,
+                       uint64_t BudgetOverride = 0);
+
+  /// Returns Unsat if \p E is implied by \p Assertions (i.e. assertions and
+  /// !E are inconsistent); Sat if a counterexample exists.
+  QueryStatus mustBeTrue(const std::vector<ExprRef> &Assertions, ExprRef E,
+                         bool &Result);
+
+  /// Enumerates up to \p MaxCount feasible values of \p E under the
+  /// assertions into \p Out. Sets \p Complete when the enumeration provably
+  /// covered all feasible values. Returns Timeout if the budget ran out.
+  QueryStatus enumerateValues(const std::vector<ExprRef> &Assertions,
+                              ExprRef E, unsigned MaxCount,
+                              std::vector<uint64_t> &Out, bool &Complete);
+
+  const SolverTotals &getTotals() const { return Totals; }
+  const SolverConfig &getConfig() const { return Config; }
+  void setConfig(const SolverConfig &C) { Config = C; }
+
+  /// Rewrites \p E into an array-free form (exposed for tests). Returns
+  /// nullptr if \p Budget is exhausted mid-rewrite; \p Work accumulates the
+  /// charge.
+  ExprRef lowerArrays(ExprRef E, uint64_t Budget, uint64_t &Work);
+
+private:
+  ExprRef lowerArraysImpl(ExprRef E, uint64_t Budget, uint64_t &Work,
+                          std::unordered_map<ExprRef, ExprRef> &Memo);
+  ExprRef lowerRead(ExprRef Array, ExprRef Index, uint64_t Budget,
+                    uint64_t &Work,
+                    std::unordered_map<ExprRef, ExprRef> &Memo);
+
+  ExprContext &Ctx;
+  SolverConfig Config;
+  SolverTotals Totals;
+};
+
+} // namespace er
+
+#endif // ER_SOLVER_SOLVER_H

@@ -1,0 +1,11 @@
+//===- Error.cpp ----------------------------------------------------------===//
+
+#include "support/Error.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+void er::fatalError(const std::string &Msg) {
+  std::fprintf(stderr, "er fatal error: %s\n", Msg.c_str());
+  std::abort();
+}

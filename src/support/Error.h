@@ -1,0 +1,70 @@
+//===- Error.h - Lightweight error handling utilities ---------*- C++ -*-===//
+//
+// Part of the ER reproduction project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimal error utilities modelled on LLVM's Expected<T>: library code never
+/// throws; fallible operations return ErrorOr<T> carrying either a value or a
+/// human-readable message.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ER_SUPPORT_ERROR_H
+#define ER_SUPPORT_ERROR_H
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace er {
+
+/// Aborts the process with \p Msg. Used for invariant violations that cannot
+/// be expressed as recoverable errors (the moral equivalent of
+/// llvm_unreachable).
+[[noreturn]] void fatalError(const std::string &Msg);
+
+/// A value-or-error result. On failure, carries a message describing what
+/// went wrong; on success, carries a T. Callers must check hasValue() (or
+/// operator bool) before dereferencing.
+template <typename T> class ErrorOr {
+public:
+  ErrorOr(T Value) : Value(std::move(Value)) {}
+  static ErrorOr<T> makeError(std::string Msg) {
+    ErrorOr<T> E;
+    E.Message = std::move(Msg);
+    return E;
+  }
+
+  explicit operator bool() const { return Value.has_value(); }
+  bool hasValue() const { return Value.has_value(); }
+
+  const T &get() const {
+    assert(Value && "accessing value of failed ErrorOr");
+    return *Value;
+  }
+  T &get() {
+    assert(Value && "accessing value of failed ErrorOr");
+    return *Value;
+  }
+  T takeValue() {
+    assert(Value && "taking value of failed ErrorOr");
+    return std::move(*Value);
+  }
+
+  const std::string &getError() const {
+    assert(!Value && "accessing error of successful ErrorOr");
+    return Message;
+  }
+
+private:
+  ErrorOr() = default;
+  std::optional<T> Value;
+  std::string Message;
+};
+
+} // namespace er
+
+#endif // ER_SUPPORT_ERROR_H

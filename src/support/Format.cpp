@@ -1,0 +1,24 @@
+//===- Format.cpp ---------------------------------------------------------===//
+
+#include "support/Format.h"
+
+#include <cstdarg>
+#include <cstdio>
+#include <vector>
+
+std::string er::formatString(const char *Fmt, ...) {
+  std::va_list Args;
+  va_start(Args, Fmt);
+  std::va_list ArgsCopy;
+  va_copy(ArgsCopy, Args);
+  int Needed = std::vsnprintf(nullptr, 0, Fmt, Args);
+  va_end(Args);
+  if (Needed < 0) {
+    va_end(ArgsCopy);
+    return std::string();
+  }
+  std::vector<char> Buf(static_cast<size_t>(Needed) + 1);
+  std::vsnprintf(Buf.data(), Buf.size(), Fmt, ArgsCopy);
+  va_end(ArgsCopy);
+  return std::string(Buf.data(), static_cast<size_t>(Needed));
+}

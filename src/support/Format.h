@@ -1,0 +1,22 @@
+//===- Format.h - printf-style string formatting ---------------*- C++ -*-===//
+///
+/// \file
+/// Small printf-style formatting helper returning std::string, used by the
+/// IR printer, trace dumps, and the bench harnesses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ER_SUPPORT_FORMAT_H
+#define ER_SUPPORT_FORMAT_H
+
+#include <string>
+
+namespace er {
+
+/// Formats like printf into a std::string.
+std::string formatString(const char *Fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace er
+
+#endif // ER_SUPPORT_FORMAT_H

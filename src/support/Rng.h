@@ -1,0 +1,46 @@
+//===- Rng.h - Deterministic random number generation -----------*- C++ -*-===//
+///
+/// \file
+/// A seeded splitmix64/xoshiro256** generator. Every randomized component in
+/// the project (workload input generators, scheduler perturbation, overhead
+/// jitter) draws from an explicitly seeded Rng so that tests and benches are
+/// reproducible.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ER_SUPPORT_RNG_H
+#define ER_SUPPORT_RNG_H
+
+#include <cstdint>
+
+namespace er {
+
+/// xoshiro256** seeded via splitmix64.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed = 0x9e3779b97f4a7c15ULL) { reseed(Seed); }
+
+  void reseed(uint64_t Seed);
+
+  /// Returns a uniformly distributed 64-bit value.
+  uint64_t next();
+
+  /// Returns a value in [0, Bound) for Bound > 0.
+  uint64_t nextBounded(uint64_t Bound);
+
+  /// Returns a value in [Lo, Hi] inclusive.
+  int64_t nextRange(int64_t Lo, int64_t Hi);
+
+  /// Returns a double in [0, 1).
+  double nextDouble();
+
+  /// Returns true with probability \p P (clamped to [0,1]).
+  bool nextBool(double P = 0.5);
+
+private:
+  uint64_t State[4];
+};
+
+} // namespace er
+
+#endif // ER_SUPPORT_RNG_H

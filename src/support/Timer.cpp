@@ -1,0 +1,5 @@
+//===- Timer.cpp ----------------------------------------------------------===//
+
+#include "support/Timer.h"
+
+// Stopwatch is header-only; this file anchors the library target.

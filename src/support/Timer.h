@@ -1,0 +1,35 @@
+//===- Timer.h - Wall-clock stopwatch ----------------------------*- C++ -*-===//
+///
+/// \file
+/// A simple wall-clock stopwatch used to report symbolic-execution and
+/// selection times in the evaluation harnesses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ER_SUPPORT_TIMER_H
+#define ER_SUPPORT_TIMER_H
+
+#include <chrono>
+
+namespace er {
+
+/// Measures elapsed wall-clock time in seconds.
+class Stopwatch {
+public:
+  Stopwatch() { restart(); }
+
+  void restart() { Start = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last restart().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - Start).count();
+  }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start;
+};
+
+} // namespace er
+
+#endif // ER_SUPPORT_TIMER_H

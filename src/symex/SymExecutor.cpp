@@ -1,0 +1,1258 @@
+//===- SymExecutor.cpp - Shepherded symbolic execution -------------------------===//
+
+#include "symex/SymExecutor.h"
+
+#include "support/Error.h"
+#include "support/Format.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace er;
+
+const char *er::symexStatusName(SymexStatus S) {
+  switch (S) {
+  case SymexStatus::Reproduced:     return "reproduced";
+  case SymexStatus::Stalled:        return "stalled";
+  case SymexStatus::TraceMismatch:  return "trace-mismatch";
+  case SymexStatus::TraceTruncated: return "trace-truncated";
+  case SymexStatus::Unsupported:    return "unsupported";
+  }
+  fatalError("unknown symex status");
+}
+
+namespace {
+
+/// A symbolic runtime value: a scalar expression or a pointer with a
+/// concrete object and a (possibly symbolic) element offset.
+struct SymValue {
+  enum class K : uint8_t { None, Scalar, Ptr } Kind = K::None;
+  ExprRef E = nullptr;   ///< Scalar expression.
+  bool Null = false;     ///< Ptr: null pointer.
+  uint32_t Obj = 0;      ///< Ptr: object id.
+  ExprRef Off = nullptr; ///< Ptr: 64-bit element offset expression.
+
+  static SymValue scalar(ExprRef E) {
+    SymValue V;
+    V.Kind = K::Scalar;
+    V.E = E;
+    return V;
+  }
+  static SymValue nullPtr() {
+    SymValue V;
+    V.Kind = K::Ptr;
+    V.Null = true;
+    return V;
+  }
+  static SymValue ptr(uint32_t Obj, ExprRef Off) {
+    SymValue V;
+    V.Kind = K::Ptr;
+    V.Obj = Obj;
+    V.Off = Off;
+    return V;
+  }
+};
+
+/// A scheduled slice of one thread's dynamic instruction stream.
+struct ScheduledChunk {
+  uint64_t Ts;
+  uint32_t Tid;
+  uint32_t Seq;
+  uint64_t NumInstrs;
+};
+
+} // namespace
+
+struct ShepherdedExecutor::Impl {
+  Impl(const Module &M, ExprContext &Ctx, ConstraintSolver &Solver,
+       SymexConfig Cfg)
+      : M(M), Ctx(Ctx), Solver(Solver), Cfg(Cfg) {}
+
+  //===--- Nested state ----------------------------------------------------===
+  struct SFrame {
+    const Function *F = nullptr;
+    const BasicBlock *Block = nullptr;
+    size_t InstIdx = 0;
+    std::vector<SymValue> Regs;
+    std::vector<SymValue> Args;
+    const Instruction *CallSite = nullptr;
+    std::vector<uint32_t> StackObjects;
+  };
+
+  struct SThread {
+    uint32_t Tid = 0;
+    bool Finished = false;
+    std::vector<SFrame> Stack;
+    size_t EventCursor = 0;
+    const DecodedThread *Decoded = nullptr;
+  };
+
+  struct SObject {
+    ObjectKind Kind = ObjectKind::Global;
+    Type ElemTy;
+    uint64_t NumElems = 0;
+    bool Alive = true;
+    std::string Name;
+    /// Element mode: one expression per element (fast path).
+    std::vector<ExprRef> Elems;
+    /// Array mode: content as an array expression (after the first
+    /// unresolvable symbolic-index access).
+    bool ArrayMode = false;
+    ExprRef Content = nullptr;
+    std::vector<SymWriteRecord> Writes;
+  };
+
+  //===--- Fields -----------------------------------------------------------===
+  const Module &M;
+  ExprContext &Ctx;
+  ConstraintSolver &Solver;
+  SymexConfig Cfg;
+
+  std::vector<SThread> Threads;
+  std::vector<SObject> Objects;
+  std::vector<ExprRef> Path;
+  SymexSnapshot Snap;
+  const FailureRecord *Fail = nullptr;
+  uint64_t TotalRemaining = 0;
+  std::vector<uint64_t> ThreadRemaining;
+  uint64_t InstrExecuted = 0;
+  size_t InSizeConstraintPos = SIZE_MAX;
+  bool FailureTriggered = false;
+  bool Aborted = false;
+  SymexStatus AbortStatus = SymexStatus::TraceMismatch;
+  std::string AbortDetail;
+  bool DebugProgress = std::getenv("ER_SYMEX_DEBUG") != nullptr;
+  std::unordered_map<ExprRef, std::vector<uint64_t>> SymbolCache;
+
+  //===--- Small helpers ----------------------------------------------------===
+  unsigned elemWidth(const SObject &O) const {
+    return O.ElemTy.isPtr() ? 64 : O.ElemTy.Bits;
+  }
+
+  void abortRun(SymexStatus S, std::string Detail) {
+    if (Aborted)
+      return;
+    Aborted = true;
+    AbortStatus = S;
+    AbortDetail = std::move(Detail);
+  }
+
+  void stall(ExprRef Culprit, const std::string &Why) {
+    Snap.CulpritExpr = Culprit;
+    abortRun(SymexStatus::Stalled, Why);
+  }
+
+  void recordOrigin(ExprRef E, const Instruction &I) {
+    if (E && !E->isConst())
+      Snap.Origins.emplace(E, I.getGlobalId());
+  }
+
+  uint32_t allocateObject(ObjectKind Kind, Type ElemTy, uint64_t NumElems,
+                          const std::vector<uint64_t> &Init,
+                          std::string Name) {
+    SObject O;
+    O.Kind = Kind;
+    O.ElemTy = ElemTy;
+    O.NumElems = NumElems;
+    O.Name = std::move(Name);
+    unsigned W = O.ElemTy.isPtr() ? 64 : O.ElemTy.Bits;
+    O.Elems.assign(NumElems, Ctx.constant(0, W));
+    for (size_t I = 0; I < Init.size() && I < NumElems; ++I)
+      O.Elems[I] = Ctx.constant(Init[I], W);
+    Objects.push_back(std::move(O));
+    return static_cast<uint32_t>(Objects.size() - 1);
+  }
+
+  /// Switches an object to array mode, building its base array from the
+  /// current element expressions.
+  void ensureArrayMode(SObject &O) {
+    if (O.ArrayMode)
+      return;
+    unsigned W = elemWidth(O);
+    std::vector<uint64_t> Data(O.NumElems, 0);
+    std::vector<std::pair<uint64_t, ExprRef>> Symbolic;
+    for (uint64_t I = 0; I < O.NumElems; ++I) {
+      if (O.Elems[I]->isConst())
+        Data[I] = O.Elems[I]->getConstVal();
+      else
+        Symbolic.emplace_back(I, O.Elems[I]);
+    }
+    O.Content = Ctx.dataArray(W, std::move(Data));
+    for (const auto &[Idx, E] : Symbolic) {
+      O.Content = Ctx.write(O.Content, Ctx.constant(Idx, 64), E);
+      O.Writes.push_back({Ctx.constant(Idx, 64), E, /*InstrGlobalId=*/0});
+    }
+    O.ArrayMode = true;
+    O.Elems.clear();
+  }
+
+  /// Pointer <-> packed scalar conversions.
+  ExprRef packPointer(const SymValue &V) {
+    assert(V.Kind == SymValue::K::Ptr && "packing non-pointer");
+    if (V.Null)
+      return Ctx.constant(0, 64);
+    if (V.Off->isConst())
+      return Ctx.constant(PackedPtr::make(V.Obj, V.Off->getConstVal()), 64);
+    return Ctx.add(V.Off, Ctx.constant(PackedPtr::make(V.Obj, 0), 64));
+  }
+
+  /// Reconstructs a pointer from a packed scalar expression; may consult the
+  /// solver. Returns false if the run was aborted.
+  bool unpackPointer(ExprRef E, SymValue &Out) {
+    if (E->isConst()) {
+      uint64_t P = E->getConstVal();
+      if (PackedPtr::isNull(P)) {
+        Out = SymValue::nullPtr();
+        return true;
+      }
+      Out = SymValue::ptr(PackedPtr::objectId(P),
+                          Ctx.constant(PackedPtr::offset(P), 64));
+      return true;
+    }
+    // Pattern produced by packPointer: add(off, const base).
+    if (E->getKind() == ExprKind::Add && E->getOp1()->isConst()) {
+      uint64_t Base = E->getOp1()->getConstVal();
+      if (!PackedPtr::isNull(Base) && PackedPtr::offset(Base) == 0) {
+        uint32_t Obj = PackedPtr::objectId(Base);
+        if (Obj < Objects.size()) {
+          Out = SymValue::ptr(Obj, E->getOp0());
+          return true;
+        }
+      }
+    }
+    // Last resort: ask the solver for the concrete pointer value.
+    std::vector<uint64_t> Values;
+    bool Complete = false;
+    QueryStatus S = Solver.enumerateValues(relevantFor(E), E, 2, Values,
+                                           Complete);
+    if (S == QueryStatus::Timeout) {
+      stall(E, "pointer value resolution timed out");
+      return false;
+    }
+    if (Values.size() == 1 && Complete)
+      return unpackPointer(Ctx.constant(Values[0], 64), Out);
+    stall(E, "pointer value is not unique");
+    return false;
+  }
+
+  /// Symbols (scalar vars, symbolic arrays) of \p E, memoized across the
+  /// whole run: sets are shared bottom-up, so the cache stays linear in the
+  /// number of distinct expression nodes.
+  const std::vector<uint64_t> &symbolsOf(ExprRef E) {
+    auto It = SymbolCache.find(E);
+    if (It != SymbolCache.end())
+      return It->second;
+    std::vector<uint64_t> Out;
+    if (E->getKind() == ExprKind::Var) {
+      Out.push_back(E->getVarId());
+    } else if (E->getKind() == ExprKind::SymArray) {
+      Out.push_back((1ULL << 32) | E->getVarId());
+    } else {
+      for (unsigned I = 0; I < E->getNumOps(); ++I) {
+        const std::vector<uint64_t> &Sub = symbolsOf(E->getOp(I));
+        Out.insert(Out.end(), Sub.begin(), Sub.end());
+      }
+      std::sort(Out.begin(), Out.end());
+      Out.erase(std::unique(Out.begin(), Out.end()), Out.end());
+    }
+    return SymbolCache.emplace(E, std::move(Out)).first->second;
+  }
+
+  /// Constraint-independence slice: the subset of Path sharing symbols
+  /// (transitively) with \p Seed. Sound for feasibility queries because the
+  /// full path is satisfiable by construction.
+  std::vector<ExprRef> relevantFor(ExprRef Seed) {
+    std::vector<uint64_t> Want = symbolsOf(Seed);
+    std::vector<bool> Included(Path.size(), false);
+
+    bool Changed = true;
+    while (Changed) {
+      Changed = false;
+      for (size_t I = 0; I < Path.size(); ++I) {
+        if (Included[I])
+          continue;
+        const std::vector<uint64_t> &Syms = symbolsOf(Path[I]);
+        bool Overlap = false;
+        for (uint64_t S : Syms)
+          if (std::binary_search(Want.begin(), Want.end(), S)) {
+            Overlap = true;
+            break;
+          }
+        if (!Overlap)
+          continue;
+        Included[I] = true;
+        Changed = true;
+        Want.insert(Want.end(), Syms.begin(), Syms.end());
+        std::sort(Want.begin(), Want.end());
+        Want.erase(std::unique(Want.begin(), Want.end()), Want.end());
+      }
+    }
+
+    std::vector<ExprRef> Out;
+    for (size_t I = 0; I < Path.size(); ++I)
+      if (Included[I])
+        Out.push_back(Path[I]);
+    return Out;
+  }
+
+  //===--- Trace event consumption -------------------------------------------
+  const TraceEvent *nextEvent(SThread &T, TraceEvent::Kind Expected) {
+    const auto &Events = T.Decoded->Events;
+    if (T.EventCursor >= Events.size()) {
+      abortRun(SymexStatus::TraceMismatch, "trace event stream exhausted");
+      return nullptr;
+    }
+    const TraceEvent &E = Events[T.EventCursor];
+    if (E.K != Expected) {
+      abortRun(SymexStatus::TraceMismatch,
+               formatString("trace event kind mismatch at event %zu",
+                            T.EventCursor));
+      return nullptr;
+    }
+    ++T.EventCursor;
+    return &E;
+  }
+
+  //===--- Values -----------------------------------------------------------===
+  SymValue valueOf(SFrame &Fr, const Value *V) {
+    if (const auto *C = dyn_cast<ConstantInt>(V))
+      return SymValue::scalar(Ctx.constant(C->getValue(), C->getType().Bits));
+    if (isa<ConstantNull>(V))
+      return SymValue::nullPtr();
+    if (const auto *A = dyn_cast<Argument>(V))
+      return Fr.Args[A->getArgNo()];
+    if (const auto *I = dyn_cast<Instruction>(V))
+      return Fr.Regs[I->getLocalId()];
+    fatalError("unsupported value kind in symex");
+  }
+
+  /// The failing instruction is the last instruction of the failing
+  /// thread's dynamic stream (a property invariant under the arbitrary
+  /// cross-thread tie-breaking of equal chunk timestamps; other threads'
+  /// tied chunks may legitimately be ordered after it).
+  bool atFailurePoint(uint32_t Tid, const Instruction &I) const {
+    return Tid == Fail->Tid && Tid < ThreadRemaining.size() &&
+           ThreadRemaining[Tid] == 1 &&
+           I.getGlobalId() == Fail->InstrGlobalId;
+  }
+
+  /// Handles a would-trap situation: at the failure point with the matching
+  /// kind this triggers reproduction; anywhere else it is a mismatch.
+  bool trapReached(uint32_t Tid, const Instruction &I, FailureKind K) {
+    if (atFailurePoint(Tid, I) && Fail->Kind == K) {
+      FailureTriggered = true;
+      return true;
+    }
+    abortRun(SymexStatus::TraceMismatch,
+             formatString("unexpected %s trap at instruction %u",
+                          failureKindName(K), I.getGlobalId()));
+    return false;
+  }
+
+  //===--- Memory ------------------------------------------------------------
+  /// Resolves a (possibly symbolic) element offset for an access to \p O.
+  /// On return: if Concrete is set the access uses that index in element
+  /// mode; otherwise the object has been switched to array mode.
+  /// The in-bounds (or at the failure point: out-of-bounds) constraint is
+  /// added here. Returns false if the run aborted.
+  bool resolveOffset(uint32_t Tid, const Instruction &I, SObject &O,
+                     ExprRef Off, bool &IsConcrete, uint64_t &Concrete) {
+    uint64_t N = O.NumElems;
+    if (Off->isConst()) {
+      uint64_t V = Off->getConstVal();
+      if (V >= N)
+        return trapReached(Tid, I, FailureKind::OutOfBounds);
+      IsConcrete = true;
+      Concrete = V;
+      return true;
+    }
+
+    ExprRef Bound = Ctx.constant(N, 64);
+    if (atFailurePoint(Tid, I) && Fail->Kind == FailureKind::OutOfBounds) {
+      Path.push_back(Ctx.uge(Off, Bound));
+      FailureTriggered = true;
+      IsConcrete = true;
+      Concrete = 0; // Value unused: the access traps.
+      return true;
+    }
+    // The access succeeded in production, so it was in bounds.
+    Path.push_back(Ctx.ult(Off, Bound));
+
+    // Ask the solver for the set of concrete locations (Section 3.2).
+    std::vector<uint64_t> Values;
+    bool Complete = false;
+    QueryStatus S = Solver.enumerateValues(relevantFor(Off), Off,
+                                           Cfg.MaxAddrCandidates, Values,
+                                           Complete);
+    if (S == QueryStatus::Timeout) {
+      stall(Off, "address resolution timed out");
+      return false;
+    }
+    if (Complete && Values.size() == 1) {
+      IsConcrete = true;
+      Concrete = Values[0];
+      return true;
+    }
+    // Many feasible addresses: model the access with array theory.
+    ensureArrayMode(O);
+    IsConcrete = false;
+    return true;
+  }
+
+  bool execLoad(SThread &T, SFrame &Fr, const Instruction &I) {
+    SymValue Ptr = valueOf(Fr, I.getOperand(0));
+    if (Ptr.Kind != SymValue::K::Ptr) {
+      abortRun(SymexStatus::Unsupported, "load through a non-pointer value");
+      return false;
+    }
+    if (Ptr.Null)
+      return trapReached(T.Tid, I, FailureKind::NullDeref);
+    SObject &O = Objects[Ptr.Obj];
+    if (!O.Alive)
+      return trapReached(T.Tid, I, FailureKind::UseAfterFree);
+
+    bool IsConcrete;
+    uint64_t Idx;
+    if (!resolveOffset(T.Tid, I, O, Ptr.Off, IsConcrete, Idx))
+      return false;
+    if (FailureTriggered)
+      return true;
+
+    ExprRef Raw;
+    if (IsConcrete && !O.ArrayMode) {
+      Raw = O.Elems[Idx];
+    } else {
+      ensureArrayMode(O);
+      ExprRef IdxE = IsConcrete ? Ctx.constant(Idx, 64) : Ptr.Off;
+      Raw = Ctx.read(O.Content, IdxE);
+      recordOrigin(Raw, I);
+    }
+
+    // Width adaptation: elements are stored at the object's element width.
+    unsigned AccessW = I.getType().isPtr() ? 64 : I.getType().Bits;
+    unsigned StoreW = elemWidth(O);
+    if (AccessW != StoreW) {
+      abortRun(SymexStatus::Unsupported, "type-confused memory access");
+      return false;
+    }
+
+    if (I.getType().isPtr()) {
+      SymValue P;
+      if (!unpackPointer(Raw, P))
+        return false;
+      Fr.Regs[I.getLocalId()] = P;
+    } else {
+      Fr.Regs[I.getLocalId()] = SymValue::scalar(Raw);
+      recordOrigin(Raw, I);
+    }
+    return true;
+  }
+
+  bool execStore(SThread &T, SFrame &Fr, const Instruction &I) {
+    SymValue Val = valueOf(Fr, I.getOperand(0));
+    SymValue Ptr = valueOf(Fr, I.getOperand(1));
+    if (Ptr.Kind != SymValue::K::Ptr) {
+      abortRun(SymexStatus::Unsupported, "store through a non-pointer value");
+      return false;
+    }
+    if (Ptr.Null)
+      return trapReached(T.Tid, I, FailureKind::NullDeref);
+    SObject &O = Objects[Ptr.Obj];
+    if (!O.Alive)
+      return trapReached(T.Tid, I, FailureKind::UseAfterFree);
+
+    ExprRef ValE =
+        Val.Kind == SymValue::K::Ptr ? packPointer(Val) : Val.E;
+    unsigned StoreW = elemWidth(O);
+    if (ValE->getWidth() != StoreW) {
+      abortRun(SymexStatus::Unsupported, "type-confused memory store");
+      return false;
+    }
+
+    bool IsConcrete;
+    uint64_t Idx;
+    if (!resolveOffset(T.Tid, I, O, Ptr.Off, IsConcrete, Idx))
+      return false;
+    if (FailureTriggered)
+      return true;
+
+    if (IsConcrete && !O.ArrayMode) {
+      O.Elems[Idx] = ValE;
+      return true;
+    }
+    ensureArrayMode(O);
+    ExprRef IdxE = IsConcrete ? Ctx.constant(Idx, 64) : Ptr.Off;
+    O.Content = Ctx.write(O.Content, IdxE, ValE);
+    O.Writes.push_back({IdxE, ValE, I.getGlobalId()});
+    return true;
+  }
+
+  //===--- Instruction dispatch ----------------------------------------------
+  ExprRef scalarOperand(SFrame &Fr, const Instruction &I, unsigned Idx) {
+    SymValue V = valueOf(Fr, I.getOperand(Idx));
+    if (V.Kind == SymValue::K::Ptr)
+      return packPointer(V);
+    return V.E;
+  }
+
+  bool step(uint32_t Tid);
+  bool execBinary(SThread &T, SFrame &Fr, const Instruction &I);
+  bool execCompare(SFrame &Fr, const Instruction &I);
+
+  //===--- Run --------------------------------------------------------------===
+  SymexResult run(const DecodedTrace &Trace, const FailureRecord &Failure);
+  SymexResult finish(uint64_t SolverWorkBefore);
+  bool extractInput(const Assignment &Model, ProgramInput &Out);
+
+  /// DAG node count of \p E, capped (memoized).
+  uint64_t nodeCountOf(ExprRef E) {
+    auto It = NodeCountCache.find(E);
+    if (It != NodeCountCache.end())
+      return It->second;
+    std::unordered_map<ExprRef, bool> Seen;
+    std::vector<ExprRef> Stack{E};
+    uint64_t N = 0;
+    while (!Stack.empty() && N < 100000) {
+      ExprRef X = Stack.back();
+      Stack.pop_back();
+      if (Seen.count(X))
+        continue;
+      Seen.emplace(X, true);
+      ++N;
+      for (unsigned I = 0; I < X->getNumOps(); ++I)
+        Stack.push_back(X->getOp(I));
+    }
+    NodeCountCache.emplace(E, N);
+    return N;
+  }
+
+  /// When the final solve times out: the K heaviest path constraints,
+  /// stripped of their boolean shells (branch outcomes are already known
+  /// from the trace; the data terms underneath are what is worth
+  /// recording).
+  std::vector<ExprRef> pickExpensiveCulprits(unsigned K) {
+    std::vector<std::pair<uint64_t, ExprRef>> Ranked;
+    for (ExprRef C : Path)
+      Ranked.push_back({nodeCountOf(C), C});
+    std::sort(Ranked.begin(), Ranked.end(),
+              [](const auto &A, const auto &B) { return A.first > B.first; });
+
+    std::vector<ExprRef> Out;
+    for (const auto &[N, Best] : Ranked) {
+      if (Out.size() >= K)
+        break;
+      // Descend through boolean structure to the largest non-boolean
+      // operand.
+      ExprRef E = Best;
+      while (E->getWidth() == 1 && E->getNumOps() > 0) {
+        ExprRef Biggest = nullptr;
+        uint64_t BiggestN = 0;
+        for (unsigned I = 0; I < E->getNumOps(); ++I) {
+          ExprRef Op = E->getOp(I);
+          if (Op->isConst())
+            continue;
+          uint64_t OpN = nodeCountOf(Op);
+          if (OpN > BiggestN) {
+            BiggestN = OpN;
+            Biggest = Op;
+          }
+        }
+        if (!Biggest)
+          break;
+        E = Biggest;
+      }
+      if (!E->isConst() &&
+          std::find(Out.begin(), Out.end(), E) == Out.end())
+        Out.push_back(E);
+    }
+    return Out;
+  }
+
+  std::unordered_map<ExprRef, uint64_t> NodeCountCache;
+};
+
+//===----------------------------------------------------------------------===//
+// Arithmetic / compare
+//===----------------------------------------------------------------------===//
+
+bool ShepherdedExecutor::Impl::execBinary(SThread &T, SFrame &Fr,
+                                          const Instruction &I) {
+  ExprRef A = scalarOperand(Fr, I, 0);
+  ExprRef B = scalarOperand(Fr, I, 1);
+  Opcode Op = I.getOpcode();
+
+  // Division traps mirror the VM.
+  if (Op == Opcode::UDiv || Op == Opcode::SDiv || Op == Opcode::URem ||
+      Op == Opcode::SRem) {
+    if (B->isConst() && B->getConstVal() == 0)
+      return trapReached(T.Tid, I, FailureKind::DivByZero);
+    if (!B->isConst()) {
+      if (atFailurePoint(T.Tid, I) && Fail->Kind == FailureKind::DivByZero) {
+        Path.push_back(Ctx.eq(B, Ctx.constant(0, B->getWidth())));
+        FailureTriggered = true;
+        return true;
+      }
+      Path.push_back(Ctx.ne(B, Ctx.constant(0, B->getWidth())));
+    }
+  }
+
+  ExprRef R;
+  switch (Op) {
+  case Opcode::Add:  R = Ctx.add(A, B); break;
+  case Opcode::Sub:  R = Ctx.sub(A, B); break;
+  case Opcode::Mul:  R = Ctx.mul(A, B); break;
+  case Opcode::UDiv: R = Ctx.udiv(A, B); break;
+  case Opcode::SDiv: R = Ctx.sdiv(A, B); break;
+  case Opcode::URem: R = Ctx.urem(A, B); break;
+  case Opcode::SRem: R = Ctx.srem(A, B); break;
+  case Opcode::And:  R = Ctx.bvand(A, B); break;
+  case Opcode::Or:   R = Ctx.bvor(A, B); break;
+  case Opcode::Xor:  R = Ctx.bvxor(A, B); break;
+  case Opcode::Shl:  R = Ctx.shl(A, B); break;
+  case Opcode::LShr: R = Ctx.lshr(A, B); break;
+  case Opcode::AShr: R = Ctx.ashr(A, B); break;
+  default:
+    fatalError("execBinary: not a binary opcode");
+  }
+
+  // Pointer arithmetic identity: adding to a packed pointer keeps the
+  // object; handled in PtrAdd, so plain binary results are scalars.
+  Fr.Regs[I.getLocalId()] = SymValue::scalar(R);
+  recordOrigin(R, I);
+  (void)T;
+  return true;
+}
+
+bool ShepherdedExecutor::Impl::execCompare(SFrame &Fr, const Instruction &I) {
+  SymValue VA = valueOf(Fr, I.getOperand(0));
+  SymValue VB = valueOf(Fr, I.getOperand(1));
+
+  // Pointer comparisons: only eq/ne arise from the frontend.
+  if (VA.Kind == SymValue::K::Ptr || VB.Kind == SymValue::K::Ptr) {
+    ExprRef A = VA.Kind == SymValue::K::Ptr ? packPointer(VA) : VA.E;
+    ExprRef B = VB.Kind == SymValue::K::Ptr ? packPointer(VB) : VB.E;
+    ExprRef R = I.getOpcode() == Opcode::Ne ? Ctx.ne(A, B) : Ctx.eq(A, B);
+    Fr.Regs[I.getLocalId()] = SymValue::scalar(R);
+    recordOrigin(R, I);
+    return true;
+  }
+
+  ExprRef A = VA.E, B = VB.E;
+  ExprRef R;
+  switch (I.getOpcode()) {
+  case Opcode::Eq:  R = Ctx.eq(A, B); break;
+  case Opcode::Ne:  R = Ctx.ne(A, B); break;
+  case Opcode::Ult: R = Ctx.ult(A, B); break;
+  case Opcode::Ule: R = Ctx.ule(A, B); break;
+  case Opcode::Ugt: R = Ctx.ugt(A, B); break;
+  case Opcode::Uge: R = Ctx.uge(A, B); break;
+  case Opcode::Slt: R = Ctx.slt(A, B); break;
+  case Opcode::Sle: R = Ctx.sle(A, B); break;
+  case Opcode::Sgt: R = Ctx.sgt(A, B); break;
+  case Opcode::Sge: R = Ctx.sge(A, B); break;
+  default:
+    fatalError("execCompare: not a comparison");
+  }
+  Fr.Regs[I.getLocalId()] = SymValue::scalar(R);
+  recordOrigin(R, I);
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Single step
+//===----------------------------------------------------------------------===//
+
+bool ShepherdedExecutor::Impl::step(uint32_t Tid) {
+  SThread &T = Threads[Tid];
+  SFrame &Fr = T.Stack.back();
+  const Instruction &I = *Fr.Block->getInst(Fr.InstIdx);
+  Opcode Op = I.getOpcode();
+  bool Advance = true;
+
+  if (I.getGlobalId() < Snap.ExecCounts.size())
+    ++Snap.ExecCounts[I.getGlobalId()];
+
+  if (isBinaryOp(Op)) {
+    if (!execBinary(T, Fr, I))
+      return false;
+  } else if (isCompareOp(Op)) {
+    if (!execCompare(Fr, I))
+      return false;
+  } else {
+    switch (Op) {
+    case Opcode::Select: {
+      ExprRef C = scalarOperand(Fr, I, 0);
+      SymValue TV = valueOf(Fr, I.getOperand(1));
+      SymValue FV = valueOf(Fr, I.getOperand(2));
+      if (C->isConst()) {
+        Fr.Regs[I.getLocalId()] = C->getConstVal() ? TV : FV;
+      } else if (TV.Kind == SymValue::K::Scalar &&
+                 FV.Kind == SymValue::K::Scalar) {
+        ExprRef R = Ctx.ite(C, TV.E, FV.E);
+        Fr.Regs[I.getLocalId()] = SymValue::scalar(R);
+        recordOrigin(R, I);
+      } else {
+        ExprRef A = TV.Kind == SymValue::K::Ptr ? packPointer(TV) : TV.E;
+        ExprRef B = FV.Kind == SymValue::K::Ptr ? packPointer(FV) : FV.E;
+        SymValue P;
+        if (!unpackPointer(Ctx.ite(C, A, B), P))
+          return false;
+        Fr.Regs[I.getLocalId()] = P;
+      }
+      break;
+    }
+    case Opcode::ZExt: {
+      ExprRef R = Ctx.zext(scalarOperand(Fr, I, 0), I.getType().Bits);
+      Fr.Regs[I.getLocalId()] = SymValue::scalar(R);
+      recordOrigin(R, I);
+      break;
+    }
+    case Opcode::SExt: {
+      ExprRef R = Ctx.sext(scalarOperand(Fr, I, 0), I.getType().Bits);
+      Fr.Regs[I.getLocalId()] = SymValue::scalar(R);
+      recordOrigin(R, I);
+      break;
+    }
+    case Opcode::Trunc: {
+      ExprRef R = Ctx.trunc(scalarOperand(Fr, I, 0), I.getType().Bits);
+      Fr.Regs[I.getLocalId()] = SymValue::scalar(R);
+      recordOrigin(R, I);
+      break;
+    }
+    case Opcode::Alloca: {
+      uint32_t Obj = allocateObject(ObjectKind::Stack, I.getAllocElemType(),
+                                    I.getAllocCount(), {}, I.getName());
+      Fr.StackObjects.push_back(Obj);
+      Fr.Regs[I.getLocalId()] = SymValue::ptr(Obj, Ctx.constant(0, 64));
+      break;
+    }
+    case Opcode::Malloc: {
+      ExprRef Count = scalarOperand(Fr, I, 0);
+      if (!Count->isConst()) {
+        // The allocation size shapes every later bounds check; guessing
+        // among candidates would corrupt the reconstruction, so resolve it
+        // only when unique — otherwise stall and let ER record it.
+        std::vector<uint64_t> Values;
+        bool Complete = false;
+        QueryStatus S = Solver.enumerateValues(relevantFor(Count), Count, 2,
+                                               Values, Complete);
+        if (S == QueryStatus::Timeout || Values.empty() || Values.size() > 1 ||
+            !Complete) {
+          stall(Count, "ambiguous symbolic allocation size");
+          return false;
+        }
+        Path.push_back(Ctx.eq(Count, Ctx.constant(Values[0], 64)));
+        Count = Ctx.constant(Values[0], 64);
+      }
+      uint64_t N = Count->getConstVal();
+      if (N == 0 || N > PackedPtr::OffsetMask) {
+        Fr.Regs[I.getLocalId()] = SymValue::nullPtr();
+      } else {
+        uint32_t Obj =
+            allocateObject(ObjectKind::Heap, I.getAllocElemType(), N, {}, "");
+        Fr.Regs[I.getLocalId()] = SymValue::ptr(Obj, Ctx.constant(0, 64));
+      }
+      break;
+    }
+    case Opcode::Free: {
+      SymValue P = valueOf(Fr, I.getOperand(0));
+      if (P.Kind != SymValue::K::Ptr) {
+        abortRun(SymexStatus::Unsupported, "free of a non-pointer");
+        return false;
+      }
+      if (P.Null)
+        return trapReached(Tid, I, FailureKind::NullDeref);
+      SObject &O = Objects[P.Obj];
+      if (O.Kind != ObjectKind::Heap ||
+          !P.Off->isConst() || P.Off->getConstVal() != 0)
+        return trapReached(Tid, I, FailureKind::OutOfBounds);
+      if (!O.Alive)
+        return trapReached(Tid, I, FailureKind::DoubleFree);
+      O.Alive = false;
+      break;
+    }
+    case Opcode::PtrAdd: {
+      SymValue P = valueOf(Fr, I.getOperand(0));
+      ExprRef D = scalarOperand(Fr, I, 1);
+      if (P.Kind != SymValue::K::Ptr) {
+        abortRun(SymexStatus::Unsupported, "ptradd on a non-pointer");
+        return false;
+      }
+      if (P.Null) {
+        // Null + delta stays "null-ish"; the VM would fault on access.
+        Fr.Regs[I.getLocalId()] = P;
+        break;
+      }
+      ExprRef NewOff = Ctx.add(P.Off, D);
+      Fr.Regs[I.getLocalId()] = SymValue::ptr(P.Obj, NewOff);
+      recordOrigin(NewOff, I);
+      break;
+    }
+    case Opcode::Load:
+      if (!execLoad(T, Fr, I))
+        return false;
+      break;
+    case Opcode::Store:
+      if (!execStore(T, Fr, I))
+        return false;
+      break;
+    case Opcode::GlobalAddr:
+      Fr.Regs[I.getLocalId()] =
+          SymValue::ptr(static_cast<uint32_t>(I.getGlobal()->getId()),
+                        Ctx.constant(0, 64));
+      break;
+    case Opcode::Br:
+      Fr.Block = I.getSuccessor(0);
+      Fr.InstIdx = 0;
+      Advance = false;
+      break;
+    case Opcode::CondBr: {
+      const TraceEvent *E = nextEvent(T, TraceEvent::Kind::CondBranch);
+      if (!E)
+        return false;
+      ExprRef C = scalarOperand(Fr, I, 0);
+      if (C->isConst()) {
+        if ((C->getConstVal() != 0) != E->Taken) {
+          abortRun(SymexStatus::TraceMismatch,
+                   formatString("concrete branch disagrees with trace at "
+                                "instr %u in %s",
+                                I.getGlobalId(),
+                                Fr.F->getName().c_str()));
+          return false;
+        }
+      } else {
+        Path.push_back(E->Taken ? C : Ctx.bvnot(C));
+      }
+      Fr.Block = I.getSuccessor(E->Taken ? 0 : 1);
+      Fr.InstIdx = 0;
+      Advance = false;
+      break;
+    }
+    case Opcode::Call: {
+      std::vector<SymValue> Args;
+      for (unsigned A = 0; A < I.getNumOperands(); ++A)
+        Args.push_back(valueOf(Fr, I.getOperand(A)));
+      SFrame NewFr;
+      NewFr.F = I.getCallee();
+      NewFr.Block = NewFr.F->getEntry();
+      NewFr.Regs.resize(NewFr.F->getNumInstructions());
+      NewFr.Args = std::move(Args);
+      NewFr.CallSite = &I;
+      T.Stack.push_back(std::move(NewFr));
+      Advance = false;
+      break;
+    }
+    case Opcode::Ret: {
+      const TraceEvent *E = nextEvent(T, TraceEvent::Kind::ReturnTarget);
+      if (!E)
+        return false;
+      SymValue RetVal;
+      if (I.getNumOperands() == 1)
+        RetVal = valueOf(Fr, I.getOperand(0));
+      for (uint32_t Obj : Fr.StackObjects)
+        Objects[Obj].Alive = false;
+      const Instruction *CallSite = Fr.CallSite;
+      T.Stack.pop_back();
+      if (T.Stack.empty()) {
+        if (E->Value != 0xffffffffu) {
+          abortRun(SymexStatus::TraceMismatch, "unexpected return target");
+          return false;
+        }
+        T.Finished = true;
+        return true;
+      }
+      if (E->Value != CallSite->getGlobalId()) {
+        abortRun(SymexStatus::TraceMismatch, "return target mismatch");
+        return false;
+      }
+      SFrame &Caller = T.Stack.back();
+      if (CallSite->getOpcode() == Opcode::Call &&
+          !CallSite->getType().isVoid())
+        Caller.Regs[CallSite->getLocalId()] = RetVal;
+      Caller.InstIdx++;
+      Advance = false;
+      break;
+    }
+    case Opcode::InputArg: {
+      unsigned Idx = static_cast<unsigned>(I.getImm());
+      auto It = Snap.ArgVars.find(Idx);
+      ExprRef V;
+      if (It != Snap.ArgVars.end()) {
+        V = It->second;
+      } else {
+        V = Ctx.makeVar("in_arg" + std::to_string(Idx), 64);
+        Snap.ArgVars.emplace(Idx, V);
+      }
+      Fr.Regs[I.getLocalId()] = SymValue::scalar(V);
+      recordOrigin(V, I);
+      break;
+    }
+    case Opcode::InputByte: {
+      if (!Snap.InSizeVar)
+        Snap.InSizeVar = Ctx.makeVar("in_size", 64);
+      uint64_t K = Snap.ByteVars.size();
+      if (atFailurePoint(Tid, I) && Fail->Kind == FailureKind::InputUnderrun) {
+        Path.push_back(Ctx.eq(Snap.InSizeVar, Ctx.constant(K, 64)));
+        FailureTriggered = true;
+        return true;
+      }
+      // ugt(in_size, k) subsumes all previous k' < k: keep a single slot.
+      ExprRef SizeC = Ctx.ugt(Snap.InSizeVar, Ctx.constant(K, 64));
+      if (InSizeConstraintPos != SIZE_MAX)
+        Path[InSizeConstraintPos] = SizeC;
+      else {
+        InSizeConstraintPos = Path.size();
+        Path.push_back(SizeC);
+      }
+      ExprRef V = Ctx.makeVar("in_b" + std::to_string(K), 8);
+      Snap.ByteVars.push_back(V);
+      Snap.ConsumedBytes = Snap.ByteVars.size();
+      Fr.Regs[I.getLocalId()] = SymValue::scalar(V);
+      recordOrigin(V, I);
+      break;
+    }
+    case Opcode::InputSize: {
+      if (!Snap.InSizeVar)
+        Snap.InSizeVar = Ctx.makeVar("in_size", 64);
+      Fr.Regs[I.getLocalId()] = SymValue::scalar(Snap.InSizeVar);
+      recordOrigin(Snap.InSizeVar, I);
+      break;
+    }
+    case Opcode::Print:
+      break; // No semantic effect on the path.
+    case Opcode::Abort:
+      return trapReached(Tid, I, FailureKind::Abort);
+    case Opcode::Spawn: {
+      SymValue Arg = valueOf(Fr, I.getOperand(0));
+      SThread NewT;
+      NewT.Tid = static_cast<uint32_t>(Threads.size());
+      SFrame NewFr;
+      NewFr.F = I.getCallee();
+      NewFr.Block = NewFr.F->getEntry();
+      NewFr.Regs.resize(NewFr.F->getNumInstructions());
+      NewFr.Args = {Arg};
+      NewFr.CallSite = &I;
+      NewT.Stack.push_back(std::move(NewFr));
+      Fr.Regs[I.getLocalId()] =
+          SymValue::scalar(Ctx.constant(NewT.Tid, 64));
+      Threads.push_back(std::move(NewT));
+      // Threads vector may have reallocated: do not touch T beyond the
+      // cached frame reference (Fr points into stable heap storage).
+      break;
+    }
+    case Opcode::Join:
+    case Opcode::MutexLock:
+    case Opcode::MutexUnlock:
+      // The chunk schedule already encodes the acquisition/join order; the
+      // VM only counted these instructions when they succeeded.
+      break;
+    case Opcode::PtWrite: {
+      const TraceEvent *E = nextEvent(T, TraceEvent::Kind::Data);
+      if (!E)
+        return false;
+      SymValue V = valueOf(Fr, I.getOperand(0));
+      ExprRef Cur = V.Kind == SymValue::K::Ptr ? packPointer(V) : V.E;
+      uint64_t Recorded = maskToWidth(E->Value, Cur->getWidth());
+      if (Cur->isConst()) {
+        if (Cur->getConstVal() != Recorded) {
+          abortRun(SymexStatus::TraceMismatch,
+                   "recorded data value disagrees with concrete value");
+          return false;
+        }
+        break;
+      }
+      ExprRef RecordedC = Ctx.constant(Recorded, Cur->getWidth());
+      Path.push_back(Ctx.eq(Cur, RecordedC));
+      // Concretize the monitored register so downstream constraints
+      // simplify — this is the entire point of data value recording.
+      if (const auto *DefI = dyn_cast<Instruction>(I.getOperand(0))) {
+        if (V.Kind == SymValue::K::Ptr) {
+          SymValue P;
+          if (!unpackPointer(RecordedC, P))
+            return false;
+          Fr.Regs[DefI->getLocalId()] = P;
+        } else {
+          Fr.Regs[DefI->getLocalId()] = SymValue::scalar(RecordedC);
+        }
+      }
+      break;
+    }
+    default:
+      fatalError("unhandled opcode in symex");
+    }
+  }
+
+  // Spawn may have reallocated Threads; re-fetch through the id. Fr stays
+  // valid (frames live in stable heap storage owned by the moved vector).
+  if (Advance) {
+    SFrame &CurFr = Threads[Tid].Stack.back();
+    CurFr.InstIdx++;
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Run / finish
+//===----------------------------------------------------------------------===//
+
+SymexResult ShepherdedExecutor::Impl::run(const DecodedTrace &Trace,
+                                          const FailureRecord &Failure) {
+  Fail = &Failure;
+  Snap.ExecCounts.assign(M.getNumInstructionIds(), 0);
+  uint64_t SolverWorkBefore = Solver.getTotals().TotalWork;
+
+  if (Trace.anyTruncated()) {
+    SymexResult R;
+    R.Status = SymexStatus::TraceTruncated;
+    R.Detail = "ring buffer overwrote the head of the trace";
+    return R;
+  }
+
+  // Globals become objects 0..G-1, matching the VM's allocation order.
+  for (const auto &G : M.globals())
+    allocateObject(ObjectKind::Global, G->getElemType(), G->getNumElems(),
+                   G->getInit(), G->getName());
+
+  const Function *Main = M.getFunction("main");
+  if (!Main)
+    fatalError("module has no main()");
+
+  SThread MainT;
+  MainT.Tid = 0;
+  SFrame Fr;
+  Fr.F = Main;
+  Fr.Block = Main->getEntry();
+  Fr.Regs.resize(Main->getNumInstructions());
+  MainT.Stack.push_back(std::move(Fr));
+  Threads.push_back(std::move(MainT));
+
+  // Bind decoded per-thread streams.
+  auto BindThread = [&](uint32_t Tid) {
+    const DecodedThread *D = Trace.thread(Tid);
+    if (!D) {
+      abortRun(SymexStatus::TraceMismatch, "missing thread trace");
+      return false;
+    }
+    Threads[Tid].Decoded = D;
+    return true;
+  };
+  if (!BindThread(0))
+    return finish(SolverWorkBefore);
+
+  // Build the global chunk schedule ordered by (quantized timestamp, tid,
+  // per-thread sequence) — the paper's partial order with arbitrary
+  // tie-breaking (Section 3.4). The tie-break seed permutes the arbitrary
+  // cross-thread order of *tied* chunks; per-thread order is always kept.
+  std::vector<ScheduledChunk> Schedule;
+  for (const auto &D : Trace.Threads) {
+    for (uint32_t Seq = 0; Seq < D.Chunks.size(); ++Seq)
+      Schedule.push_back(
+          {D.Chunks[Seq].Timestamp, D.Tid, Seq, D.Chunks[Seq].NumInstrs});
+  }
+  uint64_t TieSeed = Cfg.ChunkTieBreakSeed;
+  auto ThreadKey = [TieSeed](uint32_t Tid) {
+    if (TieSeed == 0)
+      return static_cast<uint64_t>(Tid);
+    uint64_t H = Tid * 0x9e3779b97f4a7c15ULL + TieSeed;
+    H ^= H >> 29;
+    H *= 0xbf58476d1ce4e5b9ULL;
+    return H;
+  };
+  // Within a timestamp tie, interleave by per-thread sequence number (the
+  // scheduler round-robins chunks), using the permuted thread key only to
+  // break exact (Ts, Seq) collisions: this keeps per-thread order and
+  // approximates the real interleaving far better than grouping threads.
+  std::sort(Schedule.begin(), Schedule.end(),
+            [&](const ScheduledChunk &A, const ScheduledChunk &B) {
+              if (A.Ts != B.Ts)
+                return A.Ts < B.Ts;
+              if (A.Seq != B.Seq)
+                return A.Seq < B.Seq;
+              return ThreadKey(A.Tid) < ThreadKey(B.Tid);
+            });
+
+  TotalRemaining = 0;
+  for (const auto &C : Schedule) {
+    TotalRemaining += C.NumInstrs;
+    if (C.Tid >= ThreadRemaining.size())
+      ThreadRemaining.resize(C.Tid + 1, 0);
+    ThreadRemaining[C.Tid] += C.NumInstrs;
+  }
+
+  // Execute chunks earliest-first, but *defer* a chunk whose thread has not
+  // been spawned yet: with coarse timestamps a child's first chunk can sort
+  // before the parent's spawning chunk, and the spawn-before-run structural
+  // order always wins over the arbitrary tie-break. On failure, chunks of
+  // *other* threads that the tie-break ordered after the failing
+  // instruction are abandoned, as in the VM (execution stops there).
+  std::vector<bool> Done(Schedule.size(), false);
+  size_t Remaining = Schedule.size();
+  while (Remaining > 0 && !Aborted && !FailureTriggered) {
+    bool Progress = false;
+    for (size_t CI = 0; CI < Schedule.size(); ++CI) {
+      if (Done[CI])
+        continue;
+      const ScheduledChunk &C = Schedule[CI];
+      if (C.Tid >= Threads.size())
+        continue; // Not spawned yet: defer.
+      if (!Threads[C.Tid].Decoded && !BindThread(C.Tid))
+        break;
+      Done[CI] = true;
+      --Remaining;
+      Progress = true;
+      for (uint64_t K = 0; K < C.NumInstrs; ++K) {
+        if (Threads[C.Tid].Finished || Threads[C.Tid].Stack.empty()) {
+          abortRun(SymexStatus::TraceMismatch,
+                   "chunk continues past thread completion");
+          break;
+        }
+        if (!step(C.Tid))
+          break;
+        ++InstrExecuted;
+        --TotalRemaining;
+        --ThreadRemaining[C.Tid];
+        if (DebugProgress && InstrExecuted % 2000 == 0)
+          std::fprintf(stderr,
+                       "[symex] instr=%llu queries=%llu work=%llu path=%zu\n",
+                       (unsigned long long)InstrExecuted,
+                       (unsigned long long)Solver.getTotals().Queries,
+                       (unsigned long long)Solver.getTotals().TotalWork,
+                       Path.size());
+        if (FailureTriggered || Aborted)
+          break;
+        if (InstrExecuted > Cfg.MaxSteps) {
+          abortRun(SymexStatus::TraceMismatch, "symex fuel exhausted");
+          break;
+        }
+      }
+      break; // Rescan from the earliest pending chunk.
+    }
+    if (!Progress && !Aborted && !FailureTriggered) {
+      abortRun(SymexStatus::TraceMismatch,
+               "chunk for a thread that was never spawned");
+      break;
+    }
+  }
+
+  return finish(SolverWorkBefore);
+}
+
+bool ShepherdedExecutor::Impl::extractInput(const Assignment &Model,
+                                            ProgramInput &Out) {
+  const Assignment *Chosen = &Model;
+  Assignment Pinned;
+  uint64_t Size = Snap.ConsumedBytes;
+
+  // Prefer the smallest byte stream covering all consumed bytes: pin the
+  // size variable to the consumption count when that is still satisfiable.
+  if (Snap.InSizeVar &&
+      Model.getVar(Snap.InSizeVar->getVarId()) != Snap.ConsumedBytes) {
+    std::vector<ExprRef> WithPin = Path;
+    WithPin.push_back(
+        Ctx.eq(Snap.InSizeVar, Ctx.constant(Snap.ConsumedBytes, 64)));
+    QueryResult QR = Solver.checkSat(
+        WithPin, Solver.getConfig().WorkBudget * Cfg.FinalBudgetMultiplier);
+    if (QR.Status == QueryStatus::Sat) {
+      Pinned = std::move(QR.Model);
+      Chosen = &Pinned;
+    } else {
+      uint64_t ModelSize = Model.getVar(Snap.InSizeVar->getVarId());
+      Size = std::min<uint64_t>(ModelSize, Snap.ConsumedBytes + 4096);
+    }
+  }
+
+  unsigned MaxArg = 0;
+  for (const auto &[Idx, Var] : Snap.ArgVars)
+    MaxArg = std::max(MaxArg, Idx + 1);
+  Out.Args.assign(MaxArg, 0);
+  for (const auto &[Idx, Var] : Snap.ArgVars)
+    Out.Args[Idx] = Chosen->getVar(Var->getVarId());
+
+  Out.Bytes.assign(Size, 0);
+  for (size_t K = 0; K < Snap.ByteVars.size() && K < Out.Bytes.size(); ++K)
+    Out.Bytes[K] =
+        static_cast<uint8_t>(Chosen->getVar(Snap.ByteVars[K]->getVarId()));
+  return true;
+}
+
+SymexResult ShepherdedExecutor::Impl::finish(uint64_t SolverWorkBefore) {
+  SymexResult R;
+  R.InstrExecuted = InstrExecuted;
+  R.SolverWork = Solver.getTotals().TotalWork - SolverWorkBefore;
+
+  // Collect chains into the snapshot.
+  Snap.PathConstraint = Path;
+  for (uint32_t Id = 0; Id < Objects.size(); ++Id) {
+    SObject &O = Objects[Id];
+    if (O.Writes.empty())
+      continue;
+    ObjectChain C;
+    C.ObjId = Id;
+    C.Name = O.Name;
+    C.ElemWidthBits = elemWidth(O);
+    C.NumElems = O.NumElems;
+    C.Writes = O.Writes;
+    Snap.Chains.push_back(std::move(C));
+  }
+
+  if (Aborted) {
+    R.Status = AbortStatus;
+    R.Detail = AbortDetail;
+    R.Snapshot = std::move(Snap);
+    return R;
+  }
+  if (!FailureTriggered) {
+    R.Status = SymexStatus::TraceMismatch;
+    R.Detail = "trace ended without reaching the failure";
+    R.Snapshot = std::move(Snap);
+    return R;
+  }
+
+  // Final solve: the whole path constraint, under the scaled budget.
+  uint64_t FinalBudget =
+      Solver.getConfig().WorkBudget * Cfg.FinalBudgetMultiplier;
+  QueryResult QR = Solver.checkSat(Path, FinalBudget);
+  R.SolverWork = Solver.getTotals().TotalWork - SolverWorkBefore;
+  if (QR.Status == QueryStatus::Timeout) {
+    // Give key-value selection concrete targets even when no write chain
+    // exists: the non-boolean cores of the heaviest constraints.
+    if (!Snap.CulpritExpr) {
+      Snap.CulpritExprs = pickExpensiveCulprits(3);
+      if (!Snap.CulpritExprs.empty())
+        Snap.CulpritExpr = Snap.CulpritExprs.front();
+    }
+    R.Status = SymexStatus::Stalled;
+    R.Detail = "final constraint solve timed out";
+    R.Snapshot = std::move(Snap);
+    return R;
+  }
+  if (QR.Status == QueryStatus::Unsat) {
+    R.Status = SymexStatus::TraceMismatch;
+    R.Detail = "path constraint unsatisfiable (reconstruction error)";
+    R.Snapshot = std::move(Snap);
+    return R;
+  }
+
+  extractInput(QR.Model, R.GeneratedInput);
+  R.Status = SymexStatus::Reproduced;
+  R.Snapshot = std::move(Snap);
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// Facade
+//===----------------------------------------------------------------------===//
+
+ShepherdedExecutor::ShepherdedExecutor(const Module &M, ExprContext &Ctx,
+                                       ConstraintSolver &Solver,
+                                       SymexConfig Config)
+    : PImpl(std::make_unique<Impl>(M, Ctx, Solver, Config)) {}
+
+ShepherdedExecutor::~ShepherdedExecutor() = default;
+
+SymexResult ShepherdedExecutor::run(const DecodedTrace &Trace,
+                                    const FailureRecord &Failure) {
+  return PImpl->run(Trace, Failure);
+}

@@ -1,0 +1,141 @@
+//===- SymExecutor.h - Shepherded symbolic execution -------------*- C++ -*-===//
+///
+/// \file
+/// The paper's core engine (Section 3.2): symbolic execution that follows
+/// the control-flow trace of a failing production run, so exactly one path
+/// is explored. Inputs (input.arg/input.byte/input.size) are symbolic; the
+/// path constraint accumulates branch outcomes, no-trap conditions, and
+/// recorded data values (ptwrite packets concretize the registers they
+/// monitor).
+///
+/// The solver is consulted whenever the program accesses symbolic memory
+/// (to enumerate the feasible concrete addresses) and once at the end to
+/// produce a concrete failure-reproducing input. A solver timeout surfaces
+/// as SymexStatus::Stalled together with the constraint-graph inputs that
+/// key data value selection (Section 3.3) consumes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ER_SYMEX_SYMEXECUTOR_H
+#define ER_SYMEX_SYMEXECUTOR_H
+
+#include "ir/IR.h"
+#include "solver/Expr.h"
+#include "solver/Solver.h"
+#include "trace/Trace.h"
+#include "vm/Failure.h"
+#include "vm/Input.h"
+#include "vm/Memory.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace er {
+
+/// One symbolic write to a memory object (an element of the paper's
+/// "symbolic write chain").
+struct SymWriteRecord {
+  ExprRef Index;          ///< Element index expression.
+  ExprRef Value;          ///< Stored value expression.
+  unsigned InstrGlobalId; ///< The store instruction.
+};
+
+/// The symbolic write chain of one memory object.
+struct ObjectChain {
+  uint32_t ObjId = 0;
+  std::string Name;
+  unsigned ElemWidthBits = 0;
+  uint64_t NumElems = 0;
+  std::vector<SymWriteRecord> Writes;
+  /// Object byte size — "size of the accessed symbolic memory".
+  uint64_t byteSize() const { return NumElems * (ElemWidthBits / 8 + ((ElemWidthBits % 8) ? 1 : 0)); }
+};
+
+/// Everything key data value selection needs after a stall (or that test
+/// case generation needs after success).
+struct SymexSnapshot {
+  std::vector<ExprRef> PathConstraint;
+  /// Expression -> global id of the instruction that first produced it.
+  std::unordered_map<ExprRef, unsigned> Origins;
+  /// Dynamic execution count per instruction global id (recording cost).
+  std::vector<uint64_t> ExecCounts;
+  /// Objects with symbolic write chains.
+  std::vector<ObjectChain> Chains;
+  /// The expression whose resolution caused the stall (fallback bottleneck
+  /// when no chain exists).
+  ExprRef CulpritExpr = nullptr;
+  /// For final-solve timeouts: the non-boolean cores of the heaviest path
+  /// constraints (selection targets when no chain is implicated).
+  std::vector<ExprRef> CulpritExprs;
+
+  // Input variables.
+  std::unordered_map<unsigned, ExprRef> ArgVars; ///< arg index -> var.
+  std::vector<ExprRef> ByteVars;                 ///< consumption order.
+  ExprRef InSizeVar = nullptr;
+  uint64_t ConsumedBytes = 0;
+};
+
+enum class SymexStatus : uint8_t {
+  Reproduced,     ///< A concrete failing input was generated.
+  Stalled,        ///< Solver timeout: needs key data value selection.
+  TraceMismatch,  ///< Trace disagrees with the module (internal error).
+  TraceTruncated, ///< Ring buffer lost the head of the trace.
+  Unsupported,    ///< Execution needed an unsupported symbolic operation.
+};
+
+const char *symexStatusName(SymexStatus S);
+
+/// Outcome of one shepherded symbolic execution.
+struct SymexResult {
+  SymexStatus Status = SymexStatus::TraceMismatch;
+  ProgramInput GeneratedInput; ///< Valid when Reproduced.
+  SymexSnapshot Snapshot;
+  uint64_t InstrExecuted = 0;
+  uint64_t SolverWork = 0;
+  std::string Detail;
+};
+
+/// Configuration for shepherded symbolic execution.
+struct SymexConfig {
+  /// Max concrete address candidates enumerated per symbolic access before
+  /// the access is modelled with array theory.
+  unsigned MaxAddrCandidates = 8;
+  /// Safety fuel.
+  uint64_t MaxSteps = 500'000'000;
+  /// The final input-generation solve runs with WorkBudget scaled by this
+  /// factor: the per-access budget is the stall detector that drives the
+  /// iterative loop, while the one-off final solve may legitimately be
+  /// larger than any single in-trace query.
+  uint64_t FinalBudgetMultiplier = 8;
+  /// Section 3.4: when quantized chunk timestamps tie across threads, the
+  /// executor "arbitrarily selects" an order. This seed permutes that
+  /// arbitrary choice, so a driver can explore alternative interleavings
+  /// of tied chunks when a reconstruction fails to validate (the paper's
+  /// state-space-exploration fallback, bounded).
+  uint64_t ChunkTieBreakSeed = 0;
+};
+
+/// Shepherded symbolic executor over a Module and a decoded trace.
+class ShepherdedExecutor {
+public:
+  ShepherdedExecutor(const Module &M, ExprContext &Ctx,
+                     ConstraintSolver &Solver, SymexConfig Config);
+  ~ShepherdedExecutor();
+
+  /// Follows \p Trace to the failure described by \p Failure and attempts to
+  /// generate a reproducing input. \p Input ("the latest trace"'s input) is
+  /// not consulted — it exists in production only; symbolic execution sees
+  /// only the trace.
+  SymexResult run(const DecodedTrace &Trace, const FailureRecord &Failure);
+
+private:
+  struct Impl;
+  std::unique_ptr<Impl> PImpl;
+};
+
+} // namespace er
+
+#endif // ER_SYMEX_SYMEXECUTOR_H

@@ -1,0 +1,34 @@
+//===- OverheadModel.cpp ----------------------------------------------------===//
+
+#include "trace/OverheadModel.h"
+
+#include "support/Rng.h"
+
+#include <cmath>
+
+using namespace er;
+
+double er::erOverheadPercentExact(uint64_t InstrCount,
+                                  const TraceStats &Stats,
+                                  const OverheadParams &Params) {
+  if (InstrCount == 0)
+    return 0.0;
+  double Base = static_cast<double>(InstrCount) * Params.CyclesPerInstr;
+  double TraceCost =
+      static_cast<double>(Stats.BytesWritten) * Params.CyclesPerTraceByte +
+      static_cast<double>(Stats.PtwPackets) * Params.CyclesPerPtWrite;
+  return TraceCost / Base * 100.0;
+}
+
+double er::erOverheadPercent(uint64_t InstrCount, const TraceStats &Stats,
+                             const OverheadParams &Params, Rng &R) {
+  double Exact = erOverheadPercentExact(InstrCount, Stats, Params);
+  // Box-Muller noise sample; overheads cannot go negative.
+  double U1 = R.nextDouble();
+  double U2 = R.nextDouble();
+  if (U1 < 1e-12)
+    U1 = 1e-12;
+  double Gauss = std::sqrt(-2.0 * std::log(U1)) * std::cos(6.28318530718 * U2);
+  double Noisy = Exact + Gauss * Params.NoiseStdDev * 100.0;
+  return Noisy < 0 ? 0 : Noisy;
+}

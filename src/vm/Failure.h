@@ -1,0 +1,58 @@
+//===- Failure.h - Failure records -------------------------------*- C++ -*-===//
+///
+/// \file
+/// Describes a detected failure: what happened, at which instruction, under
+/// which call stack. ER matches reoccurrences of "the same failure" by
+/// (kind, faulting instruction, call stack), mirroring Section 4 of the
+/// paper ("based on matching the program counter and the call stack").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ER_VM_FAILURE_H
+#define ER_VM_FAILURE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace er {
+
+enum class FailureKind : uint8_t {
+  None,
+  Abort,         ///< abort instruction (assertions lower to this).
+  NullDeref,     ///< Load/store/free through a null pointer.
+  OutOfBounds,   ///< Access beyond an object's element count.
+  UseAfterFree,  ///< Access to a freed heap object.
+  DoubleFree,
+  DivByZero,
+  Deadlock,      ///< Every live thread is blocked.
+  InputUnderrun, ///< input.byte past the end of the stream.
+};
+
+const char *failureKindName(FailureKind K);
+
+/// Identity and context of one failure occurrence.
+struct FailureRecord {
+  FailureKind Kind = FailureKind::None;
+  /// Global id of the faulting instruction.
+  unsigned InstrGlobalId = 0;
+  /// Call-site instruction global ids, outermost first.
+  std::vector<unsigned> CallStack;
+  /// Thread that failed.
+  uint32_t Tid = 0;
+  std::string Message;
+
+  bool isFailure() const { return Kind != FailureKind::None; }
+
+  /// Failure identity: same kind, same PC, same call stack.
+  bool sameFailure(const FailureRecord &O) const {
+    return Kind == O.Kind && InstrGlobalId == O.InstrGlobalId &&
+           CallStack == O.CallStack;
+  }
+
+  std::string describe() const;
+};
+
+} // namespace er
+
+#endif // ER_VM_FAILURE_H

@@ -1,0 +1,31 @@
+//===- Input.h - Program input model -----------------------------*- C++ -*-===//
+///
+/// \file
+/// The non-deterministic input surface of a program run: a fixed vector of
+/// integer arguments (input.arg) and a byte stream (input.byte/input.size).
+/// These model the POSIX environment (argv, files, sockets) that the paper's
+/// extended KLEE treats as symbolic.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ER_VM_INPUT_H
+#define ER_VM_INPUT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace er {
+
+/// Concrete inputs to one program run. A generated test case is exactly this
+/// structure.
+struct ProgramInput {
+  std::vector<uint64_t> Args;
+  std::vector<uint8_t> Bytes;
+
+  std::string describe() const;
+};
+
+} // namespace er
+
+#endif // ER_VM_INPUT_H

@@ -1,0 +1,533 @@
+//===- Interpreter.cpp - Concrete IR interpreter -----------------------------===//
+
+#include "vm/Interpreter.h"
+
+#include "solver/Expr.h" // maskToWidth / signExtend helpers.
+#include "support/Error.h"
+#include "support/Format.h"
+#include "support/Rng.h"
+
+#include <cassert>
+
+using namespace er;
+
+const char *er::failureKindName(FailureKind K) {
+  switch (K) {
+  case FailureKind::None:          return "none";
+  case FailureKind::Abort:         return "abort";
+  case FailureKind::NullDeref:     return "null-deref";
+  case FailureKind::OutOfBounds:   return "out-of-bounds";
+  case FailureKind::UseAfterFree:  return "use-after-free";
+  case FailureKind::DoubleFree:    return "double-free";
+  case FailureKind::DivByZero:     return "div-by-zero";
+  case FailureKind::Deadlock:      return "deadlock";
+  case FailureKind::InputUnderrun: return "input-underrun";
+  }
+  fatalError("unknown failure kind");
+}
+
+std::string FailureRecord::describe() const {
+  std::string S = formatString("%s at instr %u (tid %u, depth %zu)",
+                               failureKindName(Kind), InstrGlobalId, Tid,
+                               CallStack.size());
+  if (!Message.empty())
+    S += ": " + Message;
+  return S;
+}
+
+std::string ProgramInput::describe() const {
+  std::string S = "args=[";
+  for (size_t I = 0; I < Args.size(); ++I)
+    S += (I ? "," : "") + std::to_string(Args[I]);
+  S += formatString("] bytes=%zu", Bytes.size());
+  return S;
+}
+
+Interpreter::Interpreter(const Module &M, VmConfig Config)
+    : M(M), Config(Config) {}
+
+uint64_t Interpreter::valueOf(const Frame &Fr, const Value *V) const {
+  if (const auto *C = dyn_cast<ConstantInt>(V))
+    return C->getValue();
+  if (isa<ConstantNull>(V))
+    return 0;
+  if (const auto *A = dyn_cast<Argument>(V))
+    return Fr.Args[A->getArgNo()];
+  if (const auto *I = dyn_cast<Instruction>(V))
+    return Fr.Regs[I->getLocalId()];
+  fatalError("unsupported value kind in interpreter");
+}
+
+void Interpreter::pushFrame(Thread &T, const Function *F,
+                            std::vector<uint64_t> Args,
+                            const Instruction *CallSite) {
+  Frame Fr;
+  Fr.F = F;
+  Fr.Block = F->getEntry();
+  Fr.InstIdx = 0;
+  Fr.Regs.assign(F->getNumInstructions(), 0);
+  Fr.Args = std::move(Args);
+  Fr.CallSite = CallSite;
+  T.Stack.push_back(std::move(Fr));
+  if (Obs)
+    Obs->onCall(T.Tid, *F, T.Stack.back().Args);
+}
+
+std::vector<unsigned> Interpreter::captureCallStack(const Thread &T) const {
+  std::vector<unsigned> Stack;
+  for (const Frame &Fr : T.Stack)
+    if (Fr.CallSite)
+      Stack.push_back(Fr.CallSite->getGlobalId());
+  return Stack;
+}
+
+void Interpreter::fail(Thread &T, const Instruction &I, FailureKind K,
+                       std::string Message) {
+  Failed = true;
+  Failure.Kind = K;
+  Failure.InstrGlobalId = I.getGlobalId();
+  Failure.CallStack = captureCallStack(T);
+  Failure.Tid = T.Tid;
+  Failure.Message = std::move(Message);
+}
+
+void Interpreter::closeChunk(Thread &T) {
+  if (Rec && T.ChunkInstrs > 0)
+    Rec->endChunk(T.Tid, T.ChunkStartTime, T.ChunkInstrs);
+  T.ChunkInstrs = 0;
+}
+
+Interpreter::StepResult Interpreter::step(uint32_t Tid) {
+  Thread &T = Threads[Tid];
+  Frame &Fr = T.Stack.back();
+  const Instruction &I = *Fr.Block->getInst(Fr.InstIdx);
+  Opcode Op = I.getOpcode();
+  unsigned Width = I.getType().isInt() ? I.getType().Bits : 64;
+  uint64_t Result = 0;
+  bool Advance = true;
+
+  auto Operand = [&](unsigned Idx) { return valueOf(Fr, I.getOperand(Idx)); };
+
+  if (isBinaryOp(Op)) {
+    uint64_t A = Operand(0), B = Operand(1);
+    switch (Op) {
+    case Opcode::Add:  Result = A + B; break;
+    case Opcode::Sub:  Result = A - B; break;
+    case Opcode::Mul:  Result = A * B; break;
+    case Opcode::And:  Result = A & B; break;
+    case Opcode::Or:   Result = A | B; break;
+    case Opcode::Xor:  Result = A ^ B; break;
+    case Opcode::Shl:  Result = B >= Width ? 0 : A << B; break;
+    case Opcode::LShr: Result = B >= Width ? 0 : A >> B; break;
+    case Opcode::AShr: {
+      int64_t SA = signExtend(A, Width);
+      Result = static_cast<uint64_t>(B >= Width ? (SA < 0 ? -1 : 0)
+                                                : (SA >> B));
+      break;
+    }
+    case Opcode::UDiv:
+    case Opcode::URem:
+      if (B == 0) {
+        fail(T, I, FailureKind::DivByZero, "unsigned division by zero");
+        return StepResult::Exited;
+      }
+      Result = Op == Opcode::UDiv ? A / B : A % B;
+      break;
+    case Opcode::SDiv:
+    case Opcode::SRem: {
+      if (B == 0) {
+        fail(T, I, FailureKind::DivByZero, "signed division by zero");
+        return StepResult::Exited;
+      }
+      int64_t SA = signExtend(A, Width), SB = signExtend(B, Width);
+      if (SB == -1)
+        Result = Op == Opcode::SDiv ? static_cast<uint64_t>(-SA) : 0;
+      else
+        Result = static_cast<uint64_t>(Op == Opcode::SDiv ? SA / SB : SA % SB);
+      break;
+    }
+    default:
+      fatalError("unhandled binary opcode");
+    }
+    Result = maskToWidth(Result, Width);
+  } else if (isCompareOp(Op)) {
+    uint64_t A = Operand(0), B = Operand(1);
+    unsigned W = I.getOperand(0)->getType().isInt()
+                     ? I.getOperand(0)->getType().Bits
+                     : 64;
+    int64_t SA = signExtend(A, W), SB = signExtend(B, W);
+    switch (Op) {
+    case Opcode::Eq:  Result = A == B; break;
+    case Opcode::Ne:  Result = A != B; break;
+    case Opcode::Ult: Result = A < B; break;
+    case Opcode::Ule: Result = A <= B; break;
+    case Opcode::Ugt: Result = A > B; break;
+    case Opcode::Uge: Result = A >= B; break;
+    case Opcode::Slt: Result = SA < SB; break;
+    case Opcode::Sle: Result = SA <= SB; break;
+    case Opcode::Sgt: Result = SA > SB; break;
+    case Opcode::Sge: Result = SA >= SB; break;
+    default:
+      fatalError("unhandled compare opcode");
+    }
+  } else {
+    switch (Op) {
+    case Opcode::Select:
+      Result = Operand(0) ? Operand(1) : Operand(2);
+      break;
+    case Opcode::ZExt:
+      Result = Operand(0);
+      break;
+    case Opcode::SExt:
+      Result = maskToWidth(
+          static_cast<uint64_t>(
+              signExtend(Operand(0), I.getOperand(0)->getType().Bits)),
+          Width);
+      break;
+    case Opcode::Trunc:
+      Result = maskToWidth(Operand(0), Width);
+      break;
+    case Opcode::Alloca: {
+      uint32_t Obj = Mem.allocate(ObjectKind::Stack, I.getAllocElemType(),
+                                  I.getAllocCount(), {}, I.getName());
+      Fr.StackObjects.push_back(Obj);
+      Result = PackedPtr::make(Obj, 0);
+      break;
+    }
+    case Opcode::Malloc: {
+      uint64_t Count = Operand(0);
+      if (Count == 0 || Count > PackedPtr::OffsetMask) {
+        Result = 0; // Null: allocation failure.
+      } else {
+        uint32_t Obj =
+            Mem.allocate(ObjectKind::Heap, I.getAllocElemType(), Count);
+        Result = PackedPtr::make(Obj, 0);
+      }
+      break;
+    }
+    case Opcode::Free: {
+      FailureKind K = Mem.free(Operand(0));
+      if (K != FailureKind::None) {
+        fail(T, I, K, "bad free");
+        return StepResult::Exited;
+      }
+      break;
+    }
+    case Opcode::PtrAdd:
+      Result = Operand(0) + Operand(1); // Offset lives in the low bits.
+      break;
+    case Opcode::Load: {
+      uint32_t Obj;
+      uint64_t Off;
+      FailureKind K = Mem.checkAccess(Operand(0), Obj, Off);
+      if (K != FailureKind::None) {
+        fail(T, I, K, "invalid load");
+        return StepResult::Exited;
+      }
+      Result = Mem.object(Obj).Data[Off];
+      break;
+    }
+    case Opcode::Store: {
+      uint32_t Obj;
+      uint64_t Off;
+      FailureKind K = Mem.checkAccess(Operand(1), Obj, Off);
+      if (K != FailureKind::None) {
+        fail(T, I, K, "invalid store");
+        return StepResult::Exited;
+      }
+      Mem.object(Obj).Data[Off] = Operand(0);
+      break;
+    }
+    case Opcode::GlobalAddr:
+      Result = PackedPtr::make(
+          static_cast<uint32_t>(GlobalObjIds[I.getGlobal()->getId()]), 0);
+      break;
+    case Opcode::Br:
+      Fr.Block = I.getSuccessor(0);
+      Fr.InstIdx = 0;
+      Advance = false;
+      break;
+    case Opcode::CondBr: {
+      bool Taken = Operand(0) != 0;
+      if (Rec)
+        Rec->condBranch(T.Tid, Taken);
+      Fr.Block = I.getSuccessor(Taken ? 0 : 1);
+      Fr.InstIdx = 0;
+      Advance = false;
+      break;
+    }
+    case Opcode::Call: {
+      std::vector<uint64_t> Args;
+      Args.reserve(I.getNumOperands());
+      for (unsigned A = 0; A < I.getNumOperands(); ++A)
+        Args.push_back(Operand(A));
+      pushFrame(T, I.getCallee(), std::move(Args), &I);
+      Advance = false;
+      break;
+    }
+    case Opcode::Ret: {
+      bool HasVal = I.getNumOperands() == 1;
+      uint64_t RetVal = HasVal ? Operand(0) : 0;
+      if (Obs)
+        Obs->onReturn(T.Tid, *Fr.F, HasVal, RetVal);
+      for (uint32_t Obj : Fr.StackObjects)
+        Mem.killStackObject(Obj);
+      const Instruction *CallSite = Fr.CallSite;
+      T.Stack.pop_back();
+      if (T.Stack.empty()) {
+        if (Rec)
+          Rec->returnTarget(T.Tid, 0xffffffffu);
+        T.State = ThreadState::Finished;
+        T.RetVal = RetVal;
+        if (Obs)
+          Obs->onInst(T.Tid, I, RetVal);
+        return StepResult::Exited;
+      }
+      Frame &Caller = T.Stack.back();
+      if (CallSite->getOpcode() == Opcode::Call &&
+          !CallSite->getType().isVoid())
+        Caller.Regs[CallSite->getLocalId()] = RetVal;
+      Caller.InstIdx++;
+      if (Rec)
+        Rec->returnTarget(T.Tid, CallSite->getGlobalId());
+      Advance = false;
+      break;
+    }
+    case Opcode::InputArg:
+      ++EventCounters.InputEvents;
+      Result = I.getImm() < Input->Args.size() ? Input->Args[I.getImm()] : 0;
+      break;
+    case Opcode::InputByte:
+      ++EventCounters.InputEvents;
+      ++EventCounters.InputBytes;
+      if (InputCursor >= Input->Bytes.size()) {
+        fail(T, I, FailureKind::InputUnderrun, "read past end of input");
+        return StepResult::Exited;
+      }
+      Result = Input->Bytes[InputCursor++];
+      break;
+    case Opcode::InputSize:
+      ++EventCounters.InputEvents;
+      Result = Input->Bytes.size();
+      break;
+    case Opcode::Print: {
+      uint64_t V = Operand(0);
+      const Type &Ty = I.getOperand(0)->getType();
+      if (Ty.isInt() && Ty.Bits == 8)
+        Output += static_cast<char>(V);
+      else
+        Output += std::to_string(signExtend(V, Ty.isInt() ? Ty.Bits : 64)) +
+                  "\n";
+      break;
+    }
+    case Opcode::Abort:
+      fail(T, I, FailureKind::Abort, I.getMessage());
+      return StepResult::Exited;
+    case Opcode::Spawn: {
+      ++EventCounters.ThreadEvents;
+      uint64_t ArgVal = Operand(0);
+      Thread NewT;
+      NewT.Tid = static_cast<uint32_t>(Threads.size());
+      if (Rec)
+        Rec->beginThread(NewT.Tid);
+      NewT.ChunkStartTime = GlobalTime;
+      Result = NewT.Tid;
+      // Threads may reallocate here, invalidating T and Fr; the tail below
+      // re-fetches the current thread through its id.
+      Threads.push_back(std::move(NewT));
+      pushFrame(Threads.back(), I.getCallee(), {ArgVal}, &I);
+      break;
+    }
+    case Opcode::Join: {
+      ++EventCounters.ThreadEvents;
+      uint64_t Target = Operand(0);
+      if (Target >= Threads.size()) {
+        fail(T, I, FailureKind::OutOfBounds, "join of invalid thread id");
+        return StepResult::Exited;
+      }
+      if (Threads[Target].State != ThreadState::Finished) {
+        T.State = ThreadState::BlockedJoin;
+        T.BlockedOn = Target;
+        return StepResult::Blocked; // Re-execute join when unblocked.
+      }
+      break;
+    }
+    case Opcode::MutexLock: {
+      ++EventCounters.SyncEvents;
+      uint64_t Mid = I.getImm();
+      if (Mid >= MutexOwner.size())
+        MutexOwner.resize(Mid + 1, -1);
+      if (MutexOwner[Mid] >= 0 && MutexOwner[Mid] != T.Tid) {
+        T.State = ThreadState::BlockedMutex;
+        T.BlockedOn = Mid;
+        return StepResult::Blocked; // Re-execute lock when unblocked.
+      }
+      MutexOwner[Mid] = T.Tid;
+      break;
+    }
+    case Opcode::MutexUnlock: {
+      ++EventCounters.SyncEvents;
+      uint64_t Mid = I.getImm();
+      if (Mid < MutexOwner.size() && MutexOwner[Mid] == T.Tid)
+        MutexOwner[Mid] = -1;
+      break;
+    }
+    case Opcode::PtWrite:
+      if (Rec)
+        Rec->ptWrite(T.Tid, Operand(0));
+      break;
+    default:
+      fatalError("unhandled opcode in interpreter");
+    }
+  }
+
+  // The spawn case may have invalidated references into Threads; re-fetch.
+  Thread &Self = Threads[Tid];
+  if (Advance) {
+    Frame &CurFr = Self.Stack.back();
+    if (!I.getType().isVoid())
+      CurFr.Regs[I.getLocalId()] = Result;
+    CurFr.InstIdx++;
+  }
+  if (Obs)
+    Obs->onInst(Self.Tid, I, Result);
+  return StepResult::Ran;
+}
+
+RunResult Interpreter::run(const ProgramInput &In, TraceRecorder *Recorder,
+                           ExecObserver *Observer) {
+  // Reset per-run state.
+  Input = &In;
+  Rec = Recorder;
+  Obs = Observer;
+  Threads.clear();
+  MutexOwner.clear();
+  InputCursor = 0;
+  GlobalTime = 0;
+  Failed = false;
+  Failure = FailureRecord();
+  Output.clear();
+  Mem = MemoryManager();
+  GlobalObjIds.clear();
+  EventCounters = RunResult();
+
+  // Materialize globals.
+  for (const auto &G : M.globals())
+    GlobalObjIds.push_back(Mem.allocate(ObjectKind::Global, G->getElemType(),
+                                        G->getNumElems(), G->getInit(),
+                                        G->getName()));
+
+  const Function *Main = M.getFunction("main");
+  if (!Main)
+    fatalError("module has no main()");
+
+  Thread MainT;
+  MainT.Tid = 0;
+  Threads.push_back(std::move(MainT));
+  if (Rec)
+    Rec->beginThread(0);
+  pushFrame(Threads[0], Main, {}, nullptr);
+
+  Rng ScheduleRng(Config.ScheduleSeed * 0x9e3779b97f4a7c15ULL + 1);
+
+  RunResult R;
+  uint64_t Steps = 0;
+  size_t Current = 0;
+
+  while (true) {
+    // Pick the next runnable thread (round-robin from Current).
+    size_t Picked = SIZE_MAX;
+    for (size_t K = 0; K < Threads.size(); ++K) {
+      size_t Idx = (Current + K) % Threads.size();
+      Thread &T = Threads[Idx];
+      // Unblock threads whose condition cleared.
+      if (T.State == ThreadState::BlockedJoin &&
+          Threads[T.BlockedOn].State == ThreadState::Finished)
+        T.State = ThreadState::Runnable;
+      if (T.State == ThreadState::BlockedMutex &&
+          (T.BlockedOn >= MutexOwner.size() ||
+           MutexOwner[T.BlockedOn] < 0))
+        T.State = ThreadState::Runnable;
+      if (T.State == ThreadState::Runnable) {
+        Picked = Idx;
+        break;
+      }
+    }
+    if (Picked == SIZE_MAX) {
+      // No runnable thread: either everything finished, or deadlock.
+      bool AnyLive = false;
+      for (const auto &T : Threads)
+        if (T.State != ThreadState::Finished)
+          AnyLive = true;
+      if (AnyLive && !Failed) {
+        Failed = true;
+        Failure.Kind = FailureKind::Deadlock;
+        Failure.Tid = 0;
+        // Attribute the deadlock to the first blocked thread's position.
+        for (const auto &T : Threads)
+          if (T.State == ThreadState::BlockedMutex ||
+              T.State == ThreadState::BlockedJoin) {
+            const Frame &Fr = T.Stack.back();
+            Failure.InstrGlobalId = Fr.Block->getInst(Fr.InstIdx)->getGlobalId();
+            Failure.CallStack = captureCallStack(T);
+            Failure.Tid = T.Tid;
+            break;
+          }
+      }
+      break;
+    }
+
+    Thread &T = Threads[Picked];
+    T.ChunkStartTime = GlobalTime;
+    // Randomized chunk length models scheduling jitter between production
+    // runs (same seed -> same interleaving).
+    uint64_t Slice =
+        Config.ChunkSize / 2 + ScheduleRng.nextBounded(Config.ChunkSize);
+    if (Slice == 0)
+      Slice = 1;
+
+    uint64_t Executed = 0;
+    while (Executed < Slice) {
+      StepResult SR = step(static_cast<uint32_t>(Picked));
+      if (SR == StepResult::Blocked)
+        break; // Not counted: the instruction did not execute.
+      ++Executed;
+      ++GlobalTime;
+      ++Steps;
+      if (SR == StepResult::Exited || Failed || Steps >= Config.MaxSteps)
+        break;
+    }
+    Threads[Picked].ChunkInstrs += Executed;
+    closeChunk(Threads[Picked]);
+    if (Threads.size() > 1)
+      ++EventCounters.ContextSwitches;
+
+    if (Failed)
+      break;
+    if (Steps >= Config.MaxSteps) {
+      R.Status = ExitStatus::FuelExhausted;
+      break;
+    }
+    Current = (Picked + 1) % Threads.size();
+  }
+
+  if (Rec)
+    Rec->finish();
+
+  R.InstrCount = Steps;
+  R.InputEvents = EventCounters.InputEvents;
+  R.InputBytes = EventCounters.InputBytes;
+  R.ThreadEvents = EventCounters.ThreadEvents;
+  R.SyncEvents = EventCounters.SyncEvents;
+  R.NumThreads = Threads.size();
+  R.ContextSwitches = EventCounters.ContextSwitches;
+  R.Output = std::move(Output);
+  if (Failed) {
+    R.Status = ExitStatus::Failure;
+    R.Failure = Failure;
+  } else if (R.Status != ExitStatus::FuelExhausted) {
+    R.Status = ExitStatus::Ok;
+    R.RetVal = Threads.empty() ? 0 : Threads[0].RetVal;
+  }
+  return R;
+}

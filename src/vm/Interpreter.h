@@ -1,0 +1,167 @@
+//===- Interpreter.h - Concrete IR interpreter -------------------*- C++ -*-===//
+///
+/// \file
+/// The "production runtime": executes a Module concretely on a ProgramInput,
+/// detects failures, schedules threads in timestamped chunks, and (when a
+/// TraceRecorder is attached) emits the PT-style trace that shepherded
+/// symbolic execution later follows.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ER_VM_INTERPRETER_H
+#define ER_VM_INTERPRETER_H
+
+#include "ir/IR.h"
+#include "trace/Trace.h"
+#include "vm/Failure.h"
+#include "vm/Input.h"
+#include "vm/Memory.h"
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace er {
+
+/// Execution limits and scheduling parameters.
+struct VmConfig {
+  /// Fuel: maximum dynamic instructions before the run is cut off.
+  uint64_t MaxSteps = 100'000'000;
+  /// Nominal instructions per scheduling chunk (PT timestamp granularity is
+  /// coarser than an instruction; chunks model that).
+  unsigned ChunkSize = 120;
+  /// Seed perturbing chunk lengths so different production runs see
+  /// different thread interleavings.
+  uint64_t ScheduleSeed = 0;
+};
+
+enum class ExitStatus : uint8_t { Ok, Failure, FuelExhausted };
+
+/// Outcome of one concrete run.
+struct RunResult {
+  ExitStatus Status = ExitStatus::Ok;
+  FailureRecord Failure;
+  uint64_t InstrCount = 0;
+  uint64_t RetVal = 0;
+  std::string Output;
+  /// Event counts consumed by the record/replay baseline's cost model.
+  uint64_t InputEvents = 0;   ///< input.arg/input.byte/input.size executed.
+  uint64_t InputBytes = 0;    ///< Bytes consumed from the input stream.
+  uint64_t ThreadEvents = 0;  ///< spawn/join operations.
+  uint64_t SyncEvents = 0;    ///< Mutex lock/unlock operations.
+  uint64_t NumThreads = 1;
+  uint64_t ContextSwitches = 0;
+};
+
+/// Observation points for dynamic tools built on the VM (the invariant
+/// engine and the REPT baseline use these).
+class ExecObserver {
+public:
+  virtual ~ExecObserver() = default;
+  /// Called after every executed instruction; \p Result is the produced
+  /// value (0 for void).
+  virtual void onInst(uint32_t Tid, const Instruction &I, uint64_t Result) {
+    (void)Tid;
+    (void)I;
+    (void)Result;
+  }
+  /// Called on function entry with concrete argument values.
+  virtual void onCall(uint32_t Tid, const Function &F,
+                      const std::vector<uint64_t> &Args) {
+    (void)Tid;
+    (void)F;
+    (void)Args;
+  }
+  /// Called on function return.
+  virtual void onReturn(uint32_t Tid, const Function &F, bool HasValue,
+                        uint64_t Value) {
+    (void)Tid;
+    (void)F;
+    (void)HasValue;
+    (void)Value;
+  }
+};
+
+/// Executes a Module concretely.
+class Interpreter {
+public:
+  Interpreter(const Module &M, VmConfig Config);
+
+  /// Runs main() to completion (or failure / fuel exhaustion). If \p Rec is
+  /// non-null, control flow, chunk timestamps, and ptwrite values are
+  /// recorded into it. If \p Obs is non-null it receives execution events.
+  RunResult run(const ProgramInput &In, TraceRecorder *Rec = nullptr,
+                ExecObserver *Obs = nullptr);
+
+  /// Memory state at the end of the last run (the REPT baseline reads the
+  /// final state from here).
+  const MemoryManager &getMemory() const { return Mem; }
+
+private:
+  struct Frame {
+    const Function *F = nullptr;
+    const BasicBlock *Block = nullptr;
+    size_t InstIdx = 0;
+    std::vector<uint64_t> Regs; ///< Indexed by instruction LocalId.
+    std::vector<uint64_t> Args;
+    const Instruction *CallSite = nullptr; ///< Call in the caller frame.
+    std::vector<uint32_t> StackObjects;    ///< Allocas to kill on return.
+  };
+
+  enum class ThreadState : uint8_t {
+    Runnable,
+    BlockedMutex,
+    BlockedJoin,
+    Finished,
+  };
+
+  struct Thread {
+    uint32_t Tid = 0;
+    ThreadState State = ThreadState::Runnable;
+    std::vector<Frame> Stack;
+    uint64_t BlockedOn = 0; ///< Mutex id or joined tid.
+    uint64_t RetVal = 0;
+    uint64_t ChunkStartTime = 0;
+    uint64_t ChunkInstrs = 0;
+  };
+
+  /// Result of attempting one instruction.
+  enum class StepResult : uint8_t {
+    Ran,     ///< Instruction executed; thread still runnable.
+    Blocked, ///< Instruction did not execute (mutex/join wait); retry later.
+    Exited,  ///< Instruction executed and ended the thread (ret/failure).
+  };
+
+  uint64_t valueOf(const Frame &Fr, const Value *V) const;
+  void pushFrame(Thread &T, const Function *F, std::vector<uint64_t> Args,
+                 const Instruction *CallSite);
+  /// Executes (or attempts) one instruction of thread \p Tid.
+  StepResult step(uint32_t Tid);
+  void fail(Thread &T, const Instruction &I, FailureKind K,
+            std::string Message);
+  void closeChunk(Thread &T);
+  std::vector<unsigned> captureCallStack(const Thread &T) const;
+
+  const Module &M;
+  VmConfig Config;
+  MemoryManager Mem;
+  std::vector<uint64_t> GlobalObjIds; ///< Global index -> object id.
+
+  // Per-run state.
+  const ProgramInput *Input = nullptr;
+  TraceRecorder *Rec = nullptr;
+  ExecObserver *Obs = nullptr;
+  std::vector<Thread> Threads;
+  std::vector<int64_t> MutexOwner; ///< Mutex id -> tid or -1.
+  RunResult EventCounters;         ///< Event counters for the current run.
+  size_t InputCursor = 0;
+  uint64_t GlobalTime = 0;
+  FailureRecord Failure;
+  bool Failed = false;
+  std::string Output;
+};
+
+} // namespace er
+
+#endif // ER_VM_INTERPRETER_H

@@ -1,0 +1,62 @@
+//===- Memory.cpp - Object-granular memory manager ---------------------------===//
+
+#include "vm/Memory.h"
+
+#include <cassert>
+
+using namespace er;
+
+uint32_t MemoryManager::allocate(ObjectKind Kind, Type ElemTy,
+                                 uint64_t NumElems,
+                                 const std::vector<uint64_t> &Init,
+                                 std::string Name) {
+  MemObject Obj;
+  Obj.Id = static_cast<uint32_t>(Objects.size());
+  Obj.Kind = Kind;
+  Obj.ElemTy = ElemTy;
+  Obj.NumElems = NumElems;
+  Obj.Data.assign(NumElems, 0);
+  for (size_t I = 0; I < Init.size() && I < NumElems; ++I)
+    Obj.Data[I] = Init[I];
+  Obj.Name = std::move(Name);
+  BytesAllocated += NumElems * (ElemTy.isPtr() ? 8 : (ElemTy.Bits + 7) / 8);
+  Objects.push_back(std::move(Obj));
+  return Objects.back().Id;
+}
+
+FailureKind MemoryManager::checkAccess(uint64_t Packed, uint32_t &ObjId,
+                                       uint64_t &Off) const {
+  if (PackedPtr::isNull(Packed))
+    return FailureKind::NullDeref;
+  ObjId = PackedPtr::objectId(Packed);
+  Off = PackedPtr::offset(Packed);
+  if (ObjId >= Objects.size())
+    return FailureKind::OutOfBounds;
+  const MemObject &Obj = Objects[ObjId];
+  if (!Obj.Alive)
+    return FailureKind::UseAfterFree;
+  if (Off >= Obj.NumElems)
+    return FailureKind::OutOfBounds;
+  return FailureKind::None;
+}
+
+FailureKind MemoryManager::free(uint64_t Packed) {
+  if (PackedPtr::isNull(Packed))
+    return FailureKind::NullDeref;
+  uint32_t ObjId = PackedPtr::objectId(Packed);
+  if (ObjId >= Objects.size() || PackedPtr::offset(Packed) != 0)
+    return FailureKind::OutOfBounds;
+  MemObject &Obj = Objects[ObjId];
+  if (Obj.Kind != ObjectKind::Heap)
+    return FailureKind::OutOfBounds;
+  if (!Obj.Alive)
+    return FailureKind::DoubleFree;
+  Obj.Alive = false;
+  return FailureKind::None;
+}
+
+void MemoryManager::killStackObject(uint32_t Id) {
+  assert(Id < Objects.size() && Objects[Id].Kind == ObjectKind::Stack &&
+         "not a stack object");
+  Objects[Id].Alive = false;
+}

@@ -1,0 +1,68 @@
+//===- Memory.h - Object-granular memory manager -----------------*- C++ -*-===//
+///
+/// \file
+/// Runtime memory for the VM: every alloca/global/malloc creates an object
+/// of N fixed-width elements; pointers are (object, element offset) pairs.
+/// Accesses are checked for null, bounds, and liveness, which is how the VM
+/// detects the memory-safety failures in the evaluation (buffer overflows,
+/// NULL dereferences, use-after-free).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ER_VM_MEMORY_H
+#define ER_VM_MEMORY_H
+
+#include "ir/IR.h"
+#include "vm/Failure.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace er {
+
+enum class ObjectKind : uint8_t { Global, Stack, Heap };
+
+/// One allocation.
+struct MemObject {
+  uint32_t Id = 0;
+  ObjectKind Kind = ObjectKind::Global;
+  Type ElemTy;
+  uint64_t NumElems = 0;
+  std::vector<uint64_t> Data; ///< One word per element.
+  bool Alive = true;
+  std::string Name; ///< Debug label (global/alloca name).
+};
+
+/// Allocates and checks objects.
+class MemoryManager {
+public:
+  /// Creates an object; \p Init (if non-empty) seeds the leading elements,
+  /// the rest are zero.
+  uint32_t allocate(ObjectKind Kind, Type ElemTy, uint64_t NumElems,
+                    const std::vector<uint64_t> &Init = {},
+                    std::string Name = "");
+
+  MemObject &object(uint32_t Id) { return Objects[Id]; }
+  const MemObject &object(uint32_t Id) const { return Objects[Id]; }
+  size_t numObjects() const { return Objects.size(); }
+
+  /// Validates an access to \p Packed (a packed pointer) at element
+  /// granularity. On success returns FailureKind::None and fills ObjId/Off.
+  FailureKind checkAccess(uint64_t Packed, uint32_t &ObjId, uint64_t &Off) const;
+
+  /// Marks a heap object freed. Returns the failure (if any).
+  FailureKind free(uint64_t Packed);
+
+  /// Kills a stack object at function return.
+  void killStackObject(uint32_t Id);
+
+  uint64_t bytesAllocated() const { return BytesAllocated; }
+
+private:
+  std::vector<MemObject> Objects;
+  uint64_t BytesAllocated = 0;
+};
+
+} // namespace er
+
+#endif // ER_VM_MEMORY_H

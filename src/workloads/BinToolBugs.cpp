@@ -1,0 +1,442 @@
+//===- BinToolBugs.cpp - Assembler / binutils / TLS bug analogs ------------------===//
+//
+// Nasm-2004-1287: stack buffer overrun in the preprocessor's error
+// directive: the %error message is copied into a fixed stack buffer with no
+// bounds check.
+//
+// Objdump-2018-6323: unsigned integer overflow computing the section-table
+// size in 32 bits under-allocates the header array; the disassembly loop
+// then reads past it.
+//
+// Matrixssl-2014-1569: stack buffer overrun verifying an x.509
+// certificate: the ASN.1 OID parser trusts the encoded component count and
+// writes past the fixed-size component array.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+using namespace er;
+
+//===----------------------------------------------------------------------===//
+// Nasm-2004-1287
+//===----------------------------------------------------------------------===//
+
+static const char *Nasm20041287Source = R"(
+// nasm-mini line assembler. Input: lines separated by '\n', ended by a 0
+// byte. Lines:
+//   'm' reg8 imm8      mov  -> 2 emitted bytes
+//   'a' reg8 imm8      add  -> 2 emitted bytes
+//   'l' name...        label -> hashed into the symbol table
+//   '%' 'e' msg...     %error directive: BUG copies msg to a fixed buffer
+global code: u8[4096];
+global code_len: i64;
+global symtab: u32[64];
+global nlines: i64;
+
+fn emit(b: u8) {
+  if (code_len < 4096) {
+    code[code_len] = b;
+    code_len = code_len + 1;
+  }
+}
+
+fn hash_label(h0: u32, c: u8) -> u32 {
+  return (h0 * 33) ^ (c as u32);
+}
+
+fn preprocess_error() -> i64 {
+  // Copies the directive message into a 48-byte stack buffer. The real bug:
+  // no bounds check against the message length.
+  var msg: u8[48];
+  var n: i64 = 0;
+  var c: u8 = input_byte();
+  while (c != '\n' && c != 0) {
+    msg[n] = c;      // OVERRUN when the message exceeds 48 bytes.
+    n = n + 1;
+    c = input_byte();
+  }
+  // "Report" the error by summing the message (keeps the copy alive).
+  var sum: i64 = 0;
+  for (var i: i64 = 0; i < n; i = i + 1) {
+    sum = sum + (msg[i] as i64);
+  }
+  return sum;
+}
+
+fn main() -> i64 {
+  var total: i64 = 0;
+  var c: u8 = input_byte();
+  while (c != 0) {
+    nlines = nlines + 1;
+    if (c == 'm' || c == 'a') {
+      var reg: u8 = input_byte();
+      var imm: u8 = input_byte();
+      if (c == 'm') { emit(0xb0 + (reg % 8)); } else { emit(0x04); }
+      emit(imm);
+    } else {
+      if (c == 'l') {
+        var h: u32 = 5381;
+        var lc: u8 = input_byte();
+        while (lc != '\n' && lc != 0) {
+          h = hash_label(h, lc);
+          lc = input_byte();
+        }
+        symtab[(h % 64) as i64] = h;
+        c = lc;
+        if (c == 0) { break; }
+        c = input_byte();
+        continue;
+      }
+      if (c == '%') {
+        if (input_byte() == 'e') {
+          // preprocess_error consumes through the end of the line.
+          total = total + preprocess_error();
+          c = input_byte();
+          continue;
+        }
+      }
+    }
+    // Skip to end of line.
+    c = input_byte();
+    while (c != '\n' && c != 0) {
+      c = input_byte();
+    }
+    if (c == 0) { break; }
+    c = input_byte();
+  }
+  print(code_len);
+  return total + nlines;
+}
+)";
+
+BugSpec er::makeNasm20041287() {
+  BugSpec S;
+  S.Id = "Nasm-2004-1287";
+  S.App = "nasm-mini 0.98 preprocessor";
+  S.BugType = "Stack buffer overrun";
+  S.Multithreaded = false;
+  S.Source = Nasm20041287Source;
+  S.SolverWorkBudget = 120'000;
+  S.PerfBenchmark = "Assemble a large asm file analog";
+
+  S.ProductionInput = [](Rng &R) {
+    ProgramInput In;
+    std::vector<uint8_t> B;
+    unsigned Lines = 10 + R.nextBounded(30);
+    for (unsigned L = 0; L < Lines; ++L) {
+      unsigned Kind = R.nextBounded(10);
+      if (Kind < 5) {
+        B.push_back(R.nextBool(0.5) ? 'm' : 'a');
+        B.push_back(static_cast<uint8_t>(R.nextBounded(8)));
+        B.push_back(static_cast<uint8_t>(R.nextBounded(256)));
+      } else if (Kind < 8) {
+        B.push_back('l');
+        unsigned Len = 3 + R.nextBounded(10);
+        for (unsigned I = 0; I < Len; ++I)
+          B.push_back(static_cast<uint8_t>('a' + R.nextBounded(26)));
+      } else {
+        B.push_back('%');
+        B.push_back('e');
+        unsigned Len = 5 + R.nextBounded(30); // Benign: < 48.
+        for (unsigned I = 0; I < Len; ++I)
+          B.push_back(static_cast<uint8_t>('a' + R.nextBounded(26)));
+      }
+      B.push_back('\n');
+    }
+    if (R.nextBool(0.30)) {
+      // The exploit line: a %error message longer than the stack buffer.
+      B.push_back('%');
+      B.push_back('e');
+      for (unsigned I = 0; I < 70; ++I)
+        B.push_back(static_cast<uint8_t>('A' + (I % 26)));
+      B.push_back('\n');
+    }
+    B.push_back(0);
+    In.Bytes = std::move(B);
+    return In;
+  };
+
+  S.PerfInput = [](Rng &R) {
+    ProgramInput In;
+    std::vector<uint8_t> B;
+    for (unsigned L = 0; L < 1200; ++L) {
+      B.push_back(R.nextBool(0.5) ? 'm' : 'a');
+      B.push_back(static_cast<uint8_t>(R.nextBounded(8)));
+      B.push_back(static_cast<uint8_t>(R.nextBounded(256)));
+      B.push_back('\n');
+    }
+    B.push_back(0);
+    In.Bytes = std::move(B);
+    return In;
+  };
+  return S;
+}
+
+//===----------------------------------------------------------------------===//
+// Objdump-2018-6323
+//===----------------------------------------------------------------------===//
+
+static const char *Objdump20186323Source = R"(
+// objdump-mini. Input: a tiny object format:
+//   header  := 'O' 'B' nsec_lo nsec_hi
+//   section := size16 payload{min(size,64)}
+// The tool builds a section table then "disassembles" each section.
+// BUG: table bytes are computed as nsec * 20 in u16-like arithmetic
+// (masked to 16 bits), wrapping for large nsec and under-allocating.
+global insn_count: i64;
+
+fn read_u16() -> u32 {
+  var lo: u32 = input_byte() as u32;
+  var hi: u32 = input_byte() as u32;
+  return lo + hi * 256;
+}
+
+fn disassemble(p: *u8, n: i64) -> i64 {
+  var pc: i64 = 0;
+  var ops: i64 = 0;
+  while (pc < n) {
+    var op: u8 = p[pc];
+    if (op < 0x40) {
+      pc = pc + 1;               // 1-byte ops.
+    } else {
+      if (op < 0xc0) {
+        pc = pc + 2;             // imm8 ops.
+      } else {
+        pc = pc + 3;             // imm16 ops.
+      }
+    }
+    ops = ops + 1;
+  }
+  return ops;
+}
+
+fn main() -> i64 {
+  if (input_byte() != 'O') { return 1; }
+  if (input_byte() != 'B') { return 1; }
+  var nsec: u32 = read_u16();
+  // VULNERABLE: the element count wraps in 16-bit arithmetic (the original
+  // computed a 32-bit size from attacker-controlled 64-bit fields).
+  var table_elems: u32 = (nsec * 20) % 65536;
+  var table: *u32 = new u32[table_elems as i64];
+  if (table == null) { return 2; }
+
+  var total: i64 = 0;
+  for (var s: u32 = 0; s < nsec; s = s + 1) {
+    var size: u32 = read_u16();
+    var take: i64 = size as i64;
+    if (take > 64) { take = 64; }
+    var payload: u8[64];
+    for (var i: i64 = 0; i < take; i = i + 1) {
+      payload[i] = input_byte();
+    }
+    // Record into the (possibly under-sized) table: OOB write for wrapped
+    // table_elems.
+    table[(s * 20) as i64] = size;
+    total = total + disassemble(payload, take);
+  }
+  insn_count = total;
+  delete table;
+  print(total);
+  return total;
+}
+)";
+
+BugSpec er::makeObjdump20186323() {
+  BugSpec S;
+  S.Id = "Objdump-2018-6323";
+  S.App = "objdump-mini 2.26";
+  S.BugType = "Integer overflow";
+  S.Multithreaded = false;
+  S.Source = Objdump20186323Source;
+  S.SolverWorkBudget = 120'000;
+  S.PerfBenchmark = "Disassemble a large binary analog";
+
+  S.ProductionInput = [](Rng &R) {
+    ProgramInput In;
+    std::vector<uint8_t> B = {'O', 'B'};
+    bool Exploit = R.nextBool(0.30);
+    // Benign: few sections. Exploit: nsec*20 wraps mod 65536 -> tiny table
+    // (e.g. nsec = 3277 -> 65540 % 65536 = 4 elements) but the loop writes
+    // at element s*20 >= 4 almost immediately.
+    uint32_t NSec = Exploit ? 3277 : 1 + static_cast<uint32_t>(R.nextBounded(6));
+    B.push_back(static_cast<uint8_t>(NSec));
+    B.push_back(static_cast<uint8_t>(NSec >> 8));
+    unsigned Sections = Exploit ? 2 : NSec;
+    for (unsigned Sec = 0; Sec < Sections; ++Sec) {
+      uint32_t Size = 8 + static_cast<uint32_t>(R.nextBounded(56));
+      B.push_back(static_cast<uint8_t>(Size));
+      B.push_back(static_cast<uint8_t>(Size >> 8));
+      for (uint32_t I = 0; I < Size && I < 64; ++I)
+        B.push_back(static_cast<uint8_t>(R.nextBounded(256)));
+    }
+    In.Bytes = std::move(B);
+    return In;
+  };
+
+  S.PerfInput = [](Rng &R) {
+    ProgramInput In;
+    std::vector<uint8_t> B = {'O', 'B'};
+    uint32_t NSec = 600;
+    B.push_back(static_cast<uint8_t>(NSec));
+    B.push_back(static_cast<uint8_t>(NSec >> 8));
+    for (uint32_t Sec = 0; Sec < NSec; ++Sec) {
+      uint32_t Size = 64;
+      B.push_back(static_cast<uint8_t>(Size));
+      B.push_back(static_cast<uint8_t>(Size >> 8));
+      for (uint32_t I = 0; I < Size; ++I)
+        B.push_back(static_cast<uint8_t>(R.nextBounded(256)));
+    }
+    In.Bytes = std::move(B);
+    return In;
+  };
+  return S;
+}
+
+//===----------------------------------------------------------------------===//
+// Matrixssl-2014-1569
+//===----------------------------------------------------------------------===//
+
+static const char *Matrixssl20141569Source = R"(
+// matrixssl-mini x.509 verifier. Input: a certificate as nested TLV
+// records:
+//   cert  := 'C' len fields...
+//   field := 'N' len bytes     subject name (hashed)
+//          | 'K' len bytes     key material (checksummed)
+//          | 'I' count comps   object identifier: count base-128 components
+// BUG: the OID parser trusts 'count' and writes components into a fixed
+// 16-entry stack array.
+global name_hash: u32[1];
+global key_sum: u32[1];
+global oid_cache: u32[64];
+
+fn parse_oid() -> i64 {
+  var comps: u32[16];
+  var count: i64 = input_byte() as i64;
+  var total: i64 = 0;
+  for (var i: i64 = 0; i < count; i = i + 1) {
+    // Base-128 continuation encoding, as in DER.
+    var v: u32 = 0;
+    var b: u8 = input_byte();
+    while (b >= 128) {
+      v = v * 128 + ((b - 128) as u32);
+      b = input_byte();
+    }
+    v = v * 128 + (b as u32);
+    comps[i] = v;           // OVERRUN when count > 16.
+    // Known-OID lookup cache, keyed by component value; duplicate
+    // components are counted for the policy check.
+    if (oid_cache[(v % 64) as i64] == v) {
+      total = total + 1;
+    }
+    oid_cache[(v % 64) as i64] = v;
+    total = total + (v as i64);
+  }
+  // Validate the OID prefix (iso.org arc).
+  if (count >= 2) {
+    if (comps[0] != 1 || comps[1] != 3) {
+      return 0 - 1;
+    }
+  }
+  return total;
+}
+
+fn main() -> i64 {
+  if (input_byte() != 'C') { return 1; }
+  var len: i64 = input_byte() as i64;
+  var total: i64 = 0;
+  for (var f: i64 = 0; f < len; f = f + 1) {
+    var tag: u8 = input_byte();
+    if (tag == 'N') {
+      var n: i64 = input_byte() as i64;
+      var h: u32 = 5381;
+      for (var i: i64 = 0; i < n; i = i + 1) {
+        h = (h * 33) ^ (input_byte() as u32);
+      }
+      name_hash[0] = h;
+    } else {
+      if (tag == 'K') {
+        var n: i64 = input_byte() as i64;
+        var sum: u32 = 0;
+        for (var i: i64 = 0; i < n; i = i + 1) {
+          sum = sum + (input_byte() as u32);
+        }
+        key_sum[0] = sum;
+      } else {
+        if (tag == 'I') {
+          total = total + parse_oid();
+        }
+      }
+    }
+  }
+  print(total);
+  return total;
+}
+)";
+
+BugSpec er::makeMatrixssl20141569() {
+  BugSpec S;
+  S.Id = "Matrixssl-2014-1569";
+  S.App = "matrixssl-mini 4.0 x.509 parser";
+  S.BugType = "Stack buffer overrun";
+  S.Multithreaded = false;
+  S.Source = Matrixssl20141569Source;
+  S.SolverWorkBudget = 8'000;
+  S.PerfBenchmark = "Official test analog (verify certificate chain)";
+
+  S.ProductionInput = [](Rng &R) {
+    ProgramInput In;
+    std::vector<uint8_t> B = {'C'};
+    bool Exploit = R.nextBool(0.30);
+    unsigned Fields = 3 + R.nextBounded(4);
+    B.push_back(static_cast<uint8_t>(Fields));
+    for (unsigned F = 0; F < Fields; ++F) {
+      unsigned Kind = R.nextBounded(3);
+      bool Last = F + 1 == Fields;
+      if (Exploit && Last)
+        Kind = 2;
+      if (Kind == 0) {
+        B.push_back('N');
+        unsigned N = 4 + R.nextBounded(20);
+        B.push_back(static_cast<uint8_t>(N));
+        for (unsigned I = 0; I < N; ++I)
+          B.push_back(static_cast<uint8_t>('a' + R.nextBounded(26)));
+      } else if (Kind == 1) {
+        B.push_back('K');
+        unsigned N = 16 + R.nextBounded(48);
+        B.push_back(static_cast<uint8_t>(N));
+        for (unsigned I = 0; I < N; ++I)
+          B.push_back(static_cast<uint8_t>(R.nextBounded(256)));
+      } else {
+        B.push_back('I');
+        unsigned Count = (Exploit && Last) ? 20 : 2 + R.nextBounded(8);
+        B.push_back(static_cast<uint8_t>(Count));
+        // First two components: the valid iso.org arc.
+        B.push_back(1);
+        B.push_back(3);
+        for (unsigned I = 2; I < Count; ++I) {
+          if (R.nextBool(0.3))
+            B.push_back(static_cast<uint8_t>(128 + R.nextBounded(100)));
+          B.push_back(static_cast<uint8_t>(R.nextBounded(120)));
+        }
+      }
+    }
+    In.Bytes = std::move(B);
+    return In;
+  };
+
+  S.PerfInput = [](Rng &R) {
+    ProgramInput In;
+    std::vector<uint8_t> B = {'C'};
+    B.push_back(200);
+    for (unsigned F = 0; F < 200; ++F) {
+      B.push_back('K');
+      B.push_back(60);
+      for (unsigned I = 0; I < 60; ++I)
+        B.push_back(static_cast<uint8_t>(R.nextBounded(256)));
+    }
+    In.Bytes = std::move(B);
+    return In;
+  };
+  return S;
+}

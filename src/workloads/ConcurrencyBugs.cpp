@@ -1,0 +1,253 @@
+//===- ConcurrencyBugs.cpp - Python readahead / pbzip2 bug analogs ----------------===//
+//
+// Python-2018-1000030: the file object's readahead buffer is not thread
+// safe: two threads refill/consume the shared buffer concurrently and the
+// cursor runs past the buffer end (shared data corruption -> crash).
+//
+// Pbzip2 (jieyu/concurrency-bugs): use-after-free between the producer's
+// shutdown path and the consumer: the consumer frees the last queued block
+// while the producer's fini() still touches it.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+using namespace er;
+
+//===----------------------------------------------------------------------===//
+// Python-2018-1000030
+//===----------------------------------------------------------------------===//
+
+static const char *Python20181000030Source = R"(
+// python-mini readahead file object. Two reader threads share one file
+// object; readahead_refill / consume are not synchronized (the CPython 2.7
+// bug). Each reader consumes lines and accumulates a checksum.
+//
+// Shared state: rbuf (the readahead window), rlen (valid bytes), rpos
+// (cursor). BUG: consume does "pos = rpos; <work>; rpos = pos + n" with no
+// lock, so two readers both pass the bounds check against a stale cursor
+// and one reads past rlen into the guard region.
+global rbuf: u8[128];
+global rlen: i64[1];
+global rpos: i64[1];
+global file_off: i64[1];
+global sums: i64[2];
+global rec_hist: i64[32];
+global done_readers: i64[1];
+global gil_held: i64[1];
+
+fn refill() {
+  // Pull the next window from the "file" (the program input).
+  var n: i64 = input_size() - file_off[0];
+  if (n > 96) { n = 96; }
+  for (var i: i64 = 0; i < n; i = i + 1) {
+    rbuf[i] = input_byte();
+  }
+  file_off[0] = file_off[0] + n;
+  rlen[0] = n;
+  rpos[0] = 0;
+}
+
+fn reader(p: *i64) {
+  var id: i64 = p[0];
+  var sum: i64 = 0;
+  var rounds: i64 = 0;
+  while (rounds < 400) {
+    rounds = rounds + 1;
+    // Holding the GIL makes the consume safe; a C extension that released
+    // it (gil_held == 0) races the cursor — the CPython 2.7 readahead bug.
+    if (gil_held[0] == 1) { lock(1); }
+    var pos: i64 = rpos[0];            // Unsynchronized snapshot.
+    var len: i64 = rlen[0];
+    if (pos + 4 <= len) {
+      // "Parse a record": the window between check and commit is where the
+      // second reader sneaks in.
+      var v: i64 = 0;
+      for (var k: i64 = 0; k < 4; k = k + 1) {
+        v = v * 256 + (rbuf[pos + k] as i64);
+      }
+      sum = sum + v;
+      // Per-record-type statistics (value-hashed, like the interpreter's
+      // small-int cache); hot records take a fast path.
+      rec_hist[v % 32] = rec_hist[v % 32] + 1;
+      if (rec_hist[(v >> 8) % 32] > 6) {
+        sum = sum + 1;
+      }
+      // ASSERTION: the cursor commit must still be within the window; with
+      // the race both readers commit and the second one pushes it out.
+      rpos[0] = rpos[0] + 4;
+      assert(rpos[0] <= rlen[0]);      // SHARED DATA CORRUPTION check.
+      if (gil_held[0] == 1) { unlock(1); }
+    } else {
+      if (gil_held[0] == 1) { unlock(1); }
+      lock(2); // Refill is serialized inside the interpreter core.
+      if (rpos[0] + 4 > rlen[0] && file_off[0] < input_size()) {
+        refill();
+      }
+      if (file_off[0] >= input_size() && rpos[0] + 4 > rlen[0]) {
+        rounds = 400;
+      }
+      unlock(2);
+    }
+  }
+  sums[id] = sum;
+  done_readers[0] = done_readers[0] + 1;
+}
+
+fn main() -> i64 {
+  var a0: i64[1];
+  var a1: i64[1];
+  a0[0] = 0;
+  a1[0] = 1;
+  gil_held[0] = input_byte() as i64;  // 1 = safe mode, 0 = GIL released.
+  refill();
+  var t0: i64 = spawn(reader, a0);
+  var t1: i64 = spawn(reader, a1);
+  join(t0);
+  join(t1);
+  return sums[0] + sums[1];
+}
+)";
+
+BugSpec er::makePython20181000030() {
+  BugSpec S;
+  S.Id = "Python-2018-1000030";
+  S.App = "python-mini 2.7 readahead";
+  S.BugType = "Shared data corruption";
+  S.Multithreaded = true;
+  S.Source = Python20181000030Source;
+  S.SolverWorkBudget = 40'000;
+  S.VmChunkSize = 20; // Interleave inside the parse window.
+  S.PerfBenchmark = "PyPy benchmark analog (line-oriented read loop)";
+
+  S.ProductionInput = [](Rng &R) {
+    ProgramInput In;
+    // 40% of production requests run a C extension that releases the GIL.
+    In.Bytes.push_back(R.nextBool(0.4) ? 0 : 1);
+    unsigned N = 64 + static_cast<unsigned>(R.nextBounded(64));
+    for (unsigned I = 0; I < N; ++I)
+      In.Bytes.push_back(static_cast<uint8_t>(R.nextBounded(256)));
+    return In;
+  };
+
+  S.PerfInput = [](Rng &R) {
+    ProgramInput In;
+    In.Bytes.push_back(1); // GIL held: the safe configuration.
+    for (unsigned I = 0; I < 3000; ++I)
+      In.Bytes.push_back(static_cast<uint8_t>(R.nextBounded(256)));
+    return In;
+  };
+  return S;
+}
+
+//===----------------------------------------------------------------------===//
+// Pbzip2
+//===----------------------------------------------------------------------===//
+
+static const char *Pbzip2Source = R"(
+// pbzip2-mini producer/consumer compressor. The producer splits the input
+// into blocks and queues them; the consumer "compresses" (RLE-checksums)
+// each block and frees it. BUG (pbzip2 0.9.4): the producer's fini path
+// reads the last block's header for the trailer AFTER the consumer may
+// have freed it.
+global queue: *u8[64];
+global qsizes: i64[64];
+global qhead: i64[1];
+global qtail: i64[1];
+global producer_done: i64[1];
+global out_sum: i64[1];
+global spinwait: i64[1];
+global last_block: *u8;
+
+fn consumer(p: *i64) {
+  while (producer_done[0] == 0 || qhead[0] < qtail[0]) {
+    if (qhead[0] < qtail[0]) {
+      var idx: i64 = qhead[0] % 64;
+      var blk: *u8 = queue[idx];
+      var n: i64 = qsizes[idx];
+      // "Compress": run-length checksum.
+      var sum: i64 = 0;
+      var run: i64 = 1;
+      for (var i: i64 = 1; i < n; i = i + 1) {
+        if (blk[i] == blk[i - 1]) {
+          run = run + 1;
+        } else {
+          sum = sum + run * (blk[i - 1] as i64);
+          run = 1;
+        }
+      }
+      out_sum[0] = out_sum[0] + sum;
+      delete blk;                 // Consumer owns block disposal...
+      qhead[0] = qhead[0] + 1;
+    }
+  }
+}
+
+fn main() -> i64 {
+  var d: i64[1];
+  var t: i64 = spawn(consumer, d);
+  var total: i64 = input_size();
+  var off: i64 = 0;
+  while (off < total) {
+    var n: i64 = total - off;
+    if (n > 48) { n = 48; }
+    var blk: *u8 = new u8[n + 2];
+    blk[0] = (n % 256) as u8;     // Block header: size.
+    blk[1] = 0;
+    for (var i: i64 = 0; i < n; i = i + 1) {
+      blk[i + 2] = input_byte();
+    }
+    var idx: i64 = qtail[0] % 64;
+    queue[idx] = blk;
+    qsizes[idx] = n + 2;
+    last_block = blk;             // ...but the producer keeps this alias.
+    qtail[0] = qtail[0] + 1;
+    off = off + n;
+  }
+  producer_done[0] = 1;
+  // Fini: wait until the consumer reaches the last block, then emit the
+  // stream trailer from its header. USE-AFTER-FREE when the consumer
+  // finishes (and frees) it inside the window.
+  while (qhead[0] < qtail[0] - 1) {
+    spinwait[0] = spinwait[0] + 1;
+  }
+  var pad: i64 = 0;
+  for (var k: i64 = 0; k < 60; k = k + 1) {
+    pad = pad + k;  // Trailer header formatting work (the race window).
+  }
+  var trailer: i64 = last_block[0] as i64;
+  join(t);
+  return out_sum[0] + trailer + pad;
+}
+)";
+
+BugSpec er::makePbzip2() {
+  BugSpec S;
+  S.Id = "Pbzip2";
+  S.App = "pbzip2-mini 0.9.4";
+  S.BugType = "Use-after-free";
+  S.Multithreaded = true;
+  S.Source = Pbzip2Source;
+  S.SolverWorkBudget = 150'000;
+  S.VmChunkSize = 24;
+  S.PerfBenchmark = "Compress a .tar analog (block stream)";
+
+  S.ProductionInput = [](Rng &R) {
+    ProgramInput In;
+    unsigned N = 100 + static_cast<unsigned>(R.nextBounded(200));
+    for (unsigned I = 0; I < N; ++I)
+      In.Bytes.push_back(static_cast<uint8_t>(R.nextBounded(8)));
+    return In;
+  };
+
+  S.PerfInput = [](Rng &R) {
+    ProgramInput In;
+    // 52 full 48-byte blocks (within the 64-slot queue window): a full
+    // final block keeps the consumer busy past the producer's trailer
+    // window, so the benchmark configuration never trips the race.
+    for (unsigned I = 0; I < 48 * 52; ++I)
+      In.Bytes.push_back(static_cast<uint8_t>(R.nextBounded(16)));
+    return In;
+  };
+  return S;
+}

@@ -1,0 +1,326 @@
+//===- PhpBugs.cpp - PHP interpreter bug analogs --------------------------------===//
+//
+// PHP-2012-2386: integer overflow in the unserializer's allocation-size
+// computation (Secunia SA44335): a 32-bit count*elemsize wraps, the array
+// buffer is under-allocated, and element deserialization writes past it.
+//
+// PHP-74194: heap buffer overflow when serializing an ArrayObject: the
+// size-counting pass undercounts entries whose value is zero (numDigits(0)
+// computed as 0), so the serialization pass overruns the output buffer.
+// The serializer also maintains a refcount hash table indexed by value
+// hashes, which builds the long symbolic write chains that make this the
+// slowest reconstruction in Table 1.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+using namespace er;
+
+//===----------------------------------------------------------------------===//
+// PHP-2012-2386
+//===----------------------------------------------------------------------===//
+
+static const char *Php20122386Source = R"(
+// php-mini unserializer. Input grammar (byte stream):
+//   doc    := record* 'E'
+//   record := 'a' ':' digits ':' '{' elem* '}'     array with declared count
+//           | 's' len:u8 byte{len}                 skipped string payload
+//           | 'c'                                  checksum pass over table
+//   elem   := 'i' ':' digits ';'
+global table: u32[64];
+global parsed: i64[1];
+
+fn read_digits() -> u32 {
+  var v: u32 = 0;
+  var b: u8 = input_byte();
+  while (b >= '0' && b <= '9') {
+    v = v * 10 + ((b - '0') as u32);
+    b = input_byte();
+  }
+  // b consumed the terminator (':' or ';').
+  return v;
+}
+
+fn checksum() -> u32 {
+  var h: u32 = 2166136261;
+  for (var i: i64 = 0; i < 64; i = i + 1) {
+    h = (h ^ table[i]) * 16777619;
+  }
+  return h;
+}
+
+fn parse_array() {
+  // ':' already consumed by dispatch; read the declared element count.
+  var count: u32 = read_digits();
+  // VULNERABLE SIZE COMPUTATION: bytes wraps in 32 bits for large counts.
+  var bytes: u32 = count * 12;
+  var buf: *u8 = new u8[bytes as i64];
+  if (buf == null) { return; }
+  if (input_byte() != '{') { delete buf; return; }
+  var cursor: i64 = 0;
+  var b: u8 = input_byte();
+  while (b == 'i') {
+    if (input_byte() != ':') { break; }
+    var v: u32 = read_digits();
+    // Serialize the element into 12 bytes at the cursor; for wrapped
+    // 'bytes' this runs past the allocation.
+    for (var k: i64 = 0; k < 12; k = k + 1) {
+      var sh: u32 = ((k % 4) * 8) as u32;
+      buf[cursor + k] = ((v >> sh) & 255) as u8;
+    }
+    cursor = cursor + 12;
+    table[(v % 64) as i64] = v;
+    parsed[0] = parsed[0] + 1;
+    b = input_byte();
+  }
+  delete buf;
+}
+
+fn main() -> i64 {
+  var total: i64 = 0;
+  var tag: u8 = input_byte();
+  while (tag != 'E') {
+    if (tag == 'a') {
+      if (input_byte() == ':') {
+        parse_array();
+      }
+    } else {
+      if (tag == 's') {
+        var len: u8 = input_byte();
+        for (var i: i64 = 0; i < (len as i64); i = i + 1) {
+          var skip: u8 = input_byte();
+          total = total + (skip as i64);
+        }
+      } else {
+        if (tag == 'c') {
+          total = total + (checksum() as i64);
+        }
+      }
+    }
+    tag = input_byte();
+  }
+  print(total);
+  return parsed[0];
+}
+)";
+
+namespace {
+
+void appendDigits(std::vector<uint8_t> &Out, uint64_t V) {
+  std::string S = std::to_string(V);
+  for (char C : S)
+    Out.push_back(static_cast<uint8_t>(C));
+}
+
+void appendArray(std::vector<uint8_t> &Out, uint64_t Count,
+                 const std::vector<uint32_t> &Elems) {
+  Out.push_back('a');
+  Out.push_back(':');
+  appendDigits(Out, Count);
+  Out.push_back(':');
+  Out.push_back('{');
+  for (uint32_t V : Elems) {
+    Out.push_back('i');
+    Out.push_back(':');
+    appendDigits(Out, V);
+    Out.push_back(';');
+  }
+  Out.push_back('}');
+}
+
+} // namespace
+
+BugSpec er::makePhp20122386() {
+  BugSpec S;
+  S.Id = "PHP-2012-2386";
+  S.App = "php-mini 5.3 unserializer";
+  S.BugType = "Integer overflow";
+  S.Multithreaded = false;
+  S.Source = Php20122386Source;
+  S.SolverWorkBudget = 60'000;
+  S.PerfBenchmark = "Benchmark script analog (serialize/unserialize mix)";
+
+  S.ProductionInput = [](Rng &R) {
+    ProgramInput In;
+    std::vector<uint8_t> B;
+    // A few benign records.
+    unsigned Records = 1 + R.nextBounded(3);
+    for (unsigned K = 0; K < Records; ++K) {
+      std::vector<uint32_t> Elems;
+      unsigned N = 2 + R.nextBounded(12);
+      for (unsigned I = 0; I < N; ++I)
+        Elems.push_back(static_cast<uint32_t>(R.nextBounded(100000)));
+      appendArray(B, Elems.size(), Elems);
+      if (R.nextBool(0.5))
+        B.push_back('c');
+    }
+    if (R.nextBool(0.30)) {
+      // The exploit document: declared count 357913942 * 12 wraps to 8
+      // bytes; two elements suffice to overrun.
+      appendArray(B, 357913942, {7, 9});
+    }
+    B.push_back('E');
+    In.Bytes = std::move(B);
+    return In;
+  };
+
+  S.PerfInput = [](Rng &R) {
+    ProgramInput In;
+    std::vector<uint8_t> B;
+    for (unsigned K = 0; K < 160; ++K) {
+      std::vector<uint32_t> Elems;
+      for (unsigned I = 0; I < 24; ++I)
+        Elems.push_back(static_cast<uint32_t>(R.nextBounded(1000000)));
+      appendArray(B, Elems.size(), Elems);
+      B.push_back('c');
+    }
+    B.push_back('E');
+    In.Bytes = std::move(B);
+    return In;
+  };
+  return S;
+}
+
+//===----------------------------------------------------------------------===//
+// PHP-74194
+//===----------------------------------------------------------------------===//
+
+static const char *Php74194Source = R"(
+// php-mini ArrayObject serializer. Input: 'n' entries as length-prefixed
+// decimal values. The serializer counts output bytes in one pass, then
+// emits "i:<digits>;" per entry into an exactly-sized heap buffer.
+// BUG: num_digits(0) returns 0, so entries with value 0 undercount the
+// buffer by one and the emission pass overruns the heap allocation.
+global refcounts: u32[128];
+global spill: i64[1];
+
+fn num_digits(v: u32) -> i64 {
+  // BUG: returns 0 for v == 0 (should be 1).
+  var n: i64 = 0;
+  var x: u32 = v;
+  while (x > 0) {
+    n = n + 1;
+    x = x / 10;
+  }
+  return n;
+}
+
+fn bump_ref(v: u32) {
+  // Open-coded refcount histogram: value-hashed, no branching on the slot,
+  // so the writes form symbolic chains during reconstruction.
+  var h: i64 = ((v ^ (v >> 7)) % 128) as i64;
+  refcounts[h] = refcounts[h] + 1;
+  if (refcounts[(v % 128) as i64] > 200) {
+    spill[0] = spill[0] + 1;
+  }
+}
+
+fn emit(buf: *u8, at: i64, v: u32) -> i64 {
+  // Writes "i:<digits>;" starting at 'at'; returns the new cursor.
+  buf[at] = 'i';
+  buf[at + 1] = ':';
+  var cursor: i64 = at + 2;
+  // The emitter always writes at least one digit ("0"), but the counting
+  // pass used num_digits(0) == 0: the undercount that overruns the buffer.
+  var n: i64 = num_digits(v);
+  if (n == 0) {
+    buf[cursor] = '0';
+    cursor = cursor + 1;
+  }
+  var k: i64 = n;
+  while (k > 0) {
+    var div: u32 = 1;
+    for (var j: i64 = 1; j < k; j = j + 1) { div = div * 10; }
+    buf[cursor] = ('0' + ((v / div) % 10) as u8) as u8;
+    cursor = cursor + 1;
+    k = k - 1;
+  }
+  buf[cursor] = ';';
+  return cursor + 1;
+}
+
+fn main() -> i64 {
+  var count: i64 = input_byte() as i64;
+  var values: u32[256];
+  if (count > 256) { count = 256; }
+
+  // Read entries: each value is a u8 length then that many decimal digits.
+  for (var i: i64 = 0; i < count; i = i + 1) {
+    var len: i64 = (input_byte() % 8) as i64;
+    var v: u32 = 0;
+    for (var j: i64 = 0; j < len; j = j + 1) {
+      v = v * 10 + ((input_byte() % 10) as u32);
+    }
+    values[i] = v;
+    bump_ref(v);
+  }
+
+  // Pass 1: count output size (vulnerable: 0-valued entries undercount).
+  var size: i64 = 0;
+  for (var i: i64 = 0; i < count; i = i + 1) {
+    size = size + 3 + num_digits(values[i]); // 'i' ':' digits ';'
+  }
+  if (size == 0) { return 0; }
+
+  // Pass 2: emit.
+  var buf: *u8 = new u8[size];
+  var cursor: i64 = 0;
+  for (var i: i64 = 0; i < count; i = i + 1) {
+    cursor = emit(buf, cursor, values[i]);
+  }
+  var out: i64 = buf[0] as i64;
+  delete buf;
+  return out + spill[0];
+}
+)";
+
+BugSpec er::makePhp74194() {
+  BugSpec S;
+  S.Id = "PHP-74194";
+  S.App = "php-mini 7.1 ArrayObject serializer";
+  S.BugType = "Heap buffer overflow";
+  S.Multithreaded = false;
+  S.Source = Php74194Source;
+  S.SolverWorkBudget = 150'000;
+  S.PerfBenchmark = "Benchmark script analog (serialize-heavy)";
+
+  S.ProductionInput = [](Rng &R) {
+    ProgramInput In;
+    std::vector<uint8_t> B;
+    unsigned Count = 24 + static_cast<unsigned>(R.nextBounded(40));
+    B.push_back(static_cast<uint8_t>(Count));
+    bool InjectZero = R.nextBool(0.35);
+    unsigned ZeroAt = 3 + static_cast<unsigned>(R.nextBounded(Count - 3));
+    for (unsigned I = 0; I < Count; ++I) {
+      if (InjectZero && I == ZeroAt) {
+        // len 1, digit 0 -> value 0: triggers the undercount.
+        B.push_back(1);
+        B.push_back('0');
+        continue;
+      }
+      unsigned Len = 1 + static_cast<unsigned>(R.nextBounded(6));
+      B.push_back(static_cast<uint8_t>(Len));
+      B.push_back(static_cast<uint8_t>('1' + R.nextBounded(9))); // Non-zero.
+      for (unsigned J = 1; J < Len; ++J)
+        B.push_back(static_cast<uint8_t>('0' + R.nextBounded(10)));
+    }
+    In.Bytes = std::move(B);
+    return In;
+  };
+
+  S.PerfInput = [](Rng &R) {
+    ProgramInput In;
+    std::vector<uint8_t> B;
+    B.push_back(255);
+    for (unsigned I = 0; I < 255; ++I) {
+      B.push_back(6);
+      B.push_back(static_cast<uint8_t>('1' + R.nextBounded(9)));
+      for (unsigned J = 1; J < 6; ++J)
+        B.push_back(static_cast<uint8_t>('0' + R.nextBounded(10)));
+    }
+    In.Bytes = std::move(B);
+    return In;
+  };
+  return S;
+}

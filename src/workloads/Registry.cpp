@@ -1,0 +1,51 @@
+//===- Registry.cpp - Bug spec registry ---------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+#include "lang/Codegen.h"
+#include "support/Error.h"
+
+using namespace er;
+
+const std::vector<BugSpec> &er::allBugSpecs() {
+  static const std::vector<BugSpec> Specs = [] {
+    std::vector<BugSpec> S;
+    S.push_back(makePhp20122386());
+    S.push_back(makePhp74194());
+    S.push_back(makeSqlite7be932d());
+    S.push_back(makeSqlite787fa71());
+    S.push_back(makeSqlite4e8e485());
+    S.push_back(makeNasm20041287());
+    S.push_back(makeObjdump20186323());
+    S.push_back(makeMatrixssl20141569());
+    S.push_back(makeMemcached201911596());
+    S.push_back(makeLibpng20040597());
+    S.push_back(makeBash108885());
+    S.push_back(makePython20181000030());
+    S.push_back(makePbzip2());
+    return S;
+  }();
+  return Specs;
+}
+
+const BugSpec *er::findBug(const std::string &Id) {
+  for (const auto &S : allBugSpecs())
+    if (S.Id == Id)
+      return &S;
+  return nullptr;
+}
+
+std::unique_ptr<Module> er::compileBug(const BugSpec &Spec) {
+  CompileResult R = compileMiniLang(Spec.Source);
+  if (!R.ok())
+    fatalError("workload '" + Spec.Id + "' failed to compile: " + R.Error);
+  return std::move(R.M);
+}
+
+unsigned er::sourceLineCount(const BugSpec &Spec) {
+  unsigned Lines = 0;
+  for (char C : Spec.Source)
+    if (C == '\n')
+      ++Lines;
+  return Lines;
+}

@@ -1,0 +1,429 @@
+//===- ServerBugs.cpp - memcached / libpng / bash bug analogs --------------------===//
+//
+// Memcached-2019-11596: NULL pointer dereference in a multithreaded
+// key-value store: a delete on the main thread nulls an item slot between
+// the worker's lookup and its use (coarse-grained race, as per the paper's
+// interleaving hypothesis).
+//
+// Libpng-2004-0597: buffer overflow reading a tRNS-like chunk: the chunk
+// length from the file is trusted when copying into a fixed palette
+// transparency buffer.
+//
+// Bash-108885: a 4-byte script triggers a null pointer dereference in the
+// word expander: closing an array subscript without an open word leaves
+// the current-word pointer null.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+using namespace er;
+
+//===----------------------------------------------------------------------===//
+// Memcached-2019-11596
+//===----------------------------------------------------------------------===//
+
+static const char *Memcached201911596Source = R"(
+// memcached-mini: a worker thread serves GETs from a request queue while
+// the main thread applies SET/DELETE commands. Items live in a slot table
+// of pointers.
+//   main input: ops 'g' k (enqueue get), 's' k v (set), 'd' k (delete),
+//               'X' end.
+// BUG: the worker checks items[k] for null, then recomputes a "hash
+// verification" before using the pointer; a delete may null the slot in
+// that window.
+global items: *i64[32];
+global getq: i64[1024];
+global getq_len: i64[1];
+global served: i64[1];
+global done: i64[1];
+
+fn worker(p: *i64) {
+  var cursor: i64 = 0;
+  while (done[0] == 0 || cursor < getq_len[0]) {
+    if (cursor < getq_len[0]) {
+      var k: i64 = getq[cursor];
+      cursor = cursor + 1;
+      var it: *i64 = items[k];
+      if (it != null) {
+        // The race window: item-key "verification" between check and use.
+        var h: i64 = 0;
+        for (var i: i64 = 0; i < 24; i = i + 1) {
+          h = h + k * i;
+        }
+        // Re-read the slot (the real bug re-read a lru pointer field).
+        var it2: *i64 = items[k];
+        var v: i64 = it2[0];        // NULL DEREF if deleted in the window.
+        served[0] = served[0] + v + h;
+      }
+    }
+  }
+}
+
+fn main() -> i64 {
+  var d: i64[1];
+  var t: i64 = spawn(worker, d);
+  var cmd: u8 = input_byte();
+  while (cmd != 'X') {
+    if (cmd == 'g') {
+      var k: i64 = (input_byte() % 32) as i64;
+      if (getq_len[0] < 1024) {
+        getq[getq_len[0]] = k;
+        getq_len[0] = getq_len[0] + 1;
+      }
+    } else {
+      if (cmd == 's') {
+        var k: i64 = (input_byte() % 32) as i64;
+        var v: i64 = input_byte() as i64;
+        if (items[k] == null) {
+          items[k] = new i64[2];
+        }
+        var it: *i64 = items[k];
+        it[0] = v;
+      } else {
+        if (cmd == 'd') {
+          var k: i64 = (input_byte() % 32) as i64;
+          if (items[k] != null) {
+            delete items[k];
+            items[k] = null;
+          }
+        }
+      }
+    }
+    cmd = input_byte();
+  }
+  done[0] = 1;
+  join(t);
+  return served[0];
+}
+)";
+
+BugSpec er::makeMemcached201911596() {
+  BugSpec S;
+  S.Id = "Memcached-2019-11596";
+  S.App = "memcached-mini 1.5 kv-store";
+  S.BugType = "NULL pointer dereference";
+  S.Multithreaded = true;
+  S.Source = Memcached201911596Source;
+  S.SolverWorkBudget = 120'000;
+  S.VmChunkSize = 24; // Fine-grained interleaving to open the race window.
+  S.PerfBenchmark = "memtier_benchmark analog (get/set mix)";
+
+  S.ProductionInput = [](Rng &R) {
+    ProgramInput In;
+    std::vector<uint8_t> B;
+    // Seed a few keys.
+    for (unsigned K = 0; K < 6; ++K) {
+      B.push_back('s');
+      B.push_back(static_cast<uint8_t>(K));
+      B.push_back(static_cast<uint8_t>(10 + K));
+    }
+    // Interleave gets and deletes on a hot key: whether the failure
+    // triggers depends on the schedule.
+    unsigned Ops = 20 + R.nextBounded(30);
+    for (unsigned K = 0; K < Ops; ++K) {
+      unsigned Kind = R.nextBounded(10);
+      uint8_t Key = static_cast<uint8_t>(R.nextBounded(6));
+      if (Kind < 6) {
+        B.push_back('g');
+        B.push_back(Key);
+      } else if (Kind < 8) {
+        B.push_back('d');
+        B.push_back(Key);
+      } else {
+        B.push_back('s');
+        B.push_back(Key);
+        B.push_back(static_cast<uint8_t>(R.nextBounded(200)));
+      }
+    }
+    B.push_back('X');
+    In.Bytes = std::move(B);
+    return In;
+  };
+
+  S.PerfInput = [](Rng &R) {
+    ProgramInput In;
+    std::vector<uint8_t> B;
+    for (unsigned K = 0; K < 8; ++K) {
+      B.push_back('s');
+      B.push_back(static_cast<uint8_t>(K));
+      B.push_back(static_cast<uint8_t>(K));
+    }
+    for (unsigned K = 0; K < 900; ++K) {
+      B.push_back('g');
+      B.push_back(static_cast<uint8_t>(R.nextBounded(8)));
+    }
+    B.push_back('X');
+    In.Bytes = std::move(B);
+    return In;
+  };
+  return S;
+}
+
+//===----------------------------------------------------------------------===//
+// Libpng-2004-0597
+//===----------------------------------------------------------------------===//
+
+static const char *Libpng20040597Source = R"(
+// libpng-mini chunk reader. Input: chunks until 'E':
+//   chunk := type:u8 len:u8 payload{len}
+//   types: 'H' header (13 bytes), 'P' palette (len bytes, <= 768 used),
+//          'T' transparency (BUG: len trusted, copied into u8[64]),
+//          'D' image data (checksummed).
+global palette: u8[768];
+global trans: u8[64];
+global width: i64[1];
+global height: i64[1];
+global data_sum: u32[1];
+
+fn read_chunk_header(tp: *u8, ln: *i64) -> i64 {
+  var t: u8 = input_byte();
+  if (t == 'E') { return 0; }
+  tp[0] = t;
+  ln[0] = input_byte() as i64;
+  return 1;
+}
+
+fn main() -> i64 {
+  var tp: u8[1];
+  var ln: i64[1];
+  var chunks: i64 = 0;
+  while (read_chunk_header(tp, ln) == 1) {
+    chunks = chunks + 1;
+    var t: u8 = tp[0];
+    var len: i64 = ln[0];
+    if (t == 'H') {
+      width[0] = input_byte() as i64;
+      height[0] = input_byte() as i64;
+      for (var i: i64 = 2; i < len; i = i + 1) {
+        var skip: u8 = input_byte();
+        data_sum[0] = data_sum[0] + (skip as u32);
+      }
+    } else {
+      if (t == 'P') {
+        for (var i: i64 = 0; i < len; i = i + 1) {
+          var b: u8 = input_byte();
+          if (i < 768) { palette[i] = b; }
+        }
+      } else {
+        if (t == 'T') {
+          // VULNERABLE: png_handle_tRNS trusted the chunk length.
+          for (var i: i64 = 0; i < len; i = i + 1) {
+            trans[i] = input_byte();   // OVERRUN when len > 64.
+          }
+        } else {
+          if (t == 'D') {
+            var sum: u32 = data_sum[0];
+            for (var i: i64 = 0; i < len; i = i + 1) {
+              sum = (sum * 31) + (input_byte() as u32);
+            }
+            data_sum[0] = sum;
+          } else {
+            for (var i: i64 = 0; i < len; i = i + 1) {
+              var skip2: u8 = input_byte();
+            }
+          }
+        }
+      }
+    }
+  }
+  print(chunks);
+  return (data_sum[0] as i64) + width[0] * height[0];
+}
+)";
+
+BugSpec er::makeLibpng20040597() {
+  BugSpec S;
+  S.Id = "Libpng-2004-0597";
+  S.App = "libpng-mini 1.2 chunk reader";
+  S.BugType = "Buffer overflow";
+  S.Multithreaded = false;
+  S.Source = Libpng20040597Source;
+  S.SolverWorkBudget = 120'000;
+  S.MeasurementNoise = 0.002; // I/O-heavy benchmark (the paper's libpng
+                              // runs open ~1000 files).
+  S.PerfBenchmark = "resvg-test-suite analog (decode many images)";
+
+  S.ProductionInput = [](Rng &R) {
+    ProgramInput In;
+    std::vector<uint8_t> B;
+    auto Chunk = [&](uint8_t T, const std::vector<uint8_t> &Payload) {
+      B.push_back(T);
+      B.push_back(static_cast<uint8_t>(Payload.size()));
+      B.insert(B.end(), Payload.begin(), Payload.end());
+    };
+    std::vector<uint8_t> Hdr = {64, 48, 8, 2, 0};
+    Chunk('H', Hdr);
+    std::vector<uint8_t> Pal;
+    for (unsigned I = 0; I < 96; ++I)
+      Pal.push_back(static_cast<uint8_t>(R.nextBounded(256)));
+    Chunk('P', Pal);
+    if (R.nextBool(0.30)) {
+      // Oversized transparency chunk.
+      std::vector<uint8_t> T;
+      for (unsigned I = 0; I < 100; ++I)
+        T.push_back(static_cast<uint8_t>(R.nextBounded(256)));
+      Chunk('T', T);
+    } else {
+      std::vector<uint8_t> T;
+      for (unsigned I = 0; I < 16 + R.nextBounded(40); ++I)
+        T.push_back(static_cast<uint8_t>(R.nextBounded(256)));
+      Chunk('T', T);
+    }
+    for (unsigned D = 0; D < 3; ++D) {
+      std::vector<uint8_t> Data;
+      for (unsigned I = 0; I < 100 + R.nextBounded(100); ++I)
+        Data.push_back(static_cast<uint8_t>(R.nextBounded(256)));
+      Chunk('D', Data);
+    }
+    B.push_back('E');
+    In.Bytes = std::move(B);
+    return In;
+  };
+
+  S.PerfInput = [](Rng &R) {
+    ProgramInput In;
+    std::vector<uint8_t> B;
+    for (unsigned Img = 0; Img < 24; ++Img) {
+      B.push_back('H');
+      B.push_back(13);
+      for (unsigned I = 0; I < 13; ++I)
+        B.push_back(static_cast<uint8_t>(R.nextBounded(256)));
+      for (unsigned D = 0; D < 4; ++D) {
+        B.push_back('D');
+        B.push_back(200);
+        for (unsigned I = 0; I < 200; ++I)
+          B.push_back(static_cast<uint8_t>(R.nextBounded(256)));
+      }
+    }
+    B.push_back('E');
+    In.Bytes = std::move(B);
+    return In;
+  };
+  return S;
+}
+
+//===----------------------------------------------------------------------===//
+// Bash-108885
+//===----------------------------------------------------------------------===//
+
+static const char *Bash108885Source = R"(
+// bash-mini word expander. Input: a script as bytes (0-terminated).
+// The expander tokenizes words, handling:
+//   letters/digits  -> appended to the current word buffer
+//   ' '             -> finishes the current word
+//   '['             -> starts an array subscript on the current word
+//   ']'             -> closes the subscript and APPENDS to the word;
+//                      BUG: if no word is open (e.g. the script starts
+//                      with "[x]="), the current-word pointer is null.
+//   '='             -> assignment: evaluates the pending word
+global words: i64[64];
+global nwords: i64;
+
+fn main() -> i64 {
+  var cur: *u8 = null;
+  var cur_len: i64 = 0;
+  var in_sub: i64 = 0;
+  var total: i64 = 0;
+  var c: u8 = input_byte();
+  while (c != 0) {
+    if ((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9')) {
+      if (cur == null && in_sub == 0) {
+        cur = new u8[32];
+        cur_len = 0;
+      }
+      if (in_sub == 0) {
+        if (cur_len < 32) {
+          cur[cur_len] = c;
+          cur_len = cur_len + 1;
+        }
+      }
+    } else {
+      if (c == ' ') {
+        if (cur != null) {
+          var h: i64 = 0;
+          for (var i: i64 = 0; i < cur_len; i = i + 1) {
+            h = h * 31 + (cur[i] as i64);
+          }
+          if (nwords < 64) {
+            words[nwords] = h;
+            nwords = nwords + 1;
+          }
+          delete cur;
+          cur = null;
+          cur_len = 0;
+        }
+      } else {
+        if (c == '[') {
+          in_sub = 1;
+        } else {
+          if (c == ']') {
+            in_sub = 0;
+            // BUG: assumes a word is open and stamps a subscript marker.
+            cur[0] = '#';          // NULL DEREF for scripts like "[x]=".
+            if (cur_len == 0) { cur_len = 1; }
+          } else {
+            if (c == '=') {
+              total = total + nwords;
+            }
+          }
+        }
+      }
+    }
+    c = input_byte();
+  }
+  return total;
+}
+)";
+
+BugSpec er::makeBash108885() {
+  BugSpec S;
+  S.Id = "Bash-108885";
+  S.App = "bash-mini 4.3 word expander";
+  S.BugType = "NULL pointer dereference";
+  S.Multithreaded = false;
+  S.Source = Bash108885Source;
+  S.SolverWorkBudget = 120'000;
+  S.PerfBenchmark = "Quicksort-in-bash analog (long token stream)";
+
+  S.ProductionInput = [](Rng &R) {
+    ProgramInput In;
+    std::vector<uint8_t> B;
+    if (R.nextBool(0.25)) {
+      // The 4-byte crasher: "[x]=" with no open word.
+      B = {'[', 'x', ']', '='};
+    } else {
+      unsigned Words = 4 + R.nextBounded(12);
+      for (unsigned W = 0; W < Words; ++W) {
+        unsigned Len = 1 + R.nextBounded(8);
+        for (unsigned I = 0; I < Len; ++I)
+          B.push_back(static_cast<uint8_t>('a' + R.nextBounded(26)));
+        if (R.nextBool(0.3)) {
+          B.push_back('[');
+          B.push_back(static_cast<uint8_t>('0' + R.nextBounded(10)));
+          B.push_back(']');
+        }
+        B.push_back(R.nextBool(0.2) ? '=' : ' ');
+      }
+      B.push_back(' ');
+    }
+    B.push_back(0);
+    In.Bytes = std::move(B);
+    return In;
+  };
+
+  S.PerfInput = [](Rng &R) {
+    ProgramInput In;
+    std::vector<uint8_t> B;
+    for (unsigned W = 0; W < 700; ++W) {
+      unsigned Len = 2 + R.nextBounded(10);
+      for (unsigned I = 0; I < Len; ++I)
+        B.push_back(static_cast<uint8_t>('a' + R.nextBounded(26)));
+      B.push_back(' ');
+    }
+    B.push_back(0);
+    In.Bytes = std::move(B);
+    return In;
+  };
+  return S;
+}

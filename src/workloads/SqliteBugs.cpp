@@ -1,0 +1,450 @@
+//===- SqliteBugs.cpp - SQLite bug analogs --------------------------------------===//
+//
+// SQLite-7be932d: NULL pointer dereference from an adverse interaction
+// between the CLI's ".stats" and ".eqp" modes: disabling stats frees the
+// stats object, but the explain-query-plan path still holds the stale
+// pointer cache and dereferences it on the next query.
+//
+// SQLite-787fa71: inconsistent data structure when a multi-use subquery is
+// implemented by a co-routine: the co-routine fast path appends rows to the
+// sorted index without maintaining order, and a later full scan hits the
+// ordering assertion.
+//
+// SQLite-4e8e485: crash on a query using an OR term in the WHERE clause:
+// the term analyzer increments the term count for an OR whose right branch
+// failed to parse, leaving a null entry that the evaluator dereferences.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+using namespace er;
+
+//===----------------------------------------------------------------------===//
+// SQLite-7be932d
+//===----------------------------------------------------------------------===//
+
+static const char *Sqlite7be932dSource = R"(
+// sqlite-mini CLI. Commands (byte stream, 'X' ends):
+//   'S' -> toggle .stats   (on: allocate stats object; off: free it)
+//   'E' -> toggle .eqp     (on: cache the stats pointer for plan printing)
+//   'Q' lo hi -> run "SELECT ... WHERE lo <= v < hi" over the table
+global table: u32[256];
+global hist: u32[32];
+global stats_obj: *i64;
+global stats_on: i64;
+global eqp_on: i64;
+
+fn init_table() {
+  var seed: u32 = 123456789;
+  for (var i: i64 = 0; i < 256; i = i + 1) {
+    seed = seed * 1103515245 + 12345;
+    table[i] = (seed >> 8) % 1000;
+  }
+}
+
+fn run_query(lo: u32, hi: u32) -> i64 {
+  var rows: i64 = 0;
+  var sum: u32 = 0;
+  for (var i: i64 = 0; i < 256; i = i + 1) {
+    var v: u32 = table[i];
+    if (v >= lo && v < hi) {
+      rows = rows + 1;
+      sum = sum + v;
+      hist[((v ^ lo) % 32) as i64] = hist[((v ^ lo) % 32) as i64] + 1;
+    }
+  }
+  if (stats_on == 1) {
+    stats_obj[0] = stats_obj[0] + rows;
+    stats_obj[1] = stats_obj[1] + (sum as i64);
+  }
+  if (eqp_on == 1) {
+    // BUG: the plan printer assumes ".stats" is still on and reads the
+    // stats object without a guard; after ".stats off" the pointer is null.
+    var plan_rows: i64 = stats_obj[0];
+    print(plan_rows);
+  }
+  return rows;
+}
+
+fn main() -> i64 {
+  init_table();
+  stats_obj = null;
+  var total: i64 = 0;
+  var cmd: u8 = input_byte();
+  while (cmd != 'X') {
+    if (cmd == 'S') {
+      if (stats_on == 0) {
+        stats_obj = new i64[4];
+        stats_on = 1;
+      } else {
+        delete stats_obj;
+        stats_obj = null;
+        stats_on = 0;
+        // BUG (part 2): ".eqp" mode is not forced off with it.
+      }
+    } else {
+      if (cmd == 'E') {
+        eqp_on = 1 - eqp_on;
+      } else {
+        if (cmd == 'Q') {
+          var lo: u32 = input_byte() as u32;
+          var hi: u32 = (input_byte() as u32) * 8;
+          total = total + run_query(lo, hi);
+        }
+      }
+    }
+    cmd = input_byte();
+  }
+  return total;
+}
+)";
+
+BugSpec er::makeSqlite7be932d() {
+  BugSpec S;
+  S.Id = "SQLite-7be932d";
+  S.App = "sqlite-mini 3.27 CLI";
+  S.BugType = "NULL pointer dereference";
+  S.Multithreaded = false;
+  S.Source = Sqlite7be932dSource;
+  S.SolverWorkBudget = 120'000;
+  S.PerfBenchmark = "Official fuzz test analog (random query stream)";
+
+  S.ProductionInput = [](Rng &R) {
+    ProgramInput In;
+    std::vector<uint8_t> B;
+    auto Query = [&] {
+      B.push_back('Q');
+      B.push_back(static_cast<uint8_t>(R.nextBounded(200)));
+      B.push_back(static_cast<uint8_t>(50 + R.nextBounded(70)));
+    };
+    // Benign prefix.
+    for (unsigned K = 0; K < 2 + R.nextBounded(4); ++K)
+      Query();
+    if (R.nextBool(0.30)) {
+      // The failing interaction: .stats on, .eqp on, .stats off, query:
+      // the plan printer dereferences the freed-and-nulled stats object.
+      B.push_back('S');
+      Query();
+      B.push_back('E');
+      B.push_back('S');
+      Query();
+    } else if (R.nextBool(0.5)) {
+      // Benign: .eqp only while .stats stays on.
+      B.push_back('S');
+      B.push_back('E');
+      Query();
+      Query();
+      B.push_back('E');
+      B.push_back('S');
+      Query();
+    }
+    B.push_back('X');
+    In.Bytes = std::move(B);
+    return In;
+  };
+
+  S.PerfInput = [](Rng &R) {
+    ProgramInput In;
+    std::vector<uint8_t> B;
+    B.push_back('S');
+    for (unsigned K = 0; K < 400; ++K) {
+      B.push_back('Q');
+      B.push_back(static_cast<uint8_t>(R.nextBounded(200)));
+      B.push_back(static_cast<uint8_t>(50 + R.nextBounded(70)));
+    }
+    B.push_back('X');
+    In.Bytes = std::move(B);
+    return In;
+  };
+  return S;
+}
+
+//===----------------------------------------------------------------------===//
+// SQLite-787fa71
+//===----------------------------------------------------------------------===//
+
+static const char *Sqlite787fa71Source = R"(
+// sqlite-mini sorted index with a co-routine subquery fast path.
+// Input: records 'i' v16 (insert), 'q' (multi-use subquery: switches the
+// next inserts to the co-routine path), 's' (full scan, checks ordering).
+global index_vals: u32[512];
+global index_len: i64;
+global coroutine: i64;
+
+fn insert_sorted(v: u32) {
+  var i: i64 = index_len;
+  while (i > 0 && index_vals[i - 1] > v) {
+    index_vals[i] = index_vals[i - 1];
+    i = i - 1;
+  }
+  index_vals[i] = v;
+  index_len = index_len + 1;
+}
+
+fn insert_coroutine(v: u32) {
+  // BUG: the co-routine path appends without restoring sorted order; fine
+  // for a single use of the subquery, wrong when the index is scanned
+  // again later (the "multi-use" case of the ticket).
+  index_vals[index_len] = v;
+  index_len = index_len + 1;
+}
+
+fn scan() -> i64 {
+  var sum: i64 = 0;
+  for (var i: i64 = 0; i < index_len; i = i + 1) {
+    if (i > 0) {
+      // The B-tree cursor invariant.
+      assert(index_vals[i - 1] <= index_vals[i]);
+    }
+    sum = sum + (index_vals[i] as i64);
+  }
+  return sum;
+}
+
+fn read_u16() -> u32 {
+  var lo: u32 = input_byte() as u32;
+  var hi: u32 = input_byte() as u32;
+  return lo + hi * 256;
+}
+
+fn main() -> i64 {
+  var total: i64 = 0;
+  var tag: u8 = input_byte();
+  while (tag != 'X') {
+    if (tag == 'i') {
+      var v: u32 = read_u16();
+      if (index_len < 500) {
+        if (coroutine == 1) {
+          insert_coroutine(v);
+        } else {
+          insert_sorted(v);
+        }
+      }
+    } else {
+      if (tag == 'q') {
+        coroutine = 1;
+      } else {
+        if (tag == 's') {
+          total = total + scan();
+          coroutine = 0;
+        }
+      }
+    }
+    tag = input_byte();
+  }
+  return total;
+}
+)";
+
+BugSpec er::makeSqlite787fa71() {
+  BugSpec S;
+  S.Id = "SQLite-787fa71";
+  S.App = "sqlite-mini 3.25 co-routine subquery";
+  S.BugType = "Inconsistent data-structure";
+  S.Multithreaded = false;
+  S.Source = Sqlite787fa71Source;
+  S.SolverWorkBudget = 12'000;
+  S.PerfBenchmark = "Official fuzz test analog (insert/scan mix)";
+
+  S.ProductionInput = [](Rng &R) {
+    ProgramInput In;
+    std::vector<uint8_t> B;
+    auto Insert = [&](uint32_t V) {
+      B.push_back('i');
+      B.push_back(static_cast<uint8_t>(V));
+      B.push_back(static_cast<uint8_t>(V >> 8));
+    };
+    unsigned N = 20 + R.nextBounded(40);
+    for (unsigned K = 0; K < N; ++K)
+      Insert(static_cast<uint32_t>(R.nextBounded(60000)));
+    B.push_back('s');
+    if (R.nextBool(0.35)) {
+      // Multi-use subquery: co-routine insert of a small value after large
+      // ones, then a second scan trips the ordering assertion.
+      B.push_back('q');
+      Insert(static_cast<uint32_t>(R.nextBounded(5)));
+      Insert(60001 + static_cast<uint32_t>(R.nextBounded(1000)));
+      B.push_back('s');
+    }
+    B.push_back('X');
+    In.Bytes = std::move(B);
+    return In;
+  };
+
+  S.PerfInput = [](Rng &R) {
+    ProgramInput In;
+    std::vector<uint8_t> B;
+    for (unsigned Round = 0; Round < 12; ++Round) {
+      for (unsigned K = 0; K < 40; ++K) {
+        B.push_back('i');
+        uint32_t V = static_cast<uint32_t>(R.nextBounded(60000));
+        B.push_back(static_cast<uint8_t>(V));
+        B.push_back(static_cast<uint8_t>(V >> 8));
+      }
+      B.push_back('s');
+    }
+    B.push_back('X');
+    In.Bytes = std::move(B);
+    return In;
+  };
+  return S;
+}
+
+//===----------------------------------------------------------------------===//
+// SQLite-4e8e485
+//===----------------------------------------------------------------------===//
+
+static const char *Sqlite4e8e485Source = R"(
+// sqlite-mini WHERE-clause term analyzer. A query is a byte-encoded
+// expression over column comparisons:
+//   expr := term (('&' | '|') term)*
+//   term := 'c' col op val     comparison (op: '<' '>' '=')
+//         | '!'                placeholder that fails to parse
+// The analyzer collects terms into a table of pointers; BUG: an OR whose
+// right operand fails to parse still increments the term count, leaving a
+// null slot the evaluator dereferences.
+global rows: u32[128];
+global match_hist: u32[32];
+global nterms: i64;
+global term_ops: u8[16];
+global term_ptrs: *i64[16];
+
+fn init_rows() {
+  var seed: u32 = 42;
+  for (var i: i64 = 0; i < 128; i = i + 1) {
+    seed = seed * 1664525 + 1013904223;
+    rows[i] = (seed >> 10) % 500;
+  }
+}
+
+fn parse_term() -> i64 {
+  // Returns 1 when a term was parsed, 0 on parse failure.
+  var tag: u8 = input_byte();
+  if (tag == 'c') {
+    var col: u8 = input_byte();
+    var op: u8 = input_byte();
+    var val: u8 = input_byte();
+    var t: *i64 = new i64[3];
+    t[0] = (col % 4) as i64;
+    t[1] = op as i64;
+    t[2] = (val as i64) * 2;
+    term_ptrs[nterms] = t;
+    term_ops[nterms] = op;
+    nterms = nterms + 1;
+    return 1;
+  }
+  return 0;
+}
+
+fn eval_term(k: i64, v: u32) -> i64 {
+  var t: *i64 = term_ptrs[k];
+  // BUG SITE: t is null for the phantom OR term.
+  var op: i64 = t[1];
+  var bound: i64 = t[2];
+  if (op == '<' as i64) { if ((v as i64) < bound) { return 1; } return 0; }
+  if (op == '>' as i64) { if ((v as i64) > bound) { return 1; } return 0; }
+  if ((v as i64) == bound) { return 1; }
+  return 0;
+}
+
+fn run_where() -> i64 {
+  var hits: i64 = 0;
+  var t0: *i64 = term_ptrs[0];
+  for (var i: i64 = 0; i < 128; i = i + 1) {
+    var v: u32 = rows[i];
+    // Query-plan statistics: a histogram keyed by the first term's bound
+    // (value-hashed, like the planner's stat4 machinery), consulted to
+    // re-rank terms once a bucket gets hot.
+    var key: i64 = ((v as i64) ^ t0[2]) % 32;
+    match_hist[key] = match_hist[key] + 1;
+    if (match_hist[((t0[2] + i) % 32)] > 16) {
+      hits = hits + 0; // Re-ranking hook (no-op in this build).
+    }
+    var ok: i64 = 1;
+    for (var k: i64 = 0; k < nterms; k = k + 1) {
+      if (eval_term(k, v) == 0) {
+        ok = 0;
+        break;
+      }
+    }
+    hits = hits + ok;
+  }
+  return hits;
+}
+
+fn main() -> i64 {
+  init_rows();
+  nterms = 0;
+  if (parse_term() == 0) { return 0; }
+  var conn: u8 = input_byte();
+  while (conn == '&' || conn == '|') {
+    var parsed: i64 = parse_term();
+    if (parsed == 0) {
+      if (conn == '|') {
+        // BUG: the OR analyzer reserves a slot for the unparsed right
+        // branch ("virtual term" in the ticket) but never fills it.
+        term_ptrs[nterms] = null;
+        nterms = nterms + 1;
+      }
+    }
+    conn = input_byte();
+  }
+  return run_where();
+}
+)";
+
+BugSpec er::makeSqlite4e8e485() {
+  BugSpec S;
+  S.Id = "SQLite-4e8e485";
+  S.App = "sqlite-mini 3.8 WHERE analyzer";
+  S.BugType = "NULL pointer dereference";
+  S.Multithreaded = false;
+  S.Source = Sqlite4e8e485Source;
+  S.SolverWorkBudget = 9'000;
+  S.PerfBenchmark = "Official fuzz test analog (random WHERE clauses)";
+
+  S.ProductionInput = [](Rng &R) {
+    ProgramInput In;
+    std::vector<uint8_t> B;
+    auto Term = [&] {
+      B.push_back('c');
+      B.push_back(static_cast<uint8_t>(R.nextBounded(4)));
+      B.push_back("<>="[R.nextBounded(3)]);
+      B.push_back(static_cast<uint8_t>(R.nextBounded(250)));
+    };
+    Term();
+    unsigned Extra = R.nextBounded(4);
+    for (unsigned K = 0; K < Extra; ++K) {
+      B.push_back(R.nextBool(0.5) ? '&' : '|');
+      Term();
+    }
+    if (R.nextBool(0.30)) {
+      B.push_back('|');
+      B.push_back('!'); // The unparsable OR branch.
+    }
+    B.push_back(';'); // Terminates the connector loop.
+    In.Bytes = std::move(B);
+    return In;
+  };
+
+  S.PerfInput = [](Rng &R) {
+    ProgramInput In;
+    std::vector<uint8_t> B;
+    B.push_back('c');
+    B.push_back(0);
+    B.push_back('<');
+    B.push_back(240);
+    for (unsigned K = 0; K < 12; ++K) {
+      B.push_back('&');
+      B.push_back('c');
+      B.push_back(static_cast<uint8_t>(R.nextBounded(4)));
+      B.push_back("<>="[R.nextBounded(3)]);
+      B.push_back(static_cast<uint8_t>(R.nextBounded(250)));
+    }
+    B.push_back(';');
+    In.Bytes = std::move(B);
+    return In;
+  };
+  return S;
+}

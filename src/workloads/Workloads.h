@@ -1,0 +1,87 @@
+//===- Workloads.h - The 13 Table-1 bug workloads ----------------*- C++ -*-===//
+///
+/// \file
+/// The evaluation corpus: one MiniLang program per Table 1 row of the
+/// paper, with the same bug *type* and an application structure evocative
+/// of the original system (interpreters, parsers, query planners, KV
+/// stores, compressors). Each spec bundles:
+///
+///  - the program source,
+///  - a production input distribution (mostly benign, sometimes failing),
+///  - a long benign performance workload (for the Fig. 6 overhead runs),
+///  - the solver work budget that models the paper's 30s solver timeout at
+///    this program's scale.
+///
+/// The real applications (PHP, SQLite, memcached, ...) cannot be traced
+/// with real Intel PT in this environment; DESIGN.md documents why these
+/// analogs preserve the reconstruction behaviour being measured.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ER_WORKLOADS_WORKLOADS_H
+#define ER_WORKLOADS_WORKLOADS_H
+
+#include "ir/IR.h"
+#include "support/Rng.h"
+#include "vm/Input.h"
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace er {
+
+/// One evaluation bug.
+struct BugSpec {
+  std::string Id;      ///< Table 1 identifier, e.g. "PHP-2012-2386".
+  std::string App;     ///< Application analog name.
+  std::string BugType; ///< Table 1 "Bug Type" column.
+  bool Multithreaded = false;
+  std::string Source;  ///< MiniLang program.
+  /// Production input distribution: must reach the failure with
+  /// non-negligible probability but is mostly benign.
+  std::function<ProgramInput(Rng &)> ProductionInput;
+  /// Long benign run used by the runtime-overhead experiments.
+  std::function<ProgramInput(Rng &)> PerfInput;
+  /// Stall threshold (the analog of the paper's 30s solver timeout, scaled
+  /// to this program's constraint complexity).
+  uint64_t SolverWorkBudget = 200'000;
+  unsigned VmChunkSize = 120;
+  /// Run-to-run measurement noise for overhead experiments (I/O-heavy
+  /// workloads are noisier, cf. libpng in Section 5.3).
+  double MeasurementNoise = 0.0005;
+  /// Table 1 "Performance Benchmark" column analog.
+  std::string PerfBenchmark;
+};
+
+/// All 13 bugs, in Table 1 order.
+const std::vector<BugSpec> &allBugSpecs();
+
+/// Lookup by id; null if unknown.
+const BugSpec *findBug(const std::string &Id);
+
+/// Compiles a spec's program (fatal on error — specs are tested).
+std::unique_ptr<Module> compileBug(const BugSpec &Spec);
+
+/// MiniLang source line count (the Table 1 "LoC" analog).
+unsigned sourceLineCount(const BugSpec &Spec);
+
+// Individual spec factories (one per Table 1 row).
+BugSpec makePhp20122386();
+BugSpec makePhp74194();
+BugSpec makeSqlite7be932d();
+BugSpec makeSqlite787fa71();
+BugSpec makeSqlite4e8e485();
+BugSpec makeNasm20041287();
+BugSpec makeObjdump20186323();
+BugSpec makeMatrixssl20141569();
+BugSpec makeMemcached201911596();
+BugSpec makeLibpng20040597();
+BugSpec makeBash108885();
+BugSpec makePython20181000030();
+BugSpec makePbzip2();
+
+} // namespace er
+
+#endif // ER_WORKLOADS_WORKLOADS_H

@@ -1,0 +1,247 @@
+//===- FuzzPipelineTest.cpp - Randomized end-to-end pipeline validation --------===//
+//
+// Generates random MiniLang programs (arithmetic, guarded array accesses,
+// branches, bounded loops over the input arguments), plants a failing
+// assertion calibrated from a concrete run, and validates the whole
+// pipeline: VM -> trace -> shepherded symbolic execution -> (iterative
+// recording if needed) -> generated test case -> replay reproduces the
+// same failure.
+//
+// This is the strongest invariant the system offers: for *any* program in
+// the language, a reproduced test case must actually fail the same way.
+//
+//===----------------------------------------------------------------------===//
+
+#include "er/Driver.h"
+#include "lang/Codegen.h"
+#include "support/Format.h"
+#include "support/Rng.h"
+#include "vm/Interpreter.h"
+
+#include <gtest/gtest.h>
+
+using namespace er;
+
+namespace {
+
+/// Emits a random expression over i64 variables x0..x3 and literals.
+std::string randomExprSrc(Rng &R, int Depth) {
+  if (Depth == 0 || R.nextBool(0.35))
+    return R.nextBool(0.5) ? "x" + std::to_string(R.nextBounded(4))
+                           : std::to_string(R.nextBounded(100));
+  static const char *Ops[] = {"+", "-", "*", "&", "|", "^"};
+  return "(" + randomExprSrc(R, Depth - 1) + " " +
+         Ops[R.nextBounded(6)] + " " + randomExprSrc(R, Depth - 1) + ")";
+}
+
+/// Generates a program body: mutations of x0..x3, guarded array traffic,
+/// branches and a bounded loop; returns (x0^x1)+(x2^x3) style mix.
+std::string randomProgram(Rng &R) {
+  std::string S;
+  S += "global tab: i64[16];\n";
+  S += "fn main() -> i64 {\n";
+  for (int I = 0; I < 4; ++I)
+    S += formatString("  var x%d: i64 = input_arg(%d);\n", I, I);
+
+  unsigned Stmts = 3 + R.nextBounded(6);
+  for (unsigned K = 0; K < Stmts; ++K) {
+    switch (R.nextBounded(4)) {
+    case 0: // Assignment.
+      S += formatString("  x%llu = %s;\n",
+                        (unsigned long long)R.nextBounded(4),
+                        randomExprSrc(R, 2).c_str());
+      break;
+    case 1: // Guarded array write (symbolic index -> write chains).
+      S += formatString("  if (x%llu >= 0) {\n"
+                        "    tab[(x%llu & 15)] = x%llu;\n"
+                        "  }\n",
+                        (unsigned long long)R.nextBounded(4),
+                        (unsigned long long)R.nextBounded(4),
+                        (unsigned long long)R.nextBounded(4));
+      break;
+    case 2: // Branch.
+      S += formatString("  if (%s > %llu) {\n    x%llu = x%llu + 1;\n  } "
+                        "else {\n    x%llu = x%llu - 1;\n  }\n",
+                        randomExprSrc(R, 1).c_str(),
+                        (unsigned long long)R.nextBounded(200),
+                        (unsigned long long)R.nextBounded(4),
+                        (unsigned long long)R.nextBounded(4),
+                        (unsigned long long)R.nextBounded(4),
+                        (unsigned long long)R.nextBounded(4));
+      break;
+    default: // Bounded loop.
+      S += formatString("  for (var i: i64 = 0; i < (x%llu & 31); "
+                        "i = i + 1) {\n    x%llu = x%llu + tab[(i & 15)];\n"
+                        "  }\n",
+                        (unsigned long long)R.nextBounded(4),
+                        (unsigned long long)R.nextBounded(4),
+                        (unsigned long long)R.nextBounded(4));
+      break;
+    }
+  }
+  S += "  var mix: i64 = (x0 ^ x1) + (x2 ^ x3);\n";
+  S += "  assert(mix != @SENTINEL@);\n";
+  S += "  return mix;\n";
+  S += "}\n";
+  return S;
+}
+
+std::string replaceSentinel(std::string Src, int64_t V) {
+  std::string Key = "@SENTINEL@";
+  size_t Pos = Src.find(Key);
+  EXPECT_NE(Pos, std::string::npos);
+  // MiniLang literals are non-negative; negate via unary minus.
+  std::string Lit = V < 0 ? "(0 - " + std::to_string(-V) + ")"
+                          : std::to_string(V);
+  Src.replace(Pos, Key.size(), Lit);
+  return Src;
+}
+
+class FuzzPipeline : public ::testing::TestWithParam<uint64_t> {};
+
+} // namespace
+
+TEST_P(FuzzPipeline, GeneratedTestCasesReproduce) {
+  Rng R(GetParam());
+
+  // 1. Generate a program and calibrate a failing assertion: run it once on
+  //    a concrete input and make that run's mix the forbidden value.
+  std::string Template = randomProgram(R);
+  ProgramInput Crash;
+  for (int I = 0; I < 4; ++I)
+    Crash.Args.push_back(R.nextBounded(500));
+
+  std::string Probe = replaceSentinel(Template, /*V=*/-1);
+  CompileResult PR = compileMiniLang(Probe);
+  ASSERT_TRUE(PR.ok()) << PR.Error << "\n" << Probe;
+  Interpreter ProbeVM(*PR.M, VmConfig());
+  RunResult Base = ProbeVM.run(Crash);
+  ASSERT_EQ(Base.Status, ExitStatus::Ok) << Probe;
+
+  std::string Source =
+      replaceSentinel(Template, static_cast<int64_t>(Base.RetVal));
+  CompileResult CR = compileMiniLang(Source);
+  ASSERT_TRUE(CR.ok()) << CR.Error;
+
+  // The calibrated input must now fail.
+  {
+    Interpreter VM(*CR.M, VmConfig());
+    RunResult RR = VM.run(Crash);
+    ASSERT_EQ(RR.Status, ExitStatus::Failure) << Source;
+    ASSERT_EQ(RR.Failure.Kind, FailureKind::Abort);
+  }
+
+  // 2. Full ER loop: production emits the crashing input occasionally.
+  DriverConfig DC;
+  DC.Seed = GetParam() * 31 + 7;
+  DC.MaxIterations = 16;
+  ReconstructionDriver Driver(*CR.M, DC);
+  ReconstructionReport Report = Driver.reconstruct([&](Rng &Prod) {
+    if (Prod.nextBool(0.5))
+      return Crash;
+    ProgramInput In;
+    for (int I = 0; I < 4; ++I)
+      In.Args.push_back(Prod.nextBounded(500));
+    return In;
+  });
+  ASSERT_TRUE(Report.Success) << Report.FailureDetail << "\n" << Source;
+
+  // 3. The generated test case must reproduce the same failure.
+  VmConfig VC;
+  VC.ScheduleSeed = Report.ReplayScheduleSeed;
+  Interpreter Replay(*CR.M, VC);
+  RunResult RR = Replay.run(Report.TestCase);
+  ASSERT_EQ(RR.Status, ExitStatus::Failure) << Source;
+  EXPECT_TRUE(RR.Failure.sameFailure(Report.Failure)) << Source;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzPipeline,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10,
+                                           11, 12, 13, 14, 15, 16, 17, 18,
+                                           19, 20));
+
+//===----------------------------------------------------------------------===//
+// Byte-stream fuzz variant: programs that parse an input stream (size
+// pinning, underrun semantics, per-byte variables).
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+class FuzzBytePipeline : public ::testing::TestWithParam<uint64_t> {};
+
+std::string randomByteProgram(Rng &R) {
+  std::string S;
+  S += "global acc: i64[8];\n";
+  S += "fn main() -> i64 {\n";
+  S += "  var n: i64 = input_size();\n";
+  S += "  var sum: i64 = 0;\n";
+  S += "  var i: i64 = 0;\n";
+  S += "  while (i + 1 < n) {\n";
+  S += "    var a: u8 = input_byte();\n";
+  S += "    var b: u8 = input_byte();\n";
+  switch (R.nextBounded(3)) {
+  case 0:
+    S += "    sum = sum + (a as i64) * 3 + (b as i64);\n";
+    break;
+  case 1:
+    S += "    acc[(a % 8) as i64] = acc[(a % 8) as i64] + (b as i64);\n";
+    S += "    sum = sum + acc[(b % 8) as i64];\n";
+    break;
+  default:
+    S += "    if (a > b) { sum = sum + 1; } else { sum = sum - 1; }\n";
+    break;
+  }
+  S += "    i = i + 2;\n";
+  S += "  }\n";
+  S += "  var mix: i64 = sum & 4095;\n";
+  S += "  assert(mix != @SENTINEL@);\n";
+  S += "  return mix;\n";
+  S += "}\n";
+  return S;
+}
+
+} // namespace
+
+TEST_P(FuzzBytePipeline, ByteStreamTestCasesReproduce) {
+  Rng R(GetParam() * 977 + 5);
+  std::string Template = randomByteProgram(R);
+  ProgramInput Crash;
+  unsigned N = 6 + 2 * static_cast<unsigned>(R.nextBounded(12));
+  for (unsigned I = 0; I < N; ++I)
+    Crash.Bytes.push_back(static_cast<uint8_t>(R.nextBounded(256)));
+
+  std::string Probe = replaceSentinel(Template, -1);
+  CompileResult PR = compileMiniLang(Probe);
+  ASSERT_TRUE(PR.ok()) << PR.Error;
+  Interpreter ProbeVM(*PR.M, VmConfig());
+  RunResult Base = ProbeVM.run(Crash);
+  ASSERT_EQ(Base.Status, ExitStatus::Ok);
+
+  std::string Source =
+      replaceSentinel(Template, static_cast<int64_t>(Base.RetVal));
+  CompileResult CR = compileMiniLang(Source);
+  ASSERT_TRUE(CR.ok()) << CR.Error;
+
+  DriverConfig DC;
+  DC.Seed = GetParam() * 13 + 1;
+  DC.MaxIterations = 16;
+  ReconstructionDriver Driver(*CR.M, DC);
+  ReconstructionReport Report = Driver.reconstruct([&](Rng &Prod) {
+    if (Prod.nextBool(0.5))
+      return Crash;
+    ProgramInput In;
+    unsigned Len = 2 * static_cast<unsigned>(1 + Prod.nextBounded(12));
+    for (unsigned I = 0; I < Len; ++I)
+      In.Bytes.push_back(static_cast<uint8_t>(Prod.nextBounded(256)));
+    return In;
+  });
+  ASSERT_TRUE(Report.Success) << Report.FailureDetail << "\n" << Source;
+
+  Interpreter Replay(*CR.M, VmConfig());
+  RunResult RR = Replay.run(Report.TestCase);
+  ASSERT_EQ(RR.Status, ExitStatus::Failure) << Source;
+  EXPECT_TRUE(RR.Failure.sameFailure(Report.Failure)) << Source;
+}
+
+INSTANTIATE_TEST_SUITE_P(ByteSeeds, FuzzBytePipeline,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));

@@ -1,0 +1,127 @@
+//===- InvariantsTest.cpp - Likely-invariant engine tests ---------------------===//
+
+#include "invariants/Invariants.h"
+#include "lang/Codegen.h"
+
+#include <gtest/gtest.h>
+
+using namespace er;
+
+namespace {
+
+std::unique_ptr<Module> compile(const std::string &Src) {
+  CompileResult R = compileMiniLang(Src);
+  EXPECT_TRUE(R.ok()) << R.Error;
+  return std::move(R.M);
+}
+
+const char *Checked = R"(
+  fn process(kind: i64, size: i64) -> i64 {
+    var out: i64 = kind * 100 + size;
+    return out;
+  }
+  fn main() -> i64 {
+    var kind: i64 = input_arg(0);
+    var size: i64 = input_arg(1);
+    return process(kind, size);
+  }
+)";
+
+ProgramInput args(uint64_t A, uint64_t B) {
+  ProgramInput In;
+  In.Args = {A, B};
+  return In;
+}
+
+} // namespace
+
+TEST(Invariants, InfersRangesAndValueSets) {
+  auto M = compile(Checked);
+  InvariantEngine E(*M);
+  EXPECT_TRUE(E.observePassingRun(args(1, 10), VmConfig()));
+  EXPECT_TRUE(E.observePassingRun(args(2, 20), VmConfig()));
+  EXPECT_TRUE(E.observePassingRun(args(1, 30), VmConfig()));
+  EXPECT_TRUE(E.observePassingRun(args(2, 40), VmConfig()));
+  E.infer();
+
+  // arg0 in {1, 2}; arg1 in {10..40}; ret nonzero, etc.
+  bool SawKindSet = false, SawPair = false;
+  for (const auto &Inv : E.invariants()) {
+    if (Inv.Point == "entry:process" && Inv.Text == "arg0 in {1, 2}")
+      SawKindSet = true;
+    if (Inv.Point == "entry:process" && Inv.Text == "arg0 <= arg1")
+      SawPair = true;
+  }
+  EXPECT_TRUE(SawKindSet);
+  EXPECT_TRUE(SawPair);
+}
+
+TEST(Invariants, FlagsViolationsOnFailingRun) {
+  auto M = compile(Checked);
+  InvariantEngine E(*M);
+  for (auto &In : {args(1, 10), args(2, 20), args(1, 30), args(2, 40)})
+    EXPECT_TRUE(E.observePassingRun(In, VmConfig()));
+  E.infer();
+
+  auto Violations = E.checkFailingRun(args(7, 3), VmConfig());
+  ASSERT_FALSE(Violations.empty());
+  // The out-of-profile kind must be flagged at the process entry.
+  bool Flagged = false;
+  for (const auto &V : Violations)
+    if (V.Inv.Point == "entry:process" &&
+        V.Inv.Text.find("arg0") != std::string::npos)
+      Flagged = true;
+  EXPECT_TRUE(Flagged);
+}
+
+TEST(Invariants, NoViolationsOnInProfileRun) {
+  auto M = compile(Checked);
+  InvariantEngine E(*M);
+  for (auto &In : {args(1, 10), args(2, 20), args(1, 30), args(2, 40)})
+    EXPECT_TRUE(E.observePassingRun(In, VmConfig()));
+  E.infer();
+  auto Violations = E.checkFailingRun(args(2, 20), VmConfig());
+  EXPECT_TRUE(Violations.empty());
+}
+
+TEST(Invariants, FailingObservationRunsAreRejected) {
+  auto M = compile(R"(
+    fn main() -> i64 {
+      var x: i64 = input_arg(0);
+      assert(x != 0);
+      return x;
+    }
+  )");
+  InvariantEngine E(*M);
+  EXPECT_FALSE(E.observePassingRun(args(0, 0), VmConfig()))
+      << "a failing run must not contribute invariants";
+  EXPECT_TRUE(E.observePassingRun(args(5, 0), VmConfig()));
+}
+
+TEST(Invariants, ViolationsRankedByFirstOccurrence) {
+  auto M = compile(R"(
+    fn early(v: i64) -> i64 { return v + 1; }
+    fn late(v: i64) -> i64 { return v * 2; }
+    fn main() -> i64 {
+      var x: i64 = input_arg(0);
+      var a: i64 = early(x);
+      var b: i64 = late(a);
+      return b;
+    }
+  )");
+  InvariantEngine E(*M);
+  for (uint64_t V : {3ull, 4ull, 5ull, 6ull}) {
+    ProgramInput In;
+    In.Args = {V};
+    EXPECT_TRUE(E.observePassingRun(In, VmConfig()));
+  }
+  E.infer();
+  ProgramInput Bad;
+  Bad.Args = {1000};
+  auto Violations = E.checkFailingRun(Bad, VmConfig());
+  ASSERT_GE(Violations.size(), 2u);
+  // The first-violated point (early) ranks before the later one.
+  EXPECT_LE(Violations.front().FirstAtObservation,
+            Violations.back().FirstAtObservation);
+  EXPECT_EQ(Violations.front().Inv.Point, "entry:early");
+}

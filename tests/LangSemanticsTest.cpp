@@ -1,0 +1,348 @@
+//===- LangSemanticsTest.cpp - MiniLang language semantics ---------------------===//
+//
+// Focused semantics checks: each test runs a small program on the VM and
+// pins down one language rule (precedence, signedness, casts, scoping,
+// pointers, control flow).
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Codegen.h"
+#include "vm/Interpreter.h"
+
+#include <gtest/gtest.h>
+
+using namespace er;
+
+namespace {
+
+/// Compiles and runs; returns the i64 result of main.
+int64_t evalProgram(const std::string &Body, ProgramInput In = {}) {
+  CompileResult R = compileMiniLang(Body);
+  EXPECT_TRUE(R.ok()) << R.Error << "\n" << Body;
+  if (!R.ok())
+    return INT64_MIN;
+  Interpreter VM(*R.M, VmConfig());
+  RunResult RR = VM.run(In);
+  EXPECT_EQ(RR.Status, ExitStatus::Ok) << RR.Failure.describe();
+  return static_cast<int64_t>(RR.RetVal);
+}
+
+std::string mainOf(const std::string &Body) {
+  return "fn main() -> i64 {\n" + Body + "\n}\n";
+}
+
+} // namespace
+
+TEST(LangSemantics, OperatorPrecedence) {
+  EXPECT_EQ(evalProgram(mainOf("return 2 + 3 * 4;")), 14);
+  EXPECT_EQ(evalProgram(mainOf("return (2 + 3) * 4;")), 20);
+  EXPECT_EQ(evalProgram(mainOf("return 1 << 3 + 1;")), 16) << "shl below +";
+  EXPECT_EQ(evalProgram(mainOf("return 7 & 3 ^ 1;")), 2) << "& above ^";
+  EXPECT_EQ(evalProgram(mainOf("return 10 - 4 - 3;")), 3)
+      << "left associativity";
+  EXPECT_EQ(evalProgram(mainOf("return 100 / 10 / 2;")), 5);
+}
+
+TEST(LangSemantics, ComparisonAndLogicalPrecedence) {
+  EXPECT_EQ(evalProgram(mainOf(
+                "var r: i64 = 0;\n"
+                "if (1 + 1 == 2 && 3 < 4) { r = 1; }\n"
+                "return r;")),
+            1);
+}
+
+TEST(LangSemantics, SignedVsUnsignedDivision) {
+  EXPECT_EQ(evalProgram(mainOf("var a: i64 = 0 - 7;\nreturn a / 2;")), -3)
+      << "signed division truncates toward zero";
+  EXPECT_EQ(evalProgram(mainOf("var a: i64 = 0 - 7;\nreturn a % 2;")), -1);
+  EXPECT_EQ(evalProgram(mainOf(
+                "var a: u8 = 200;\nvar b: u8 = a / 3;\nreturn b as i64;")),
+            66);
+}
+
+TEST(LangSemantics, ShiftSemantics) {
+  EXPECT_EQ(evalProgram(mainOf(
+                "var a: i64 = 0 - 8;\nreturn a >> 1;")),
+            -4)
+      << "arithmetic shift for signed";
+  EXPECT_EQ(evalProgram(mainOf(
+                "var a: u32 = 0x80000000;\nreturn (a >> 1) as i64;")),
+            0x40000000)
+      << "logical shift for unsigned";
+}
+
+TEST(LangSemantics, NarrowTypeWraparound) {
+  EXPECT_EQ(evalProgram(mainOf(
+                "var a: u8 = 250;\na = a + 10;\nreturn a as i64;")),
+            4)
+      << "u8 arithmetic wraps mod 256";
+  EXPECT_EQ(evalProgram(mainOf(
+                "var a: u32 = 4294967295;\na = a + 1;\nreturn a as i64;")),
+            0);
+}
+
+TEST(LangSemantics, CastSignExtension) {
+  EXPECT_EQ(evalProgram(mainOf(
+                "var a: i8 = (0 - 1) as i8;\nreturn a as i64;")),
+            -1)
+      << "signed source sign-extends";
+  EXPECT_EQ(evalProgram(mainOf(
+                "var a: u8 = 255;\nreturn a as i64;")),
+            255)
+      << "unsigned source zero-extends";
+  EXPECT_EQ(evalProgram(mainOf(
+                "var a: i64 = 0x1ff;\nreturn (a as u8) as i64;")),
+            0xff)
+      << "narrowing truncates";
+}
+
+TEST(LangSemantics, ShortCircuitSideEffects) {
+  const char *Src = R"(
+    global hits: i64[1];
+    fn bump() -> bool { hits[0] = hits[0] + 1; return false; }
+    fn main() -> i64 {
+      var a: bool = true || bump();
+      var b: bool = false && bump();
+      if (a && !b) { return hits[0]; }
+      return 0 - 1;
+    }
+  )";
+  EXPECT_EQ(evalProgram(Src), 0) << "neither operand may evaluate";
+}
+
+TEST(LangSemantics, ForLoopScopeAndContinue) {
+  EXPECT_EQ(evalProgram(mainOf(R"(
+      var sum: i64 = 0;
+      for (var i: i64 = 0; i < 10; i = i + 1) {
+        if (i == 3) { continue; }
+        if (i == 7) { break; }
+        sum = sum + i;
+      }
+      return sum;)")),
+            0 + 1 + 2 + 4 + 5 + 6)
+      << "continue must still run the step";
+}
+
+TEST(LangSemantics, WhileWithComplexCondition) {
+  EXPECT_EQ(evalProgram(mainOf(R"(
+      var i: i64 = 0;
+      var n: i64 = 0;
+      while (i < 20 && n < 50) {
+        n = n + i;
+        i = i + 1;
+      }
+      return n;)")),
+            55);
+}
+
+TEST(LangSemantics, NestedFunctionCalls) {
+  const char *Src = R"(
+    fn square(x: i64) -> i64 { return x * x; }
+    fn sumsq(a: i64, b: i64) -> i64 { return square(a) + square(b); }
+    fn main() -> i64 { return sumsq(3, sumsq(1, 2)); }
+  )";
+  EXPECT_EQ(evalProgram(Src), 9 + 25);
+}
+
+TEST(LangSemantics, RecursionDepth) {
+  const char *Src = R"(
+    fn sum(n: i64) -> i64 {
+      if (n == 0) { return 0; }
+      return n + sum(n - 1);
+    }
+    fn main() -> i64 { return sum(100); }
+  )";
+  EXPECT_EQ(evalProgram(Src), 5050);
+}
+
+TEST(LangSemantics, AddressOfElementAndPointerArithmetic) {
+  const char *Src = R"(
+    fn sum3(p: *u32) -> i64 {
+      return (p[0] + p[1] + p[2]) as i64;
+    }
+    fn main() -> i64 {
+      var a: u32[8];
+      for (var i: i64 = 0; i < 8; i = i + 1) { a[i] = (i * 10) as u32; }
+      return sum3(&a[3]); // 30 + 40 + 50
+    }
+  )";
+  EXPECT_EQ(evalProgram(Src), 120);
+}
+
+TEST(LangSemantics, AddressOfScalar) {
+  const char *Src = R"(
+    fn set(p: *i64, v: i64) { p[0] = v; }
+    fn main() -> i64 {
+      var x: i64 = 1;
+      set(&x, 42);
+      return x;
+    }
+  )";
+  EXPECT_EQ(evalProgram(Src), 42);
+}
+
+TEST(LangSemantics, PointerTablesInGlobals) {
+  const char *Src = R"(
+    global slots: *i64[4];
+    fn main() -> i64 {
+      slots[0] = new i64[2];
+      slots[2] = new i64[2];
+      var p: *i64 = slots[0];
+      p[0] = 11;
+      var q: *i64 = slots[2];
+      q[0] = 31;
+      var total: i64 = 0;
+      for (var i: i64 = 0; i < 4; i = i + 1) {
+        if (slots[i] != null) {
+          var r: *i64 = slots[i];
+          total = total + r[0];
+        }
+      }
+      delete slots[0];
+      delete slots[2];
+      return total;
+    }
+  )";
+  EXPECT_EQ(evalProgram(Src), 42);
+}
+
+TEST(LangSemantics, GlobalStringInitializer) {
+  const char *Src = R"(
+    global msg: u8[8] = "hi!";
+    fn main() -> i64 {
+      return (msg[0] as i64) * 1000000 + (msg[1] as i64) * 1000 +
+             (msg[2] as i64);
+    }
+  )";
+  EXPECT_EQ(evalProgram(Src), 'h' * 1000000 + 'i' * 1000 + '!');
+}
+
+TEST(LangSemantics, CharEscapes) {
+  EXPECT_EQ(evalProgram(mainOf("return '\\n' as i64;")), 10);
+  EXPECT_EQ(evalProgram(mainOf("return '\\x41' as i64;")), 65);
+  EXPECT_EQ(evalProgram(mainOf("return '\\0' as i64;")), 0);
+}
+
+TEST(LangSemantics, BoolArrays) {
+  const char *Src = R"(
+    fn main() -> i64 {
+      var seen: bool[16];
+      seen[3] = true;
+      seen[7] = true;
+      var n: i64 = 0;
+      for (var i: i64 = 0; i < 16; i = i + 1) {
+        if (seen[i]) { n = n + 1; }
+      }
+      return n;
+    }
+  )";
+  EXPECT_EQ(evalProgram(Src), 2);
+}
+
+TEST(LangSemantics, ScalarGlobalsDefaultZero) {
+  const char *Src = R"(
+    global counter: i64;
+    global flag: bool;
+    fn main() -> i64 {
+      if (flag) { return 0 - 1; }
+      counter = counter + 5;
+      return counter;
+    }
+  )";
+  EXPECT_EQ(evalProgram(Src), 5);
+}
+
+TEST(LangSemantics, ImplicitWideningSameSignedness) {
+  const char *Src = R"(
+    fn main() -> i64 {
+      var a: i16 = 1000;
+      var b: i64 = 0;
+      b = b + (a as i64);
+      var c: u8 = 7;
+      var d: u32 = 0;
+      d = d + c;          // Implicit u8 -> u32 widening.
+      return b + (d as i64);
+    }
+  )";
+  EXPECT_EQ(evalProgram(Src), 1007);
+}
+
+TEST(LangSemantics, HexLiterals) {
+  EXPECT_EQ(evalProgram(mainOf("return 0xff + 0x10;")), 271);
+  EXPECT_EQ(evalProgram(mainOf("return 0xABCD & 0xF0F0;")), 0xA0C0);
+}
+
+TEST(LangSemantics, ElseIfChains) {
+  const char *Src = R"(
+    fn classify(v: i64) -> i64 {
+      if (v < 10) { return 1; }
+      else if (v < 100) { return 2; }
+      else if (v < 1000) { return 3; }
+      else { return 4; }
+    }
+    fn main() -> i64 {
+      return classify(5) * 1000 + classify(50) * 100 + classify(500) * 10 +
+             classify(5000);
+    }
+  )";
+  EXPECT_EQ(evalProgram(Src), 1234);
+}
+
+TEST(LangSemantics, VoidFunctionsAndEarlyReturn) {
+  const char *Src = R"(
+    global out: i64[1];
+    fn record(v: i64) {
+      if (v < 0) { return; }
+      out[0] = out[0] + v;
+    }
+    fn main() -> i64 {
+      record(10);
+      record(0 - 5);
+      record(20);
+      return out[0];
+    }
+  )";
+  EXPECT_EQ(evalProgram(Src), 30);
+}
+
+TEST(LangSemantics, MissingReturnYieldsZero) {
+  // Falling off the end of a non-void function produces 0 (defined
+  // behaviour in MiniLang, unlike C).
+  EXPECT_EQ(evalProgram(mainOf("var x: i64 = 3;")), 0);
+}
+
+TEST(LangSemantics, ShadowingInNestedScopes) {
+  const char *Src = R"(
+    fn main() -> i64 {
+      var x: i64 = 1;
+      if (true) {
+        var y: i64 = x + 10;
+        x = y;
+      }
+      return x;
+    }
+  )";
+  EXPECT_EQ(evalProgram(Src), 11);
+}
+
+TEST(LangSemantics, SemaRejectsBadPrograms) {
+  auto Rejects = [](const char *Src, const char *Why) {
+    CompileResult R = compileMiniLang(Src);
+    EXPECT_FALSE(R.ok()) << Why;
+  };
+  Rejects("fn main() -> i64 { var x: u8 = 1; var y: i64 = x; return y; }",
+          "cross-signedness/width init without cast is rejected");
+  Rejects("fn main() -> i64 { if (1) { } return 0; }",
+          "if condition must be bool");
+  Rejects("fn f(a: i64) -> i64 { a = 2; return a; } fn main() -> i64 { "
+          "return f(1); }",
+          "parameters are immutable");
+  Rejects("fn main() -> i64 { var a: i64[4]; var b: i64[4]; a = b; "
+          "return 0; }",
+          "whole-array assignment is rejected");
+  Rejects("fn main() -> i64 { return null; }", "null is not an integer");
+  Rejects("fn main() -> i64 { var p: *u8 = new u8[4]; return p; }",
+          "pointer is not an integer result");
+  Rejects("fn main() -> i64 { var v: u8 = 300; return 0; }",
+          "literal out of range for u8");
+}

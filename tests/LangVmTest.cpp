@@ -1,0 +1,556 @@
+//===- LangVmTest.cpp - MiniLang frontend and VM tests ----------------------===//
+//
+// Compiles MiniLang programs and executes them on the concrete VM, checking
+// outputs, failure detection, threading, and trace recording/decoding.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lang/Codegen.h"
+#include "trace/Trace.h"
+#include "vm/Interpreter.h"
+
+#include <gtest/gtest.h>
+
+using namespace er;
+
+namespace {
+
+/// Compiles source or aborts the test.
+std::unique_ptr<Module> compile(const std::string &Src) {
+  CompileResult R = compileMiniLang(Src);
+  EXPECT_TRUE(R.ok()) << R.Error;
+  return std::move(R.M);
+}
+
+RunResult runProgram(Module &M, ProgramInput In = {},
+                     TraceRecorder *Rec = nullptr, VmConfig Cfg = VmConfig()) {
+  Interpreter VM(M, Cfg);
+  return VM.run(In, Rec);
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Lexer / parser diagnostics
+//===----------------------------------------------------------------------===//
+
+TEST(Lang, LexerError) {
+  CompileResult R = compileMiniLang("fn main() -> i64 { return 0; } @");
+  EXPECT_FALSE(R.ok());
+  EXPECT_NE(R.Error.find("unexpected character"), std::string::npos);
+}
+
+TEST(Lang, ParserError) {
+  CompileResult R = compileMiniLang("fn main() -> i64 { return 0 }");
+  EXPECT_FALSE(R.ok());
+}
+
+TEST(Lang, SemaUndeclared) {
+  CompileResult R = compileMiniLang("fn main() -> i64 { return xyz; }");
+  EXPECT_FALSE(R.ok());
+  EXPECT_NE(R.Error.find("undeclared"), std::string::npos);
+}
+
+TEST(Lang, SemaTypeMismatch) {
+  CompileResult R = compileMiniLang(
+      "fn main() -> i64 { var a: u8 = 1; var b: i64 = 2; return a + b; }");
+  EXPECT_FALSE(R.ok());
+}
+
+TEST(Lang, SemaRequiresMain) {
+  CompileResult R = compileMiniLang("fn helper() -> i64 { return 0; }");
+  EXPECT_FALSE(R.ok());
+  EXPECT_NE(R.Error.find("main"), std::string::npos);
+}
+
+TEST(Lang, BreakOutsideLoopRejected) {
+  CompileResult R = compileMiniLang("fn main() -> i64 { break; return 0; }");
+  EXPECT_FALSE(R.ok());
+}
+
+//===----------------------------------------------------------------------===//
+// Basic execution
+//===----------------------------------------------------------------------===//
+
+TEST(Vm, ArithmeticAndReturn) {
+  auto M = compile("fn main() -> i64 { return (3 + 4) * 5 - 1; }");
+  RunResult R = runProgram(*M);
+  EXPECT_EQ(R.Status, ExitStatus::Ok);
+  EXPECT_EQ(R.RetVal, 34u);
+}
+
+TEST(Vm, LocalsAndLoops) {
+  auto M = compile(R"(
+    fn main() -> i64 {
+      var sum: i64 = 0;
+      for (var i: i64 = 1; i <= 10; i = i + 1) {
+        if (i % 2 == 0) { continue; }
+        sum = sum + i;
+      }
+      return sum; // 1+3+5+7+9 = 25
+    }
+  )");
+  EXPECT_EQ(runProgram(*M).RetVal, 25u);
+}
+
+TEST(Vm, FunctionsAndRecursion) {
+  auto M = compile(R"(
+    fn fib(n: i64) -> i64 {
+      if (n < 2) { return n; }
+      return fib(n - 1) + fib(n - 2);
+    }
+    fn main() -> i64 { return fib(15); }
+  )");
+  EXPECT_EQ(runProgram(*M).RetVal, 610u);
+}
+
+TEST(Vm, GlobalsAndArrays) {
+  auto M = compile(R"(
+    global table: u32[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+    fn main() -> i64 {
+      var sum: u32 = 0;
+      for (var i: i64 = 0; i < 8; i = i + 1) {
+        sum = sum + table[i];
+      }
+      table[0] = sum;
+      return table[0] as i64;
+    }
+  )");
+  EXPECT_EQ(runProgram(*M).RetVal, 36u);
+}
+
+TEST(Vm, PointersAndHeap) {
+  auto M = compile(R"(
+    fn fill(p: *u8, n: i64) {
+      for (var i: i64 = 0; i < n; i = i + 1) { p[i] = (i * 3) as u8; }
+    }
+    fn main() -> i64 {
+      var buf: *u8 = new u8[16];
+      fill(buf, 16);
+      var v: i64 = buf[5] as i64;
+      delete buf;
+      return v;
+    }
+  )");
+  EXPECT_EQ(runProgram(*M).RetVal, 15u);
+}
+
+TEST(Vm, ShortCircuitEvaluation) {
+  auto M = compile(R"(
+    global hits: i64[1];
+    fn bump() -> bool { hits[0] = hits[0] + 1; return true; }
+    fn main() -> i64 {
+      var a: bool = false && bump();
+      var b: bool = true || bump();
+      if (a || !b) { return 99; }
+      return hits[0]; // Neither bump should have run.
+    }
+  )");
+  EXPECT_EQ(runProgram(*M).RetVal, 0u);
+}
+
+TEST(Vm, PrintOutput) {
+  auto M = compile(R"(
+    fn main() -> i64 {
+      print(42);
+      print('h'); print('i');
+      print(-7);
+      return 0;
+    }
+  )");
+  RunResult R = runProgram(*M);
+  EXPECT_EQ(R.Output, "42\nhi-7\n");
+}
+
+TEST(Vm, InputBytesAndArgs) {
+  auto M = compile(R"(
+    fn main() -> i64 {
+      var a: i64 = input_arg(0);
+      var total: i64 = a;
+      var n: i64 = input_size();
+      for (var i: i64 = 0; i < n; i = i + 1) {
+        total = total + (input_byte() as i64);
+      }
+      return total;
+    }
+  )");
+  ProgramInput In;
+  In.Args = {100};
+  In.Bytes = {1, 2, 3, 4};
+  EXPECT_EQ(runProgram(*M, In).RetVal, 110u);
+}
+
+//===----------------------------------------------------------------------===//
+// Failure detection
+//===----------------------------------------------------------------------===//
+
+TEST(Vm, DetectsNullDeref) {
+  auto M = compile(R"(
+    fn main() -> i64 {
+      var p: *u32 = null;
+      return p[0] as i64;
+    }
+  )");
+  RunResult R = runProgram(*M);
+  ASSERT_EQ(R.Status, ExitStatus::Failure);
+  EXPECT_EQ(R.Failure.Kind, FailureKind::NullDeref);
+}
+
+TEST(Vm, DetectsOutOfBounds) {
+  auto M = compile(R"(
+    global buf: u8[4];
+    fn main() -> i64 {
+      var i: i64 = input_arg(0);
+      buf[i] = 1;
+      return 0;
+    }
+  )");
+  ProgramInput In;
+  In.Args = {9};
+  RunResult R = runProgram(*M, In);
+  ASSERT_EQ(R.Status, ExitStatus::Failure);
+  EXPECT_EQ(R.Failure.Kind, FailureKind::OutOfBounds);
+
+  In.Args = {3};
+  EXPECT_EQ(runProgram(*M, In).Status, ExitStatus::Ok);
+}
+
+TEST(Vm, DetectsUseAfterFree) {
+  auto M = compile(R"(
+    fn main() -> i64 {
+      var p: *i64 = new i64[4];
+      delete p;
+      return p[0];
+    }
+  )");
+  RunResult R = runProgram(*M);
+  ASSERT_EQ(R.Status, ExitStatus::Failure);
+  EXPECT_EQ(R.Failure.Kind, FailureKind::UseAfterFree);
+}
+
+TEST(Vm, DetectsDoubleFree) {
+  auto M = compile(R"(
+    fn main() -> i64 {
+      var p: *i64 = new i64[4];
+      delete p;
+      delete p;
+      return 0;
+    }
+  )");
+  EXPECT_EQ(runProgram(*M).Failure.Kind, FailureKind::DoubleFree);
+}
+
+TEST(Vm, DetectsDivByZero) {
+  auto M = compile(R"(
+    fn main() -> i64 {
+      var d: i64 = input_arg(0);
+      return 100 / d;
+    }
+  )");
+  ProgramInput In;
+  In.Args = {0};
+  EXPECT_EQ(runProgram(*M, In).Failure.Kind, FailureKind::DivByZero);
+}
+
+TEST(Vm, AssertLowersToAbort) {
+  auto M = compile(R"(
+    fn main() -> i64 {
+      var x: i64 = input_arg(0);
+      assert(x < 10);
+      return x;
+    }
+  )");
+  ProgramInput In;
+  In.Args = {50};
+  RunResult R = runProgram(*M, In);
+  ASSERT_EQ(R.Status, ExitStatus::Failure);
+  EXPECT_EQ(R.Failure.Kind, FailureKind::Abort);
+}
+
+TEST(Vm, FailureIdentityMatchesAcrossRuns) {
+  auto M = compile(R"(
+    global buf: u8[4];
+    fn poke(i: i64) { buf[i] = 1; }
+    fn main() -> i64 {
+      poke(input_arg(0));
+      return 0;
+    }
+  )");
+  ProgramInput A;
+  A.Args = {100};
+  ProgramInput B;
+  B.Args = {200};
+  RunResult RA = runProgram(*M, A);
+  RunResult RB = runProgram(*M, B);
+  ASSERT_EQ(RA.Status, ExitStatus::Failure);
+  ASSERT_EQ(RB.Status, ExitStatus::Failure);
+  EXPECT_TRUE(RA.Failure.sameFailure(RB.Failure))
+      << "same crash site, different inputs";
+}
+
+TEST(Vm, InputUnderrunDetected) {
+  auto M = compile("fn main() -> i64 { return input_byte() as i64; }");
+  RunResult R = runProgram(*M);
+  EXPECT_EQ(R.Failure.Kind, FailureKind::InputUnderrun);
+}
+
+//===----------------------------------------------------------------------===//
+// Threads
+//===----------------------------------------------------------------------===//
+
+TEST(Vm, SpawnJoinComputesInParallel) {
+  auto M = compile(R"(
+    global results: i64[2];
+    fn worker(p: *i64) {
+      var id: i64 = p[0];
+      var sum: i64 = 0;
+      for (var i: i64 = 0; i < 1000; i = i + 1) { sum = sum + i; }
+      results[id] = sum + id;
+    }
+    fn main() -> i64 {
+      var a0: i64[1];
+      var a1: i64[1];
+      a0[0] = 0;
+      a1[0] = 1;
+      var t0: i64 = spawn(worker, a0);
+      var t1: i64 = spawn(worker, a1);
+      join(t0);
+      join(t1);
+      return results[0] + results[1];
+    }
+  )");
+  EXPECT_EQ(runProgram(*M).RetVal, 999001u); // 499500*2 + 1
+}
+
+TEST(Vm, MutexProtectsCounter) {
+  auto M = compile(R"(
+    global counter: i64[1];
+    fn worker(p: *i64) {
+      for (var i: i64 = 0; i < 200; i = i + 1) {
+        lock(1);
+        counter[0] = counter[0] + 1;
+        unlock(1);
+      }
+    }
+    fn main() -> i64 {
+      var d: i64[1];
+      var t0: i64 = spawn(worker, d);
+      var t1: i64 = spawn(worker, d);
+      join(t0);
+      join(t1);
+      return counter[0];
+    }
+  )");
+  EXPECT_EQ(runProgram(*M).RetVal, 400u);
+}
+
+TEST(Vm, DeadlockDetected) {
+  auto M = compile(R"(
+    fn worker(p: *i64) {
+      lock(1);
+      // Never unlocks.
+    }
+    fn main() -> i64 {
+      var d: i64[1];
+      var t: i64 = spawn(worker, d);
+      join(t);
+      lock(1);
+      return 0;
+    }
+  )");
+  RunResult R = runProgram(*M);
+  ASSERT_EQ(R.Status, ExitStatus::Failure);
+  EXPECT_EQ(R.Failure.Kind, FailureKind::Deadlock);
+}
+
+TEST(Vm, ScheduleSeedChangesInterleavingDeterministically) {
+  // A racy counter (no lock): different seeds may give different results,
+  // but the same seed must always give the same result.
+  auto Src = R"(
+    global counter: i64[1];
+    fn worker(p: *i64) {
+      for (var i: i64 = 0; i < 100; i = i + 1) {
+        var v: i64 = counter[0];
+        counter[0] = v + 1;
+      }
+    }
+    fn main() -> i64 {
+      var d: i64[1];
+      var t0: i64 = spawn(worker, d);
+      var t1: i64 = spawn(worker, d);
+      join(t0);
+      join(t1);
+      return counter[0];
+    }
+  )";
+  auto M = compile(Src);
+  VmConfig Cfg;
+  Cfg.ScheduleSeed = 7;
+  uint64_t First = runProgram(*M, {}, nullptr, Cfg).RetVal;
+  uint64_t Second = runProgram(*M, {}, nullptr, Cfg).RetVal;
+  EXPECT_EQ(First, Second) << "same seed must replay identically";
+}
+
+//===----------------------------------------------------------------------===//
+// Trace recording
+//===----------------------------------------------------------------------===//
+
+TEST(Trace, RoundTripsControlFlow) {
+  auto M = compile(R"(
+    fn main() -> i64 {
+      var n: i64 = 0;
+      for (var i: i64 = 0; i < 5; i = i + 1) { n = n + i; }
+      return n;
+    }
+  )");
+  TraceConfig TC;
+  TraceRecorder Rec(TC);
+  RunResult R = runProgram(*M, {}, &Rec);
+  EXPECT_EQ(R.Status, ExitStatus::Ok);
+
+  DecodedTrace D = Rec.decode();
+  ASSERT_EQ(D.Threads.size(), 1u);
+  const DecodedThread &T = D.Threads[0];
+  EXPECT_FALSE(T.TruncatedFront);
+
+  // Chunk instruction counts must cover the whole execution.
+  uint64_t ChunkInstrs = 0;
+  for (const auto &C : T.Chunks)
+    ChunkInstrs += C.NumInstrs;
+  EXPECT_EQ(ChunkInstrs, R.InstrCount);
+
+  // Conditional branches: loop condition evaluated 6 times per loop
+  // (5 taken + 1 not taken); count them in the event stream.
+  unsigned CondBranches = 0;
+  for (const auto &E : T.Events)
+    if (E.K == TraceEvent::Kind::CondBranch)
+      ++CondBranches;
+  EXPECT_GE(CondBranches, 6u);
+}
+
+TEST(Trace, PtwPacketsCarryValues) {
+  TraceConfig TC;
+  TraceRecorder Rec(TC);
+  Rec.beginThread(0);
+  Rec.ptWrite(0, 0xdeadbeef);
+  Rec.ptWrite(0, 0x123456789abcULL);
+  Rec.condBranch(0, true);
+  Rec.finish();
+  DecodedTrace D = Rec.decode();
+  ASSERT_EQ(D.Threads.size(), 1u);
+  std::vector<uint64_t> Data;
+  for (const auto &E : D.Threads[0].Events)
+    if (E.K == TraceEvent::Kind::Data)
+      Data.push_back(E.Value);
+  EXPECT_EQ(Data, (std::vector<uint64_t>{0xdeadbeef, 0x123456789abcULL}));
+}
+
+TEST(Trace, TntBitsPackSixPerByte) {
+  TraceConfig TC;
+  TraceRecorder Rec(TC);
+  Rec.beginThread(0);
+  for (int I = 0; I < 12; ++I)
+    Rec.condBranch(0, I % 3 == 0);
+  Rec.finish();
+  // 12 branches = exactly 2 TNT packets = 2 bytes.
+  EXPECT_EQ(Rec.getStats().TntPackets, 2u);
+  EXPECT_EQ(Rec.getStats().BytesWritten, 2u);
+  DecodedTrace D = Rec.decode();
+  ASSERT_EQ(D.Threads[0].Events.size(), 12u);
+  for (int I = 0; I < 12; ++I)
+    EXPECT_EQ(D.Threads[0].Events[I].Taken, I % 3 == 0) << I;
+}
+
+TEST(Trace, RingBufferEvictsOldest) {
+  TraceConfig TC;
+  TC.BufferBytes = 64; // Tiny ring.
+  TraceRecorder Rec(TC);
+  Rec.beginThread(0);
+  for (int I = 0; I < 200; ++I)
+    Rec.returnTarget(0, static_cast<uint32_t>(I));
+  Rec.finish();
+  DecodedTrace D = Rec.decode();
+  EXPECT_TRUE(D.Threads[0].TruncatedFront);
+  EXPECT_GT(Rec.getStats().EvictedBytes, 0u);
+  // The surviving events are the most recent ones.
+  ASSERT_FALSE(D.Threads[0].Events.empty());
+  EXPECT_EQ(D.Threads[0].Events.back().Value, 199u);
+}
+
+TEST(Trace, MultiThreadStreamsSeparate) {
+  auto M = compile(R"(
+    global acc: i64[2];
+    fn worker(p: *i64) {
+      for (var i: i64 = 0; i < 50; i = i + 1) { acc[1] = acc[1] + 1; }
+    }
+    fn main() -> i64 {
+      var d: i64[1];
+      var t: i64 = spawn(worker, d);
+      for (var i: i64 = 0; i < 50; i = i + 1) { acc[0] = acc[0] + 1; }
+      join(t);
+      return acc[0] + acc[1];
+    }
+  )");
+  TraceConfig TC;
+  TraceRecorder Rec(TC);
+  RunResult R = runProgram(*M, {}, &Rec);
+  EXPECT_EQ(R.RetVal, 100u);
+  DecodedTrace D = Rec.decode();
+  ASSERT_EQ(D.Threads.size(), 2u);
+  // Both threads produced chunks with timestamps.
+  EXPECT_FALSE(D.Threads[0].Chunks.empty());
+  EXPECT_FALSE(D.Threads[1].Chunks.empty());
+}
+
+//===----------------------------------------------------------------------===//
+// The paper's running example (Fig. 3)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+const char *Fig3Source = R"(
+// Fig. 3 of the ER paper, as a MiniLang program. foo's arguments arrive as
+// program inputs.
+global V: u32[256];
+
+fn foo(a: u32, b: u32, c: u32, d: u32) {
+  var x: u32 = a + b;
+  if ((x < 256 && c < 256) && d < 256) {
+    V[x] = 1;
+    if (V[c] == 0) {      // implies x != c
+      V[c] = 512;
+    }
+    V[V[x]] = x;
+    if (c < d) {          // implies d != c
+      if (V[V[d]] == x) {
+        abort("fig3 failure");
+      }
+    }
+  }
+}
+
+fn main() -> i64 {
+  foo(input_arg(0) as u32, input_arg(1) as u32,
+      input_arg(2) as u32, input_arg(3) as u32);
+  return 0;
+}
+)";
+
+} // namespace
+
+TEST(Fig3, FailsOnPaperInput) {
+  auto M = compile(Fig3Source);
+  ProgramInput In;
+  In.Args = {0, 2, 0, 2}; // foo(0,2,0,2) from Section 3.2.
+  RunResult R = runProgram(*M, In);
+  ASSERT_EQ(R.Status, ExitStatus::Failure);
+  EXPECT_EQ(R.Failure.Kind, FailureKind::Abort);
+  EXPECT_EQ(R.Failure.Message, "fig3 failure");
+}
+
+TEST(Fig3, BenignInputsPass) {
+  auto M = compile(Fig3Source);
+  ProgramInput In;
+  In.Args = {1, 2, 3, 4}; // x=3, V[V[4]]=V[0]=... no abort.
+  EXPECT_EQ(runProgram(*M, In).Status, ExitStatus::Ok);
+}

@@ -1,0 +1,147 @@
+//===- OptimizeTest.cpp - IR optimizer tests -----------------------------------===//
+
+#include "er/Driver.h"
+#include "ir/Optimize.h"
+#include "lang/Codegen.h"
+#include "support/Rng.h"
+#include "vm/Interpreter.h"
+
+#include <gtest/gtest.h>
+
+using namespace er;
+
+namespace {
+
+std::unique_ptr<Module> compile(const std::string &Src) {
+  CompileResult R = compileMiniLang(Src);
+  EXPECT_TRUE(R.ok()) << R.Error;
+  return std::move(R.M);
+}
+
+} // namespace
+
+TEST(Optimize, FoldsConstantsAndPrunesDeadCode) {
+  auto M = compile(R"(
+    fn main() -> i64 {
+      var unused: i64 = 3 * 7 + 2;   // Folds, then the store's value is
+      var x: i64 = 10 + 20;          // constant.
+      if (1 + 1 == 2) {
+        x = x + 5;
+      }
+      return x;
+    }
+  )");
+  unsigned Before = M->getStaticInstructionCount();
+  OptStats Stats = optimizeModule(*M);
+  EXPECT_GT(Stats.ConstantsFolded, 0u);
+  EXPECT_GT(Stats.BranchesSimplified, 0u);
+  std::string Err;
+  ASSERT_TRUE(verifyModule(*M, &Err)) << Err;
+  EXPECT_LT(M->getStaticInstructionCount(), Before);
+
+  Interpreter VM(*M, VmConfig());
+  EXPECT_EQ(VM.run(ProgramInput()).RetVal, 35u);
+}
+
+TEST(Optimize, PreservesDivisionTraps) {
+  auto M = compile(R"(
+    fn main() -> i64 {
+      var zero: i64 = 5 - 5;
+      return 100 / zero;
+    }
+  )");
+  optimizeModule(*M);
+  std::string Err;
+  ASSERT_TRUE(verifyModule(*M, &Err)) << Err;
+  Interpreter VM(*M, VmConfig());
+  RunResult RR = VM.run(ProgramInput());
+  ASSERT_EQ(RR.Status, ExitStatus::Failure);
+  EXPECT_EQ(RR.Failure.Kind, FailureKind::DivByZero)
+      << "the optimizer must not fold away runtime traps";
+}
+
+TEST(Optimize, SemanticEquivalenceOnRandomPrograms) {
+  // Property: for random inputs, the optimized module computes the same
+  // result (or the same failure) as the original.
+  Rng R(515);
+  for (int Round = 0; Round < 10; ++Round) {
+    const char *Src = R"(
+      global acc: i64[4];
+      fn step(v: i64, k: i64) -> i64 {
+        var t: i64 = (v * 3 + 7) & 1023;
+        acc[k & 3] = acc[k & 3] + t;
+        if (t > 512) { return t - 512; }
+        return t;
+      }
+      fn main() -> i64 {
+        var x: i64 = input_arg(0);
+        var out: i64 = 0;
+        for (var i: i64 = 0; i < 40; i = i + 1) {
+          out = out + step(x + i, i);
+        }
+        return out + 2 * 3;   // Foldable tail.
+      }
+    )";
+    auto MPlain = compile(Src);
+    auto MOpt = compile(Src);
+    optimizeModule(*MOpt);
+    std::string Err;
+    ASSERT_TRUE(verifyModule(*MOpt, &Err)) << Err;
+
+    ProgramInput In;
+    In.Args = {R.nextBounded(100000)};
+    Interpreter V1(*MPlain, VmConfig());
+    Interpreter V2(*MOpt, VmConfig());
+    RunResult R1 = V1.run(In);
+    RunResult R2 = V2.run(In);
+    ASSERT_EQ(R1.Status, R2.Status);
+    EXPECT_EQ(R1.RetVal, R2.RetVal) << "round " << Round;
+    EXPECT_LE(R2.InstrCount, R1.InstrCount)
+        << "optimization must not add work";
+  }
+}
+
+TEST(Optimize, ReconstructionWorksOnOptimizedModules) {
+  // The production deployment is optimized; ER must still reconstruct.
+  auto M = compile(R"(
+    global V: u32[64];
+    fn main() -> i64 {
+      var a: u32 = input_arg(0) as u32;
+      var b: u32 = input_arg(1) as u32;
+      var x: u32 = a + b + ((2 * 3 - 6) as u32);  // Foldable noise.
+      if (x < 64 && b < 64) {
+        V[x] = 1;
+        if (V[b] == 0) {
+          V[b] = 7;
+        }
+        if (V[V[x]] == 1) {
+          abort("optimized failure");
+        }
+      }
+      return 0;
+    }
+  )");
+  OptStats Stats = optimizeModule(*M);
+  EXPECT_GT(Stats.total(), 0u);
+
+  DriverConfig DC;
+  DC.Seed = 9;
+  ReconstructionDriver Driver(*M, DC);
+  ReconstructionReport Report = Driver.reconstruct([](Rng &Prod) {
+    ProgramInput In;
+    In.Args = {Prod.nextBounded(80), Prod.nextBounded(80)};
+    return In;
+  });
+  ASSERT_TRUE(Report.Success) << Report.FailureDetail;
+  Interpreter VM(*M, VmConfig());
+  RunResult RR = VM.run(Report.TestCase);
+  ASSERT_EQ(RR.Status, ExitStatus::Failure);
+  EXPECT_TRUE(RR.Failure.sameFailure(Report.Failure));
+}
+
+TEST(Optimize, IdempotentAtFixedPoint) {
+  auto M = compile("fn main() -> i64 { return 1 + 2 + 3; }");
+  optimizeModule(*M);
+  OptStats Second = optimizeModule(*M);
+  EXPECT_EQ(Second.total(), 0u) << "second run must find nothing";
+}
