@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_buffer_sensitivity.cpp" "bench/CMakeFiles/bench_buffer_sensitivity.dir/bench_buffer_sensitivity.cpp.o" "gcc" "bench/CMakeFiles/bench_buffer_sensitivity.dir/bench_buffer_sensitivity.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/er_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/er/CMakeFiles/er_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/er_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/invariants/CMakeFiles/er_invariants.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/er_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/symex/CMakeFiles/er_symex.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/er_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/er_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/er_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/er_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/er_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_spectra.dir/bench_fig1_spectra.cpp.o"
+  "CMakeFiles/bench_fig1_spectra.dir/bench_fig1_spectra.cpp.o.d"
+  "bench_fig1_spectra"
+  "bench_fig1_spectra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_spectra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mimic_localization.dir/bench_mimic_localization.cpp.o"
+  "CMakeFiles/bench_mimic_localization.dir/bench_mimic_localization.cpp.o.d"
+  "bench_mimic_localization"
+  "bench_mimic_localization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mimic_localization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

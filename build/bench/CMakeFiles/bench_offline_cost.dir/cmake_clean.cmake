@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_offline_cost.dir/bench_offline_cost.cpp.o"
+  "CMakeFiles/bench_offline_cost.dir/bench_offline_cost.cpp.o.d"
+  "bench_offline_cost"
+  "bench_offline_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_offline_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rept_accuracy.dir/bench_rept_accuracy.cpp.o"
+  "CMakeFiles/bench_rept_accuracy.dir/bench_rept_accuracy.cpp.o.d"
+  "bench_rept_accuracy"
+  "bench_rept_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rept_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/concurrent_reconstruction.dir/concurrent_reconstruction.cpp.o"
+  "CMakeFiles/concurrent_reconstruction.dir/concurrent_reconstruction.cpp.o.d"
+  "concurrent_reconstruction"
+  "concurrent_reconstruction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concurrent_reconstruction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/er_cli.dir/er_cli.cpp.o"
+  "CMakeFiles/er_cli.dir/er_cli.cpp.o.d"
+  "er_cli"
+  "er_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/er_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

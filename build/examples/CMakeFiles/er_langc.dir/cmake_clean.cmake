@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/er_langc.dir/er_langc.cpp.o"
+  "CMakeFiles/er_langc.dir/er_langc.cpp.o.d"
+  "er_langc"
+  "er_langc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/er_langc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sql_reconstruction.dir/sql_reconstruction.cpp.o"
+  "CMakeFiles/sql_reconstruction.dir/sql_reconstruction.cpp.o.d"
+  "sql_reconstruction"
+  "sql_reconstruction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sql_reconstruction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/er_baselines.dir/RecordReplay.cpp.o"
+  "CMakeFiles/er_baselines.dir/RecordReplay.cpp.o.d"
+  "CMakeFiles/er_baselines.dir/ReptRecovery.cpp.o"
+  "CMakeFiles/er_baselines.dir/ReptRecovery.cpp.o.d"
+  "liber_baselines.a"
+  "liber_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/er_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/er_core.dir/ConstraintGraph.cpp.o"
+  "CMakeFiles/er_core.dir/ConstraintGraph.cpp.o.d"
+  "CMakeFiles/er_core.dir/Driver.cpp.o"
+  "CMakeFiles/er_core.dir/Driver.cpp.o.d"
+  "CMakeFiles/er_core.dir/Instrumenter.cpp.o"
+  "CMakeFiles/er_core.dir/Instrumenter.cpp.o.d"
+  "CMakeFiles/er_core.dir/Selection.cpp.o"
+  "CMakeFiles/er_core.dir/Selection.cpp.o.d"
+  "liber_core.a"
+  "liber_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/er_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/er_invariants.dir/Invariants.cpp.o"
+  "CMakeFiles/er_invariants.dir/Invariants.cpp.o.d"
+  "liber_invariants.a"
+  "liber_invariants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/er_invariants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/er_ir.dir/Builder.cpp.o"
+  "CMakeFiles/er_ir.dir/Builder.cpp.o.d"
+  "CMakeFiles/er_ir.dir/IR.cpp.o"
+  "CMakeFiles/er_ir.dir/IR.cpp.o.d"
+  "CMakeFiles/er_ir.dir/Optimize.cpp.o"
+  "CMakeFiles/er_ir.dir/Optimize.cpp.o.d"
+  "CMakeFiles/er_ir.dir/Printer.cpp.o"
+  "CMakeFiles/er_ir.dir/Printer.cpp.o.d"
+  "CMakeFiles/er_ir.dir/Verifier.cpp.o"
+  "CMakeFiles/er_ir.dir/Verifier.cpp.o.d"
+  "liber_ir.a"
+  "liber_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/er_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

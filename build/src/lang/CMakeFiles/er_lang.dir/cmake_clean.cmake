@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/er_lang.dir/Ast.cpp.o"
+  "CMakeFiles/er_lang.dir/Ast.cpp.o.d"
+  "CMakeFiles/er_lang.dir/Codegen.cpp.o"
+  "CMakeFiles/er_lang.dir/Codegen.cpp.o.d"
+  "CMakeFiles/er_lang.dir/Lexer.cpp.o"
+  "CMakeFiles/er_lang.dir/Lexer.cpp.o.d"
+  "CMakeFiles/er_lang.dir/Parser.cpp.o"
+  "CMakeFiles/er_lang.dir/Parser.cpp.o.d"
+  "CMakeFiles/er_lang.dir/Sema.cpp.o"
+  "CMakeFiles/er_lang.dir/Sema.cpp.o.d"
+  "liber_lang.a"
+  "liber_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/er_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/solver/BitBlaster.cpp" "src/solver/CMakeFiles/er_solver.dir/BitBlaster.cpp.o" "gcc" "src/solver/CMakeFiles/er_solver.dir/BitBlaster.cpp.o.d"
+  "/root/repo/src/solver/Expr.cpp" "src/solver/CMakeFiles/er_solver.dir/Expr.cpp.o" "gcc" "src/solver/CMakeFiles/er_solver.dir/Expr.cpp.o.d"
+  "/root/repo/src/solver/Sat.cpp" "src/solver/CMakeFiles/er_solver.dir/Sat.cpp.o" "gcc" "src/solver/CMakeFiles/er_solver.dir/Sat.cpp.o.d"
+  "/root/repo/src/solver/Solver.cpp" "src/solver/CMakeFiles/er_solver.dir/Solver.cpp.o" "gcc" "src/solver/CMakeFiles/er_solver.dir/Solver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/er_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

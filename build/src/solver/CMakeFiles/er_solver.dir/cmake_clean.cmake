@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/er_solver.dir/BitBlaster.cpp.o"
+  "CMakeFiles/er_solver.dir/BitBlaster.cpp.o.d"
+  "CMakeFiles/er_solver.dir/Expr.cpp.o"
+  "CMakeFiles/er_solver.dir/Expr.cpp.o.d"
+  "CMakeFiles/er_solver.dir/Sat.cpp.o"
+  "CMakeFiles/er_solver.dir/Sat.cpp.o.d"
+  "CMakeFiles/er_solver.dir/Solver.cpp.o"
+  "CMakeFiles/er_solver.dir/Solver.cpp.o.d"
+  "liber_solver.a"
+  "liber_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/er_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/er_support.dir/Error.cpp.o"
+  "CMakeFiles/er_support.dir/Error.cpp.o.d"
+  "CMakeFiles/er_support.dir/Format.cpp.o"
+  "CMakeFiles/er_support.dir/Format.cpp.o.d"
+  "CMakeFiles/er_support.dir/Rng.cpp.o"
+  "CMakeFiles/er_support.dir/Rng.cpp.o.d"
+  "CMakeFiles/er_support.dir/Timer.cpp.o"
+  "CMakeFiles/er_support.dir/Timer.cpp.o.d"
+  "liber_support.a"
+  "liber_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/er_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

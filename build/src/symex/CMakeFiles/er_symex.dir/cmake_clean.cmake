@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/er_symex.dir/SymExecutor.cpp.o"
+  "CMakeFiles/er_symex.dir/SymExecutor.cpp.o.d"
+  "liber_symex.a"
+  "liber_symex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/er_symex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/er_trace.dir/OverheadModel.cpp.o"
+  "CMakeFiles/er_trace.dir/OverheadModel.cpp.o.d"
+  "CMakeFiles/er_trace.dir/Trace.cpp.o"
+  "CMakeFiles/er_trace.dir/Trace.cpp.o.d"
+  "liber_trace.a"
+  "liber_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/er_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

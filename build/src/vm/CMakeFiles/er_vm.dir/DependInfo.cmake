@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vm/Interpreter.cpp" "src/vm/CMakeFiles/er_vm.dir/Interpreter.cpp.o" "gcc" "src/vm/CMakeFiles/er_vm.dir/Interpreter.cpp.o.d"
+  "/root/repo/src/vm/Memory.cpp" "src/vm/CMakeFiles/er_vm.dir/Memory.cpp.o" "gcc" "src/vm/CMakeFiles/er_vm.dir/Memory.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/er_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/er_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/er_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/er_solver.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/er_vm.dir/Interpreter.cpp.o"
+  "CMakeFiles/er_vm.dir/Interpreter.cpp.o.d"
+  "CMakeFiles/er_vm.dir/Memory.cpp.o"
+  "CMakeFiles/er_vm.dir/Memory.cpp.o.d"
+  "liber_vm.a"
+  "liber_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/er_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

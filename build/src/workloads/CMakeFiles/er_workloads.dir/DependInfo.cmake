@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/BinToolBugs.cpp" "src/workloads/CMakeFiles/er_workloads.dir/BinToolBugs.cpp.o" "gcc" "src/workloads/CMakeFiles/er_workloads.dir/BinToolBugs.cpp.o.d"
+  "/root/repo/src/workloads/ConcurrencyBugs.cpp" "src/workloads/CMakeFiles/er_workloads.dir/ConcurrencyBugs.cpp.o" "gcc" "src/workloads/CMakeFiles/er_workloads.dir/ConcurrencyBugs.cpp.o.d"
+  "/root/repo/src/workloads/PhpBugs.cpp" "src/workloads/CMakeFiles/er_workloads.dir/PhpBugs.cpp.o" "gcc" "src/workloads/CMakeFiles/er_workloads.dir/PhpBugs.cpp.o.d"
+  "/root/repo/src/workloads/Registry.cpp" "src/workloads/CMakeFiles/er_workloads.dir/Registry.cpp.o" "gcc" "src/workloads/CMakeFiles/er_workloads.dir/Registry.cpp.o.d"
+  "/root/repo/src/workloads/ServerBugs.cpp" "src/workloads/CMakeFiles/er_workloads.dir/ServerBugs.cpp.o" "gcc" "src/workloads/CMakeFiles/er_workloads.dir/ServerBugs.cpp.o.d"
+  "/root/repo/src/workloads/SqliteBugs.cpp" "src/workloads/CMakeFiles/er_workloads.dir/SqliteBugs.cpp.o" "gcc" "src/workloads/CMakeFiles/er_workloads.dir/SqliteBugs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lang/CMakeFiles/er_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/er_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/er_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/er_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/er_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/er_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

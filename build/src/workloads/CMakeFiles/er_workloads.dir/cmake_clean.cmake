@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/er_workloads.dir/BinToolBugs.cpp.o"
+  "CMakeFiles/er_workloads.dir/BinToolBugs.cpp.o.d"
+  "CMakeFiles/er_workloads.dir/ConcurrencyBugs.cpp.o"
+  "CMakeFiles/er_workloads.dir/ConcurrencyBugs.cpp.o.d"
+  "CMakeFiles/er_workloads.dir/PhpBugs.cpp.o"
+  "CMakeFiles/er_workloads.dir/PhpBugs.cpp.o.d"
+  "CMakeFiles/er_workloads.dir/Registry.cpp.o"
+  "CMakeFiles/er_workloads.dir/Registry.cpp.o.d"
+  "CMakeFiles/er_workloads.dir/ServerBugs.cpp.o"
+  "CMakeFiles/er_workloads.dir/ServerBugs.cpp.o.d"
+  "CMakeFiles/er_workloads.dir/SqliteBugs.cpp.o"
+  "CMakeFiles/er_workloads.dir/SqliteBugs.cpp.o.d"
+  "liber_workloads.a"
+  "liber_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/er_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/BaselinesTest.cpp" "tests/CMakeFiles/er_tests.dir/BaselinesTest.cpp.o" "gcc" "tests/CMakeFiles/er_tests.dir/BaselinesTest.cpp.o.d"
+  "/root/repo/tests/ErCoreTest.cpp" "tests/CMakeFiles/er_tests.dir/ErCoreTest.cpp.o" "gcc" "tests/CMakeFiles/er_tests.dir/ErCoreTest.cpp.o.d"
+  "/root/repo/tests/FuzzPipelineTest.cpp" "tests/CMakeFiles/er_tests.dir/FuzzPipelineTest.cpp.o" "gcc" "tests/CMakeFiles/er_tests.dir/FuzzPipelineTest.cpp.o.d"
+  "/root/repo/tests/InvariantsTest.cpp" "tests/CMakeFiles/er_tests.dir/InvariantsTest.cpp.o" "gcc" "tests/CMakeFiles/er_tests.dir/InvariantsTest.cpp.o.d"
+  "/root/repo/tests/IrTraceTest.cpp" "tests/CMakeFiles/er_tests.dir/IrTraceTest.cpp.o" "gcc" "tests/CMakeFiles/er_tests.dir/IrTraceTest.cpp.o.d"
+  "/root/repo/tests/LangSemanticsTest.cpp" "tests/CMakeFiles/er_tests.dir/LangSemanticsTest.cpp.o" "gcc" "tests/CMakeFiles/er_tests.dir/LangSemanticsTest.cpp.o.d"
+  "/root/repo/tests/LangVmTest.cpp" "tests/CMakeFiles/er_tests.dir/LangVmTest.cpp.o" "gcc" "tests/CMakeFiles/er_tests.dir/LangVmTest.cpp.o.d"
+  "/root/repo/tests/OptimizeTest.cpp" "tests/CMakeFiles/er_tests.dir/OptimizeTest.cpp.o" "gcc" "tests/CMakeFiles/er_tests.dir/OptimizeTest.cpp.o.d"
+  "/root/repo/tests/SolverTest.cpp" "tests/CMakeFiles/er_tests.dir/SolverTest.cpp.o" "gcc" "tests/CMakeFiles/er_tests.dir/SolverTest.cpp.o.d"
+  "/root/repo/tests/SymexTest.cpp" "tests/CMakeFiles/er_tests.dir/SymexTest.cpp.o" "gcc" "tests/CMakeFiles/er_tests.dir/SymexTest.cpp.o.d"
+  "/root/repo/tests/WorkloadsTest.cpp" "tests/CMakeFiles/er_tests.dir/WorkloadsTest.cpp.o" "gcc" "tests/CMakeFiles/er_tests.dir/WorkloadsTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/er_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/er/CMakeFiles/er_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/er_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/invariants/CMakeFiles/er_invariants.dir/DependInfo.cmake"
+  "/root/repo/build/src/symex/CMakeFiles/er_symex.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/er_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/er_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/er_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/er_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/er_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/er_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/er_tests.dir/BaselinesTest.cpp.o"
+  "CMakeFiles/er_tests.dir/BaselinesTest.cpp.o.d"
+  "CMakeFiles/er_tests.dir/ErCoreTest.cpp.o"
+  "CMakeFiles/er_tests.dir/ErCoreTest.cpp.o.d"
+  "CMakeFiles/er_tests.dir/FuzzPipelineTest.cpp.o"
+  "CMakeFiles/er_tests.dir/FuzzPipelineTest.cpp.o.d"
+  "CMakeFiles/er_tests.dir/InvariantsTest.cpp.o"
+  "CMakeFiles/er_tests.dir/InvariantsTest.cpp.o.d"
+  "CMakeFiles/er_tests.dir/IrTraceTest.cpp.o"
+  "CMakeFiles/er_tests.dir/IrTraceTest.cpp.o.d"
+  "CMakeFiles/er_tests.dir/LangSemanticsTest.cpp.o"
+  "CMakeFiles/er_tests.dir/LangSemanticsTest.cpp.o.d"
+  "CMakeFiles/er_tests.dir/LangVmTest.cpp.o"
+  "CMakeFiles/er_tests.dir/LangVmTest.cpp.o.d"
+  "CMakeFiles/er_tests.dir/OptimizeTest.cpp.o"
+  "CMakeFiles/er_tests.dir/OptimizeTest.cpp.o.d"
+  "CMakeFiles/er_tests.dir/SolverTest.cpp.o"
+  "CMakeFiles/er_tests.dir/SolverTest.cpp.o.d"
+  "CMakeFiles/er_tests.dir/SymexTest.cpp.o"
+  "CMakeFiles/er_tests.dir/SymexTest.cpp.o.d"
+  "CMakeFiles/er_tests.dir/WorkloadsTest.cpp.o"
+  "CMakeFiles/er_tests.dir/WorkloadsTest.cpp.o.d"
+  "er_tests"
+  "er_tests.pdb"
+  "er_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/er_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
