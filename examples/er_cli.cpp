@@ -11,6 +11,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "er/Driver.h"
+#include "fleet/FleetScheduler.h"
 #include "support/Rng.h"
 #include "trace/OverheadModel.h"
 #include "vm/Interpreter.h"
@@ -19,13 +20,24 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <string>
+#include <sys/stat.h>
+#include <vector>
 
 using namespace er;
 
 static int usage() {
-  std::printf("usage: er_cli list\n"
-              "       er_cli run <BugId> [seed]\n"
-              "       er_cli trace <BugId>\n");
+  std::printf(
+      "usage: er_cli list\n"
+      "       er_cli run <BugId> [seed]\n"
+      "       er_cli trace <BugId>\n"
+      "       er_cli fleet [--jobs N] [--seed S] [--machines M] [--runs R]\n"
+      "                    [--bugs id,id,...] [--state FILE]\n"
+      "\n"
+      "fleet: simulate a deployment — M machines x R production runs per\n"
+      "workload feed a triage queue; deduplicated failure buckets are\n"
+      "reconstructed as N concurrent campaigns sharing a solver cache.\n"
+      "--state persists/resumes triage across invocations.\n");
   return 2;
 }
 
@@ -114,11 +126,150 @@ static int cmdTrace(const BugSpec &Spec) {
   return 1;
 }
 
+static int cmdFleet(int argc, char **argv) {
+  FleetConfig FC;
+  unsigned Machines = 3, RunsPerMachine = 400;
+  std::string StateFile;
+  std::vector<std::string> BugIds;
+
+  for (int I = 2; I < argc; ++I) {
+    auto NextArg = [&](const char *Flag) -> const char * {
+      if (I + 1 >= argc) {
+        std::printf("%s needs a value\n", Flag);
+        return nullptr;
+      }
+      return argv[++I];
+    };
+    if (!std::strcmp(argv[I], "--jobs")) {
+      const char *V = NextArg("--jobs");
+      if (!V)
+        return 2;
+      FC.Jobs = static_cast<unsigned>(std::strtoul(V, nullptr, 10));
+    } else if (!std::strcmp(argv[I], "--seed")) {
+      const char *V = NextArg("--seed");
+      if (!V)
+        return 2;
+      FC.RootSeed = std::strtoull(V, nullptr, 10);
+    } else if (!std::strcmp(argv[I], "--machines")) {
+      const char *V = NextArg("--machines");
+      if (!V)
+        return 2;
+      Machines = static_cast<unsigned>(std::strtoul(V, nullptr, 10));
+    } else if (!std::strcmp(argv[I], "--runs")) {
+      const char *V = NextArg("--runs");
+      if (!V)
+        return 2;
+      RunsPerMachine = static_cast<unsigned>(std::strtoul(V, nullptr, 10));
+    } else if (!std::strcmp(argv[I], "--state")) {
+      const char *V = NextArg("--state");
+      if (!V)
+        return 2;
+      StateFile = V;
+    } else if (!std::strcmp(argv[I], "--bugs")) {
+      const char *V = NextArg("--bugs");
+      if (!V)
+        return 2;
+      std::string S = V;
+      size_t Start = 0;
+      while (Start <= S.size()) {
+        size_t Comma = S.find(',', Start);
+        if (Comma == std::string::npos)
+          Comma = S.size();
+        if (Comma > Start)
+          BugIds.push_back(S.substr(Start, Comma - Start));
+        Start = Comma + 1;
+      }
+    } else {
+      std::printf("unknown fleet option '%s'\n", argv[I]);
+      return 2;
+    }
+  }
+
+  std::vector<const BugSpec *> Corpus;
+  if (BugIds.empty()) {
+    for (const auto &S : allBugSpecs())
+      Corpus.push_back(&S);
+  } else {
+    for (const auto &Id : BugIds) {
+      const BugSpec *S = findBug(Id);
+      if (!S) {
+        std::printf("unknown bug id '%s' (try: er_cli list)\n", Id.c_str());
+        return 2;
+      }
+      Corpus.push_back(S);
+    }
+  }
+
+  FleetScheduler Sched(FC);
+
+  if (!StateFile.empty()) {
+    struct stat St;
+    if (::stat(StateFile.c_str(), &St) == 0) {
+      std::string Err;
+      if (!Sched.loadState(StateFile, &Err)) {
+        std::printf("cannot resume from %s: %s\n", StateFile.c_str(),
+                    Err.c_str());
+        return 1;
+      }
+      std::printf("resumed %zu campaign(s) from %s\n", Sched.numCampaigns(),
+                  StateFile.c_str());
+    }
+  }
+
+  std::printf("harvesting: %u machine(s) x %u run(s) x %zu workload(s)...\n",
+              Machines, RunsPerMachine, Corpus.size());
+  unsigned Observed = 0;
+  for (unsigned Machine = 0; Machine < Machines; ++Machine)
+    for (const BugSpec *Spec : Corpus)
+      Observed += Sched.harvest(*Spec, RunsPerMachine, Machine);
+  std::printf("observed %u failure occurrence(s) in %zu bucket(s)\n\n",
+              Observed, Sched.numCampaigns());
+
+  FleetReport FR = Sched.run();
+
+  std::printf("%-18s %-22s %6s %7s %7s %-10s %s\n", "Signature", "BugId",
+              "Occur", "#Consum", "Symbex", "Result", "TestCase");
+  for (const Campaign &C : FR.Campaigns) {
+    const char *Result = !C.Completed           ? "pending"
+                         : C.Resumed            ? "resumed"
+                         : C.Report.Success     ? "reproduced"
+                                                : "failed";
+    std::printf("%-18s %-22s %6llu %7u %6.2fs %-10s %s\n",
+                C.Sig.hex().c_str(), C.BugId.c_str(),
+                (unsigned long long)C.Occurrences, C.Report.Occurrences,
+                C.Report.TotalSymexSeconds, Result,
+                C.Report.Success ? C.Report.TestCase.describe().c_str() : "-");
+  }
+  std::printf("\ncampaigns: %u run, %u resumed, %u reproduced; wall %.2fs "
+              "(%u jobs)\n",
+              FR.CampaignsRun, FR.CampaignsResumed, FR.Reproduced,
+              FR.WallSeconds, FR.Jobs);
+  std::printf("solver cache: %llu hits / %llu misses (%.1f%% hit rate), "
+              "%llu entries, %llu evictions\n",
+              (unsigned long long)FR.Cache.Hits,
+              (unsigned long long)FR.Cache.Misses, 100.0 * FR.Cache.hitRate(),
+              (unsigned long long)FR.Cache.Entries,
+              (unsigned long long)FR.Cache.Evictions);
+
+  if (!StateFile.empty()) {
+    std::string Err;
+    if (!Sched.saveState(StateFile, &Err)) {
+      std::printf("cannot save state to %s: %s\n", StateFile.c_str(),
+                  Err.c_str());
+      return 1;
+    }
+    std::printf("state saved to %s\n", StateFile.c_str());
+  }
+  return 0;
+}
+
 int main(int argc, char **argv) {
   if (argc < 2)
     return usage();
   if (!std::strcmp(argv[1], "list"))
     return cmdList();
+  if (!std::strcmp(argv[1], "fleet"))
+    return cmdFleet(argc, argv);
   if (argc >= 3) {
     const BugSpec *Spec = findBug(argv[2]);
     if (!Spec) {

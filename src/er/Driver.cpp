@@ -8,17 +8,33 @@
 #include "support/Rng.h"
 #include "support/Timer.h"
 
+#include <chrono>
+#include <thread>
+
 using namespace er;
+
+/// Simulates the production-side wait for one reoccurrence (no-op unless
+/// configured; sleeping keeps results bit-identical while letting a fleet
+/// scheduler overlap many campaigns' waits).
+static void waitForOccurrence(const DriverConfig &Config) {
+  if (Config.OccurrenceLatencySeconds <= 0)
+    return;
+  std::this_thread::sleep_for(std::chrono::duration<double>(
+      Config.OccurrenceLatencySeconds));
+}
 
 ReconstructionDriver::ReconstructionDriver(Module &M, DriverConfig Config)
     : M(M), Config(Config), Solver(Ctx, Config.Solver) {}
 
 ReconstructionReport
-ReconstructionDriver::reconstruct(const InputGenerator &Gen) {
+ReconstructionDriver::reconstruct(const InputGenerator &Gen,
+                                  const FailureRecord *TargetFailure) {
   ReconstructionReport Report;
   Rng ProdRng(Config.Seed);
-  bool HaveTarget = false;
+  bool HaveTarget = TargetFailure != nullptr;
   FailureRecord Target;
+  if (TargetFailure)
+    Target = *TargetFailure;
 
   // Optional warm-up: tracing disabled until the failure shows it recurs
   // (Section 3.1). These occurrences are observed but not analyzed.
@@ -44,6 +60,7 @@ ReconstructionDriver::reconstruct(const InputGenerator &Gen) {
       Report.FailureDetail = "failure did not reoccur within the run budget";
       return Report;
     }
+    waitForOccurrence(Config);
     ++Report.Occurrences;
     Report.Failure = Target;
   }
@@ -83,6 +100,7 @@ ReconstructionDriver::reconstruct(const InputGenerator &Gen) {
       return Report;
     }
 
+    waitForOccurrence(Config);
     ++Report.Occurrences;
     Report.Failure = Target;
     Report.FailingInstrCount = FailingRun.InstrCount;

@@ -52,6 +52,13 @@ struct DriverConfig {
   /// chunk timestamps, retry with this many alternative orders before
   /// consuming another occurrence.
   unsigned MaxTieBreakRetries = 3;
+  /// Fleet modeling: simulated wall-clock delay for one failure occurrence
+  /// to arrive from the deployment. In a real fleet the online phase is
+  /// dominated by waiting for the bug to reoccur in production (the paper
+  /// reports hours) — time that costs the reconstruction service no CPU.
+  /// The fleet throughput bench sets this so concurrent campaigns overlap
+  /// their waits; it never affects reconstruction results, only wall time.
+  double OccurrenceLatencySeconds = 0;
 };
 
 /// Telemetry for one iteration (one failure occurrence + one offline phase).
@@ -94,8 +101,12 @@ public:
   ReconstructionDriver(Module &M, DriverConfig Config);
 
   /// Runs the full loop until a validated test case is produced or a limit
-  /// is hit.
-  ReconstructionReport reconstruct(const InputGenerator &Gen);
+  /// is hit. By default the driver locks onto the first failure it
+  /// observes; a fleet campaign instead passes \p TargetFailure (matched by
+  /// FailureRecord::sameFailure) so occurrences of *other* bugs in the same
+  /// workload are ignored rather than hijacking the campaign.
+  ReconstructionReport reconstruct(const InputGenerator &Gen,
+                                   const FailureRecord *TargetFailure = nullptr);
 
   /// The expression context shared across iterations (exposed for tests
   /// and benches).

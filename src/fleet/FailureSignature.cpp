@@ -1,0 +1,52 @@
+//===- FailureSignature.cpp - Stable failure bucketing keys ----------------===//
+
+#include "fleet/FailureSignature.h"
+
+#include "support/Format.h"
+
+using namespace er;
+
+static uint64_t mix64(uint64_t X) {
+  X ^= X >> 30;
+  X *= 0xbf58476d1ce4e5b9ULL;
+  X ^= X >> 27;
+  X *= 0x94d049bb133111ebULL;
+  X ^= X >> 31;
+  return X;
+}
+
+FailureSignature FailureSignature::of(const FailureRecord &R) {
+  FailureSignature S;
+  S.Kind = R.Kind;
+  S.InstrGlobalId = R.InstrGlobalId;
+  S.CallStack = R.CallStack;
+
+  uint64_t D = mix64(0x5ca1ab1eULL ^ static_cast<uint64_t>(R.Kind));
+  D = mix64(D ^ R.InstrGlobalId);
+  // Chain the call path; include the length so [a] and [a, 0] differ.
+  D = mix64(D ^ R.CallStack.size());
+  for (unsigned Site : R.CallStack)
+    D = mix64(D ^ Site);
+  S.Digest = D;
+  return S;
+}
+
+bool FailureSignature::matches(const FailureRecord &R) const {
+  return Kind == R.Kind && InstrGlobalId == R.InstrGlobalId &&
+         CallStack == R.CallStack;
+}
+
+std::string FailureSignature::hex() const {
+  return formatString("%016llx", (unsigned long long)Digest);
+}
+
+std::string FailureSignature::describe() const {
+  std::string Path;
+  for (unsigned Site : CallStack) {
+    if (!Path.empty())
+      Path += ">";
+    Path += formatString("%u", Site);
+  }
+  return formatString("%s@%u[%s]#%s", failureKindName(Kind), InstrGlobalId,
+                      Path.c_str(), hex().c_str());
+}

@@ -1,0 +1,65 @@
+//===- FailureSignature.h - Stable failure bucketing keys -------*- C++ -*-===//
+///
+/// \file
+/// ER's premise is that the same production bug fails over and over across
+/// a large deployment (PAPER.md §1). The fleet service exploits that by
+/// collapsing every reoccurrence of "the same failure" into one *campaign*.
+/// The bucket key is a FailureSignature: a stable 64-bit digest over the
+/// failure kind, the faulting instruction, and the coarse call path leading
+/// to it — the same identity the paper's matcher uses ("matching the
+/// program counter and the call stack", §4), mirrored from
+/// FailureRecord::sameFailure.
+///
+/// Deliberately *excluded* from the signature: the failing thread id, the
+/// failure message, and anything input- or schedule-dependent. The same bug
+/// observed under two different schedule seeds (or on two different fleet
+/// machines) must land in the same bucket; two distinct bugs — different
+/// kind, site, or call path — must not.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ER_FLEET_FAILURESIGNATURE_H
+#define ER_FLEET_FAILURESIGNATURE_H
+
+#include "vm/Failure.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace er {
+
+/// Bucket key for one failure class across the fleet.
+struct FailureSignature {
+  /// Stable digest of (Kind, InstrGlobalId, CallStack); the triage map key.
+  uint64_t Digest = 0;
+
+  // The digested identity fields, kept for exact comparison (digest
+  // collisions must not merge distinct bugs) and for persistence.
+  FailureKind Kind = FailureKind::None;
+  unsigned InstrGlobalId = 0;
+  std::vector<unsigned> CallStack;
+
+  /// Builds the signature of one observed failure occurrence.
+  static FailureSignature of(const FailureRecord &R);
+
+  /// Exact identity (field-wise, not digest-wise).
+  bool operator==(const FailureSignature &O) const {
+    return Kind == O.Kind && InstrGlobalId == O.InstrGlobalId &&
+           CallStack == O.CallStack;
+  }
+  bool operator!=(const FailureSignature &O) const { return !(*this == O); }
+
+  /// True when \p R belongs to this bucket.
+  bool matches(const FailureRecord &R) const;
+
+  /// 16-hex-digit digest rendering (persistence and logs).
+  std::string hex() const;
+
+  /// Human-readable one-liner.
+  std::string describe() const;
+};
+
+} // namespace er
+
+#endif // ER_FLEET_FAILURESIGNATURE_H

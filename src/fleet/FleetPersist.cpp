@@ -1,0 +1,308 @@
+//===- FleetPersist.cpp - Campaign persistence ------------------------------===//
+
+#include "fleet/FleetPersist.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+using namespace er;
+
+static const char *MagicV1 = "er-fleet-state v1";
+
+//===----------------------------------------------------------------------===//
+// Save
+//===----------------------------------------------------------------------===//
+
+static void writeIdList(std::ostream &OS, const char *Key,
+                        const std::vector<unsigned> &Ids) {
+  OS << Key << ' ' << Ids.size();
+  for (unsigned Id : Ids)
+    OS << ' ' << Id;
+  OS << '\n';
+}
+
+static void writeFailure(std::ostream &OS, const FailureRecord &F) {
+  OS << "failure " << static_cast<unsigned>(F.Kind) << ' ' << F.InstrGlobalId
+     << ' ' << F.Tid << ' ' << F.CallStack.size();
+  for (unsigned Site : F.CallStack)
+    OS << ' ' << Site;
+  OS << '\n';
+  // Free-form strings go last on their own line: everything after the key
+  // and one space is the payload (newlines are squashed to spaces).
+  std::string Msg = F.Message;
+  for (char &C : Msg)
+    if (C == '\n' || C == '\r')
+      C = ' ';
+  OS << "message " << Msg << '\n';
+}
+
+bool er::saveFleetState(const std::string &Path, uint64_t RootSeed,
+                        const std::vector<const Campaign *> &Campaigns,
+                        std::string *Error) {
+  std::ofstream OS(Path, std::ios::trunc);
+  if (!OS) {
+    if (Error)
+      *Error = "cannot open '" + Path + "' for writing";
+    return false;
+  }
+
+  OS << MagicV1 << '\n';
+  OS << "rootseed " << RootSeed << '\n';
+  for (const Campaign *C : Campaigns) {
+    OS << "campaign " << C->Sig.hex() << '\n';
+    OS << "bug " << C->BugId << '\n';
+    OS << "sig " << static_cast<unsigned>(C->Sig.Kind) << ' '
+       << C->Sig.InstrGlobalId << ' ' << C->Sig.CallStack.size();
+    for (unsigned Site : C->Sig.CallStack)
+      OS << ' ' << Site;
+    OS << '\n';
+    OS << "occurrences " << C->Occurrences << '\n';
+    OS << "seed " << C->CampaignSeed << '\n';
+    OS << "completed " << (C->Completed ? 1 : 0) << '\n';
+    if (C->Completed) {
+      const ReconstructionReport &R = C->Report;
+      OS << "success " << (R.Success ? 1 : 0) << '\n';
+      OS << "occursconsumed " << R.Occurrences << '\n';
+      OS << "failinginstrs " << R.FailingInstrCount << '\n';
+      char Buf[64];
+      std::snprintf(Buf, sizeof(Buf), "%.6f", R.TotalSymexSeconds);
+      OS << "symexseconds " << Buf << '\n';
+      writeFailure(OS, R.Failure);
+      std::string Detail = R.FailureDetail;
+      for (char &Ch : Detail)
+        if (Ch == '\n' || Ch == '\r')
+          Ch = ' ';
+      OS << "detail " << Detail << '\n';
+      OS << "replayseed " << R.ReplayScheduleSeed << '\n';
+      OS << "testargs " << R.TestCase.Args.size();
+      for (uint64_t A : R.TestCase.Args)
+        OS << ' ' << A;
+      OS << '\n';
+      OS << "testbytes " << R.TestCase.Bytes.size() << ' ';
+      for (uint8_t B : R.TestCase.Bytes) {
+        char Hex[3];
+        std::snprintf(Hex, sizeof(Hex), "%02x", B);
+        OS << Hex;
+      }
+      OS << '\n';
+      writeIdList(OS, "recordingset", C->RecordingSet);
+    }
+    OS << "end\n";
+  }
+  if (!OS) {
+    if (Error)
+      *Error = "write to '" + Path + "' failed";
+    return false;
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Load
+//===----------------------------------------------------------------------===//
+
+namespace {
+/// Line-oriented reader with one-token keys.
+class Reader {
+public:
+  explicit Reader(std::istream &IS) : IS(IS) {}
+
+  /// Reads the next line; returns false at EOF.
+  bool nextLine() {
+    if (!std::getline(IS, Line))
+      return false;
+    ++LineNo;
+    Pos = 0;
+    return true;
+  }
+
+  std::string word() {
+    while (Pos < Line.size() && Line[Pos] == ' ')
+      ++Pos;
+    size_t Start = Pos;
+    while (Pos < Line.size() && Line[Pos] != ' ')
+      ++Pos;
+    return Line.substr(Start, Pos - Start);
+  }
+
+  bool u64(uint64_t &Out) {
+    std::string W = word();
+    if (W.empty())
+      return false;
+    char *End = nullptr;
+    Out = std::strtoull(W.c_str(), &End, 10);
+    return End && *End == '\0';
+  }
+
+  /// The rest of the current line after one separating space.
+  std::string rest() {
+    if (Pos < Line.size() && Line[Pos] == ' ')
+      ++Pos;
+    return Line.substr(Pos);
+  }
+
+  unsigned lineNo() const { return LineNo; }
+
+private:
+  std::istream &IS;
+  std::string Line;
+  size_t Pos = 0;
+  unsigned LineNo = 0;
+};
+} // namespace
+
+static bool fail(std::string *Error, unsigned LineNo, const std::string &Msg) {
+  if (Error)
+    *Error = "fleet state line " + std::to_string(LineNo) + ": " + Msg;
+  return false;
+}
+
+static bool readIdList(Reader &R, std::vector<unsigned> &Out,
+                       std::string *Error) {
+  uint64_t N = 0;
+  if (!R.u64(N))
+    return fail(Error, R.lineNo(), "expected id-list length");
+  Out.clear();
+  Out.reserve(N);
+  for (uint64_t I = 0; I < N; ++I) {
+    uint64_t V = 0;
+    if (!R.u64(V))
+      return fail(Error, R.lineNo(), "short id list");
+    Out.push_back(static_cast<unsigned>(V));
+  }
+  return true;
+}
+
+bool er::loadFleetState(const std::string &Path, uint64_t &RootSeed,
+                        std::vector<Campaign> &Campaigns, std::string *Error) {
+  std::ifstream IS(Path);
+  if (!IS) {
+    if (Error)
+      *Error = "cannot open '" + Path + "'";
+    return false;
+  }
+  Reader R(IS);
+
+  if (!R.nextLine() || R.rest() != MagicV1)
+    return fail(Error, R.lineNo(), "bad magic (want '" +
+                                       std::string(MagicV1) + "')");
+  if (!R.nextLine() || R.word() != "rootseed" || !R.u64(RootSeed))
+    return fail(Error, R.lineNo(), "expected 'rootseed <u64>'");
+
+  Campaigns.clear();
+  Campaign *C = nullptr;
+  while (R.nextLine()) {
+    std::string Key = R.word();
+    if (Key.empty())
+      continue;
+    if (Key == "campaign") {
+      Campaigns.emplace_back();
+      C = &Campaigns.back();
+      continue; // The hex digest is recomputed from the sig line.
+    }
+    if (!C)
+      return fail(Error, R.lineNo(), "'" + Key + "' outside a campaign");
+
+    uint64_t V = 0;
+    if (Key == "bug") {
+      C->BugId = R.rest();
+    } else if (Key == "sig") {
+      uint64_t Kind = 0, Instr = 0;
+      if (!R.u64(Kind) || !R.u64(Instr))
+        return fail(Error, R.lineNo(), "malformed sig");
+      FailureRecord F;
+      F.Kind = static_cast<FailureKind>(Kind);
+      F.InstrGlobalId = static_cast<unsigned>(Instr);
+      std::vector<unsigned> Stack;
+      if (!readIdList(R, Stack, Error))
+        return false;
+      F.CallStack = std::move(Stack);
+      C->Sig = FailureSignature::of(F);
+    } else if (Key == "occurrences") {
+      if (!R.u64(C->Occurrences))
+        return fail(Error, R.lineNo(), "malformed occurrences");
+    } else if (Key == "seed") {
+      if (!R.u64(C->CampaignSeed))
+        return fail(Error, R.lineNo(), "malformed seed");
+    } else if (Key == "completed") {
+      if (!R.u64(V))
+        return fail(Error, R.lineNo(), "malformed completed flag");
+      C->Completed = V != 0;
+    } else if (Key == "success") {
+      if (!R.u64(V))
+        return fail(Error, R.lineNo(), "malformed success flag");
+      C->Report.Success = V != 0;
+    } else if (Key == "occursconsumed") {
+      if (!R.u64(V))
+        return fail(Error, R.lineNo(), "malformed occursconsumed");
+      C->Report.Occurrences = static_cast<unsigned>(V);
+    } else if (Key == "failinginstrs") {
+      if (!R.u64(C->Report.FailingInstrCount))
+        return fail(Error, R.lineNo(), "malformed failinginstrs");
+    } else if (Key == "symexseconds") {
+      C->Report.TotalSymexSeconds = std::strtod(R.rest().c_str(), nullptr);
+    } else if (Key == "failure") {
+      uint64_t Kind = 0, Instr = 0, Tid = 0;
+      if (!R.u64(Kind) || !R.u64(Instr) || !R.u64(Tid))
+        return fail(Error, R.lineNo(), "malformed failure record");
+      C->Report.Failure.Kind = static_cast<FailureKind>(Kind);
+      C->Report.Failure.InstrGlobalId = static_cast<unsigned>(Instr);
+      C->Report.Failure.Tid = static_cast<uint32_t>(Tid);
+      if (!readIdList(R, C->Report.Failure.CallStack, Error))
+        return false;
+    } else if (Key == "message") {
+      C->Report.Failure.Message = R.rest();
+    } else if (Key == "detail") {
+      C->Report.FailureDetail = R.rest();
+    } else if (Key == "replayseed") {
+      if (!R.u64(C->Report.ReplayScheduleSeed))
+        return fail(Error, R.lineNo(), "malformed replayseed");
+    } else if (Key == "testargs") {
+      uint64_t N = 0;
+      if (!R.u64(N))
+        return fail(Error, R.lineNo(), "malformed testargs");
+      C->Report.TestCase.Args.clear();
+      for (uint64_t I = 0; I < N; ++I) {
+        if (!R.u64(V))
+          return fail(Error, R.lineNo(), "short testargs");
+        C->Report.TestCase.Args.push_back(V);
+      }
+    } else if (Key == "testbytes") {
+      uint64_t N = 0;
+      if (!R.u64(N))
+        return fail(Error, R.lineNo(), "malformed testbytes");
+      std::string Hex = R.word();
+      if (Hex.size() != N * 2)
+        return fail(Error, R.lineNo(), "testbytes length mismatch");
+      C->Report.TestCase.Bytes.clear();
+      C->Report.TestCase.Bytes.reserve(N);
+      for (uint64_t I = 0; I < N; ++I) {
+        auto Nibble = [](char Ch) -> int {
+          if (Ch >= '0' && Ch <= '9')
+            return Ch - '0';
+          if (Ch >= 'a' && Ch <= 'f')
+            return Ch - 'a' + 10;
+          if (Ch >= 'A' && Ch <= 'F')
+            return Ch - 'A' + 10;
+          return -1;
+        };
+        int Hi = Nibble(Hex[2 * I]), Lo = Nibble(Hex[2 * I + 1]);
+        if (Hi < 0 || Lo < 0)
+          return fail(Error, R.lineNo(), "bad hex in testbytes");
+        C->Report.TestCase.Bytes.push_back(
+            static_cast<uint8_t>((Hi << 4) | Lo));
+      }
+    } else if (Key == "recordingset") {
+      if (!readIdList(R, C->RecordingSet, Error))
+        return false;
+    } else if (Key == "end") {
+      C = nullptr;
+    } else {
+      // Unknown keys are skipped: newer writers may add fields.
+    }
+  }
+  if (C)
+    return fail(Error, R.lineNo(), "unterminated campaign (missing 'end')");
+  return true;
+}

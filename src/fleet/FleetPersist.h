@@ -1,0 +1,37 @@
+//===- FleetPersist.h - Campaign persistence ---------------------*- C++ -*-===//
+///
+/// \file
+/// Serialization of the fleet triage state to a line-oriented text format
+/// (see docs/FLEET.md for the grammar). A killed scheduler reloads the
+/// file and resumes: completed campaigns keep their reconstruction report,
+/// generated test case, and recording set; pending campaigns keep their
+/// occurrence counts and split seeds, so no failure occurrence is consumed
+/// twice.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ER_FLEET_FLEETPERSIST_H
+#define ER_FLEET_FLEETPERSIST_H
+
+#include "fleet/FleetScheduler.h"
+
+#include <string>
+#include <vector>
+
+namespace er {
+
+/// Writes \p Campaigns to \p Path. Returns false (and sets \p Error) on I/O
+/// failure.
+bool saveFleetState(const std::string &Path, uint64_t RootSeed,
+                    const std::vector<const Campaign *> &Campaigns,
+                    std::string *Error = nullptr);
+
+/// Parses \p Path into \p RootSeed / \p Campaigns. Returns false (and sets
+/// \p Error) on I/O failure or a malformed file.
+bool loadFleetState(const std::string &Path, uint64_t &RootSeed,
+                    std::vector<Campaign> &Campaigns,
+                    std::string *Error = nullptr);
+
+} // namespace er
+
+#endif // ER_FLEET_FLEETPERSIST_H

@@ -1,0 +1,210 @@
+//===- FleetScheduler.cpp - Fleet-wide reconstruction service --------------===//
+
+#include "fleet/FleetScheduler.h"
+
+#include "er/Instrumenter.h"
+#include "fleet/FleetPersist.h"
+#include "support/Timer.h"
+#include "vm/Interpreter.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+using namespace er;
+
+FleetScheduler::FleetScheduler(FleetConfig Config)
+    : Config(Config), Cache(Config.Cache) {
+  if (this->Config.Jobs == 0)
+    this->Config.Jobs = 1;
+}
+
+Campaign &FleetScheduler::campaignFor(const FailureSignature &Sig,
+                                      const std::string &BugId) {
+  auto &Chain = ByDigest[Sig.Digest];
+  for (size_t Idx : Chain)
+    if (Campaigns[Idx].Sig == Sig && Campaigns[Idx].BugId == BugId)
+      return Campaigns[Idx];
+
+  Campaign C;
+  C.Sig = Sig;
+  C.BugId = BugId;
+  // The seed depends only on (root seed, failure identity): any submission
+  // order, harvest interleaving, or job count reconstructs this bucket
+  // identically.
+  C.CampaignSeed = Rng(Config.RootSeed).split(Sig.Digest).next();
+  Chain.push_back(Campaigns.size());
+  Campaigns.push_back(std::move(C));
+  return Campaigns.back();
+}
+
+void FleetScheduler::submit(const FleetFailureReport &R) {
+  if (!R.Failure.isFailure())
+    return;
+  Campaign &C = campaignFor(FailureSignature::of(R.Failure), R.BugId);
+  ++C.Occurrences;
+}
+
+unsigned FleetScheduler::harvest(const BugSpec &Spec, unsigned Runs,
+                                 uint64_t MachineId) {
+  auto M = compileBug(Spec);
+  // Machine randomness: split by a digest of the machine id and workload,
+  // so adding machines or reordering the harvest never shifts another
+  // machine's stream.
+  uint64_t WorkloadSalt = 0;
+  for (char Ch : Spec.Id)
+    WorkloadSalt = WorkloadSalt * 131 + static_cast<unsigned char>(Ch);
+  Rng R = Rng(Config.RootSeed).split(MachineId ^ (WorkloadSalt << 20));
+
+  unsigned Observed = 0;
+  for (unsigned Run = 0; Run < Runs; ++Run) {
+    ProgramInput In = Spec.ProductionInput(R);
+    VmConfig VC = Config.DriverBase.Vm;
+    VC.ChunkSize = Spec.VmChunkSize;
+    VC.ScheduleSeed = R.next();
+    Interpreter VM(*M, VC);
+    RunResult RR = VM.run(In);
+    if (RR.Status != ExitStatus::Failure)
+      continue;
+    submit({Spec.Id, RR.Failure});
+    ++Observed;
+  }
+  return Observed;
+}
+
+std::vector<size_t> FleetScheduler::triageOrder() const {
+  std::vector<size_t> Order(Campaigns.size());
+  for (size_t I = 0; I < Order.size(); ++I)
+    Order[I] = I;
+  std::sort(Order.begin(), Order.end(), [this](size_t A, size_t B) {
+    const Campaign &CA = Campaigns[A], &CB = Campaigns[B];
+    if (CA.Occurrences != CB.Occurrences)
+      return CA.Occurrences > CB.Occurrences; // Hot buckets first.
+    if (CA.Sig.Digest != CB.Sig.Digest)
+      return CA.Sig.Digest < CB.Sig.Digest;
+    return CA.BugId < CB.BugId;
+  });
+  return Order;
+}
+
+void FleetScheduler::runCampaign(Campaign &C) {
+  const BugSpec *Spec = findBug(C.BugId);
+  if (!Spec) {
+    C.Report.FailureDetail = "unknown workload '" + C.BugId + "'";
+    C.Completed = true;
+    return;
+  }
+
+  // Per-campaign isolation: own module, own context/solver inside the
+  // driver. Only the (thread-safe) result cache is shared.
+  auto M = compileBug(*Spec);
+  DriverConfig DC = Config.DriverBase;
+  DC.Solver.WorkBudget = Spec->SolverWorkBudget;
+  DC.Vm.ChunkSize = Spec->VmChunkSize;
+  DC.Seed = C.CampaignSeed;
+  DC.Solver.SharedCache = Config.ShareSolverCache ? &Cache : nullptr;
+
+  FailureRecord Target;
+  Target.Kind = C.Sig.Kind;
+  Target.InstrGlobalId = C.Sig.InstrGlobalId;
+  Target.CallStack = C.Sig.CallStack;
+
+  ReconstructionDriver Driver(*M, DC);
+  C.Report = Driver.reconstruct(
+      [&](Rng &R) { return Spec->ProductionInput(R); }, &Target);
+
+  auto Sites = instrumentedSites(*M);
+  C.RecordingSet.assign(Sites.begin(), Sites.end());
+  std::sort(C.RecordingSet.begin(), C.RecordingSet.end());
+  C.Completed = true;
+}
+
+FleetReport FleetScheduler::run() {
+  Stopwatch Wall;
+  std::vector<size_t> Order = triageOrder();
+
+  // Worklist of pending campaigns, in triage order. Workers claim entries
+  // through one atomic cursor; each campaign slot is written by exactly one
+  // worker, so no further synchronization is needed on the results.
+  std::vector<size_t> Pending;
+  unsigned Resumed = 0;
+  for (size_t Idx : Order) {
+    if (Campaigns[Idx].Completed)
+      ++Resumed;
+    else
+      Pending.push_back(Idx);
+  }
+
+  // Force the (thread-safe, once-only) spec registry init before workers
+  // start, and keep worker count sane.
+  (void)allBugSpecs();
+  unsigned Jobs = std::max(1u, Config.Jobs);
+
+  std::atomic<size_t> Next{0};
+  auto Worker = [&] {
+    for (;;) {
+      size_t Slot = Next.fetch_add(1);
+      if (Slot >= Pending.size())
+        return;
+      runCampaign(Campaigns[Pending[Slot]]);
+    }
+  };
+
+  if (Jobs == 1 || Pending.size() <= 1) {
+    Worker();
+  } else {
+    std::vector<std::thread> Threads;
+    unsigned N = std::min<size_t>(Jobs, Pending.size());
+    Threads.reserve(N);
+    for (unsigned I = 0; I < N; ++I)
+      Threads.emplace_back(Worker);
+    for (auto &T : Threads)
+      T.join();
+  }
+
+  FleetReport FR;
+  FR.Jobs = Jobs;
+  FR.RootSeed = Config.RootSeed;
+  FR.CampaignsRun = static_cast<unsigned>(Pending.size());
+  FR.CampaignsResumed = Resumed;
+  FR.WallSeconds = Wall.seconds();
+  FR.Cache = Cache.getStats();
+  FR.Campaigns.reserve(Order.size());
+  for (size_t Idx : Order) {
+    FR.Campaigns.push_back(Campaigns[Idx]);
+    if (Campaigns[Idx].Report.Success)
+      ++FR.Reproduced;
+  }
+  return FR;
+}
+
+bool FleetScheduler::saveState(const std::string &Path,
+                               std::string *Error) const {
+  std::vector<const Campaign *> Ordered;
+  Ordered.reserve(Campaigns.size());
+  for (size_t Idx : triageOrder())
+    Ordered.push_back(&Campaigns[Idx]);
+  return saveFleetState(Path, Config.RootSeed, Ordered, Error);
+}
+
+bool FleetScheduler::loadState(const std::string &Path, std::string *Error) {
+  uint64_t RootSeed = 0;
+  std::vector<Campaign> Loaded;
+  if (!loadFleetState(Path, RootSeed, Loaded, Error))
+    return false;
+  for (Campaign &L : Loaded) {
+    Campaign &C = campaignFor(L.Sig, L.BugId);
+    // Merge: keep the larger occurrence count (this process may have
+    // harvested more since the save), and adopt the persisted seed so a
+    // resume is exact even under a different root seed.
+    C.Occurrences = std::max(C.Occurrences, L.Occurrences);
+    C.CampaignSeed = L.CampaignSeed;
+    if (L.Completed && !C.Completed) {
+      C.Completed = true;
+      C.Resumed = true;
+      C.Report = std::move(L.Report);
+      C.RecordingSet = std::move(L.RecordingSet);
+    }
+  }
+  return true;
+}

@@ -1,0 +1,143 @@
+//===- FleetScheduler.h - Fleet-wide reconstruction service -----*- C++ -*-===//
+///
+/// \file
+/// The fleet-side layer the paper assumes but the single-campaign driver
+/// lacks: a service that collects failure reports from many production
+/// machines, deduplicates them into per-bug *campaigns* via
+/// FailureSignature, triages the campaigns by how often each failure
+/// reoccurs, and runs up to N ReconstructionDriver campaigns concurrently.
+///
+/// Isolation and determinism:
+///  - Every campaign compiles its own Module and owns its own
+///    ExprContext/ConstraintSolver (neither is thread-safe); campaigns
+///    share *only* the sharded, thread-safe SolverResultCache, whose
+///    answers are byte-identical to fresh solves.
+///  - Each campaign's DriverConfig seed is derived once, at submission,
+///    with Rng::split(root seed, signature digest). Seeds therefore depend
+///    on *what* failed, never on scheduling order — the same root seed
+///    produces byte-identical per-campaign test cases at any --jobs level.
+///
+/// Persistence: saveState/loadState serialize the triage queue and every
+/// finished campaign (report, test case, recording set) to a line-oriented
+/// text format (docs/FLEET.md), so a killed scheduler resumes triage
+/// without re-consuming failure occurrences.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ER_FLEET_FLEETSCHEDULER_H
+#define ER_FLEET_FLEETSCHEDULER_H
+
+#include "er/Driver.h"
+#include "fleet/FailureSignature.h"
+#include "solver/SolverCache.h"
+#include "workloads/Workloads.h"
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace er {
+
+/// One failure occurrence reported by a fleet machine.
+struct FleetFailureReport {
+  std::string BugId; ///< Workload the machine was running.
+  FailureRecord Failure;
+};
+
+/// Service tuning.
+struct FleetConfig {
+  /// Concurrent reconstruction campaigns.
+  unsigned Jobs = 1;
+  /// Root seed; per-campaign seeds are split off it by signature digest.
+  uint64_t RootSeed = 20260807;
+  /// Base driver tuning; per-campaign knobs (solver budget, VM chunk size,
+  /// seed) are overridden from the campaign's BugSpec and signature.
+  DriverConfig DriverBase;
+  /// Share one memoizing solver cache across all campaigns.
+  bool ShareSolverCache = true;
+  SolverCacheConfig Cache;
+};
+
+/// One deduplicated failure bucket and (once run) its reconstruction.
+struct Campaign {
+  FailureSignature Sig;
+  std::string BugId;
+  /// Fleet-observed occurrence count — the triage priority.
+  uint64_t Occurrences = 0;
+  /// Seed split from the root seed by signature digest at submission.
+  uint64_t CampaignSeed = 0;
+  bool Completed = false;
+  /// Loaded from a persisted state file rather than run in this process.
+  bool Resumed = false;
+  ReconstructionReport Report;
+  /// Instrumented sites at campaign end (sorted) — the recording set that
+  /// produced the final trace, persisted so a resumed fleet can redeploy
+  /// the same instrumentation.
+  std::vector<unsigned> RecordingSet;
+};
+
+/// Outcome of one FleetScheduler::run().
+struct FleetReport {
+  /// All campaigns, in triage order (occurrence count desc).
+  std::vector<Campaign> Campaigns;
+  unsigned Jobs = 1;
+  uint64_t RootSeed = 0;
+  unsigned CampaignsRun = 0;     ///< Executed by this run().
+  unsigned CampaignsResumed = 0; ///< Skipped: completed in a prior life.
+  unsigned Reproduced = 0;       ///< Campaigns that generated a test case.
+  double WallSeconds = 0;
+  SolverCacheStats Cache;
+};
+
+/// Collects failure reports, triages them into campaigns, and runs the
+/// campaigns on a worker pool. Not itself thread-safe: submit/harvest/
+/// run/saveState are driven from one control thread; run() spawns and
+/// joins its own workers.
+class FleetScheduler {
+public:
+  explicit FleetScheduler(FleetConfig Config);
+
+  /// Records one failure occurrence, deduplicating by signature.
+  void submit(const FleetFailureReport &R);
+
+  /// Simulates one fleet machine: \p Runs production executions of
+  /// \p Spec, submitting every failure observed. Machine randomness is
+  /// split from the root seed by \p MachineId, so the harvest is
+  /// deterministic and machine-order-independent. Returns the number of
+  /// failures observed.
+  unsigned harvest(const BugSpec &Spec, unsigned Runs, uint64_t MachineId);
+
+  /// Runs every pending campaign on Config.Jobs workers and returns the
+  /// fleet-wide report. Already-completed (resumed) campaigns are not
+  /// re-run.
+  FleetReport run();
+
+  size_t numCampaigns() const { return Campaigns.size(); }
+  const std::vector<Campaign> &getCampaigns() const { return Campaigns; }
+  SolverCacheStats getCacheStats() const { return Cache.getStats(); }
+
+  /// Serializes the triage queue + finished campaigns to \p Path.
+  bool saveState(const std::string &Path, std::string *Error = nullptr) const;
+  /// Merges a previously saved state file: completed campaigns resume as
+  /// done, pending ones keep their occurrence counts and seeds.
+  bool loadState(const std::string &Path, std::string *Error = nullptr);
+
+private:
+  /// Indices of Campaigns in triage order: occurrence count descending,
+  /// digest then bug id as deterministic tie-breaks.
+  std::vector<size_t> triageOrder() const;
+  void runCampaign(Campaign &C);
+  Campaign &campaignFor(const FailureSignature &Sig, const std::string &BugId);
+
+  FleetConfig Config;
+  SolverResultCache Cache;
+  std::vector<Campaign> Campaigns;
+  /// Digest -> campaign indices (a chain, in case distinct signatures ever
+  /// share a digest).
+  std::unordered_map<uint64_t, std::vector<size_t>> ByDigest;
+};
+
+} // namespace er
+
+#endif // ER_FLEET_FLEETSCHEDULER_H

@@ -4,6 +4,7 @@
 
 #include "solver/BitBlaster.h"
 #include "solver/Sat.h"
+#include "solver/SolverCache.h"
 #include "support/Error.h"
 
 #include <cassert>
@@ -165,8 +166,60 @@ ExprRef ConstraintSolver::lowerArrays(ExprRef E, uint64_t Budget,
 
 QueryResult ConstraintSolver::checkSat(const std::vector<ExprRef> &Assertions,
                                        uint64_t BudgetOverride) {
-  ++Totals.Queries;
   uint64_t Budget = BudgetOverride ? BudgetOverride : Config.WorkBudget;
+  bool Deterministic = true;
+  if (!Config.SharedCache)
+    return checkSatUncached(Assertions, Budget, Deterministic);
+
+  QueryDigest D = SolverResultCache::digestQuery(
+      Ctx, Assertions, /*Enumerated=*/nullptr, /*MaxCount=*/0, Budget,
+      Config.ConflictCost, Config.PropagationCost);
+  CachedQueryResult Cached;
+  if (Config.SharedCache->lookup(D, Cached)) {
+    // Guard against digest collisions: a Sat hit must actually satisfy the
+    // assertions (cheap — evaluation, not solving). Unsat/Timeout hits rely
+    // on the 128-bit digest.
+    bool Valid = true;
+    if (Cached.Status == QueryStatus::Sat)
+      for (ExprRef A : Assertions)
+        if (!Ctx.evaluate(A, Cached.Model)) {
+          Valid = false;
+          break;
+        }
+    if (Valid) {
+      // Replay the totals a fresh solve would have charged, so stall
+      // accounting is identical with and without the cache.
+      ++Totals.Queries;
+      switch (Cached.Status) {
+      case QueryStatus::Sat:     ++Totals.SatQueries; break;
+      case QueryStatus::Unsat:   ++Totals.UnsatQueries; break;
+      case QueryStatus::Timeout: ++Totals.Timeouts; break;
+      }
+      Totals.TotalWork += Cached.WorkUsed;
+      QueryResult R;
+      R.Status = Cached.Status;
+      R.Model = std::move(Cached.Model);
+      R.WorkUsed = Cached.WorkUsed;
+      return R;
+    }
+  }
+
+  QueryResult R = checkSatUncached(Assertions, Budget, Deterministic);
+  if (Deterministic) {
+    CachedQueryResult Entry;
+    Entry.Status = R.Status;
+    Entry.Model = R.Model;
+    Entry.WorkUsed = R.WorkUsed;
+    Config.SharedCache->insert(D, Entry);
+  }
+  return R;
+}
+
+QueryResult
+ConstraintSolver::checkSatUncached(const std::vector<ExprRef> &Assertions,
+                                   uint64_t Budget, bool &Deterministic) {
+  ++Totals.Queries;
+  Deterministic = true;
   uint64_t Work = 0;
   QueryResult R;
 
@@ -237,6 +290,8 @@ QueryResult ConstraintSolver::checkSat(const std::vector<ExprRef> &Assertions,
     SB.Deadline = std::chrono::steady_clock::now() +
                   std::chrono::milliseconds(
                       static_cast<long>(Config.WallSecondsBudget * 1000));
+  uint64_t ConflictsBefore = Sat.getStats().Conflicts;
+  uint64_t PropsBefore = Sat.getStats().Propagations;
   SatStatus S = Sat.solve(SB);
   if (Debug)
     std::fprintf(stderr, "[solver] solved: status=%d conflicts=%llu props=%llu\n",
@@ -266,6 +321,11 @@ QueryResult ConstraintSolver::checkSat(const std::vector<ExprRef> &Assertions,
   case SatStatus::Unknown:
     ++Totals.Timeouts;
     R.Status = QueryStatus::Timeout;
+    // Unknown from the deterministic conflict/propagation caps is a
+    // reproducible outcome; Unknown from the wall-clock deadline is not.
+    Deterministic =
+        Sat.getStats().Conflicts - ConflictsBefore > SB.MaxConflicts ||
+        Sat.getStats().Propagations - PropsBefore > SB.MaxPropagations;
     return R;
   }
   fatalError("unknown SAT status");
@@ -296,6 +356,47 @@ QueryStatus ConstraintSolver::enumerateValues(
     return QueryStatus::Sat;
   }
 
+  uint64_t WorkUsed = 0;
+  bool Deterministic = true;
+  if (!Config.SharedCache)
+    return enumerateValuesUncached(Assertions, E, MaxCount, Out, Complete,
+                                   WorkUsed, Deterministic);
+
+  QueryDigest D = SolverResultCache::digestQuery(
+      Ctx, Assertions, E, MaxCount, Config.WorkBudget, Config.ConflictCost,
+      Config.PropagationCost);
+  CachedQueryResult Cached;
+  if (Config.SharedCache->lookup(D, Cached)) {
+    ++Totals.Queries;
+    Totals.TotalWork += Cached.WorkUsed;
+    if (Cached.Status == QueryStatus::Timeout)
+      ++Totals.Timeouts;
+    else
+      ++Totals.SatQueries;
+    Out.insert(Out.end(), Cached.Values.begin(), Cached.Values.end());
+    Complete = Cached.Complete;
+    return Cached.Status;
+  }
+
+  size_t OutStart = Out.size();
+  QueryStatus S = enumerateValuesUncached(Assertions, E, MaxCount, Out,
+                                          Complete, WorkUsed, Deterministic);
+  if (Deterministic) {
+    CachedQueryResult Entry;
+    Entry.Status = S;
+    Entry.Values.assign(Out.begin() + OutStart, Out.end());
+    Entry.Complete = Complete;
+    Entry.WorkUsed = WorkUsed;
+    Config.SharedCache->insert(D, Entry);
+  }
+  return S;
+}
+
+QueryStatus ConstraintSolver::enumerateValuesUncached(
+    const std::vector<ExprRef> &Assertions, ExprRef E, unsigned MaxCount,
+    std::vector<uint64_t> &Out, bool &Complete, uint64_t &WorkUsed,
+    bool &Deterministic) {
+  Deterministic = true;
   ++Totals.Queries;
   uint64_t Budget = Config.WorkBudget;
   uint64_t Work = 0;
@@ -309,6 +410,7 @@ QueryStatus ConstraintSolver::enumerateValues(
     if (!L) {
       ++Totals.Timeouts;
       Totals.TotalWork += Work;
+      WorkUsed = Work;
       return QueryStatus::Timeout;
     }
     if (!L->isTrue())
@@ -318,6 +420,7 @@ QueryStatus ConstraintSolver::enumerateValues(
   if (!LE) {
     ++Totals.Timeouts;
     Totals.TotalWork += Work;
+    WorkUsed = Work;
     return QueryStatus::Timeout;
   }
   if (LE->isConst()) {
@@ -325,6 +428,7 @@ QueryStatus ConstraintSolver::enumerateValues(
     Complete = true;
     Totals.TotalWork += Work;
     ++Totals.SatQueries;
+    WorkUsed = Work;
     return QueryStatus::Sat;
   }
 
@@ -337,6 +441,7 @@ QueryStatus ConstraintSolver::enumerateValues(
   if (!Ok || Work >= Budget) {
     ++Totals.Timeouts;
     Totals.TotalWork += Work;
+    WorkUsed = Work;
     return QueryStatus::Timeout;
   }
 
@@ -351,11 +456,19 @@ QueryStatus ConstraintSolver::enumerateValues(
     if (Config.WallSecondsBudget > 0)
       SB.Deadline = WallDeadline;
     uint64_t ConflictsBefore = Sat.getStats().Conflicts;
+    uint64_t PropsBefore = Sat.getStats().Propagations;
     SatStatus S = Sat.solve(SB);
     Work += (Sat.getStats().Conflicts - ConflictsBefore) * Config.ConflictCost;
     if (S == SatStatus::Unknown || Work >= Budget) {
       ++Totals.Timeouts;
       Totals.TotalWork += Work;
+      WorkUsed = Work;
+      // As in checkSat: only the deterministic caps make a Timeout
+      // memoizable; Unknown from the wall deadline must not be cached.
+      Deterministic =
+          Work >= Budget ||
+          Sat.getStats().Conflicts - ConflictsBefore > SB.MaxConflicts ||
+          Sat.getStats().Propagations - PropsBefore > SB.MaxPropagations;
       return QueryStatus::Timeout;
     }
     if (S == SatStatus::Unsat) {
@@ -368,5 +481,6 @@ QueryStatus ConstraintSolver::enumerateValues(
   }
   Totals.TotalWork += Work;
   ++Totals.SatQueries;
+  WorkUsed = Work;
   return QueryStatus::Sat;
 }

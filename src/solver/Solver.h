@@ -24,6 +24,8 @@
 
 namespace er {
 
+class SolverResultCache; // SolverCache.h
+
 /// Outcome of one solver query.
 enum class QueryStatus { Sat, Unsat, Timeout };
 
@@ -42,6 +44,13 @@ struct SolverConfig {
   /// Wall-clock ceiling per query, in seconds (the analog of the paper's
   /// 30s solver timeout; a backstop over the deterministic work budget).
   double WallSecondsBudget = 5.0;
+  /// Optional shared memoization cache consulted by checkSat and
+  /// enumerateValues. The cache is thread-safe and may be shared across
+  /// solvers on different threads (the fleet scheduler shares one across
+  /// all campaigns); it is not owned and must outlive the solver. Cached
+  /// answers are byte-identical to fresh solves, so enabling the cache
+  /// never changes reconstruction results — only their cost.
+  SolverResultCache *SharedCache = nullptr;
 };
 
 /// Result of a checkSat query.
@@ -96,6 +105,17 @@ public:
   ExprRef lowerArrays(ExprRef E, uint64_t Budget, uint64_t &Work);
 
 private:
+  /// The actual solve behind checkSat. \p Deterministic is cleared when the
+  /// outcome depended on the wall-clock backstop (such results must not be
+  /// memoized).
+  QueryResult checkSatUncached(const std::vector<ExprRef> &Assertions,
+                               uint64_t Budget, bool &Deterministic);
+  QueryStatus enumerateValuesUncached(const std::vector<ExprRef> &Assertions,
+                                      ExprRef E, unsigned MaxCount,
+                                      std::vector<uint64_t> &Out,
+                                      bool &Complete, uint64_t &WorkUsed,
+                                      bool &Deterministic);
+
   ExprRef lowerArraysImpl(ExprRef E, uint64_t Budget, uint64_t &Work,
                           std::unordered_map<ExprRef, ExprRef> &Memo);
   ExprRef lowerRead(ExprRef Array, ExprRef Index, uint64_t Budget,

@@ -1,0 +1,175 @@
+//===- SolverCache.cpp - Shared memoizing solver-result cache --------------===//
+
+#include "solver/SolverCache.h"
+
+#include "solver/Solver.h"
+
+#include <algorithm>
+
+using namespace er;
+
+SolverResultCache::SolverResultCache(SolverCacheConfig Config)
+    : Config(Config) {
+  if (this->Config.NumShards == 0)
+    this->Config.NumShards = 1;
+  if (this->Config.MaxEntriesPerShard == 0)
+    this->Config.MaxEntriesPerShard = 1;
+  Shards.reserve(this->Config.NumShards);
+  for (unsigned I = 0; I < this->Config.NumShards; ++I)
+    Shards.push_back(std::make_unique<Shard>());
+}
+
+bool SolverResultCache::lookup(const QueryDigest &D, CachedQueryResult &Out) {
+  Shard &S = shardFor(D);
+  std::lock_guard<std::mutex> Lock(S.Mu);
+  auto It = S.Map.find(D);
+  if (It == S.Map.end()) {
+    ++S.Misses;
+    return false;
+  }
+  ++S.Hits;
+  Out = It->second;
+  return true;
+}
+
+void SolverResultCache::insert(const QueryDigest &D,
+                               const CachedQueryResult &R) {
+  Shard &S = shardFor(D);
+  std::lock_guard<std::mutex> Lock(S.Mu);
+  auto [It, Inserted] = S.Map.try_emplace(D, R);
+  (void)It;
+  if (!Inserted)
+    return; // Another campaign solved the same query first.
+  S.InsertionOrder.push_back(D);
+  ++S.Insertions;
+  while (S.Map.size() > Config.MaxEntriesPerShard) {
+    S.Map.erase(S.InsertionOrder.front());
+    S.InsertionOrder.pop_front();
+    ++S.Evictions;
+  }
+}
+
+SolverCacheStats SolverResultCache::getStats() const {
+  SolverCacheStats Stats;
+  for (const auto &SPtr : Shards) {
+    Shard &S = *SPtr;
+    std::lock_guard<std::mutex> Lock(S.Mu);
+    Stats.Hits += S.Hits;
+    Stats.Misses += S.Misses;
+    Stats.Insertions += S.Insertions;
+    Stats.Evictions += S.Evictions;
+    Stats.Entries += S.Map.size();
+  }
+  return Stats;
+}
+
+void SolverResultCache::clear() {
+  for (const auto &SPtr : Shards) {
+    Shard &S = *SPtr;
+    std::lock_guard<std::mutex> Lock(S.Mu);
+    S.Map.clear();
+    S.InsertionOrder.clear();
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Digests
+//===----------------------------------------------------------------------===//
+
+static uint64_t mix64(uint64_t X) {
+  X ^= X >> 30;
+  X *= 0xbf58476d1ce4e5b9ULL;
+  X ^= X >> 27;
+  X *= 0x94d049bb133111ebULL;
+  X ^= X >> 31;
+  return X;
+}
+
+static void combine(QueryDigest &D, uint64_t V) {
+  // Two decorrelated lanes; Hi uses a different odd multiplier so a single
+  // 64-bit collision does not imply a 128-bit one.
+  D.Lo = mix64(D.Lo ^ (V + 0x9e3779b97f4a7c15ULL));
+  D.Hi = mix64(D.Hi * 0xff51afd7ed558ccdULL ^ (V + 0x2545f4914f6cdd1dULL));
+}
+
+QueryDigest
+SolverResultCache::digestExpr(const ExprContext &Ctx, ExprRef E,
+                              std::unordered_map<ExprRef, QueryDigest> &Memo) {
+  auto It = Memo.find(E);
+  if (It != Memo.end())
+    return It->second;
+
+  QueryDigest D;
+  combine(D, static_cast<uint64_t>(E->getKind()));
+  combine(D, (static_cast<uint64_t>(E->getWidth()) << 32) |
+                 (static_cast<uint64_t>(E->getElemWidth()) << 8) |
+                 E->getNumOps());
+  combine(D, E->getNumElems());
+
+  switch (E->getKind()) {
+  case ExprKind::Const:
+  case ExprKind::ConstArray:
+    combine(D, E->getConstVal());
+    break;
+  case ExprKind::Var:
+  case ExprKind::SymArray:
+    // Variable identity is the id: models are keyed by it, and campaigns
+    // construct their contexts deterministically, so equal ids + equal
+    // structure means an interchangeable query.
+    combine(D, E->getVarId());
+    break;
+  case ExprKind::DataArray:
+    // Concrete contents live in the context; the context-side index is
+    // meaningless across contexts, so digest the data itself.
+    for (uint64_t V : Ctx.getArrayData(E))
+      combine(D, V);
+    break;
+  default:
+    break;
+  }
+
+  for (unsigned I = 0; I < E->getNumOps(); ++I) {
+    QueryDigest Op = digestExpr(Ctx, E->getOp(I), Memo);
+    combine(D, Op.Lo);
+    combine(D, Op.Hi);
+  }
+
+  Memo.emplace(E, D);
+  return D;
+}
+
+QueryDigest SolverResultCache::digestQuery(
+    const ExprContext &Ctx, const std::vector<ExprRef> &Assertions,
+    ExprRef Enumerated, unsigned MaxCount, uint64_t Budget,
+    uint64_t ConflictCost, uint64_t PropagationCost) {
+  std::unordered_map<ExprRef, QueryDigest> Memo;
+  std::vector<std::pair<uint64_t, uint64_t>> Parts;
+  Parts.reserve(Assertions.size());
+  for (ExprRef A : Assertions) {
+    if (A->isTrue())
+      continue; // checkSat skips trivially-true conjuncts.
+    QueryDigest AD = digestExpr(Ctx, A, Memo);
+    Parts.emplace_back(AD.Lo, AD.Hi);
+  }
+  // Conjunction is order- and duplication-insensitive: normalize.
+  std::sort(Parts.begin(), Parts.end());
+  Parts.erase(std::unique(Parts.begin(), Parts.end()), Parts.end());
+
+  QueryDigest D;
+  combine(D, Parts.size());
+  for (const auto &[Lo, Hi] : Parts) {
+    combine(D, Lo);
+    combine(D, Hi);
+  }
+  if (Enumerated) {
+    QueryDigest ED = digestExpr(Ctx, Enumerated, Memo);
+    combine(D, 0xe17e5a7eULL); // Tag: enumeration query, not checkSat.
+    combine(D, ED.Lo);
+    combine(D, ED.Hi);
+    combine(D, MaxCount);
+  }
+  combine(D, Budget);
+  combine(D, ConflictCost);
+  combine(D, PropagationCost);
+  return D;
+}

@@ -1,0 +1,141 @@
+//===- SolverCache.h - Shared memoizing solver-result cache -----*- C++ -*-===//
+///
+/// \file
+/// A thread-safe, sharded memoization cache for solver queries, shared by
+/// many ConstraintSolver instances running on different threads (one per
+/// fleet reconstruction campaign — see docs/FLEET.md).
+///
+/// Queries are keyed by a *normalized constraint-set digest*: a 128-bit
+/// structural hash over the assertion set (order-insensitive, duplicates
+/// dropped), the queried expression (for value enumeration), and the
+/// effective work budget and cost model. The digest is computed from
+/// expression *structure* — kinds, widths, constants, variable ids, and
+/// concrete array contents — never from pointer values, so identical
+/// queries issued from distinct ExprContexts collapse to the same key.
+///
+/// Only deterministic outcomes are cached: Sat/Unsat results always are,
+/// Timeout results only when the deterministic work budget (not the
+/// wall-clock backstop) was exhausted. A cached result is therefore
+/// byte-identical to what a fresh solve would produce, which is what makes
+/// consulting the cache transparent to reconstruction determinism.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ER_SOLVER_SOLVERCACHE_H
+#define ER_SOLVER_SOLVERCACHE_H
+
+#include "solver/Expr.h"
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace er {
+
+enum class QueryStatus; // Solver.h
+
+/// Tuning for the shared cache.
+struct SolverCacheConfig {
+  /// Number of independently locked shards; queries hash-partition across
+  /// them so concurrent campaigns rarely contend.
+  unsigned NumShards = 16;
+  /// Per-shard entry cap; the oldest entry is evicted on overflow.
+  size_t MaxEntriesPerShard = 4096;
+};
+
+/// Aggregate counters (surfaced in FleetReport).
+struct SolverCacheStats {
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+  uint64_t Insertions = 0;
+  uint64_t Evictions = 0;
+  uint64_t Entries = 0;
+  double hitRate() const {
+    uint64_t Total = Hits + Misses;
+    return Total ? static_cast<double>(Hits) / static_cast<double>(Total) : 0;
+  }
+};
+
+/// 128-bit query key.
+struct QueryDigest {
+  uint64_t Lo = 0;
+  uint64_t Hi = 0;
+  bool operator==(const QueryDigest &O) const {
+    return Lo == O.Lo && Hi == O.Hi;
+  }
+};
+
+/// A memoized query outcome. checkSat entries carry a model; enumerateValues
+/// entries carry the enumerated values and completeness flag. WorkUsed is
+/// replayed into the consulting solver's totals so budget accounting is
+/// identical with and without the cache.
+struct CachedQueryResult {
+  QueryStatus Status;
+  Assignment Model;
+  std::vector<uint64_t> Values;
+  bool Complete = false;
+  uint64_t WorkUsed = 0;
+};
+
+/// Thread-safe sharded memoization cache. Instances are expected to outlive
+/// every solver configured to consult them.
+class SolverResultCache {
+public:
+  explicit SolverResultCache(SolverCacheConfig Config = SolverCacheConfig());
+
+  /// Looks up \p D; on hit copies the entry into \p Out and returns true.
+  bool lookup(const QueryDigest &D, CachedQueryResult &Out);
+
+  /// Inserts \p R under \p D (first-writer-wins; a racing duplicate insert
+  /// is dropped). Evicts the shard's oldest entry when full.
+  void insert(const QueryDigest &D, const CachedQueryResult &R);
+
+  /// Snapshot of the aggregate counters.
+  SolverCacheStats getStats() const;
+
+  void clear();
+
+  //===--- Digest computation ---------------------------------------------===
+  /// Structural 128-bit digest of \p E. \p Ctx supplies concrete DataArray
+  /// contents; \p Memo (per caller, keyed by node pointer) makes the
+  /// traversal linear in DAG size.
+  static QueryDigest
+  digestExpr(const ExprContext &Ctx, ExprRef E,
+             std::unordered_map<ExprRef, QueryDigest> &Memo);
+
+  /// Normalized digest of a whole query: assertion digests are sorted and
+  /// deduplicated (conjunction is order- and duplication-insensitive), then
+  /// combined with the optional enumerated expression \p Enumerated /
+  /// \p MaxCount and the effective budget and cost model.
+  static QueryDigest
+  digestQuery(const ExprContext &Ctx, const std::vector<ExprRef> &Assertions,
+              ExprRef Enumerated, unsigned MaxCount, uint64_t Budget,
+              uint64_t ConflictCost, uint64_t PropagationCost);
+
+private:
+  struct Shard {
+    std::mutex Mu;
+    struct KeyHash {
+      size_t operator()(const QueryDigest &D) const {
+        return static_cast<size_t>(D.Lo ^ (D.Hi * 0x9e3779b97f4a7c15ULL));
+      }
+    };
+    std::unordered_map<QueryDigest, CachedQueryResult, KeyHash> Map;
+    std::deque<QueryDigest> InsertionOrder;
+    uint64_t Hits = 0, Misses = 0, Insertions = 0, Evictions = 0;
+  };
+
+  Shard &shardFor(const QueryDigest &D) {
+    return *Shards[static_cast<size_t>(D.Hi) % Shards.size()];
+  }
+
+  SolverCacheConfig Config;
+  std::vector<std::unique_ptr<Shard>> Shards;
+};
+
+} // namespace er
+
+#endif // ER_SOLVER_SOLVERCACHE_H

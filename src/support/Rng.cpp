@@ -57,6 +57,19 @@ double Rng::nextDouble() {
   return static_cast<double>(next() >> 11) * 0x1.0p-53;
 }
 
+Rng Rng::split(uint64_t Stream) const {
+  // Fold the stream id into every state word through the splitmix64
+  // finalizer; the child is then reseeded from the folded value, so child
+  // states are decorrelated from both the parent and sibling streams.
+  uint64_t S = Stream ^ 0xa0761d6478bd642fULL;
+  uint64_t Acc = splitmix64(S);
+  for (uint64_t Word : State) {
+    S ^= Word;
+    Acc = rotl(Acc, 23) ^ splitmix64(S);
+  }
+  return Rng(Acc);
+}
+
 bool Rng::nextBool(double P) {
   if (P <= 0)
     return false;

@@ -37,6 +37,14 @@ public:
   /// Returns true with probability \p P (clamped to [0,1]).
   bool nextBool(double P = 0.5);
 
+  /// Derives an independent child generator for stream \p Stream from this
+  /// generator's current state, without advancing it. The same (state,
+  /// stream) pair always yields the same child, and distinct streams yield
+  /// statistically independent sequences — use one root Rng plus one stream
+  /// id per campaign/machine to get reproducible parallel randomness that
+  /// does not depend on scheduling order.
+  Rng split(uint64_t Stream) const;
+
 private:
   uint64_t State[4];
 };
