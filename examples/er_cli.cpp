@@ -5,6 +5,9 @@
 //   er_cli list                 show the 13 evaluation bugs
 //   er_cli run <BugId> [seed]   run the full ER loop on one bug
 //   er_cli trace <BugId>        show trace statistics for one failing run
+//   er_cli fleet ...            in-process deployment simulation
+//   er_cli report ...           one production machine -> spool directory
+//   er_cli collect ...          drain a spool into a fleet run
 //
 // Build & run:  ./build/examples/er_cli list
 //
@@ -12,6 +15,8 @@
 
 #include "er/Driver.h"
 #include "fleet/FleetScheduler.h"
+#include "ingest/ReportCollector.h"
+#include "ingest/ReportSpool.h"
 #include "support/Rng.h"
 #include "trace/OverheadModel.h"
 #include "vm/Interpreter.h"
@@ -31,13 +36,24 @@ static int usage() {
       "usage: er_cli list\n"
       "       er_cli run <BugId> [seed]\n"
       "       er_cli trace <BugId>\n"
-      "       er_cli fleet [--jobs N] [--seed S] [--machines M] [--runs R]\n"
-      "                    [--bugs id,id,...] [--state FILE]\n"
+      "       er_cli fleet   [--jobs N] [--seed S] [--machines M] [--runs R]\n"
+      "                      [--bugs id,id,...] [--state FILE]\n"
+      "       er_cli report  --spool DIR --machine ID [--runs R] [--seed S]\n"
+      "                      [--bugs id,id,...] [--first-seq N]\n"
+      "       er_cli collect --spool DIR [--jobs N] [--seed S] [--state FILE]\n"
+      "                      [--max-pending N] [--keep-drained]\n"
       "\n"
       "fleet: simulate a deployment — M machines x R production runs per\n"
       "workload feed a triage queue; deduplicated failure buckets are\n"
       "reconstructed as N concurrent campaigns sharing a solver cache.\n"
-      "--state persists/resumes triage across invocations.\n");
+      "--state persists/resumes triage across invocations.\n"
+      "\n"
+      "report/collect: the cross-process path (docs/INGEST.md). `report`\n"
+      "runs ONE production machine and appends its failures to a spool\n"
+      "directory; `collect` drains the spool (validating, quarantining,\n"
+      "deduplicating) into the same triage + campaign pipeline. Draining\n"
+      "what machines 0..M-1 reported reproduces `fleet --machines M`\n"
+      "byte-for-byte.\n");
   return 2;
 }
 
@@ -126,6 +142,99 @@ static int cmdTrace(const BugSpec &Spec) {
   return 1;
 }
 
+/// Splits a comma-separated --bugs value.
+static void splitBugList(const char *V, std::vector<std::string> &BugIds) {
+  std::string S = V;
+  size_t Start = 0;
+  while (Start <= S.size()) {
+    size_t Comma = S.find(',', Start);
+    if (Comma == std::string::npos)
+      Comma = S.size();
+    if (Comma > Start)
+      BugIds.push_back(S.substr(Start, Comma - Start));
+    Start = Comma + 1;
+  }
+}
+
+/// Resolves --bugs ids (or, empty, the whole corpus) to specs; false and a
+/// message on an unknown id.
+static bool resolveCorpus(const std::vector<std::string> &BugIds,
+                          std::vector<const BugSpec *> &Corpus) {
+  if (BugIds.empty()) {
+    for (const auto &S : allBugSpecs())
+      Corpus.push_back(&S);
+    return true;
+  }
+  for (const auto &Id : BugIds) {
+    const BugSpec *S = findBug(Id);
+    if (!S) {
+      std::printf("unknown bug id '%s' (try: er_cli list)\n", Id.c_str());
+      return false;
+    }
+    Corpus.push_back(S);
+  }
+  return true;
+}
+
+/// Loads --state if the file exists (a missing file is a fresh start).
+static bool resumeStateIfPresent(FleetScheduler &Sched,
+                                 const std::string &StateFile) {
+  if (StateFile.empty())
+    return true;
+  struct stat St;
+  if (::stat(StateFile.c_str(), &St) != 0)
+    return true;
+  std::string Err;
+  if (!Sched.loadState(StateFile, &Err)) {
+    std::printf("cannot resume from %s: %s\n", StateFile.c_str(), Err.c_str());
+    return false;
+  }
+  std::printf("resumed %zu campaign(s) from %s\n", Sched.numCampaigns(),
+              StateFile.c_str());
+  return true;
+}
+
+/// The per-campaign triage table + summary shared by `fleet` and `collect`.
+static void printFleetReport(const FleetReport &FR) {
+  std::printf("%-18s %-22s %6s %7s %7s %-10s %s\n", "Signature", "BugId",
+              "Occur", "#Consum", "Symbex", "Result", "TestCase");
+  for (const Campaign &C : FR.Campaigns) {
+    const char *Result = !C.Completed           ? "pending"
+                         : C.Resumed            ? "resumed"
+                         : C.Report.Success     ? "reproduced"
+                                                : "failed";
+    std::printf("%-18s %-22s %6llu %7u %6.2fs %-10s %s\n",
+                C.Sig.hex().c_str(), C.BugId.c_str(),
+                (unsigned long long)C.Occurrences, C.Report.Occurrences,
+                C.Report.TotalSymexSeconds, Result,
+                C.Report.Success ? C.Report.TestCase.describe().c_str() : "-");
+  }
+  std::printf("\ncampaigns: %u run, %u resumed, %u reproduced; wall %.2fs "
+              "(%u jobs)\n",
+              FR.CampaignsRun, FR.CampaignsResumed, FR.Reproduced,
+              FR.WallSeconds, FR.Jobs);
+  std::printf("solver cache: %llu hits / %llu misses (%.1f%% hit rate), "
+              "%llu entries, %llu evictions\n",
+              (unsigned long long)FR.Cache.Hits,
+              (unsigned long long)FR.Cache.Misses, 100.0 * FR.Cache.hitRate(),
+              (unsigned long long)FR.Cache.Entries,
+              (unsigned long long)FR.Cache.Evictions);
+}
+
+static int saveStateIfRequested(FleetScheduler &Sched,
+                                const std::string &StateFile) {
+  if (StateFile.empty())
+    return 0;
+  std::string Err;
+  if (!Sched.saveState(StateFile, &Err)) {
+    std::printf("cannot save state to %s: %s\n", StateFile.c_str(),
+                Err.c_str());
+    return 1;
+  }
+  std::printf("state saved to %s\n", StateFile.c_str());
+  return 0;
+}
+
 static int cmdFleet(int argc, char **argv) {
   FleetConfig FC;
   unsigned Machines = 3, RunsPerMachine = 400;
@@ -169,16 +278,7 @@ static int cmdFleet(int argc, char **argv) {
       const char *V = NextArg("--bugs");
       if (!V)
         return 2;
-      std::string S = V;
-      size_t Start = 0;
-      while (Start <= S.size()) {
-        size_t Comma = S.find(',', Start);
-        if (Comma == std::string::npos)
-          Comma = S.size();
-        if (Comma > Start)
-          BugIds.push_back(S.substr(Start, Comma - Start));
-        Start = Comma + 1;
-      }
+      splitBugList(V, BugIds);
     } else {
       std::printf("unknown fleet option '%s'\n", argv[I]);
       return 2;
@@ -186,35 +286,12 @@ static int cmdFleet(int argc, char **argv) {
   }
 
   std::vector<const BugSpec *> Corpus;
-  if (BugIds.empty()) {
-    for (const auto &S : allBugSpecs())
-      Corpus.push_back(&S);
-  } else {
-    for (const auto &Id : BugIds) {
-      const BugSpec *S = findBug(Id);
-      if (!S) {
-        std::printf("unknown bug id '%s' (try: er_cli list)\n", Id.c_str());
-        return 2;
-      }
-      Corpus.push_back(S);
-    }
-  }
+  if (!resolveCorpus(BugIds, Corpus))
+    return 2;
 
   FleetScheduler Sched(FC);
-
-  if (!StateFile.empty()) {
-    struct stat St;
-    if (::stat(StateFile.c_str(), &St) == 0) {
-      std::string Err;
-      if (!Sched.loadState(StateFile, &Err)) {
-        std::printf("cannot resume from %s: %s\n", StateFile.c_str(),
-                    Err.c_str());
-        return 1;
-      }
-      std::printf("resumed %zu campaign(s) from %s\n", Sched.numCampaigns(),
-                  StateFile.c_str());
-    }
-  }
+  if (!resumeStateIfPresent(Sched, StateFile))
+    return 1;
 
   std::printf("harvesting: %u machine(s) x %u run(s) x %zu workload(s)...\n",
               Machines, RunsPerMachine, Corpus.size());
@@ -226,41 +303,161 @@ static int cmdFleet(int argc, char **argv) {
               Observed, Sched.numCampaigns());
 
   FleetReport FR = Sched.run();
+  printFleetReport(FR);
+  return saveStateIfRequested(Sched, StateFile);
+}
 
-  std::printf("%-18s %-22s %6s %7s %7s %-10s %s\n", "Signature", "BugId",
-              "Occur", "#Consum", "Symbex", "Result", "TestCase");
-  for (const Campaign &C : FR.Campaigns) {
-    const char *Result = !C.Completed           ? "pending"
-                         : C.Resumed            ? "resumed"
-                         : C.Report.Success     ? "reproduced"
-                                                : "failed";
-    std::printf("%-18s %-22s %6llu %7u %6.2fs %-10s %s\n",
-                C.Sig.hex().c_str(), C.BugId.c_str(),
-                (unsigned long long)C.Occurrences, C.Report.Occurrences,
-                C.Report.TotalSymexSeconds, Result,
-                C.Report.Success ? C.Report.TestCase.describe().c_str() : "-");
+static int cmdReport(int argc, char **argv) {
+  std::string SpoolDir;
+  uint64_t MachineId = 0, RootSeed = 20260807, FirstSeq = 1;
+  bool HaveMachine = false;
+  unsigned Runs = 400;
+  std::vector<std::string> BugIds;
+
+  for (int I = 2; I < argc; ++I) {
+    auto NextArg = [&](const char *Flag) -> const char * {
+      if (I + 1 >= argc) {
+        std::printf("%s needs a value\n", Flag);
+        return nullptr;
+      }
+      return argv[++I];
+    };
+    const char *V = nullptr;
+    if (!std::strcmp(argv[I], "--spool")) {
+      if (!(V = NextArg("--spool")))
+        return 2;
+      SpoolDir = V;
+    } else if (!std::strcmp(argv[I], "--machine")) {
+      if (!(V = NextArg("--machine")))
+        return 2;
+      MachineId = std::strtoull(V, nullptr, 10);
+      HaveMachine = true;
+    } else if (!std::strcmp(argv[I], "--runs")) {
+      if (!(V = NextArg("--runs")))
+        return 2;
+      Runs = static_cast<unsigned>(std::strtoul(V, nullptr, 10));
+    } else if (!std::strcmp(argv[I], "--seed")) {
+      if (!(V = NextArg("--seed")))
+        return 2;
+      RootSeed = std::strtoull(V, nullptr, 10);
+    } else if (!std::strcmp(argv[I], "--first-seq")) {
+      if (!(V = NextArg("--first-seq")))
+        return 2;
+      FirstSeq = std::strtoull(V, nullptr, 10);
+    } else if (!std::strcmp(argv[I], "--bugs")) {
+      if (!(V = NextArg("--bugs")))
+        return 2;
+      splitBugList(V, BugIds);
+    } else {
+      std::printf("unknown report option '%s'\n", argv[I]);
+      return 2;
+    }
   }
-  std::printf("\ncampaigns: %u run, %u resumed, %u reproduced; wall %.2fs "
-              "(%u jobs)\n",
-              FR.CampaignsRun, FR.CampaignsResumed, FR.Reproduced,
-              FR.WallSeconds, FR.Jobs);
-  std::printf("solver cache: %llu hits / %llu misses (%.1f%% hit rate), "
-              "%llu entries, %llu evictions\n",
-              (unsigned long long)FR.Cache.Hits,
-              (unsigned long long)FR.Cache.Misses, 100.0 * FR.Cache.hitRate(),
-              (unsigned long long)FR.Cache.Entries,
-              (unsigned long long)FR.Cache.Evictions);
+  if (SpoolDir.empty() || !HaveMachine) {
+    std::printf("report needs --spool DIR and --machine ID\n");
+    return 2;
+  }
 
-  if (!StateFile.empty()) {
+  std::vector<const BugSpec *> Corpus;
+  if (!resolveCorpus(BugIds, Corpus))
+    return 2;
+
+  // Exactly the in-process harvest loop, with the spool as the sink: one
+  // published file per workload that observed at least one failure.
+  SpoolWriter Writer(SpoolDir, MachineId, FirstSeq);
+  unsigned Observed = 0;
+  for (const BugSpec *Spec : Corpus) {
+    Observed += simulateMachine(
+        *Spec, Runs, MachineId, RootSeed, VmConfig(),
+        [&](const FleetFailureReport &R) { Writer.append(R); },
+        Writer.nextSequence());
     std::string Err;
-    if (!Sched.saveState(StateFile, &Err)) {
-      std::printf("cannot save state to %s: %s\n", StateFile.c_str(),
-                  Err.c_str());
+    if (!Writer.flush(&Err)) {
+      std::printf("cannot write spool: %s\n", Err.c_str());
       return 1;
     }
-    std::printf("state saved to %s\n", StateFile.c_str());
   }
+  std::printf("machine %llu: observed %u failure(s) over %u run(s) x %zu "
+              "workload(s); spooled to %s (next seq %llu)\n",
+              (unsigned long long)MachineId, Observed, Runs, Corpus.size(),
+              SpoolDir.c_str(), (unsigned long long)Writer.nextSequence());
   return 0;
+}
+
+static int cmdCollect(int argc, char **argv) {
+  FleetConfig FC;
+  CollectorConfig CC;
+  std::string StateFile;
+
+  for (int I = 2; I < argc; ++I) {
+    auto NextArg = [&](const char *Flag) -> const char * {
+      if (I + 1 >= argc) {
+        std::printf("%s needs a value\n", Flag);
+        return nullptr;
+      }
+      return argv[++I];
+    };
+    const char *V = nullptr;
+    if (!std::strcmp(argv[I], "--spool")) {
+      if (!(V = NextArg("--spool")))
+        return 2;
+      CC.SpoolDir = V;
+    } else if (!std::strcmp(argv[I], "--jobs")) {
+      if (!(V = NextArg("--jobs")))
+        return 2;
+      FC.Jobs = static_cast<unsigned>(std::strtoul(V, nullptr, 10));
+    } else if (!std::strcmp(argv[I], "--seed")) {
+      if (!(V = NextArg("--seed")))
+        return 2;
+      FC.RootSeed = std::strtoull(V, nullptr, 10);
+    } else if (!std::strcmp(argv[I], "--state")) {
+      if (!(V = NextArg("--state")))
+        return 2;
+      StateFile = V;
+    } else if (!std::strcmp(argv[I], "--max-pending")) {
+      if (!(V = NextArg("--max-pending")))
+        return 2;
+      CC.MaxPending = std::strtoull(V, nullptr, 10);
+    } else if (!std::strcmp(argv[I], "--keep-drained")) {
+      CC.RemoveDrained = false;
+    } else {
+      std::printf("unknown collect option '%s'\n", argv[I]);
+      return 2;
+    }
+  }
+  if (CC.SpoolDir.empty()) {
+    std::printf("collect needs --spool DIR\n");
+    return 2;
+  }
+
+  FleetScheduler Sched(FC);
+  if (!resumeStateIfPresent(Sched, StateFile))
+    return 1;
+
+  ReportCollector Collector(CC);
+  std::string Err;
+  if (!Collector.drainInto(Sched, &Err)) {
+    std::printf("cannot drain spool %s: %s\n", CC.SpoolDir.c_str(),
+                Err.c_str());
+    return 1;
+  }
+  const CollectorStats &CS = Collector.getStats();
+  std::printf("spool %s: %llu file(s) scanned, %llu claimed, %llu "
+              "quarantined, %llu stale temp(s)\n",
+              CC.SpoolDir.c_str(), (unsigned long long)CS.FilesScanned,
+              (unsigned long long)CS.FilesClaimed,
+              (unsigned long long)CS.FilesQuarantined,
+              (unsigned long long)CS.StaleTemps);
+  std::printf("records: %llu decoded, %llu duplicate(s) dropped, %llu shed "
+              "by backpressure, %llu submitted into %zu bucket(s)\n\n",
+              (unsigned long long)CS.RecordsDecoded,
+              (unsigned long long)CS.DuplicatesDropped,
+              (unsigned long long)CS.BackpressureDropped,
+              (unsigned long long)CS.Submitted, Sched.numCampaigns());
+
+  FleetReport FR = Sched.run();
+  printFleetReport(FR);
+  return saveStateIfRequested(Sched, StateFile);
 }
 
 int main(int argc, char **argv) {
@@ -270,6 +467,10 @@ int main(int argc, char **argv) {
     return cmdList();
   if (!std::strcmp(argv[1], "fleet"))
     return cmdFleet(argc, argv);
+  if (!std::strcmp(argv[1], "report"))
+    return cmdReport(argc, argv);
+  if (!std::strcmp(argv[1], "collect"))
+    return cmdCollect(argc, argv);
   if (argc >= 3) {
     const BugSpec *Spec = findBug(argv[2]);
     if (!Spec) {

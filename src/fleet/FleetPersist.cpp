@@ -142,6 +142,11 @@ public:
     return Line.substr(Pos);
   }
 
+  /// Unconsumed bytes on the current line — the upper bound on how many
+  /// more tokens it can possibly hold (used to reject absurd counts
+  /// before they become absurd allocations).
+  size_t remaining() const { return Line.size() - Pos; }
+
   unsigned lineNo() const { return LineNo; }
 
 private:
@@ -158,11 +163,22 @@ static bool fail(std::string *Error, unsigned LineNo, const std::string &Msg) {
   return false;
 }
 
+/// A persisted kind outside the enum would flow into signature digests and
+/// failureKindName (which fatals on unknown kinds) — reject it at parse.
+static bool validKind(uint64_t Kind) {
+  return Kind <= static_cast<uint64_t>(FailureKind::InputUnderrun);
+}
+
 static bool readIdList(Reader &R, std::vector<unsigned> &Out,
                        std::string *Error) {
   uint64_t N = 0;
   if (!R.u64(N))
     return fail(Error, R.lineNo(), "expected id-list length");
+  // Every id costs at least " <digit>" on the line; a count the line
+  // cannot hold is corruption, and reserving it unchecked would turn a
+  // flipped digit into an OOM.
+  if (N > (R.remaining() + 1) / 2)
+    return fail(Error, R.lineNo(), "id-list length exceeds line");
   Out.clear();
   Out.reserve(N);
   for (uint64_t I = 0; I < N; ++I) {
@@ -192,6 +208,7 @@ bool er::loadFleetState(const std::string &Path, uint64_t &RootSeed,
 
   Campaigns.clear();
   Campaign *C = nullptr;
+  bool SigSeen = false;
   while (R.nextLine()) {
     std::string Key = R.word();
     if (Key.empty())
@@ -199,6 +216,7 @@ bool er::loadFleetState(const std::string &Path, uint64_t &RootSeed,
     if (Key == "campaign") {
       Campaigns.emplace_back();
       C = &Campaigns.back();
+      SigSeen = false;
       continue; // The hex digest is recomputed from the sig line.
     }
     if (!C)
@@ -209,7 +227,7 @@ bool er::loadFleetState(const std::string &Path, uint64_t &RootSeed,
       C->BugId = R.rest();
     } else if (Key == "sig") {
       uint64_t Kind = 0, Instr = 0;
-      if (!R.u64(Kind) || !R.u64(Instr))
+      if (!R.u64(Kind) || !R.u64(Instr) || !validKind(Kind))
         return fail(Error, R.lineNo(), "malformed sig");
       FailureRecord F;
       F.Kind = static_cast<FailureKind>(Kind);
@@ -219,6 +237,7 @@ bool er::loadFleetState(const std::string &Path, uint64_t &RootSeed,
         return false;
       F.CallStack = std::move(Stack);
       C->Sig = FailureSignature::of(F);
+      SigSeen = true;
     } else if (Key == "occurrences") {
       if (!R.u64(C->Occurrences))
         return fail(Error, R.lineNo(), "malformed occurrences");
@@ -244,7 +263,7 @@ bool er::loadFleetState(const std::string &Path, uint64_t &RootSeed,
       C->Report.TotalSymexSeconds = std::strtod(R.rest().c_str(), nullptr);
     } else if (Key == "failure") {
       uint64_t Kind = 0, Instr = 0, Tid = 0;
-      if (!R.u64(Kind) || !R.u64(Instr) || !R.u64(Tid))
+      if (!R.u64(Kind) || !R.u64(Instr) || !R.u64(Tid) || !validKind(Kind))
         return fail(Error, R.lineNo(), "malformed failure record");
       C->Report.Failure.Kind = static_cast<FailureKind>(Kind);
       C->Report.Failure.InstrGlobalId = static_cast<unsigned>(Instr);
@@ -273,7 +292,10 @@ bool er::loadFleetState(const std::string &Path, uint64_t &RootSeed,
       if (!R.u64(N))
         return fail(Error, R.lineNo(), "malformed testbytes");
       std::string Hex = R.word();
-      if (Hex.size() != N * 2)
+      // Compare via the hex string's own size — `N * 2` wraps for a
+      // corrupt 2^63-ish count, which used to pass this check and then
+      // index Hex out of bounds below.
+      if (Hex.size() % 2 != 0 || Hex.size() / 2 != N)
         return fail(Error, R.lineNo(), "testbytes length mismatch");
       C->Report.TestCase.Bytes.clear();
       C->Report.TestCase.Bytes.reserve(N);
@@ -297,6 +319,11 @@ bool er::loadFleetState(const std::string &Path, uint64_t &RootSeed,
       if (!readIdList(R, C->RecordingSet, Error))
         return false;
     } else if (Key == "end") {
+      // A campaign without identity must not load: FleetScheduler merges
+      // by signature, and a default (all-zero) signature would silently
+      // absorb — or collide with — real buckets.
+      if (!SigSeen)
+        return fail(Error, R.lineNo(), "campaign missing 'sig'");
       C = nullptr;
     } else {
       // Unknown keys are skipped: newer writers may add fields.

@@ -45,8 +45,11 @@ void FleetScheduler::submit(const FleetFailureReport &R) {
   ++C.Occurrences;
 }
 
-unsigned FleetScheduler::harvest(const BugSpec &Spec, unsigned Runs,
-                                 uint64_t MachineId) {
+unsigned er::simulateMachine(
+    const BugSpec &Spec, unsigned Runs, uint64_t MachineId, uint64_t RootSeed,
+    const VmConfig &VmBase,
+    const std::function<void(const FleetFailureReport &)> &Sink,
+    uint64_t FirstSequence) {
   auto M = compileBug(Spec);
   // Machine randomness: split by a digest of the machine id and workload,
   // so adding machines or reordering the harvest never shifts another
@@ -54,22 +57,34 @@ unsigned FleetScheduler::harvest(const BugSpec &Spec, unsigned Runs,
   uint64_t WorkloadSalt = 0;
   for (char Ch : Spec.Id)
     WorkloadSalt = WorkloadSalt * 131 + static_cast<unsigned char>(Ch);
-  Rng R = Rng(Config.RootSeed).split(MachineId ^ (WorkloadSalt << 20));
+  Rng R = Rng(RootSeed).split(MachineId ^ (WorkloadSalt << 20));
 
   unsigned Observed = 0;
   for (unsigned Run = 0; Run < Runs; ++Run) {
     ProgramInput In = Spec.ProductionInput(R);
-    VmConfig VC = Config.DriverBase.Vm;
+    VmConfig VC = VmBase;
     VC.ChunkSize = Spec.VmChunkSize;
     VC.ScheduleSeed = R.next();
     Interpreter VM(*M, VC);
     RunResult RR = VM.run(In);
     if (RR.Status != ExitStatus::Failure)
       continue;
-    submit({Spec.Id, RR.Failure});
+    FleetFailureReport Report;
+    Report.BugId = Spec.Id;
+    Report.Failure = RR.Failure;
+    Report.MachineId = MachineId;
+    Report.Sequence = FirstSequence + Observed;
+    Sink(Report);
     ++Observed;
   }
   return Observed;
+}
+
+unsigned FleetScheduler::harvest(const BugSpec &Spec, unsigned Runs,
+                                 uint64_t MachineId) {
+  return simulateMachine(
+      Spec, Runs, MachineId, Config.RootSeed, Config.DriverBase.Vm,
+      [this](const FleetFailureReport &R) { submit(R); });
 }
 
 std::vector<size_t> FleetScheduler::triageOrder() const {

@@ -33,6 +33,7 @@
 #include "workloads/Workloads.h"
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -40,9 +41,19 @@
 namespace er {
 
 /// One failure occurrence reported by a fleet machine.
+///
+/// MachineId and Sequence identify the *delivery*, not the failure: the
+/// ingestion layer (src/ingest/) dedups redelivered reports by
+/// (MachineId, Sequence) before they reach the scheduler, which buckets
+/// purely by failure identity and ignores both fields.
 struct FleetFailureReport {
   std::string BugId; ///< Workload the machine was running.
   FailureRecord Failure;
+  /// Reporting machine (0 = unspecified / in-process).
+  uint64_t MachineId = 0;
+  /// Per-machine monotonic delivery sequence number (1-based; 0 =
+  /// unsequenced / in-process).
+  uint64_t Sequence = 0;
 };
 
 /// Service tuning.
@@ -89,6 +100,24 @@ struct FleetReport {
   double WallSeconds = 0;
   SolverCacheStats Cache;
 };
+
+/// Simulates one production machine: \p Runs executions of \p Spec with
+/// machine randomness split from \p RootSeed by \p MachineId, invoking
+/// \p Sink for every failure observed. Reports carry the machine id and a
+/// 1-based per-machine sequence number starting at \p FirstSequence.
+/// Returns the number of failures observed.
+///
+/// This is the single source of fleet-machine behaviour: the in-process
+/// path (FleetScheduler::harvest, Sink = submit) and the cross-process
+/// path (`er_cli report`, Sink = spool writer — see docs/INGEST.md) run
+/// exactly this loop, which is what makes a drained spool byte-identical
+/// to an in-process harvest of the same machines.
+unsigned simulateMachine(const BugSpec &Spec, unsigned Runs,
+                         uint64_t MachineId, uint64_t RootSeed,
+                         const VmConfig &VmBase,
+                         const std::function<void(const FleetFailureReport &)>
+                             &Sink,
+                         uint64_t FirstSequence = 1);
 
 /// Collects failure reports, triages them into campaigns, and runs the
 /// campaigns on a worker pool. Not itself thread-safe: submit/harvest/

@@ -1,0 +1,202 @@
+//===- ReportCodec.cpp - Failure-report wire format -------------------------===//
+
+#include "ingest/ReportCodec.h"
+
+#include <array>
+#include <cstring>
+
+using namespace er;
+
+static const uint8_t SpoolMagic[8] = {'E', 'R', 'S', 'P', 'O', 'O', 'L', '\n'};
+
+/// Sanity bounds: no legitimate report approaches these; a length field
+/// beyond them is corruption, and rejecting early keeps a flipped length
+/// byte from turning into a giant allocation.
+static constexpr uint32_t MaxPayloadBytes = 1u << 20;
+static constexpr uint32_t MaxStackDepth = 1u << 16;
+
+const char *er::decodeStatusName(DecodeStatus S) {
+  switch (S) {
+  case DecodeStatus::Ok:          return "ok";
+  case DecodeStatus::Truncated:   return "truncated";
+  case DecodeStatus::BadMagic:    return "bad-magic";
+  case DecodeStatus::BadVersion:  return "bad-version";
+  case DecodeStatus::BadChecksum: return "bad-checksum";
+  case DecodeStatus::Malformed:   return "malformed";
+  }
+  return "unknown";
+}
+
+uint32_t er::crc32(const uint8_t *Data, size_t Len) {
+  static const auto Table = [] {
+    std::array<uint32_t, 256> T{};
+    for (uint32_t I = 0; I < 256; ++I) {
+      uint32_t C = I;
+      for (int K = 0; K < 8; ++K)
+        C = (C & 1) ? 0xEDB88320u ^ (C >> 1) : C >> 1;
+      T[I] = C;
+    }
+    return T;
+  }();
+  uint32_t C = 0xFFFFFFFFu;
+  for (size_t I = 0; I < Len; ++I)
+    C = Table[(C ^ Data[I]) & 0xFF] ^ (C >> 8);
+  return C ^ 0xFFFFFFFFu;
+}
+
+//===----------------------------------------------------------------------===//
+// Little-endian primitives
+//===----------------------------------------------------------------------===//
+
+static void putU32(std::vector<uint8_t> &Out, uint32_t V) {
+  for (int I = 0; I < 4; ++I)
+    Out.push_back(static_cast<uint8_t>(V >> (8 * I)));
+}
+
+static void putU64(std::vector<uint8_t> &Out, uint64_t V) {
+  for (int I = 0; I < 8; ++I)
+    Out.push_back(static_cast<uint8_t>(V >> (8 * I)));
+}
+
+namespace {
+/// Bounds-checked little-endian reader over a byte span.
+class ByteReader {
+public:
+  ByteReader(const uint8_t *Data, size_t Size) : Data(Data), Size(Size) {}
+
+  bool u8(uint8_t &V) {
+    if (Pos + 1 > Size)
+      return false;
+    V = Data[Pos++];
+    return true;
+  }
+  bool u32(uint32_t &V) {
+    if (Pos + 4 > Size)
+      return false;
+    V = 0;
+    for (int I = 0; I < 4; ++I)
+      V |= static_cast<uint32_t>(Data[Pos + I]) << (8 * I);
+    Pos += 4;
+    return true;
+  }
+  bool u64(uint64_t &V) {
+    if (Pos + 8 > Size)
+      return false;
+    V = 0;
+    for (int I = 0; I < 8; ++I)
+      V |= static_cast<uint64_t>(Data[Pos + I]) << (8 * I);
+    Pos += 8;
+    return true;
+  }
+  /// String prefixed by a u32 byte count.
+  bool str(std::string &S) {
+    uint32_t N = 0;
+    if (!u32(N) || N > Size - Pos)
+      return false;
+    S.assign(reinterpret_cast<const char *>(Data + Pos), N);
+    Pos += N;
+    return true;
+  }
+
+  size_t pos() const { return Pos; }
+  bool exhausted() const { return Pos == Size; }
+
+private:
+  const uint8_t *Data;
+  size_t Size;
+  size_t Pos = 0;
+};
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Header
+//===----------------------------------------------------------------------===//
+
+void er::encodeSpoolHeader(std::vector<uint8_t> &Out) {
+  Out.insert(Out.end(), SpoolMagic, SpoolMagic + sizeof(SpoolMagic));
+  putU32(Out, SpoolWireVersion);
+}
+
+DecodeStatus er::decodeSpoolHeader(const uint8_t *Data, size_t Size,
+                                   size_t &Offset, uint32_t &Version) {
+  if (Size - Offset < sizeof(SpoolMagic) + 4)
+    return DecodeStatus::Truncated;
+  if (std::memcmp(Data + Offset, SpoolMagic, sizeof(SpoolMagic)) != 0)
+    return DecodeStatus::BadMagic;
+  ByteReader R(Data + Offset + sizeof(SpoolMagic), 4);
+  R.u32(Version);
+  if (Version != SpoolWireVersion)
+    return DecodeStatus::BadVersion;
+  Offset += sizeof(SpoolMagic) + 4;
+  return DecodeStatus::Ok;
+}
+
+//===----------------------------------------------------------------------===//
+// Records
+//===----------------------------------------------------------------------===//
+
+void er::encodeReport(const FleetFailureReport &R, std::vector<uint8_t> &Out) {
+  std::vector<uint8_t> Payload;
+  putU64(Payload, R.MachineId);
+  putU64(Payload, R.Sequence);
+  putU32(Payload, static_cast<uint32_t>(R.BugId.size()));
+  Payload.insert(Payload.end(), R.BugId.begin(), R.BugId.end());
+  Payload.push_back(static_cast<uint8_t>(R.Failure.Kind));
+  putU32(Payload, R.Failure.InstrGlobalId);
+  putU32(Payload, R.Failure.Tid);
+  putU32(Payload, static_cast<uint32_t>(R.Failure.CallStack.size()));
+  for (unsigned Site : R.Failure.CallStack)
+    putU32(Payload, Site);
+  putU32(Payload, static_cast<uint32_t>(R.Failure.Message.size()));
+  Payload.insert(Payload.end(), R.Failure.Message.begin(),
+                 R.Failure.Message.end());
+
+  putU32(Out, static_cast<uint32_t>(Payload.size()));
+  putU32(Out, crc32(Payload.data(), Payload.size()));
+  Out.insert(Out.end(), Payload.begin(), Payload.end());
+}
+
+DecodeStatus er::decodeReport(const uint8_t *Data, size_t Size, size_t &Offset,
+                              FleetFailureReport &Out) {
+  if (Size - Offset < 8)
+    return DecodeStatus::Truncated;
+  ByteReader Prefix(Data + Offset, 8);
+  uint32_t Len = 0, Crc = 0;
+  Prefix.u32(Len);
+  Prefix.u32(Crc);
+  if (Len > MaxPayloadBytes)
+    return DecodeStatus::Malformed;
+  if (Size - Offset - 8 < Len)
+    return DecodeStatus::Truncated;
+
+  const uint8_t *Payload = Data + Offset + 8;
+  if (crc32(Payload, Len) != Crc)
+    return DecodeStatus::BadChecksum;
+
+  ByteReader R(Payload, Len);
+  FleetFailureReport Rep;
+  uint8_t Kind = 0;
+  uint32_t Instr = 0, Tid = 0, StackLen = 0;
+  if (!R.u64(Rep.MachineId) || !R.u64(Rep.Sequence) || !R.str(Rep.BugId) ||
+      !R.u8(Kind) || !R.u32(Instr) || !R.u32(Tid) || !R.u32(StackLen))
+    return DecodeStatus::Malformed;
+  if (Kind > static_cast<uint8_t>(FailureKind::InputUnderrun) ||
+      StackLen > MaxStackDepth)
+    return DecodeStatus::Malformed;
+  Rep.Failure.Kind = static_cast<FailureKind>(Kind);
+  Rep.Failure.InstrGlobalId = Instr;
+  Rep.Failure.Tid = Tid;
+  Rep.Failure.CallStack.reserve(StackLen);
+  for (uint32_t I = 0; I < StackLen; ++I) {
+    uint32_t Site = 0;
+    if (!R.u32(Site))
+      return DecodeStatus::Malformed;
+    Rep.Failure.CallStack.push_back(Site);
+  }
+  if (!R.str(Rep.Failure.Message) || !R.exhausted())
+    return DecodeStatus::Malformed;
+
+  Out = std::move(Rep);
+  Offset += 8 + Len;
+  return DecodeStatus::Ok;
+}

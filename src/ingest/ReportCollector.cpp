@@ -1,0 +1,280 @@
+//===- ReportCollector.cpp - Hardened spool drain ---------------------------===//
+
+#include "ingest/ReportCollector.h"
+
+#include "fleet/FailureSignature.h"
+#include "ingest/ReportCodec.h"
+#include "ingest/ReportSpool.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <tuple>
+#include <vector>
+
+using namespace er;
+namespace fs = std::filesystem;
+
+ReportCollector::ReportCollector(CollectorConfig Config)
+    : Config(std::move(Config)) {}
+
+std::string ReportCollector::quarantineDir() const {
+  return (fs::path(Config.SpoolDir) / "quarantine").string();
+}
+
+//===----------------------------------------------------------------------===//
+// High-water mark persistence
+//===----------------------------------------------------------------------===//
+//
+// `spool/highwater` is a tiny text file, one `m<machine> <maxseq>` line per
+// machine, written via temp + atomic rename like everything else in the
+// spool. It is the collector's own state, so unlike spool files a corrupt
+// copy is a hard error (silently restarting from zero would double-count
+// every report ever consumed).
+
+static const char *HighWaterMagic = "er-highwater v1";
+
+bool ReportCollector::loadHighWater(std::string *Error) {
+  if (HighWaterLoaded)
+    return true;
+  HighWaterLoaded = true;
+  fs::path Path = fs::path(Config.SpoolDir) / "highwater";
+  std::ifstream IS(Path);
+  if (!IS)
+    return true; // First drain on this spool.
+  std::string Line;
+  if (!std::getline(IS, Line) || Line != HighWaterMagic) {
+    if (Error)
+      *Error = "corrupt high-water file '" + Path.string() + "': bad magic";
+    return false;
+  }
+  while (std::getline(IS, Line)) {
+    if (Line.empty())
+      continue;
+    unsigned long long Machine = 0, Seq = 0;
+    if (std::sscanf(Line.c_str(), "m%llx %llu", &Machine, &Seq) != 2) {
+      if (Error)
+        *Error = "corrupt high-water file '" + Path.string() + "': '" +
+                 Line + "'";
+      return false;
+    }
+    HighWater[Machine] = std::max<uint64_t>(HighWater[Machine], Seq);
+  }
+  return true;
+}
+
+bool ReportCollector::saveHighWater(std::string *Error) const {
+  fs::path Path = fs::path(Config.SpoolDir) / "highwater";
+  fs::path Tmp = fs::path(Config.SpoolDir) / "highwater.tmp";
+  {
+    std::ofstream OS(Tmp, std::ios::trunc);
+    if (!OS) {
+      if (Error)
+        *Error = "cannot write '" + Tmp.string() + "'";
+      return false;
+    }
+    OS << HighWaterMagic << '\n';
+    char Buf[64];
+    for (const auto &[Machine, Seq] : HighWater) {
+      std::snprintf(Buf, sizeof(Buf), "m%llx %llu",
+                    (unsigned long long)Machine, (unsigned long long)Seq);
+      OS << Buf << '\n';
+    }
+    if (!OS) {
+      if (Error)
+        *Error = "write to '" + Tmp.string() + "' failed";
+      return false;
+    }
+  }
+  std::error_code EC;
+  fs::rename(Tmp, Path, EC);
+  if (EC) {
+    std::remove(Tmp.c_str());
+    if (Error)
+      *Error = "cannot publish '" + Path.string() + "': " + EC.message();
+    return false;
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Drain
+//===----------------------------------------------------------------------===//
+
+namespace {
+/// Total order on reports: delivery identity first, then failure identity
+/// as a tie-break so conflicting records under one (machine, seq) dedup
+/// deterministically regardless of arrival order.
+bool reportLess(const FleetFailureReport &A, const FleetFailureReport &B) {
+  auto KeyA = std::tie(A.MachineId, A.Sequence, A.BugId, A.Failure.Kind,
+                       A.Failure.InstrGlobalId, A.Failure.CallStack,
+                       A.Failure.Tid, A.Failure.Message);
+  auto KeyB = std::tie(B.MachineId, B.Sequence, B.BugId, B.Failure.Kind,
+                       B.Failure.InstrGlobalId, B.Failure.CallStack,
+                       B.Failure.Tid, B.Failure.Message);
+  return KeyA < KeyB;
+}
+
+/// Decodes one whole spool file; any defect poisons the entire file
+/// (partial credit from a torn file would skew occurrence counts).
+DecodeStatus decodeSpoolFile(const std::vector<uint8_t> &Bytes,
+                             std::vector<FleetFailureReport> &Out) {
+  size_t Offset = 0;
+  uint32_t Version = 0;
+  DecodeStatus S =
+      decodeSpoolHeader(Bytes.data(), Bytes.size(), Offset, Version);
+  if (S != DecodeStatus::Ok)
+    return S;
+  while (Offset < Bytes.size()) {
+    FleetFailureReport R;
+    S = decodeReport(Bytes.data(), Bytes.size(), Offset, R);
+    if (S != DecodeStatus::Ok)
+      return S;
+    Out.push_back(std::move(R));
+  }
+  return DecodeStatus::Ok;
+}
+} // namespace
+
+bool ReportCollector::drainInto(FleetScheduler &Sched, std::string *Error) {
+  std::error_code EC;
+  fs::create_directories(quarantineDir(), EC);
+  if (EC) {
+    if (Error)
+      *Error = "cannot prepare '" + quarantineDir() + "': " + EC.message();
+    return false;
+  }
+  if (!loadHighWater(Error))
+    return false;
+
+  uint64_t Temps = 0;
+  std::vector<std::string> Names = listSpoolFiles(Config.SpoolDir, &Temps);
+  Stats.StaleTemps += Temps;
+  Stats.FilesScanned += Names.size();
+
+  std::vector<FleetFailureReport> Batch;
+  for (const std::string &Name : Names) {
+    std::string Claimed = claimSpoolFile(Config.SpoolDir, Name);
+    if (Claimed.empty())
+      continue; // Another collector got it.
+    ++Stats.FilesClaimed;
+
+    std::vector<uint8_t> Bytes;
+    bool ReadOk = false;
+    {
+      std::ifstream IS(Claimed, std::ios::binary);
+      if (IS) {
+        Bytes.assign(std::istreambuf_iterator<char>(IS),
+                     std::istreambuf_iterator<char>());
+        ReadOk = !IS.bad();
+      }
+    }
+
+    std::vector<FleetFailureReport> FileReports;
+    DecodeStatus S = ReadOk ? decodeSpoolFile(Bytes, FileReports)
+                            : DecodeStatus::Truncated;
+    if (S != DecodeStatus::Ok) {
+      // Quarantine under the original name; never let a suspect file
+      // take the drain down or count partially.
+      fs::rename(Claimed, fs::path(quarantineDir()) / Name, EC);
+      if (EC)
+        std::remove(Claimed.c_str()); // Worst case: drop, still no crash.
+      ++Stats.FilesQuarantined;
+      continue;
+    }
+
+    Stats.RecordsDecoded += FileReports.size();
+    for (FleetFailureReport &R : FileReports)
+      Batch.push_back(std::move(R));
+    if (Config.RemoveDrained)
+      std::remove(Claimed.c_str());
+  }
+
+  // Normalize: (machine, sequence) order makes everything downstream —
+  // dedup, shedding, submission — independent of file arrival order.
+  std::sort(Batch.begin(), Batch.end(), reportLess);
+
+  std::vector<FleetFailureReport> Kept;
+  Kept.reserve(Batch.size());
+  for (size_t I = 0; I < Batch.size(); ++I) {
+    const FleetFailureReport &R = Batch[I];
+    auto HW = HighWater.find(R.MachineId);
+    bool Consumed = HW != HighWater.end() && R.Sequence <= HW->second &&
+                    R.Sequence != 0;
+    bool InBatchDup = I > 0 && Batch[I - 1].MachineId == R.MachineId &&
+                      Batch[I - 1].Sequence == R.Sequence && R.Sequence != 0;
+    if (Consumed || InBatchDup) {
+      ++Stats.DuplicatesDropped;
+      continue;
+    }
+    Kept.push_back(R);
+  }
+
+  // The high-water mark advances over everything this drain claimed —
+  // including reports shed below — because their files are gone; a
+  // redrain must not resurrect them.
+  for (const FleetFailureReport &R : Batch)
+    if (R.Sequence != 0)
+      HighWater[R.MachineId] =
+          std::max(HighWater[R.MachineId], R.Sequence);
+
+  // Backpressure: shed from the coldest failure buckets first, so a
+  // flood of some one-off failure cannot crowd out the hot buckets the
+  // triage queue exists to prioritize.
+  if (Config.MaxPending && Kept.size() > Config.MaxPending) {
+    struct Bucket {
+      uint64_t Count = 0;
+      uint64_t Digest = 0;
+      std::string BugId;
+      std::vector<size_t> Indices; ///< Into Kept, ascending.
+    };
+    std::map<std::pair<uint64_t, std::string>, Bucket> Buckets;
+    for (size_t I = 0; I < Kept.size(); ++I) {
+      FailureSignature Sig = FailureSignature::of(Kept[I].Failure);
+      Bucket &B = Buckets[{Sig.Digest, Kept[I].BugId}];
+      B.Digest = Sig.Digest;
+      B.BugId = Kept[I].BugId;
+      ++B.Count;
+      B.Indices.push_back(I);
+    }
+    std::vector<const Bucket *> Order;
+    Order.reserve(Buckets.size());
+    for (const auto &[Key, B] : Buckets)
+      Order.push_back(&B);
+    std::sort(Order.begin(), Order.end(),
+              [](const Bucket *A, const Bucket *B) {
+                if (A->Count != B->Count)
+                  return A->Count < B->Count; // Coldest first.
+                if (A->Digest != B->Digest)
+                  return A->Digest < B->Digest;
+                return A->BugId < B->BugId;
+              });
+    size_t Excess = Kept.size() - Config.MaxPending;
+    std::vector<bool> Drop(Kept.size(), false);
+    for (const Bucket *B : Order) {
+      if (!Excess)
+        break;
+      // Shed the bucket's latest deliveries first.
+      for (auto It = B->Indices.rbegin();
+           It != B->Indices.rend() && Excess; ++It) {
+        Drop[*It] = true;
+        --Excess;
+        ++Stats.BackpressureDropped;
+      }
+    }
+    std::vector<FleetFailureReport> Surviving;
+    Surviving.reserve(Config.MaxPending);
+    for (size_t I = 0; I < Kept.size(); ++I)
+      if (!Drop[I])
+        Surviving.push_back(std::move(Kept[I]));
+    Kept = std::move(Surviving);
+  }
+
+  for (const FleetFailureReport &R : Kept)
+    Sched.submit(R);
+  Stats.Submitted += Kept.size();
+
+  return saveHighWater(Error);
+}

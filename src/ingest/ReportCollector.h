@@ -1,0 +1,100 @@
+//===- ReportCollector.h - Hardened spool drain -----------------*- C++ -*-===//
+///
+/// \file
+/// Drains a spool directory into the fleet scheduler, surviving every
+/// spool pathology without crashing (docs/INGEST.md):
+///
+///  - **Quarantine.** A file that is truncated, fails a record CRC, has a
+///    bad magic/unknown version, or decodes to garbage is moved wholesale
+///    into `spool/quarantine/` and counted — no record from a suspect
+///    file is ever submitted (a torn file must not half-count a machine's
+///    reports).
+///  - **Idempotent redelivery.** Records are deduplicated by
+///    (machine id, sequence): exact duplicates within a drain are dropped,
+///    and a high-water mark per machine — persisted in `spool/highwater`
+///    across drains, written atomically — drops anything already consumed
+///    by an earlier drain, so at-least-once transports deliver
+///    exactly-once counts.
+///  - **Backpressure.** With MaxPending > 0, at most that many validated
+///    reports are admitted per drain; the excess is dropped from the
+///    *lowest*-occurrence failure buckets first (deterministically), which
+///    preserves the triage signal that matters — the hot failures the
+///    paper's scheduler wants to reconstruct first.
+///  - **Determinism.** Records are sorted by (machine, sequence) before
+///    submission, so the resulting FleetReport is independent of file
+///    arrival order and byte-identical to an in-process harvest of the
+///    same machines.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ER_INGEST_REPORTCOLLECTOR_H
+#define ER_INGEST_REPORTCOLLECTOR_H
+
+#include "fleet/FleetScheduler.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace er {
+
+/// Collector tuning.
+struct CollectorConfig {
+  std::string SpoolDir;
+  /// Per-drain cap on admitted reports; 0 = unbounded. Overflow drops
+  /// lowest-occurrence buckets first.
+  size_t MaxPending = 0;
+  /// Delete successfully drained (claimed) files; keep them (as
+  /// `*.ers.claimed`) when false, e.g. for auditing.
+  bool RemoveDrained = true;
+};
+
+/// One drain's worth of counters (cumulative across drains on the same
+/// collector instance).
+struct CollectorStats {
+  uint64_t FilesScanned = 0;     ///< Published files seen in the spool.
+  uint64_t FilesClaimed = 0;     ///< Successfully claimed by rename.
+  uint64_t FilesQuarantined = 0; ///< Moved to spool/quarantine/.
+  uint64_t StaleTemps = 0;       ///< `*.tmp` writer leftovers skipped.
+  uint64_t RecordsDecoded = 0;   ///< Records from fully-valid files.
+  uint64_t DuplicatesDropped = 0; ///< (machine, seq) already seen/consumed.
+  uint64_t BackpressureDropped = 0; ///< Shed by the MaxPending bound.
+  uint64_t Submitted = 0;        ///< Handed to FleetScheduler::submit.
+};
+
+/// Scans, validates, and submits spool reports. Not thread-safe; run one
+/// collector per scheduler control thread (multiple collector *processes*
+/// on one spool are safe — file claiming arbitrates).
+class ReportCollector {
+public:
+  explicit ReportCollector(CollectorConfig Config);
+
+  /// One full drain: scan, claim, decode, quarantine, dedup, shed,
+  /// submit. Never throws and never fails on malformed spool *content*;
+  /// returns false (with \p Error) only when the spool directory itself
+  /// cannot be prepared or the high-water mark cannot be persisted.
+  bool drainInto(FleetScheduler &Sched, std::string *Error = nullptr);
+
+  const CollectorStats &getStats() const { return Stats; }
+
+  /// Highest consumed sequence per machine (loaded + updated by drains).
+  const std::map<uint64_t, uint64_t> &getHighWater() const {
+    return HighWater;
+  }
+
+private:
+  std::string quarantineDir() const;
+  bool loadHighWater(std::string *Error);
+  bool saveHighWater(std::string *Error) const;
+
+  CollectorConfig Config;
+  CollectorStats Stats;
+  /// machine id -> highest sequence consumed. std::map keeps persistence
+  /// output sorted (stable files, clean diffs).
+  std::map<uint64_t, uint64_t> HighWater;
+  bool HighWaterLoaded = false;
+};
+
+} // namespace er
+
+#endif // ER_INGEST_REPORTCOLLECTOR_H

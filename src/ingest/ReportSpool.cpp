@@ -1,0 +1,124 @@
+//===- ReportSpool.cpp - Atomic spool-directory transport -------------------===//
+
+#include "ingest/ReportSpool.h"
+
+#include "ingest/ReportCodec.h"
+#include "support/Format.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <system_error>
+
+using namespace er;
+namespace fs = std::filesystem;
+
+static bool endsWith(const std::string &S, const char *Suffix) {
+  size_t N = std::strlen(Suffix);
+  return S.size() >= N && S.compare(S.size() - N, N, Suffix) == 0;
+}
+
+SpoolWriter::SpoolWriter(std::string SpoolDir, uint64_t MachineId,
+                         uint64_t FirstSequence)
+    : SpoolDir(std::move(SpoolDir)), MachineId(MachineId),
+      NextSequence(FirstSequence ? FirstSequence : 1) {}
+
+void SpoolWriter::append(const FleetFailureReport &R) {
+  FleetFailureReport Stamped = R;
+  Stamped.MachineId = MachineId;
+  Stamped.Sequence = NextSequence++;
+  if (!BufferedRecords)
+    BufferFirstSequence = Stamped.Sequence;
+  encodeReport(Stamped, Buffer);
+  ++BufferedRecords;
+}
+
+bool SpoolWriter::flush(std::string *Error) {
+  if (!BufferedRecords)
+    return true;
+
+  std::error_code EC;
+  fs::create_directories(SpoolDir, EC);
+
+  // File names embed (machine, first sequence): unique per publication as
+  // long as a machine never reuses a sequence number, and human-greppable.
+  std::string Base = formatString("m%016llx-%016llx",
+                                  (unsigned long long)MachineId,
+                                  (unsigned long long)BufferFirstSequence);
+  fs::path Tmp = fs::path(SpoolDir) / (Base + ".tmp");
+  fs::path Final = fs::path(SpoolDir) / (Base + ".ers");
+
+  std::vector<uint8_t> File;
+  encodeSpoolHeader(File);
+  File.insert(File.end(), Buffer.begin(), Buffer.end());
+
+  std::FILE *F = std::fopen(Tmp.c_str(), "wb");
+  if (!F) {
+    if (Error)
+      *Error = "cannot open temp file '" + Tmp.string() + "'";
+    return false;
+  }
+  size_t Written = std::fwrite(File.data(), 1, File.size(), F);
+  bool Closed = std::fclose(F) == 0;
+  if (Written != File.size() || !Closed) {
+    std::remove(Tmp.c_str());
+    if (Error)
+      *Error = "short write to '" + Tmp.string() + "'";
+    return false;
+  }
+
+  // The publish step: readers either see the complete file or nothing.
+  fs::rename(Tmp, Final, EC);
+  if (EC) {
+    std::remove(Tmp.c_str());
+    if (Error)
+      *Error = "cannot publish '" + Final.string() + "': " + EC.message();
+    return false;
+  }
+
+  Buffer.clear();
+  BufferedRecords = 0;
+  BufferFirstSequence = 0;
+  return true;
+}
+
+std::vector<std::string> er::listSpoolFiles(const std::string &SpoolDir,
+                                            uint64_t *StaleTemps) {
+  std::vector<std::string> Names;
+  if (StaleTemps)
+    *StaleTemps = 0;
+  std::error_code EC;
+  fs::directory_iterator It(SpoolDir, EC), End;
+  if (EC)
+    return Names; // Missing or unreadable directory: an empty spool.
+  for (; It != End; It.increment(EC)) {
+    if (EC)
+      break;
+    if (!It->is_regular_file(EC))
+      continue;
+    std::string Name = It->path().filename().string();
+    if (endsWith(Name, ".tmp")) {
+      // A writer is mid-publish — or crashed mid-write. Either way the
+      // file is not ours to read; the collector surfaces the count.
+      if (StaleTemps)
+        ++*StaleTemps;
+      continue;
+    }
+    if (endsWith(Name, ".ers"))
+      Names.push_back(std::move(Name));
+  }
+  std::sort(Names.begin(), Names.end());
+  return Names;
+}
+
+std::string er::claimSpoolFile(const std::string &SpoolDir,
+                               const std::string &Name) {
+  fs::path From = fs::path(SpoolDir) / Name;
+  fs::path To = fs::path(SpoolDir) / (Name + ".claimed");
+  std::error_code EC;
+  fs::rename(From, To, EC);
+  if (EC)
+    return ""; // Lost the race to another collector (or the file vanished).
+  return To.string();
+}

@@ -1,0 +1,82 @@
+//===- ReportSpool.h - Atomic spool-directory transport ---------*- C++ -*-===//
+///
+/// \file
+/// The filesystem transport between production machines and the collector
+/// (docs/INGEST.md). A spool directory holds complete, immutable report
+/// files; the protocol invariants are:
+///
+///  - **Writers never expose partial files.** SpoolWriter streams records
+///    into a hidden `*.tmp` file and publishes it with one atomic
+///    rename(2) to `m<machine>-<firstseq>.ers`. A writer crash leaves at
+///    most a stale `.tmp`, which readers skip (and count) — never a
+///    half-visible `.ers`.
+///  - **Readers claim before reading.** claimSpoolFile renames the file
+///    to `*.ers.claimed` first; rename is atomic, so of N racing
+///    collectors exactly one owns each file and a record is consumed at
+///    most once at the transport layer (exactly once end-to-end, together
+///    with the collector's (machine, sequence) dedup).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ER_INGEST_REPORTSPOOL_H
+#define ER_INGEST_REPORTSPOOL_H
+
+#include "fleet/FleetScheduler.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace er {
+
+/// Appends failure reports from one machine to a spool directory. One
+/// writer per (machine, process); not thread-safe — concurrent *writers*
+/// are expected to be distinct processes (or instances) sharing only the
+/// directory.
+class SpoolWriter {
+public:
+  /// \p FirstSequence seeds the per-machine monotonic sequence stamped
+  /// onto appended reports (1-based; a restarted machine must resume past
+  /// its last published sequence to keep dedup correct).
+  SpoolWriter(std::string SpoolDir, uint64_t MachineId,
+              uint64_t FirstSequence = 1);
+
+  /// Buffers one report, stamping MachineId and the next sequence number
+  /// (any Sequence/MachineId already set on \p R is overwritten).
+  void append(const FleetFailureReport &R);
+
+  /// Publishes all buffered records as one spool file (write-to-temp +
+  /// atomic rename). No-op on an empty buffer. Returns false (and sets
+  /// \p Error) on I/O failure; the temp file is removed on failure.
+  bool flush(std::string *Error = nullptr);
+
+  /// Sequence number the next append will be stamped with.
+  uint64_t nextSequence() const { return NextSequence; }
+  uint64_t machineId() const { return MachineId; }
+
+private:
+  std::string SpoolDir;
+  uint64_t MachineId;
+  uint64_t NextSequence;
+  /// Encoded records awaiting flush (header is prepended at flush time).
+  std::vector<uint8_t> Buffer;
+  uint64_t BufferFirstSequence = 0;
+  unsigned BufferedRecords = 0;
+};
+
+/// Published (unclaimed) spool file names in \p SpoolDir, sorted
+/// lexicographically for deterministic scan order. Skips `.tmp`,
+/// `.claimed`, and anything else that is not a `*.ers` regular file;
+/// \p StaleTemps (optional) receives the number of `*.tmp` files seen.
+std::vector<std::string> listSpoolFiles(const std::string &SpoolDir,
+                                        uint64_t *StaleTemps = nullptr);
+
+/// Atomically claims `SpoolDir/Name` by renaming it to `Name + ".claimed"`.
+/// Returns the claimed path, or "" if the file vanished or another reader
+/// claimed it first.
+std::string claimSpoolFile(const std::string &SpoolDir,
+                           const std::string &Name);
+
+} // namespace er
+
+#endif // ER_INGEST_REPORTSPOOL_H

@@ -28,25 +28,49 @@ bool SolverResultCache::lookup(const QueryDigest &D, CachedQueryResult &Out) {
     return false;
   }
   ++S.Hits;
-  Out = It->second;
+  ++It->second.HitCount;
+  Out = It->second.Result;
   return true;
+}
+
+void SolverResultCache::evictOne(Shard &S) {
+  // O(shard) scan per eviction: overflow is rare relative to lookups, and
+  // a scan under the shard lock beats maintaining a score-ordered index
+  // that every hit would have to re-sort.
+  auto Victim = S.Map.end();
+  uint64_t VictimScore = 0, VictimSeq = 0;
+  for (auto It = S.Map.begin(); It != S.Map.end(); ++It) {
+    const Entry &E = It->second;
+    // FIFO scores everything equal, leaving the Seq tie-break to pick the
+    // oldest; cost-weighted keeps what future hits would save the most.
+    uint64_t Score = Config.Eviction == CacheEvictionPolicy::FIFO
+                         ? 0
+                         : E.Result.WorkUsed * (E.HitCount + 1);
+    if (Victim == S.Map.end() || Score < VictimScore ||
+        (Score == VictimScore && E.Seq < VictimSeq)) {
+      Victim = It;
+      VictimScore = Score;
+      VictimSeq = E.Seq;
+    }
+  }
+  if (Victim != S.Map.end()) {
+    S.Map.erase(Victim);
+    ++S.Evictions;
+  }
 }
 
 void SolverResultCache::insert(const QueryDigest &D,
                                const CachedQueryResult &R) {
   Shard &S = shardFor(D);
   std::lock_guard<std::mutex> Lock(S.Mu);
-  auto [It, Inserted] = S.Map.try_emplace(D, R);
-  (void)It;
+  auto [It, Inserted] = S.Map.try_emplace(D);
   if (!Inserted)
     return; // Another campaign solved the same query first.
-  S.InsertionOrder.push_back(D);
+  It->second.Result = R;
+  It->second.Seq = S.NextSeq++;
   ++S.Insertions;
-  while (S.Map.size() > Config.MaxEntriesPerShard) {
-    S.Map.erase(S.InsertionOrder.front());
-    S.InsertionOrder.pop_front();
-    ++S.Evictions;
-  }
+  while (S.Map.size() > Config.MaxEntriesPerShard)
+    evictOne(S);
 }
 
 SolverCacheStats SolverResultCache::getStats() const {
@@ -68,7 +92,6 @@ void SolverResultCache::clear() {
     Shard &S = *SPtr;
     std::lock_guard<std::mutex> Lock(S.Mu);
     S.Map.clear();
-    S.InsertionOrder.clear();
   }
 }
 

@@ -27,7 +27,6 @@
 #include "solver/Expr.h"
 
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
@@ -37,13 +36,29 @@ namespace er {
 
 enum class QueryStatus; // Solver.h
 
+/// What to evict when a shard overflows.
+enum class CacheEvictionPolicy {
+  /// Oldest insertion first, ignoring entry value.
+  FIFO,
+  /// Lowest retention score first, where score = WorkUsed x (hits + 1):
+  /// the solver work a future hit on this entry is expected to save.
+  /// Cheap-to-recompute, never-reused entries go first; an expensive
+  /// query that campaigns keep re-asking is the last thing dropped.
+  /// Ties (e.g. a cold cache where nothing has hit yet) break FIFO.
+  CostWeighted,
+};
+
 /// Tuning for the shared cache.
 struct SolverCacheConfig {
   /// Number of independently locked shards; queries hash-partition across
   /// them so concurrent campaigns rarely contend.
   unsigned NumShards = 16;
-  /// Per-shard entry cap; the oldest entry is evicted on overflow.
+  /// Per-shard entry cap; overflow evicts per \p Eviction.
   size_t MaxEntriesPerShard = 4096;
+  /// Eviction policy; cost-weighted by default (the policy only affects
+  /// which entries *stay* cached — hits remain byte-identical to fresh
+  /// solves either way, so this is purely a hit-rate/wall-time knob).
+  CacheEvictionPolicy Eviction = CacheEvictionPolicy::CostWeighted;
 };
 
 /// Aggregate counters (surfaced in FleetReport).
@@ -90,7 +105,7 @@ public:
   bool lookup(const QueryDigest &D, CachedQueryResult &Out);
 
   /// Inserts \p R under \p D (first-writer-wins; a racing duplicate insert
-  /// is dropped). Evicts the shard's oldest entry when full.
+  /// is dropped). Evicts per the configured policy when the shard is full.
   void insert(const QueryDigest &D, const CachedQueryResult &R);
 
   /// Snapshot of the aggregate counters.
@@ -116,6 +131,15 @@ public:
               uint64_t ConflictCost, uint64_t PropagationCost);
 
 private:
+  /// A cached result plus the bookkeeping the eviction policy scores by.
+  struct Entry {
+    CachedQueryResult Result;
+    uint64_t HitCount = 0;
+    /// Monotonic per-shard insertion stamp: the FIFO order, and the
+    /// deterministic tie-break for cost-weighted eviction.
+    uint64_t Seq = 0;
+  };
+
   struct Shard {
     std::mutex Mu;
     struct KeyHash {
@@ -123,10 +147,13 @@ private:
         return static_cast<size_t>(D.Lo ^ (D.Hi * 0x9e3779b97f4a7c15ULL));
       }
     };
-    std::unordered_map<QueryDigest, CachedQueryResult, KeyHash> Map;
-    std::deque<QueryDigest> InsertionOrder;
+    std::unordered_map<QueryDigest, Entry, KeyHash> Map;
+    uint64_t NextSeq = 0;
     uint64_t Hits = 0, Misses = 0, Insertions = 0, Evictions = 0;
   };
+
+  /// Removes the entry the policy likes least. Caller holds the shard lock.
+  void evictOne(Shard &S);
 
   Shard &shardFor(const QueryDigest &D) {
     return *Shards[static_cast<size_t>(D.Hi) % Shards.size()];

@@ -21,7 +21,9 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
 #include <string>
+#include <unistd.h>
 
 using namespace er;
 
@@ -290,6 +292,69 @@ TEST(SolverCache, EnumerationIsMemoized) {
   ASSERT_EQ(First.size(), 3u);
 }
 
+TEST(SolverCache, CostWeightedEvictionKeepsValuableEntries) {
+  SolverCacheConfig CC;
+  CC.NumShards = 1;
+  CC.MaxEntriesPerShard = 2;
+  CC.Eviction = CacheEvictionPolicy::CostWeighted;
+  SolverResultCache Cache(CC);
+
+  auto Digest = [](uint64_t K) { return QueryDigest{K, K * 31}; };
+  auto Result = [](uint64_t Work) {
+    CachedQueryResult R;
+    R.Status = QueryStatus::Sat;
+    R.WorkUsed = Work;
+    return R;
+  };
+
+  // Expensive entry A gets reused; cheap entry B never does.
+  Cache.insert(Digest(1), Result(100));
+  Cache.insert(Digest(2), Result(10));
+  CachedQueryResult Out;
+  ASSERT_TRUE(Cache.lookup(Digest(1), Out));
+  ASSERT_TRUE(Cache.lookup(Digest(1), Out));
+
+  // Overflow: the victim must be B (score 10x1), not A (score 100x3).
+  Cache.insert(Digest(3), Result(50));
+  EXPECT_TRUE(Cache.lookup(Digest(1), Out));
+  EXPECT_EQ(Out.WorkUsed, 100u);
+  EXPECT_TRUE(Cache.lookup(Digest(3), Out));
+  EXPECT_FALSE(Cache.lookup(Digest(2), Out)) << "evicted the wrong entry";
+
+  SolverCacheStats Stats = Cache.getStats();
+  EXPECT_EQ(Stats.Insertions, 3u);
+  EXPECT_EQ(Stats.Evictions, 1u);
+  EXPECT_EQ(Stats.Entries, 2u);
+
+  // Cost-weighted overflow doubles as admission control: a new entry
+  // cheaper than everything cached is the victim of its own insertion.
+  Cache.insert(Digest(4), Result(1));
+  EXPECT_FALSE(Cache.lookup(Digest(4), Out));
+  EXPECT_EQ(Cache.getStats().Entries, 2u);
+}
+
+TEST(SolverCache, FifoPolicyEvictsOldest) {
+  SolverCacheConfig CC;
+  CC.NumShards = 1;
+  CC.MaxEntriesPerShard = 2;
+  CC.Eviction = CacheEvictionPolicy::FIFO;
+  SolverResultCache Cache(CC);
+
+  auto Digest = [](uint64_t K) { return QueryDigest{K, K * 31}; };
+  CachedQueryResult R;
+  R.Status = QueryStatus::Sat;
+  R.WorkUsed = 1000; // High value must not save the oldest entry.
+  Cache.insert(Digest(1), R);
+  R.WorkUsed = 1;
+  Cache.insert(Digest(2), R);
+  Cache.insert(Digest(3), R);
+
+  CachedQueryResult Out;
+  EXPECT_FALSE(Cache.lookup(Digest(1), Out));
+  EXPECT_TRUE(Cache.lookup(Digest(2), Out));
+  EXPECT_TRUE(Cache.lookup(Digest(3), Out));
+}
+
 TEST(SolverCache, EvictionKeepsCorrectness) {
   SolverCacheConfig CC;
   CC.NumShards = 1;
@@ -382,6 +447,128 @@ TEST(FleetPersist, RejectsMalformedFiles) {
   EXPECT_FALSE(loadFleetState(tempPath("er_fleet_missing.txt"), RootSeed,
                               Campaigns, &Err));
   std::remove(Path.c_str());
+}
+
+/// Writes \p Contents to a temp file and returns whether loadFleetState
+/// survives it (crash/UB = test failure; accept or reject are both fine).
+static bool loadFromString(const std::string &Contents, std::string *Err,
+                           std::vector<Campaign> *Out = nullptr) {
+  // Per-process name: ctest runs each fuzz test as its own process, and a
+  // shared scratch file would let them tear each other's contents mid-read.
+  std::string Path =
+      tempPath("er_fleet_fuzz." + std::to_string(::getpid()) + ".txt");
+  std::FILE *F = std::fopen(Path.c_str(), "wb");
+  EXPECT_NE(F, nullptr);
+  std::fwrite(Contents.data(), 1, Contents.size(), F);
+  std::fclose(F);
+  uint64_t RootSeed = 0;
+  std::vector<Campaign> Campaigns;
+  bool Ok = loadFleetState(Path, RootSeed, Campaigns, Err);
+  if (Out)
+    *Out = std::move(Campaigns);
+  std::remove(Path.c_str());
+  return Ok;
+}
+
+/// Produces one real, completed fleet state to mutate.
+static std::string validStateText() {
+  static const std::string Text = [] {
+    FleetScheduler Sched(fastConfig(1));
+    Sched.harvest(*findBug("Bash-108885"), 80, 1);
+    Sched.harvest(*findBug("SQLite-4e8e485"), 80, 1);
+    Sched.run();
+    std::string Path =
+        tempPath("er_fleet_fuzz_seed." + std::to_string(::getpid()) + ".txt");
+    std::string Err;
+    EXPECT_TRUE(Sched.saveState(Path, &Err)) << Err;
+    std::ifstream IS(Path);
+    std::string S((std::istreambuf_iterator<char>(IS)),
+                  std::istreambuf_iterator<char>());
+    std::remove(Path.c_str());
+    EXPECT_FALSE(S.empty());
+    return S;
+  }();
+  return Text;
+}
+
+TEST(FleetPersistFuzz, TruncationAtEveryOffsetNeverCrashes) {
+  std::string Valid = validStateText();
+  for (size_t Cut = 0; Cut < Valid.size(); ++Cut) {
+    std::string Err;
+    loadFromString(Valid.substr(0, Cut), &Err);
+    // Either verdict is acceptable; surviving the parse is the assertion.
+  }
+}
+
+TEST(FleetPersistFuzz, RandomByteFlipsNeverCrash) {
+  std::string Valid = validStateText();
+  ASSERT_FALSE(Valid.empty());
+  Rng R(20260807);
+  for (int Trial = 0; Trial < 400; ++Trial) {
+    std::string Mutated = Valid;
+    unsigned Flips = 1 + static_cast<unsigned>(R.nextBounded(4));
+    for (unsigned F = 0; F < Flips; ++F) {
+      size_t Pos = static_cast<size_t>(R.nextBounded(Mutated.size()));
+      Mutated[Pos] = static_cast<char>(R.nextBounded(256));
+    }
+    std::string Err;
+    loadFromString(Mutated, &Err);
+  }
+}
+
+TEST(FleetPersistFuzz, DuplicatedLinesNeverCrashOrOverMerge) {
+  std::string Valid = validStateText();
+  // Duplicate every line in place; the loader may reject the file, but it
+  // must neither crash nor invent campaigns beyond the duplicated count.
+  std::string Doubled;
+  size_t Start = 0, Lines = 0, CampaignLines = 0;
+  while (Start < Valid.size()) {
+    size_t End = Valid.find('\n', Start);
+    if (End == std::string::npos)
+      End = Valid.size() - 1;
+    std::string Line = Valid.substr(Start, End - Start + 1);
+    Doubled += Line;
+    Doubled += Line;
+    CampaignLines += Line.rfind("campaign ", 0) == 0;
+    ++Lines;
+    Start = End + 1;
+  }
+  ASSERT_GT(Lines, 4u);
+  std::string Err;
+  std::vector<Campaign> Out;
+  if (loadFromString(Doubled, &Err, &Out)) {
+    EXPECT_LE(Out.size(), 2 * CampaignLines);
+  }
+}
+
+TEST(FleetPersistFuzz, HostileCountsRejectedNotAllocated) {
+  // Each of these used to reach an unchecked `reserve(N)` / `N * 2`
+  // overflow; they must now fail cleanly (and quickly).
+  const char *Hostile[] = {
+      // readIdList OOM: id-list length far beyond the line.
+      "er-fleet-state v1\nrootseed 1\ncampaign 00\nbug b\n"
+      "sig 1 1 18446744073709551615 1\nend\n",
+      "er-fleet-state v1\nrootseed 1\ncampaign 00\nbug b\n"
+      "sig 1 1 1 7\noccurrences 1\nseed 1\ncompleted 1\n"
+      "recordingset 99999999999999 1 2\nend\n",
+      // testbytes length check wrapped at N = 2^63: Hex.size() == 0
+      // passed `N * 2 == 0` and the decode loop ran off the string.
+      "er-fleet-state v1\nrootseed 1\ncampaign 00\nbug b\n"
+      "sig 1 1 1 7\ncompleted 1\ntestbytes 9223372036854775808 \nend\n",
+      // Out-of-range failure kinds must not reach digesting/naming.
+      "er-fleet-state v1\nrootseed 1\ncampaign 00\nbug b\n"
+      "sig 250 1 1 7\nend\n",
+      "er-fleet-state v1\nrootseed 1\ncampaign 00\nbug b\n"
+      "sig 1 1 1 7\ncompleted 1\nfailure 99 1 0 0\nend\n",
+      // A campaign with no identity must not merge as the zero signature.
+      "er-fleet-state v1\nrootseed 1\ncampaign 00\nbug b\n"
+      "occurrences 3\nend\n",
+  };
+  for (const char *Text : Hostile) {
+    std::string Err;
+    EXPECT_FALSE(loadFromString(Text, &Err)) << Text;
+    EXPECT_FALSE(Err.empty());
+  }
 }
 
 //===----------------------------------------------------------------------===//
