@@ -1,0 +1,162 @@
+//===- BenchJson.h - Machine-readable bench records -------------*- C++ -*-===//
+///
+/// \file
+/// Every bench_*.cpp accepts `--json FILE` and emits its measurements as
+///
+///   {"bench": "<name>",
+///    "records": [{"name": ..., "params": {...}, "metrics": {...}}, ...]}
+///
+/// so the perf trajectory in EXPERIMENTS.md / BENCH_*.json can be produced
+/// and diffed by scripts instead of scraping stdout tables. Usage:
+///
+///   bench::JsonReporter Json("bench_x");
+///   ... parse args, call Json.parseArg(argc, argv, I) in the loop ...
+///   Json.add("phase1").param("jobs", Jobs).metric("wall_s", Wall);
+///   return Json.flush();   // no-op (0) when --json was not given
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ER_BENCH_BENCHJSON_H
+#define ER_BENCH_BENCHJSON_H
+
+#include "obs/Json.h"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace er {
+namespace bench {
+
+class JsonReporter {
+  struct Field {
+    std::string Key;
+    enum Kind { U64, F64, Str } K;
+    uint64_t U = 0;
+    double D = 0;
+    std::string S;
+  };
+
+public:
+  class Record {
+  public:
+    Record &param(std::string_view K, uint64_t V) {
+      Params.push_back({std::string(K), Field::U64, V, 0, {}});
+      return *this;
+    }
+    Record &param(std::string_view K, unsigned V) {
+      return param(K, static_cast<uint64_t>(V));
+    }
+    Record &param(std::string_view K, double V) {
+      Params.push_back({std::string(K), Field::F64, 0, V, {}});
+      return *this;
+    }
+    Record &param(std::string_view K, std::string_view V) {
+      Params.push_back({std::string(K), Field::Str, 0, 0, std::string(V)});
+      return *this;
+    }
+    Record &metric(std::string_view K, uint64_t V) {
+      Metrics.push_back({std::string(K), Field::U64, V, 0, {}});
+      return *this;
+    }
+    Record &metric(std::string_view K, unsigned V) {
+      return metric(K, static_cast<uint64_t>(V));
+    }
+    Record &metric(std::string_view K, double V) {
+      Metrics.push_back({std::string(K), Field::F64, 0, V, {}});
+      return *this;
+    }
+
+  private:
+    friend class JsonReporter;
+    std::string Name;
+    std::vector<Field> Params, Metrics;
+  };
+
+  explicit JsonReporter(std::string BenchName)
+      : BenchName(std::move(BenchName)) {}
+
+  /// Consumes `--json FILE` at argv[I] (advancing I past the value).
+  /// Returns 1 if consumed, 0 if argv[I] is something else, -1 when the
+  /// value is missing (after printing a message).
+  int parseArg(int argc, char **argv, int &I) {
+    if (std::strcmp(argv[I], "--json") != 0)
+      return 0;
+    if (I + 1 >= argc) {
+      std::printf("--json needs a value\n");
+      return -1;
+    }
+    Path = argv[++I];
+    return 1;
+  }
+
+  bool enabled() const { return !Path.empty(); }
+
+  Record &add(std::string Name) {
+    Records.emplace_back();
+    Records.back().Name = std::move(Name);
+    return Records.back();
+  }
+
+  /// Writes the document when --json was given. Returns 0 on success (or
+  /// when no output was requested), 1 on I/O failure — benches return this
+  /// from main so CI catches a failed export.
+  int flush() const {
+    if (Path.empty())
+      return 0;
+    obs::JsonWriter W;
+    W.beginObject();
+    W.kv("bench", BenchName);
+    W.key("records");
+    W.beginArray();
+    for (const Record &R : Records) {
+      W.beginObject();
+      W.kv("name", R.Name);
+      W.key("params");
+      writeFields(W, R.Params);
+      W.key("metrics");
+      writeFields(W, R.Metrics);
+      W.endObject();
+    }
+    W.endArray();
+    W.endObject();
+    std::string Err;
+    if (!obs::writeTextFile(Path, W.str(), &Err)) {
+      std::printf("cannot write %s: %s\n", Path.c_str(), Err.c_str());
+      return 1;
+    }
+    std::printf("json records written to %s\n", Path.c_str());
+    return 0;
+  }
+
+private:
+  static void writeFields(obs::JsonWriter &W, const std::vector<Field> &Fs) {
+    W.beginObject();
+    for (const Field &F : Fs) {
+      W.key(F.Key);
+      switch (F.K) {
+      case Field::U64:
+        W.value(F.U);
+        break;
+      case Field::F64:
+        W.value(F.D);
+        break;
+      case Field::Str:
+        W.value(std::string_view(F.S));
+        break;
+      }
+    }
+    W.endObject();
+  }
+
+  std::string BenchName;
+  std::string Path;
+  std::vector<Record> Records;
+};
+
+} // namespace bench
+} // namespace er
+
+#endif // ER_BENCH_BENCHJSON_H

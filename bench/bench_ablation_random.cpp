@@ -8,6 +8,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchJson.h"
 #include "er/Driver.h"
 #include "workloads/Workloads.h"
 
@@ -15,7 +16,18 @@
 
 using namespace er;
 
-int main() {
+int main(int argc, char **argv) {
+  bench::JsonReporter Json("bench_ablation_random");
+  for (int I = 1; I < argc; ++I) {
+    int R = Json.parseArg(argc, argv, I);
+    if (R < 0)
+      return 2;
+    if (R == 0) {
+      std::printf("usage: bench_ablation_random [--json FILE]\n");
+      return 2;
+    }
+  }
+
   std::printf("Section 5.2 ablation: key data value selection vs random "
               "recording of equal cost\n");
   std::printf("%-22s %14s %14s %18s\n", "Bug", "guided occ",
@@ -51,10 +63,18 @@ int main() {
                 Guided.Occurrences, Random.Occurrences,
                 Random.Success ? "reproduced" : "failed");
     std::fflush(stdout);
+    Json.add("ablation")
+        .param("bug", Spec.Id)
+        .metric("guided_occurrences", Guided.Occurrences)
+        .metric("random_occurrences", Random.Occurrences)
+        .metric("random_reproduced", static_cast<uint64_t>(Random.Success));
   }
 
   std::printf("\nRandom recording reproduced %u/%u recording-dependent bugs "
               "(paper: 1/11). Guided selection reproduced all of them.\n",
               RandomSucceeded, NeedRecording);
-  return 0;
+  Json.add("summary")
+      .metric("recording_dependent", NeedRecording)
+      .metric("random_reproduced", RandomSucceeded);
+  return Json.flush();
 }

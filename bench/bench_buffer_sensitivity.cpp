@@ -11,6 +11,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchJson.h"
 #include "support/Rng.h"
 #include "symex/SymExecutor.h"
 #include "trace/OverheadModel.h"
@@ -21,7 +22,18 @@
 
 using namespace er;
 
-int main() {
+int main(int argc, char **argv) {
+  bench::JsonReporter Json("bench_buffer_sensitivity");
+  for (int I = 1; I < argc; ++I) {
+    int R = Json.parseArg(argc, argv, I);
+    if (R < 0)
+      return 2;
+    if (R == 0) {
+      std::printf("usage: bench_buffer_sensitivity [--json FILE]\n");
+      return 2;
+    }
+  }
+
   const BugSpec &Spec = *findBug("SQLite-7be932d");
   auto M = compileBug(Spec);
 
@@ -72,10 +84,17 @@ int main() {
                 static_cast<unsigned long long>(Rec.getStats().BytesWritten),
                 static_cast<unsigned long long>(Rec.getStats().EvictedBytes),
                 Pct, Decodable ? "yes" : "NO (truncated)");
+    Json.add("buffer_size")
+        .param("bug", Spec.Id)
+        .param("buffer_bytes", Sizes[K])
+        .metric("bytes_written", Rec.getStats().BytesWritten)
+        .metric("bytes_evicted", Rec.getStats().EvictedBytes)
+        .metric("overhead_pct", Pct)
+        .metric("decodable", static_cast<uint64_t>(Decodable));
   }
 
   std::printf("\nExpected: identical overhead across sizes (same bytes "
               "written); small buffers truncate the failing trace, which is "
               "why the paper provisions 64MB.\n");
-  return 0;
+  return Json.flush();
 }

@@ -15,6 +15,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchJson.h"
 #include "baselines/RecordReplay.h"
 #include "baselines/ReptRecovery.h"
 #include "er/Driver.h"
@@ -26,7 +27,18 @@
 
 using namespace er;
 
-int main() {
+int main(int argc, char **argv) {
+  bench::JsonReporter Json("bench_fig1_spectra");
+  for (int I = 1; I < argc; ++I) {
+    int R = Json.parseArg(argc, argv, I);
+    if (R < 0)
+      return 2;
+    if (R == 0) {
+      std::printf("usage: bench_fig1_spectra [--json FILE]\n");
+      return 2;
+    }
+  }
+
   // Measure mean overheads of ER and rr over the perf workloads.
   double ErSum = 0, RrSum = 0;
   unsigned N = 0;
@@ -108,5 +120,10 @@ int main() {
               "all 13 bugs (iterative recording)",
               "replayable test case, validated by re-execution",
               "yes: inside all three boundaries");
-  return 0;
+  Json.add("spectra")
+      .param("workloads", static_cast<uint64_t>(N))
+      .metric("er_overhead_pct", ErPct)
+      .metric("rr_overhead_pct", RrPct)
+      .metric("rept_worst_bad_pct", ReptBad);
+  return Json.flush();
 }

@@ -11,6 +11,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchJson.h"
 #include "baselines/RecordReplay.h"
 #include "er/ConstraintGraph.h"
 #include "er/Driver.h"
@@ -47,7 +48,18 @@ Stat meanStdErr(const std::vector<double> &Xs) {
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  bench::JsonReporter Json("bench_fig6_overhead");
+  for (int I = 1; I < argc; ++I) {
+    int R = Json.parseArg(argc, argv, I);
+    if (R < 0)
+      return 2;
+    if (R == 0) {
+      std::printf("usage: bench_fig6_overhead [--json FILE]\n");
+      return 2;
+    }
+  }
+
   std::printf("Fig. 6: runtime overhead of ER recording vs rr (10 runs, "
               "mean +/- stderr)\n");
   std::printf("%-22s %12s %14s %12s %14s\n", "Application", "ER mean %",
@@ -110,6 +122,13 @@ int main() {
     std::printf("%-22s %11.3f%% %14.3f %11.1f%% %14.2f\n", Spec.App.c_str(),
                 Er.Mean, Er.StdErr, Rr.Mean, Rr.StdErr);
     std::fflush(stdout);
+    Json.add("overhead")
+        .param("bug", Spec.Id)
+        .param("app", Spec.App)
+        .metric("er_mean_pct", Er.Mean)
+        .metric("er_stderr", Er.StdErr)
+        .metric("rr_mean_pct", Rr.Mean)
+        .metric("rr_stderr", Rr.StdErr);
 
     ErSum += Er.Mean;
     ErMax = std::max(ErMax, Er.Mean);
@@ -124,5 +143,10 @@ int main() {
   std::printf("rr:  mean %.1f%%, max %.1f%%   (paper: 48.0%% mean, 142.2%% "
               "max)\n",
               RrSum / N, RrMax);
-  return 0;
+  Json.add("summary")
+      .metric("er_mean_pct", ErSum / N)
+      .metric("er_max_pct", ErMax)
+      .metric("rr_mean_pct", RrSum / N)
+      .metric("rr_max_pct", RrMax);
+  return Json.flush();
 }

@@ -17,10 +17,11 @@
 // failure signature, so every worker count reconstructs byte-identical
 // test cases (asserted below).
 //
-// Usage: bench_fleet_throughput [--quick] [--latency SECONDS]
+// Usage: bench_fleet_throughput [--quick] [--latency SECONDS] [--json FILE]
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchJson.h"
 #include "fleet/FleetScheduler.h"
 
 #include <cstdio>
@@ -73,13 +74,18 @@ static RunStats runFleet(unsigned Jobs, const std::vector<const BugSpec *> &Corp
 int main(int argc, char **argv) {
   bool Quick = false;
   double Latency = 0.4;
+  bench::JsonReporter Json("bench_fleet_throughput");
   for (int I = 1; I < argc; ++I) {
-    if (!std::strcmp(argv[I], "--quick"))
+    if (int R = Json.parseArg(argc, argv, I)) {
+      if (R < 0)
+        return 2;
+    } else if (!std::strcmp(argv[I], "--quick"))
       Quick = true;
     else if (!std::strcmp(argv[I], "--latency") && I + 1 < argc)
       Latency = std::strtod(argv[++I], nullptr);
     else {
-      std::printf("usage: bench_fleet_throughput [--quick] [--latency S]\n");
+      std::printf("usage: bench_fleet_throughput [--quick] [--latency S] "
+                  "[--json FILE]\n");
       return 2;
     }
   }
@@ -117,6 +123,20 @@ int main(int argc, char **argv) {
                 S.Campaigns, S.WallSeconds, Cpm, Speedup,
                 (unsigned long long)S.Cache.Hits, 100.0 * S.Cache.hitRate(),
                 (unsigned long long)S.Cache.Evictions);
+    Json.add("fleet_run")
+        .param("jobs", Jobs)
+        .param("machines", Machines)
+        .param("runs_per_machine", Runs)
+        .param("latency_s", Latency)
+        .param("quick", static_cast<uint64_t>(Quick))
+        .metric("campaigns", S.Campaigns)
+        .metric("reproduced", S.Reproduced)
+        .metric("wall_s", S.WallSeconds)
+        .metric("campaigns_per_min", Cpm)
+        .metric("speedup", Speedup)
+        .metric("cache_hits", S.Cache.Hits)
+        .metric("cache_hit_rate", S.Cache.hitRate())
+        .metric("cache_evictions", S.Cache.Evictions);
     All.push_back(std::move(S));
   }
 
@@ -143,5 +163,7 @@ int main(int argc, char **argv) {
   std::printf("\ntest cases byte-identical across all worker counts: yes\n");
   std::printf("4-worker speedup > 1.5x: %s\n", SpeedupOk ? "yes" : "NO");
   std::printf("solver cache hit rate nonzero: %s\n", CacheOk ? "yes" : "NO");
+  if (int Rc = Json.flush())
+    return Rc;
   return SpeedupOk && CacheOk ? 0 : 1;
 }

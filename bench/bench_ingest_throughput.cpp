@@ -12,10 +12,11 @@
 // exercise the quarantine and dedup paths under load; the bench fails if
 // either goes uncounted or if any record is lost or double-counted.
 //
-// Usage: bench_ingest_throughput [--records N] [--batch N]
+// Usage: bench_ingest_throughput [--records N] [--batch N] [--json FILE]
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchJson.h"
 #include "ingest/ReportCollector.h"
 #include "ingest/ReportSpool.h"
 
@@ -147,13 +148,18 @@ Result runOnce(unsigned Writers, uint64_t RecordsPerWriter, uint64_t Batch,
 int main(int argc, char **argv) {
   uint64_t Records = 20000; // per writer
   uint64_t Batch = 500;     // records per spool file
+  bench::JsonReporter Json("bench_ingest_throughput");
   for (int I = 1; I < argc; ++I) {
-    if (!std::strcmp(argv[I], "--records") && I + 1 < argc)
+    if (int R = Json.parseArg(argc, argv, I)) {
+      if (R < 0)
+        return 2;
+    } else if (!std::strcmp(argv[I], "--records") && I + 1 < argc)
       Records = std::strtoull(argv[++I], nullptr, 10);
     else if (!std::strcmp(argv[I], "--batch") && I + 1 < argc)
       Batch = std::strtoull(argv[++I], nullptr, 10);
     else {
-      std::printf("usage: bench_ingest_throughput [--records N] [--batch N]\n");
+      std::printf("usage: bench_ingest_throughput [--records N] [--batch N] "
+                  "[--json FILE]\n");
       return 2;
     }
   }
@@ -184,10 +190,26 @@ int main(int argc, char **argv) {
                 (unsigned long long)R.Stats.DuplicatesDropped,
                 (unsigned long long)R.Stats.Submitted,
                 R.CountsOk ? "ok" : "FAIL");
+    Json.add("ingest_run")
+        .param("writers", Writers)
+        .param("records_per_writer", Records)
+        .param("records_per_file", Batch)
+        .metric("write_s", R.WriteSeconds)
+        .metric("drain_s", R.DrainSeconds)
+        .metric("write_rec_per_s",
+                R.WriteSeconds > 0 ? Total / R.WriteSeconds : 0)
+        .metric("drain_rec_per_s",
+                R.DrainSeconds > 0 ? Total / R.DrainSeconds : 0)
+        .metric("quarantined", R.Stats.FilesQuarantined)
+        .metric("duplicates_dropped", R.Stats.DuplicatesDropped)
+        .metric("submitted", R.Stats.Submitted)
+        .metric("counts_ok", static_cast<uint64_t>(R.CountsOk));
     AllOk = AllOk && R.CountsOk;
   }
 
   std::printf("\nexactly-once accounting under corruption + redelivery: %s\n",
               AllOk ? "yes" : "NO");
+  if (int Rc = Json.flush())
+    return Rc;
   return AllOk ? 0 : 1;
 }

@@ -9,6 +9,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchJson.h"
 #include "er/Driver.h"
 #include "invariants/Invariants.h"
 #include "lang/Codegen.h"
@@ -102,7 +103,7 @@ struct CaseStudy {
   ProgramInput FailingInput;
 };
 
-void runCase(const CaseStudy &CS) {
+void runCase(const CaseStudy &CS, bench::JsonReporter &Json) {
   std::printf("=== %s ===\n", CS.Name);
   CompileResult CR = compileMiniLang(CS.Source);
   if (!CR.ok()) {
@@ -175,11 +176,30 @@ void runCase(const CaseStudy &CS) {
               Reconstructed.size() >= Original.size()
                   ? Reconstructed.size() - Original.size()
                   : 0);
+  Json.add("case_study")
+      .param("case", CS.Name)
+      .metric("invariants", static_cast<uint64_t>(Engine.invariants().size()))
+      .metric("occurrences", Report.Occurrences)
+      .metric("original_violations", static_cast<uint64_t>(Original.size()))
+      .metric("reconstructed_violations",
+              static_cast<uint64_t>(Reconstructed.size()))
+      .metric("covers_root_causes", static_cast<uint64_t>(Covers));
 }
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  bench::JsonReporter Json("bench_mimic_localization");
+  for (int I = 1; I < argc; ++I) {
+    int R = Json.parseArg(argc, argv, I);
+    if (R < 0)
+      return 2;
+    if (R == 0) {
+      std::printf("usage: bench_mimic_localization [--json FILE]\n");
+      return 2;
+    }
+  }
+
   std::printf("Section 5.4: invariant-based failure localization (MIMIC "
               "case study)\n\n");
 
@@ -191,7 +211,7 @@ int main() {
   Od.PassingInputs[2].Bytes = {'o', 1, 2, 3, 4, 5};
   Od.PassingInputs[3].Bytes = {'x', 9};
   Od.FailingInput.Bytes = {'q', 10, 20}; // Unknown format -> base 5... width 0.
-  runCase(Od);
+  runCase(Od, Json);
 
   CaseStudy Pr;
   Pr.Name = "coreutils pr analog";
@@ -201,7 +221,7 @@ int main() {
   Pr.PassingInputs[2].Bytes = {4, 'l', 'i', 'n', 'e'};
   Pr.PassingInputs[3].Bytes = {5, 'z', 'z', 'z'};
   Pr.FailingInput.Bytes = {1, 'a', 'b'}; // Single column -> cols-1 == 0.
-  runCase(Pr);
+  runCase(Pr, Json);
 
-  return 0;
+  return Json.flush();
 }

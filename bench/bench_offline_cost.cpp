@@ -10,6 +10,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchJson.h"
 #include "er/ConstraintGraph.h"
 #include "er/Driver.h"
 #include "er/Instrumenter.h"
@@ -23,7 +24,18 @@
 
 using namespace er;
 
-int main() {
+int main(int argc, char **argv) {
+  bench::JsonReporter Json("bench_offline_cost");
+  for (int I = 1; I < argc; ++I) {
+    int R = Json.parseArg(argc, argv, I);
+    if (R < 0)
+      return 2;
+    if (R == 0) {
+      std::printf("usage: bench_offline_cost [--json FILE]\n");
+      return 2;
+    }
+  }
+
   std::printf("Offline costs per bug: constraint graph size, selection "
               "time, symbex time, expression arena\n");
   std::printf("%-22s %10s %10s %12s %12s %12s %12s\n", "Bug", "graph nodes",
@@ -82,6 +94,14 @@ int main() {
                     Ctx.getStats().NodesCreated),
                 static_cast<unsigned long long>(SR.SolverWork));
     std::fflush(stdout);
+    Json.add("offline_cost")
+        .param("bug", Spec.Id)
+        .metric("graph_nodes", Graph.numNodes())
+        .metric("graph_edges", Graph.numEdges())
+        .metric("select_s", SelS)
+        .metric("symex_s", SymexS)
+        .metric("expr_nodes", Ctx.getStats().NodesCreated)
+        .metric("solver_work", SR.SolverWork);
     MaxNodes = std::max(MaxNodes, Graph.numNodes());
     MaxSelect = std::max(MaxSelect, SelS);
   }
@@ -90,5 +110,5 @@ int main() {
               "Slowest selection: %.3fs (paper: <=15s). Selection cost is "
               "negligible next to symbex, as in the paper.\n",
               static_cast<unsigned long long>(MaxNodes), MaxSelect);
-  return 0;
+  return Json.flush();
 }

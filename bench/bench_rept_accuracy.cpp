@@ -10,6 +10,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchJson.h"
 #include "baselines/ReptRecovery.h"
 #include "vm/Interpreter.h"
 #include "support/Rng.h"
@@ -19,7 +20,18 @@
 
 using namespace er;
 
-int main() {
+int main(int argc, char **argv) {
+  bench::JsonReporter Json("bench_rept_accuracy");
+  for (int I = 1; I < argc; ++I) {
+    int R = Json.parseArg(argc, argv, I);
+    if (R < 0)
+      return 2;
+    if (R == 0) {
+      std::printf("usage: bench_rept_accuracy [--json FILE]\n");
+      return 2;
+    }
+  }
+
   std::printf("REPT-style recovery accuracy by distance from the failure\n");
   std::printf("%-22s %10s | %-22s %-22s %-22s %-22s\n", "Bug", "trace len",
               "<1K: bad%(unk%)", "<10K", "<100K", ">=100K");
@@ -58,7 +70,16 @@ int main() {
 
     std::printf("%-22s %10llu |", Spec.Id.c_str(),
                 static_cast<unsigned long long>(Report.TraceLength));
+    auto &Rec = Json.add("recovery")
+                    .param("bug", Spec.Id)
+                    .metric("trace_len", Report.TraceLength);
+    static const char *BucketNames[] = {"lt_1k", "lt_10k", "lt_100k",
+                                        "ge_100k"};
+    size_t BI = 0;
     for (const auto &B : Report.Buckets) {
+      std::string Prefix =
+          BI < 4 ? BucketNames[BI] : ("bucket" + std::to_string(BI));
+      ++BI;
       if (B.total() == 0) {
         std::printf(" %-22s", "-");
         continue;
@@ -68,11 +89,14 @@ int main() {
                     100.0 * B.badFraction(), 100.0 * B.unknownFraction(),
                     static_cast<unsigned long long>(B.total()));
       std::printf(" %-22s", Buf);
+      Rec.metric(Prefix + "_bad_frac", B.badFraction())
+          .metric(Prefix + "_unknown_frac", B.unknownFraction())
+          .metric(Prefix + "_n", B.total());
     }
     std::printf("\n");
   }
 
   std::printf("\nExpected shape: the bad-value fraction grows with distance "
               "from the failure; values near the dump recover well.\n");
-  return 0;
+  return Json.flush();
 }

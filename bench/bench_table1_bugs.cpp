@@ -14,16 +14,30 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchJson.h"
 #include "er/Driver.h"
 #include "support/Format.h"
 #include "workloads/Workloads.h"
 
 #include <cstdio>
+#include <cstring>
 
 using namespace er;
 
 int main(int argc, char **argv) {
-  std::string Only = argc > 1 ? argv[1] : "";
+  std::string Only;
+  bench::JsonReporter Json("bench_table1_bugs");
+  for (int I = 1; I < argc; ++I) {
+    if (int R = Json.parseArg(argc, argv, I)) {
+      if (R < 0)
+        return 2;
+    } else if (std::strncmp(argv[I], "--", 2) != 0 && Only.empty())
+      Only = argv[I];
+    else {
+      std::printf("usage: bench_table1_bugs [BugId] [--json FILE]\n");
+      return 2;
+    }
+  }
 
   std::printf("Table 1: bugs reproduced by ER (paper Table 1 analog)\n");
   std::printf("%-22s %-26s %-3s %5s %10s %7s %12s  %s\n", "Application-BugID",
@@ -64,6 +78,13 @@ int main(int argc, char **argv) {
                 Report.Success ? "reproduced"
                                : Report.FailureDetail.c_str());
     std::fflush(stdout);
+    Json.add("bug")
+        .param("bug", Spec.Id)
+        .param("multithreaded", static_cast<uint64_t>(Spec.Multithreaded))
+        .metric("failing_instrs", Report.FailingInstrCount)
+        .metric("occurrences", Report.Occurrences)
+        .metric("symex_s", Report.TotalSymexSeconds)
+        .metric("reproduced", static_cast<uint64_t>(Report.Success));
   }
 
   if (Total > 1) {
@@ -71,6 +92,13 @@ int main(int argc, char **argv) {
                 "mean occurrences %.1f (paper: 13/13, 2 single, mean ~3.5)\n",
                 Succeeded, Total, SingleOccurrence,
                 Succeeded ? OccurSum / Succeeded : 0.0);
+    Json.add("summary")
+        .metric("reproduced", Succeeded)
+        .metric("total", Total)
+        .metric("single_occurrence", SingleOccurrence)
+        .metric("mean_occurrences", Succeeded ? OccurSum / Succeeded : 0.0);
   }
+  if (int Rc = Json.flush())
+    return Rc;
   return Succeeded == Total ? 0 : 1;
 }

@@ -17,6 +17,8 @@
 #include "fleet/FleetScheduler.h"
 #include "ingest/ReportCollector.h"
 #include "ingest/ReportSpool.h"
+#include "obs/Metrics.h"
+#include "obs/Tracer.h"
 #include "support/Rng.h"
 #include "trace/OverheadModel.h"
 #include "vm/Interpreter.h"
@@ -34,14 +36,26 @@ using namespace er;
 static int usage() {
   std::printf(
       "usage: er_cli list\n"
-      "       er_cli run <BugId> [seed]\n"
+      "       er_cli run <BugId> [seed] [telemetry flags]\n"
       "       er_cli trace <BugId>\n"
       "       er_cli fleet   [--jobs N] [--seed S] [--machines M] [--runs R]\n"
       "                      [--bugs id,id,...] [--state FILE]\n"
+      "                      [telemetry flags]\n"
       "       er_cli report  --spool DIR --machine ID [--runs R] [--seed S]\n"
       "                      [--bugs id,id,...] [--first-seq N]\n"
       "       er_cli collect --spool DIR [--jobs N] [--seed S] [--state FILE]\n"
       "                      [--max-pending N] [--keep-drained]\n"
+      "                      [telemetry flags]\n"
+      "       er_cli stats   [--jobs N] [--seed S] [--machines M] [--runs R]\n"
+      "                      [--bugs id,id,...] [telemetry flags]\n"
+      "\n"
+      "telemetry flags (docs/OBSERVABILITY.md):\n"
+      "  --metrics-out FILE   export the metrics registry as JSON\n"
+      "  --trace-out FILE     export pipeline spans as a Chrome trace_event\n"
+      "                       document (chrome://tracing / Perfetto)\n"
+      "  --trace-jsonl FILE   export pipeline spans as JSONL (one per line)\n"
+      "Span recording is enabled iff a trace output is requested (or for\n"
+      "`stats`, always); metrics counters are always on.\n"
       "\n"
       "fleet: simulate a deployment — M machines x R production runs per\n"
       "workload feed a triage queue; deduplicated failure buckets are\n"
@@ -53,9 +67,86 @@ static int usage() {
       "directory; `collect` drains the spool (validating, quarantining,\n"
       "deduplicating) into the same triage + campaign pipeline. Draining\n"
       "what machines 0..M-1 reported reproduces `fleet --machines M`\n"
-      "byte-for-byte.\n");
+      "byte-for-byte.\n"
+      "\n"
+      "stats: run the fleet pipeline with tracing on and print the full\n"
+      "metric catalog and a per-phase span time summary as text tables.\n");
   return 2;
 }
+
+//===----------------------------------------------------------------------===//
+// Telemetry flags (shared by run / fleet / collect / stats)
+//===----------------------------------------------------------------------===//
+
+namespace {
+struct TelemetryOptions {
+  std::string MetricsOut;
+  std::string TraceOut;   ///< Chrome trace_event document.
+  std::string TraceJsonl; ///< One span object per line.
+
+  bool wantsTrace() const { return !TraceOut.empty() || !TraceJsonl.empty(); }
+
+  /// Turns on span recording when any trace output was requested.
+  void enableTracing(bool Force = false) const {
+    if (Force || wantsTrace())
+      obs::PipelineTracer::global().setEnabled(true);
+  }
+
+  /// Writes every requested file; returns 0, or 1 on any write failure.
+  int exportAll() const {
+    int Rc = 0;
+    std::string Err;
+    if (!MetricsOut.empty()) {
+      auto Snap = obs::MetricsRegistry::global().snapshot();
+      if (obs::exportMetricsJson(Snap, MetricsOut, &Err))
+        std::printf("metrics written to %s\n", MetricsOut.c_str());
+      else {
+        std::printf("cannot write metrics: %s\n", Err.c_str());
+        Rc = 1;
+      }
+    }
+    if (!TraceOut.empty()) {
+      if (obs::exportChromeTrace(obs::PipelineTracer::global(), TraceOut,
+                                 &Err))
+        std::printf("chrome trace written to %s\n", TraceOut.c_str());
+      else {
+        std::printf("cannot write trace: %s\n", Err.c_str());
+        Rc = 1;
+      }
+    }
+    if (!TraceJsonl.empty()) {
+      if (obs::exportSpansJsonl(obs::PipelineTracer::global(), TraceJsonl,
+                                &Err))
+        std::printf("span jsonl written to %s\n", TraceJsonl.c_str());
+      else {
+        std::printf("cannot write span jsonl: %s\n", Err.c_str());
+        Rc = 1;
+      }
+    }
+    return Rc;
+  }
+};
+
+/// Consumes argv[I] (and its value) when it is a telemetry flag. Returns
+/// 1 if consumed, 0 if not a telemetry flag, -1 on a missing value.
+int parseTelemetryArg(int argc, char **argv, int &I, TelemetryOptions &T) {
+  std::string *Dest = nullptr;
+  if (!std::strcmp(argv[I], "--metrics-out"))
+    Dest = &T.MetricsOut;
+  else if (!std::strcmp(argv[I], "--trace-out"))
+    Dest = &T.TraceOut;
+  else if (!std::strcmp(argv[I], "--trace-jsonl"))
+    Dest = &T.TraceJsonl;
+  else
+    return 0;
+  if (I + 1 >= argc) {
+    std::printf("%s needs a value\n", argv[I]);
+    return -1;
+  }
+  *Dest = argv[++I];
+  return 1;
+}
+} // namespace
 
 static int cmdList() {
   std::printf("%-22s %-34s %-28s %s\n", "BugId", "Application", "Bug type",
@@ -66,7 +157,9 @@ static int cmdList() {
   return 0;
 }
 
-static int cmdRun(const BugSpec &Spec, uint64_t Seed) {
+static int cmdRun(const BugSpec &Spec, uint64_t Seed,
+                  const TelemetryOptions &Telemetry) {
+  Telemetry.enableTracing();
   auto M = compileBug(Spec);
   DriverConfig DC;
   DC.Solver.WorkBudget = Spec.SolverWorkBudget;
@@ -79,6 +172,7 @@ static int cmdRun(const BugSpec &Spec, uint64_t Seed) {
   std::printf("bug:          %s (%s)\n", Spec.Id.c_str(), Spec.App.c_str());
   if (!Report.Success) {
     std::printf("result:       FAILED — %s\n", Report.FailureDetail.c_str());
+    Telemetry.exportAll();
     return 1;
   }
   std::printf("result:       reproduced\n");
@@ -105,7 +199,7 @@ static int cmdRun(const BugSpec &Spec, uint64_t Seed) {
   std::printf("replay:       %s\n",
               RR.Status == ExitStatus::Failure ? RR.Failure.describe().c_str()
                                                : "no failure (BUG)");
-  return 0;
+  return Telemetry.exportAll();
 }
 
 static int cmdTrace(const BugSpec &Spec) {
@@ -240,6 +334,7 @@ static int cmdFleet(int argc, char **argv) {
   unsigned Machines = 3, RunsPerMachine = 400;
   std::string StateFile;
   std::vector<std::string> BugIds;
+  TelemetryOptions Telemetry;
 
   for (int I = 2; I < argc; ++I) {
     auto NextArg = [&](const char *Flag) -> const char * {
@@ -249,7 +344,10 @@ static int cmdFleet(int argc, char **argv) {
       }
       return argv[++I];
     };
-    if (!std::strcmp(argv[I], "--jobs")) {
+    if (int R = parseTelemetryArg(argc, argv, I, Telemetry)) {
+      if (R < 0)
+        return 2;
+    } else if (!std::strcmp(argv[I], "--jobs")) {
       const char *V = NextArg("--jobs");
       if (!V)
         return 2;
@@ -289,6 +387,7 @@ static int cmdFleet(int argc, char **argv) {
   if (!resolveCorpus(BugIds, Corpus))
     return 2;
 
+  Telemetry.enableTracing();
   FleetScheduler Sched(FC);
   if (!resumeStateIfPresent(Sched, StateFile))
     return 1;
@@ -304,7 +403,9 @@ static int cmdFleet(int argc, char **argv) {
 
   FleetReport FR = Sched.run();
   printFleetReport(FR);
-  return saveStateIfRequested(Sched, StateFile);
+  if (int Rc = saveStateIfRequested(Sched, StateFile))
+    return Rc;
+  return Telemetry.exportAll();
 }
 
 static int cmdReport(int argc, char **argv) {
@@ -388,6 +489,7 @@ static int cmdCollect(int argc, char **argv) {
   FleetConfig FC;
   CollectorConfig CC;
   std::string StateFile;
+  TelemetryOptions Telemetry;
 
   for (int I = 2; I < argc; ++I) {
     auto NextArg = [&](const char *Flag) -> const char * {
@@ -398,7 +500,10 @@ static int cmdCollect(int argc, char **argv) {
       return argv[++I];
     };
     const char *V = nullptr;
-    if (!std::strcmp(argv[I], "--spool")) {
+    if (int R = parseTelemetryArg(argc, argv, I, Telemetry)) {
+      if (R < 0)
+        return 2;
+    } else if (!std::strcmp(argv[I], "--spool")) {
       if (!(V = NextArg("--spool")))
         return 2;
       CC.SpoolDir = V;
@@ -430,6 +535,7 @@ static int cmdCollect(int argc, char **argv) {
     return 2;
   }
 
+  Telemetry.enableTracing();
   FleetScheduler Sched(FC);
   if (!resumeStateIfPresent(Sched, StateFile))
     return 1;
@@ -449,15 +555,99 @@ static int cmdCollect(int argc, char **argv) {
               (unsigned long long)CS.FilesQuarantined,
               (unsigned long long)CS.StaleTemps);
   std::printf("records: %llu decoded, %llu duplicate(s) dropped, %llu shed "
-              "by backpressure, %llu submitted into %zu bucket(s)\n\n",
+              "by backpressure (%llu bucket(s) affected), %llu submitted "
+              "into %zu bucket(s)\n\n",
               (unsigned long long)CS.RecordsDecoded,
               (unsigned long long)CS.DuplicatesDropped,
               (unsigned long long)CS.BackpressureDropped,
+              (unsigned long long)CS.BucketsShed,
               (unsigned long long)CS.Submitted, Sched.numCampaigns());
 
   FleetReport FR = Sched.run();
   printFleetReport(FR);
-  return saveStateIfRequested(Sched, StateFile);
+  if (int Rc = saveStateIfRequested(Sched, StateFile))
+    return Rc;
+  return Telemetry.exportAll();
+}
+
+/// `stats`: run the fleet pipeline with span recording forced on, then
+/// render the whole metric catalog and a per-phase time summary as text.
+/// This is the operator's one-command view of where a reconstruction run
+/// spends its time and what the pipeline counted along the way.
+static int cmdStats(int argc, char **argv) {
+  FleetConfig FC;
+  unsigned Machines = 3, RunsPerMachine = 400;
+  std::vector<std::string> BugIds;
+  TelemetryOptions Telemetry;
+
+  for (int I = 2; I < argc; ++I) {
+    auto NextArg = [&](const char *Flag) -> const char * {
+      if (I + 1 >= argc) {
+        std::printf("%s needs a value\n", Flag);
+        return nullptr;
+      }
+      return argv[++I];
+    };
+    const char *V = nullptr;
+    if (int R = parseTelemetryArg(argc, argv, I, Telemetry)) {
+      if (R < 0)
+        return 2;
+    } else if (!std::strcmp(argv[I], "--jobs")) {
+      if (!(V = NextArg("--jobs")))
+        return 2;
+      FC.Jobs = static_cast<unsigned>(std::strtoul(V, nullptr, 10));
+    } else if (!std::strcmp(argv[I], "--seed")) {
+      if (!(V = NextArg("--seed")))
+        return 2;
+      FC.RootSeed = std::strtoull(V, nullptr, 10);
+    } else if (!std::strcmp(argv[I], "--machines")) {
+      if (!(V = NextArg("--machines")))
+        return 2;
+      Machines = static_cast<unsigned>(std::strtoul(V, nullptr, 10));
+    } else if (!std::strcmp(argv[I], "--runs")) {
+      if (!(V = NextArg("--runs")))
+        return 2;
+      RunsPerMachine = static_cast<unsigned>(std::strtoul(V, nullptr, 10));
+    } else if (!std::strcmp(argv[I], "--bugs")) {
+      if (!(V = NextArg("--bugs")))
+        return 2;
+      splitBugList(V, BugIds);
+    } else {
+      std::printf("unknown stats option '%s'\n", argv[I]);
+      return 2;
+    }
+  }
+
+  std::vector<const BugSpec *> Corpus;
+  if (!resolveCorpus(BugIds, Corpus))
+    return 2;
+
+  Telemetry.enableTracing(/*Force=*/true);
+
+  FleetScheduler Sched(FC);
+  std::printf("harvesting: %u machine(s) x %u run(s) x %zu workload(s)...\n",
+              Machines, RunsPerMachine, Corpus.size());
+  unsigned Observed = 0;
+  for (unsigned Machine = 0; Machine < Machines; ++Machine)
+    for (const BugSpec *Spec : Corpus)
+      Observed += Sched.harvest(*Spec, RunsPerMachine, Machine);
+  FleetReport FR = Sched.run();
+  std::printf("observed %u occurrence(s); %u campaign(s), %u reproduced; "
+              "wall %.2fs (%u jobs)\n\n",
+              Observed, FR.CampaignsRun, FR.Reproduced, FR.WallSeconds,
+              FR.Jobs);
+
+  auto Snap = obs::MetricsRegistry::global().snapshot();
+  std::fputs(obs::renderMetricsTable(Snap).c_str(), stdout);
+  std::fputs("\n", stdout);
+  auto Spans = obs::PipelineTracer::global().snapshot();
+  std::fputs(obs::renderSpanSummary(Spans).c_str(), stdout);
+  uint64_t Dropped = obs::PipelineTracer::global().droppedSpans();
+  if (Dropped)
+    std::printf("\n(%llu span(s) dropped by the bounded ring)\n",
+                (unsigned long long)Dropped);
+
+  return Telemetry.exportAll();
 }
 
 int main(int argc, char **argv) {
@@ -471,15 +661,33 @@ int main(int argc, char **argv) {
     return cmdReport(argc, argv);
   if (!std::strcmp(argv[1], "collect"))
     return cmdCollect(argc, argv);
+  if (!std::strcmp(argv[1], "stats"))
+    return cmdStats(argc, argv);
   if (argc >= 3) {
     const BugSpec *Spec = findBug(argv[2]);
     if (!Spec) {
       std::printf("unknown bug id '%s' (try: er_cli list)\n", argv[2]);
       return 2;
     }
-    if (!std::strcmp(argv[1], "run"))
-      return cmdRun(*Spec, argc >= 4 ? std::strtoull(argv[3], nullptr, 10)
-                                     : 20260706);
+    if (!std::strcmp(argv[1], "run")) {
+      // run <BugId> [seed] [telemetry flags] — the seed stays positional
+      // for compatibility with existing scripts.
+      uint64_t Seed = 20260706;
+      int I = 3;
+      if (I < argc && std::strncmp(argv[I], "--", 2) != 0)
+        Seed = std::strtoull(argv[I++], nullptr, 10);
+      TelemetryOptions Telemetry;
+      for (; I < argc; ++I) {
+        int R = parseTelemetryArg(argc, argv, I, Telemetry);
+        if (R < 0)
+          return 2;
+        if (R == 0) {
+          std::printf("unknown run option '%s'\n", argv[I]);
+          return 2;
+        }
+      }
+      return cmdRun(*Spec, Seed, Telemetry);
+    }
     if (!std::strcmp(argv[1], "trace"))
       return cmdTrace(*Spec);
   }

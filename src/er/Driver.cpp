@@ -4,6 +4,8 @@
 
 #include "er/ConstraintGraph.h"
 #include "er/Instrumenter.h"
+#include "obs/Metrics.h"
+#include "obs/Tracer.h"
 #include "support/Format.h"
 #include "support/Rng.h"
 #include "support/Timer.h"
@@ -13,12 +15,75 @@
 
 using namespace er;
 
+//===----------------------------------------------------------------------===//
+// Telemetry
+//===----------------------------------------------------------------------===//
+//
+// The driver is where the paper's iterate-until-reproduced loop lives, so
+// it is where campaign progress becomes observable: every phase of an
+// iteration gets a span (nested under the campaign span the fleet
+// scheduler opens), and every outcome bumps a counter keyed by cause —
+// the "why did this campaign stall" answer docs/OBSERVABILITY.md
+// catalogs. All of it is write-only: results are bit-identical with
+// metrics on or off.
+
+namespace {
+struct DriverMetrics {
+  obs::Counter &Iterations, &Occurrences, &ProductionRuns;
+  obs::Counter &Reproduced, &Stalls, &ValidationFailures;
+  obs::Counter &StallWriteChain, &StallFinalSolve, &StallOther;
+  obs::Counter &SelectionExhausted;
+  obs::Histogram &SymexUs, &SelectionUs, &GraphNodes, &TraceBytes,
+      &RunsUntilFailure;
+
+  static DriverMetrics &get() {
+    auto &Reg = obs::MetricsRegistry::global();
+    static DriverMetrics M{
+        Reg.counter("er.iterations"),
+        Reg.counter("er.occurrences"),
+        Reg.counter("er.production_runs"),
+        Reg.counter("er.reproduced"),
+        Reg.counter("er.stalls"),
+        Reg.counter("er.validation_failures"),
+        Reg.counter("er.stall.cause.write_chain"),
+        Reg.counter("er.stall.cause.final_solve"),
+        Reg.counter("er.stall.cause.other"),
+        Reg.counter("er.stall.cause.selection_exhausted"),
+        Reg.histogram("er.iteration.symex_us", obs::exponentialBounds(64, 20, 2)),
+        Reg.histogram("er.iteration.selection_us",
+                      obs::exponentialBounds(16, 18, 2)),
+        Reg.histogram("er.selection.graph_nodes",
+                      obs::exponentialBounds(16, 16, 2)),
+        Reg.histogram("er.trace.bytes", obs::exponentialBounds(256, 16, 4)),
+        Reg.histogram("er.runs_until_failure",
+                      obs::exponentialBounds(1, 16, 2))};
+    return M;
+  }
+
+  /// Classifies a stall by what the snapshot implicates: a symbolic write
+  /// chain (the paper's main case), the final input-generation solve, or
+  /// neither.
+  void countStallCause(const SymexSnapshot &Snap) {
+    Stalls.inc();
+    if (!Snap.Chains.empty())
+      StallWriteChain.inc();
+    else if (Snap.CulpritExpr || !Snap.CulpritExprs.empty())
+      StallFinalSolve.inc();
+    else
+      StallOther.inc();
+  }
+};
+} // namespace
+
 /// Simulates the production-side wait for one reoccurrence (no-op unless
 /// configured; sleeping keeps results bit-identical while letting a fleet
 /// scheduler overlap many campaigns' waits).
 static void waitForOccurrence(const DriverConfig &Config) {
   if (Config.OccurrenceLatencySeconds <= 0)
     return;
+  // The paper's dominant online cost: waiting for the redeployed,
+  // re-instrumented program to fail again in production.
+  obs::ScopedSpan Span("er.redeploy_wait");
   std::this_thread::sleep_for(std::chrono::duration<double>(
       Config.OccurrenceLatencySeconds));
 }
@@ -30,6 +95,8 @@ ReconstructionReport
 ReconstructionDriver::reconstruct(const InputGenerator &Gen,
                                   const FailureRecord *TargetFailure) {
   ReconstructionReport Report;
+  DriverMetrics &DM = DriverMetrics::get();
+  obs::ScopedSpan RecSpan("er.reconstruct");
   Rng ProdRng(Config.Seed);
   bool HaveTarget = TargetFailure != nullptr;
   FailureRecord Target;
@@ -47,6 +114,7 @@ ReconstructionDriver::reconstruct(const InputGenerator &Gen,
       VC.ScheduleSeed = ProdRng.next();
       Interpreter VM(M, VC);
       RunResult RR = VM.run(In);
+      DM.ProductionRuns.inc();
       if (RR.Status != ExitStatus::Failure)
         continue;
       if (HaveTarget && !RR.Failure.sameFailure(Target))
@@ -62,38 +130,50 @@ ReconstructionDriver::reconstruct(const InputGenerator &Gen,
     }
     waitForOccurrence(Config);
     ++Report.Occurrences;
+    DM.Occurrences.inc();
     Report.Failure = Target;
   }
 
   for (unsigned Iter = 0; Iter < Config.MaxIterations; ++Iter) {
     IterationReport IR;
     IR.TotalInstrumentationSites = countInstrumentation(M);
+    obs::ScopedSpan IterSpan("er.iteration");
+    IterSpan.arg("iter", static_cast<uint64_t>(Iter));
+    IterSpan.arg("sites", static_cast<uint64_t>(IR.TotalInstrumentationSites));
+    DM.Iterations.inc();
 
     //===--- Online phase: wait for the failure to (re)occur --------------===
     TraceRecorder Rec(Config.Trace);
     RunResult FailingRun;
     uint64_t FailingSeed = 0;
     bool Observed = false;
-    for (uint64_t Run = 0; Run < Config.MaxRunsPerOccurrence; ++Run) {
-      ProgramInput In = Gen(ProdRng);
-      VmConfig VC = Config.Vm;
-      VC.ScheduleSeed = ProdRng.next();
-      TraceRecorder RunRec(Config.Trace);
-      Interpreter VM(M, VC);
-      RunResult RR = VM.run(In, &RunRec);
-      ++IR.RunsUntilFailure;
-      if (RR.Status != ExitStatus::Failure)
-        continue;
-      if (HaveTarget && !RR.Failure.sameFailure(Target))
-        continue; // A different bug; production keeps running.
-      Target = RR.Failure;
-      HaveTarget = true;
-      FailingRun = RR;
-      FailingSeed = VC.ScheduleSeed;
-      Rec = std::move(RunRec);
-      Observed = true;
-      break;
+    {
+      obs::ScopedSpan WaitSpan("er.wait_reoccurrence");
+      for (uint64_t Run = 0; Run < Config.MaxRunsPerOccurrence; ++Run) {
+        ProgramInput In = Gen(ProdRng);
+        VmConfig VC = Config.Vm;
+        VC.ScheduleSeed = ProdRng.next();
+        TraceRecorder RunRec(Config.Trace);
+        Interpreter VM(M, VC);
+        RunResult RR = VM.run(In, &RunRec);
+        ++IR.RunsUntilFailure;
+        DM.ProductionRuns.inc();
+        if (RR.Status != ExitStatus::Failure)
+          continue;
+        if (HaveTarget && !RR.Failure.sameFailure(Target))
+          continue; // A different bug; production keeps running.
+        Target = RR.Failure;
+        HaveTarget = true;
+        FailingRun = RR;
+        FailingSeed = VC.ScheduleSeed;
+        Rec = std::move(RunRec);
+        Observed = true;
+        break;
+      }
+      WaitSpan.arg("runs", IR.RunsUntilFailure);
+      WaitSpan.arg("observed", static_cast<uint64_t>(Observed));
     }
+    DM.RunsUntilFailure.record(IR.RunsUntilFailure);
     if (!Observed) {
       Report.FailureDetail = "failure did not reoccur within the run budget";
       Report.Iterations.push_back(IR);
@@ -102,10 +182,12 @@ ReconstructionDriver::reconstruct(const InputGenerator &Gen,
 
     waitForOccurrence(Config);
     ++Report.Occurrences;
+    DM.Occurrences.inc();
     Report.Failure = Target;
     Report.FailingInstrCount = FailingRun.InstrCount;
     IR.FailingRunInstrs = FailingRun.InstrCount;
     IR.Trace = Rec.getStats();
+    DM.TraceBytes.record(IR.Trace.BytesWritten);
 
     //===--- Offline phase: shepherded symbolic execution ------------------===
     // Tied chunk timestamps make the cross-thread order ambiguous; on a
@@ -113,14 +195,24 @@ ReconstructionDriver::reconstruct(const InputGenerator &Gen,
     // few alternative tie-break orders (Section 3.4) before waiting for
     // another occurrence.
     Stopwatch SymexTimer;
-    DecodedTrace Decoded = Rec.decode();
+    DecodedTrace Decoded;
+    {
+      obs::ScopedSpan DecodeSpan("er.trace_decode");
+      DecodeSpan.arg("bytes", IR.Trace.BytesWritten);
+      Decoded = Rec.decode();
+    }
     SymexResult SR;
     for (unsigned Retry = 0; Retry <= Config.MaxTieBreakRetries; ++Retry) {
+      obs::ScopedSpan SymexSpan("er.symex");
+      SymexSpan.arg("retry", static_cast<uint64_t>(Retry));
       SymexConfig SC = Config.Symex;
       SC.ChunkTieBreakSeed = Retry;
       ShepherdedExecutor SE(M, Ctx, Solver, SC);
       SR = SE.run(Decoded, Target);
+      SymexSpan.arg("status", symexStatusName(SR.Status));
+      SymexSpan.arg("solver_work", SR.SolverWork);
       if (SR.Status == SymexStatus::Reproduced) {
+        obs::ScopedSpan ValidateSpan("er.validate");
         VmConfig VC = Config.Vm;
         VC.ScheduleSeed = FailingSeed;
         Interpreter Probe(M, VC);
@@ -128,12 +220,14 @@ ReconstructionDriver::reconstruct(const InputGenerator &Gen,
         if (ProbeR.Status == ExitStatus::Failure &&
             ProbeR.Failure.sameFailure(Target))
           break; // Validated.
+        DM.ValidationFailures.inc();
         continue; // Wrong interleaving choice: try the next order.
       }
       if (SR.Status != SymexStatus::TraceMismatch)
         break; // Stall/truncation: tie-breaking will not help.
     }
     IR.SymexSeconds = SymexTimer.seconds();
+    DM.SymexUs.record(static_cast<uint64_t>(IR.SymexSeconds * 1e6));
     IR.SymexInstrs = SR.InstrExecuted;
     IR.SymexWork = SR.SolverWork;
     IR.Status = SR.Status;
@@ -144,6 +238,7 @@ ReconstructionDriver::reconstruct(const InputGenerator &Gen,
     case SymexStatus::Reproduced: {
       // Validate the generated test case by concrete replay under the
       // failing run's schedule.
+      obs::ScopedSpan ValidateSpan("er.validate");
       VmConfig VC = Config.Vm;
       VC.ScheduleSeed = FailingSeed;
       Interpreter Replay(M, VC);
@@ -154,29 +249,48 @@ ReconstructionDriver::reconstruct(const InputGenerator &Gen,
         Report.TestCase = SR.GeneratedInput;
         Report.ReplayScheduleSeed = FailingSeed;
         Report.Iterations.push_back(IR);
+        DM.Reproduced.inc();
+        RecSpan.arg("occurrences", static_cast<uint64_t>(Report.Occurrences));
+        RecSpan.arg("result", "reproduced");
         return Report;
       }
       // Rare: the reconstruction picked an interleaving-inconsistent
       // ordering (Section 3.4's caveat). Use the next occurrence's trace.
       IR.Detail = "generated input failed validation; retrying with a "
                   "fresh trace";
+      DM.ValidationFailures.inc();
       Report.Iterations.push_back(IR);
       continue;
     }
 
     case SymexStatus::Stalled: {
+      DM.countStallCause(SR.Snapshot);
       Stopwatch SelTimer;
-      ConstraintGraph Graph(SR.Snapshot);
-      IR.GraphNodes = Graph.numNodes();
-      KeyValueSelector Selector(Graph, instrumentedSites(M));
-      RecordingPlan Plan = Selector.computeRecordingSet();
-      if (Config.UseRandomSelection) {
-        Rng SelRng(Config.Seed ^ 0x5eedf00d);
-        Plan = Selector.randomRecordingSet(SelRng, Plan);
+      RecordingPlan Plan;
+      uint64_t NumGraphNodes = 0;
+      {
+        obs::ScopedSpan SelSpan("er.selection");
+        ConstraintGraph Graph(SR.Snapshot);
+        IR.GraphNodes = NumGraphNodes = Graph.numNodes();
+        KeyValueSelector Selector(Graph, instrumentedSites(M));
+        Plan = Selector.computeRecordingSet();
+        if (Config.UseRandomSelection) {
+          Rng SelRng(Config.Seed ^ 0x5eedf00d);
+          Plan = Selector.randomRecordingSet(SelRng, Plan);
+        }
+        SelSpan.arg("graph_nodes", NumGraphNodes);
+        SelSpan.arg("cost", Plan.totalCost());
       }
       IR.SelectionSeconds = SelTimer.seconds();
+      DM.SelectionUs.record(static_cast<uint64_t>(IR.SelectionSeconds * 1e6));
+      DM.GraphNodes.record(NumGraphNodes);
       IR.RecordingCost = Plan.totalCost();
-      IR.NewRecordedValues = instrumentModule(M, Plan);
+      {
+        obs::ScopedSpan InstrSpan("er.instrument");
+        IR.NewRecordedValues = instrumentModule(M, Plan);
+        InstrSpan.arg("new_values",
+                      static_cast<uint64_t>(IR.NewRecordedValues));
+      }
       IR.TotalInstrumentationSites = countInstrumentation(M);
       Report.Iterations.push_back(IR);
       if (IR.NewRecordedValues == 0 && !Config.UseRandomSelection) {
@@ -184,6 +298,8 @@ ReconstructionDriver::reconstruct(const InputGenerator &Gen,
         // progress (should not happen with key-value selection).
         Report.FailureDetail =
             "stalled with no new values to record: " + SR.Detail;
+        DM.SelectionExhausted.inc();
+        RecSpan.arg("result", "selection_exhausted");
         return Report;
       }
       continue;
@@ -194,11 +310,18 @@ ReconstructionDriver::reconstruct(const InputGenerator &Gen,
     case SymexStatus::Unsupported:
       Report.FailureDetail = formatString(
           "%s: %s", symexStatusName(SR.Status), SR.Detail.c_str());
+      // Terminal non-stall outcomes, keyed by cause (rare: once per
+      // campaign at most, so the by-name registry lookup is fine here).
+      obs::MetricsRegistry::global()
+          .counter(std::string("er.terminal.") + symexStatusName(SR.Status))
+          .inc();
+      RecSpan.arg("result", symexStatusName(SR.Status));
       Report.Iterations.push_back(IR);
       return Report;
     }
   }
 
   Report.FailureDetail = "iteration budget exhausted";
+  RecSpan.arg("result", "iteration_budget_exhausted");
   return Report;
 }

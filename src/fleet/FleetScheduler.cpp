@@ -4,6 +4,8 @@
 
 #include "er/Instrumenter.h"
 #include "fleet/FleetPersist.h"
+#include "obs/Metrics.h"
+#include "obs/Tracer.h"
 #include "support/Timer.h"
 #include "vm/Interpreter.h"
 
@@ -12,6 +14,36 @@
 #include <thread>
 
 using namespace er;
+
+//===----------------------------------------------------------------------===//
+// Telemetry
+//===----------------------------------------------------------------------===//
+//
+// The scheduler is the natural place to tag pipeline telemetry with fleet
+// identity: every campaign runs under a span carrying its signature
+// digest and bug id (all driver/solver spans nest beneath it on the
+// worker's thread), and triage progress is exported as gauges — both the
+// fleet-wide ones and a per-bucket occurrence gauge
+// (fleet.bucket.<digest>.occurrences) that a collector daemon can watch
+// to decide preemption (ROADMAP "campaign preemption").
+
+namespace {
+struct FleetMetrics {
+  obs::Counter &ReportsSubmitted, &CampaignsRun, &CampaignsReproduced;
+  obs::Gauge &Buckets, &Pending, &Completed;
+
+  static FleetMetrics &get() {
+    auto &Reg = obs::MetricsRegistry::global();
+    static FleetMetrics M{Reg.counter("fleet.reports.submitted"),
+                          Reg.counter("fleet.campaigns.run"),
+                          Reg.counter("fleet.campaigns.reproduced"),
+                          Reg.gauge("fleet.buckets"),
+                          Reg.gauge("fleet.campaigns.pending"),
+                          Reg.gauge("fleet.campaigns.completed")};
+    return M;
+  }
+};
+} // namespace
 
 FleetScheduler::FleetScheduler(FleetConfig Config)
     : Config(Config), Cache(Config.Cache) {
@@ -43,6 +75,15 @@ void FleetScheduler::submit(const FleetFailureReport &R) {
     return;
   Campaign &C = campaignFor(FailureSignature::of(R.Failure), R.BugId);
   ++C.Occurrences;
+  FleetMetrics &FM = FleetMetrics::get();
+  FM.ReportsSubmitted.inc();
+  FM.Buckets.set(static_cast<int64_t>(Campaigns.size()));
+  // Per-bucket progress: the triage signal, by name. Submission is a
+  // control-thread path (not per VM instruction), so the registry lookup
+  // per report is acceptable.
+  obs::MetricsRegistry::global()
+      .gauge("fleet.bucket." + C.Sig.hex() + ".occurrences")
+      .set(static_cast<int64_t>(C.Occurrences));
 }
 
 unsigned er::simulateMachine(
@@ -82,9 +123,15 @@ unsigned er::simulateMachine(
 
 unsigned FleetScheduler::harvest(const BugSpec &Spec, unsigned Runs,
                                  uint64_t MachineId) {
-  return simulateMachine(
+  obs::ScopedSpan Span("fleet.harvest", "fleet");
+  Span.arg("bug", Spec.Id);
+  Span.arg("machine", MachineId);
+  Span.arg("runs", static_cast<uint64_t>(Runs));
+  unsigned Observed = simulateMachine(
       Spec, Runs, MachineId, Config.RootSeed, Config.DriverBase.Vm,
       [this](const FleetFailureReport &R) { submit(R); });
+  Span.arg("observed", static_cast<uint64_t>(Observed));
+  return Observed;
 }
 
 std::vector<size_t> FleetScheduler::triageOrder() const {
@@ -103,10 +150,22 @@ std::vector<size_t> FleetScheduler::triageOrder() const {
 }
 
 void FleetScheduler::runCampaign(Campaign &C) {
+  // The campaign span carries fleet identity; every driver/solver span
+  // the reconstruction opens nests under it on this worker's thread.
+  obs::ScopedSpan Span("fleet.campaign", "fleet");
+  Span.arg("sig", C.Sig.hex());
+  Span.arg("bug", C.BugId);
+  Span.arg("occurrences", C.Occurrences);
+  Span.arg("seed", C.CampaignSeed);
+  FleetMetrics &FM = FleetMetrics::get();
+
   const BugSpec *Spec = findBug(C.BugId);
   if (!Spec) {
     C.Report.FailureDetail = "unknown workload '" + C.BugId + "'";
     C.Completed = true;
+    Span.arg("result", "unknown-workload");
+    FM.Pending.add(-1);
+    FM.Completed.add(1);
     return;
   }
 
@@ -132,10 +191,21 @@ void FleetScheduler::runCampaign(Campaign &C) {
   C.RecordingSet.assign(Sites.begin(), Sites.end());
   std::sort(C.RecordingSet.begin(), C.RecordingSet.end());
   C.Completed = true;
+
+  FM.CampaignsRun.inc();
+  if (C.Report.Success)
+    FM.CampaignsReproduced.inc();
+  FM.Pending.add(-1);
+  FM.Completed.add(1);
+  Span.arg("result", C.Report.Success ? "reproduced" : "failed");
+  Span.arg("consumed", static_cast<uint64_t>(C.Report.Occurrences));
 }
 
 FleetReport FleetScheduler::run() {
   Stopwatch Wall;
+  obs::ScopedSpan RunSpan("fleet.run", "fleet");
+  RunSpan.arg("jobs", static_cast<uint64_t>(Config.Jobs));
+  RunSpan.arg("campaigns", Campaigns.size());
   std::vector<size_t> Order = triageOrder();
 
   // Worklist of pending campaigns, in triage order. Workers claim entries
@@ -149,6 +219,12 @@ FleetReport FleetScheduler::run() {
     else
       Pending.push_back(Idx);
   }
+
+  FleetMetrics &FM = FleetMetrics::get();
+  FM.Pending.set(static_cast<int64_t>(Pending.size()));
+  FM.Completed.set(static_cast<int64_t>(Resumed));
+  RunSpan.arg("pending", Pending.size());
+  RunSpan.arg("resumed", static_cast<uint64_t>(Resumed));
 
   // Force the (thread-safe, once-only) spec registry init before workers
   // start, and keep worker count sane.

@@ -5,6 +5,8 @@
 #include "fleet/FailureSignature.h"
 #include "ingest/ReportCodec.h"
 #include "ingest/ReportSpool.h"
+#include "obs/Metrics.h"
+#include "obs/Tracer.h"
 
 #include <algorithm>
 #include <cstdio>
@@ -138,7 +140,48 @@ DecodeStatus decodeSpoolFile(const std::vector<uint8_t> &Bytes,
 }
 } // namespace
 
+namespace {
+/// Bridges the bespoke CollectorStats struct (kept for API compatibility —
+/// er_cli and tests consume it directly) into the metrics registry. Each
+/// drain mirrors its per-drain delta so registry counters stay monotonic
+/// even across multiple collector instances in one process.
+struct IngestMetrics {
+  obs::Counter &FilesScanned, &FilesClaimed, &FilesQuarantined, &StaleTemps;
+  obs::Counter &RecordsDecoded, &DuplicatesDropped, &BackpressureDropped;
+  obs::Counter &BucketsShed, &Submitted;
+
+  static IngestMetrics &get() {
+    auto &Reg = obs::MetricsRegistry::global();
+    static IngestMetrics M{Reg.counter("ingest.files.scanned"),
+                           Reg.counter("ingest.files.claimed"),
+                           Reg.counter("ingest.files.quarantined"),
+                           Reg.counter("ingest.files.stale_temps"),
+                           Reg.counter("ingest.records.decoded"),
+                           Reg.counter("ingest.records.duplicates"),
+                           Reg.counter("ingest.records.shed"),
+                           Reg.counter("ingest.buckets.shed"),
+                           Reg.counter("ingest.records.submitted")};
+    return M;
+  }
+
+  void recordDelta(const CollectorStats &Before, const CollectorStats &After) {
+    FilesScanned.add(After.FilesScanned - Before.FilesScanned);
+    FilesClaimed.add(After.FilesClaimed - Before.FilesClaimed);
+    FilesQuarantined.add(After.FilesQuarantined - Before.FilesQuarantined);
+    StaleTemps.add(After.StaleTemps - Before.StaleTemps);
+    RecordsDecoded.add(After.RecordsDecoded - Before.RecordsDecoded);
+    DuplicatesDropped.add(After.DuplicatesDropped - Before.DuplicatesDropped);
+    BackpressureDropped.add(After.BackpressureDropped -
+                            Before.BackpressureDropped);
+    BucketsShed.add(After.BucketsShed - Before.BucketsShed);
+    Submitted.add(After.Submitted - Before.Submitted);
+  }
+};
+} // namespace
+
 bool ReportCollector::drainInto(FleetScheduler &Sched, std::string *Error) {
+  obs::ScopedSpan Span("ingest.drain", "ingest");
+  const CollectorStats Before = Stats;
   std::error_code EC;
   fs::create_directories(quarantineDir(), EC);
   if (EC) {
@@ -257,12 +300,16 @@ bool ReportCollector::drainInto(FleetScheduler &Sched, std::string *Error) {
       if (!Excess)
         break;
       // Shed the bucket's latest deliveries first.
+      bool Shed = false;
       for (auto It = B->Indices.rbegin();
            It != B->Indices.rend() && Excess; ++It) {
         Drop[*It] = true;
+        Shed = true;
         --Excess;
         ++Stats.BackpressureDropped;
       }
+      if (Shed)
+        ++Stats.BucketsShed;
     }
     std::vector<FleetFailureReport> Surviving;
     Surviving.reserve(Config.MaxPending);
@@ -276,5 +323,9 @@ bool ReportCollector::drainInto(FleetScheduler &Sched, std::string *Error) {
     Sched.submit(R);
   Stats.Submitted += Kept.size();
 
+  IngestMetrics::get().recordDelta(Before, Stats);
+  Span.arg("files", Stats.FilesScanned - Before.FilesScanned);
+  Span.arg("submitted", Stats.Submitted - Before.Submitted);
+  Span.arg("quarantined", Stats.FilesQuarantined - Before.FilesQuarantined);
   return saveHighWater(Error);
 }

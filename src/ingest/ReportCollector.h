@@ -59,6 +59,8 @@ struct CollectorStats {
   uint64_t RecordsDecoded = 0;   ///< Records from fully-valid files.
   uint64_t DuplicatesDropped = 0; ///< (machine, seq) already seen/consumed.
   uint64_t BackpressureDropped = 0; ///< Shed by the MaxPending bound.
+  uint64_t BucketsShed = 0; ///< Distinct failure buckets that lost >=1 report
+                            ///< to backpressure.
   uint64_t Submitted = 0;        ///< Handed to FleetScheduler::submit.
 };
 

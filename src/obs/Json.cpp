@@ -1,0 +1,384 @@
+//===- Json.cpp - Minimal JSON emission and validation ----------------------===//
+
+#include "obs/Json.h"
+
+#include <cassert>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+using namespace er;
+using namespace er::obs;
+
+//===----------------------------------------------------------------------===//
+// Escaping + writer
+//===----------------------------------------------------------------------===//
+
+std::string obs::jsonEscape(std::string_view S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (unsigned char C : S) {
+    switch (C) {
+    case '"':  Out += "\\\""; break;
+    case '\\': Out += "\\\\"; break;
+    case '\b': Out += "\\b"; break;
+    case '\f': Out += "\\f"; break;
+    case '\n': Out += "\\n"; break;
+    case '\r': Out += "\\r"; break;
+    case '\t': Out += "\\t"; break;
+    default:
+      if (C < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += static_cast<char>(C);
+      }
+    }
+  }
+  return Out;
+}
+
+void JsonWriter::preValue() {
+  if (Stack.empty())
+    return;
+  Frame &F = Stack.back();
+  if (F.Kind == 'O') {
+    assert(F.HaveKey && "object value requires a preceding key()");
+    F.HaveKey = false;
+    return; // key() already wrote the comma and the key.
+  }
+  if (F.NeedComma)
+    Out += ',';
+  F.NeedComma = true;
+}
+
+void JsonWriter::beginObject() {
+  preValue();
+  Out += '{';
+  Stack.push_back({'O'});
+}
+
+void JsonWriter::endObject() {
+  assert(!Stack.empty() && Stack.back().Kind == 'O' && !Stack.back().HaveKey);
+  Stack.pop_back();
+  Out += '}';
+}
+
+void JsonWriter::beginArray() {
+  preValue();
+  Out += '[';
+  Stack.push_back({'A'});
+}
+
+void JsonWriter::endArray() {
+  assert(!Stack.empty() && Stack.back().Kind == 'A');
+  Stack.pop_back();
+  Out += ']';
+}
+
+void JsonWriter::key(std::string_view K) {
+  assert(!Stack.empty() && Stack.back().Kind == 'O' && !Stack.back().HaveKey);
+  Frame &F = Stack.back();
+  if (F.NeedComma)
+    Out += ',';
+  F.NeedComma = true;
+  F.HaveKey = true;
+  Out += '"';
+  Out += jsonEscape(K);
+  Out += "\":";
+}
+
+void JsonWriter::value(std::string_view V) {
+  preValue();
+  Out += '"';
+  Out += jsonEscape(V);
+  Out += '"';
+}
+
+void JsonWriter::value(uint64_t V) {
+  preValue();
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%llu", (unsigned long long)V);
+  Out += Buf;
+}
+
+void JsonWriter::value(int64_t V) {
+  preValue();
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%lld", (long long)V);
+  Out += Buf;
+}
+
+void JsonWriter::value(double V) {
+  preValue();
+  if (!std::isfinite(V)) {
+    // JSON has no Inf/NaN; null is the conventional stand-in.
+    Out += "null";
+    return;
+  }
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.6g", V);
+  Out += Buf;
+}
+
+void JsonWriter::value(bool V) {
+  preValue();
+  Out += V ? "true" : "false";
+}
+
+void JsonWriter::nullValue() {
+  preValue();
+  Out += "null";
+}
+
+//===----------------------------------------------------------------------===//
+// Validator
+//===----------------------------------------------------------------------===//
+
+namespace {
+/// Recursive-descent JSON syntax checker; no values are materialized.
+class Validator {
+public:
+  Validator(std::string_view Text) : Text(Text) {}
+
+  bool run(std::string *Error) {
+    skipWs();
+    if (!parseValue()) {
+      report(Error);
+      return false;
+    }
+    skipWs();
+    if (Pos != Text.size()) {
+      Err = "trailing characters after document";
+      report(Error);
+      return false;
+    }
+    return true;
+  }
+
+private:
+  void report(std::string *Error) const {
+    if (Error)
+      *Error = Err + " at offset " + std::to_string(Pos);
+  }
+
+  bool eof() const { return Pos >= Text.size(); }
+  char peek() const { return Text[Pos]; }
+
+  void skipWs() {
+    while (!eof() && (peek() == ' ' || peek() == '\t' || peek() == '\n' ||
+                      peek() == '\r'))
+      ++Pos;
+  }
+
+  bool fail(const char *Msg) {
+    if (Err.empty())
+      Err = Msg;
+    return false;
+  }
+
+  bool literal(std::string_view Lit) {
+    if (Text.substr(Pos, Lit.size()) != Lit)
+      return fail("invalid literal");
+    Pos += Lit.size();
+    return true;
+  }
+
+  bool parseValue() {
+    if (MaxDepth == 0)
+      return fail("nesting too deep");
+    if (eof())
+      return fail("unexpected end of input");
+    switch (peek()) {
+    case '{': return parseObject();
+    case '[': return parseArray();
+    case '"': return parseString();
+    case 't': return literal("true");
+    case 'f': return literal("false");
+    case 'n': return literal("null");
+    default:  return parseNumber();
+    }
+  }
+
+  bool parseObject() {
+    ++Pos; // '{'
+    --MaxDepth;
+    skipWs();
+    if (!eof() && peek() == '}') {
+      ++Pos;
+      ++MaxDepth;
+      return true;
+    }
+    for (;;) {
+      skipWs();
+      if (eof() || peek() != '"')
+        return fail("expected object key");
+      if (!parseString())
+        return false;
+      skipWs();
+      if (eof() || peek() != ':')
+        return fail("expected ':'");
+      ++Pos;
+      skipWs();
+      if (!parseValue())
+        return false;
+      skipWs();
+      if (eof())
+        return fail("unterminated object");
+      if (peek() == ',') {
+        ++Pos;
+        continue;
+      }
+      if (peek() == '}') {
+        ++Pos;
+        ++MaxDepth;
+        return true;
+      }
+      return fail("expected ',' or '}'");
+    }
+  }
+
+  bool parseArray() {
+    ++Pos; // '['
+    --MaxDepth;
+    skipWs();
+    if (!eof() && peek() == ']') {
+      ++Pos;
+      ++MaxDepth;
+      return true;
+    }
+    for (;;) {
+      skipWs();
+      if (!parseValue())
+        return false;
+      skipWs();
+      if (eof())
+        return fail("unterminated array");
+      if (peek() == ',') {
+        ++Pos;
+        continue;
+      }
+      if (peek() == ']') {
+        ++Pos;
+        ++MaxDepth;
+        return true;
+      }
+      return fail("expected ',' or ']'");
+    }
+  }
+
+  bool parseString() {
+    ++Pos; // '"'
+    while (!eof()) {
+      unsigned char C = static_cast<unsigned char>(Text[Pos]);
+      if (C == '"') {
+        ++Pos;
+        return true;
+      }
+      if (C < 0x20)
+        return fail("unescaped control character in string");
+      if (C == '\\') {
+        ++Pos;
+        if (eof())
+          break;
+        char E = Text[Pos];
+        if (E == 'u') {
+          for (int I = 0; I < 4; ++I) {
+            ++Pos;
+            if (eof() || !std::isxdigit(static_cast<unsigned char>(Text[Pos])))
+              return fail("bad \\u escape");
+          }
+        } else if (!std::strchr("\"\\/bfnrt", E)) {
+          return fail("bad escape character");
+        }
+      }
+      ++Pos;
+    }
+    return fail("unterminated string");
+  }
+
+  bool parseNumber() {
+    size_t Start = Pos;
+    if (!eof() && peek() == '-')
+      ++Pos;
+    if (eof() || !std::isdigit(static_cast<unsigned char>(peek())))
+      return fail("invalid number");
+    if (peek() == '0') {
+      ++Pos;
+    } else {
+      while (!eof() && std::isdigit(static_cast<unsigned char>(peek())))
+        ++Pos;
+    }
+    if (!eof() && peek() == '.') {
+      ++Pos;
+      if (eof() || !std::isdigit(static_cast<unsigned char>(peek())))
+        return fail("invalid number fraction");
+      while (!eof() && std::isdigit(static_cast<unsigned char>(peek())))
+        ++Pos;
+    }
+    if (!eof() && (peek() == 'e' || peek() == 'E')) {
+      ++Pos;
+      if (!eof() && (peek() == '+' || peek() == '-'))
+        ++Pos;
+      if (eof() || !std::isdigit(static_cast<unsigned char>(peek())))
+        return fail("invalid number exponent");
+      while (!eof() && std::isdigit(static_cast<unsigned char>(peek())))
+        ++Pos;
+    }
+    return Pos > Start;
+  }
+
+  std::string_view Text;
+  size_t Pos = 0;
+  int MaxDepth = 256;
+  std::string Err;
+};
+} // namespace
+
+bool obs::validateJson(std::string_view Text, std::string *Error) {
+  return Validator(Text).run(Error);
+}
+
+bool obs::validateJsonLines(std::string_view Text, std::string *Error) {
+  size_t LineNo = 0, Start = 0;
+  while (Start <= Text.size()) {
+    size_t End = Text.find('\n', Start);
+    if (End == std::string_view::npos)
+      End = Text.size();
+    ++LineNo;
+    std::string_view Line = Text.substr(Start, End - Start);
+    if (!Line.empty()) {
+      std::string Err;
+      if (!validateJson(Line, &Err)) {
+        if (Error)
+          *Error = "line " + std::to_string(LineNo) + ": " + Err;
+        return false;
+      }
+    }
+    if (End == Text.size())
+      break;
+    Start = End + 1;
+  }
+  return true;
+}
+
+bool obs::writeTextFile(const std::string &Path, std::string_view Content,
+                        std::string *Error) {
+  std::ofstream OS(Path, std::ios::trunc | std::ios::binary);
+  if (!OS) {
+    if (Error)
+      *Error = "cannot open '" + Path + "' for writing";
+    return false;
+  }
+  OS.write(Content.data(), static_cast<std::streamsize>(Content.size()));
+  OS.flush();
+  if (!OS) {
+    if (Error)
+      *Error = "write to '" + Path + "' failed";
+    return false;
+  }
+  return true;
+}

@@ -1,0 +1,96 @@
+//===- Json.h - Minimal JSON emission and validation ------------*- C++ -*-===//
+///
+/// \file
+/// A tiny dependency-free JSON toolkit for the observability exporters and
+/// the bench `--json` records: an append-only streaming writer (objects,
+/// arrays, scalar values) and a strict syntax validator used by tests and
+/// CI to gate exported artifacts. Not a DOM — nothing in this repo needs
+/// to *read* JSON structurally, only to emit it correctly and prove that
+/// what was emitted parses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ER_OBS_JSON_H
+#define ER_OBS_JSON_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace er {
+namespace obs {
+
+/// Escapes \p S for inclusion inside a JSON string literal (no quotes
+/// added): control characters, quote, and backslash per RFC 8259.
+std::string jsonEscape(std::string_view S);
+
+/// Streaming JSON writer. Usage:
+///
+///   JsonWriter W;
+///   W.beginObject();
+///   W.key("name"); W.value("bench_x");
+///   W.key("metrics"); W.beginObject(); ... W.endObject();
+///   W.endObject();
+///   std::string Doc = W.take();
+///
+/// The writer inserts commas automatically; mismatched begin/end or a
+/// value without a key inside an object is a programming error (asserted).
+class JsonWriter {
+public:
+  void beginObject();
+  void endObject();
+  void beginArray();
+  void endArray();
+  void key(std::string_view K);
+  void value(std::string_view V);
+  void value(const char *V) { value(std::string_view(V)); }
+  void value(uint64_t V);
+  void value(int64_t V);
+  void value(unsigned V) { value(static_cast<uint64_t>(V)); }
+  void value(int V) { value(static_cast<int64_t>(V)); }
+  void value(double V);
+  void value(bool V);
+  void nullValue();
+
+  /// Convenience: key + scalar in one call.
+  template <typename T> void kv(std::string_view K, T V) {
+    key(K);
+    value(V);
+  }
+
+  const std::string &str() const { return Out; }
+  std::string take() { return std::move(Out); }
+
+private:
+  void preValue();
+
+  std::string Out;
+  /// One frame per open container: 'O' object, 'A' array; the bool is
+  /// "needs a comma before the next element".
+  struct Frame {
+    char Kind;
+    bool NeedComma = false;
+    bool HaveKey = false; // Objects: key() seen, value pending.
+  };
+  std::vector<Frame> Stack;
+};
+
+/// Strict RFC 8259 syntax check of one JSON document (surrounding
+/// whitespace allowed, trailing garbage rejected). Returns false and a
+/// position-annotated message in \p Error on the first defect.
+bool validateJson(std::string_view Text, std::string *Error = nullptr);
+
+/// Validates line-delimited JSON: every non-empty line must be a valid
+/// document. \p Error names the offending line.
+bool validateJsonLines(std::string_view Text, std::string *Error = nullptr);
+
+/// Writes \p Content to \p Path (truncating). False + message on I/O
+/// failure.
+bool writeTextFile(const std::string &Path, std::string_view Content,
+                   std::string *Error = nullptr);
+
+} // namespace obs
+} // namespace er
+
+#endif // ER_OBS_JSON_H

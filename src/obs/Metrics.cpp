@@ -1,0 +1,265 @@
+//===- Metrics.cpp - Low-overhead metrics registry --------------------------===//
+
+#include "obs/Metrics.h"
+
+#include "obs/Json.h"
+
+#include <algorithm>
+#include <cstdio>
+
+using namespace er;
+using namespace er::obs;
+
+//===----------------------------------------------------------------------===//
+// Instruments
+//===----------------------------------------------------------------------===//
+
+unsigned Counter::threadShard() {
+  static std::atomic<unsigned> NextShard{0};
+  thread_local unsigned Shard =
+      NextShard.fetch_add(1, std::memory_order_relaxed) % NumShards;
+  return Shard;
+}
+
+Histogram::Histogram(std::vector<uint64_t> BoundsIn)
+    : Bounds(std::move(BoundsIn)) {
+  if (Bounds.empty())
+    Bounds = exponentialBounds();
+  std::sort(Bounds.begin(), Bounds.end());
+  Bounds.erase(std::unique(Bounds.begin(), Bounds.end()), Bounds.end());
+  Buckets = std::make_unique<std::atomic<uint64_t>[]>(Bounds.size() + 1);
+  for (size_t I = 0; I <= Bounds.size(); ++I)
+    Buckets[I].store(0, std::memory_order_relaxed);
+}
+
+void Histogram::record(uint64_t Sample) {
+  // First bucket whose bound >= sample; past-the-end = overflow bucket.
+  size_t Idx = std::lower_bound(Bounds.begin(), Bounds.end(), Sample) -
+               Bounds.begin();
+  Buckets[Idx].fetch_add(1, std::memory_order_relaxed);
+  Count.fetch_add(1, std::memory_order_relaxed);
+  Sum.fetch_add(Sample, std::memory_order_relaxed);
+}
+
+void Histogram::reset() {
+  for (size_t I = 0; I <= Bounds.size(); ++I)
+    Buckets[I].store(0, std::memory_order_relaxed);
+  Count.store(0, std::memory_order_relaxed);
+  Sum.store(0, std::memory_order_relaxed);
+}
+
+std::vector<uint64_t> obs::exponentialBounds(uint64_t First, unsigned Count,
+                                             unsigned Factor) {
+  std::vector<uint64_t> Bounds;
+  Bounds.reserve(Count);
+  uint64_t B = First;
+  for (unsigned I = 0; I < Count; ++I) {
+    Bounds.push_back(B);
+    if (B > UINT64_MAX / Factor)
+      break;
+    B *= Factor;
+  }
+  return Bounds;
+}
+
+//===----------------------------------------------------------------------===//
+// Snapshots
+//===----------------------------------------------------------------------===//
+
+uint64_t HistogramValue::quantileBound(double Q) const {
+  if (!Count)
+    return 0;
+  uint64_t Target = static_cast<uint64_t>(Q * static_cast<double>(Count));
+  if (Target >= Count)
+    Target = Count - 1;
+  uint64_t Seen = 0;
+  for (size_t I = 0; I < BucketCounts.size(); ++I) {
+    Seen += BucketCounts[I];
+    if (Seen > Target)
+      return I < Bounds.size() ? Bounds[I] : UINT64_MAX;
+  }
+  return UINT64_MAX;
+}
+
+uint64_t MetricsSnapshot::counterValue(std::string_view Name) const {
+  for (const CounterValue &C : Counters)
+    if (C.Name == Name)
+      return C.Value;
+  return 0;
+}
+
+int64_t MetricsSnapshot::gaugeValue(std::string_view Name) const {
+  for (const GaugeValue &G : Gauges)
+    if (G.Name == Name)
+      return G.Value;
+  return 0;
+}
+
+const HistogramValue *MetricsSnapshot::histogram(std::string_view Name) const {
+  for (const HistogramValue &H : Histograms)
+    if (H.Name == Name)
+      return &H;
+  return nullptr;
+}
+
+//===----------------------------------------------------------------------===//
+// Registry
+//===----------------------------------------------------------------------===//
+
+Counter &MetricsRegistry::counter(std::string_view Name) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Counters.find(Name);
+  if (It == Counters.end())
+    It = Counters.emplace(std::string(Name), std::make_unique<Counter>())
+             .first;
+  return *It->second;
+}
+
+Gauge &MetricsRegistry::gauge(std::string_view Name) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Gauges.find(Name);
+  if (It == Gauges.end())
+    It = Gauges.emplace(std::string(Name), std::make_unique<Gauge>()).first;
+  return *It->second;
+}
+
+Histogram &MetricsRegistry::histogram(std::string_view Name,
+                                      std::vector<uint64_t> Bounds) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Histograms.find(Name);
+  if (It == Histograms.end())
+    It = Histograms
+             .emplace(std::string(Name),
+                      std::make_unique<Histogram>(std::move(Bounds)))
+             .first;
+  return *It->second;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  MetricsSnapshot S;
+  S.Counters.reserve(Counters.size());
+  for (const auto &[Name, C] : Counters)
+    S.Counters.push_back({Name, C->value()});
+  S.Gauges.reserve(Gauges.size());
+  for (const auto &[Name, G] : Gauges)
+    S.Gauges.push_back({Name, G->value()});
+  S.Histograms.reserve(Histograms.size());
+  for (const auto &[Name, H] : Histograms) {
+    HistogramValue V;
+    V.Name = Name;
+    V.Bounds = H->bounds();
+    V.BucketCounts.reserve(H->numBuckets());
+    for (size_t I = 0; I < H->numBuckets(); ++I)
+      V.BucketCounts.push_back(H->bucketCount(I));
+    V.Count = H->count();
+    V.Sum = H->sum();
+    S.Histograms.push_back(std::move(V));
+  }
+  // std::map iteration is already name-sorted.
+  return S;
+}
+
+void MetricsRegistry::resetValues() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  for (auto &[Name, C] : Counters)
+    C->reset();
+  for (auto &[Name, G] : Gauges)
+    G->reset();
+  for (auto &[Name, H] : Histograms)
+    H->reset();
+}
+
+MetricsRegistry &MetricsRegistry::global() {
+  static MetricsRegistry *R = new MetricsRegistry(); // Never destroyed:
+  return *R; // instrumented code may run during static teardown.
+}
+
+//===----------------------------------------------------------------------===//
+// Export
+//===----------------------------------------------------------------------===//
+
+std::string obs::metricsToJson(const MetricsSnapshot &S) {
+  JsonWriter W;
+  W.beginObject();
+  W.key("counters");
+  W.beginObject();
+  for (const CounterValue &C : S.Counters)
+    W.kv(C.Name, C.Value);
+  W.endObject();
+  W.key("gauges");
+  W.beginObject();
+  for (const GaugeValue &G : S.Gauges)
+    W.kv(G.Name, G.Value);
+  W.endObject();
+  W.key("histograms");
+  W.beginObject();
+  for (const HistogramValue &H : S.Histograms) {
+    W.key(H.Name);
+    W.beginObject();
+    W.key("bounds");
+    W.beginArray();
+    for (uint64_t B : H.Bounds)
+      W.value(B);
+    W.endArray();
+    W.key("counts");
+    W.beginArray();
+    for (uint64_t C : H.BucketCounts)
+      W.value(C);
+    W.endArray();
+    W.kv("count", H.Count);
+    W.kv("sum", H.Sum);
+    W.kv("mean", H.mean());
+    W.endObject();
+  }
+  W.endObject();
+  W.endObject();
+  return W.take();
+}
+
+bool obs::exportMetricsJson(const MetricsSnapshot &S, const std::string &Path,
+                            std::string *Error) {
+  return writeTextFile(Path, metricsToJson(S), Error);
+}
+
+std::string obs::renderMetricsTable(const MetricsSnapshot &S) {
+  std::string Out;
+  char Buf[256];
+  auto Line = [&](const char *Fmt, auto... Args) {
+    std::snprintf(Buf, sizeof(Buf), Fmt, Args...);
+    Out += Buf;
+    Out += '\n';
+  };
+
+  if (!S.Counters.empty()) {
+    Line("%-44s %16s", "counter", "value");
+    for (const CounterValue &C : S.Counters)
+      Line("%-44s %16llu", C.Name.c_str(), (unsigned long long)C.Value);
+    Out += '\n';
+  }
+  if (!S.Gauges.empty()) {
+    Line("%-44s %16s", "gauge", "value");
+    for (const GaugeValue &G : S.Gauges)
+      Line("%-44s %16lld", G.Name.c_str(), (long long)G.Value);
+    Out += '\n';
+  }
+  if (!S.Histograms.empty()) {
+    Line("%-44s %10s %14s %12s %12s", "histogram", "count", "mean", "p50<=",
+         "p99<=");
+    for (const HistogramValue &H : S.Histograms) {
+      uint64_t P50 = H.quantileBound(0.50), P99 = H.quantileBound(0.99);
+      char P50S[24], P99S[24];
+      if (P50 == UINT64_MAX)
+        std::snprintf(P50S, sizeof(P50S), "+inf");
+      else
+        std::snprintf(P50S, sizeof(P50S), "%llu", (unsigned long long)P50);
+      if (P99 == UINT64_MAX)
+        std::snprintf(P99S, sizeof(P99S), "+inf");
+      else
+        std::snprintf(P99S, sizeof(P99S), "%llu", (unsigned long long)P99);
+      Line("%-44s %10llu %14.1f %12s %12s", H.Name.c_str(),
+           (unsigned long long)H.Count, H.mean(), P50S, P99S);
+    }
+  }
+  return Out;
+}

@@ -1,0 +1,214 @@
+//===- Metrics.h - Low-overhead metrics registry ----------------*- C++ -*-===//
+///
+/// \file
+/// Process-wide metrics for the reconstruction pipeline: named counters,
+/// gauges, and fixed-bucket histograms, registered by dotted name in a
+/// MetricsRegistry (docs/OBSERVABILITY.md lists the catalog).
+///
+/// Design constraints, in order:
+///  - **Recording must be cheap and contention-free.** Fleet workers bump
+///    the same counters from many threads; a Counter is a set of
+///    cache-line-padded atomic shards indexed by thread, so concurrent
+///    add()s never touch the same line. Histograms use one atomic per
+///    bucket (recordings are per solver query / iteration, not per VM
+///    instruction, so a shared line is fine there).
+///  - **Registration is slow-path.** counter()/gauge()/histogram() take a
+///    mutex; instrumentation sites look a handle up once (function-local
+///    static or member) and then only touch atomics.
+///  - **Reads are snapshots.** snapshot() produces a consistent-enough
+///    copy for export; it never blocks writers beyond the registry mutex
+///    (which writers only take at registration).
+///
+/// Everything is compiled in unconditionally: metrics never change
+/// reconstruction *results* (they are write-only from the pipeline's
+/// perspective), only add a few relaxed atomic ops to paths that are
+/// already dominated by solving or I/O.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ER_OBS_METRICS_H
+#define ER_OBS_METRICS_H
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace er {
+namespace obs {
+
+/// Monotonic counter, sharded so concurrent writers from different
+/// threads do not share a cache line.
+class Counter {
+public:
+  static constexpr unsigned NumShards = 16;
+
+  void add(uint64_t N = 1) {
+    Shards[threadShard()].V.fetch_add(N, std::memory_order_relaxed);
+  }
+  void inc() { add(1); }
+
+  /// Sum over shards. Concurrent adds may or may not be included —
+  /// exact once writers quiesce.
+  uint64_t value() const {
+    uint64_t Sum = 0;
+    for (const Shard &S : Shards)
+      Sum += S.V.load(std::memory_order_relaxed);
+    return Sum;
+  }
+
+  void reset() {
+    for (Shard &S : Shards)
+      S.V.store(0, std::memory_order_relaxed);
+  }
+
+private:
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> V{0};
+  };
+  /// Threads are striped over shards round-robin at first use; a shard is
+  /// never exclusive to a thread (adds are atomic), striping only spreads
+  /// the contention.
+  static unsigned threadShard();
+
+  Shard Shards[NumShards];
+};
+
+/// Last-write-wins instantaneous value (also supports add() for
+/// up/down counting).
+class Gauge {
+public:
+  void set(int64_t V) { Value.store(V, std::memory_order_relaxed); }
+  void add(int64_t N) { Value.fetch_add(N, std::memory_order_relaxed); }
+  int64_t value() const { return Value.load(std::memory_order_relaxed); }
+  void reset() { set(0); }
+
+private:
+  std::atomic<int64_t> Value{0};
+};
+
+/// Fixed-boundary histogram over uint64 samples. Bucket i counts samples
+/// <= Bounds[i] and > Bounds[i-1] (Prometheus "le" semantics, non-
+/// cumulative storage); one implicit overflow bucket counts samples above
+/// the last bound. Count and Sum are exact.
+class Histogram {
+public:
+  explicit Histogram(std::vector<uint64_t> Bounds);
+
+  void record(uint64_t Sample);
+
+  const std::vector<uint64_t> &bounds() const { return Bounds; }
+  size_t numBuckets() const { return Bounds.size() + 1; }
+  uint64_t bucketCount(size_t I) const {
+    return Buckets[I].load(std::memory_order_relaxed);
+  }
+  uint64_t count() const { return Count.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return Sum.load(std::memory_order_relaxed); }
+  void reset();
+
+private:
+  std::vector<uint64_t> Bounds; ///< Ascending, strictly increasing.
+  std::unique_ptr<std::atomic<uint64_t>[]> Buckets;
+  std::atomic<uint64_t> Count{0};
+  std::atomic<uint64_t> Sum{0};
+};
+
+/// 12 exponential bucket bounds from \p First, doubling: the default shape
+/// for work/latency histograms.
+std::vector<uint64_t> exponentialBounds(uint64_t First = 64,
+                                        unsigned Count = 12,
+                                        unsigned Factor = 2);
+
+//===----------------------------------------------------------------------===//
+// Snapshots
+//===----------------------------------------------------------------------===//
+
+struct CounterValue {
+  std::string Name;
+  uint64_t Value;
+};
+
+struct GaugeValue {
+  std::string Name;
+  int64_t Value;
+};
+
+struct HistogramValue {
+  std::string Name;
+  std::vector<uint64_t> Bounds;
+  std::vector<uint64_t> BucketCounts; ///< Bounds.size() + 1 entries.
+  uint64_t Count = 0;
+  uint64_t Sum = 0;
+
+  double mean() const {
+    return Count ? static_cast<double>(Sum) / static_cast<double>(Count) : 0;
+  }
+  /// Upper bound of the bucket holding the \p Q quantile (UINT64_MAX for
+  /// the overflow bucket); 0 when empty.
+  uint64_t quantileBound(double Q) const;
+};
+
+/// A point-in-time copy of every registered metric, sorted by name.
+struct MetricsSnapshot {
+  std::vector<CounterValue> Counters;
+  std::vector<GaugeValue> Gauges;
+  std::vector<HistogramValue> Histograms;
+
+  /// Value of a named counter (0 if absent) — test/assert convenience.
+  uint64_t counterValue(std::string_view Name) const;
+  int64_t gaugeValue(std::string_view Name) const;
+  const HistogramValue *histogram(std::string_view Name) const;
+};
+
+//===----------------------------------------------------------------------===//
+// Registry
+//===----------------------------------------------------------------------===//
+
+/// Owns metrics by name. Handles returned by counter()/gauge()/histogram()
+/// are stable for the registry's lifetime (the process, for global()).
+class MetricsRegistry {
+public:
+  /// Finds or creates. Thread-safe; intended to be called once per site
+  /// and cached.
+  Counter &counter(std::string_view Name);
+  Gauge &gauge(std::string_view Name);
+  /// \p Bounds is honored only on first registration of \p Name; empty
+  /// means exponentialBounds().
+  Histogram &histogram(std::string_view Name,
+                       std::vector<uint64_t> Bounds = {});
+
+  MetricsSnapshot snapshot() const;
+
+  /// Zeroes every metric, keeping registrations (handles stay valid).
+  /// Tests and the CLI call this between runs of the same process.
+  void resetValues();
+
+  /// The process-wide registry the pipeline instruments against.
+  static MetricsRegistry &global();
+
+private:
+  mutable std::mutex Mu;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> Counters;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> Gauges;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> Histograms;
+};
+
+/// JSON document for one snapshot: {"counters":{...},"gauges":{...},
+/// "histograms":{name:{"bounds":[...],"counts":[...],"count":N,"sum":N}}}.
+std::string metricsToJson(const MetricsSnapshot &S);
+
+/// Writes metricsToJson to \p Path.
+bool exportMetricsJson(const MetricsSnapshot &S, const std::string &Path,
+                       std::string *Error = nullptr);
+
+/// Fixed-width text table of every metric (the `er_cli stats` renderer).
+std::string renderMetricsTable(const MetricsSnapshot &S);
+
+} // namespace obs
+} // namespace er
+
+#endif // ER_OBS_METRICS_H

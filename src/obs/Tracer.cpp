@@ -1,0 +1,245 @@
+//===- Tracer.cpp - Span-based pipeline tracer ------------------------------===//
+
+#include "obs/Tracer.h"
+
+#include "obs/Json.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <map>
+
+using namespace er;
+using namespace er::obs;
+
+static uint64_t steadyNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+PipelineTracer::PipelineTracer(size_t Capacity)
+    : Capacity(Capacity ? Capacity : 1), EpochNs(steadyNowNs()) {
+  Ring.reserve(std::min<size_t>(this->Capacity, 4096));
+}
+
+uint64_t PipelineTracer::nowNs() const {
+  if (HasTestClock.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> Lock(Mu);
+    return TestClock ? TestClock() : 0;
+  }
+  return steadyNowNs() - EpochNs;
+}
+
+void PipelineTracer::setClockForTesting(std::function<uint64_t()> Clock) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  TestClock = std::move(Clock);
+  HasTestClock.store(static_cast<bool>(TestClock),
+                     std::memory_order_release);
+}
+
+void PipelineTracer::record(SpanRecord R) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  if (Ring.size() < Capacity && !Full) {
+    Ring.push_back(std::move(R));
+    return;
+  }
+  Full = true;
+  Ring[Head] = std::move(R);
+  Head = (Head + 1) % Capacity;
+  Dropped.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<SpanRecord> PipelineTracer::snapshot() const {
+  std::vector<SpanRecord> Out;
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Out = Ring;
+  }
+  std::sort(Out.begin(), Out.end(),
+            [](const SpanRecord &A, const SpanRecord &B) {
+              if (A.StartNs != B.StartNs)
+                return A.StartNs < B.StartNs;
+              if (A.Tid != B.Tid)
+                return A.Tid < B.Tid;
+              return A.Depth < B.Depth;
+            });
+  return Out;
+}
+
+void PipelineTracer::clear() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Ring.clear();
+  Head = 0;
+  Full = false;
+  Dropped.store(0, std::memory_order_relaxed);
+}
+
+uint32_t PipelineTracer::currentTid() {
+  static std::atomic<uint32_t> NextTid{0};
+  thread_local uint32_t Tid = NextTid.fetch_add(1, std::memory_order_relaxed);
+  return Tid;
+}
+
+uint32_t &PipelineTracer::threadDepth() {
+  thread_local uint32_t Depth = 0;
+  return Depth;
+}
+
+PipelineTracer &PipelineTracer::global() {
+  static PipelineTracer *T = new PipelineTracer(); // Never destroyed (see
+  return *T; // MetricsRegistry::global).
+}
+
+//===----------------------------------------------------------------------===//
+// ScopedSpan
+//===----------------------------------------------------------------------===//
+
+ScopedSpan::ScopedSpan(PipelineTracer &T, std::string_view Name,
+                       std::string_view Cat)
+    : T(T) {
+  if (!T.enabled())
+    return; // Disabled fast path: one relaxed load, nothing else.
+  Active = true;
+  R.Name.assign(Name);
+  R.Cat.assign(Cat);
+  R.Tid = PipelineTracer::currentTid();
+  R.Depth = PipelineTracer::threadDepth()++;
+  R.StartNs = T.nowNs();
+}
+
+ScopedSpan::ScopedSpan(std::string_view Name, std::string_view Cat)
+    : ScopedSpan(PipelineTracer::global(), Name, Cat) {}
+
+ScopedSpan::~ScopedSpan() {
+  if (!Active)
+    return;
+  uint64_t End = T.nowNs();
+  R.DurNs = End > R.StartNs ? End - R.StartNs : 0;
+  --PipelineTracer::threadDepth();
+  T.record(std::move(R));
+}
+
+void ScopedSpan::arg(std::string_view Key, uint64_t V) {
+  if (!Active)
+    return;
+  SpanArg A;
+  A.Key.assign(Key);
+  A.U64 = V;
+  R.Args.push_back(std::move(A));
+}
+
+void ScopedSpan::arg(std::string_view Key, std::string_view V) {
+  if (!Active)
+    return;
+  SpanArg A;
+  A.Key.assign(Key);
+  A.Str.assign(V);
+  A.IsString = true;
+  R.Args.push_back(std::move(A));
+}
+
+//===----------------------------------------------------------------------===//
+// Exporters
+//===----------------------------------------------------------------------===//
+
+static void writeArgs(JsonWriter &W, const std::vector<SpanArg> &Args) {
+  W.key("args");
+  W.beginObject();
+  for (const SpanArg &A : Args) {
+    if (A.IsString)
+      W.kv(A.Key, std::string_view(A.Str));
+    else
+      W.kv(A.Key, A.U64);
+  }
+  W.endObject();
+}
+
+std::string obs::spansToJsonl(const std::vector<SpanRecord> &Spans) {
+  std::string Out;
+  for (const SpanRecord &S : Spans) {
+    JsonWriter W;
+    W.beginObject();
+    W.kv("name", std::string_view(S.Name));
+    W.kv("cat", std::string_view(S.Cat));
+    W.kv("ts_us", S.StartNs / 1000);
+    W.kv("dur_us", S.DurNs / 1000);
+    W.kv("tid", static_cast<uint64_t>(S.Tid));
+    W.kv("depth", static_cast<uint64_t>(S.Depth));
+    writeArgs(W, S.Args);
+    W.endObject();
+    Out += W.take();
+    Out += '\n';
+  }
+  return Out;
+}
+
+std::string obs::spansToChromeTrace(const std::vector<SpanRecord> &Spans,
+                                    uint64_t Dropped) {
+  JsonWriter W;
+  W.beginObject();
+  W.key("traceEvents");
+  W.beginArray();
+  for (const SpanRecord &S : Spans) {
+    W.beginObject();
+    W.kv("name", std::string_view(S.Name));
+    W.kv("cat", std::string_view(S.Cat));
+    W.kv("ph", "X");
+    W.kv("ts", S.StartNs / 1000);
+    W.kv("dur", S.DurNs / 1000);
+    W.kv("pid", static_cast<uint64_t>(1));
+    W.kv("tid", static_cast<uint64_t>(S.Tid));
+    writeArgs(W, S.Args);
+    W.endObject();
+  }
+  W.endArray();
+  W.kv("displayTimeUnit", "ms");
+  W.key("otherData");
+  W.beginObject();
+  W.kv("tool", "er-pipeline-tracer");
+  W.kv("droppedSpans", Dropped);
+  W.endObject();
+  W.endObject();
+  return W.take();
+}
+
+bool obs::exportSpansJsonl(const PipelineTracer &T, const std::string &Path,
+                           std::string *Error) {
+  return writeTextFile(Path, spansToJsonl(T.snapshot()), Error);
+}
+
+bool obs::exportChromeTrace(const PipelineTracer &T, const std::string &Path,
+                            std::string *Error) {
+  return writeTextFile(Path, spansToChromeTrace(T.snapshot(),
+                                                T.droppedSpans()),
+                       Error);
+}
+
+std::string obs::renderSpanSummary(const std::vector<SpanRecord> &Spans) {
+  struct Agg {
+    uint64_t Count = 0;
+    uint64_t TotalNs = 0;
+    uint64_t MaxNs = 0;
+  };
+  std::map<std::string, Agg> ByName;
+  for (const SpanRecord &S : Spans) {
+    Agg &A = ByName[S.Name];
+    ++A.Count;
+    A.TotalNs += S.DurNs;
+    A.MaxNs = std::max(A.MaxNs, S.DurNs);
+  }
+  std::string Out;
+  char Buf[192];
+  std::snprintf(Buf, sizeof(Buf), "%-32s %10s %12s %12s %12s\n", "span",
+                "count", "total ms", "mean us", "max us");
+  Out += Buf;
+  for (const auto &[Name, A] : ByName) {
+    std::snprintf(Buf, sizeof(Buf), "%-32s %10llu %12.2f %12.1f %12.1f\n",
+                  Name.c_str(), (unsigned long long)A.Count,
+                  A.TotalNs / 1e6,
+                  A.Count ? (A.TotalNs / 1e3) / A.Count : 0.0, A.MaxNs / 1e3);
+    Out += Buf;
+  }
+  return Out;
+}

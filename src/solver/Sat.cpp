@@ -2,12 +2,45 @@
 
 #include "solver/Sat.h"
 
+#include "obs/Metrics.h"
+
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 
 using namespace er;
+
+namespace {
+/// Records one CDCL search into the process-wide histograms on every exit
+/// path of solve(). A solve is milliseconds to seconds of work; two clock
+/// reads and a few relaxed atomics are noise.
+struct SolveTelemetry {
+  std::chrono::steady_clock::time_point Start;
+  const SatStats &Stats;
+  uint64_t ConflictsBefore;
+
+  explicit SolveTelemetry(const SatStats &Stats)
+      : Start(std::chrono::steady_clock::now()), Stats(Stats),
+        ConflictsBefore(Stats.Conflicts) {}
+
+  ~SolveTelemetry() {
+    auto &Reg = obs::MetricsRegistry::global();
+    static obs::Histogram &WallUs =
+        Reg.histogram("sat.solve.us", obs::exponentialBounds(1, 22, 2));
+    static obs::Histogram &Conflicts =
+        Reg.histogram("sat.solve.conflicts", obs::exponentialBounds(1, 20, 2));
+    static obs::Counter &Solves = Reg.counter("sat.solves");
+    WallUs.record(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - Start)
+            .count()));
+    Conflicts.record(Stats.Conflicts - ConflictsBefore);
+    Solves.inc();
+  }
+};
+} // namespace
 
 SatSolver::SatSolver() {
   // Var 0 is unused; literal codes start at 2.
@@ -274,7 +307,8 @@ uint64_t SatSolver::luby(uint64_t I) {
 SatStatus SatSolver::solve(const SatBudget &Budget,
                            const std::vector<Lit> &Assumptions) {
   if (Unsatisfiable)
-    return SatStatus::Unsat;
+    return SatStatus::Unsat; // Cached result: no search, no telemetry.
+  SolveTelemetry Telemetry(Stats);
   CurDeadline = Budget.Deadline;
   TimedOut = false;
   backtrack(0);

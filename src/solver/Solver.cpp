@@ -2,10 +2,13 @@
 
 #include "solver/Solver.h"
 
+#include "obs/Metrics.h"
+#include "obs/Tracer.h"
 #include "solver/BitBlaster.h"
 #include "solver/Sat.h"
 #include "solver/SolverCache.h"
 #include "support/Error.h"
+#include "support/Timer.h"
 
 #include <cassert>
 #include <chrono>
@@ -13,6 +16,47 @@
 #include <cstdlib>
 
 using namespace er;
+
+//===----------------------------------------------------------------------===//
+// Telemetry
+//===----------------------------------------------------------------------===//
+//
+// Every query records its wall time, abstract work, and constraint count
+// into process-wide histograms, and opens a pipeline span when the tracer
+// is enabled. Queries are heavyweight (array lowering + bit-blasting +
+// CDCL), so the handful of relaxed atomic bumps here is noise; the
+// registry handles are resolved once.
+
+namespace {
+struct QueryMetrics {
+  obs::Histogram &WallUs, &Work, &Assertions;
+  obs::Counter &Sat, &Unsat, &Timeout;
+  static QueryMetrics &get() {
+    auto &Reg = obs::MetricsRegistry::global();
+    static QueryMetrics M{
+        Reg.histogram("solver.query.us", obs::exponentialBounds(1, 22, 2)),
+        Reg.histogram("solver.query.work", obs::exponentialBounds(64, 14, 4)),
+        Reg.histogram("solver.query.assertions",
+                      obs::exponentialBounds(1, 16, 2)),
+        Reg.counter("solver.queries.sat"),
+        Reg.counter("solver.queries.unsat"),
+        Reg.counter("solver.queries.timeout")};
+    return M;
+  }
+
+  void record(QueryStatus Status, uint64_t WorkUsed, size_t NumAssertions,
+              double Seconds) {
+    WallUs.record(static_cast<uint64_t>(Seconds * 1e6));
+    Work.record(WorkUsed);
+    Assertions.record(NumAssertions);
+    switch (Status) {
+    case QueryStatus::Sat:     Sat.inc(); break;
+    case QueryStatus::Unsat:   Unsat.inc(); break;
+    case QueryStatus::Timeout: Timeout.inc(); break;
+    }
+  }
+};
+} // namespace
 
 const char *er::queryStatusName(QueryStatus S) {
   switch (S) {
@@ -166,6 +210,20 @@ ExprRef ConstraintSolver::lowerArrays(ExprRef E, uint64_t Budget,
 
 QueryResult ConstraintSolver::checkSat(const std::vector<ExprRef> &Assertions,
                                        uint64_t BudgetOverride) {
+  obs::ScopedSpan Span("solver.check_sat", "solver");
+  Span.arg("assertions", Assertions.size());
+  Stopwatch QueryTimer;
+  QueryResult R = checkSatCaching(Assertions, BudgetOverride);
+  QueryMetrics::get().record(R.Status, R.WorkUsed, Assertions.size(),
+                             QueryTimer.seconds());
+  Span.arg("status", queryStatusName(R.Status));
+  Span.arg("work", R.WorkUsed);
+  return R;
+}
+
+QueryResult
+ConstraintSolver::checkSatCaching(const std::vector<ExprRef> &Assertions,
+                                  uint64_t BudgetOverride) {
   uint64_t Budget = BudgetOverride ? BudgetOverride : Config.WorkBudget;
   bool Deterministic = true;
   if (!Config.SharedCache)
@@ -347,6 +405,23 @@ QueryStatus ConstraintSolver::mustBeTrue(
 }
 
 QueryStatus ConstraintSolver::enumerateValues(
+    const std::vector<ExprRef> &Assertions, ExprRef E, unsigned MaxCount,
+    std::vector<uint64_t> &Out, bool &Complete) {
+  obs::ScopedSpan Span("solver.enumerate", "solver");
+  Span.arg("assertions", Assertions.size());
+  Span.arg("max_count", static_cast<uint64_t>(MaxCount));
+  Stopwatch QueryTimer;
+  uint64_t WorkBefore = Totals.TotalWork;
+  QueryStatus S = enumerateValuesCaching(Assertions, E, MaxCount, Out,
+                                         Complete);
+  QueryMetrics::get().record(S, Totals.TotalWork - WorkBefore,
+                             Assertions.size(), QueryTimer.seconds());
+  Span.arg("status", queryStatusName(S));
+  Span.arg("values", Out.size());
+  return S;
+}
+
+QueryStatus ConstraintSolver::enumerateValuesCaching(
     const std::vector<ExprRef> &Assertions, ExprRef E, unsigned MaxCount,
     std::vector<uint64_t> &Out, bool &Complete) {
   Complete = false;

@@ -105,6 +105,15 @@ public:
   ExprRef lowerArrays(ExprRef E, uint64_t Budget, uint64_t &Work);
 
 private:
+  /// checkSat behind the public entry point (which only adds telemetry —
+  /// a query-time histogram and a pipeline span; see docs/OBSERVABILITY.md).
+  QueryResult checkSatCaching(const std::vector<ExprRef> &Assertions,
+                              uint64_t BudgetOverride);
+  QueryStatus enumerateValuesCaching(const std::vector<ExprRef> &Assertions,
+                                     ExprRef E, unsigned MaxCount,
+                                     std::vector<uint64_t> &Out,
+                                     bool &Complete);
+
   /// The actual solve behind checkSat. \p Deterministic is cleared when the
   /// outcome depended on the wall-clock backstop (such results must not be
   /// memoized).

@@ -2,11 +2,29 @@
 
 #include "solver/SolverCache.h"
 
+#include "obs/Metrics.h"
 #include "solver/Solver.h"
 
 #include <algorithm>
 
 using namespace er;
+
+// The bespoke per-instance SolverCacheStats stay (FleetReport embeds
+// them); the same events are bridged into the process-wide registry so
+// one metrics dump covers every cache instance (docs/OBSERVABILITY.md).
+namespace {
+struct CacheMetrics {
+  obs::Counter &Hits, &Misses, &Insertions, &Evictions;
+  static CacheMetrics &get() {
+    auto &Reg = obs::MetricsRegistry::global();
+    static CacheMetrics M{Reg.counter("solver.cache.hits"),
+                          Reg.counter("solver.cache.misses"),
+                          Reg.counter("solver.cache.insertions"),
+                          Reg.counter("solver.cache.evictions")};
+    return M;
+  }
+};
+} // namespace
 
 SolverResultCache::SolverResultCache(SolverCacheConfig Config)
     : Config(Config) {
@@ -25,9 +43,11 @@ bool SolverResultCache::lookup(const QueryDigest &D, CachedQueryResult &Out) {
   auto It = S.Map.find(D);
   if (It == S.Map.end()) {
     ++S.Misses;
+    CacheMetrics::get().Misses.inc();
     return false;
   }
   ++S.Hits;
+  CacheMetrics::get().Hits.inc();
   ++It->second.HitCount;
   Out = It->second.Result;
   return true;
@@ -56,6 +76,7 @@ void SolverResultCache::evictOne(Shard &S) {
   if (Victim != S.Map.end()) {
     S.Map.erase(Victim);
     ++S.Evictions;
+    CacheMetrics::get().Evictions.inc();
   }
 }
 
@@ -69,6 +90,7 @@ void SolverResultCache::insert(const QueryDigest &D,
   It->second.Result = R;
   It->second.Seq = S.NextSeq++;
   ++S.Insertions;
+  CacheMetrics::get().Insertions.inc();
   while (S.Map.size() > Config.MaxEntriesPerShard)
     evictOne(S);
 }

@@ -1,0 +1,356 @@
+//===- ObsTest.cpp - Metrics registry + pipeline tracer tests ---------------===//
+//
+// Covers the observability subsystem (src/obs/, docs/OBSERVABILITY.md):
+// counter correctness under contention, histogram bucket boundaries
+// ("le" semantics), span nesting/ordering in the JSONL export, a
+// golden-file check of the Chrome trace_event export under an injected
+// test clock, ring bounding, the JSON validator itself, and an
+// end-to-end check that a real reconstruction emits the documented spans
+// and metrics.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Json.h"
+#include "obs/Metrics.h"
+#include "obs/Tracer.h"
+
+#include "er/Driver.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+using namespace er;
+
+//===----------------------------------------------------------------------===//
+// Metrics
+//===----------------------------------------------------------------------===//
+
+TEST(ObsMetrics, CounterConcurrentAddsSumExactly) {
+  obs::MetricsRegistry Reg;
+  obs::Counter &C = Reg.counter("t.concurrent");
+  constexpr unsigned Threads = 8;
+  constexpr uint64_t PerThread = 100'000;
+
+  std::vector<std::thread> Ts;
+  for (unsigned I = 0; I < Threads; ++I)
+    Ts.emplace_back([&C] {
+      for (uint64_t K = 0; K < PerThread; ++K)
+        C.add(1);
+    });
+  for (auto &T : Ts)
+    T.join();
+
+  EXPECT_EQ(C.value(), Threads * PerThread);
+}
+
+TEST(ObsMetrics, RegistryFindsSameInstanceByName) {
+  obs::MetricsRegistry Reg;
+  obs::Counter &A = Reg.counter("t.same");
+  obs::Counter &B = Reg.counter("t.same");
+  EXPECT_EQ(&A, &B);
+  A.add(3);
+  EXPECT_EQ(B.value(), 3u);
+  EXPECT_NE(&Reg.counter("t.other"), &A);
+}
+
+TEST(ObsMetrics, HistogramBucketBoundaries) {
+  obs::MetricsRegistry Reg;
+  // Buckets: <=10, <=100, <=1000, overflow.
+  obs::Histogram &H = Reg.histogram("t.hist", {10, 100, 1000});
+
+  H.record(0);    // <=10
+  H.record(10);   // <=10 (boundary lands in its own bucket: "le")
+  H.record(11);   // <=100
+  H.record(100);  // <=100
+  H.record(1000); // <=1000
+  H.record(1001); // overflow
+  H.record(~0ull); // overflow
+
+  ASSERT_EQ(H.numBuckets(), 4u);
+  EXPECT_EQ(H.bucketCount(0), 2u);
+  EXPECT_EQ(H.bucketCount(1), 2u);
+  EXPECT_EQ(H.bucketCount(2), 1u);
+  EXPECT_EQ(H.bucketCount(3), 2u);
+  EXPECT_EQ(H.count(), 7u);
+  EXPECT_EQ(H.sum(), 0 + 10 + 11 + 100 + 1000 + 1001 + ~0ull);
+}
+
+TEST(ObsMetrics, HistogramQuantileBound) {
+  obs::MetricsRegistry Reg;
+  obs::Histogram &H = Reg.histogram("t.q", {10, 100, 1000});
+  for (int I = 0; I < 90; ++I)
+    H.record(5); // 90 samples <=10
+  for (int I = 0; I < 10; ++I)
+    H.record(500); // 10 samples <=1000
+
+  auto Snap = Reg.snapshot();
+  const obs::HistogramValue *HV = Snap.histogram("t.q");
+  ASSERT_NE(HV, nullptr);
+  EXPECT_EQ(HV->quantileBound(0.5), 10u);
+  EXPECT_EQ(HV->quantileBound(0.99), 1000u);
+  EXPECT_DOUBLE_EQ(HV->mean(), (90.0 * 5 + 10.0 * 500) / 100.0);
+}
+
+TEST(ObsMetrics, SnapshotAndResetValues) {
+  obs::MetricsRegistry Reg;
+  Reg.counter("t.c").add(7);
+  Reg.gauge("t.g").set(-5);
+  Reg.histogram("t.h").record(64);
+
+  auto Snap = Reg.snapshot();
+  EXPECT_EQ(Snap.counterValue("t.c"), 7u);
+  EXPECT_EQ(Snap.gaugeValue("t.g"), -5);
+  ASSERT_NE(Snap.histogram("t.h"), nullptr);
+  EXPECT_EQ(Snap.histogram("t.h")->Count, 1u);
+  EXPECT_EQ(Snap.counterValue("t.absent"), 0u);
+
+  Reg.resetValues();
+  auto Snap2 = Reg.snapshot();
+  EXPECT_EQ(Snap2.counterValue("t.c"), 0u);
+  EXPECT_EQ(Snap2.gaugeValue("t.g"), 0);
+  EXPECT_EQ(Snap2.histogram("t.h")->Count, 0u);
+}
+
+TEST(ObsMetrics, MetricsJsonIsValid) {
+  obs::MetricsRegistry Reg;
+  Reg.counter("t.c\"quoted\\name").add(1);
+  Reg.gauge("t.g").set(42);
+  Reg.histogram("t.h", {1, 2}).record(2);
+
+  std::string Doc = obs::metricsToJson(Reg.snapshot());
+  std::string Err;
+  EXPECT_TRUE(obs::validateJson(Doc, &Err)) << Err << "\n" << Doc;
+  EXPECT_NE(Doc.find("\"counters\""), std::string::npos);
+  EXPECT_NE(Doc.find("\"histograms\""), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// JSON validator
+//===----------------------------------------------------------------------===//
+
+TEST(ObsJson, ValidatorAcceptsAndRejects) {
+  std::string Err;
+  EXPECT_TRUE(obs::validateJson("{\"a\": [1, 2.5, -3e2, true, null]}"));
+  EXPECT_TRUE(obs::validateJson("  \"lone string\"  "));
+  EXPECT_TRUE(obs::validateJson("{\"u\": \"\\u00e9\\n\"}"));
+
+  EXPECT_FALSE(obs::validateJson("", &Err));
+  EXPECT_FALSE(obs::validateJson("{", &Err));
+  EXPECT_FALSE(obs::validateJson("{\"a\": 1,}", &Err));
+  EXPECT_FALSE(obs::validateJson("{\"a\": 01}", &Err));
+  EXPECT_FALSE(obs::validateJson("{\"a\": 1} trailing", &Err));
+  EXPECT_FALSE(obs::validateJson("{'a': 1}", &Err));
+  EXPECT_FALSE(obs::validateJson("{\"a\": \"\x01\"}", &Err));
+  EXPECT_FALSE(obs::validateJson("[1 2]", &Err));
+}
+
+TEST(ObsJson, ValidateJsonLines) {
+  EXPECT_TRUE(obs::validateJsonLines("{\"a\":1}\n{\"b\":2}\n\n"));
+  std::string Err;
+  EXPECT_FALSE(obs::validateJsonLines("{\"a\":1}\n{bad}\n", &Err));
+  EXPECT_NE(Err.find("line 2"), std::string::npos) << Err;
+}
+
+TEST(ObsJson, WriterEscapesAndNests) {
+  obs::JsonWriter W;
+  W.beginObject();
+  W.kv("s", std::string_view("a\"b\\c\n\t"));
+  W.key("arr");
+  W.beginArray();
+  W.value(uint64_t(1));
+  W.value(-2.5);
+  W.value(false);
+  W.nullValue();
+  W.endArray();
+  W.endObject();
+  std::string Err;
+  EXPECT_TRUE(obs::validateJson(W.str(), &Err)) << Err << "\n" << W.str();
+}
+
+//===----------------------------------------------------------------------===//
+// Tracer
+//===----------------------------------------------------------------------===//
+
+TEST(ObsTracer, DisabledSpansRecordNothing) {
+  obs::PipelineTracer T(16);
+  {
+    obs::ScopedSpan S(T, "t.span");
+    S.arg("k", uint64_t(1));
+  }
+  EXPECT_TRUE(T.snapshot().empty());
+  EXPECT_EQ(T.droppedSpans(), 0u);
+}
+
+TEST(ObsTracer, SpanNestingAndOrderingInJsonl) {
+  obs::PipelineTracer T(64);
+  // Deterministic clock: each call advances 1000ns.
+  uint64_t Now = 0;
+  T.setClockForTesting([&Now] { return Now += 1000; });
+  T.setEnabled(true);
+
+  {
+    obs::ScopedSpan Outer(T, "outer", "er");
+    Outer.arg("iter", uint64_t(1));
+    {
+      obs::ScopedSpan Inner(T, "inner", "solver");
+      Inner.arg("status", "sat");
+    }
+  }
+
+  auto Spans = T.snapshot();
+  ASSERT_EQ(Spans.size(), 2u);
+  // Ordered by StartNs: outer opened first.
+  EXPECT_EQ(Spans[0].Name, "outer");
+  EXPECT_EQ(Spans[0].Depth, 0u);
+  EXPECT_EQ(Spans[1].Name, "inner");
+  EXPECT_EQ(Spans[1].Depth, 1u);
+  // The inner interval is contained in the outer one.
+  EXPECT_GE(Spans[1].StartNs, Spans[0].StartNs);
+  EXPECT_LE(Spans[1].StartNs + Spans[1].DurNs,
+            Spans[0].StartNs + Spans[0].DurNs);
+
+  std::string Jsonl = obs::spansToJsonl(Spans);
+  std::string Err;
+  EXPECT_TRUE(obs::validateJsonLines(Jsonl, &Err)) << Err << "\n" << Jsonl;
+  // One line per span, outer first, with depth and args present.
+  size_t NL1 = Jsonl.find('\n');
+  ASSERT_NE(NL1, std::string::npos);
+  std::string Line1 = Jsonl.substr(0, NL1);
+  EXPECT_NE(Line1.find("\"name\":\"outer\""), std::string::npos) << Line1;
+  EXPECT_NE(Line1.find("\"depth\":0"), std::string::npos) << Line1;
+  EXPECT_NE(Line1.find("\"iter\":1"), std::string::npos) << Line1;
+  EXPECT_NE(Jsonl.find("\"depth\":1"), std::string::npos);
+  EXPECT_NE(Jsonl.find("\"status\":\"sat\""), std::string::npos);
+}
+
+TEST(ObsTracer, ChromeTraceGoldenFile) {
+  obs::PipelineTracer T(64);
+  uint64_t Now = 0;
+  T.setClockForTesting([&Now] {
+    uint64_t V = Now;
+    Now += 2000; // 2us per clock read.
+    return V;
+  });
+  T.setEnabled(true);
+
+  {
+    obs::ScopedSpan Outer(T, "er.iteration", "er");
+    Outer.arg("iter", uint64_t(3));
+    { obs::ScopedSpan Inner(T, "solver.check_sat", "solver"); }
+  }
+
+  // Span timing under the fake clock: each ScopedSpan reads the clock at
+  // open and at close. Opens at t=0us (outer), t=2us (inner); closes read
+  // 4us (inner: dur 2us) and 6us (outer: dur 6us).
+  std::string Doc = obs::spansToChromeTrace(T.snapshot(), T.droppedSpans());
+  const char *Golden =
+      "{\"traceEvents\":["
+      "{\"name\":\"er.iteration\",\"cat\":\"er\",\"ph\":\"X\",\"ts\":0,"
+      "\"dur\":6,\"pid\":1,\"tid\":0,\"args\":{\"iter\":3}},"
+      "{\"name\":\"solver.check_sat\",\"cat\":\"solver\",\"ph\":\"X\","
+      "\"ts\":2,\"dur\":2,\"pid\":1,\"tid\":0,\"args\":{}}],"
+      "\"displayTimeUnit\":\"ms\","
+      "\"otherData\":{\"tool\":\"er-pipeline-tracer\",\"droppedSpans\":0}}";
+  EXPECT_EQ(Doc, Golden);
+
+  std::string Err;
+  EXPECT_TRUE(obs::validateJson(Doc, &Err)) << Err;
+}
+
+TEST(ObsTracer, RingBoundsAndCountsDrops) {
+  obs::PipelineTracer T(4);
+  T.setEnabled(true);
+  for (int I = 0; I < 10; ++I)
+    obs::ScopedSpan S(T, "s" + std::to_string(I));
+  auto Spans = T.snapshot();
+  EXPECT_EQ(Spans.size(), 4u);
+  EXPECT_EQ(T.droppedSpans(), 6u);
+  // The survivors are the newest four.
+  for (const auto &S : Spans)
+    EXPECT_GE(S.Name.at(1), '6');
+  T.clear();
+  EXPECT_TRUE(T.snapshot().empty());
+  EXPECT_EQ(T.droppedSpans(), 0u);
+}
+
+TEST(ObsTracer, PerThreadDepthsAreIndependent) {
+  obs::PipelineTracer T(64);
+  T.setEnabled(true);
+  std::atomic<bool> Go{false};
+  auto Work = [&] {
+    while (!Go.load())
+      std::this_thread::yield();
+    obs::ScopedSpan A(T, "a");
+    obs::ScopedSpan B(T, "b");
+  };
+  std::thread T1(Work), T2(Work);
+  Go.store(true);
+  T1.join();
+  T2.join();
+
+  auto Spans = T.snapshot();
+  ASSERT_EQ(Spans.size(), 4u);
+  for (const auto &S : Spans)
+    EXPECT_EQ(S.Depth, S.Name == "a" ? 0u : 1u) << S.Name;
+}
+
+//===----------------------------------------------------------------------===//
+// End to end: a real reconstruction emits the documented telemetry
+//===----------------------------------------------------------------------===//
+
+TEST(ObsEndToEnd, DriverEmitsSpansAndMetrics) {
+  auto &Tracer = obs::PipelineTracer::global();
+  auto &Reg = obs::MetricsRegistry::global();
+  Tracer.clear();
+  Tracer.setEnabled(true);
+  Reg.resetValues();
+
+  const BugSpec &Spec = *findBug("PHP-2012-2386");
+  auto M = compileBug(Spec);
+  DriverConfig DC;
+  DC.Solver.WorkBudget = Spec.SolverWorkBudget;
+  DC.Vm.ChunkSize = Spec.VmChunkSize;
+  DC.Seed = 20260706;
+  ReconstructionDriver Driver(*M, DC);
+  ReconstructionReport Report =
+      Driver.reconstruct([&](Rng &R) { return Spec.ProductionInput(R); });
+  Tracer.setEnabled(false);
+  ASSERT_TRUE(Report.Success);
+
+  auto Snap = Reg.snapshot();
+  EXPECT_GE(Snap.counterValue("er.iterations"), 1u);
+  EXPECT_EQ(Snap.counterValue("er.reproduced"), 1u);
+  EXPECT_EQ(Snap.counterValue("er.occurrences"), Report.Occurrences);
+  // This bug needs >1 occurrence, so at least one stall was classified.
+  EXPECT_GE(Snap.counterValue("er.stalls"), 1u);
+  EXPECT_EQ(Snap.counterValue("er.stalls"),
+            Snap.counterValue("er.stall.cause.write_chain") +
+                Snap.counterValue("er.stall.cause.final_solve") +
+                Snap.counterValue("er.stall.cause.other"));
+  const obs::HistogramValue *QUs = Snap.histogram("solver.query.us");
+  ASSERT_NE(QUs, nullptr);
+  EXPECT_GT(QUs->Count, 0u);
+
+  auto Spans = Tracer.snapshot();
+  auto CountOf = [&Spans](std::string_view Name) {
+    size_t N = 0;
+    for (const auto &S : Spans)
+      N += S.Name == Name;
+    return N;
+  };
+  EXPECT_EQ(CountOf("er.reconstruct"), 1u);
+  EXPECT_EQ(CountOf("er.iteration"), Snap.counterValue("er.iterations"));
+  EXPECT_GE(CountOf("er.symex"), 1u);
+  EXPECT_GE(CountOf("solver.check_sat"), 1u);
+
+  // The whole span set exports as valid JSONL and a valid Chrome trace.
+  std::string Err;
+  EXPECT_TRUE(obs::validateJsonLines(obs::spansToJsonl(Spans), &Err)) << Err;
+  EXPECT_TRUE(obs::validateJson(
+      obs::spansToChromeTrace(Spans, Tracer.droppedSpans()), &Err))
+      << Err;
+  Tracer.clear();
+}
