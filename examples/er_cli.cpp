@@ -15,18 +15,22 @@
 
 #include "er/Driver.h"
 #include "fleet/FleetScheduler.h"
+#include "ingest/CollectorDaemon.h"
 #include "ingest/ReportCollector.h"
 #include "ingest/ReportSpool.h"
 #include "obs/Metrics.h"
 #include "obs/Tracer.h"
+#include "support/FaultFs.h"
 #include "support/Rng.h"
 #include "trace/OverheadModel.h"
 #include "vm/Interpreter.h"
 #include "workloads/Workloads.h"
 
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <sys/stat.h>
 #include <vector>
@@ -45,6 +49,8 @@ static int usage() {
       "                      [--bugs id,id,...] [--first-seq N]\n"
       "       er_cli collect --spool DIR [--jobs N] [--seed S] [--state FILE]\n"
       "                      [--max-pending N] [--keep-drained]\n"
+      "                      [--daemon] [--interval-ms N] [--max-cycles N]\n"
+      "                      [--step-budget N] [--retries N] [--preempt-hot N]\n"
       "                      [telemetry flags]\n"
       "       er_cli stats   [--jobs N] [--seed S] [--machines M] [--runs R]\n"
       "                      [--bugs id,id,...] [telemetry flags]\n"
@@ -68,6 +74,16 @@ static int usage() {
       "deduplicating) into the same triage + campaign pipeline. Draining\n"
       "what machines 0..M-1 reported reproduces `fleet --machines M`\n"
       "byte-for-byte.\n"
+      "\n"
+      "collect --daemon: stay resident and drain the spool every\n"
+      "--interval-ms (default 250), advancing campaigns incrementally\n"
+      "between drains (--step-budget steps per cycle, 0 = until idle) and\n"
+      "checkpointing --state atomically each cycle. Transient drain I/O\n"
+      "errors are retried --retries times with doubling backoff.\n"
+      "--preempt-hot N suspends the weakest running campaign when a\n"
+      "pending bucket reaches N occurrences. SIGINT/SIGTERM stop the loop\n"
+      "cleanly after a final checkpoint; ER_FAULT_SPEC injects scripted\n"
+      "filesystem faults (docs/INGEST.md).\n"
       "\n"
       "stats: run the fleet pipeline with tracing on and print the full\n"
       "metric catalog and a per-phase span time summary as text tables.\n");
@@ -485,9 +501,93 @@ static int cmdReport(int argc, char **argv) {
   return 0;
 }
 
+/// The daemon the stop signals talk to. Signal handlers may only touch
+/// async-signal-safe state; CollectorDaemon::requestStop is a relaxed
+/// atomic store, so forwarding to it is safe.
+static CollectorDaemon *volatile ActiveDaemon = nullptr;
+
+static void handleStopSignal(int) {
+  if (CollectorDaemon *D = ActiveDaemon)
+    D->requestStop();
+}
+
+/// Shared by the one-shot and daemon collect paths.
+static void printCollectorStats(const CollectorStats &CS,
+                                const std::string &SpoolDir,
+                                size_t Buckets) {
+  std::printf("spool %s: %llu file(s) scanned, %llu claimed, %llu "
+              "quarantined, %llu stale temp(s)\n",
+              SpoolDir.c_str(), (unsigned long long)CS.FilesScanned,
+              (unsigned long long)CS.FilesClaimed,
+              (unsigned long long)CS.FilesQuarantined,
+              (unsigned long long)CS.StaleTemps);
+  if (CS.ClaimRetries || CS.ClaimFailures)
+    std::printf("claims: %llu retry(ies), %llu left for a later drain after "
+                "retries ran out\n",
+                (unsigned long long)CS.ClaimRetries,
+                (unsigned long long)CS.ClaimFailures);
+  std::printf("records: %llu decoded, %llu duplicate(s) dropped, %llu shed "
+              "by backpressure (%llu bucket(s) affected), %llu submitted "
+              "into %zu bucket(s)\n\n",
+              (unsigned long long)CS.RecordsDecoded,
+              (unsigned long long)CS.DuplicatesDropped,
+              (unsigned long long)CS.BackpressureDropped,
+              (unsigned long long)CS.BucketsShed,
+              (unsigned long long)CS.Submitted, Buckets);
+}
+
+static int runCollectDaemon(const DaemonConfig &DC, FleetScheduler &Sched,
+                            const TelemetryOptions &Telemetry) {
+  CollectorDaemon Daemon(DC, Sched);
+  std::string Err;
+  if (!Daemon.start(&Err)) {
+    std::printf("cannot start daemon: %s\n", Err.c_str());
+    return 1;
+  }
+  ActiveDaemon = &Daemon;
+  std::signal(SIGINT, handleStopSignal);
+  std::signal(SIGTERM, handleStopSignal);
+  std::printf("daemon: draining %s every %llums (state %s)...\n",
+              DC.Collector.SpoolDir.c_str(),
+              (unsigned long long)DC.DrainIntervalMs,
+              DC.StateFile.empty() ? "<none>" : DC.StateFile.c_str());
+
+  bool Ok = Daemon.runLoop(&Err);
+  std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
+  ActiveDaemon = nullptr;
+  if (!Ok)
+    std::printf("daemon stopped on error: %s\n", Err.c_str());
+
+  const DaemonStats &DS = Daemon.getStats();
+  std::printf("\ndaemon: %llu cycle(s), %llu drain(s) (%llu retried, %llu "
+              "failed), %llu step(s), %llu checkpoint(s) (%llu failed), "
+              "%llu file(s) acked, %llu recovered; uptime %.2fs\n\n",
+              (unsigned long long)DS.Cycles, (unsigned long long)DS.Drains,
+              (unsigned long long)DS.DrainRetries,
+              (unsigned long long)DS.DrainFailures,
+              (unsigned long long)DS.StepsRun,
+              (unsigned long long)DS.Checkpoints,
+              (unsigned long long)DS.CheckpointFailures,
+              (unsigned long long)DS.FilesAcked,
+              (unsigned long long)DS.FilesRecovered,
+              Daemon.uptimeNs() / 1e9);
+  printCollectorStats(Daemon.collectorStats(), DC.Collector.SpoolDir,
+                      Sched.numCampaigns());
+  printFleetReport(Sched.snapshotReport());
+  if (Sched.totalPreemptions())
+    std::printf("preemptions: %llu (hot buckets displacing stalled "
+                "campaigns)\n",
+                (unsigned long long)Sched.totalPreemptions());
+  int Rc = Telemetry.exportAll();
+  return Ok ? Rc : 1;
+}
+
 static int cmdCollect(int argc, char **argv) {
   FleetConfig FC;
   CollectorConfig CC;
+  DaemonConfig DC;
+  bool Daemon = false;
   std::string StateFile;
   TelemetryOptions Telemetry;
 
@@ -525,6 +625,29 @@ static int cmdCollect(int argc, char **argv) {
       CC.MaxPending = std::strtoull(V, nullptr, 10);
     } else if (!std::strcmp(argv[I], "--keep-drained")) {
       CC.RemoveDrained = false;
+    } else if (!std::strcmp(argv[I], "--daemon")) {
+      Daemon = true;
+    } else if (!std::strcmp(argv[I], "--interval-ms")) {
+      if (!(V = NextArg("--interval-ms")))
+        return 2;
+      DC.DrainIntervalMs = std::strtoull(V, nullptr, 10);
+    } else if (!std::strcmp(argv[I], "--max-cycles")) {
+      if (!(V = NextArg("--max-cycles")))
+        return 2;
+      DC.MaxCycles = std::strtoull(V, nullptr, 10);
+    } else if (!std::strcmp(argv[I], "--step-budget")) {
+      if (!(V = NextArg("--step-budget")))
+        return 2;
+      DC.MaxStepsPerCycle = static_cast<unsigned>(std::strtoul(V, nullptr, 10));
+    } else if (!std::strcmp(argv[I], "--retries")) {
+      if (!(V = NextArg("--retries")))
+        return 2;
+      DC.MaxDrainRetries = static_cast<unsigned>(std::strtoul(V, nullptr, 10));
+    } else if (!std::strcmp(argv[I], "--preempt-hot")) {
+      if (!(V = NextArg("--preempt-hot")))
+        return 2;
+      FC.Preempt.Enabled = true;
+      FC.Preempt.HotOccurrences = std::strtoull(V, nullptr, 10);
     } else {
       std::printf("unknown collect option '%s'\n", argv[I]);
       return 2;
@@ -535,8 +658,40 @@ static int cmdCollect(int argc, char **argv) {
     return 2;
   }
 
+  // Scripted filesystem faults for soak/regression testing: every spool,
+  // high-water, and checkpoint I/O goes through this decorator.
+  std::unique_ptr<FaultFs> Faults;
+  if (const char *Spec = std::getenv("ER_FAULT_SPEC")) {
+    std::vector<Failpoint> Points;
+    std::string SpecErr;
+    if (!parseFaultSpec(Spec, Points, &SpecErr)) {
+      std::printf("bad ER_FAULT_SPEC: %s\n", SpecErr.c_str());
+      return 2;
+    }
+    Faults = std::make_unique<FaultFs>();
+    for (const Failpoint &P : Points)
+      Faults->addFailpoint(P);
+    CC.Fs = Faults.get();
+    std::printf("fault injection armed: %zu failpoint(s) from "
+                "ER_FAULT_SPEC\n",
+                Points.size());
+  }
+
   Telemetry.enableTracing();
   FleetScheduler Sched(FC);
+
+  if (Daemon) {
+    // The daemon owns resume + checkpoint through its StateFile; do not
+    // also load it here or the records would be double-counted.
+    DC.Collector = CC;
+    DC.StateFile = StateFile;
+    int Rc = runCollectDaemon(DC, Sched, Telemetry);
+    if (Faults && Faults->faultsInjected())
+      std::printf("fault injection: %llu fault(s) fired\n",
+                  (unsigned long long)Faults->faultsInjected());
+    return Rc;
+  }
+
   if (!resumeStateIfPresent(Sched, StateFile))
     return 1;
 
@@ -547,21 +702,8 @@ static int cmdCollect(int argc, char **argv) {
                 Err.c_str());
     return 1;
   }
-  const CollectorStats &CS = Collector.getStats();
-  std::printf("spool %s: %llu file(s) scanned, %llu claimed, %llu "
-              "quarantined, %llu stale temp(s)\n",
-              CC.SpoolDir.c_str(), (unsigned long long)CS.FilesScanned,
-              (unsigned long long)CS.FilesClaimed,
-              (unsigned long long)CS.FilesQuarantined,
-              (unsigned long long)CS.StaleTemps);
-  std::printf("records: %llu decoded, %llu duplicate(s) dropped, %llu shed "
-              "by backpressure (%llu bucket(s) affected), %llu submitted "
-              "into %zu bucket(s)\n\n",
-              (unsigned long long)CS.RecordsDecoded,
-              (unsigned long long)CS.DuplicatesDropped,
-              (unsigned long long)CS.BackpressureDropped,
-              (unsigned long long)CS.BucketsShed,
-              (unsigned long long)CS.Submitted, Sched.numCampaigns());
+  printCollectorStats(Collector.getStats(), CC.SpoolDir,
+                      Sched.numCampaigns());
 
   FleetReport FR = Sched.run();
   printFleetReport(FR);

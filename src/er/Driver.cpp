@@ -91,50 +91,72 @@ static void waitForOccurrence(const DriverConfig &Config) {
 ReconstructionDriver::ReconstructionDriver(Module &M, DriverConfig Config)
     : M(M), Config(Config), Solver(Ctx, Config.Solver) {}
 
-ReconstructionReport
-ReconstructionDriver::reconstruct(const InputGenerator &Gen,
-                                  const FailureRecord *TargetFailure) {
-  ReconstructionReport Report;
-  DriverMetrics &DM = DriverMetrics::get();
-  obs::ScopedSpan RecSpan("er.reconstruct");
-  Rng ProdRng(Config.Seed);
-  bool HaveTarget = TargetFailure != nullptr;
-  FailureRecord Target;
-  if (TargetFailure)
+ReconstructionSession::ReconstructionSession(Module &M, DriverConfig Config,
+                                             ExprContext &Ctx,
+                                             ConstraintSolver &Solver,
+                                             InputGenerator Gen,
+                                             const FailureRecord *TargetFailure)
+    : M(M), Config(std::move(Config)), Ctx(Ctx), Solver(Solver),
+      Gen(std::move(Gen)), ProdRng(this->Config.Seed),
+      WarmupRemaining(this->Config.EnableTracingAfterOccurrences) {
+  if (TargetFailure) {
     Target = *TargetFailure;
+    HaveTarget = true;
+  }
+}
 
+bool ReconstructionSession::step() {
+  if (Finished)
+    return false;
+  ++StepsDone;
   // Optional warm-up: tracing disabled until the failure shows it recurs
   // (Section 3.1). These occurrences are observed but not analyzed.
-  for (unsigned Skip = 0; Skip < Config.EnableTracingAfterOccurrences;
-       ++Skip) {
-    bool Observed = false;
-    for (uint64_t Run = 0; Run < Config.MaxRunsPerOccurrence; ++Run) {
-      ProgramInput In = Gen(ProdRng);
-      VmConfig VC = Config.Vm;
-      VC.ScheduleSeed = ProdRng.next();
-      Interpreter VM(M, VC);
-      RunResult RR = VM.run(In);
-      DM.ProductionRuns.inc();
-      if (RR.Status != ExitStatus::Failure)
-        continue;
-      if (HaveTarget && !RR.Failure.sameFailure(Target))
-        continue;
-      Target = RR.Failure;
-      HaveTarget = true;
-      Observed = true;
-      break;
-    }
-    if (!Observed) {
-      Report.FailureDetail = "failure did not reoccur within the run budget";
-      return Report;
-    }
-    waitForOccurrence(Config);
-    ++Report.Occurrences;
-    DM.Occurrences.inc();
-    Report.Failure = Target;
-  }
+  if (WarmupRemaining > 0)
+    return warmupStep();
+  return iterationStep();
+}
 
-  for (unsigned Iter = 0; Iter < Config.MaxIterations; ++Iter) {
+bool ReconstructionSession::warmupStep() {
+  DriverMetrics &DM = DriverMetrics::get();
+  bool Observed = false;
+  for (uint64_t Run = 0; Run < Config.MaxRunsPerOccurrence; ++Run) {
+    ProgramInput In = Gen(ProdRng);
+    VmConfig VC = Config.Vm;
+    VC.ScheduleSeed = ProdRng.next();
+    Interpreter VM(M, VC);
+    RunResult RR = VM.run(In);
+    DM.ProductionRuns.inc();
+    if (RR.Status != ExitStatus::Failure)
+      continue;
+    if (HaveTarget && !RR.Failure.sameFailure(Target))
+      continue;
+    Target = RR.Failure;
+    HaveTarget = true;
+    Observed = true;
+    break;
+  }
+  if (!Observed) {
+    Report.FailureDetail = "failure did not reoccur within the run budget";
+    Finished = true;
+    return false;
+  }
+  waitForOccurrence(Config);
+  ++Report.Occurrences;
+  DM.Occurrences.inc();
+  Report.Failure = Target;
+  --WarmupRemaining;
+  return true;
+}
+
+bool ReconstructionSession::iterationStep() {
+  DriverMetrics &DM = DriverMetrics::get();
+  if (Iter >= Config.MaxIterations) {
+    Report.FailureDetail = "iteration budget exhausted";
+    ResultTag = "iteration_budget_exhausted";
+    Finished = true;
+    return false;
+  }
+  {
     IterationReport IR;
     IR.TotalInstrumentationSites = countInstrumentation(M);
     obs::ScopedSpan IterSpan("er.iteration");
@@ -177,7 +199,8 @@ ReconstructionDriver::reconstruct(const InputGenerator &Gen,
     if (!Observed) {
       Report.FailureDetail = "failure did not reoccur within the run budget";
       Report.Iterations.push_back(IR);
-      return Report;
+      Finished = true;
+      return false;
     }
 
     waitForOccurrence(Config);
@@ -250,9 +273,9 @@ ReconstructionDriver::reconstruct(const InputGenerator &Gen,
         Report.ReplayScheduleSeed = FailingSeed;
         Report.Iterations.push_back(IR);
         DM.Reproduced.inc();
-        RecSpan.arg("occurrences", static_cast<uint64_t>(Report.Occurrences));
-        RecSpan.arg("result", "reproduced");
-        return Report;
+        ResultTag = "reproduced";
+        Finished = true;
+        return false;
       }
       // Rare: the reconstruction picked an interleaving-inconsistent
       // ordering (Section 3.4's caveat). Use the next occurrence's trace.
@@ -260,7 +283,8 @@ ReconstructionDriver::reconstruct(const InputGenerator &Gen,
                   "fresh trace";
       DM.ValidationFailures.inc();
       Report.Iterations.push_back(IR);
-      continue;
+      ++Iter;
+      return true;
     }
 
     case SymexStatus::Stalled: {
@@ -299,10 +323,12 @@ ReconstructionDriver::reconstruct(const InputGenerator &Gen,
         Report.FailureDetail =
             "stalled with no new values to record: " + SR.Detail;
         DM.SelectionExhausted.inc();
-        RecSpan.arg("result", "selection_exhausted");
-        return Report;
+        ResultTag = "selection_exhausted";
+        Finished = true;
+        return false;
       }
-      continue;
+      ++Iter;
+      return true;
     }
 
     case SymexStatus::TraceMismatch:
@@ -315,13 +341,28 @@ ReconstructionDriver::reconstruct(const InputGenerator &Gen,
       obs::MetricsRegistry::global()
           .counter(std::string("er.terminal.") + symexStatusName(SR.Status))
           .inc();
-      RecSpan.arg("result", symexStatusName(SR.Status));
+      ResultTag = symexStatusName(SR.Status);
+      Finished = true;
       Report.Iterations.push_back(IR);
-      return Report;
+      return false;
     }
   }
+  // Unreachable: every SymexStatus case above returns.
+  ++Iter;
+  return true;
+}
 
-  Report.FailureDetail = "iteration budget exhausted";
-  RecSpan.arg("result", "iteration_budget_exhausted");
+ReconstructionReport
+ReconstructionDriver::reconstruct(const InputGenerator &Gen,
+                                  const FailureRecord *TargetFailure) {
+  obs::ScopedSpan RecSpan("er.reconstruct");
+  ReconstructionSession Session(M, Config, Ctx, Solver, Gen, TargetFailure);
+  while (Session.step())
+    ;
+  ReconstructionReport Report = Session.takeReport();
+  if (Report.Success)
+    RecSpan.arg("occurrences", static_cast<uint64_t>(Report.Occurrences));
+  if (!Session.resultTag().empty())
+    RecSpan.arg("result", Session.resultTag());
   return Report;
 }

@@ -20,6 +20,7 @@
 
 #include "er/Selection.h"
 #include "ir/IR.h"
+#include "support/Rng.h"
 #include "solver/Solver.h"
 #include "symex/SymExecutor.h"
 #include "trace/Trace.h"
@@ -91,12 +92,73 @@ struct ReconstructionReport {
   std::string FailureDetail; ///< Set when !Success.
 };
 
+/// One reconstruction campaign, resumable between iterations.
+///
+/// The whole iterate-until-reproduced loop, unrolled into discrete steps: a
+/// `step()` performs exactly one unit of forward progress — one warm-up
+/// occurrence (when `EnableTracingAfterOccurrences` is set) or one full
+/// iteration (online wait + trace decode + shepherded symex + validate /
+/// select / instrument) — and returns whether the campaign still has work
+/// left. A caller that owns several sessions (the fleet scheduler) can
+/// interleave their steps, suspend one mid-campaign, and resume it later;
+/// stepping a session to completion yields exactly the report a monolithic
+/// `ReconstructionDriver::reconstruct` call would have produced, bit for
+/// bit, because all campaign state lives in the session between steps.
+class ReconstructionSession {
+public:
+  /// Generates one production input; the distribution should make the
+  /// target failure reachable but need not make it frequent.
+  using InputGenerator = std::function<ProgramInput(Rng &)>;
+
+  /// The module, context, and solver must outlive the session; the module
+  /// is mutated (re-instrumented) as the campaign progresses.
+  ReconstructionSession(Module &M, DriverConfig Config, ExprContext &Ctx,
+                        ConstraintSolver &Solver, InputGenerator Gen,
+                        const FailureRecord *TargetFailure = nullptr);
+
+  /// Performs one step; returns true while more work remains. Once it
+  /// returns false the report is final and further calls are no-ops.
+  bool step();
+
+  bool finished() const { return Finished; }
+
+  /// Steps performed so far (warm-up occurrences + iterations).
+  unsigned stepsDone() const { return StepsDone; }
+
+  /// Why the campaign ended, for telemetry: "reproduced",
+  /// "selection_exhausted", "iteration_budget_exhausted", a terminal symex
+  /// status name, or empty (run budget exhausted before reoccurrence).
+  const std::string &resultTag() const { return ResultTag; }
+
+  const ReconstructionReport &report() const { return Report; }
+  ReconstructionReport takeReport() { return std::move(Report); }
+
+private:
+  bool warmupStep();
+  bool iterationStep();
+
+  Module &M;
+  DriverConfig Config;
+  ExprContext &Ctx;
+  ConstraintSolver &Solver;
+  InputGenerator Gen;
+  Rng ProdRng;
+  ReconstructionReport Report;
+  FailureRecord Target;
+  bool HaveTarget = false;
+  unsigned WarmupRemaining = 0;
+  unsigned Iter = 0;
+  unsigned StepsDone = 0;
+  bool Finished = false;
+  std::string ResultTag;
+};
+
 /// Drives iterative reconstruction over a (mutable) module.
 class ReconstructionDriver {
 public:
   /// Generates one production input; the distribution should make the
   /// target failure reachable but need not make it frequent.
-  using InputGenerator = std::function<ProgramInput(Rng &)>;
+  using InputGenerator = ReconstructionSession::InputGenerator;
 
   ReconstructionDriver(Module &M, DriverConfig Config);
 

@@ -2,6 +2,7 @@
 
 #include "fleet/FleetPersist.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -39,7 +40,8 @@ static void writeFailure(std::ostream &OS, const FailureRecord &F) {
 
 bool er::saveFleetState(const std::string &Path, uint64_t RootSeed,
                         const std::vector<const Campaign *> &Campaigns,
-                        std::string *Error) {
+                        std::string *Error,
+                        const std::map<uint64_t, uint64_t> *HighWater) {
   std::ofstream OS(Path, std::ios::trunc);
   if (!OS) {
     if (Error)
@@ -49,6 +51,14 @@ bool er::saveFleetState(const std::string &Path, uint64_t RootSeed,
 
   OS << MagicV1 << '\n';
   OS << "rootseed " << RootSeed << '\n';
+  if (HighWater) {
+    char Buf[64];
+    for (const auto &[Machine, Seq] : *HighWater) {
+      std::snprintf(Buf, sizeof(Buf), "highwater m%llx %llu",
+                    (unsigned long long)Machine, (unsigned long long)Seq);
+      OS << Buf << '\n';
+    }
+  }
   for (const Campaign *C : Campaigns) {
     OS << "campaign " << C->Sig.hex() << '\n';
     OS << "bug " << C->BugId << '\n';
@@ -60,6 +70,13 @@ bool er::saveFleetState(const std::string &Path, uint64_t RootSeed,
     OS << "occurrences " << C->Occurrences << '\n';
     OS << "seed " << C->CampaignSeed << '\n';
     OS << "completed " << (C->Completed ? 1 : 0) << '\n';
+    // Mid-flight checkpoint state only. Once a campaign completes these
+    // lines disappear, so a preempted-then-resumed run's final file is
+    // byte-identical to an uninterrupted one.
+    if (!C->Completed && C->Suspended) {
+      OS << "suspended 1\n";
+      OS << "iterationsdone " << C->IterationsDone << '\n';
+    }
     if (C->Completed) {
       const ReconstructionReport &R = C->Report;
       OS << "success " << (R.Success ? 1 : 0) << '\n';
@@ -191,7 +208,8 @@ static bool readIdList(Reader &R, std::vector<unsigned> &Out,
 }
 
 bool er::loadFleetState(const std::string &Path, uint64_t &RootSeed,
-                        std::vector<Campaign> &Campaigns, std::string *Error) {
+                        std::vector<Campaign> &Campaigns, std::string *Error,
+                        std::map<uint64_t, uint64_t> *HighWater) {
   std::ifstream IS(Path);
   if (!IS) {
     if (Error)
@@ -218,6 +236,22 @@ bool er::loadFleetState(const std::string &Path, uint64_t &RootSeed,
       C = &Campaigns.back();
       SigSeen = false;
       continue; // The hex digest is recomputed from the sig line.
+    }
+    if (Key == "highwater") {
+      // Top-level: checkpointed ingest dedup marks (daemon state files).
+      if (C)
+        return fail(Error, R.lineNo(), "'highwater' inside a campaign");
+      std::string Mark = R.word();
+      unsigned long long Machine = 0;
+      uint64_t Seq = 0;
+      if (Mark.size() < 2 || Mark[0] != 'm' ||
+          std::sscanf(Mark.c_str(), "m%llx", &Machine) != 1 || !R.u64(Seq))
+        return fail(Error, R.lineNo(), "malformed highwater mark");
+      if (HighWater) {
+        uint64_t &Cur = (*HighWater)[Machine];
+        Cur = std::max(Cur, Seq);
+      }
+      continue;
     }
     if (!C)
       return fail(Error, R.lineNo(), "'" + Key + "' outside a campaign");
@@ -248,6 +282,18 @@ bool er::loadFleetState(const std::string &Path, uint64_t &RootSeed,
       if (!R.u64(V))
         return fail(Error, R.lineNo(), "malformed completed flag");
       C->Completed = V != 0;
+    } else if (Key == "suspended") {
+      if (!R.u64(V))
+        return fail(Error, R.lineNo(), "malformed suspended flag");
+      C->Suspended = V != 0;
+    } else if (Key == "iterationsdone") {
+      if (!R.u64(V))
+        return fail(Error, R.lineNo(), "malformed iterationsdone");
+      C->IterationsDone = static_cast<unsigned>(V);
+    } else if (Key == "preemptions") {
+      if (!R.u64(V))
+        return fail(Error, R.lineNo(), "malformed preemptions");
+      C->Preemptions = static_cast<unsigned>(V);
     } else if (Key == "success") {
       if (!R.u64(V))
         return fail(Error, R.lineNo(), "malformed success flag");

@@ -15,22 +15,34 @@
 
 #include "fleet/FleetScheduler.h"
 
+#include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
 namespace er {
 
 /// Writes \p Campaigns to \p Path. Returns false (and sets \p Error) on I/O
-/// failure.
+/// failure. With \p HighWater, per-machine ingest high-water marks are
+/// written into the same file (`highwater m<hex> <seq>` lines after the
+/// root seed), making scheduler state + dedup marks one atomic unit for
+/// the collector daemon's checkpoint. Suspended mid-flight campaigns
+/// persist their progress counters; completed campaigns never do, so a
+/// preempted-then-resumed fleet's final state file is byte-identical to an
+/// uninterrupted one.
 bool saveFleetState(const std::string &Path, uint64_t RootSeed,
                     const std::vector<const Campaign *> &Campaigns,
-                    std::string *Error = nullptr);
+                    std::string *Error = nullptr,
+                    const std::map<uint64_t, uint64_t> *HighWater = nullptr);
 
 /// Parses \p Path into \p RootSeed / \p Campaigns. Returns false (and sets
-/// \p Error) on I/O failure or a malformed file.
+/// \p Error) on I/O failure or a malformed file. \p HighWater, when
+/// non-null, receives any checkpointed high-water marks (left untouched if
+/// the file has none).
 bool loadFleetState(const std::string &Path, uint64_t &RootSeed,
                     std::vector<Campaign> &Campaigns,
-                    std::string *Error = nullptr);
+                    std::string *Error = nullptr,
+                    std::map<uint64_t, uint64_t> *HighWater = nullptr);
 
 } // namespace er
 

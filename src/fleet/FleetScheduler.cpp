@@ -30,26 +30,45 @@ using namespace er;
 namespace {
 struct FleetMetrics {
   obs::Counter &ReportsSubmitted, &CampaignsRun, &CampaignsReproduced;
-  obs::Gauge &Buckets, &Pending, &Completed;
+  obs::Counter &Preemptions;
+  obs::Gauge &Buckets, &Pending, &Completed, &ActiveSlots, &SuspendedSlots;
 
   static FleetMetrics &get() {
     auto &Reg = obs::MetricsRegistry::global();
     static FleetMetrics M{Reg.counter("fleet.reports.submitted"),
                           Reg.counter("fleet.campaigns.run"),
                           Reg.counter("fleet.campaigns.reproduced"),
+                          Reg.counter("fleet.preemptions"),
                           Reg.gauge("fleet.buckets"),
                           Reg.gauge("fleet.campaigns.pending"),
-                          Reg.gauge("fleet.campaigns.completed")};
+                          Reg.gauge("fleet.campaigns.completed"),
+                          Reg.gauge("fleet.campaigns.active"),
+                          Reg.gauge("fleet.campaigns.suspended")};
     return M;
   }
 };
 } // namespace
+
+/// A campaign occupying (or suspended from) a worker slot in incremental
+/// mode: its compiled module, isolated context/solver, and the resumable
+/// session. Parking this struct *is* the checkpoint — the session resumes
+/// mid-campaign with zero redone work.
+struct FleetScheduler::CampaignRuntime {
+  size_t Idx = 0; ///< Into FleetScheduler::Campaigns.
+  std::unique_ptr<Module> M;
+  std::unique_ptr<ExprContext> Ctx;
+  std::unique_ptr<ConstraintSolver> Solver;
+  std::unique_ptr<ReconstructionSession> Session;
+  unsigned StepsTaken = 0;
+};
 
 FleetScheduler::FleetScheduler(FleetConfig Config)
     : Config(Config), Cache(Config.Cache) {
   if (this->Config.Jobs == 0)
     this->Config.Jobs = 1;
 }
+
+FleetScheduler::~FleetScheduler() = default;
 
 Campaign &FleetScheduler::campaignFor(const FailureSignature &Sig,
                                       const std::string &BugId) {
@@ -256,6 +275,7 @@ FleetReport FleetScheduler::run() {
   FleetReport FR;
   FR.Jobs = Jobs;
   FR.RootSeed = Config.RootSeed;
+  FR.Preemptions = static_cast<unsigned>(PreemptionCount);
   FR.CampaignsRun = static_cast<unsigned>(Pending.size());
   FR.CampaignsResumed = Resumed;
   FR.WallSeconds = Wall.seconds();
@@ -269,19 +289,253 @@ FleetReport FleetScheduler::run() {
   return FR;
 }
 
-bool FleetScheduler::saveState(const std::string &Path,
-                               std::string *Error) const {
+//===----------------------------------------------------------------------===//
+// Incremental mode
+//===----------------------------------------------------------------------===//
+//
+// The collector daemon's shape of progress: discrete ReconstructionSession
+// steps interleaved with spool drains, with up to Config.Jobs campaigns
+// holding slots at once. Everything here runs on the daemon's control
+// thread — determinism needs no synchronization, and campaign results
+// cannot depend on slot scheduling because each campaign is fully
+// isolated (the shared solver cache returns byte-identical answers).
+
+std::unique_ptr<FleetScheduler::CampaignRuntime>
+FleetScheduler::makeRuntime(size_t Idx) {
+  Campaign &C = Campaigns[Idx];
+  FleetMetrics &FM = FleetMetrics::get();
+  const BugSpec *Spec = findBug(C.BugId);
+  if (!Spec) {
+    // Same terminal outcome runCampaign produces for an unknown workload.
+    C.Report.FailureDetail = "unknown workload '" + C.BugId + "'";
+    C.Completed = true;
+    FM.Pending.add(-1);
+    FM.Completed.add(1);
+    return nullptr;
+  }
+
+  // Identical configuration to runCampaign — stepping a session to
+  // completion must be byte-identical to the batch path.
+  auto RT = std::make_unique<CampaignRuntime>();
+  RT->Idx = Idx;
+  RT->M = compileBug(*Spec);
+  DriverConfig DC = Config.DriverBase;
+  DC.Solver.WorkBudget = Spec->SolverWorkBudget;
+  DC.Vm.ChunkSize = Spec->VmChunkSize;
+  DC.Seed = C.CampaignSeed;
+  DC.Solver.SharedCache = Config.ShareSolverCache ? &Cache : nullptr;
+
+  FailureRecord Target;
+  Target.Kind = C.Sig.Kind;
+  Target.InstrGlobalId = C.Sig.InstrGlobalId;
+  Target.CallStack = C.Sig.CallStack;
+
+  RT->Ctx = std::make_unique<ExprContext>();
+  RT->Solver = std::make_unique<ConstraintSolver>(*RT->Ctx, DC.Solver);
+  RT->Session = std::make_unique<ReconstructionSession>(
+      *RT->M, DC, *RT->Ctx, *RT->Solver,
+      [Spec](Rng &R) { return Spec->ProductionInput(R); }, &Target);
+  return RT;
+}
+
+void FleetScheduler::finalizeCampaign(CampaignRuntime &RT) {
+  Campaign &C = Campaigns[RT.Idx];
+  C.Report = RT.Session->takeReport();
+  auto Sites = instrumentedSites(*RT.M);
+  C.RecordingSet.assign(Sites.begin(), Sites.end());
+  std::sort(C.RecordingSet.begin(), C.RecordingSet.end());
+  C.Completed = true;
+  C.Suspended = false;
+  C.IterationsDone = RT.Session->stepsDone();
+
+  FleetMetrics &FM = FleetMetrics::get();
+  FM.CampaignsRun.inc();
+  if (C.Report.Success)
+    FM.CampaignsReproduced.inc();
+  FM.Pending.add(-1);
+  FM.Completed.add(1);
+}
+
+bool FleetScheduler::scheduleSlots() {
+  FleetMetrics &FM = FleetMetrics::get();
+  bool Changed = false;
+  auto activeSlot = [this](size_t Idx) -> size_t {
+    for (size_t I = 0; I < Active.size(); ++I)
+      if (Active[I]->Idx == Idx)
+        return I;
+    return Active.size();
+  };
+  auto activate = [&](size_t Idx) {
+    auto It = Parked.find(Idx);
+    std::unique_ptr<CampaignRuntime> RT;
+    if (It != Parked.end()) {
+      // Exact resume: the parked session continues where it stopped.
+      RT = std::move(It->second);
+      Parked.erase(It);
+    } else {
+      RT = makeRuntime(Idx);
+    }
+    if (!RT)
+      return; // Completed inline (unknown workload).
+    Campaigns[Idx].Suspended = false;
+    Active.push_back(std::move(RT));
+    Changed = true;
+  };
+
+  // Fill free slots hottest-first.
+  for (size_t Idx : triageOrder()) {
+    if (Active.size() >= Config.Jobs)
+      break;
+    if (!Campaigns[Idx].Completed && activeSlot(Idx) == Active.size())
+      activate(Idx);
+  }
+
+  // Preemption: slots full and a hot pending bucket outranks the weakest
+  // active campaign -> checkpoint-and-suspend the weakest, give the slot
+  // to the hot bucket.
+  if (!Config.Preempt.Enabled)
+    return Changed;
+  std::vector<size_t> Order = triageOrder();
+  while (Active.size() >= Config.Jobs && !Active.empty()) {
+    // Hottest pending, in triage order.
+    size_t Hot = Campaigns.size();
+    for (size_t Idx : Order) {
+      if (Campaigns[Idx].Completed || activeSlot(Idx) != Active.size())
+        continue;
+      Hot = Idx;
+      break;
+    }
+    if (Hot == Campaigns.size() ||
+        Campaigns[Hot].Occurrences < Config.Preempt.HotOccurrences)
+      return Changed;
+    // Weakest active: last in triage order among the active campaigns,
+    // provided it has run long enough to be worth suspending.
+    size_t WeakSlot = Active.size();
+    for (auto It = Order.rbegin(); It != Order.rend(); ++It) {
+      size_t Slot = activeSlot(*It);
+      if (Slot == Active.size())
+        continue;
+      if (Active[Slot]->StepsTaken >= Config.Preempt.MinStepsBeforePreempt)
+        WeakSlot = Slot;
+      break; // Only the lowest-priority active campaign is a candidate.
+    }
+    if (WeakSlot == Active.size() ||
+        Campaigns[Hot].Occurrences <=
+            Campaigns[Active[WeakSlot]->Idx].Occurrences)
+      return Changed;
+
+    // Checkpoint-and-suspend: the parked session *is* the checkpoint.
+    std::unique_ptr<CampaignRuntime> RT = std::move(Active[WeakSlot]);
+    Active.erase(Active.begin() + WeakSlot);
+    Campaign &W = Campaigns[RT->Idx];
+    W.Suspended = true;
+    W.IterationsDone = RT->Session->stepsDone();
+    ++W.Preemptions;
+    ++PreemptionCount;
+    FM.Preemptions.inc();
+    {
+      obs::ScopedSpan Span("fleet.preempt", "fleet");
+      Span.arg("suspended", W.Sig.hex());
+      Span.arg("for", Campaigns[Hot].Sig.hex());
+      Span.arg("steps_done", static_cast<uint64_t>(RT->StepsTaken));
+    }
+    Parked[RT->Idx] = std::move(RT);
+    activate(Hot);
+    Changed = true;
+  }
+  return Changed;
+}
+
+unsigned FleetScheduler::stepCampaigns(unsigned MaxSteps) {
+  FleetMetrics &FM = FleetMetrics::get();
+  unsigned Steps = 0;
+  bool Budgeted = MaxSteps != 0;
+  for (;;) {
+    scheduleSlots();
+    if (Active.empty() || (Budgeted && Steps >= MaxSteps))
+      break;
+    // Round-robin one step per active campaign, hottest slot first.
+    for (size_t I = 0; I < Active.size() && !(Budgeted && Steps >= MaxSteps);) {
+      CampaignRuntime &RT = *Active[I];
+      Campaign &C = Campaigns[RT.Idx];
+      bool More;
+      {
+        obs::ScopedSpan Span("fleet.campaign.step", "fleet");
+        Span.arg("sig", C.Sig.hex());
+        Span.arg("bug", C.BugId);
+        Span.arg("step", static_cast<uint64_t>(RT.StepsTaken));
+        More = RT.Session->step();
+        if (RT.Session->finished() && !RT.Session->resultTag().empty())
+          Span.arg("result", RT.Session->resultTag());
+      }
+      ++RT.StepsTaken;
+      ++Steps;
+      C.IterationsDone = RT.Session->stepsDone();
+      if (!More) {
+        finalizeCampaign(RT);
+        Active.erase(Active.begin() + I);
+      } else {
+        ++I;
+      }
+    }
+    if (Budgeted && Steps >= MaxSteps)
+      break;
+  }
+  size_t PendingCount = 0, CompletedCount = 0;
+  for (const Campaign &C : Campaigns)
+    (C.Completed ? CompletedCount : PendingCount) += 1;
+  FM.Pending.set(static_cast<int64_t>(PendingCount));
+  FM.Completed.set(static_cast<int64_t>(CompletedCount));
+  FM.ActiveSlots.set(static_cast<int64_t>(Active.size()));
+  FM.SuspendedSlots.set(static_cast<int64_t>(Parked.size()));
+  return Steps;
+}
+
+bool FleetScheduler::hasPendingWork() const {
+  for (const Campaign &C : Campaigns)
+    if (!C.Completed)
+      return true;
+  return false;
+}
+
+size_t FleetScheduler::numSuspended() const { return Parked.size(); }
+
+FleetReport FleetScheduler::snapshotReport() const {
+  FleetReport FR;
+  FR.Jobs = Config.Jobs;
+  FR.RootSeed = Config.RootSeed;
+  FR.Preemptions = static_cast<unsigned>(PreemptionCount);
+  FR.Cache = Cache.getStats();
+  std::vector<size_t> Order = triageOrder();
+  FR.Campaigns.reserve(Order.size());
+  for (size_t Idx : Order) {
+    const Campaign &C = Campaigns[Idx];
+    FR.Campaigns.push_back(C);
+    if (C.Completed && !C.Resumed)
+      ++FR.CampaignsRun;
+    if (C.Resumed)
+      ++FR.CampaignsResumed;
+    if (C.Report.Success)
+      ++FR.Reproduced;
+  }
+  return FR;
+}
+
+bool FleetScheduler::saveState(
+    const std::string &Path, std::string *Error,
+    const std::map<uint64_t, uint64_t> *HighWater) const {
   std::vector<const Campaign *> Ordered;
   Ordered.reserve(Campaigns.size());
   for (size_t Idx : triageOrder())
     Ordered.push_back(&Campaigns[Idx]);
-  return saveFleetState(Path, Config.RootSeed, Ordered, Error);
+  return saveFleetState(Path, Config.RootSeed, Ordered, Error, HighWater);
 }
 
-bool FleetScheduler::loadState(const std::string &Path, std::string *Error) {
+bool FleetScheduler::loadState(const std::string &Path, std::string *Error,
+                               std::map<uint64_t, uint64_t> *HighWater) {
   uint64_t RootSeed = 0;
   std::vector<Campaign> Loaded;
-  if (!loadFleetState(Path, RootSeed, Loaded, Error))
+  if (!loadFleetState(Path, RootSeed, Loaded, Error, HighWater))
     return false;
   for (Campaign &L : Loaded) {
     Campaign &C = campaignFor(L.Sig, L.BugId);

@@ -34,6 +34,8 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -56,6 +58,24 @@ struct FleetFailureReport {
   uint64_t Sequence = 0;
 };
 
+/// Preemption policy for the incremental (stepCampaigns) mode. When every
+/// worker slot is busy and a *hot* pending bucket appears — its occurrence
+/// count at or above HotOccurrences and strictly above the weakest active
+/// campaign's — the weakest active campaign is checkpointed in place and
+/// suspended, its slot is given to the hot bucket, and it resumes later
+/// exactly where it left off. Results are byte-identical either way (each
+/// campaign is isolated; see docs/FLEET.md); preemption only changes
+/// *when* the hot failure's test case arrives.
+struct PreemptConfig {
+  bool Enabled = false;
+  /// A pending bucket at or above this occurrence count may preempt.
+  /// 0 = any pending bucket that outranks an active one qualifies.
+  uint64_t HotOccurrences = 4;
+  /// Steps an active campaign must have run before it can be preempted
+  /// (guards against thrashing a slot that just started).
+  unsigned MinStepsBeforePreempt = 1;
+};
+
 /// Service tuning.
 struct FleetConfig {
   /// Concurrent reconstruction campaigns.
@@ -68,6 +88,7 @@ struct FleetConfig {
   /// Share one memoizing solver cache across all campaigns.
   bool ShareSolverCache = true;
   SolverCacheConfig Cache;
+  PreemptConfig Preempt;
 };
 
 /// One deduplicated failure bucket and (once run) its reconstruction.
@@ -81,6 +102,16 @@ struct Campaign {
   bool Completed = false;
   /// Loaded from a persisted state file rather than run in this process.
   bool Resumed = false;
+  /// Checkpointed mid-campaign by preemption; resumes from the parked
+  /// session (same process) or by deterministic re-execution (state file).
+  bool Suspended = false;
+  /// Steps (warm-up occurrences + iterations) performed so far; progress
+  /// bookkeeping for suspended campaigns.
+  unsigned IterationsDone = 0;
+  /// Times this campaign was preempted (in-memory only, never persisted:
+  /// a resumed run's final state file must be byte-identical to an
+  /// uninterrupted one).
+  unsigned Preemptions = 0;
   ReconstructionReport Report;
   /// Instrumented sites at campaign end (sorted) — the recording set that
   /// produced the final trace, persisted so a resumed fleet can redeploy
@@ -97,6 +128,7 @@ struct FleetReport {
   unsigned CampaignsRun = 0;     ///< Executed by this run().
   unsigned CampaignsResumed = 0; ///< Skipped: completed in a prior life.
   unsigned Reproduced = 0;       ///< Campaigns that generated a test case.
+  unsigned Preemptions = 0;      ///< Campaign suspensions (stepping mode).
   double WallSeconds = 0;
   SolverCacheStats Cache;
 };
@@ -126,6 +158,7 @@ unsigned simulateMachine(const BugSpec &Spec, unsigned Runs,
 class FleetScheduler {
 public:
   explicit FleetScheduler(FleetConfig Config);
+  ~FleetScheduler();
 
   /// Records one failure occurrence, deduplicating by signature.
   void submit(const FleetFailureReport &R);
@@ -142,22 +175,67 @@ public:
   /// re-run.
   FleetReport run();
 
+  //===--- Incremental mode (collector daemon) ------------------------===//
+  //
+  // run() executes every pending campaign to completion on a worker pool
+  // — the right shape for a one-shot drain. A long-running daemon instead
+  // interleaves campaign progress with spool drains: stepCampaigns()
+  // advances up to Config.Jobs campaigns by discrete ReconstructionSession
+  // steps on the calling thread, activating pending buckets in triage
+  // order, preempting per Config.Preempt, and parking suspended sessions
+  // in memory so a later call resumes them exactly. Results are
+  // byte-identical to run() on the same submissions. Do not mix run() and
+  // stepCampaigns() on the same scheduler instance.
+
+  /// Advances active campaigns by at most \p MaxSteps session steps
+  /// (0 = run until no pending work remains). Returns steps performed.
+  unsigned stepCampaigns(unsigned MaxSteps = 0);
+
+  /// True while any campaign is incomplete (active, suspended or queued).
+  bool hasPendingWork() const;
+
+  size_t numActive() const { return Active.size(); }
+  size_t numSuspended() const;
+  uint64_t totalPreemptions() const { return PreemptionCount; }
+
+  /// Fleet-wide report of the current triage state without running
+  /// anything — what run() would return if all remaining work vanished.
+  /// The daemon uses this for status printouts and shutdown summaries.
+  FleetReport snapshotReport() const;
+
   size_t numCampaigns() const { return Campaigns.size(); }
   const std::vector<Campaign> &getCampaigns() const { return Campaigns; }
   SolverCacheStats getCacheStats() const { return Cache.getStats(); }
 
-  /// Serializes the triage queue + finished campaigns to \p Path.
-  bool saveState(const std::string &Path, std::string *Error = nullptr) const;
+  /// Serializes the triage queue + finished campaigns to \p Path. With
+  /// \p HighWater, the ingest high-water marks are checkpointed into the
+  /// same file — one atomic unit, so a crash can never split the
+  /// scheduler's knowledge from the dedup marks (docs/INGEST.md).
+  bool saveState(const std::string &Path, std::string *Error = nullptr,
+                 const std::map<uint64_t, uint64_t> *HighWater = nullptr) const;
   /// Merges a previously saved state file: completed campaigns resume as
-  /// done, pending ones keep their occurrence counts and seeds.
-  bool loadState(const std::string &Path, std::string *Error = nullptr);
+  /// done, pending ones keep their occurrence counts and seeds. Suspended
+  /// campaigns load as pending — a cross-process resume re-executes them
+  /// deterministically from scratch. \p HighWater, when given, receives
+  /// the checkpointed ingest marks.
+  bool loadState(const std::string &Path, std::string *Error = nullptr,
+                 std::map<uint64_t, uint64_t> *HighWater = nullptr);
 
 private:
+  struct CampaignRuntime;
+
   /// Indices of Campaigns in triage order: occurrence count descending,
   /// digest then bug id as deterministic tie-breaks.
   std::vector<size_t> triageOrder() const;
   void runCampaign(Campaign &C);
   Campaign &campaignFor(const FailureSignature &Sig, const std::string &BugId);
+
+  /// Fills free worker slots from the triage queue (unparking suspended
+  /// sessions when their campaign is selected) and applies the preemption
+  /// policy. Returns true if any slot changed hands.
+  bool scheduleSlots();
+  std::unique_ptr<CampaignRuntime> makeRuntime(size_t Idx);
+  void finalizeCampaign(CampaignRuntime &RT);
 
   FleetConfig Config;
   SolverResultCache Cache;
@@ -165,6 +243,11 @@ private:
   /// Digest -> campaign indices (a chain, in case distinct signatures ever
   /// share a digest).
   std::unordered_map<uint64_t, std::vector<size_t>> ByDigest;
+  /// Incremental mode state: live sessions occupying worker slots, and
+  /// preempted sessions parked for an exact same-process resume.
+  std::vector<std::unique_ptr<CampaignRuntime>> Active;
+  std::map<size_t, std::unique_ptr<CampaignRuntime>> Parked;
+  uint64_t PreemptionCount = 0;
 };
 
 } // namespace er

@@ -1,0 +1,202 @@
+//===- CollectorDaemon.cpp - Long-running spool collector -------------------===//
+
+#include "ingest/CollectorDaemon.h"
+
+#include "obs/Metrics.h"
+#include "obs/Tracer.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+using namespace er;
+
+namespace {
+struct DaemonMetrics {
+  obs::Counter &Cycles, &Drains, &DrainRetries, &DrainFailures;
+  obs::Counter &Steps, &Checkpoints, &CheckpointFailures, &FilesAcked;
+  obs::Gauge &UptimeNs, &DrainIntervalNs;
+
+  static DaemonMetrics &get() {
+    auto &Reg = obs::MetricsRegistry::global();
+    static DaemonMetrics M{Reg.counter("daemon.cycles"),
+                           Reg.counter("daemon.drains"),
+                           Reg.counter("daemon.drain.retries"),
+                           Reg.counter("daemon.drain.failures"),
+                           Reg.counter("daemon.steps"),
+                           Reg.counter("daemon.checkpoints"),
+                           Reg.counter("daemon.checkpoint.failures"),
+                           Reg.counter("daemon.files.acked"),
+                           Reg.gauge("daemon.uptime_ns"),
+                           Reg.gauge("daemon.drain_interval_ns")};
+    return M;
+  }
+};
+
+/// With a checkpoint file the daemon owns durability: the collector must
+/// not remove drained files before the checkpoint lands, and must not
+/// persist a separate high-water file that could diverge from it.
+CollectorConfig adjustForDaemon(CollectorConfig CC, bool HasStateFile) {
+  if (HasStateFile) {
+    CC.DeferRemoval = true;
+    CC.PersistHighWater = false;
+  }
+  return CC;
+}
+} // namespace
+
+CollectorDaemon::CollectorDaemon(DaemonConfig Config, FleetScheduler &Sched)
+    : Config(Config), Sched(Sched),
+      Collector(adjustForDaemon(Config.Collector, !Config.StateFile.empty())) {
+}
+
+ClockSource &CollectorDaemon::clock() const {
+  return Config.Clock ? *Config.Clock : ClockSource::real();
+}
+
+uint64_t CollectorDaemon::uptimeNs() const {
+  uint64_t Now = clock().nowNs();
+  // A backwards clock jump must clamp, not wrap the unsigned difference.
+  return Now >= StartNs ? Now - StartNs : 0;
+}
+
+void CollectorDaemon::sleepMs(uint64_t Ms) {
+  if (!Ms)
+    return;
+  if (Config.Sleep) {
+    Config.Sleep(Ms);
+    return;
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(Ms));
+}
+
+bool CollectorDaemon::start(std::string *Error) {
+  if (Started)
+    return true;
+  FsOps &Fs = Config.Collector.Fs ? *Config.Collector.Fs : FsOps::real();
+  if (!Config.StateFile.empty() && Fs.exists(Config.StateFile)) {
+    std::map<uint64_t, uint64_t> HighWater;
+    if (!Sched.loadState(Config.StateFile, Error, &HighWater))
+      return false; // Corrupt checkpoint: refuse rather than double-count.
+    Collector.setHighWater(std::move(HighWater));
+  }
+  // A previous life may have died between a drain and its checkpoint;
+  // its claimed files still hold records nobody durably owns. Un-claim
+  // them so this life's first drain re-delivers (the restored high-water
+  // marks drop anything the old checkpoint did own).
+  Stats.FilesRecovered += Collector.recoverClaimedFiles();
+  StartNs = clock().nowNs();
+  DaemonMetrics::get().DrainIntervalNs.set(
+      static_cast<int64_t>(Config.DrainIntervalMs * 1000000));
+  Started = true;
+  return true;
+}
+
+bool CollectorDaemon::drainWithRetry(std::string *Error) {
+  DaemonMetrics &DM = DaemonMetrics::get();
+  uint64_t BackoffMs = Config.RetryBackoffBaseMs;
+  std::string DrainError;
+  for (unsigned Attempt = 0;; ++Attempt) {
+    if (Collector.drainInto(Sched, &DrainError)) {
+      ++Stats.Drains;
+      DM.Drains.inc();
+      return true;
+    }
+    if (Attempt >= Config.MaxDrainRetries)
+      break;
+    // Transient I/O (EIO on the quarantine dir, the high-water file, ...):
+    // back off and retry within the cycle. Doubling with a cap keeps the
+    // worst case bounded while not hammering a struggling disk.
+    ++Stats.DrainRetries;
+    DM.DrainRetries.inc();
+    sleepMs(BackoffMs);
+    BackoffMs = std::min(BackoffMs * 2, Config.RetryBackoffCapMs);
+  }
+  ++Stats.DrainFailures;
+  DM.DrainFailures.inc();
+  if (Error)
+    *Error = DrainError;
+  return false;
+}
+
+bool CollectorDaemon::checkpoint(std::string *Error) {
+  if (Config.StateFile.empty())
+    return true;
+  DaemonMetrics &DM = DaemonMetrics::get();
+  FsOps &Fs = Config.Collector.Fs ? *Config.Collector.Fs : FsOps::real();
+  // Fleet state + high-water marks written as one file, published by one
+  // atomic rename: the two can never be observed out of sync.
+  std::string Tmp = Config.StateFile + ".tmp";
+  std::string SaveError;
+  if (!Sched.saveState(Tmp, &SaveError, &Collector.getHighWater()) ||
+      Fs.rename(Tmp, Config.StateFile, &SaveError) != FsStatus::Ok) {
+    Fs.remove(Tmp);
+    ++Stats.CheckpointFailures;
+    DM.CheckpointFailures.inc();
+    if (Error)
+      *Error = SaveError;
+    return false;
+  }
+  ++Stats.Checkpoints;
+  DM.Checkpoints.inc();
+  return true;
+}
+
+bool CollectorDaemon::runCycle(std::string *Error) {
+  if (!start(Error))
+    return false;
+  DaemonMetrics &DM = DaemonMetrics::get();
+  obs::ScopedSpan Span("daemon.cycle", "daemon");
+  Span.arg("cycle", Stats.Cycles);
+  ++Stats.Cycles;
+  DM.Cycles.inc();
+
+  // 1. Drain. A cycle whose drain fails even after retries still steps
+  // campaigns — existing work must not starve behind a sick disk.
+  std::string DrainError;
+  bool Drained = drainWithRetry(&DrainError);
+  Span.arg("drained", static_cast<uint64_t>(Drained));
+
+  // 2. Advance campaigns incrementally; new reports merged by drain feed
+  // existing buckets without restarting them.
+  unsigned Steps = Sched.stepCampaigns(Config.MaxStepsPerCycle);
+  Stats.StepsRun += Steps;
+  DM.Steps.add(Steps);
+  Span.arg("steps", static_cast<uint64_t>(Steps));
+
+  // 3. Checkpoint, then 4. ack: records become removable only once the
+  // state that owns them is durable. A failed checkpoint simply leaves
+  // the files claimed — the next cycle's checkpoint acks them.
+  if (checkpoint(Error)) {
+    size_t Acked = Collector.ackDrained();
+    Stats.FilesAcked += Acked;
+    DM.FilesAcked.add(Acked);
+    Span.arg("acked", static_cast<uint64_t>(Acked));
+  }
+
+  DM.UptimeNs.set(static_cast<int64_t>(uptimeNs()));
+  return true;
+}
+
+bool CollectorDaemon::runLoop(std::string *Error) {
+  if (!start(Error))
+    return false;
+  for (;;) {
+    if (!runCycle(Error))
+      return false;
+    if (stopRequested())
+      break;
+    if (Config.MaxCycles && Stats.Cycles >= Config.MaxCycles)
+      break;
+    sleepMs(Config.DrainIntervalMs);
+    if (stopRequested())
+      break;
+  }
+  // Clean shutdown: one final checkpoint so nothing stepped since the
+  // last cycle's checkpoint is lost (counted like any other checkpoint).
+  if (checkpoint(Error)) {
+    Stats.FilesAcked += Collector.ackDrained();
+    return true;
+  }
+  return Config.StateFile.empty();
+}

@@ -1,0 +1,146 @@
+//===- CollectorDaemon.h - Long-running spool collector ---------*- C++ -*-===//
+///
+/// \file
+/// The long-running shape of ingestion (docs/INGEST.md): `er_cli collect
+/// --daemon` constructs one of these around a ReportCollector and a
+/// FleetScheduler and lets it run. Each *cycle* the daemon
+///
+///   1. drains the spool (bounded retry with doubling backoff on a
+///      transient drain failure),
+///   2. advances campaigns incrementally via
+///      FleetScheduler::stepCampaigns — new reports feed into running
+///      campaigns without restarting anything, and hot buckets may
+///      preempt per FleetConfig::Preempt,
+///   3. checkpoints fleet state + ingest high-water marks into ONE
+///      atomically-renamed state file, and
+///   4. acknowledges the drained spool files (removes them).
+///
+/// The 3-then-4 order is the exactly-once protocol: drained files stay
+/// claimed on disk until the checkpoint that owns their records is
+/// durable. A crash before the checkpoint leaves the files claimed —
+/// startup recovery un-claims them and the next drain re-delivers records
+/// the dead process never durably owned. A crash after the checkpoint but
+/// before the ack re-delivers too, but the checkpointed high-water marks
+/// drop every record as a duplicate. Either way each record is counted
+/// exactly once.
+///
+/// Time and the filesystem are taken through the src/support/ seams
+/// (ClockSource, FsOps, the Sleep hook), so every retry/crash/preemption
+/// path here is driven deterministically in tests — no sleeps, no wall
+/// clock.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ER_INGEST_COLLECTORDAEMON_H
+#define ER_INGEST_COLLECTORDAEMON_H
+
+#include "ingest/ReportCollector.h"
+#include "support/Fs.h"
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace er {
+
+/// Daemon tuning. The embedded CollectorConfig is adjusted on start():
+/// with a StateFile the collector is switched into deferred-ack mode
+/// (DeferRemoval=true, PersistHighWater=false) so the daemon checkpoint is
+/// the single source of durability; without one the collector keeps its
+/// classic per-drain `spool/highwater` persistence.
+struct DaemonConfig {
+  CollectorConfig Collector;
+  /// Sleep between cycles.
+  uint64_t DrainIntervalMs = 250;
+  /// Retries per cycle when the drain itself fails transiently.
+  unsigned MaxDrainRetries = 4;
+  /// First retry backoff; doubles per retry up to RetryBackoffCapMs.
+  uint64_t RetryBackoffBaseMs = 50;
+  uint64_t RetryBackoffCapMs = 2000;
+  /// Campaign steps per cycle; 0 = step until no pending work. A budget
+  /// keeps cycles short so drains stay frequent while campaigns are deep.
+  unsigned MaxStepsPerCycle = 0;
+  /// Stop after this many cycles (0 = run until requestStop()).
+  uint64_t MaxCycles = 0;
+  /// Checkpoint path; "" disables checkpointing (and the two-phase ack).
+  std::string StateFile;
+  /// Clock seam (null = the real monotonic clock).
+  ClockSource *Clock = nullptr;
+  /// Sleep seam, milliseconds. Null = really sleep. Tests install a hook
+  /// that records the duration and advances a VirtualClock instead.
+  std::function<void(uint64_t)> Sleep;
+};
+
+/// Cumulative daemon counters.
+struct DaemonStats {
+  uint64_t Cycles = 0;
+  uint64_t Drains = 0;         ///< Successful drains.
+  uint64_t DrainRetries = 0;   ///< Drain attempts retried after failure.
+  uint64_t DrainFailures = 0;  ///< Cycles whose drain never succeeded.
+  uint64_t StepsRun = 0;       ///< Campaign session steps performed.
+  uint64_t Checkpoints = 0;    ///< State files atomically published.
+  uint64_t CheckpointFailures = 0;
+  uint64_t FilesAcked = 0;     ///< Spool files removed after a checkpoint.
+  uint64_t FilesRecovered = 0; ///< `.claimed` leftovers un-claimed on start.
+};
+
+/// Periodic drain-and-step loop around one collector + one scheduler.
+/// Single control thread; requestStop() alone is safe to call from a
+/// signal handler or another thread.
+class CollectorDaemon {
+public:
+  /// \p Sched must outlive the daemon. The daemon owns its collector.
+  CollectorDaemon(DaemonConfig Config, FleetScheduler &Sched);
+
+  /// Prepares the daemon: loads the StateFile checkpoint (campaigns +
+  /// high-water marks) if one exists, and un-claims `.claimed` leftovers
+  /// from a previous life. Idempotent. Returns false on a corrupt
+  /// checkpoint (refusing to run is safer than double-counting).
+  bool start(std::string *Error = nullptr);
+
+  /// One cycle: drain (with retries) -> step campaigns -> checkpoint ->
+  /// ack. Returns false only on a non-recoverable error (checkpoint and
+  /// drain failures are counted, backed off, and survived). Does not
+  /// sleep the inter-cycle interval — that is runLoop's job.
+  bool runCycle(std::string *Error = nullptr);
+
+  /// start() + cycles separated by DrainIntervalMs until MaxCycles or
+  /// requestStop(), then a final checkpoint. Returns false on start()
+  /// failure or a non-recoverable cycle error.
+  bool runLoop(std::string *Error = nullptr);
+
+  /// Asks the loop to exit after the current cycle. Async-signal-safe.
+  void requestStop() { StopRequested.store(true, std::memory_order_relaxed); }
+  bool stopRequested() const {
+    return StopRequested.load(std::memory_order_relaxed);
+  }
+
+  const DaemonStats &getStats() const { return Stats; }
+  const CollectorStats &collectorStats() const {
+    return Collector.getStats();
+  }
+  ReportCollector &collector() { return Collector; }
+
+  /// Daemon uptime by the injected clock, clamped to zero if the clock
+  /// jumps backwards (a host clock step must never underflow the gauge).
+  uint64_t uptimeNs() const;
+
+private:
+  ClockSource &clock() const;
+  void sleepMs(uint64_t Ms);
+  bool drainWithRetry(std::string *Error);
+  bool checkpoint(std::string *Error);
+
+  DaemonConfig Config;
+  FleetScheduler &Sched;
+  ReportCollector Collector;
+  DaemonStats Stats;
+  std::atomic<bool> StopRequested{false};
+  bool Started = false;
+  uint64_t StartNs = 0;
+};
+
+} // namespace er
+
+#endif // ER_INGEST_COLLECTORDAEMON_H

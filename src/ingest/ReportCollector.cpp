@@ -10,20 +10,22 @@
 
 #include <algorithm>
 #include <cstdio>
-#include <filesystem>
-#include <fstream>
+#include <cstring>
 #include <map>
 #include <tuple>
 #include <vector>
 
 using namespace er;
-namespace fs = std::filesystem;
 
 ReportCollector::ReportCollector(CollectorConfig Config)
     : Config(std::move(Config)) {}
 
+FsOps &ReportCollector::fs() const {
+  return Config.Fs ? *Config.Fs : FsOps::real();
+}
+
 std::string ReportCollector::quarantineDir() const {
-  return (fs::path(Config.SpoolDir) / "quarantine").string();
+  return Config.SpoolDir + "/quarantine";
 }
 
 //===----------------------------------------------------------------------===//
@@ -42,63 +44,89 @@ bool ReportCollector::loadHighWater(std::string *Error) {
   if (HighWaterLoaded)
     return true;
   HighWaterLoaded = true;
-  fs::path Path = fs::path(Config.SpoolDir) / "highwater";
-  std::ifstream IS(Path);
-  if (!IS)
+  std::string Path = Config.SpoolDir + "/highwater";
+  std::vector<uint8_t> Bytes;
+  if (fs().readFile(Path, Bytes) != FsStatus::Ok)
     return true; // First drain on this spool.
-  std::string Line;
-  if (!std::getline(IS, Line) || Line != HighWaterMagic) {
-    if (Error)
-      *Error = "corrupt high-water file '" + Path.string() + "': bad magic";
-    return false;
-  }
-  while (std::getline(IS, Line)) {
-    if (Line.empty())
-      continue;
-    unsigned long long Machine = 0, Seq = 0;
-    if (std::sscanf(Line.c_str(), "m%llx %llu", &Machine, &Seq) != 2) {
-      if (Error)
-        *Error = "corrupt high-water file '" + Path.string() + "': '" +
-                 Line + "'";
-      return false;
+  std::string Text(Bytes.begin(), Bytes.end());
+  size_t Pos = 0;
+  bool SawMagic = false;
+  while (Pos <= Text.size()) {
+    size_t End = Text.find('\n', Pos);
+    std::string Line = Text.substr(
+        Pos, End == std::string::npos ? std::string::npos : End - Pos);
+    if (!SawMagic) {
+      if (Line != HighWaterMagic) {
+        if (Error)
+          *Error = "corrupt high-water file '" + Path + "': bad magic";
+        return false;
+      }
+      SawMagic = true;
+    } else if (!Line.empty()) {
+      unsigned long long Machine = 0, Seq = 0;
+      if (std::sscanf(Line.c_str(), "m%llx %llu", &Machine, &Seq) != 2) {
+        if (Error)
+          *Error = "corrupt high-water file '" + Path + "': '" + Line + "'";
+        return false;
+      }
+      HighWater[Machine] = std::max<uint64_t>(HighWater[Machine], Seq);
     }
-    HighWater[Machine] = std::max<uint64_t>(HighWater[Machine], Seq);
+    if (End == std::string::npos)
+      break;
+    Pos = End + 1;
   }
   return true;
 }
 
+void ReportCollector::setHighWater(std::map<uint64_t, uint64_t> Marks) {
+  HighWater = std::move(Marks);
+  HighWaterLoaded = true;
+}
+
 bool ReportCollector::saveHighWater(std::string *Error) const {
-  fs::path Path = fs::path(Config.SpoolDir) / "highwater";
-  fs::path Tmp = fs::path(Config.SpoolDir) / "highwater.tmp";
-  {
-    std::ofstream OS(Tmp, std::ios::trunc);
-    if (!OS) {
-      if (Error)
-        *Error = "cannot write '" + Tmp.string() + "'";
-      return false;
-    }
-    OS << HighWaterMagic << '\n';
-    char Buf[64];
-    for (const auto &[Machine, Seq] : HighWater) {
-      std::snprintf(Buf, sizeof(Buf), "m%llx %llu",
-                    (unsigned long long)Machine, (unsigned long long)Seq);
-      OS << Buf << '\n';
-    }
-    if (!OS) {
-      if (Error)
-        *Error = "write to '" + Tmp.string() + "' failed";
-      return false;
-    }
+  std::string Path = Config.SpoolDir + "/highwater";
+  std::string Tmp = Config.SpoolDir + "/highwater.tmp";
+  std::string Text = std::string(HighWaterMagic) + "\n";
+  char Buf[64];
+  for (const auto &[Machine, Seq] : HighWater) {
+    std::snprintf(Buf, sizeof(Buf), "m%llx %llu\n", (unsigned long long)Machine,
+                  (unsigned long long)Seq);
+    Text += Buf;
   }
-  std::error_code EC;
-  fs::rename(Tmp, Path, EC);
-  if (EC) {
-    std::remove(Tmp.c_str());
-    if (Error)
-      *Error = "cannot publish '" + Path.string() + "': " + EC.message();
+  if (fs().writeFile(Tmp, Text, Error) != FsStatus::Ok) {
+    fs().remove(Tmp);
+    return false;
+  }
+  if (fs().rename(Tmp, Path, Error) != FsStatus::Ok) {
+    fs().remove(Tmp);
     return false;
   }
   return true;
+}
+
+size_t ReportCollector::ackDrained() {
+  size_t Acked = PendingAck.size();
+  if (Config.RemoveDrained)
+    for (const std::string &Path : PendingAck)
+      fs().remove(Path);
+  PendingAck.clear();
+  return Acked;
+}
+
+size_t ReportCollector::recoverClaimedFiles() {
+  static const char Suffix[] = ".ers.claimed";
+  const size_t SuffixLen = sizeof(Suffix) - 1;
+  size_t Recovered = 0;
+  for (const std::string &Name : fs().listDir(Config.SpoolDir)) {
+    if (Name.size() <= SuffixLen ||
+        Name.compare(Name.size() - SuffixLen, SuffixLen, Suffix) != 0)
+      continue;
+    std::string Unclaimed = Name.substr(0, Name.size() - strlen(".claimed"));
+    if (fs().rename(Config.SpoolDir + "/" + Name,
+                    Config.SpoolDir + "/" + Unclaimed) == FsStatus::Ok)
+      ++Recovered;
+  }
+  return Recovered;
 }
 
 //===----------------------------------------------------------------------===//
@@ -148,7 +176,7 @@ namespace {
 struct IngestMetrics {
   obs::Counter &FilesScanned, &FilesClaimed, &FilesQuarantined, &StaleTemps;
   obs::Counter &RecordsDecoded, &DuplicatesDropped, &BackpressureDropped;
-  obs::Counter &BucketsShed, &Submitted;
+  obs::Counter &BucketsShed, &Submitted, &ClaimRetries, &ClaimFailures;
 
   static IngestMetrics &get() {
     auto &Reg = obs::MetricsRegistry::global();
@@ -160,7 +188,9 @@ struct IngestMetrics {
                            Reg.counter("ingest.records.duplicates"),
                            Reg.counter("ingest.records.shed"),
                            Reg.counter("ingest.buckets.shed"),
-                           Reg.counter("ingest.records.submitted")};
+                           Reg.counter("ingest.records.submitted"),
+                           Reg.counter("ingest.claim.retries"),
+                           Reg.counter("ingest.claim.failures")};
     return M;
   }
 
@@ -175,6 +205,8 @@ struct IngestMetrics {
                             Before.BackpressureDropped);
     BucketsShed.add(After.BucketsShed - Before.BucketsShed);
     Submitted.add(After.Submitted - Before.Submitted);
+    ClaimRetries.add(After.ClaimRetries - Before.ClaimRetries);
+    ClaimFailures.add(After.ClaimFailures - Before.ClaimFailures);
   }
 };
 } // namespace
@@ -182,38 +214,39 @@ struct IngestMetrics {
 bool ReportCollector::drainInto(FleetScheduler &Sched, std::string *Error) {
   obs::ScopedSpan Span("ingest.drain", "ingest");
   const CollectorStats Before = Stats;
-  std::error_code EC;
-  fs::create_directories(quarantineDir(), EC);
-  if (EC) {
+  if (!fs().createDirectories(quarantineDir())) {
     if (Error)
-      *Error = "cannot prepare '" + quarantineDir() + "': " + EC.message();
+      *Error = "cannot prepare '" + quarantineDir() + "'";
     return false;
   }
   if (!loadHighWater(Error))
     return false;
 
   uint64_t Temps = 0;
-  std::vector<std::string> Names = listSpoolFiles(Config.SpoolDir, &Temps);
+  std::vector<std::string> Names =
+      listSpoolFiles(Config.SpoolDir, &Temps, Config.Fs);
   Stats.StaleTemps += Temps;
   Stats.FilesScanned += Names.size();
 
   std::vector<FleetFailureReport> Batch;
   for (const std::string &Name : Names) {
-    std::string Claimed = claimSpoolFile(Config.SpoolDir, Name);
-    if (Claimed.empty())
-      continue; // Another collector got it.
+    ClaimOutcome Claim = claimSpoolFileWithRetry(Config.SpoolDir, Name,
+                                                 Config.ClaimRetries,
+                                                 Config.Fs);
+    Stats.ClaimRetries += Claim.Retries;
+    if (Claim.ClaimedPath.empty()) {
+      // Either another collector got it (benign), or every attempt hit a
+      // transient fault — then the file is still published and the next
+      // drain retries it; it is never silently dropped.
+      if (Claim.TransientFailure)
+        ++Stats.ClaimFailures;
+      continue;
+    }
+    const std::string &Claimed = Claim.ClaimedPath;
     ++Stats.FilesClaimed;
 
     std::vector<uint8_t> Bytes;
-    bool ReadOk = false;
-    {
-      std::ifstream IS(Claimed, std::ios::binary);
-      if (IS) {
-        Bytes.assign(std::istreambuf_iterator<char>(IS),
-                     std::istreambuf_iterator<char>());
-        ReadOk = !IS.bad();
-      }
-    }
+    bool ReadOk = fs().readFile(Claimed, Bytes) == FsStatus::Ok;
 
     std::vector<FleetFailureReport> FileReports;
     DecodeStatus S = ReadOk ? decodeSpoolFile(Bytes, FileReports)
@@ -221,9 +254,8 @@ bool ReportCollector::drainInto(FleetScheduler &Sched, std::string *Error) {
     if (S != DecodeStatus::Ok) {
       // Quarantine under the original name; never let a suspect file
       // take the drain down or count partially.
-      fs::rename(Claimed, fs::path(quarantineDir()) / Name, EC);
-      if (EC)
-        std::remove(Claimed.c_str()); // Worst case: drop, still no crash.
+      if (fs().rename(Claimed, quarantineDir() + "/" + Name) != FsStatus::Ok)
+        fs().remove(Claimed); // Worst case: drop, still no crash.
       ++Stats.FilesQuarantined;
       continue;
     }
@@ -231,8 +263,10 @@ bool ReportCollector::drainInto(FleetScheduler &Sched, std::string *Error) {
     Stats.RecordsDecoded += FileReports.size();
     for (FleetFailureReport &R : FileReports)
       Batch.push_back(std::move(R));
-    if (Config.RemoveDrained)
-      std::remove(Claimed.c_str());
+    if (Config.DeferRemoval)
+      PendingAck.push_back(Claimed);
+    else if (Config.RemoveDrained)
+      fs().remove(Claimed);
   }
 
   // Normalize: (machine, sequence) order makes everything downstream —
@@ -327,5 +361,5 @@ bool ReportCollector::drainInto(FleetScheduler &Sched, std::string *Error) {
   Span.arg("files", Stats.FilesScanned - Before.FilesScanned);
   Span.arg("submitted", Stats.Submitted - Before.Submitted);
   Span.arg("quarantined", Stats.FilesQuarantined - Before.FilesQuarantined);
-  return saveHighWater(Error);
+  return Config.PersistHighWater ? saveHighWater(Error) : true;
 }

@@ -31,10 +31,12 @@
 #define ER_INGEST_REPORTCOLLECTOR_H
 
 #include "fleet/FleetScheduler.h"
+#include "support/Fs.h"
 
 #include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
 namespace er {
 
@@ -47,6 +49,23 @@ struct CollectorConfig {
   /// Delete successfully drained (claimed) files; keep them (as
   /// `*.ers.claimed`) when false, e.g. for auditing.
   bool RemoveDrained = true;
+  /// Bounded retries for a claim rename that fails transiently (the file
+  /// is still published, so giving up would delay its records by a full
+  /// drain interval). NotFound — lost the race — is never retried.
+  unsigned ClaimRetries = 3;
+  /// Persist `spool/highwater` after each drain. The collector daemon
+  /// turns this off and checkpoints the high-water mark atomically
+  /// together with the fleet state instead, closing the crash window
+  /// between the two files.
+  bool PersistHighWater = true;
+  /// Keep drained files claimed until ackDrained() instead of removing
+  /// them inside the drain. With this, a crash between a drain and the
+  /// consumer's checkpoint leaves the records on disk: recovery un-claims
+  /// them and the next drain re-delivers (deduplicated by high-water if
+  /// the checkpoint did land). Overrides RemoveDrained while set.
+  bool DeferRemoval = false;
+  /// Filesystem seam (null = the real filesystem).
+  FsOps *Fs = nullptr;
 };
 
 /// One drain's worth of counters (cumulative across drains on the same
@@ -62,6 +81,9 @@ struct CollectorStats {
   uint64_t BucketsShed = 0; ///< Distinct failure buckets that lost >=1 report
                             ///< to backpressure.
   uint64_t Submitted = 0;        ///< Handed to FleetScheduler::submit.
+  uint64_t ClaimRetries = 0;     ///< Claim renames retried after EIO.
+  uint64_t ClaimFailures = 0;    ///< Claims abandoned after retry budget;
+                                 ///< the file stays for the next drain.
 };
 
 /// Scans, validates, and submits spool reports. Not thread-safe; run one
@@ -84,7 +106,29 @@ public:
     return HighWater;
   }
 
+  /// Replaces the in-memory high-water mark and suppresses the load from
+  /// `spool/highwater`. The daemon calls this on startup with the marks
+  /// recovered from its atomic checkpoint, which supersede any separate
+  /// high-water file.
+  void setHighWater(std::map<uint64_t, uint64_t> Marks);
+
+  /// Acknowledges everything drained under DeferRemoval: removes the
+  /// claimed files (when RemoveDrained) and forgets them. Call only after
+  /// the drained records are durably owned downstream (e.g. the daemon's
+  /// checkpoint landed). Returns how many files were acknowledged.
+  size_t ackDrained();
+
+  /// Files drained but not yet acknowledged (DeferRemoval mode).
+  size_t pendingAckCount() const { return PendingAck.size(); }
+
+  /// Startup recovery: renames any `*.ers.claimed` leftovers in the spool
+  /// back to `*.ers` so the next drain re-delivers them. Safe against
+  /// duplicates — redelivered records are deduplicated by the high-water
+  /// mark. Returns the number of files recovered.
+  size_t recoverClaimedFiles();
+
 private:
+  FsOps &fs() const;
   std::string quarantineDir() const;
   bool loadHighWater(std::string *Error);
   bool saveHighWater(std::string *Error) const;
@@ -95,6 +139,8 @@ private:
   /// output sorted (stable files, clean diffs).
   std::map<uint64_t, uint64_t> HighWater;
   bool HighWaterLoaded = false;
+  /// Claimed paths awaiting ackDrained() (DeferRemoval mode).
+  std::vector<std::string> PendingAck;
 };
 
 } // namespace er

@@ -5,14 +5,9 @@
 #include "ingest/ReportCodec.h"
 #include "support/Format.h"
 
-#include <algorithm>
-#include <cstdio>
 #include <cstring>
-#include <filesystem>
-#include <system_error>
 
 using namespace er;
-namespace fs = std::filesystem;
 
 static bool endsWith(const std::string &S, const char *Suffix) {
   size_t N = std::strlen(Suffix);
@@ -20,9 +15,10 @@ static bool endsWith(const std::string &S, const char *Suffix) {
 }
 
 SpoolWriter::SpoolWriter(std::string SpoolDir, uint64_t MachineId,
-                         uint64_t FirstSequence)
+                         uint64_t FirstSequence, FsOps *Fs)
     : SpoolDir(std::move(SpoolDir)), MachineId(MachineId),
-      NextSequence(FirstSequence ? FirstSequence : 1) {}
+      NextSequence(FirstSequence ? FirstSequence : 1),
+      Fs(Fs ? *Fs : FsOps::real()) {}
 
 void SpoolWriter::append(const FleetFailureReport &R) {
   FleetFailureReport Stamped = R;
@@ -38,42 +34,28 @@ bool SpoolWriter::flush(std::string *Error) {
   if (!BufferedRecords)
     return true;
 
-  std::error_code EC;
-  fs::create_directories(SpoolDir, EC);
+  Fs.createDirectories(SpoolDir);
 
   // File names embed (machine, first sequence): unique per publication as
   // long as a machine never reuses a sequence number, and human-greppable.
   std::string Base = formatString("m%016llx-%016llx",
                                   (unsigned long long)MachineId,
                                   (unsigned long long)BufferFirstSequence);
-  fs::path Tmp = fs::path(SpoolDir) / (Base + ".tmp");
-  fs::path Final = fs::path(SpoolDir) / (Base + ".ers");
+  std::string Tmp = SpoolDir + "/" + Base + ".tmp";
+  std::string Final = SpoolDir + "/" + Base + ".ers";
 
   std::vector<uint8_t> File;
   encodeSpoolHeader(File);
   File.insert(File.end(), Buffer.begin(), Buffer.end());
 
-  std::FILE *F = std::fopen(Tmp.c_str(), "wb");
-  if (!F) {
-    if (Error)
-      *Error = "cannot open temp file '" + Tmp.string() + "'";
-    return false;
-  }
-  size_t Written = std::fwrite(File.data(), 1, File.size(), F);
-  bool Closed = std::fclose(F) == 0;
-  if (Written != File.size() || !Closed) {
-    std::remove(Tmp.c_str());
-    if (Error)
-      *Error = "short write to '" + Tmp.string() + "'";
+  if (Fs.writeFile(Tmp, File.data(), File.size(), Error) != FsStatus::Ok) {
+    Fs.remove(Tmp);
     return false;
   }
 
   // The publish step: readers either see the complete file or nothing.
-  fs::rename(Tmp, Final, EC);
-  if (EC) {
-    std::remove(Tmp.c_str());
-    if (Error)
-      *Error = "cannot publish '" + Final.string() + "': " + EC.message();
+  if (Fs.rename(Tmp, Final, Error) != FsStatus::Ok) {
+    Fs.remove(Tmp);
     return false;
   }
 
@@ -84,20 +66,14 @@ bool SpoolWriter::flush(std::string *Error) {
 }
 
 std::vector<std::string> er::listSpoolFiles(const std::string &SpoolDir,
-                                            uint64_t *StaleTemps) {
+                                            uint64_t *StaleTemps, FsOps *Fs) {
+  FsOps &F = Fs ? *Fs : FsOps::real();
   std::vector<std::string> Names;
   if (StaleTemps)
     *StaleTemps = 0;
-  std::error_code EC;
-  fs::directory_iterator It(SpoolDir, EC), End;
-  if (EC)
-    return Names; // Missing or unreadable directory: an empty spool.
-  for (; It != End; It.increment(EC)) {
-    if (EC)
-      break;
-    if (!It->is_regular_file(EC))
-      continue;
-    std::string Name = It->path().filename().string();
+  // listDir yields sorted regular-file names; a missing directory is an
+  // empty spool.
+  for (std::string &Name : F.listDir(SpoolDir)) {
     if (endsWith(Name, ".tmp")) {
       // A writer is mid-publish — or crashed mid-write. Either way the
       // file is not ours to read; the collector surfaces the count.
@@ -108,17 +84,39 @@ std::vector<std::string> er::listSpoolFiles(const std::string &SpoolDir,
     if (endsWith(Name, ".ers"))
       Names.push_back(std::move(Name));
   }
-  std::sort(Names.begin(), Names.end());
   return Names;
+}
+
+ClaimOutcome er::claimSpoolFileWithRetry(const std::string &SpoolDir,
+                                         const std::string &Name,
+                                         unsigned MaxRetries, FsOps *Fs) {
+  FsOps &F = Fs ? *Fs : FsOps::real();
+  std::string From = SpoolDir + "/" + Name;
+  std::string To = SpoolDir + "/" + Name + ".claimed";
+  ClaimOutcome Out;
+  for (unsigned Attempt = 0;; ++Attempt) {
+    switch (F.rename(From, To)) {
+    case FsStatus::Ok:
+      Out.ClaimedPath = To;
+      return Out;
+    case FsStatus::NotFound:
+      // Lost the race to another collector (or the file vanished): the
+      // benign outcome the claim protocol exists for. Never retried.
+      return Out;
+    case FsStatus::IoError:
+      // Transient fault. The file is still published; retrying here is
+      // cheaper than losing it from the batch for a whole drain interval.
+      if (Attempt >= MaxRetries) {
+        Out.TransientFailure = true;
+        return Out;
+      }
+      ++Out.Retries;
+      break;
+    }
+  }
 }
 
 std::string er::claimSpoolFile(const std::string &SpoolDir,
                                const std::string &Name) {
-  fs::path From = fs::path(SpoolDir) / Name;
-  fs::path To = fs::path(SpoolDir) / (Name + ".claimed");
-  std::error_code EC;
-  fs::rename(From, To, EC);
-  if (EC)
-    return ""; // Lost the race to another collector (or the file vanished).
-  return To.string();
+  return claimSpoolFileWithRetry(SpoolDir, Name, 0).ClaimedPath;
 }

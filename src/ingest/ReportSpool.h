@@ -22,6 +22,7 @@
 #define ER_INGEST_REPORTSPOOL_H
 
 #include "fleet/FleetScheduler.h"
+#include "support/Fs.h"
 
 #include <cstdint>
 #include <string>
@@ -37,9 +38,10 @@ class SpoolWriter {
 public:
   /// \p FirstSequence seeds the per-machine monotonic sequence stamped
   /// onto appended reports (1-based; a restarted machine must resume past
-  /// its last published sequence to keep dedup correct).
+  /// its last published sequence to keep dedup correct). \p Fs is the
+  /// filesystem seam (null = the real filesystem).
   SpoolWriter(std::string SpoolDir, uint64_t MachineId,
-              uint64_t FirstSequence = 1);
+              uint64_t FirstSequence = 1, FsOps *Fs = nullptr);
 
   /// Buffers one report, stamping MachineId and the next sequence number
   /// (any Sequence/MachineId already set on \p R is overwritten).
@@ -58,6 +60,7 @@ private:
   std::string SpoolDir;
   uint64_t MachineId;
   uint64_t NextSequence;
+  FsOps &Fs;
   /// Encoded records awaiting flush (header is prepended at flush time).
   std::vector<uint8_t> Buffer;
   uint64_t BufferFirstSequence = 0;
@@ -69,11 +72,35 @@ private:
 /// `.claimed`, and anything else that is not a `*.ers` regular file;
 /// \p StaleTemps (optional) receives the number of `*.tmp` files seen.
 std::vector<std::string> listSpoolFiles(const std::string &SpoolDir,
-                                        uint64_t *StaleTemps = nullptr);
+                                        uint64_t *StaleTemps = nullptr,
+                                        FsOps *Fs = nullptr);
+
+/// How a claim attempt ended.
+struct ClaimOutcome {
+  /// Path of the claimed file; empty when the claim did not succeed.
+  std::string ClaimedPath;
+  /// Transient-failure retries performed (successful or not).
+  unsigned Retries = 0;
+  /// True when the claim was abandoned because every attempt hit a
+  /// transient I/O error — the file is still published and a later drain
+  /// will see it again. False for the benign outcome (another collector
+  /// claimed the file first / it vanished).
+  bool TransientFailure = false;
+};
 
 /// Atomically claims `SpoolDir/Name` by renaming it to `Name + ".claimed"`.
-/// Returns the claimed path, or "" if the file vanished or another reader
-/// claimed it first.
+/// A rename that fails with a transient I/O error is retried up to
+/// \p MaxRetries times — the file is still there, so dropping it from the
+/// batch would delay its records by a full drain interval for no reason. A
+/// NotFound outcome is never retried: the file was claimed by a racing
+/// collector, which is the protocol working as intended.
+ClaimOutcome claimSpoolFileWithRetry(const std::string &SpoolDir,
+                                     const std::string &Name,
+                                     unsigned MaxRetries = 3,
+                                     FsOps *Fs = nullptr);
+
+/// Single-attempt claim. Returns the claimed path, or "" if the file
+/// vanished, another reader claimed it first, or the rename failed.
 std::string claimSpoolFile(const std::string &SpoolDir,
                            const std::string &Name);
 

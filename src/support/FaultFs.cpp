@@ -1,0 +1,272 @@
+//===- FaultFs.cpp - Scriptable filesystem fault injection ------------------===//
+
+#include "support/FaultFs.h"
+
+#include <cstdlib>
+
+using namespace er;
+
+const char *er::failpointOpName(Failpoint::Op Op) {
+  switch (Op) {
+  case Failpoint::Op::Write:
+    return "write";
+  case Failpoint::Op::Rename:
+    return "rename";
+  case Failpoint::Op::Remove:
+    return "remove";
+  case Failpoint::Op::Read:
+    return "read";
+  case Failpoint::Op::List:
+    return "list";
+  case Failpoint::Op::CreateDir:
+    return "createdir";
+  case Failpoint::Op::Any:
+    return "any";
+  }
+  return "?";
+}
+
+const char *er::failpointActionName(Failpoint::Action A) {
+  switch (A) {
+  case Failpoint::Action::Fail:
+    return "fail";
+  case Failpoint::Action::TornWrite:
+    return "torn";
+  case Failpoint::Action::NotFound:
+    return "notfound";
+  }
+  return "?";
+}
+
+void FaultFs::addFailpoint(Failpoint F) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  F.Seen = 0;
+  F.Fired = 0;
+  Points.push_back(std::move(F));
+}
+
+void FaultFs::clearFailpoints() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Points.clear();
+}
+
+uint64_t FaultFs::faultsInjected() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Injected;
+}
+
+std::vector<std::string> FaultFs::takeLog() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  std::vector<std::string> Out;
+  Out.swap(Log);
+  return Out;
+}
+
+bool FaultFs::consult(Failpoint::Op Op, const std::string &Path,
+                      Failpoint &Out) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  for (Failpoint &P : Points) {
+    if (P.Operation != Failpoint::Op::Any && P.Operation != Op)
+      continue;
+    if (!P.PathSubstr.empty() && Path.find(P.PathSubstr) == std::string::npos)
+      continue;
+    unsigned Ordinal = P.Seen++;
+    if (Ordinal < P.Skip)
+      continue;
+    if (P.Fire != 0 && P.Fired >= P.Fire)
+      continue;
+    ++P.Fired;
+    ++Injected;
+    Log.push_back(std::string(failpointOpName(Op)) + " " +
+                  failpointActionName(P.Act) + " " + Path);
+    Out = P;
+    return true;
+  }
+  return false;
+}
+
+bool FaultFs::createDirectories(const std::string &Path, std::string *Error) {
+  Failpoint F;
+  if (consult(Failpoint::Op::CreateDir, Path, F)) {
+    if (Error)
+      *Error = "injected fault: cannot create '" + Path + "'";
+    return false;
+  }
+  return Inner.createDirectories(Path, Error);
+}
+
+FsStatus FaultFs::writeFile(const std::string &Path, const uint8_t *Data,
+                            size_t Size, std::string *Error) {
+  Failpoint F;
+  if (consult(Failpoint::Op::Write, Path, F)) {
+    if (F.Act == Failpoint::Action::TornWrite) {
+      // Persist a prefix, then report the failure: a torn write.
+      size_t Keep = F.TornBytes < Size ? F.TornBytes : Size;
+      Inner.writeFile(Path, Data, Keep, nullptr);
+      if (Error)
+        *Error = "injected fault: torn write to '" + Path + "'";
+      return FsStatus::IoError;
+    }
+    if (Error)
+      *Error = "injected fault: write to '" + Path + "'";
+    return F.Act == Failpoint::Action::NotFound ? FsStatus::NotFound
+                                                : FsStatus::IoError;
+  }
+  return Inner.writeFile(Path, Data, Size, Error);
+}
+
+FsStatus FaultFs::readFile(const std::string &Path, std::vector<uint8_t> &Out,
+                           std::string *Error) {
+  Failpoint F;
+  if (consult(Failpoint::Op::Read, Path, F)) {
+    if (Error)
+      *Error = "injected fault: read of '" + Path + "'";
+    return F.Act == Failpoint::Action::NotFound ? FsStatus::NotFound
+                                                : FsStatus::IoError;
+  }
+  return Inner.readFile(Path, Out, Error);
+}
+
+FsStatus FaultFs::rename(const std::string &From, const std::string &To,
+                         std::string *Error) {
+  Failpoint F;
+  if (consult(Failpoint::Op::Rename, From, F)) {
+    if (Error)
+      *Error = "injected fault: rename '" + From + "' -> '" + To + "'";
+    return F.Act == Failpoint::Action::NotFound ? FsStatus::NotFound
+                                                : FsStatus::IoError;
+  }
+  return Inner.rename(From, To, Error);
+}
+
+bool FaultFs::remove(const std::string &Path) {
+  Failpoint F;
+  if (consult(Failpoint::Op::Remove, Path, F))
+    return false;
+  return Inner.remove(Path);
+}
+
+std::vector<std::string> FaultFs::listDir(const std::string &Dir) {
+  Failpoint F;
+  if (consult(Failpoint::Op::List, Dir, F))
+    return {};
+  return Inner.listDir(Dir);
+}
+
+namespace {
+
+bool parseOp(const std::string &S, Failpoint::Op &Out) {
+  if (S == "write")
+    Out = Failpoint::Op::Write;
+  else if (S == "rename")
+    Out = Failpoint::Op::Rename;
+  else if (S == "remove")
+    Out = Failpoint::Op::Remove;
+  else if (S == "read")
+    Out = Failpoint::Op::Read;
+  else if (S == "list")
+    Out = Failpoint::Op::List;
+  else if (S == "createdir")
+    Out = Failpoint::Op::CreateDir;
+  else if (S == "any")
+    Out = Failpoint::Op::Any;
+  else
+    return false;
+  return true;
+}
+
+bool parseAction(const std::string &S, Failpoint::Action &Out) {
+  if (S == "fail")
+    Out = Failpoint::Action::Fail;
+  else if (S == "torn")
+    Out = Failpoint::Action::TornWrite;
+  else if (S == "notfound")
+    Out = Failpoint::Action::NotFound;
+  else
+    return false;
+  return true;
+}
+
+bool parseCount(const std::string &S, uint64_t &Out) {
+  if (S.empty())
+    return false;
+  Out = 0;
+  for (char C : S) {
+    if (C < '0' || C > '9')
+      return false;
+    uint64_t Next = Out * 10 + static_cast<uint64_t>(C - '0');
+    if (Next < Out)
+      return false;
+    Out = Next;
+  }
+  return true;
+}
+
+std::vector<std::string> splitOn(const std::string &S, char Sep) {
+  std::vector<std::string> Parts;
+  size_t Start = 0;
+  for (;;) {
+    size_t End = S.find(Sep, Start);
+    if (End == std::string::npos) {
+      Parts.push_back(S.substr(Start));
+      return Parts;
+    }
+    Parts.push_back(S.substr(Start, End - Start));
+    Start = End + 1;
+  }
+}
+
+} // namespace
+
+bool er::parseFaultSpec(const std::string &Spec, std::vector<Failpoint> &Out,
+                        std::string *Error) {
+  std::vector<Failpoint> Parsed;
+  for (const std::string &PointSpec : splitOn(Spec, ';')) {
+    if (PointSpec.empty())
+      continue;
+    std::vector<std::string> Fields = splitOn(PointSpec, ':');
+    if (Fields.size() < 2) {
+      if (Error)
+        *Error = "fault spec '" + PointSpec + "' needs at least op:action";
+      return false;
+    }
+    Failpoint F;
+    if (!parseOp(Fields[0], F.Operation)) {
+      if (Error)
+        *Error = "unknown fault op '" + Fields[0] + "'";
+      return false;
+    }
+    if (!parseAction(Fields[1], F.Act)) {
+      if (Error)
+        *Error = "unknown fault action '" + Fields[1] + "'";
+      return false;
+    }
+    for (size_t I = 2; I < Fields.size(); ++I) {
+      size_t Eq = Fields[I].find('=');
+      if (Eq == std::string::npos) {
+        if (Error)
+          *Error = "fault option '" + Fields[I] + "' is not key=value";
+        return false;
+      }
+      std::string Key = Fields[I].substr(0, Eq);
+      std::string Value = Fields[I].substr(Eq + 1);
+      uint64_t N = 0;
+      if (Key == "path") {
+        F.PathSubstr = Value;
+      } else if (Key == "skip" && parseCount(Value, N)) {
+        F.Skip = static_cast<unsigned>(N);
+      } else if (Key == "fire" && parseCount(Value, N)) {
+        F.Fire = static_cast<unsigned>(N);
+      } else if (Key == "torn" && parseCount(Value, N)) {
+        F.TornBytes = static_cast<size_t>(N);
+      } else {
+        if (Error)
+          *Error = "bad fault option '" + Fields[I] + "'";
+        return false;
+      }
+    }
+    Parsed.push_back(std::move(F));
+  }
+  Out.insert(Out.end(), Parsed.begin(), Parsed.end());
+  return true;
+}

@@ -1,0 +1,122 @@
+//===- FaultFs.h - Scriptable filesystem fault injection --------*- C++ -*-===//
+///
+/// \file
+/// A fault-injecting FsOps for deterministic failure testing
+/// (docs/INGEST.md lists the catalog). A `FaultFs` wraps an inner FsOps
+/// (usually the real one) and consults a list of scripted *failpoints*
+/// before delegating. Each failpoint names an operation, an optional
+/// path-substring filter, how many matching operations to let through
+/// first (`Skip`), how many times to fire (`Fire`, 0 = forever), and what
+/// to do when it fires:
+///
+///  - `Fail`      the operation returns IoError with no effect — a
+///                transient EIO (the nth-write/nth-rename failure).
+///  - `TornWrite` writeFile persists only the first `TornBytes` bytes and
+///                then reports IoError — a torn write / full disk.
+///  - `NotFound`  the operation reports NotFound — a path that vanished
+///                (e.g. a claim race another process won).
+///
+/// Failpoints are evaluated in insertion order; the first one that
+/// matches an operation decides it. Every injected fault is appended to a
+/// human-readable log so tests can assert exactly which faults fired.
+///
+/// `parseFaultSpec` turns a compact text spec (the `ER_FAULT_SPEC`
+/// environment variable understood by `er_cli collect`) into failpoints:
+///
+///   spec     := point (';' point)*
+///   point    := op ':' action [':' key '=' value]*
+///   op       := write | rename | remove | read | list | createdir | any
+///   action   := fail | torn | notfound
+///   keys     := path=<substring> skip=<n> fire=<n> torn=<bytes>
+///
+/// e.g. `rename:fail:path=.claimed:skip=2:fire=1` — the third rename of a
+/// claim file fails once with EIO.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ER_SUPPORT_FAULTFS_H
+#define ER_SUPPORT_FAULTFS_H
+
+#include "support/Fs.h"
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace er {
+
+/// One scripted fault.
+struct Failpoint {
+  enum class Op { Write, Rename, Remove, Read, List, CreateDir, Any };
+  enum class Action { Fail, TornWrite, NotFound };
+
+  Op Operation = Op::Any;
+  Action Act = Action::Fail;
+  /// Fires only when the operation's (source) path contains this
+  /// substring; empty matches every path.
+  std::string PathSubstr;
+  /// Matching operations to let through before arming.
+  unsigned Skip = 0;
+  /// Times to fire once armed; 0 = every matching operation forever.
+  unsigned Fire = 1;
+  /// TornWrite: bytes actually persisted before the failure.
+  size_t TornBytes = 0;
+
+  /// Internal: matching operations seen so far.
+  unsigned Seen = 0;
+  /// Internal: times fired so far.
+  unsigned Fired = 0;
+};
+
+const char *failpointOpName(Failpoint::Op Op);
+const char *failpointActionName(Failpoint::Action A);
+
+/// FsOps decorator that injects the scripted faults. Thread-safe: the
+/// failpoint list and log are mutex-guarded, so a daemon under test can
+/// race writers against the collector while faults fire deterministically
+/// per matching-operation *count*.
+class FaultFs : public FsOps {
+public:
+  explicit FaultFs(FsOps &Inner = FsOps::real()) : Inner(Inner) {}
+
+  void addFailpoint(Failpoint F);
+  void clearFailpoints();
+
+  /// Total faults injected since construction (or the last clearLog).
+  uint64_t faultsInjected() const;
+  /// One line per injected fault: "<op> <action> <path>".
+  std::vector<std::string> takeLog();
+
+  bool createDirectories(const std::string &Path,
+                         std::string *Error = nullptr) override;
+  using FsOps::writeFile; // Keep the std::string convenience overload.
+  FsStatus writeFile(const std::string &Path, const uint8_t *Data, size_t Size,
+                     std::string *Error = nullptr) override;
+  FsStatus readFile(const std::string &Path, std::vector<uint8_t> &Out,
+                    std::string *Error = nullptr) override;
+  FsStatus rename(const std::string &From, const std::string &To,
+                  std::string *Error = nullptr) override;
+  bool remove(const std::string &Path) override;
+  std::vector<std::string> listDir(const std::string &Dir) override;
+
+private:
+  /// Returns the failpoint that fires for (Op, Path), if any, advancing
+  /// match counters. The returned copy is stable (list may mutate later).
+  bool consult(Failpoint::Op Op, const std::string &Path, Failpoint &Out);
+
+  FsOps &Inner;
+  mutable std::mutex Mu;
+  std::vector<Failpoint> Points;
+  std::vector<std::string> Log;
+  uint64_t Injected = 0;
+};
+
+/// Parses the ER_FAULT_SPEC grammar above. Returns false (and sets
+/// \p Error) on a malformed spec; \p Out is untouched on failure.
+bool parseFaultSpec(const std::string &Spec, std::vector<Failpoint> &Out,
+                    std::string *Error = nullptr);
+
+} // namespace er
+
+#endif // ER_SUPPORT_FAULTFS_H

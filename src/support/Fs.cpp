@@ -1,0 +1,147 @@
+//===- Fs.cpp - Injectable filesystem and clock seam ------------------------===//
+
+#include "support/Fs.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <system_error>
+
+using namespace er;
+namespace fs = std::filesystem;
+
+const char *er::fsStatusName(FsStatus S) {
+  switch (S) {
+  case FsStatus::Ok:
+    return "ok";
+  case FsStatus::NotFound:
+    return "not-found";
+  case FsStatus::IoError:
+    return "io-error";
+  }
+  return "?";
+}
+
+ClockSource &ClockSource::real() {
+  class RealClock : public ClockSource {
+  public:
+    uint64_t nowNs() override {
+      using namespace std::chrono;
+      return static_cast<uint64_t>(
+          duration_cast<nanoseconds>(steady_clock::now().time_since_epoch())
+              .count());
+    }
+  };
+  static RealClock C;
+  return C;
+}
+
+bool FsOps::createDirectories(const std::string &Path, std::string *Error) {
+  std::error_code EC;
+  fs::create_directories(Path, EC);
+  // create_directories reports an error code for an already-existing
+  // directory on some implementations; what callers care about is whether
+  // the directory is there afterwards.
+  if (!EC || fs::is_directory(Path, EC))
+    return true;
+  if (Error)
+    *Error = "cannot create '" + Path + "'";
+  return false;
+}
+
+FsStatus FsOps::writeFile(const std::string &Path, const uint8_t *Data,
+                          size_t Size, std::string *Error) {
+  std::FILE *F = std::fopen(Path.c_str(), "wb");
+  if (!F) {
+    if (Error)
+      *Error = "cannot open '" + Path + "' for writing";
+    return FsStatus::IoError;
+  }
+  size_t Written = Size ? std::fwrite(Data, 1, Size, F) : 0;
+  bool Closed = std::fclose(F) == 0;
+  if (Written != Size || !Closed) {
+    if (Error)
+      *Error = "short write to '" + Path + "'";
+    return FsStatus::IoError;
+  }
+  return FsStatus::Ok;
+}
+
+FsStatus FsOps::writeFile(const std::string &Path, const std::string &Data,
+                          std::string *Error) {
+  return writeFile(Path, reinterpret_cast<const uint8_t *>(Data.data()),
+                   Data.size(), Error);
+}
+
+FsStatus FsOps::readFile(const std::string &Path, std::vector<uint8_t> &Out,
+                         std::string *Error) {
+  Out.clear();
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F) {
+    if (Error)
+      *Error = "cannot open '" + Path + "'";
+    return FsStatus::NotFound;
+  }
+  uint8_t Buf[1 << 16];
+  for (;;) {
+    size_t N = std::fread(Buf, 1, sizeof(Buf), F);
+    Out.insert(Out.end(), Buf, Buf + N);
+    if (N < sizeof(Buf))
+      break;
+  }
+  bool Bad = std::ferror(F) != 0;
+  std::fclose(F);
+  if (Bad) {
+    if (Error)
+      *Error = "read error on '" + Path + "'";
+    return FsStatus::IoError;
+  }
+  return FsStatus::Ok;
+}
+
+FsStatus FsOps::rename(const std::string &From, const std::string &To,
+                       std::string *Error) {
+  std::error_code EC;
+  fs::rename(From, To, EC);
+  if (!EC)
+    return FsStatus::Ok;
+  if (Error)
+    *Error = "cannot rename '" + From + "' to '" + To + "': " + EC.message();
+  if (EC == std::errc::no_such_file_or_directory)
+    return FsStatus::NotFound;
+  return FsStatus::IoError;
+}
+
+bool FsOps::remove(const std::string &Path) {
+  std::error_code EC;
+  fs::remove(Path, EC);
+  return !fs::exists(Path, EC);
+}
+
+bool FsOps::exists(const std::string &Path) {
+  std::error_code EC;
+  return fs::exists(Path, EC);
+}
+
+std::vector<std::string> FsOps::listDir(const std::string &Dir) {
+  std::vector<std::string> Names;
+  std::error_code EC;
+  fs::directory_iterator It(Dir, EC), End;
+  if (EC)
+    return Names;
+  for (; It != End; It.increment(EC)) {
+    if (EC)
+      break;
+    if (!It->is_regular_file(EC))
+      continue;
+    Names.push_back(It->path().filename().string());
+  }
+  std::sort(Names.begin(), Names.end());
+  return Names;
+}
+
+FsOps &FsOps::real() {
+  static FsOps F;
+  return F;
+}

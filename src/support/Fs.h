@@ -1,0 +1,109 @@
+//===- Fs.h - Injectable filesystem and clock seam --------------*- C++ -*-===//
+///
+/// \file
+/// The thin seam between the ingestion/daemon layers and the operating
+/// system. Everything the spool transport, collector, and collector
+/// daemon do to the world — write a file, rename it, list a directory,
+/// read the clock — goes through the two small interfaces here, so a test
+/// can substitute a scripted implementation (see FaultFs.h) and drive
+/// every crash/retry path deterministically: EIO on the nth write, a
+/// rename that fails transiently, a clock that jumps.
+///
+/// `FsOps` is itself the *real* implementation; subclasses override the
+/// operations they want to intercept and delegate the rest. Production
+/// code takes an optional `FsOps *` (null = `FsOps::real()`), so the seam
+/// costs one virtual call per filesystem operation — noise next to the
+/// syscall underneath.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ER_SUPPORT_FS_H
+#define ER_SUPPORT_FS_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace er {
+
+/// Outcome of a filesystem operation that callers may react to
+/// differently: `NotFound` is a *semantic* answer (lost a claim race, no
+/// such directory), `IoError` is a fault worth retrying.
+enum class FsStatus {
+  Ok,
+  NotFound, ///< Source path does not exist (ENOENT-class).
+  IoError,  ///< Any other failure (EIO-class; transient or not).
+};
+
+const char *fsStatusName(FsStatus S);
+
+/// Monotonic nanosecond clock seam. The daemon derives uptime, drain
+/// scheduling, and retry backoff from this, never from the wall clock
+/// directly, so tests advance time explicitly instead of sleeping.
+class ClockSource {
+public:
+  virtual ~ClockSource() = default;
+  virtual uint64_t nowNs() = 0;
+
+  /// Process-wide steady_clock-backed instance.
+  static ClockSource &real();
+};
+
+/// A clock that only moves when told to — including backwards, to model
+/// host clock jumps (consumers must clamp, not crash).
+class VirtualClock : public ClockSource {
+public:
+  explicit VirtualClock(uint64_t StartNs = 0) : Ns(StartNs) {}
+  uint64_t nowNs() override { return Ns; }
+  void advanceNs(uint64_t Delta) { Ns += Delta; }
+  void set(uint64_t NowNs) { Ns = NowNs; }
+
+private:
+  uint64_t Ns;
+};
+
+/// The filesystem operations the spool/collector/daemon stack performs.
+/// The base class *is* the real implementation (std::filesystem + stdio);
+/// override to intercept. All paths are plain strings; directories are
+/// created recursively.
+class FsOps {
+public:
+  virtual ~FsOps() = default;
+
+  /// mkdir -p. True if the directories exist afterwards.
+  virtual bool createDirectories(const std::string &Path,
+                                 std::string *Error = nullptr);
+
+  /// Writes \p Size bytes to \p Path (created/truncated). Not atomic —
+  /// callers wanting atomicity write a temp and rename() it.
+  virtual FsStatus writeFile(const std::string &Path, const uint8_t *Data,
+                             size_t Size, std::string *Error = nullptr);
+  FsStatus writeFile(const std::string &Path, const std::string &Data,
+                     std::string *Error = nullptr);
+
+  /// Reads the whole file into \p Out.
+  virtual FsStatus readFile(const std::string &Path, std::vector<uint8_t> &Out,
+                            std::string *Error = nullptr);
+
+  /// rename(2): atomic within a filesystem; NotFound when \p From is gone
+  /// (the claim-race answer), IoError otherwise.
+  virtual FsStatus rename(const std::string &From, const std::string &To,
+                          std::string *Error = nullptr);
+
+  /// Deletes \p Path; true if it no longer exists.
+  virtual bool remove(const std::string &Path);
+
+  virtual bool exists(const std::string &Path);
+
+  /// Names (not paths) of regular files directly inside \p Dir, sorted.
+  /// A missing or unreadable directory lists as empty.
+  virtual std::vector<std::string> listDir(const std::string &Dir);
+
+  /// Process-wide pass-through instance.
+  static FsOps &real();
+};
+
+} // namespace er
+
+#endif // ER_SUPPORT_FS_H

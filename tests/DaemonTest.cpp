@@ -1,0 +1,684 @@
+//===- DaemonTest.cpp - Collector daemon, preemption, fault injection ------===//
+//
+// Deterministic coverage of the long-running ingestion shape
+// (docs/INGEST.md, docs/FLEET.md) — no sleeps, no wall clock:
+//  - The src/support/ seams themselves: FaultFs failpoint semantics
+//    (skip/fire/path, torn writes, NotFound), the ER_FAULT_SPEC grammar,
+//    VirtualClock jumps.
+//  - ReportSpool claim-by-rename retries: a transient rename failure is
+//    retried, an exhausted retry budget leaves the file for the next
+//    drain — records are never silently dropped.
+//  - CollectorDaemon: incremental drains feed running campaigns without
+//    restarting them; drain retries back off deterministically (50, 100,
+//    200... capped); a crash in either half of the checkpoint/ack window
+//    re-delivers records exactly once; clean shutdown persists state.
+//  - FleetScheduler preemption: a hot bucket suspends the weakest active
+//    campaign, which resumes (same process or from a state file) to final
+//    state files and test cases byte-identical to an uninterrupted run.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ingest/CollectorDaemon.h"
+#include "ingest/ReportCollector.h"
+#include "ingest/ReportSpool.h"
+#include "support/FaultFs.h"
+#include "support/Fs.h"
+
+#include "fleet/FailureSignature.h"
+#include "fleet/FleetScheduler.h"
+#include "vm/Interpreter.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <string>
+#include <unistd.h>
+#include <vector>
+
+using namespace er;
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr uint64_t RootSeed = 20260807;
+
+/// Fresh, empty directory unique to the calling test.
+std::string freshDir(const std::string &Name) {
+  fs::path Dir = fs::path(testing::TempDir()) / ("er_daemon_" + Name);
+  fs::remove_all(Dir);
+  fs::create_directories(Dir);
+  return Dir.string();
+}
+
+FleetFailureReport makeReport(const std::string &BugId, FailureKind Kind,
+                              unsigned Instr, std::vector<unsigned> Stack) {
+  FleetFailureReport R;
+  R.BugId = BugId;
+  R.Failure.Kind = Kind;
+  R.Failure.InstrGlobalId = Instr;
+  R.Failure.CallStack = std::move(Stack);
+  return R;
+}
+
+/// Publishes one spool file with three reports (two of one signature, one
+/// of another) from machine 5, sequences 1..3. BugIds are not in the
+/// workload registry, so campaigns complete inline — these tests exercise
+/// the delivery protocol, not reconstruction.
+void publishCraftedFile(const std::string &Spool) {
+  SpoolWriter Writer(Spool, /*MachineId=*/5);
+  Writer.append(makeReport("bug-a", FailureKind::NullDeref, 10, {1}));
+  Writer.append(makeReport("bug-a", FailureKind::NullDeref, 10, {1}));
+  Writer.append(makeReport("bug-b", FailureKind::OutOfBounds, 20, {2, 3}));
+  std::string Err;
+  ASSERT_TRUE(Writer.flush(&Err)) << Err;
+}
+
+uint64_t totalOccurrences(const FleetScheduler &Sched) {
+  uint64_t Total = 0;
+  for (const Campaign &C : Sched.getCampaigns())
+    Total += C.Occurrences;
+  return Total;
+}
+
+/// Serialized scheduler state with the one wall-clock field scrubbed —
+/// the byte-comparison proxy for "the same result" (campaigns land in
+/// triage order, so this is submission-order-independent).
+std::string stateBytes(FleetScheduler &Sched) {
+  std::string Path = (fs::path(testing::TempDir()) /
+                      ("er_daemon_state_cmp." + std::to_string(::getpid()) +
+                       ".txt"))
+                         .string();
+  std::string Err;
+  EXPECT_TRUE(Sched.saveState(Path, &Err)) << Err;
+  std::ifstream IS(Path, std::ios::binary);
+  std::string S, Line;
+  while (std::getline(IS, Line)) {
+    if (Line.rfind("symexseconds ", 0) == 0)
+      Line = "symexseconds <scrubbed>";
+    S += Line;
+    S += '\n';
+  }
+  std::remove(Path.c_str());
+  return S;
+}
+
+/// Daemon config wired to a VirtualClock and a sleep hook that records
+/// requested durations and advances the clock — the whole retry/backoff
+/// timeline runs without a single real sleep.
+struct TestDaemonRig {
+  VirtualClock Clock{1'000'000'000};
+  std::vector<uint64_t> Sleeps;
+  DaemonConfig Config;
+
+  explicit TestDaemonRig(std::string Spool, std::string StateFile = "",
+                         FsOps *Fs = nullptr) {
+    Config.Collector.SpoolDir = std::move(Spool);
+    Config.Collector.Fs = Fs;
+    Config.StateFile = std::move(StateFile);
+    Config.Clock = &Clock;
+    Config.Sleep = [this](uint64_t Ms) {
+      Sleeps.push_back(Ms);
+      Clock.advanceNs(Ms * 1'000'000);
+    };
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// The seams: FaultFs, fault-spec grammar, VirtualClock
+//===----------------------------------------------------------------------===//
+
+TEST(FaultFs, SkipAndFireGateInjection) {
+  std::string Dir = freshDir("faultfs_gate");
+  FaultFs FF;
+  Failpoint P;
+  P.Operation = Failpoint::Op::Write;
+  P.Skip = 1; // Let the first write through.
+  P.Fire = 1; // Fail exactly one.
+  FF.addFailpoint(P);
+
+  std::string Path = Dir + "/f.txt";
+  EXPECT_EQ(FF.writeFile(Path, "one"), FsStatus::Ok);
+  std::string Err;
+  EXPECT_EQ(FF.writeFile(Path, "two", &Err), FsStatus::IoError);
+  EXPECT_NE(Err.find("injected fault"), std::string::npos);
+  EXPECT_EQ(FF.writeFile(Path, "three"), FsStatus::Ok);
+
+  EXPECT_EQ(FF.faultsInjected(), 1u);
+  std::vector<std::string> Log = FF.takeLog();
+  ASSERT_EQ(Log.size(), 1u);
+  EXPECT_EQ(Log[0], "write fail " + Path);
+  EXPECT_TRUE(FF.takeLog().empty()) << "takeLog must drain the log";
+}
+
+TEST(FaultFs, TornWritePersistsPrefixThenFails) {
+  std::string Dir = freshDir("faultfs_torn");
+  FaultFs FF;
+  Failpoint P;
+  P.Operation = Failpoint::Op::Write;
+  P.Act = Failpoint::Action::TornWrite;
+  P.TornBytes = 3;
+  FF.addFailpoint(P);
+
+  std::string Path = Dir + "/torn.txt";
+  EXPECT_EQ(FF.writeFile(Path, "hello!"), FsStatus::IoError);
+  std::vector<uint8_t> Bytes;
+  ASSERT_EQ(FsOps::real().readFile(Path, Bytes), FsStatus::Ok);
+  EXPECT_EQ(std::string(Bytes.begin(), Bytes.end()), "hel")
+      << "a torn write must persist exactly the scripted prefix";
+}
+
+TEST(FaultFs, NotFoundActionAndPathFilter) {
+  std::string Dir = freshDir("faultfs_nf");
+  FaultFs FF;
+  Failpoint P;
+  P.Operation = Failpoint::Op::Rename;
+  P.Act = Failpoint::Action::NotFound;
+  P.PathSubstr = "victim";
+  FF.addFailpoint(P);
+
+  ASSERT_EQ(FF.writeFile(Dir + "/victim.txt", "x"), FsStatus::Ok);
+  ASSERT_EQ(FF.writeFile(Dir + "/other.txt", "y"), FsStatus::Ok);
+  // Matching source path: the scripted lost-race answer, no effect.
+  EXPECT_EQ(FF.rename(Dir + "/victim.txt", Dir + "/v2.txt"),
+            FsStatus::NotFound);
+  EXPECT_TRUE(FF.exists(Dir + "/victim.txt"));
+  // Non-matching path passes through untouched.
+  EXPECT_EQ(FF.rename(Dir + "/other.txt", Dir + "/o2.txt"), FsStatus::Ok);
+  EXPECT_TRUE(FF.exists(Dir + "/o2.txt"));
+}
+
+TEST(FaultFs, ParseFaultSpecRoundTripsTheCatalog) {
+  std::vector<Failpoint> Points;
+  std::string Err;
+  ASSERT_TRUE(parseFaultSpec(
+      "rename:fail:path=.claimed:skip=2:fire=1;write:torn:torn=7;"
+      "any:notfound:fire=0",
+      Points, &Err))
+      << Err;
+  ASSERT_EQ(Points.size(), 3u);
+  EXPECT_EQ(Points[0].Operation, Failpoint::Op::Rename);
+  EXPECT_EQ(Points[0].Act, Failpoint::Action::Fail);
+  EXPECT_EQ(Points[0].PathSubstr, ".claimed");
+  EXPECT_EQ(Points[0].Skip, 2u);
+  EXPECT_EQ(Points[0].Fire, 1u);
+  EXPECT_EQ(Points[1].Operation, Failpoint::Op::Write);
+  EXPECT_EQ(Points[1].Act, Failpoint::Action::TornWrite);
+  EXPECT_EQ(Points[1].TornBytes, 7u);
+  EXPECT_EQ(Points[2].Operation, Failpoint::Op::Any);
+  EXPECT_EQ(Points[2].Fire, 0u);
+}
+
+TEST(FaultFs, ParseFaultSpecRejectsMalformedSpecs) {
+  for (const char *Bad : {"bogus", "write", "write:frobnicate",
+                          "write:fail:zork=1", "write:fail:skip",
+                          "write:fail:skip=abc", "chmod:fail"}) {
+    std::vector<Failpoint> Points;
+    std::string Err;
+    EXPECT_FALSE(parseFaultSpec(Bad, Points, &Err)) << Bad;
+    EXPECT_FALSE(Err.empty()) << Bad;
+    EXPECT_TRUE(Points.empty()) << "output must be untouched on failure";
+  }
+}
+
+TEST(Daemon, UptimeFollowsVirtualClockAndClampsBackwardJumps) {
+  TestDaemonRig Rig(freshDir("uptime"));
+  FleetScheduler Sched((FleetConfig()));
+  CollectorDaemon Daemon(Rig.Config, Sched);
+  ASSERT_TRUE(Daemon.start());
+  EXPECT_EQ(Daemon.uptimeNs(), 0u);
+  Rig.Clock.advanceNs(500);
+  EXPECT_EQ(Daemon.uptimeNs(), 500u);
+  // A host clock stepping backwards must clamp, not wrap to ~2^64.
+  Rig.Clock.set(10);
+  EXPECT_EQ(Daemon.uptimeNs(), 0u);
+  Rig.Clock.set(2'000'000'000);
+  EXPECT_EQ(Daemon.uptimeNs(), 1'000'000'000u);
+}
+
+//===----------------------------------------------------------------------===//
+// Spool claim retries (the silent-drop fix)
+//===----------------------------------------------------------------------===//
+
+TEST(SpoolClaim, TransientRenameFailureIsRetriedWithinTheDrain) {
+  std::string Spool = freshDir("claim_retry");
+  publishCraftedFile(Spool);
+
+  FaultFs FF;
+  std::vector<Failpoint> Points;
+  ASSERT_TRUE(parseFaultSpec("rename:fail:path=.ers:fire=1", Points));
+  for (const Failpoint &P : Points)
+    FF.addFailpoint(P);
+
+  FleetScheduler Sched((FleetConfig()));
+  ReportCollector Collector({.SpoolDir = Spool, .Fs = &FF});
+  std::string Err;
+  ASSERT_TRUE(Collector.drainInto(Sched, &Err)) << Err;
+  const CollectorStats &S = Collector.getStats();
+  EXPECT_EQ(S.ClaimRetries, 1u);
+  EXPECT_EQ(S.ClaimFailures, 0u);
+  EXPECT_EQ(S.FilesClaimed, 1u);
+  EXPECT_EQ(S.Submitted, 3u) << "the retried claim must deliver its records";
+  EXPECT_EQ(totalOccurrences(Sched), 3u);
+}
+
+TEST(SpoolClaim, ExhaustedRetryBudgetLeavesFileForTheNextDrain) {
+  std::string Spool = freshDir("claim_exhaust");
+  publishCraftedFile(Spool);
+
+  FaultFs FF;
+  std::vector<Failpoint> Points;
+  ASSERT_TRUE(parseFaultSpec("rename:fail:path=.ers:fire=0", Points));
+  for (const Failpoint &P : Points)
+    FF.addFailpoint(P);
+
+  FleetScheduler Sched((FleetConfig()));
+  ReportCollector Collector({.SpoolDir = Spool, .Fs = &FF});
+  std::string Err;
+  ASSERT_TRUE(Collector.drainInto(Sched, &Err)) << Err;
+  EXPECT_EQ(Collector.getStats().ClaimRetries, 3u); // Default budget.
+  EXPECT_EQ(Collector.getStats().ClaimFailures, 1u);
+  EXPECT_EQ(Collector.getStats().Submitted, 0u);
+  EXPECT_EQ(listSpoolFiles(Spool).size(), 1u)
+      << "an unclaimable file must stay published, not vanish";
+
+  // The disk heals; the same collector's next drain delivers exactly once.
+  FF.clearFailpoints();
+  ASSERT_TRUE(Collector.drainInto(Sched, &Err)) << Err;
+  EXPECT_EQ(Collector.getStats().Submitted, 3u);
+  EXPECT_EQ(totalOccurrences(Sched), 3u);
+  EXPECT_TRUE(listSpoolFiles(Spool).empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Daemon drain retry/backoff
+//===----------------------------------------------------------------------===//
+
+TEST(Daemon, DrainRetriesWithDoublingBackoffThenSucceeds) {
+  std::string Spool = freshDir("drain_retry");
+  publishCraftedFile(Spool);
+
+  FaultFs FF;
+  std::vector<Failpoint> Points;
+  // The quarantine mkdir is the first I/O of every drain attempt: failing
+  // it twice makes attempts 1 and 2 fail and attempt 3 succeed.
+  ASSERT_TRUE(parseFaultSpec("createdir:fail:path=quarantine:fire=2", Points));
+  for (const Failpoint &P : Points)
+    FF.addFailpoint(P);
+
+  FleetScheduler Sched((FleetConfig()));
+  TestDaemonRig Rig(Spool, freshDir("drain_retry_state") + "/daemon.state",
+                    &FF);
+  CollectorDaemon Daemon(Rig.Config, Sched);
+  ASSERT_TRUE(Daemon.runCycle());
+
+  EXPECT_EQ(Rig.Sleeps, (std::vector<uint64_t>{50, 100}))
+      << "backoff must double from the base, one sleep per failed attempt";
+  const DaemonStats &DS = Daemon.getStats();
+  EXPECT_EQ(DS.DrainRetries, 2u);
+  EXPECT_EQ(DS.Drains, 1u);
+  EXPECT_EQ(DS.DrainFailures, 0u);
+  EXPECT_EQ(Daemon.collectorStats().Submitted, 3u);
+}
+
+TEST(Daemon, DrainBackoffIsCappedAndFailureIsSurvived) {
+  std::string Spool = freshDir("drain_cap");
+  FaultFs FF;
+  std::vector<Failpoint> Points;
+  ASSERT_TRUE(parseFaultSpec("createdir:fail:path=quarantine:fire=0", Points));
+  for (const Failpoint &P : Points)
+    FF.addFailpoint(P);
+
+  FleetScheduler Sched((FleetConfig()));
+  TestDaemonRig Rig(Spool, freshDir("drain_cap_state") + "/daemon.state", &FF);
+  Rig.Config.MaxDrainRetries = 3;
+  Rig.Config.RetryBackoffBaseMs = 800;
+  Rig.Config.RetryBackoffCapMs = 2000;
+  CollectorDaemon Daemon(Rig.Config, Sched);
+
+  // A cycle whose drain fails after every retry is not fatal: campaigns
+  // still step, the failure is counted, the next cycle tries again.
+  ASSERT_TRUE(Daemon.runCycle());
+  EXPECT_EQ(Rig.Sleeps, (std::vector<uint64_t>{800, 1600, 2000}));
+  EXPECT_EQ(Daemon.getStats().DrainFailures, 1u);
+  EXPECT_EQ(Daemon.getStats().Drains, 0u);
+
+  FF.clearFailpoints();
+  ASSERT_TRUE(Daemon.runCycle());
+  EXPECT_EQ(Daemon.getStats().Drains, 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Crash windows: exactly-once through checkpoint + ack
+//===----------------------------------------------------------------------===//
+
+TEST(Daemon, CrashBeforeCheckpointRedeliversExactlyOnce) {
+  std::string Spool = freshDir("crash_preckpt");
+  std::string StateFile = freshDir("crash_preckpt_state") + "/daemon.state";
+  publishCraftedFile(Spool);
+
+  // Life 1: the drain lands but every checkpoint publish fails, and the
+  // process dies before a checkpoint ever owns the drained records.
+  {
+    FaultFs FF;
+    std::vector<Failpoint> Points;
+    ASSERT_TRUE(parseFaultSpec("rename:fail:path=daemon.state:fire=0",
+                               Points));
+    for (const Failpoint &P : Points)
+      FF.addFailpoint(P);
+    FleetScheduler Doomed((FleetConfig()));
+    TestDaemonRig Rig(Spool, StateFile, &FF);
+    CollectorDaemon Daemon(Rig.Config, Doomed);
+    ASSERT_TRUE(Daemon.runCycle());
+    EXPECT_EQ(Daemon.collectorStats().Submitted, 3u);
+    EXPECT_EQ(Daemon.getStats().CheckpointFailures, 1u);
+    EXPECT_EQ(Daemon.getStats().FilesAcked, 0u)
+        << "records must never be acked before a checkpoint owns them";
+    EXPECT_EQ(Daemon.collector().pendingAckCount(), 1u);
+    // Everything this life learned dies with it; the records survive on
+    // disk as a claimed spool file.
+    EXPECT_FALSE(FsOps::real().exists(StateFile));
+    EXPECT_TRUE(listSpoolFiles(Spool).empty());
+  }
+
+  // Life 2: startup recovery un-claims the orphaned file and the first
+  // drain delivers its records — once.
+  FleetScheduler Sched((FleetConfig()));
+  TestDaemonRig Rig(Spool, StateFile);
+  CollectorDaemon Daemon(Rig.Config, Sched);
+  std::string Err;
+  ASSERT_TRUE(Daemon.start(&Err)) << Err;
+  EXPECT_EQ(Daemon.getStats().FilesRecovered, 1u);
+  ASSERT_TRUE(Daemon.runCycle());
+  EXPECT_EQ(Daemon.collectorStats().Submitted, 3u);
+  EXPECT_EQ(Daemon.collectorStats().DuplicatesDropped, 0u);
+  EXPECT_EQ(totalOccurrences(Sched), 3u) << "each record counted exactly once";
+  EXPECT_EQ(Daemon.getStats().FilesAcked, 1u);
+  EXPECT_TRUE(listSpoolFiles(Spool).empty());
+  EXPECT_TRUE(FsOps::real().exists(StateFile));
+}
+
+TEST(Daemon, CrashAfterCheckpointBeforeAckDeduplicates) {
+  std::string Spool = freshDir("crash_preack");
+  std::string StateFile = freshDir("crash_preack_state") + "/daemon.state";
+  publishCraftedFile(Spool);
+
+  // Life 1: checkpoint lands, but the ack's removes never reach the disk
+  // — the crash window between steps 3 and 4 of the cycle.
+  {
+    FaultFs FF;
+    std::vector<Failpoint> Points;
+    ASSERT_TRUE(parseFaultSpec("remove:fail:path=.claimed:fire=0", Points));
+    for (const Failpoint &P : Points)
+      FF.addFailpoint(P);
+    FleetScheduler Doomed((FleetConfig()));
+    TestDaemonRig Rig(Spool, StateFile, &FF);
+    CollectorDaemon Daemon(Rig.Config, Doomed);
+    ASSERT_TRUE(Daemon.runCycle());
+    EXPECT_EQ(Daemon.collectorStats().Submitted, 3u);
+    EXPECT_EQ(Daemon.getStats().Checkpoints, 1u);
+    EXPECT_TRUE(FsOps::real().exists(StateFile));
+  }
+
+  // Life 2: the checkpoint's high-water marks drop every redelivered
+  // record as a duplicate; occurrence counts do not double.
+  FleetScheduler Sched((FleetConfig()));
+  TestDaemonRig Rig(Spool, StateFile);
+  CollectorDaemon Daemon(Rig.Config, Sched);
+  std::string Err;
+  ASSERT_TRUE(Daemon.start(&Err)) << Err;
+  EXPECT_EQ(Daemon.getStats().FilesRecovered, 1u);
+  EXPECT_EQ(totalOccurrences(Sched), 3u) << "checkpointed campaigns restored";
+  ASSERT_TRUE(Daemon.runCycle());
+  EXPECT_EQ(Daemon.collectorStats().RecordsDecoded, 3u);
+  EXPECT_EQ(Daemon.collectorStats().DuplicatesDropped, 3u);
+  EXPECT_EQ(Daemon.collectorStats().Submitted, 0u);
+  EXPECT_EQ(totalOccurrences(Sched), 3u) << "redelivery must not double-count";
+  EXPECT_TRUE(listSpoolFiles(Spool).empty());
+  EXPECT_EQ(Sched.snapshotReport().CampaignsResumed, 2u);
+}
+
+TEST(Daemon, CleanShutdownCheckpointsFinalState) {
+  std::string Spool = freshDir("shutdown");
+  std::string StateFile = freshDir("shutdown_state") + "/daemon.state";
+  publishCraftedFile(Spool);
+
+  FleetScheduler Sched((FleetConfig()));
+  TestDaemonRig Rig(Spool, StateFile);
+  CollectorDaemon *Running = nullptr;
+  // The stop signal arrives during the inter-cycle sleep — the loop must
+  // notice it without starting another cycle.
+  Rig.Config.Sleep = [&](uint64_t) {
+    if (Running)
+      Running->requestStop();
+  };
+  CollectorDaemon Daemon(Rig.Config, Sched);
+  Running = &Daemon;
+  std::string Err;
+  ASSERT_TRUE(Daemon.runLoop(&Err)) << Err;
+
+  EXPECT_EQ(Daemon.getStats().Cycles, 1u);
+  EXPECT_TRUE(Daemon.stopRequested());
+  EXPECT_GE(Daemon.getStats().Checkpoints, 2u) << "cycle + final checkpoint";
+  EXPECT_EQ(Daemon.getStats().FilesAcked, 1u);
+
+  // The persisted state is a complete, loadable record of the session.
+  FleetScheduler Reloaded((FleetConfig()));
+  std::map<uint64_t, uint64_t> HighWater;
+  ASSERT_TRUE(Reloaded.loadState(StateFile, &Err, &HighWater)) << Err;
+  EXPECT_EQ(totalOccurrences(Reloaded), 3u);
+  EXPECT_EQ(HighWater[5], 3u);
+}
+
+//===----------------------------------------------------------------------===//
+// Incremental drains == one-shot run, byte for byte
+//===----------------------------------------------------------------------===//
+
+/// Fast-reconstructing workloads (same set IngestTest/FleetTest use).
+const char *FastCorpus[] = {"Bash-108885", "SQLite-4e8e485",
+                            "Matrixssl-2014-1569", "Memcached-2019-11596",
+                            "PHP-2012-2386"};
+
+void spoolMachine(const std::string &SpoolDir, uint64_t MachineId,
+                  unsigned Runs = 80) {
+  SpoolWriter Writer(SpoolDir, MachineId);
+  for (const char *Id : FastCorpus) {
+    simulateMachine(*findBug(Id), Runs, MachineId, RootSeed, VmConfig(),
+                    [&](const FleetFailureReport &R) { Writer.append(R); });
+    std::string Err;
+    ASSERT_TRUE(Writer.flush(&Err)) << Err;
+  }
+}
+
+TEST(Daemon, IncrementalDrainsFeedCampaignsWithoutRestarting) {
+  std::string Spool = freshDir("incremental");
+  std::string StateFile = freshDir("incremental_state") + "/daemon.state";
+  spoolMachine(Spool, /*MachineId=*/0);
+
+  FleetConfig FC;
+  FC.RootSeed = RootSeed;
+  FleetScheduler Sched(FC);
+  TestDaemonRig Rig(Spool, StateFile);
+  Rig.Config.MaxStepsPerCycle = 3; // Keep cycles short: many drains.
+  CollectorDaemon Daemon(Rig.Config, Sched);
+
+  ASSERT_TRUE(Daemon.runCycle());
+  uint64_t AfterFirst = Daemon.collectorStats().Submitted;
+  EXPECT_GT(AfterFirst, 0u);
+
+  // Machine 1 reports mid-session; its records must merge into the live
+  // triage state — existing campaigns keep their progress.
+  spoolMachine(Spool, /*MachineId=*/1);
+  for (unsigned Guard = 0;
+       (Sched.hasPendingWork() || !listSpoolFiles(Spool).empty()) &&
+       Guard < 500;
+       ++Guard)
+    ASSERT_TRUE(Daemon.runCycle());
+  EXPECT_FALSE(Sched.hasPendingWork());
+  EXPECT_GT(Daemon.collectorStats().Submitted, AfterFirst);
+  EXPECT_EQ(Daemon.collectorStats().DuplicatesDropped, 0u);
+  EXPECT_EQ(Daemon.getStats().FilesAcked, 2u * 5u)
+      << "every spool file acked exactly once";
+
+  // Byte-identity: the interleaved drain/step timeline must land exactly
+  // where a one-shot in-process harvest + run() lands.
+  FleetScheduler Reference(FC);
+  for (uint64_t Machine = 0; Machine < 2; ++Machine)
+    for (const char *Id : FastCorpus)
+      Reference.harvest(*findBug(Id), 80, Machine);
+  Reference.run();
+  EXPECT_EQ(stateBytes(Sched), stateBytes(Reference));
+}
+
+//===----------------------------------------------------------------------===//
+// Preemption: suspend, resume, byte-identical results
+//===----------------------------------------------------------------------===//
+
+/// The deterministic report stream of machine 0 running Bash + Memcached,
+/// split into the coldest signature's reports (few occurrences, a
+/// multi-iteration campaign) and everything else (includes a signature hot
+/// enough to preempt it).
+struct PreemptStream {
+  std::vector<FleetFailureReport> Cold, Rest;
+  uint64_t ColdDigest = 0;
+
+  PreemptStream() {
+    std::vector<FleetFailureReport> Stream;
+    for (const char *Id : {"Bash-108885", "Memcached-2019-11596"})
+      simulateMachine(*findBug(Id), 200, /*MachineId=*/0, RootSeed,
+                      VmConfig(),
+                      [&](const FleetFailureReport &R) {
+                        Stream.push_back(R);
+                      });
+    std::map<uint64_t, uint64_t> Counts;
+    for (const FleetFailureReport &R : Stream)
+      ++Counts[FailureSignature::of(R.Failure).Digest];
+    uint64_t ColdCount = ~0ULL, HotCount = 0;
+    for (const auto &[Digest, Count] : Counts) {
+      if (Count < ColdCount) {
+        ColdCount = Count;
+        ColdDigest = Digest;
+      }
+      HotCount = std::max(HotCount, Count);
+    }
+    // The preemption premise: some bucket is strictly hotter than the
+    // cold one and crosses the hot threshold used below. (EXPECT, not
+    // ASSERT: fatal assertions cannot be used in a constructor.)
+    EXPECT_GT(HotCount, ColdCount);
+    EXPECT_GE(HotCount, 4u);
+    for (FleetFailureReport &R : Stream)
+      (FailureSignature::of(R.Failure).Digest == ColdDigest ? Cold : Rest)
+          .push_back(std::move(R));
+  }
+};
+
+FleetConfig preemptConfig() {
+  FleetConfig FC;
+  FC.RootSeed = RootSeed;
+  FC.Preempt.Enabled = true;
+  FC.Preempt.HotOccurrences = 4;
+  return FC;
+}
+
+TEST(Preemption, HotBucketSuspendsWeakestCampaignAndResumesByteIdentical) {
+  PreemptStream Stream;
+
+  // Uninterrupted control: same submissions, stepped straight to done.
+  FleetScheduler Control(preemptConfig());
+  for (const FleetFailureReport &R : Stream.Cold)
+    Control.submit(R);
+  for (const FleetFailureReport &R : Stream.Rest)
+    Control.submit(R);
+  Control.stepCampaigns();
+  ASSERT_FALSE(Control.hasPendingWork());
+  EXPECT_EQ(Control.totalPreemptions(), 0u)
+      << "nothing to preempt for: all buckets known before stepping";
+
+  // Preempted run: the cold bucket starts first and is mid-campaign when
+  // the hot bucket arrives.
+  FleetScheduler Sched(preemptConfig());
+  for (const FleetFailureReport &R : Stream.Cold)
+    Sched.submit(R);
+  EXPECT_EQ(Sched.stepCampaigns(2), 2u);
+  ASSERT_EQ(Sched.numActive(), 1u);
+  ASSERT_FALSE(Sched.getCampaigns()[0].Completed)
+      << "premise: the cold campaign must still be mid-flight";
+
+  for (const FleetFailureReport &R : Stream.Rest)
+    Sched.submit(R);
+  Sched.stepCampaigns(1);
+  EXPECT_EQ(Sched.totalPreemptions(), 1u);
+  EXPECT_EQ(Sched.numSuspended(), 1u);
+  EXPECT_TRUE(Sched.getCampaigns()[0].Suspended);
+  EXPECT_GE(Sched.getCampaigns()[0].IterationsDone, 2u);
+
+  // Mid-flight checkpoint state is persisted for suspended campaigns...
+  std::string Mid = stateBytes(Sched);
+  EXPECT_NE(Mid.find("suspended 1"), std::string::npos);
+  EXPECT_NE(Mid.find("iterationsdone "), std::string::npos);
+
+  Sched.stepCampaigns();
+  ASSERT_FALSE(Sched.hasPendingWork());
+  EXPECT_EQ(Sched.numSuspended(), 0u);
+  EXPECT_EQ(Sched.snapshotReport().Preemptions, 1u);
+
+  // ...and gone from the final file: byte-identical to the uninterrupted
+  // run, test cases included.
+  EXPECT_EQ(stateBytes(Sched), stateBytes(Control));
+  const Campaign *Preempted = nullptr, *Clean = nullptr;
+  for (const Campaign &C : Sched.getCampaigns())
+    if (C.Sig.Digest == Stream.ColdDigest)
+      Preempted = &C;
+  for (const Campaign &C : Control.getCampaigns())
+    if (C.Sig.Digest == Stream.ColdDigest)
+      Clean = &C;
+  ASSERT_TRUE(Preempted && Clean);
+  EXPECT_EQ(Preempted->Preemptions, 1u);
+  EXPECT_EQ(Preempted->Report.TestCase.Bytes, Clean->Report.TestCase.Bytes);
+  EXPECT_EQ(Preempted->Report.TestCase.Args, Clean->Report.TestCase.Args);
+  EXPECT_EQ(Preempted->IterationsDone, Clean->IterationsDone)
+      << "resume must continue the parked session, not restart it";
+}
+
+TEST(Preemption, CrossProcessResumeOfSuspendedCampaignIsByteIdentical) {
+  PreemptStream Stream;
+
+  FleetScheduler Control(preemptConfig());
+  for (const FleetFailureReport &R : Stream.Cold)
+    Control.submit(R);
+  for (const FleetFailureReport &R : Stream.Rest)
+    Control.submit(R);
+  Control.stepCampaigns();
+
+  // Preempt, then kill the process at the checkpoint: the suspended
+  // campaign crosses processes through the state file alone.
+  std::string StateFile =
+      freshDir("preempt_xproc") + "/fleet.state";
+  {
+    FleetScheduler Dying(preemptConfig());
+    for (const FleetFailureReport &R : Stream.Cold)
+      Dying.submit(R);
+    Dying.stepCampaigns(2);
+    for (const FleetFailureReport &R : Stream.Rest)
+      Dying.submit(R);
+    Dying.stepCampaigns(1);
+    ASSERT_EQ(Dying.numSuspended(), 1u);
+    std::string Err;
+    ASSERT_TRUE(Dying.saveState(StateFile, &Err)) << Err;
+  }
+
+  // A suspended campaign loads as pending and re-executes
+  // deterministically from scratch — same seed, same final bytes.
+  FleetScheduler Resumed(preemptConfig());
+  std::string Err;
+  ASSERT_TRUE(Resumed.loadState(StateFile, &Err)) << Err;
+  EXPECT_TRUE(Resumed.hasPendingWork());
+  Resumed.stepCampaigns();
+  ASSERT_FALSE(Resumed.hasPendingWork());
+  EXPECT_EQ(stateBytes(Resumed), stateBytes(Control));
+}
+
+} // namespace
