@@ -16,21 +16,32 @@
 // The bench fails if any record is lost, duplicated, or quarantined —
 // latency numbers for a lossy daemon would be meaningless.
 //
-// Usage: bench_daemon_latency [--reports N] [--window-ms N] [--json FILE]
+// --listen HOST:PORT mounts the daemon's live telemetry endpoint and runs
+// a 1 Hz /metrics scraper alongside the sweep — the configuration the
+// listener's "no measurable drag" claim (docs/OBSERVABILITY.md) is
+// checked against. The scraper is wall-clock (scrape cost is real even
+// when the timeline is virtual); the watchdog stays disabled so nothing
+// off the control thread touches the VirtualClock.
+//
+// Usage: bench_daemon_latency [--reports N] [--window-ms N]
+//                             [--listen HOST:PORT] [--json FILE]
 //
 //===----------------------------------------------------------------------===//
 
 #include "BenchJson.h"
 #include "ingest/CollectorDaemon.h"
 #include "ingest/ReportSpool.h"
+#include "net/HttpServer.h"
 #include "support/Rng.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <string>
+#include <thread>
 #include <vector>
 
 using namespace er;
@@ -66,6 +77,8 @@ struct Result {
   double MeanMs = 0, P50Ms = 0, P95Ms = 0, MaxMs = 0;
   double DrainCpuMsPerCycle = 0;
   bool CountsOk = false;
+  uint64_t Scrapes = 0;        ///< Successful /metrics GETs (--listen only).
+  uint64_t ScrapeFailures = 0; ///< Failed or non-200 scrapes.
 };
 
 double percentile(const std::vector<double> &Sorted, double P) {
@@ -76,7 +89,7 @@ double percentile(const std::vector<double> &Sorted, double P) {
 }
 
 Result runOnce(uint64_t IntervalMs, uint64_t Reports, uint64_t WindowMs,
-               const std::string &Root) {
+               const std::string &Root, const std::string &Listen) {
   fs::remove_all(Root);
   const std::string Spool = Root + "/spool";
   fs::create_directories(Spool);
@@ -107,6 +120,7 @@ Result runOnce(uint64_t IntervalMs, uint64_t Reports, uint64_t WindowMs,
   DC.DrainIntervalMs = IntervalMs;
   DC.Clock = &Clock;
   DC.Sleep = [&Clock](uint64_t Ms) { Clock.advanceNs(Ms * 1'000'000ULL); };
+  DC.Listen = Listen;
   CollectorDaemon Daemon(DC, Sched);
 
   Result Res;
@@ -115,6 +129,33 @@ Result runOnce(uint64_t IntervalMs, uint64_t Reports, uint64_t WindowMs,
   if (!Daemon.start(&Err)) {
     std::fprintf(stderr, "daemon start failed: %s\n", Err.c_str());
     return Res;
+  }
+
+  // 1 Hz wall-clock scraper against the live listener: the measured
+  // sweep then carries the telemetry overhead a scraped production
+  // daemon would.
+  std::atomic<bool> ScraperDone{false};
+  std::atomic<uint64_t> ScrapesOk{0}, ScrapesBad{0};
+  std::thread Scraper;
+  if (!Listen.empty() && Daemon.listenPort()) {
+    std::string Host = "127.0.0.1";
+    uint16_t Port = 0;
+    net::parseHostPort(Listen, Host, Port);
+    uint16_t Bound = Daemon.listenPort();
+    Scraper = std::thread([&ScraperDone, &ScrapesOk, &ScrapesBad, Host,
+                           Bound] {
+      while (!ScraperDone.load(std::memory_order_acquire)) {
+        net::HttpClientResponse R;
+        if (net::httpGet(Host, Bound, "/metrics", R) && R.Status == 200)
+          ScrapesOk.fetch_add(1, std::memory_order_relaxed);
+        else
+          ScrapesBad.fetch_add(1, std::memory_order_relaxed);
+        for (int Tick = 0;
+             Tick < 10 && !ScraperDone.load(std::memory_order_acquire);
+             ++Tick)
+          std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      }
+    });
   }
 
   std::vector<SpoolWriter> Writers;
@@ -169,6 +210,13 @@ Result runOnce(uint64_t IntervalMs, uint64_t Reports, uint64_t WindowMs,
       break;
   }
 
+  if (Scraper.joinable()) {
+    ScraperDone.store(true, std::memory_order_release);
+    Scraper.join();
+  }
+  Res.Scrapes = ScrapesOk.load();
+  Res.ScrapeFailures = ScrapesBad.load();
+
   const CollectorStats &CS = Daemon.collectorStats();
   Res.Records = LatenciesMs.size();
   Res.CountsOk = Published == Reports && CS.Submitted == Reports &&
@@ -193,6 +241,7 @@ Result runOnce(uint64_t IntervalMs, uint64_t Reports, uint64_t WindowMs,
 int main(int argc, char **argv) {
   uint64_t Reports = 2000;
   uint64_t WindowMs = 30000; // simulated arrival window
+  std::string Listen;
   bench::JsonReporter Json("bench_daemon_latency");
   for (int I = 1; I < argc; ++I) {
     if (int R = Json.parseArg(argc, argv, I)) {
@@ -202,9 +251,20 @@ int main(int argc, char **argv) {
       Reports = std::strtoull(argv[++I], nullptr, 10);
     else if (!std::strcmp(argv[I], "--window-ms") && I + 1 < argc)
       WindowMs = std::strtoull(argv[++I], nullptr, 10);
+    else if (!std::strcmp(argv[I], "--listen") && I + 1 < argc)
+      Listen = argv[++I];
     else {
       std::printf("usage: bench_daemon_latency [--reports N] [--window-ms N] "
-                  "[--json FILE]\n");
+                  "[--listen HOST:PORT] [--json FILE]\n");
+      return 2;
+    }
+  }
+  if (!Listen.empty()) {
+    std::string Host;
+    uint16_t Port = 0;
+    std::string Err;
+    if (!net::parseHostPort(Listen, Host, Port, &Err)) {
+      std::printf("--listen: %s\n", Err.c_str());
       return 2;
     }
   }
@@ -217,15 +277,21 @@ int main(int argc, char **argv) {
       (fs::temp_directory_path() / "er_bench_daemon_latency").string();
 
   std::printf("daemon ingestion latency: %llu reports arriving over a "
-              "%llu ms virtual window, cycle cadence on a virtual clock\n\n",
+              "%llu ms virtual window, cycle cadence on a virtual clock\n",
               (unsigned long long)Reports, (unsigned long long)WindowMs);
-  std::printf("%12s %8s %10s %10s %10s %10s %16s %7s\n", "interval(ms)",
+  if (!Listen.empty())
+    std::printf("live listener on %s with a 1 Hz /metrics scraper\n",
+                Listen.c_str());
+  std::printf("\n%12s %8s %10s %10s %10s %10s %16s %7s\n", "interval(ms)",
               "cycles", "mean(ms)", "p50(ms)", "p95(ms)", "max(ms)",
               "drain cpu(ms/cy)", "counts");
 
   bool AllOk = true;
+  uint64_t Scrapes = 0, ScrapeFailures = 0;
   for (uint64_t IntervalMs : {10ull, 50ull, 250ull, 1000ull}) {
-    Result R = runOnce(IntervalMs, Reports, WindowMs, Root);
+    Result R = runOnce(IntervalMs, Reports, WindowMs, Root, Listen);
+    Scrapes += R.Scrapes;
+    ScrapeFailures += R.ScrapeFailures;
     std::printf("%12llu %8llu %10.2f %10.2f %10.2f %10.2f %16.3f %7s\n",
                 (unsigned long long)R.IntervalMs, (unsigned long long)R.Cycles,
                 R.MeanMs, R.P50Ms, R.P95Ms, R.MaxMs, R.DrainCpuMsPerCycle,
@@ -240,10 +306,16 @@ int main(int argc, char **argv) {
         .metric("p95_ms", R.P95Ms)
         .metric("max_ms", R.MaxMs)
         .metric("drain_cpu_ms_per_cycle", R.DrainCpuMsPerCycle)
-        .metric("counts_ok", static_cast<uint64_t>(R.CountsOk));
-    AllOk = AllOk && R.CountsOk;
+        .metric("counts_ok", static_cast<uint64_t>(R.CountsOk))
+        .metric("scrapes", R.Scrapes)
+        .metric("scrape_failures", R.ScrapeFailures);
+    AllOk = AllOk && R.CountsOk && R.ScrapeFailures == 0;
   }
 
+  if (!Listen.empty())
+    std::printf("\nscrapes: %llu ok, %llu failed\n",
+                (unsigned long long)Scrapes,
+                (unsigned long long)ScrapeFailures);
   std::printf("\nexactly-once accounting across the sweep: %s\n",
               AllOk ? "yes" : "NO");
   if (int Rc = Json.flush())

@@ -19,6 +19,7 @@
 #include "ingest/ReportCollector.h"
 #include "ingest/ReportSpool.h"
 #include "obs/Metrics.h"
+#include "obs/PromExport.h"
 #include "obs/Tracer.h"
 #include "support/FaultFs.h"
 #include "support/Rng.h"
@@ -51,9 +52,12 @@ static int usage() {
       "                      [--max-pending N] [--keep-drained]\n"
       "                      [--daemon] [--interval-ms N] [--max-cycles N]\n"
       "                      [--step-budget N] [--retries N] [--preempt-hot N]\n"
-      "                      [telemetry flags]\n"
+      "                      [--listen HOST:PORT] [--cycle-deadline-ms N]\n"
+      "                      [--stall-dir DIR] [--metrics-every N]\n"
+      "                      [--metrics-json FILE] [telemetry flags]\n"
       "       er_cli stats   [--jobs N] [--seed S] [--machines M] [--runs R]\n"
       "                      [--bugs id,id,...] [telemetry flags]\n"
+      "       er_cli promcheck FILE\n"
       "\n"
       "telemetry flags (docs/OBSERVABILITY.md):\n"
       "  --metrics-out FILE   export the metrics registry as JSON\n"
@@ -85,8 +89,19 @@ static int usage() {
       "cleanly after a final checkpoint; ER_FAULT_SPEC injects scripted\n"
       "filesystem faults (docs/INGEST.md).\n"
       "\n"
+      "daemon live telemetry (docs/OBSERVABILITY.md, \"Live endpoints\"):\n"
+      "--listen serves GET /metrics (Prometheus text exposition), /healthz\n"
+      "and /status (JSON) — port 0 binds an ephemeral port, printed on\n"
+      "startup. --cycle-deadline-ms arms a watchdog around each cycle: a\n"
+      "cycle exceeding it flips /healthz unhealthy and dumps stall\n"
+      "diagnostics into --stall-dir. --metrics-every N atomically rewrites\n"
+      "--metrics-json (default metrics.json) every N cycles.\n"
+      "\n"
       "stats: run the fleet pipeline with tracing on and print the full\n"
-      "metric catalog and a per-phase span time summary as text tables.\n");
+      "metric catalog and a per-phase span time summary as text tables.\n"
+      "\n"
+      "promcheck: strict Prometheus text-exposition parse of FILE (the\n"
+      "format /metrics serves); exit 0 iff valid. CI gates scrapes on it.\n");
   return 2;
 }
 
@@ -551,6 +566,18 @@ static int runCollectDaemon(const DaemonConfig &DC, FleetScheduler &Sched,
               DC.Collector.SpoolDir.c_str(),
               (unsigned long long)DC.DrainIntervalMs,
               DC.StateFile.empty() ? "<none>" : DC.StateFile.c_str());
+  if (Daemon.listenPort()) {
+    // The bound port matters when --listen asked for :0 (ephemeral);
+    // smoke tests grep this line to find it.
+    std::string Host = "127.0.0.1";
+    uint16_t Port = 0;
+    net::parseHostPort(DC.Listen, Host, Port);
+    std::printf("daemon: listening on %s:%u (/metrics /healthz /status)\n",
+                Host.c_str(), (unsigned)Daemon.listenPort());
+  }
+  // Smoke tests grep the banner for the ephemeral port while the daemon
+  // is still running; stdout is fully buffered when redirected to a file.
+  std::fflush(stdout);
 
   bool Ok = Daemon.runLoop(&Err);
   std::signal(SIGINT, SIG_DFL);
@@ -648,6 +675,26 @@ static int cmdCollect(int argc, char **argv) {
         return 2;
       FC.Preempt.Enabled = true;
       FC.Preempt.HotOccurrences = std::strtoull(V, nullptr, 10);
+    } else if (!std::strcmp(argv[I], "--listen")) {
+      if (!(V = NextArg("--listen")))
+        return 2;
+      DC.Listen = V;
+    } else if (!std::strcmp(argv[I], "--cycle-deadline-ms")) {
+      if (!(V = NextArg("--cycle-deadline-ms")))
+        return 2;
+      DC.CycleDeadlineMs = std::strtoull(V, nullptr, 10);
+    } else if (!std::strcmp(argv[I], "--stall-dir")) {
+      if (!(V = NextArg("--stall-dir")))
+        return 2;
+      DC.StallDiagDir = V;
+    } else if (!std::strcmp(argv[I], "--metrics-every")) {
+      if (!(V = NextArg("--metrics-every")))
+        return 2;
+      DC.MetricsEveryCycles = std::strtoull(V, nullptr, 10);
+    } else if (!std::strcmp(argv[I], "--metrics-json")) {
+      if (!(V = NextArg("--metrics-json")))
+        return 2;
+      DC.MetricsJsonPath = V;
     } else {
       std::printf("unknown collect option '%s'\n", argv[I]);
       return 2;
@@ -792,11 +839,36 @@ static int cmdStats(int argc, char **argv) {
   return Telemetry.exportAll();
 }
 
+/// Strict Prometheus text-exposition gate: CI scrapes /metrics into a
+/// file and fails the build unless this accepts it. In-repo replacement
+/// for promtool so the gate needs no network or extra install.
+static int cmdPromcheck(int argc, char **argv) {
+  if (argc < 3) {
+    std::printf("promcheck needs a file\n");
+    return 2;
+  }
+  std::vector<uint8_t> Bytes;
+  std::string Err;
+  if (FsOps::real().readFile(argv[2], Bytes, &Err) != FsStatus::Ok) {
+    std::printf("promcheck: cannot read %s: %s\n", argv[2], Err.c_str());
+    return 1;
+  }
+  std::string Text(Bytes.begin(), Bytes.end());
+  if (!obs::promValidateExposition(Text, &Err)) {
+    std::printf("promcheck: %s: INVALID: %s\n", argv[2], Err.c_str());
+    return 1;
+  }
+  std::printf("promcheck: %s: ok (%zu byte(s))\n", argv[2], Text.size());
+  return 0;
+}
+
 int main(int argc, char **argv) {
   if (argc < 2)
     return usage();
   if (!std::strcmp(argv[1], "list"))
     return cmdList();
+  if (!std::strcmp(argv[1], "promcheck"))
+    return cmdPromcheck(argc, argv);
   if (!std::strcmp(argv[1], "fleet"))
     return cmdFleet(argc, argv);
   if (!std::strcmp(argv[1], "report"))

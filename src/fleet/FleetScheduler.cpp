@@ -500,6 +500,49 @@ bool FleetScheduler::hasPendingWork() const {
 
 size_t FleetScheduler::numSuspended() const { return Parked.size(); }
 
+const char *er::campaignPhaseName(CampaignPhase P) {
+  switch (P) {
+  case CampaignPhase::Pending:
+    return "pending";
+  case CampaignPhase::Active:
+    return "active";
+  case CampaignPhase::Suspended:
+    return "suspended";
+  case CampaignPhase::Completed:
+    return "completed";
+  }
+  return "unknown";
+}
+
+std::vector<CampaignStatus> FleetScheduler::campaignStatuses() const {
+  std::vector<CampaignStatus> Rows;
+  Rows.reserve(Campaigns.size());
+  for (size_t Idx : triageOrder()) {
+    const Campaign &C = Campaigns[Idx];
+    CampaignStatus Row;
+    Row.BugId = C.BugId;
+    Row.SigHex = C.Sig.hex();
+    Row.Occurrences = C.Occurrences;
+    Row.IterationsDone = C.IterationsDone;
+    Row.Reproduced = C.Report.Success;
+    if (C.Completed) {
+      Row.Phase = CampaignPhase::Completed;
+    } else if (Parked.count(Idx) || C.Suspended) {
+      Row.Phase = CampaignPhase::Suspended;
+    } else {
+      Row.Phase = CampaignPhase::Pending;
+      for (const auto &RT : Active)
+        if (RT->Idx == Idx) {
+          Row.Phase = CampaignPhase::Active;
+          Row.IterationsDone = RT->StepsTaken;
+          break;
+        }
+    }
+    Rows.push_back(std::move(Row));
+  }
+  return Rows;
+}
+
 FleetReport FleetScheduler::snapshotReport() const {
   FleetReport FR;
   FR.Jobs = Config.Jobs;

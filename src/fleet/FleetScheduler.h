@@ -133,6 +133,23 @@ struct FleetReport {
   SolverCacheStats Cache;
 };
 
+/// Where one campaign sits in the triage/execution lifecycle right now.
+enum class CampaignPhase { Pending, Active, Suspended, Completed };
+
+const char *campaignPhaseName(CampaignPhase P);
+
+/// The row shape of the daemon's `/status` endpoint
+/// (docs/OBSERVABILITY.md, "Live endpoints").
+struct CampaignStatus {
+  std::string BugId;
+  std::string SigHex; ///< FailureSignature digest, hex.
+  uint64_t Occurrences = 0;
+  CampaignPhase Phase = CampaignPhase::Pending;
+  /// Session steps taken so far (live for active campaigns).
+  unsigned IterationsDone = 0;
+  bool Reproduced = false; ///< Meaningful once Completed.
+};
+
 /// Simulates one production machine: \p Runs executions of \p Spec with
 /// machine randomness split from \p RootSeed by \p MachineId, invoking
 /// \p Sink for every failure observed. Reports carry the machine id and a
@@ -202,6 +219,13 @@ public:
   /// anything — what run() would return if all remaining work vanished.
   /// The daemon uses this for status printouts and shutdown summaries.
   FleetReport snapshotReport() const;
+
+  /// One status row per campaign, in triage order: phase (pending /
+  /// active / suspended / completed) plus live step counts for active
+  /// slots. Control-thread only (like every accessor here) — the daemon
+  /// copies this into its mutex-guarded status snapshot at cycle
+  /// boundaries, which is what the HTTP thread actually reads.
+  std::vector<CampaignStatus> campaignStatuses() const;
 
   size_t numCampaigns() const { return Campaigns.size(); }
   const std::vector<Campaign> &getCampaigns() const { return Campaigns; }

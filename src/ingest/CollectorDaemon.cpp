@@ -2,7 +2,9 @@
 
 #include "ingest/CollectorDaemon.h"
 
+#include "obs/Json.h"
 #include "obs/Metrics.h"
+#include "obs/PromExport.h"
 #include "obs/Tracer.h"
 
 #include <algorithm>
@@ -15,6 +17,7 @@ namespace {
 struct DaemonMetrics {
   obs::Counter &Cycles, &Drains, &DrainRetries, &DrainFailures;
   obs::Counter &Steps, &Checkpoints, &CheckpointFailures, &FilesAcked;
+  obs::Counter &MetricsSnapshots, &MetricsSnapshotFailures;
   obs::Gauge &UptimeNs, &DrainIntervalNs;
 
   static DaemonMetrics &get() {
@@ -27,6 +30,8 @@ struct DaemonMetrics {
                            Reg.counter("daemon.checkpoints"),
                            Reg.counter("daemon.checkpoint.failures"),
                            Reg.counter("daemon.files.acked"),
+                           Reg.counter("daemon.metrics.snapshots"),
+                           Reg.counter("daemon.metrics.snapshot.failures"),
                            Reg.gauge("daemon.uptime_ns"),
                            Reg.gauge("daemon.drain_interval_ns")};
     return M;
@@ -43,15 +48,51 @@ CollectorConfig adjustForDaemon(CollectorConfig CC, bool HasStateFile) {
   }
   return CC;
 }
+
+obs::WatchdogConfig watchdogConfig(const DaemonConfig &DC) {
+  obs::WatchdogConfig WC;
+  WC.DeadlineMs = DC.CycleDeadlineMs;
+  WC.Clock = DC.Clock;
+  WC.DiagnosticsDir = DC.StallDiagDir;
+  WC.Fs = DC.Collector.Fs;
+  return WC;
+}
+
+bool endsWith(const std::string &S, const char *Suffix) {
+  size_t N = std::string(Suffix).size();
+  return S.size() >= N && S.compare(S.size() - N, N, Suffix) == 0;
+}
 } // namespace
+
+const char *er::daemonPhaseName(DaemonPhase P) {
+  switch (P) {
+  case DaemonPhase::Idle:
+    return "idle";
+  case DaemonPhase::Draining:
+    return "draining";
+  case DaemonPhase::Backoff:
+    return "backoff";
+  case DaemonPhase::Stepping:
+    return "stepping";
+  case DaemonPhase::Checkpointing:
+    return "checkpointing";
+  case DaemonPhase::Stopping:
+    return "stopping";
+  }
+  return "unknown";
+}
 
 CollectorDaemon::CollectorDaemon(DaemonConfig Config, FleetScheduler &Sched)
     : Config(Config), Sched(Sched),
-      Collector(adjustForDaemon(Config.Collector, !Config.StateFile.empty())) {
-}
+      Collector(adjustForDaemon(Config.Collector, !Config.StateFile.empty())),
+      Watchdog(watchdogConfig(Config)) {}
 
 ClockSource &CollectorDaemon::clock() const {
   return Config.Clock ? *Config.Clock : ClockSource::real();
+}
+
+FsOps &CollectorDaemon::fsOps() const {
+  return Config.Collector.Fs ? *Config.Collector.Fs : FsOps::real();
 }
 
 uint64_t CollectorDaemon::uptimeNs() const {
@@ -73,7 +114,7 @@ void CollectorDaemon::sleepMs(uint64_t Ms) {
 bool CollectorDaemon::start(std::string *Error) {
   if (Started)
     return true;
-  FsOps &Fs = Config.Collector.Fs ? *Config.Collector.Fs : FsOps::real();
+  FsOps &Fs = fsOps();
   if (!Config.StateFile.empty() && Fs.exists(Config.StateFile)) {
     std::map<uint64_t, uint64_t> HighWater;
     if (!Sched.loadState(Config.StateFile, Error, &HighWater))
@@ -88,6 +129,21 @@ bool CollectorDaemon::start(std::string *Error) {
   StartNs = clock().nowNs();
   DaemonMetrics::get().DrainIntervalNs.set(
       static_cast<int64_t>(Config.DrainIntervalMs * 1000000));
+  // The live telemetry listener comes up last, once the state it serves
+  // is recovered. A listener that cannot bind is a startup failure — an
+  // operator who asked for telemetry must not silently run blind.
+  if (!Config.Listen.empty() && !Http) {
+    net::HttpServerConfig HC = Config.Http;
+    if (!net::parseHostPort(Config.Listen, HC.Host, HC.Port, Error))
+      return false;
+    Http = std::make_unique<net::HttpServer>(
+        HC, [this](const net::HttpRequest &Req) { return handleHttp(Req); });
+    if (!Http->start(Error)) {
+      Http.reset();
+      return false;
+    }
+  }
+  publishStatus(); // /status answers sensibly before the first cycle.
   Started = true;
   return true;
 }
@@ -97,6 +153,7 @@ bool CollectorDaemon::drainWithRetry(std::string *Error) {
   uint64_t BackoffMs = Config.RetryBackoffBaseMs;
   std::string DrainError;
   for (unsigned Attempt = 0;; ++Attempt) {
+    setPhase(DaemonPhase::Draining);
     if (Collector.drainInto(Sched, &DrainError)) {
       ++Stats.Drains;
       DM.Drains.inc();
@@ -109,6 +166,7 @@ bool CollectorDaemon::drainWithRetry(std::string *Error) {
     // worst case bounded while not hammering a struggling disk.
     ++Stats.DrainRetries;
     DM.DrainRetries.inc();
+    setPhase(DaemonPhase::Backoff);
     sleepMs(BackoffMs);
     BackoffMs = std::min(BackoffMs * 2, Config.RetryBackoffCapMs);
   }
@@ -123,7 +181,7 @@ bool CollectorDaemon::checkpoint(std::string *Error) {
   if (Config.StateFile.empty())
     return true;
   DaemonMetrics &DM = DaemonMetrics::get();
-  FsOps &Fs = Config.Collector.Fs ? *Config.Collector.Fs : FsOps::real();
+  FsOps &Fs = fsOps();
   // Fleet state + high-water marks written as one file, published by one
   // atomic rename: the two can never be observed out of sync.
   std::string Tmp = Config.StateFile + ".tmp";
@@ -139,7 +197,51 @@ bool CollectorDaemon::checkpoint(std::string *Error) {
   }
   ++Stats.Checkpoints;
   DM.Checkpoints.inc();
+  LastCheckpointNs.store(clock().nowNs(), std::memory_order_relaxed);
   return true;
+}
+
+void CollectorDaemon::writeMetricsSnapshot() {
+  DaemonMetrics &DM = DaemonMetrics::get();
+  std::string Path =
+      Config.MetricsJsonPath.empty() ? "metrics.json" : Config.MetricsJsonPath;
+  std::string Doc =
+      obs::metricsToJson(obs::MetricsRegistry::global().snapshot());
+  // Temp + rename so a reader polling the path never sees a torn file.
+  std::string Tmp = Path + ".tmp";
+  FsOps &Fs = fsOps();
+  if (Fs.writeFile(Tmp, Doc) != FsStatus::Ok ||
+      Fs.rename(Tmp, Path) != FsStatus::Ok) {
+    Fs.remove(Tmp);
+    ++Stats.MetricsSnapshotFailures;
+    DM.MetricsSnapshotFailures.inc();
+    return;
+  }
+  ++Stats.MetricsSnapshots;
+  DM.MetricsSnapshots.inc();
+}
+
+void CollectorDaemon::publishStatus() {
+  DaemonStatus S;
+  S.Cycle = Stats.Cycles;
+  S.UptimeNs = uptimeNs();
+  S.LastCheckpointNs = LastCheckpointNs.load(std::memory_order_relaxed);
+  for (const std::string &Name : fsOps().listDir(Config.Collector.SpoolDir))
+    if (endsWith(Name, ".ers"))
+      ++S.SpoolDepth;
+  S.PendingAckFiles = Collector.pendingAckCount();
+  S.ClaimRetries = Collector.getStats().ClaimRetries;
+  S.ClaimFailures = Collector.getStats().ClaimFailures;
+  S.Preemptions = Sched.totalPreemptions();
+  S.Stats = Stats;
+  S.Campaigns = Sched.campaignStatuses();
+  std::lock_guard<std::mutex> Lock(StatusMu);
+  Status = std::move(S);
+}
+
+DaemonStatus CollectorDaemon::statusSnapshot() const {
+  std::lock_guard<std::mutex> Lock(StatusMu);
+  return Status;
 }
 
 bool CollectorDaemon::runCycle(std::string *Error) {
@@ -150,6 +252,7 @@ bool CollectorDaemon::runCycle(std::string *Error) {
   Span.arg("cycle", Stats.Cycles);
   ++Stats.Cycles;
   DM.Cycles.inc();
+  Watchdog.arm(Stats.Cycles);
 
   // 1. Drain. A cycle whose drain fails even after retries still steps
   // campaigns — existing work must not starve behind a sick disk.
@@ -159,6 +262,7 @@ bool CollectorDaemon::runCycle(std::string *Error) {
 
   // 2. Advance campaigns incrementally; new reports merged by drain feed
   // existing buckets without restarting them.
+  setPhase(DaemonPhase::Stepping);
   unsigned Steps = Sched.stepCampaigns(Config.MaxStepsPerCycle);
   Stats.StepsRun += Steps;
   DM.Steps.add(Steps);
@@ -167,6 +271,7 @@ bool CollectorDaemon::runCycle(std::string *Error) {
   // 3. Checkpoint, then 4. ack: records become removable only once the
   // state that owns them is durable. A failed checkpoint simply leaves
   // the files claimed — the next cycle's checkpoint acks them.
+  setPhase(DaemonPhase::Checkpointing);
   if (checkpoint(Error)) {
     size_t Acked = Collector.ackDrained();
     Stats.FilesAcked += Acked;
@@ -174,16 +279,28 @@ bool CollectorDaemon::runCycle(std::string *Error) {
     Span.arg("acked", static_cast<uint64_t>(Acked));
   }
 
+  if (Config.MetricsEveryCycles &&
+      Stats.Cycles % Config.MetricsEveryCycles == 0)
+    writeMetricsSnapshot();
+
   DM.UptimeNs.set(static_cast<int64_t>(uptimeNs()));
+  publishStatus();
+  // Disarm last: an overdue cycle records its trip even when nothing
+  // polled /healthz while it was stuck.
+  Watchdog.disarm();
+  setPhase(DaemonPhase::Idle);
   return true;
 }
 
 bool CollectorDaemon::runLoop(std::string *Error) {
   if (!start(Error))
     return false;
+  bool Ok = true;
   for (;;) {
-    if (!runCycle(Error))
-      return false;
+    if (!runCycle(Error)) {
+      Ok = false;
+      break;
+    }
     if (stopRequested())
       break;
     if (Config.MaxCycles && Stats.Cycles >= Config.MaxCycles)
@@ -192,11 +309,129 @@ bool CollectorDaemon::runLoop(std::string *Error) {
     if (stopRequested())
       break;
   }
-  // Clean shutdown: one final checkpoint so nothing stepped since the
-  // last cycle's checkpoint is lost (counted like any other checkpoint).
-  if (checkpoint(Error)) {
-    Stats.FilesAcked += Collector.ackDrained();
-    return true;
+  setPhase(DaemonPhase::Stopping);
+  if (Ok) {
+    // Clean shutdown: one final checkpoint so nothing stepped since the
+    // last cycle's checkpoint is lost (counted like any other checkpoint).
+    if (checkpoint(Error))
+      Stats.FilesAcked += Collector.ackDrained();
+    else
+      Ok = Config.StateFile.empty();
+    publishStatus();
   }
-  return Config.StateFile.empty();
+  // The listener answered "stopping" during the final checkpoint; now the
+  // daemon is done serving.
+  if (Http)
+    Http->stop();
+  return Ok;
+}
+
+//===----------------------------------------------------------------------===//
+// Live endpoints
+//===----------------------------------------------------------------------===//
+
+net::HttpResponse CollectorDaemon::renderHealthz() {
+  // Liveness is implied by answering at all; the body carries readiness.
+  bool WatchdogTripped = Watchdog.poll();
+  bool Stopping =
+      stopRequested() || phase() == DaemonPhase::Stopping;
+  net::HttpResponse R;
+  std::string Body;
+  if (WatchdogTripped) {
+    R.Status = 503;
+    Body += "status: unhealthy\n";
+  } else if (Stopping) {
+    R.Status = 503;
+    Body += "status: shutting down\n";
+  } else {
+    R.Status = 200;
+    Body += "status: ok\n";
+  }
+  Body += "phase: ";
+  Body += daemonPhaseName(Stopping ? DaemonPhase::Stopping : phase());
+  Body += '\n';
+  if (Watchdog.enabled()) {
+    Body += "watchdog: ";
+    Body += WatchdogTripped ? "tripped" : "armed";
+    Body += "\nwatchdog_trips: " + std::to_string(Watchdog.trips());
+    if (Watchdog.trips())
+      Body +=
+          "\nwatchdog_last_trip_cycle: " + std::to_string(Watchdog.lastTripCycle());
+    Body += '\n';
+  }
+  R.Body = std::move(Body);
+  return R;
+}
+
+net::HttpResponse CollectorDaemon::renderStatus() {
+  DaemonStatus S = statusSnapshot();
+  obs::JsonWriter W;
+  W.beginObject();
+  W.kv("cycle", S.Cycle);
+  W.kv("phase", daemonPhaseName(phase()));
+  W.kv("uptime_ns", S.UptimeNs);
+  W.kv("last_checkpoint_ns", S.LastCheckpointNs);
+  W.kv("spool_depth", static_cast<uint64_t>(S.SpoolDepth));
+  W.kv("pending_ack_files", static_cast<uint64_t>(S.PendingAckFiles));
+  W.kv("claim_retries", S.ClaimRetries);
+  W.kv("claim_failures", S.ClaimFailures);
+  W.kv("preemptions", S.Preemptions);
+  W.key("stats");
+  W.beginObject();
+  W.kv("cycles", S.Stats.Cycles);
+  W.kv("drains", S.Stats.Drains);
+  W.kv("drain_retries", S.Stats.DrainRetries);
+  W.kv("drain_failures", S.Stats.DrainFailures);
+  W.kv("steps_run", S.Stats.StepsRun);
+  W.kv("checkpoints", S.Stats.Checkpoints);
+  W.kv("checkpoint_failures", S.Stats.CheckpointFailures);
+  W.kv("files_acked", S.Stats.FilesAcked);
+  W.kv("files_recovered", S.Stats.FilesRecovered);
+  W.kv("metrics_snapshots", S.Stats.MetricsSnapshots);
+  W.endObject();
+  W.key("watchdog");
+  W.beginObject();
+  W.kv("enabled", Watchdog.enabled());
+  W.kv("tripped", Watchdog.tripped());
+  W.kv("trips", Watchdog.trips());
+  W.kv("last_trip_cycle", Watchdog.lastTripCycle());
+  W.endObject();
+  W.key("campaigns");
+  W.beginArray();
+  for (const CampaignStatus &C : S.Campaigns) {
+    W.beginObject();
+    W.kv("bug_id", C.BugId);
+    W.kv("sig", C.SigHex);
+    W.kv("occurrences", C.Occurrences);
+    W.kv("phase", campaignPhaseName(C.Phase));
+    W.kv("iterations_done", C.IterationsDone);
+    W.kv("reproduced", C.Reproduced);
+    W.endObject();
+  }
+  W.endArray();
+  W.endObject();
+  net::HttpResponse R;
+  R.ContentType = "application/json; charset=utf-8";
+  R.Body = W.take();
+  R.Body += '\n';
+  return R;
+}
+
+net::HttpResponse CollectorDaemon::handleHttp(const net::HttpRequest &Req) {
+  std::string Path = Req.Path.substr(0, Req.Path.find('?'));
+  if (Path == "/metrics") {
+    // A scrape is also a watchdog evaluation: a wedged daemon thread
+    // cannot poll its own deadline.
+    Watchdog.poll();
+    net::HttpResponse R;
+    R.ContentType = obs::promContentType();
+    R.Body =
+        obs::metricsToPrometheus(obs::MetricsRegistry::global().snapshot());
+    return R;
+  }
+  if (Path == "/healthz")
+    return renderHealthz();
+  if (Path == "/status")
+    return renderStatus();
+  return {404, "text/plain; charset=utf-8", "not found\n"};
 }

@@ -35,12 +35,17 @@
 #define ER_INGEST_COLLECTORDAEMON_H
 
 #include "ingest/ReportCollector.h"
+#include "net/HttpServer.h"
+#include "obs/Watchdog.h"
 #include "support/Fs.h"
 
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <vector>
 
 namespace er {
 
@@ -65,6 +70,28 @@ struct DaemonConfig {
   uint64_t MaxCycles = 0;
   /// Checkpoint path; "" disables checkpointing (and the two-phase ack).
   std::string StateFile;
+  /// Live telemetry listener, "HOST:PORT" ("127.0.0.1:0" binds an
+  /// ephemeral port — listenPort() reports it); "" disables the listener.
+  /// Serves GET /metrics (Prometheus text exposition), /healthz, and
+  /// /status (docs/OBSERVABILITY.md, "Live endpoints").
+  std::string Listen;
+  /// Listener tuning (connection cap, request deadline); Host/Port are
+  /// overridden from Listen.
+  net::HttpServerConfig Http;
+  /// Cycle watchdog deadline: a drain→step→checkpoint cycle exceeding
+  /// this flips /healthz unhealthy, bumps daemon.watchdog.trips, and
+  /// dumps stall diagnostics. 0 disables the watchdog.
+  uint64_t CycleDeadlineMs = 0;
+  /// Where a watchdog trip dumps its one-shot span-ring + metrics
+  /// snapshot ("" = no dump; the trip still counts).
+  std::string StallDiagDir;
+  /// Every N cycles, write the metrics registry to MetricsJsonPath
+  /// atomically (temp+rename) — rolling on-disk telemetry for operators
+  /// without network access. 0 disables.
+  uint64_t MetricsEveryCycles = 0;
+  /// Periodic snapshot path (default "metrics.json" when
+  /// MetricsEveryCycles is set).
+  std::string MetricsJsonPath;
   /// Clock seam (null = the real monotonic clock).
   ClockSource *Clock = nullptr;
   /// Sleep seam, milliseconds. Null = really sleep. Tests install a hook
@@ -83,6 +110,41 @@ struct DaemonStats {
   uint64_t CheckpointFailures = 0;
   uint64_t FilesAcked = 0;     ///< Spool files removed after a checkpoint.
   uint64_t FilesRecovered = 0; ///< `.claimed` leftovers un-claimed on start.
+  uint64_t MetricsSnapshots = 0; ///< Periodic metrics.json files published.
+  uint64_t MetricsSnapshotFailures = 0;
+};
+
+/// What the daemon is doing right now — written with relaxed atomics at
+/// phase boundaries inside the cycle (never locked), read by /healthz.
+enum class DaemonPhase {
+  Idle,          ///< Between cycles.
+  Draining,      ///< Inside a spool drain attempt.
+  Backoff,       ///< Sleeping off a failed drain attempt before a retry.
+  Stepping,      ///< Advancing campaigns.
+  Checkpointing, ///< Publishing the state file / acking.
+  Stopping,      ///< Stop requested; final checkpoint in flight.
+};
+
+const char *daemonPhaseName(DaemonPhase P);
+
+/// Point-in-time operational snapshot behind `GET /status`: published by
+/// the daemon thread once per cycle under a small mutex, copied whole by
+/// the HTTP thread — scrapes never touch live scheduler or collector
+/// state.
+struct DaemonStatus {
+  uint64_t Cycle = 0;
+  uint64_t UptimeNs = 0;
+  /// Clock reading at the last successful checkpoint (0 = none yet).
+  uint64_t LastCheckpointNs = 0;
+  /// Published (unclaimed) spool files at the end of the last cycle.
+  size_t SpoolDepth = 0;
+  /// Drained files awaiting their covering checkpoint.
+  size_t PendingAckFiles = 0;
+  uint64_t ClaimRetries = 0;
+  uint64_t ClaimFailures = 0;
+  uint64_t Preemptions = 0;
+  DaemonStats Stats;
+  std::vector<CampaignStatus> Campaigns;
 };
 
 /// Periodic drain-and-step loop around one collector + one scheduler.
@@ -126,17 +188,56 @@ public:
   /// jumps backwards (a host clock step must never underflow the gauge).
   uint64_t uptimeNs() const;
 
+  //===--- Live telemetry (docs/OBSERVABILITY.md, "Live endpoints") ----===//
+
+  /// Routes one request: GET /metrics | /healthz | /status, 404
+  /// otherwise. This IS the listener's handler, public so tests drive the
+  /// endpoints without sockets. Thread-safe against the cycle loop: it
+  /// reads metric snapshots, relaxed atomics, and the mutex-guarded
+  /// status copy — never live scheduler/collector state.
+  net::HttpResponse handleHttp(const net::HttpRequest &Req);
+
+  /// Bound listener port (the ephemeral answer for ":0"); 0 when no
+  /// listener is configured or it has not started.
+  uint16_t listenPort() const { return Http ? Http->boundPort() : 0; }
+
+  /// Copy of the per-cycle status snapshot (what /status renders).
+  DaemonStatus statusSnapshot() const;
+
+  DaemonPhase phase() const {
+    return static_cast<DaemonPhase>(Phase.load(std::memory_order_relaxed));
+  }
+
+  obs::CycleWatchdog &watchdog() { return Watchdog; }
+
 private:
   ClockSource &clock() const;
+  FsOps &fsOps() const;
   void sleepMs(uint64_t Ms);
   bool drainWithRetry(std::string *Error);
   bool checkpoint(std::string *Error);
+  void setPhase(DaemonPhase P) {
+    Phase.store(static_cast<int>(P), std::memory_order_relaxed);
+  }
+  /// Rebuilds the mutex-guarded DaemonStatus from live state; cycle-loop
+  /// thread only.
+  void publishStatus();
+  /// Periodic `metrics.json` publish (temp+rename through the Fs seam).
+  void writeMetricsSnapshot();
+  net::HttpResponse renderHealthz();
+  net::HttpResponse renderStatus();
 
   DaemonConfig Config;
   FleetScheduler &Sched;
   ReportCollector Collector;
   DaemonStats Stats;
+  obs::CycleWatchdog Watchdog;
+  std::unique_ptr<net::HttpServer> Http;
   std::atomic<bool> StopRequested{false};
+  std::atomic<int> Phase{static_cast<int>(DaemonPhase::Idle)};
+  std::atomic<uint64_t> LastCheckpointNs{0};
+  mutable std::mutex StatusMu;
+  DaemonStatus Status;
   bool Started = false;
   uint64_t StartNs = 0;
 };

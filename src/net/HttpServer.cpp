@@ -1,0 +1,508 @@
+//===- HttpServer.cpp - Minimal poll-based HTTP/1.1 server -------------------===//
+
+#include "net/HttpServer.h"
+
+#include "obs/Metrics.h"
+
+#include <algorithm>
+#include <arpa/inet.h>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace er;
+using namespace er::net;
+
+namespace {
+
+struct NetMetrics {
+  obs::Counter &Accepted, &Requests, &R2xx, &R4xx, &R5xx;
+  obs::Counter &Timeouts, &Overflows, &BadRequests;
+
+  static NetMetrics &get() {
+    auto &Reg = obs::MetricsRegistry::global();
+    static NetMetrics M{Reg.counter("net.http.accepted"),
+                        Reg.counter("net.http.requests"),
+                        Reg.counter("net.http.responses.2xx"),
+                        Reg.counter("net.http.responses.4xx"),
+                        Reg.counter("net.http.responses.5xx"),
+                        Reg.counter("net.http.timeouts"),
+                        Reg.counter("net.http.overflows"),
+                        Reg.counter("net.http.bad_requests")};
+    return M;
+  }
+};
+
+uint64_t monoNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+bool setNonBlocking(int Fd) {
+  int Flags = ::fcntl(Fd, F_GETFL, 0);
+  return Flags >= 0 && ::fcntl(Fd, F_SETFL, Flags | O_NONBLOCK) == 0;
+}
+
+std::string renderResponse(const HttpResponse &R) {
+  char Head[256];
+  std::snprintf(Head, sizeof(Head),
+                "HTTP/1.1 %d %s\r\n"
+                "Content-Type: %s\r\n"
+                "Content-Length: %zu\r\n"
+                "Connection: close\r\n\r\n",
+                R.Status, HttpServer::statusText(R.Status),
+                R.ContentType.c_str(), R.Body.size());
+  return Head + R.Body;
+}
+
+/// Fire-and-forget response for sockets we are about to close (503 at the
+/// connection cap, 408 at the deadline). The socket's send buffer is
+/// empty or nearly so; if the kernel cannot take it, the close alone
+/// carries the message.
+void sendBestEffort(int Fd, const HttpResponse &R) {
+  std::string Bytes = renderResponse(R);
+  (void)::send(Fd, Bytes.data(), Bytes.size(), MSG_NOSIGNAL | MSG_DONTWAIT);
+}
+
+} // namespace
+
+/// One client socket's lifecycle: reading the request head, then draining
+/// the rendered response; one absolute deadline covers both.
+struct HttpServer::Connection {
+  int Fd = -1;
+  uint64_t DeadlineNs = 0;
+  std::string In;
+  std::string Out;
+  size_t OutPos = 0;
+  bool Writing = false;
+};
+
+const char *HttpServer::statusText(int Status) {
+  switch (Status) {
+  case 200: return "OK";
+  case 400: return "Bad Request";
+  case 404: return "Not Found";
+  case 405: return "Method Not Allowed";
+  case 408: return "Request Timeout";
+  case 431: return "Request Header Fields Too Large";
+  case 500: return "Internal Server Error";
+  case 503: return "Service Unavailable";
+  default:  return "Status";
+  }
+}
+
+bool net::parseHostPort(const std::string &Spec, std::string &Host,
+                        uint16_t &Port, std::string *Error) {
+  size_t Colon = Spec.rfind(':');
+  if (Colon == std::string::npos) {
+    if (Error)
+      *Error = "expected HOST:PORT, got '" + Spec + "'";
+    return false;
+  }
+  Host = Spec.substr(0, Colon);
+  if (Host.empty())
+    Host = "127.0.0.1";
+  const std::string PortStr = Spec.substr(Colon + 1);
+  char *End = nullptr;
+  unsigned long P = std::strtoul(PortStr.c_str(), &End, 10);
+  if (PortStr.empty() || *End != '\0' || P > 65535) {
+    if (Error)
+      *Error = "bad port '" + PortStr + "'";
+    return false;
+  }
+  Port = static_cast<uint16_t>(P);
+  return true;
+}
+
+HttpServer::HttpServer(HttpServerConfig Config, HttpHandler Handler)
+    : Config(std::move(Config)), Handler(std::move(Handler)) {
+  if (this->Config.MaxConnections == 0)
+    this->Config.MaxConnections = 1;
+}
+
+HttpServer::~HttpServer() { stop(); }
+
+bool HttpServer::start(std::string *Error) {
+  auto Fail = [&](const std::string &Msg) {
+    if (Error)
+      *Error = Msg + ": " + std::strerror(errno);
+    if (ListenFd >= 0)
+      ::close(ListenFd);
+    if (WakeRead >= 0)
+      ::close(WakeRead);
+    if (WakeWrite >= 0)
+      ::close(WakeWrite);
+    ListenFd = WakeRead = WakeWrite = -1;
+    return false;
+  };
+
+  if (Running.load(std::memory_order_acquire)) {
+    if (Error)
+      *Error = "server already running";
+    return false;
+  }
+
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_port = htons(Config.Port);
+  if (::inet_pton(AF_INET, Config.Host.c_str(), &Addr.sin_addr) != 1) {
+    if (Error)
+      *Error = "bad listen host '" + Config.Host + "'";
+    return false;
+  }
+
+  ListenFd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (ListenFd < 0)
+    return Fail("socket");
+  int One = 1;
+  ::setsockopt(ListenFd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+  if (::bind(ListenFd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0)
+    return Fail("bind " + Config.Host + ":" + std::to_string(Config.Port));
+  if (::listen(ListenFd, 16) != 0)
+    return Fail("listen");
+  if (!setNonBlocking(ListenFd))
+    return Fail("fcntl");
+
+  sockaddr_in Bound{};
+  socklen_t Len = sizeof(Bound);
+  if (::getsockname(ListenFd, reinterpret_cast<sockaddr *>(&Bound), &Len) != 0)
+    return Fail("getsockname");
+  BoundPort = ntohs(Bound.sin_port);
+
+  int Pipe[2];
+  if (::pipe(Pipe) != 0)
+    return Fail("pipe");
+  WakeRead = Pipe[0];
+  WakeWrite = Pipe[1];
+  setNonBlocking(WakeRead);
+  setNonBlocking(WakeWrite);
+
+  StopRequested.store(false, std::memory_order_release);
+  Running.store(true, std::memory_order_release);
+  Thread = std::thread([this] { serveLoop(); });
+  return true;
+}
+
+void HttpServer::stop() {
+  if (!Running.exchange(false, std::memory_order_acq_rel)) {
+    if (Thread.joinable())
+      Thread.join();
+    return;
+  }
+  StopRequested.store(true, std::memory_order_release);
+  char B = 'x';
+  (void)!::write(WakeWrite, &B, 1);
+  if (Thread.joinable())
+    Thread.join();
+  ::close(WakeWrite);
+  WakeWrite = -1;
+}
+
+HttpServerStats HttpServer::statsSnapshot() const {
+  HttpServerStats S;
+  S.Accepted = Accepted.load(std::memory_order_relaxed);
+  S.Requests = Requests.load(std::memory_order_relaxed);
+  S.Responses2xx = R2xx.load(std::memory_order_relaxed);
+  S.Responses4xx = R4xx.load(std::memory_order_relaxed);
+  S.Responses5xx = R5xx.load(std::memory_order_relaxed);
+  S.Timeouts = Timeouts.load(std::memory_order_relaxed);
+  S.Overflows = Overflows.load(std::memory_order_relaxed);
+  S.BadRequests = BadRequests.load(std::memory_order_relaxed);
+  return S;
+}
+
+void HttpServer::finishResponse(Connection &C, const HttpResponse &R,
+                                bool CountAsRequest) {
+  NetMetrics &NM = NetMetrics::get();
+  if (CountAsRequest) {
+    Requests.fetch_add(1, std::memory_order_relaxed);
+    NM.Requests.inc();
+  }
+  if (R.Status >= 200 && R.Status < 300) {
+    R2xx.fetch_add(1, std::memory_order_relaxed);
+    NM.R2xx.inc();
+  } else if (R.Status >= 400 && R.Status < 500) {
+    R4xx.fetch_add(1, std::memory_order_relaxed);
+    NM.R4xx.inc();
+    if (!CountAsRequest) {
+      BadRequests.fetch_add(1, std::memory_order_relaxed);
+      NM.BadRequests.inc();
+    }
+  } else if (R.Status >= 500) {
+    R5xx.fetch_add(1, std::memory_order_relaxed);
+    NM.R5xx.inc();
+  }
+  C.Out = renderResponse(R);
+  C.OutPos = 0;
+  C.Writing = true;
+  C.In.clear();
+}
+
+/// Advances one connection; returns false when it should be closed.
+bool HttpServer::stepConnection(Connection &C, short Revents, uint64_t NowNs) {
+  NetMetrics &NM = NetMetrics::get();
+
+  if (NowNs > C.DeadlineNs) {
+    // Slow-loris (head never completes) or a reader that stopped
+    // draining the response: cut the line. A best-effort 408 tells a
+    // half-written client what happened; a half-drained response just
+    // closes.
+    Timeouts.fetch_add(1, std::memory_order_relaxed);
+    NM.Timeouts.inc();
+    if (!C.Writing)
+      sendBestEffort(C.Fd, {408, "text/plain; charset=utf-8",
+                            "request timed out\n"});
+    return false;
+  }
+  if (Revents & (POLLERR | POLLNVAL))
+    return false;
+
+  if (C.Writing) {
+    if (!(Revents & (POLLOUT | POLLHUP)))
+      return true;
+    while (C.OutPos < C.Out.size()) {
+      ssize_t N = ::send(C.Fd, C.Out.data() + C.OutPos,
+                         C.Out.size() - C.OutPos, MSG_NOSIGNAL);
+      if (N > 0) {
+        C.OutPos += static_cast<size_t>(N);
+        continue;
+      }
+      if (N < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+        return true; // Kernel buffer full; wait for the next POLLOUT.
+      return false;  // Peer gone.
+    }
+    return false; // Fully drained; Connection: close.
+  }
+
+  if (!(Revents & (POLLIN | POLLHUP)))
+    return true;
+  char Buf[2048];
+  while (true) {
+    ssize_t N = ::recv(C.Fd, Buf, sizeof(Buf), 0);
+    if (N > 0) {
+      C.In.append(Buf, static_cast<size_t>(N));
+      if (C.In.size() > Config.MaxRequestBytes) {
+        finishResponse(C, {431, "text/plain; charset=utf-8",
+                           "request head too large\n"},
+                       /*CountAsRequest=*/false);
+        return true;
+      }
+      continue;
+    }
+    if (N == 0)
+      return false; // Peer closed before completing a request.
+    if (errno == EAGAIN || errno == EWOULDBLOCK)
+      break;
+    return false;
+  }
+
+  // A complete head ends with a blank line; until then keep reading
+  // (subject to the deadline).
+  size_t HeadEnd = C.In.find("\r\n\r\n");
+  size_t LineEnd = C.In.find("\r\n");
+  if (HeadEnd == std::string::npos)
+    return true;
+
+  // Request line: METHOD SP TARGET SP HTTP/1.x
+  std::string Line = C.In.substr(0, LineEnd);
+  size_t Sp1 = Line.find(' ');
+  size_t Sp2 = Sp1 == std::string::npos ? std::string::npos
+                                        : Line.find(' ', Sp1 + 1);
+  if (Sp1 == std::string::npos || Sp2 == std::string::npos ||
+      Line.compare(Sp2 + 1, 5, "HTTP/") != 0) {
+    finishResponse(C, {400, "text/plain; charset=utf-8", "bad request\n"},
+                   /*CountAsRequest=*/false);
+    return true;
+  }
+  HttpRequest Req;
+  Req.Method = Line.substr(0, Sp1);
+  Req.Path = Line.substr(Sp1 + 1, Sp2 - Sp1 - 1);
+  if (Req.Method != "GET") {
+    finishResponse(C, {405, "text/plain; charset=utf-8",
+                       "only GET is supported\n"},
+                   /*CountAsRequest=*/false);
+    return true;
+  }
+
+  HttpResponse R;
+  if (Handler) {
+    R = Handler(Req);
+  } else {
+    R.Status = 500;
+    R.Body = "no handler\n";
+  }
+  finishResponse(C, R, /*CountAsRequest=*/true);
+  return true;
+}
+
+void HttpServer::acceptPending() {
+  NetMetrics &NM = NetMetrics::get();
+  while (true) {
+    int Fd = ::accept(ListenFd, nullptr, nullptr);
+    if (Fd < 0)
+      return; // EAGAIN (drained) or transient error; poll again later.
+    Accepted.fetch_add(1, std::memory_order_relaxed);
+    NM.Accepted.inc();
+    if (Connections.size() >= Config.MaxConnections) {
+      // Full house: answer instead of letting the scrape hang in the
+      // backlog until *our* poll loop frees a slot.
+      Overflows.fetch_add(1, std::memory_order_relaxed);
+      NM.Overflows.inc();
+      sendBestEffort(Fd, {503, "text/plain; charset=utf-8",
+                          "connection limit reached\n"});
+      ::close(Fd);
+      continue;
+    }
+    setNonBlocking(Fd);
+    Connection C;
+    C.Fd = Fd;
+    C.DeadlineNs = monoNowNs() + Config.RequestTimeoutMs * 1'000'000ULL;
+    Connections.push_back(std::move(C));
+  }
+}
+
+void HttpServer::serveLoop() {
+  while (!StopRequested.load(std::memory_order_acquire)) {
+    std::vector<pollfd> Fds;
+    Fds.reserve(Connections.size() + 2);
+    Fds.push_back({WakeRead, POLLIN, 0});
+    Fds.push_back({ListenFd, POLLIN, 0});
+    uint64_t NowNs = monoNowNs();
+    uint64_t NextDeadline = UINT64_MAX;
+    for (const Connection &C : Connections) {
+      Fds.push_back({C.Fd, static_cast<short>(C.Writing ? POLLOUT : POLLIN),
+                     0});
+      NextDeadline = std::min(NextDeadline, C.DeadlineNs);
+    }
+    int TimeoutMs = 1000;
+    if (NextDeadline != UINT64_MAX) {
+      uint64_t WaitNs = NextDeadline > NowNs ? NextDeadline - NowNs : 0;
+      TimeoutMs = static_cast<int>(std::min<uint64_t>(WaitNs / 1'000'000 + 1,
+                                                      1000));
+    }
+    int Ready = ::poll(Fds.data(), Fds.size(), TimeoutMs);
+    if (Ready < 0 && errno != EINTR)
+      break;
+
+    if (Fds[0].revents & POLLIN) {
+      char Drain[16];
+      while (::read(WakeRead, Drain, sizeof(Drain)) > 0)
+        ;
+    }
+    // Connections accepted below were not in this round's poll set;
+    // remember the polled prefix so their missing revents read as 0
+    // (kept alive until the next round) rather than as stale memory.
+    size_t Polled = Connections.size();
+    if (Fds[1].revents & POLLIN)
+      acceptPending();
+
+    NowNs = monoNowNs();
+    size_t Out = 0;
+    for (size_t I = 0; I < Connections.size(); ++I) {
+      Connection &C = Connections[I];
+      short Revents = I < Polled ? Fds[I + 2].revents : 0;
+      if (stepConnection(C, Revents, NowNs)) {
+        if (Out != I)
+          Connections[Out] = std::move(C);
+        ++Out;
+      } else {
+        ::close(C.Fd);
+      }
+    }
+    Connections.resize(Out);
+  }
+
+  for (Connection &C : Connections)
+    ::close(C.Fd);
+  Connections.clear();
+  ::close(ListenFd);
+  ListenFd = -1;
+  ::close(WakeRead);
+  WakeRead = -1;
+}
+
+//===----------------------------------------------------------------------===//
+// Client
+//===----------------------------------------------------------------------===//
+
+bool net::httpGet(const std::string &Host, uint16_t Port,
+                  const std::string &Path, HttpClientResponse &Out,
+                  std::string *Error, uint64_t TimeoutMs) {
+  auto Fail = [&](int Fd, const std::string &Msg) {
+    if (Error)
+      *Error = Msg + ": " + std::strerror(errno);
+    if (Fd >= 0)
+      ::close(Fd);
+    return false;
+  };
+
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_port = htons(Port);
+  if (::inet_pton(AF_INET, Host.c_str(), &Addr.sin_addr) != 1) {
+    if (Error)
+      *Error = "bad host '" + Host + "'";
+    return false;
+  }
+  int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return Fail(Fd, "socket");
+  timeval Tv{};
+  Tv.tv_sec = static_cast<time_t>(TimeoutMs / 1000);
+  Tv.tv_usec = static_cast<suseconds_t>((TimeoutMs % 1000) * 1000);
+  ::setsockopt(Fd, SOL_SOCKET, SO_RCVTIMEO, &Tv, sizeof(Tv));
+  ::setsockopt(Fd, SOL_SOCKET, SO_SNDTIMEO, &Tv, sizeof(Tv));
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0)
+    return Fail(Fd, "connect " + Host + ":" + std::to_string(Port));
+
+  std::string Req = "GET " + Path + " HTTP/1.1\r\nHost: " + Host +
+                    "\r\nConnection: close\r\n\r\n";
+  size_t Sent = 0;
+  while (Sent < Req.size()) {
+    ssize_t N = ::send(Fd, Req.data() + Sent, Req.size() - Sent, MSG_NOSIGNAL);
+    if (N <= 0)
+      return Fail(Fd, "send");
+    Sent += static_cast<size_t>(N);
+  }
+
+  std::string Raw;
+  char Buf[4096];
+  while (true) {
+    ssize_t N = ::recv(Fd, Buf, sizeof(Buf), 0);
+    if (N > 0) {
+      Raw.append(Buf, static_cast<size_t>(N));
+      continue;
+    }
+    if (N == 0)
+      break;
+    return Fail(Fd, "recv");
+  }
+  ::close(Fd);
+
+  if (Raw.compare(0, 5, "HTTP/") != 0) {
+    if (Error)
+      *Error = "malformed response";
+    return false;
+  }
+  size_t Sp = Raw.find(' ');
+  Out.Status = Sp == std::string::npos
+                   ? 0
+                   : std::atoi(Raw.c_str() + Sp + 1);
+  size_t HeadEnd = Raw.find("\r\n\r\n");
+  if (HeadEnd == std::string::npos) {
+    Out.Header = Raw;
+    Out.Body.clear();
+  } else {
+    Out.Header = Raw.substr(0, HeadEnd);
+    Out.Body = Raw.substr(HeadEnd + 4);
+  }
+  return true;
+}

@@ -1,0 +1,162 @@
+//===- HttpServer.h - Minimal poll-based HTTP/1.1 server --------*- C++ -*-===//
+///
+/// \file
+/// The network front end for the collector daemon's live telemetry
+/// endpoints (docs/OBSERVABILITY.md, "Live endpoints"): a dependency-free
+/// HTTP/1.1 server just big enough to serve `/metrics`, `/healthz`, and
+/// `/status` to curl and a Prometheus scraper — and deliberately nothing
+/// bigger. No TLS, no keep-alive, no request bodies, GET only; every
+/// response closes the connection.
+///
+/// Shape: one server thread runs a poll(2) loop over the listening socket
+/// plus up to MaxConnections non-blocking client sockets. Each connection
+/// is a tiny state machine (read request head -> dispatch -> drain
+/// response) with one absolute deadline covering both halves, so a
+/// slow-loris peer (bytes trickling in forever) or a stalled reader
+/// (response bytes never drained) is cut off at RequestTimeoutMs with
+/// best-effort 408, not held open. Oversized request heads get 431;
+/// non-GET methods 405; a full house is answered 503-and-close at accept
+/// time so the kernel backlog never silently queues scrapes.
+///
+/// The handler runs on the server thread. Handlers must therefore be
+/// thread-safe against the owning daemon — the intended pattern (see
+/// CollectorDaemon) is snapshot-only: read atomics, copy a mutex-guarded
+/// status struct, render. A handler must never take a lock the daemon
+/// holds across a drain.
+///
+/// This listener is the substrate for the ROADMAP rung "a network front
+/// end feeding the spool": the accept loop, bounded-connection policy,
+/// and deadline machinery are what a report-ingest endpoint will reuse.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ER_NET_HTTPSERVER_H
+#define ER_NET_HTTPSERVER_H
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace er {
+namespace net {
+
+struct HttpRequest {
+  std::string Method; ///< Uppercase, e.g. "GET".
+  std::string Path;   ///< Request target as sent, e.g. "/metrics".
+};
+
+struct HttpResponse {
+  int Status = 200;
+  std::string ContentType = "text/plain; charset=utf-8";
+  std::string Body;
+};
+
+/// Produces the response for one parsed request; runs on the server
+/// thread.
+using HttpHandler = std::function<HttpResponse(const HttpRequest &)>;
+
+struct HttpServerConfig {
+  std::string Host = "127.0.0.1";
+  /// 0 binds an ephemeral port; boundPort() reports the real one.
+  uint16_t Port = 0;
+  /// Concurrent client sockets; excess accepts are answered 503.
+  unsigned MaxConnections = 16;
+  /// Absolute per-connection deadline, accept to last response byte.
+  uint64_t RequestTimeoutMs = 5000;
+  /// Request-head cap (request line + headers); beyond it: 431.
+  size_t MaxRequestBytes = 8192;
+};
+
+/// Cumulative listener counters (also exported as `net.http.*` metrics).
+struct HttpServerStats {
+  uint64_t Accepted = 0;       ///< Connections taken from the backlog.
+  uint64_t Requests = 0;       ///< Requests parsed and dispatched.
+  uint64_t Responses2xx = 0;
+  uint64_t Responses4xx = 0;
+  uint64_t Responses5xx = 0;
+  uint64_t Timeouts = 0;       ///< Connections cut at the deadline.
+  uint64_t Overflows = 0;      ///< Accepts refused 503 at MaxConnections.
+  uint64_t BadRequests = 0;    ///< 400/405/431 short-circuits.
+};
+
+/// Blocking-accept HTTP server on one background thread. start() binds
+/// and spawns the thread; stop() (or destruction) joins it and closes
+/// every socket. Not restartable.
+class HttpServer {
+public:
+  HttpServer(HttpServerConfig Config, HttpHandler Handler);
+  ~HttpServer();
+
+  HttpServer(const HttpServer &) = delete;
+  HttpServer &operator=(const HttpServer &) = delete;
+
+  /// Binds, listens, and starts serving. False + message on any socket
+  /// error (port in use, bad host, ...).
+  bool start(std::string *Error = nullptr);
+
+  /// Stops accepting, closes all connections, joins the thread.
+  /// Idempotent.
+  void stop();
+
+  bool running() const { return Running.load(std::memory_order_acquire); }
+
+  /// The port actually bound (the ephemeral answer for Port = 0); 0
+  /// before start().
+  uint16_t boundPort() const { return BoundPort; }
+
+  /// Point-in-time copy of the listener counters.
+  HttpServerStats statsSnapshot() const;
+
+  /// Reason phrase for \p Status ("OK", "Not Found", ...).
+  static const char *statusText(int Status);
+
+private:
+  struct Connection;
+
+  void serveLoop();
+  void acceptPending();
+  bool stepConnection(Connection &C, short Revents, uint64_t NowNs);
+  void finishResponse(Connection &C, const HttpResponse &R,
+                      bool CountAsRequest);
+
+  HttpServerConfig Config;
+  HttpHandler Handler;
+  int ListenFd = -1;
+  /// Self-pipe: stop() writes one byte to interrupt a sleeping poll().
+  int WakeRead = -1, WakeWrite = -1;
+  uint16_t BoundPort = 0;
+  std::thread Thread;
+  std::atomic<bool> Running{false};
+  std::atomic<bool> StopRequested{false};
+  std::vector<Connection> Connections;
+
+  // Stats are written only on the server thread; readers take snapshots
+  // through atomics.
+  std::atomic<uint64_t> Accepted{0}, Requests{0}, R2xx{0}, R4xx{0}, R5xx{0},
+      Timeouts{0}, Overflows{0}, BadRequests{0};
+};
+
+/// Splits "host:port" (e.g. "127.0.0.1:9464", ":0"). An empty host means
+/// 127.0.0.1. False on a missing/unparseable port.
+bool parseHostPort(const std::string &Spec, std::string &Host, uint16_t &Port,
+                   std::string *Error = nullptr);
+
+/// Tiny blocking client for tests, benches, and smoke checks: one GET,
+/// whole response read until EOF. False + message on connect/IO failure
+/// or an unparseable status line.
+struct HttpClientResponse {
+  int Status = 0;
+  std::string Body;
+  std::string Header; ///< Raw header block (status line + headers).
+};
+bool httpGet(const std::string &Host, uint16_t Port, const std::string &Path,
+             HttpClientResponse &Out, std::string *Error = nullptr,
+             uint64_t TimeoutMs = 5000);
+
+} // namespace net
+} // namespace er
+
+#endif // ER_NET_HTTPSERVER_H

@@ -3,6 +3,7 @@
 #include "obs/Metrics.h"
 
 #include "obs/Json.h"
+#include "obs/PromExport.h"
 
 #include <algorithm>
 #include <cstdio>
@@ -69,7 +70,13 @@ std::vector<uint64_t> obs::exponentialBounds(uint64_t First, unsigned Count,
 uint64_t HistogramValue::quantileBound(double Q) const {
   if (!Count)
     return 0;
-  uint64_t Target = static_cast<uint64_t>(Q * static_cast<double>(Count));
+  // Clamp before the float->uint64 cast: a negative Q must answer "first
+  // non-empty bucket", not hit the UB of casting a negative double.
+  if (Q < 0)
+    Q = 0;
+  uint64_t Target = Q >= 1 ? Count - 1
+                           : static_cast<uint64_t>(
+                                 Q * static_cast<double>(Count));
   if (Target >= Count)
     Target = Count - 1;
   uint64_t Seen = 0;
@@ -78,7 +85,7 @@ uint64_t HistogramValue::quantileBound(double Q) const {
     if (Seen > Target)
       return I < Bounds.size() ? Bounds[I] : UINT64_MAX;
   }
-  return UINT64_MAX;
+  return UINT64_MAX; // All samples in the overflow bucket.
 }
 
 uint64_t MetricsSnapshot::counterValue(std::string_view Name) const {
@@ -106,33 +113,68 @@ const HistogramValue *MetricsSnapshot::histogram(std::string_view Name) const {
 // Registry
 //===----------------------------------------------------------------------===//
 
+bool MetricsRegistry::claimExpositionNames(int Kind, std::string_view Name) {
+  std::string Owner = std::to_string(Kind) + ":" + std::string(Name);
+  std::vector<std::string> Families =
+      promFamilyNames(static_cast<PromKind>(Kind), Name);
+  for (const std::string &F : Families) {
+    auto It = ExpositionOwners.find(F);
+    if (It != ExpositionOwners.end() && It->second != Owner) {
+      ++RejectedCollisions;
+      return false;
+    }
+  }
+  for (std::string &F : Families)
+    ExpositionOwners.emplace(std::move(F), Owner);
+  return true;
+}
+
 Counter &MetricsRegistry::counter(std::string_view Name) {
   std::lock_guard<std::mutex> Lock(Mu);
   auto It = Counters.find(Name);
-  if (It == Counters.end())
-    It = Counters.emplace(std::string(Name), std::make_unique<Counter>())
-             .first;
-  return *It->second;
+  if (It != Counters.end())
+    return *It->second;
+  if (!claimExpositionNames(static_cast<int>(PromKind::Counter), Name)) {
+    RejectedCounters.push_back(std::make_unique<Counter>());
+    return *RejectedCounters.back();
+  }
+  return *Counters.emplace(std::string(Name), std::make_unique<Counter>())
+              .first->second;
 }
 
 Gauge &MetricsRegistry::gauge(std::string_view Name) {
   std::lock_guard<std::mutex> Lock(Mu);
   auto It = Gauges.find(Name);
-  if (It == Gauges.end())
-    It = Gauges.emplace(std::string(Name), std::make_unique<Gauge>()).first;
-  return *It->second;
+  if (It != Gauges.end())
+    return *It->second;
+  if (!claimExpositionNames(static_cast<int>(PromKind::Gauge), Name)) {
+    RejectedGauges.push_back(std::make_unique<Gauge>());
+    return *RejectedGauges.back();
+  }
+  return *Gauges.emplace(std::string(Name), std::make_unique<Gauge>())
+              .first->second;
 }
 
 Histogram &MetricsRegistry::histogram(std::string_view Name,
                                       std::vector<uint64_t> Bounds) {
   std::lock_guard<std::mutex> Lock(Mu);
   auto It = Histograms.find(Name);
-  if (It == Histograms.end())
-    It = Histograms
-             .emplace(std::string(Name),
-                      std::make_unique<Histogram>(std::move(Bounds)))
-             .first;
-  return *It->second;
+  if (It != Histograms.end())
+    return *It->second;
+  if (!claimExpositionNames(static_cast<int>(PromKind::Histogram), Name)) {
+    RejectedHistograms.push_back(
+        std::make_unique<Histogram>(std::move(Bounds)));
+    return *RejectedHistograms.back();
+  }
+  return *Histograms
+              .emplace(std::string(Name),
+                       std::make_unique<Histogram>(std::move(Bounds)))
+              .first->second;
+}
+
+uint64_t MetricsRegistry::rejectedNameCollisions() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return RejectedCollisions;
 }
 
 MetricsSnapshot MetricsRegistry::snapshot() const {

@@ -147,8 +147,17 @@ struct HistogramValue {
   double mean() const {
     return Count ? static_cast<double>(Sum) / static_cast<double>(Count) : 0;
   }
-  /// Upper bound of the bucket holding the \p Q quantile (UINT64_MAX for
-  /// the overflow bucket); 0 when empty.
+  /// Upper bound of the bucket holding the \p Q quantile. The contract,
+  /// pinned by ObsMetrics.QuantileBoundContract:
+  ///  - empty histogram: 0 for every Q;
+  ///  - Q <= 0: the bound of the first non-empty bucket (the tightest
+  ///    "everything is at or below" answer for the minimum);
+  ///  - Q >= 1: the bound of the last non-empty bucket — UINT64_MAX
+  ///    (read: +inf) when any sample landed in the overflow bucket;
+  ///  - otherwise: the bound of the bucket containing sample index
+  ///    floor(Q * Count), UINT64_MAX when that is the overflow bucket.
+  /// A histogram whose every sample overflowed therefore answers
+  /// UINT64_MAX for all Q > 0. Out-of-range Q is clamped, never UB.
   uint64_t quantileBound(double Q) const;
 };
 
@@ -170,6 +179,15 @@ struct MetricsSnapshot {
 
 /// Owns metrics by name. Handles returned by counter()/gauge()/histogram()
 /// are stable for the registry's lifetime (the process, for global()).
+///
+/// **Exposition-name validation.** Registry names are dotted; the
+/// Prometheus endpoint sanitizes them (obs/PromExport.h), which is lossy:
+/// `daemon.cycles` and `daemon_cycles` both expose as
+/// `daemon_cycles_total`. A registration whose exposition family would
+/// collide with a *different* already-registered name is rejected: the
+/// caller gets a detached instrument (valid to write, never exported, so
+/// the ambiguous series cannot corrupt a scrape) and
+/// rejectedNameCollisions() counts the event. First registration wins.
 class MetricsRegistry {
 public:
   /// Finds or creates. Thread-safe; intended to be called once per site
@@ -181,6 +199,10 @@ public:
   Histogram &histogram(std::string_view Name,
                        std::vector<uint64_t> Bounds = {});
 
+  /// Registrations refused because their Prometheus exposition name would
+  /// be ambiguous with an existing metric's.
+  uint64_t rejectedNameCollisions() const;
+
   MetricsSnapshot snapshot() const;
 
   /// Zeroes every metric, keeping registrations (handles stay valid).
@@ -191,10 +213,23 @@ public:
   static MetricsRegistry &global();
 
 private:
+  /// Claims every exposition family for (\p Kind, \p Name), or detects a
+  /// collision with a different owner. Caller holds Mu. \p Kind values
+  /// mirror obs::PromKind.
+  bool claimExpositionNames(int Kind, std::string_view Name);
+
   mutable std::mutex Mu;
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> Counters;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> Gauges;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> Histograms;
+  /// Exposition family -> "kind:registry name" that owns it.
+  std::map<std::string, std::string> ExpositionOwners;
+  /// Detached instruments handed out for rejected registrations (alive so
+  /// cached handles stay valid, invisible to snapshot()).
+  std::vector<std::unique_ptr<Counter>> RejectedCounters;
+  std::vector<std::unique_ptr<Gauge>> RejectedGauges;
+  std::vector<std::unique_ptr<Histogram>> RejectedHistograms;
+  uint64_t RejectedCollisions = 0;
 };
 
 /// JSON document for one snapshot: {"counters":{...},"gauges":{...},

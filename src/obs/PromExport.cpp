@@ -1,0 +1,358 @@
+//===- PromExport.cpp - Prometheus text exposition --------------------------===//
+
+#include "obs/PromExport.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <set>
+
+using namespace er;
+using namespace er::obs;
+
+//===----------------------------------------------------------------------===//
+// Names
+//===----------------------------------------------------------------------===//
+
+static bool promNameChar(char C, bool First) {
+  if ((C >= 'a' && C <= 'z') || (C >= 'A' && C <= 'Z') || C == '_' || C == ':')
+    return true;
+  return !First && C >= '0' && C <= '9';
+}
+
+std::string obs::promSanitizeMetricName(std::string_view Name) {
+  std::string Out;
+  Out.reserve(Name.size() + 1);
+  for (char C : Name)
+    Out += promNameChar(C, /*First=*/false) ? C : '_';
+  if (Out.empty() || !promNameChar(Out[0], /*First=*/true))
+    Out.insert(Out.begin(), '_');
+  return Out;
+}
+
+std::vector<std::string> obs::promFamilyNames(PromKind Kind,
+                                              std::string_view Name) {
+  std::string Base = promSanitizeMetricName(Name);
+  switch (Kind) {
+  case PromKind::Counter:
+    return {Base + "_total"};
+  case PromKind::Gauge:
+    return {Base};
+  case PromKind::Histogram:
+    return {Base, Base + "_bucket", Base + "_sum", Base + "_count"};
+  }
+  return {Base};
+}
+
+//===----------------------------------------------------------------------===//
+// Renderer
+//===----------------------------------------------------------------------===//
+
+std::string obs::metricsToPrometheus(const MetricsSnapshot &S) {
+  std::string Out;
+  char Buf[160];
+  auto Append = [&](const char *Fmt, auto... Args) {
+    std::snprintf(Buf, sizeof(Buf), Fmt, Args...);
+    Out += Buf;
+  };
+
+  for (const CounterValue &C : S.Counters) {
+    std::string N = promSanitizeMetricName(C.Name) + "_total";
+    Out += "# TYPE " + N + " counter\n";
+    Out += N;
+    Append(" %llu\n", (unsigned long long)C.Value);
+  }
+  for (const GaugeValue &G : S.Gauges) {
+    std::string N = promSanitizeMetricName(G.Name);
+    Out += "# TYPE " + N + " gauge\n";
+    Out += N;
+    Append(" %lld\n", (long long)G.Value);
+  }
+  for (const HistogramValue &H : S.Histograms) {
+    std::string N = promSanitizeMetricName(H.Name);
+    Out += "# TYPE " + N + " histogram\n";
+    // Registry buckets are per-bucket; the exposition wants cumulative
+    // counts per `le` bound, closed by the +Inf bucket (== count).
+    uint64_t Cum = 0;
+    for (size_t I = 0; I < H.Bounds.size(); ++I) {
+      Cum += I < H.BucketCounts.size() ? H.BucketCounts[I] : 0;
+      Append("%s_bucket{le=\"%llu\"} %llu\n", N.c_str(),
+             (unsigned long long)H.Bounds[I], (unsigned long long)Cum);
+    }
+    Append("%s_bucket{le=\"+Inf\"} %llu\n", N.c_str(),
+           (unsigned long long)H.Count);
+    Append("%s_sum %llu\n", N.c_str(), (unsigned long long)H.Sum);
+    Append("%s_count %llu\n", N.c_str(), (unsigned long long)H.Count);
+  }
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Strict exposition parser (the CI scrape gate)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// What the validator tracks per `# TYPE`-declared family.
+struct FamilyState {
+  std::string Type; ///< counter | gauge | histogram | summary | untyped
+  bool SamplesSeen = false;
+  bool Closed = false; ///< A later family emitted samples; no reopening.
+  // Histogram bookkeeping.
+  double LastBucket = -1;  ///< Last cumulative bucket value.
+  double LastLe = 0;       ///< Last finite le bound.
+  bool HaveLe = false;     ///< Any finite le seen yet.
+  bool InfSeen = false;    ///< le="+Inf" closed the bucket series.
+  double InfValue = 0;
+  bool HaveCount = false;
+  double CountValue = 0;
+};
+
+struct Parser {
+  std::map<std::string, FamilyState> Families;
+  std::string LastSampleFamily;
+  std::set<std::string> SeenSeries; ///< name + sorted labels; dup check.
+
+  bool fail(std::string *Error, size_t LineNo, const std::string &Msg) {
+    if (Error)
+      *Error = "line " + std::to_string(LineNo) + ": " + Msg;
+    return false;
+  }
+
+  static bool parseName(std::string_view &S, std::string &Out) {
+    size_t I = 0;
+    while (I < S.size() && promNameChar(S[I], I == 0))
+      ++I;
+    if (I == 0)
+      return false;
+    Out.assign(S.substr(0, I));
+    S.remove_prefix(I);
+    return true;
+  }
+
+  static bool parseFloat(std::string_view S, double &Out) {
+    if (S.empty())
+      return false;
+    std::string Buf(S);
+    char *End = nullptr;
+    Out = std::strtod(Buf.c_str(), &End);
+    return End && *End == '\0' && End != Buf.c_str();
+  }
+
+  /// The family a sample name belongs to: an exact `# TYPE` match, or a
+  /// histogram/summary child (`_bucket`/`_sum`/`_count`). Empty if the
+  /// sample is untyped — which the strict gate rejects.
+  std::string familyOf(const std::string &Sample, bool &IsBucket,
+                       bool &IsCount) {
+    IsBucket = IsCount = false;
+    if (Families.count(Sample))
+      return Sample;
+    for (const char *Suffix : {"_bucket", "_sum", "_count"}) {
+      std::string Sfx = Suffix;
+      if (Sample.size() > Sfx.size() &&
+          Sample.compare(Sample.size() - Sfx.size(), Sfx.size(), Sfx) == 0) {
+        std::string Base = Sample.substr(0, Sample.size() - Sfx.size());
+        auto It = Families.find(Base);
+        if (It != Families.end() && (It->second.Type == "histogram" ||
+                                     It->second.Type == "summary")) {
+          IsBucket = Sfx == "_bucket";
+          IsCount = Sfx == "_count";
+          return Base;
+        }
+      }
+    }
+    return "";
+  }
+};
+
+} // namespace
+
+bool obs::promValidateExposition(std::string_view Text, std::string *Error) {
+  if (Text.empty()) {
+    if (Error)
+      *Error = "empty exposition";
+    return false;
+  }
+  if (Text.back() != '\n') {
+    if (Error)
+      *Error = "missing trailing newline";
+    return false;
+  }
+
+  Parser P;
+  size_t LineNo = 0;
+  size_t Pos = 0;
+  while (Pos < Text.size()) {
+    size_t Nl = Text.find('\n', Pos);
+    std::string_view Line = Text.substr(Pos, Nl - Pos);
+    Pos = Nl + 1;
+    ++LineNo;
+    if (Line.empty())
+      continue;
+
+    if (Line[0] == '#') {
+      std::string_view Rest = Line.substr(1);
+      while (!Rest.empty() && Rest[0] == ' ')
+        Rest.remove_prefix(1);
+      bool IsType = Rest.rfind("TYPE ", 0) == 0;
+      bool IsHelp = Rest.rfind("HELP ", 0) == 0;
+      if (!IsType && !IsHelp)
+        continue; // Plain comment.
+      Rest.remove_prefix(5);
+      std::string Name;
+      if (!P.parseName(Rest, Name))
+        return P.fail(Error, LineNo, "bad metric name in comment");
+      if (IsHelp)
+        continue; // Free text follows; nothing to check.
+      if (Rest.empty() || Rest[0] != ' ')
+        return P.fail(Error, LineNo, "TYPE needs a type token");
+      Rest.remove_prefix(1);
+      std::string Type(Rest);
+      if (Type != "counter" && Type != "gauge" && Type != "histogram" &&
+          Type != "summary" && Type != "untyped")
+        return P.fail(Error, LineNo, "unknown TYPE '" + Type + "'");
+      auto [It, Inserted] = P.Families.try_emplace(Name);
+      if (!Inserted)
+        return P.fail(Error, LineNo, "duplicate TYPE for '" + Name + "'");
+      It->second.Type = Type;
+      continue;
+    }
+
+    // Sample: name[{labels}] value [timestamp]
+    std::string_view Rest = Line;
+    std::string Name;
+    if (!P.parseName(Rest, Name))
+      return P.fail(Error, LineNo, "bad sample name");
+    std::string LabelKey; // canonical "k=v,k=v" for the duplicate check
+    std::string LeValue;
+    if (!Rest.empty() && Rest[0] == '{') {
+      Rest.remove_prefix(1);
+      std::map<std::string, std::string> Labels;
+      while (true) {
+        while (!Rest.empty() && Rest[0] == ' ')
+          Rest.remove_prefix(1);
+        if (!Rest.empty() && Rest[0] == '}') {
+          Rest.remove_prefix(1);
+          break;
+        }
+        std::string K;
+        if (!P.parseName(Rest, K))
+          return P.fail(Error, LineNo, "bad label name");
+        if (Rest.empty() || Rest[0] != '=')
+          return P.fail(Error, LineNo, "label needs '='");
+        Rest.remove_prefix(1);
+        if (Rest.empty() || Rest[0] != '"')
+          return P.fail(Error, LineNo, "label value must be quoted");
+        Rest.remove_prefix(1);
+        std::string V;
+        bool Closed = false;
+        while (!Rest.empty()) {
+          char C = Rest[0];
+          Rest.remove_prefix(1);
+          if (C == '"') {
+            Closed = true;
+            break;
+          }
+          if (C == '\\') {
+            if (Rest.empty())
+              return P.fail(Error, LineNo, "dangling escape in label");
+            char E = Rest[0];
+            Rest.remove_prefix(1);
+            if (E != '\\' && E != '"' && E != 'n')
+              return P.fail(Error, LineNo, "bad escape in label value");
+            V += E == 'n' ? '\n' : E;
+            continue;
+          }
+          V += C;
+        }
+        if (!Closed)
+          return P.fail(Error, LineNo, "unterminated label value");
+        if (!Labels.emplace(K, V).second)
+          return P.fail(Error, LineNo, "duplicate label '" + K + "'");
+        if (!Rest.empty() && Rest[0] == ',')
+          Rest.remove_prefix(1);
+        else if (Rest.empty() || Rest[0] != '}')
+          return P.fail(Error, LineNo, "expected ',' or '}' after label");
+      }
+      for (const auto &[K, V] : Labels) {
+        if (K == "le")
+          LeValue = V;
+        LabelKey += K + "=" + V + ",";
+      }
+    }
+    if (Rest.empty() || Rest[0] != ' ')
+      return P.fail(Error, LineNo, "sample needs a value");
+    while (!Rest.empty() && Rest[0] == ' ')
+      Rest.remove_prefix(1);
+    size_t Space = Rest.find(' ');
+    std::string_view ValueTok = Rest.substr(0, Space);
+    double Value;
+    if (!P.parseFloat(ValueTok, Value))
+      return P.fail(Error, LineNo,
+                    "bad sample value '" + std::string(ValueTok) + "'");
+    if (Space != std::string_view::npos) {
+      std::string_view TsTok = Rest.substr(Space + 1);
+      double Ts;
+      if (!P.parseFloat(TsTok, Ts))
+        return P.fail(Error, LineNo, "bad timestamp");
+    }
+
+    if (!P.SeenSeries.insert(Name + "{" + LabelKey + "}").second)
+      return P.fail(Error, LineNo, "duplicate series '" + Name + "'");
+
+    bool IsBucket = false, IsCount = false;
+    std::string Family = P.familyOf(Name, IsBucket, IsCount);
+    if (Family.empty())
+      return P.fail(Error, LineNo, "sample '" + Name + "' has no # TYPE");
+    FamilyState &F = P.Families[Family];
+    if (F.Closed)
+      return P.fail(Error, LineNo,
+                    "family '" + Family + "' reopened after another family");
+    if (!P.LastSampleFamily.empty() && P.LastSampleFamily != Family)
+      P.Families[P.LastSampleFamily].Closed = true;
+    P.LastSampleFamily = Family;
+    F.SamplesSeen = true;
+
+    if (F.Type == "histogram" && IsBucket) {
+      if (LeValue.empty())
+        return P.fail(Error, LineNo, "_bucket sample without an le label");
+      if (F.InfSeen)
+        return P.fail(Error, LineNo, "bucket after le=\"+Inf\"");
+      if (LeValue == "+Inf") {
+        F.InfSeen = true;
+        F.InfValue = Value;
+      } else {
+        double Le;
+        if (!P.parseFloat(LeValue, Le))
+          return P.fail(Error, LineNo, "bad le bound '" + LeValue + "'");
+        if (F.HaveLe && Le <= F.LastLe)
+          return P.fail(Error, LineNo, "le bounds not increasing");
+        F.LastLe = Le;
+        F.HaveLe = true;
+      }
+      if (F.LastBucket >= 0 && Value < F.LastBucket)
+        return P.fail(Error, LineNo, "histogram buckets not cumulative");
+      F.LastBucket = Value;
+    } else if (F.Type == "histogram" && IsCount) {
+      F.HaveCount = true;
+      F.CountValue = Value;
+    } else if (F.Type == "counter" && Value < 0) {
+      return P.fail(Error, LineNo, "negative counter value");
+    }
+  }
+
+  // Document-level histogram closure: every histogram family with samples
+  // must have closed its bucket series at +Inf, agreeing with _count.
+  for (const auto &[Name, F] : P.Families) {
+    if (F.Type != "histogram" || !F.SamplesSeen)
+      continue;
+    if (!F.InfSeen)
+      return P.fail(Error, LineNo,
+                    "histogram '" + Name + "' missing le=\"+Inf\" bucket");
+    if (F.HaveCount && F.InfValue != F.CountValue)
+      return P.fail(Error, LineNo, "histogram '" + Name +
+                                       "' +Inf bucket disagrees with _count");
+  }
+  return true;
+}

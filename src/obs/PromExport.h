@@ -1,0 +1,78 @@
+//===- PromExport.h - Prometheus text exposition ----------------*- C++ -*-===//
+///
+/// \file
+/// Renders a MetricsSnapshot in the Prometheus text exposition format
+/// v0.0.4 — what `GET /metrics` on the collector daemon serves and what
+/// any off-the-shelf Prometheus scraper ingests (docs/OBSERVABILITY.md,
+/// "Live endpoints").
+///
+/// Mapping from the dotted registry catalog:
+///  - every name is sanitized to `[a-zA-Z_:][a-zA-Z0-9_:]*` (invalid
+///    characters become `_`, a leading digit gets a `_` prefix);
+///  - counters gain the conventional `_total` suffix
+///    (`daemon.cycles` -> `daemon_cycles_total`);
+///  - gauges keep the sanitized name;
+///  - histograms expand to the `_bucket{le="..."}` / `_sum` / `_count`
+///    family with *cumulative* bucket values and a closing `le="+Inf"`
+///    bucket (registry storage is per-bucket; the renderer accumulates).
+///
+/// Because sanitization is lossy, two distinct registry names can collide
+/// on one exposition family; MetricsRegistry rejects the later
+/// registration (see Metrics.h, "Exposition-name validation") so a scrape
+/// never interleaves two series under one name.
+///
+/// `promValidateExposition` is the strict in-repo parser CI uses to gate
+/// scraped output (`er_cli promcheck`) — a `/metrics` page that does not
+/// parse is a bug, not a formatting nit.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ER_OBS_PROMEXPORT_H
+#define ER_OBS_PROMEXPORT_H
+
+#include "obs/Metrics.h"
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace er {
+namespace obs {
+
+/// Sanitizes one metric name to the Prometheus charset: every character
+/// outside `[a-zA-Z0-9_:]` becomes `_`, and a leading digit is prefixed
+/// with `_`. Empty input sanitizes to `_`.
+std::string promSanitizeMetricName(std::string_view Name);
+
+/// The exposition family names a registry metric of the given kind will
+/// occupy: counters claim `<san>_total`; gauges claim `<san>`; histograms
+/// claim `<san>`, `<san>_bucket`, `<san>_sum`, and `<san>_count`. Two
+/// registry names whose family sets intersect cannot coexist on one
+/// `/metrics` page.
+enum class PromKind { Counter, Gauge, Histogram };
+std::vector<std::string> promFamilyNames(PromKind Kind, std::string_view Name);
+
+/// Renders the whole snapshot as one text exposition v0.0.4 document
+/// (`# TYPE` line per family, samples sorted by registry name, trailing
+/// newline). Deterministic for a fixed snapshot — pinned by a golden test.
+std::string metricsToPrometheus(const MetricsSnapshot &S);
+
+/// The HTTP Content-Type a v0.0.4 text exposition must be served under.
+inline const char *promContentType() {
+  return "text/plain; version=0.0.4; charset=utf-8";
+}
+
+/// Strict structural check of one exposition document: every line must be
+/// a well-formed comment (`# TYPE` / `# HELP`) or sample
+/// (`name{labels} value [timestamp]`); `TYPE` must precede its family's
+/// samples and appear at most once; histogram `_bucket` series must carry
+/// an `le` label, be cumulative (non-decreasing), end at `le="+Inf"`, and
+/// agree with `_count`. Returns false with a line-annotated message in
+/// \p Error on the first defect.
+bool promValidateExposition(std::string_view Text,
+                            std::string *Error = nullptr);
+
+} // namespace obs
+} // namespace er
+
+#endif // ER_OBS_PROMEXPORT_H

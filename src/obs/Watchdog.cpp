@@ -1,0 +1,120 @@
+//===- Watchdog.cpp - Cycle deadline watchdog --------------------------------===//
+
+#include "obs/Watchdog.h"
+
+#include "obs/Metrics.h"
+#include "obs/Tracer.h"
+
+using namespace er;
+using namespace er::obs;
+
+CycleWatchdog::CycleWatchdog(WatchdogConfig Config)
+    : Config(std::move(Config)) {}
+
+static ClockSource &wdClock(const WatchdogConfig &C) {
+  return C.Clock ? *C.Clock : ClockSource::real();
+}
+
+void CycleWatchdog::arm(uint64_t Cycle) {
+  if (!enabled())
+    return;
+  std::lock_guard<std::mutex> Lock(Mu);
+  Armed = true;
+  Tripped = false;
+  ArmedCycle = Cycle;
+  DeadlineNs = wdClock(Config).nowNs() + Config.DeadlineMs * 1'000'000ULL;
+}
+
+void CycleWatchdog::disarm() {
+  if (!enabled())
+    return;
+  std::lock_guard<std::mutex> Lock(Mu);
+  // A cycle that finished late still missed its deadline: count it even
+  // if no poll() ran while it was overdue (no listener, no scraper).
+  if (Armed && !Tripped) {
+    uint64_t Now = wdClock(Config).nowNs();
+    if (Now > DeadlineNs)
+      recordTripLocked(Now);
+  }
+  Armed = false;
+  Tripped = false;
+}
+
+bool CycleWatchdog::poll() {
+  if (!enabled())
+    return false;
+  std::lock_guard<std::mutex> Lock(Mu);
+  if (!Armed)
+    return false;
+  if (Tripped)
+    return true;
+  uint64_t Now = wdClock(Config).nowNs();
+  if (Now <= DeadlineNs)
+    return false;
+  recordTripLocked(Now);
+  return true;
+}
+
+void CycleWatchdog::recordTripLocked(uint64_t Now) {
+  Tripped = true;
+  ++Trips;
+  LastTripCycle = ArmedCycle;
+  MetricsRegistry::global().counter("daemon.watchdog.trips").inc();
+  dumpDiagnosticsLocked(Now);
+}
+
+void CycleWatchdog::dumpDiagnosticsLocked(uint64_t Now) {
+  if (Config.DiagnosticsDir.empty())
+    return;
+  FsOps &Fs = Config.Fs ? *Config.Fs : FsOps::real();
+  if (!Fs.createDirectories(Config.DiagnosticsDir))
+    return; // Diagnostics must never take the daemon down with them.
+  std::string Stem = Config.DiagnosticsDir + "/stall-cycle" +
+                     std::to_string(ArmedCycle);
+
+  // Temp+rename so a reader (or a second trip racing a kill) never sees a
+  // torn dump. Both documents carry the trip context inline.
+  auto PublishFile = [&](const std::string &Path, const std::string &Body) {
+    std::string Tmp = Path + ".tmp";
+    if (Fs.writeFile(Tmp, Body) != FsStatus::Ok)
+      return;
+    if (Fs.rename(Tmp, Path) != FsStatus::Ok)
+      Fs.remove(Tmp);
+  };
+
+  std::string Metrics =
+      metricsToJson(MetricsRegistry::global().snapshot());
+  PublishFile(Stem + ".metrics.json", Metrics);
+
+  PipelineTracer &T = Config.Tracer ? *Config.Tracer : PipelineTracer::global();
+  std::string Spans = spansToJsonl(T.snapshot());
+  // Lead with one context line so the dump is self-describing even when
+  // the span ring was empty (tracer disabled).
+  std::string Header = "{\"watchdog_trip\":{\"cycle\":" +
+                       std::to_string(ArmedCycle) +
+                       ",\"deadline_ns\":" + std::to_string(DeadlineNs) +
+                       ",\"now_ns\":" + std::to_string(Now) +
+                       ",\"dropped_spans\":" + std::to_string(T.droppedSpans()) +
+                       "}}\n";
+  PublishFile(Stem + ".spans.jsonl", Header + Spans);
+}
+
+bool CycleWatchdog::tripped() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Tripped;
+}
+
+uint64_t CycleWatchdog::trips() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Trips;
+}
+
+uint64_t CycleWatchdog::lastTripCycle() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return LastTripCycle;
+}
+
+uint64_t CycleWatchdog::armedDeadlineNs() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Armed ? DeadlineNs : 0;
+}

@@ -1,0 +1,103 @@
+//===- Watchdog.h - Cycle deadline watchdog ---------------------*- C++ -*-===//
+///
+/// \file
+/// A passive deadline watchdog for the collector daemon's
+/// drain→step→checkpoint cycle (docs/OBSERVABILITY.md, "Live endpoints").
+/// The daemon arm()s it when a cycle starts and disarm()s it when the
+/// cycle completes; any thread — the HTTP listener serving `/healthz`,
+/// the daemon itself at a cycle boundary — may poll() it against the
+/// injected ClockSource.
+///
+/// The watchdog never interrupts anything: a wedged cycle cannot run its
+/// own recovery code, so the design is *evidence first*. The first poll()
+/// that observes a missed deadline (one-shot per arming):
+///
+///  - bumps the `daemon.watchdog.trips` counter,
+///  - flips tripped() — `/healthz` reports unhealthy until the cycle
+///    eventually completes (disarm) or a new one starts (arm), and
+///  - dumps a span-ring snapshot (JSONL) plus a metrics snapshot (JSON)
+///    into the configured stall-diagnostics directory, so a cycle that
+///    never finishes leaves a post-mortem even if the process is killed.
+///
+/// All state sits behind one small mutex; poll() from a scraper thread
+/// never touches the daemon's drain path.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ER_OBS_WATCHDOG_H
+#define ER_OBS_WATCHDOG_H
+
+#include "support/Fs.h"
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+namespace er {
+namespace obs {
+
+class PipelineTracer;
+
+struct WatchdogConfig {
+  /// Cycle deadline; 0 disables the watchdog entirely (arm/poll no-op).
+  uint64_t DeadlineMs = 0;
+  /// Clock seam (null = the real monotonic clock).
+  ClockSource *Clock = nullptr;
+  /// Where a trip dumps `stall-cycle<N>.{metrics.json,spans.jsonl}`;
+  /// "" skips the dump (the trip still counts and flips health).
+  std::string DiagnosticsDir;
+  /// Filesystem seam for the dump (null = the real filesystem).
+  FsOps *Fs = nullptr;
+  /// Span ring to dump (null = the global tracer).
+  PipelineTracer *Tracer = nullptr;
+};
+
+/// Arm/disarm bracketing with cross-thread expiry polling. All methods
+/// are thread-safe.
+class CycleWatchdog {
+public:
+  explicit CycleWatchdog(WatchdogConfig Config);
+
+  bool enabled() const { return Config.DeadlineMs != 0; }
+
+  /// Starts the deadline for \p Cycle: now + DeadlineMs. Re-arming clears
+  /// a previous trip's unhealthy state (the daemon made it to the next
+  /// cycle; the trip stays counted).
+  void arm(uint64_t Cycle);
+
+  /// The watched cycle completed. If its deadline already passed, the
+  /// overrun is still recorded as a trip (poll() semantics) before the
+  /// watchdog returns to idle-healthy.
+  void disarm();
+
+  /// Evaluates the deadline now. Returns true while tripped: the armed
+  /// deadline has passed and the cycle has not completed. The first
+  /// observer of each missed deadline records the trip and writes the
+  /// diagnostics dump.
+  bool poll();
+
+  bool tripped() const;
+  uint64_t trips() const;
+  /// Cycle number of the most recent trip (meaningful when trips() > 0).
+  uint64_t lastTripCycle() const;
+  /// Deadline of the current arming in clock ns (0 when disarmed).
+  uint64_t armedDeadlineNs() const;
+
+private:
+  void recordTripLocked(uint64_t Now);
+  void dumpDiagnosticsLocked(uint64_t Now);
+
+  WatchdogConfig Config;
+  mutable std::mutex Mu;
+  bool Armed = false;
+  bool Tripped = false; ///< Current arming missed its deadline.
+  uint64_t DeadlineNs = 0;
+  uint64_t ArmedCycle = 0;
+  uint64_t Trips = 0;
+  uint64_t LastTripCycle = 0;
+};
+
+} // namespace obs
+} // namespace er
+
+#endif // ER_OBS_WATCHDOG_H

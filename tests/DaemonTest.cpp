@@ -15,6 +15,12 @@
 //  - FleetScheduler preemption: a hot bucket suspends the weakest active
 //    campaign, which resumes (same process or from a state file) to final
 //    state files and test cases byte-identical to an uninterrupted run.
+//  - Live telemetry (docs/OBSERVABILITY.md): /healthz flips unhealthy the
+//    moment a cycle overruns its deadline (VirtualClock, probed from the
+//    backoff sleep hook — exactly when a wedged daemon would be probed),
+//    /status carries the campaign table, periodic metrics.json snapshots
+//    land atomically, and a real listener survives concurrent scrapes
+//    while cycles run (the TSan CI job races them).
 //
 //===----------------------------------------------------------------------===//
 
@@ -26,16 +32,21 @@
 
 #include "fleet/FailureSignature.h"
 #include "fleet/FleetScheduler.h"
+#include "net/HttpServer.h"
+#include "obs/Json.h"
+#include "obs/PromExport.h"
 #include "vm/Interpreter.h"
 #include "workloads/Workloads.h"
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <map>
 #include <string>
+#include <thread>
 #include <unistd.h>
 #include <vector>
 
@@ -679,6 +690,213 @@ TEST(Preemption, CrossProcessResumeOfSuspendedCampaignIsByteIdentical) {
   Resumed.stepCampaigns();
   ASSERT_FALSE(Resumed.hasPendingWork());
   EXPECT_EQ(stateBytes(Resumed), stateBytes(Control));
+}
+
+//===----------------------------------------------------------------------===//
+// Live telemetry: /healthz watchdog flip, /status, periodic snapshots
+//===----------------------------------------------------------------------===//
+
+/// Drives the daemon's HTTP handler directly — same code path as a real
+/// scrape, minus the socket (the socket itself is NetTest.cpp's job).
+net::HttpResponse probe(CollectorDaemon &Daemon, const std::string &Path) {
+  net::HttpRequest Req;
+  Req.Method = "GET";
+  Req.Path = Path;
+  return Daemon.handleHttp(Req);
+}
+
+TEST(Telemetry, HealthzFlipsUnhealthyOnMissedCycleDeadline) {
+  std::string Spool = freshDir("wd_healthz");
+  std::string Diag = freshDir("wd_healthz_diag");
+  publishCraftedFile(Spool);
+
+  // Two failing drain attempts put two backoff sleeps inside cycle 1 —
+  // the sleep hook is the deterministic stand-in for "an external scraper
+  // probes while the cycle is wedged".
+  FaultFs FF;
+  std::vector<Failpoint> Points;
+  ASSERT_TRUE(parseFaultSpec("createdir:fail:path=quarantine:fire=2", Points));
+  for (const Failpoint &P : Points)
+    FF.addFailpoint(P);
+
+  TestDaemonRig Rig(Spool, "", &FF);
+  Rig.Config.CycleDeadlineMs = 1000;
+  Rig.Config.StallDiagDir = Diag;
+
+  CollectorDaemon *Live = nullptr;
+  std::vector<int> ProbeStatuses;
+  Rig.Config.Sleep = [&](uint64_t Ms) {
+    Rig.Clock.advanceNs(Ms * 1'000'000);
+    // Blow straight through the 1 s cycle deadline, then probe.
+    Rig.Clock.advanceNs(2'000'000'000);
+    net::HttpResponse H = probe(*Live, "/healthz");
+    ProbeStatuses.push_back(H.Status);
+    if (H.Status == 503) {
+      EXPECT_NE(H.Body.find("status: unhealthy"), std::string::npos) << H.Body;
+    }
+    // /metrics keeps serving while unhealthy — a stall is exactly when
+    // the scrape matters most.
+    EXPECT_EQ(probe(*Live, "/metrics").Status, 200);
+  };
+
+  FleetScheduler Sched((FleetConfig()));
+  CollectorDaemon Daemon(Rig.Config, Sched);
+  Live = &Daemon;
+  ASSERT_TRUE(Daemon.runCycle());
+
+  ASSERT_GE(ProbeStatuses.size(), 1u);
+  EXPECT_EQ(ProbeStatuses[0], 503)
+      << "the first probe past the deadline must already see unhealthy";
+  EXPECT_EQ(Daemon.watchdog().trips(), 1u)
+      << "one trip per armed cycle, not one per probe";
+  EXPECT_EQ(Daemon.watchdog().lastTripCycle(), 1u);
+
+  // The trip dumped one-shot stall diagnostics.
+  EXPECT_TRUE(FsOps::real().exists(Diag + "/stall-cycle1.metrics.json"));
+  EXPECT_TRUE(FsOps::real().exists(Diag + "/stall-cycle1.spans.jsonl"));
+
+  // The late cycle finished and disarmed: healthy again, and a clean
+  // follow-up cycle stays healthy without growing the trip count.
+  EXPECT_EQ(probe(Daemon, "/healthz").Status, 200);
+  FF.clearFailpoints();
+  ASSERT_TRUE(Daemon.runCycle());
+  EXPECT_EQ(probe(Daemon, "/healthz").Status, 200);
+  EXPECT_EQ(Daemon.watchdog().trips(), 1u);
+}
+
+TEST(Telemetry, StatusEndpointReportsCampaignTable) {
+  std::string Spool = freshDir("status_table");
+  publishCraftedFile(Spool);
+  FleetScheduler Sched((FleetConfig()));
+  TestDaemonRig Rig(Spool);
+  CollectorDaemon Daemon(Rig.Config, Sched);
+  ASSERT_TRUE(Daemon.runCycle());
+
+  net::HttpResponse R = probe(Daemon, "/status");
+  EXPECT_EQ(R.Status, 200);
+  EXPECT_EQ(R.ContentType, "application/json; charset=utf-8");
+  std::string Err;
+  EXPECT_TRUE(obs::validateJson(R.Body, &Err)) << Err << "\n" << R.Body;
+  // Both crafted buckets triaged; unknown bug ids complete inline.
+  EXPECT_NE(R.Body.find("\"bug-a\""), std::string::npos) << R.Body;
+  EXPECT_NE(R.Body.find("\"bug-b\""), std::string::npos) << R.Body;
+  EXPECT_NE(R.Body.find("\"completed\""), std::string::npos) << R.Body;
+  EXPECT_NE(R.Body.find("\"spool_depth\""), std::string::npos);
+  EXPECT_NE(R.Body.find("\"watchdog\""), std::string::npos);
+
+  // Query strings are stripped; unknown paths 404.
+  EXPECT_EQ(probe(Daemon, "/status?pretty=1").Status, 200);
+  EXPECT_EQ(probe(Daemon, "/nope").Status, 404);
+}
+
+TEST(Telemetry, MetricsEndpointIsValidPrometheusExposition) {
+  std::string Spool = freshDir("metrics_endpoint");
+  publishCraftedFile(Spool);
+  FleetScheduler Sched((FleetConfig()));
+  TestDaemonRig Rig(Spool);
+  CollectorDaemon Daemon(Rig.Config, Sched);
+  ASSERT_TRUE(Daemon.runCycle());
+
+  net::HttpResponse R = probe(Daemon, "/metrics");
+  EXPECT_EQ(R.Status, 200);
+  EXPECT_EQ(R.ContentType, obs::promContentType());
+  std::string Err;
+  EXPECT_TRUE(obs::promValidateExposition(R.Body, &Err)) << Err;
+  EXPECT_NE(R.Body.find("daemon_cycles_total"), std::string::npos);
+}
+
+TEST(Telemetry, MetricsSnapshotsEveryNCycles) {
+  std::string Spool = freshDir("metrics_every");
+  std::string Path = freshDir("metrics_every_out") + "/metrics.json";
+  FleetScheduler Sched((FleetConfig()));
+  TestDaemonRig Rig(Spool);
+  Rig.Config.MetricsEveryCycles = 2;
+  Rig.Config.MetricsJsonPath = Path;
+  CollectorDaemon Daemon(Rig.Config, Sched);
+  for (int I = 0; I < 4; ++I)
+    ASSERT_TRUE(Daemon.runCycle());
+
+  EXPECT_EQ(Daemon.getStats().MetricsSnapshots, 2u) << "cycles 2 and 4";
+  ASSERT_TRUE(FsOps::real().exists(Path));
+  EXPECT_FALSE(FsOps::real().exists(Path + ".tmp"))
+      << "snapshots publish by rename; the temp must not linger";
+  std::vector<uint8_t> Raw;
+  ASSERT_EQ(FsOps::real().readFile(Path, Raw), FsStatus::Ok);
+  std::string Body(Raw.begin(), Raw.end());
+  std::string Err;
+  EXPECT_TRUE(obs::validateJson(Body, &Err)) << Err;
+  EXPECT_NE(Body.find("daemon.cycles"), std::string::npos);
+}
+
+TEST(Telemetry, MetricsSnapshotFailureIsCountedAndSurvived) {
+  std::string Spool = freshDir("metrics_fail");
+  std::string Path = freshDir("metrics_fail_out") + "/metrics.json";
+  FaultFs FF;
+  std::vector<Failpoint> Points;
+  ASSERT_TRUE(parseFaultSpec("write:fail:path=metrics.json:fire=0", Points));
+  for (const Failpoint &P : Points)
+    FF.addFailpoint(P);
+
+  TestDaemonRig Rig(Spool, "", &FF);
+  Rig.Config.MetricsEveryCycles = 1;
+  Rig.Config.MetricsJsonPath = Path;
+  FleetScheduler Sched((FleetConfig()));
+  CollectorDaemon Daemon(Rig.Config, Sched);
+  // A failed snapshot is counted, never fatal to the cycle.
+  ASSERT_TRUE(Daemon.runCycle());
+  EXPECT_EQ(Daemon.getStats().MetricsSnapshots, 0u);
+  EXPECT_EQ(Daemon.getStats().MetricsSnapshotFailures, 1u);
+  EXPECT_FALSE(FsOps::real().exists(Path));
+  EXPECT_FALSE(FsOps::real().exists(Path + ".tmp"));
+}
+
+TEST(Telemetry, ListenerServesConcurrentScrapesWhileCyclesRun) {
+  std::string Spool = freshDir("live_listener");
+  publishCraftedFile(Spool);
+
+  // Real clock on purpose: the HTTP thread and the cycle thread race for
+  // real here, which is what the TSan CI job is after. VirtualClock is a
+  // single-threaded seam and must stay out of this test.
+  DaemonConfig DC;
+  DC.Collector.SpoolDir = Spool;
+  DC.Listen = "127.0.0.1:0";
+  DC.CycleDeadlineMs = 60'000; // Generous: must never trip on loopback.
+  FleetScheduler Sched((FleetConfig()));
+  CollectorDaemon Daemon(DC, Sched);
+  std::string Err;
+  ASSERT_TRUE(Daemon.start(&Err)) << Err;
+  uint16_t Port = Daemon.listenPort();
+  ASSERT_NE(Port, 0);
+
+  std::atomic<bool> Done{false};
+  std::atomic<unsigned> Scrapes{0}, Failures{0};
+  std::thread Scraper([&] {
+    const char *Paths[] = {"/metrics", "/healthz", "/status"};
+    for (unsigned I = 0; !Done.load(std::memory_order_acquire); ++I) {
+      net::HttpClientResponse R;
+      if (net::httpGet("127.0.0.1", Port, Paths[I % 3], R) && R.Status == 200)
+        Scrapes.fetch_add(1, std::memory_order_relaxed);
+      else
+        Failures.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  for (int Cycle = 0; Cycle < 5; ++Cycle)
+    ASSERT_TRUE(Daemon.runCycle());
+  Done.store(true, std::memory_order_release);
+  Scraper.join();
+
+  EXPECT_EQ(Failures.load(), 0u);
+  EXPECT_GT(Scrapes.load(), 0u);
+
+  // One final scrape of each endpoint, checked in full.
+  net::HttpClientResponse R;
+  ASSERT_TRUE(net::httpGet("127.0.0.1", Port, "/metrics", R, &Err)) << Err;
+  EXPECT_TRUE(obs::promValidateExposition(R.Body, &Err)) << Err;
+  ASSERT_TRUE(net::httpGet("127.0.0.1", Port, "/status", R, &Err)) << Err;
+  EXPECT_TRUE(obs::validateJson(R.Body, &Err)) << Err;
+  ASSERT_TRUE(net::httpGet("127.0.0.1", Port, "/healthz", R, &Err)) << Err;
+  EXPECT_EQ(R.Status, 200);
+  EXPECT_NE(R.Body.find("status: ok"), std::string::npos) << R.Body;
 }
 
 } // namespace

@@ -12,6 +12,7 @@
 
 #include "obs/Json.h"
 #include "obs/Metrics.h"
+#include "obs/PromExport.h"
 #include "obs/Tracer.h"
 
 #include "er/Driver.h"
@@ -353,4 +354,229 @@ TEST(ObsEndToEnd, DriverEmitsSpansAndMetrics) {
       obs::spansToChromeTrace(Spans, Tracer.droppedSpans()), &Err))
       << Err;
   Tracer.clear();
+}
+
+//===----------------------------------------------------------------------===//
+// Prometheus exposition (src/obs/PromExport.*)
+//===----------------------------------------------------------------------===//
+
+TEST(ObsProm, SanitizeMetricName) {
+  EXPECT_EQ(obs::promSanitizeMetricName("daemon.drain.retries"),
+            "daemon_drain_retries");
+  EXPECT_EQ(obs::promSanitizeMetricName("solver.query.us"), "solver_query_us");
+  EXPECT_EQ(obs::promSanitizeMetricName("already_fine"), "already_fine");
+  EXPECT_EQ(obs::promSanitizeMetricName("9lives"), "_9lives");
+  EXPECT_EQ(obs::promSanitizeMetricName("a-b/c d"), "a_b_c_d");
+  EXPECT_EQ(obs::promSanitizeMetricName(""), "_");
+  EXPECT_EQ(obs::promSanitizeMetricName("ns:sub"), "ns:sub"); // colons legal
+}
+
+TEST(ObsProm, FamilyNamesPerKind) {
+  using obs::PromKind;
+  EXPECT_EQ(obs::promFamilyNames(PromKind::Counter, "a.b"),
+            (std::vector<std::string>{"a_b_total"}));
+  EXPECT_EQ(obs::promFamilyNames(PromKind::Gauge, "a.b"),
+            (std::vector<std::string>{"a_b"}));
+  EXPECT_EQ(obs::promFamilyNames(PromKind::Histogram, "a.b"),
+            (std::vector<std::string>{"a_b", "a_b_bucket", "a_b_sum",
+                                      "a_b_count"}));
+}
+
+TEST(ObsProm, GoldenExposition) {
+  obs::MetricsRegistry Reg;
+  Reg.counter("golden.requests").add(3);
+  Reg.gauge("golden.queue_depth").set(-2);
+  obs::Histogram &H = Reg.histogram("golden.latency.ms", {10, 100});
+  H.record(5);
+  H.record(50);
+  H.record(5000);
+
+  const char *Expected = "# TYPE golden_requests_total counter\n"
+                         "golden_requests_total 3\n"
+                         "# TYPE golden_queue_depth gauge\n"
+                         "golden_queue_depth -2\n"
+                         "# TYPE golden_latency_ms histogram\n"
+                         "golden_latency_ms_bucket{le=\"10\"} 1\n"
+                         "golden_latency_ms_bucket{le=\"100\"} 2\n"
+                         "golden_latency_ms_bucket{le=\"+Inf\"} 3\n"
+                         "golden_latency_ms_sum 5055\n"
+                         "golden_latency_ms_count 3\n";
+  std::string Doc = obs::metricsToPrometheus(Reg.snapshot());
+  EXPECT_EQ(Doc, Expected);
+
+  std::string Err;
+  EXPECT_TRUE(obs::promValidateExposition(Doc, &Err)) << Err;
+  EXPECT_STREQ(obs::promContentType(),
+               "text/plain; version=0.0.4; charset=utf-8");
+}
+
+TEST(ObsProm, GlobalRegistryRendersValidExposition) {
+  // The full live registry — every metric the pipeline has registered by
+  // this point in the test binary — must render to a parseable document.
+  // Register one metric of each kind so the test also passes when run
+  // alone (an empty registry renders an empty document, which the strict
+  // validator rightly rejects).
+  obs::MetricsRegistry &G = obs::MetricsRegistry::global();
+  G.counter("obstest.probe").inc();
+  G.gauge("obstest.level").set(1);
+  G.histogram("obstest.lat_ms", {1, 10}).record(3);
+  std::string Doc =
+      obs::metricsToPrometheus(obs::MetricsRegistry::global().snapshot());
+  std::string Err;
+  EXPECT_TRUE(obs::promValidateExposition(Doc, &Err)) << Err;
+}
+
+TEST(ObsProm, ValidatorRejectsDefects) {
+  std::string Err;
+  auto Check = [&Err](const char *Doc) {
+    Err.clear();
+    return obs::promValidateExposition(Doc, &Err);
+  };
+
+  EXPECT_FALSE(Check("")) << "empty must be invalid";
+  EXPECT_FALSE(Check("# TYPE a counter\na_total 1")) // no trailing newline
+      << "missing trailing newline accepted";
+  EXPECT_FALSE(Check("orphan 1\n")) << "sample without # TYPE accepted";
+  EXPECT_FALSE(Check("# TYPE a counter\na_total -1\n"))
+      << "negative counter accepted";
+  EXPECT_FALSE(Check("# TYPE a counter\na_total 1\na_total 2\n"))
+      << "duplicate series accepted";
+  EXPECT_FALSE(Check("# TYPE a counter\n# TYPE a counter\na_total 1\n"))
+      << "duplicate TYPE accepted";
+  EXPECT_FALSE(Check("# TYPE h histogram\n"
+                     "h_bucket{le=\"10\"} 5\n"
+                     "h_bucket{le=\"100\"} 3\n" // not cumulative
+                     "h_bucket{le=\"+Inf\"} 5\n"
+                     "h_sum 1\nh_count 5\n"))
+      << "non-cumulative buckets accepted";
+  EXPECT_FALSE(Check("# TYPE h histogram\n"
+                     "h_bucket{le=\"100\"} 1\n"
+                     "h_bucket{le=\"10\"} 2\n" // le not increasing
+                     "h_bucket{le=\"+Inf\"} 2\n"
+                     "h_sum 1\nh_count 2\n"))
+      << "descending le accepted";
+  EXPECT_FALSE(Check("# TYPE h histogram\n"
+                     "h_bucket{le=\"10\"} 1\n"
+                     "h_sum 1\nh_count 1\n"))
+      << "histogram without +Inf accepted";
+  EXPECT_FALSE(Check("# TYPE h histogram\n"
+                     "h_bucket{le=\"10\"} 1\n"
+                     "h_bucket{le=\"+Inf\"} 2\n"
+                     "h_sum 1\nh_count 3\n")) // +Inf != _count
+      << "+Inf/_count mismatch accepted";
+  EXPECT_FALSE(Check("# TYPE a gauge\na{l=unquoted} 1\n"))
+      << "unquoted label accepted";
+  EXPECT_FALSE(Check("# TYPE a gauge\na nan-ish\n"))
+      << "garbage value accepted";
+
+  // And the shapes it must accept.
+  EXPECT_TRUE(Check("# plain comment\n# TYPE a gauge\na 1\n")) << Err;
+  EXPECT_TRUE(Check("# HELP a free text here\n# TYPE a gauge\na -3.5\n"))
+      << Err;
+  EXPECT_TRUE(Check("# TYPE a gauge\na{l=\"x,\\\"y\\\"\\n\"} 1 1700000\n"))
+      << Err;
+  EXPECT_TRUE(Check("# TYPE h histogram\n"
+                    "h_bucket{le=\"10\"} 1\n"
+                    "h_bucket{le=\"+Inf\"} 2\n"
+                    "h_sum 12\nh_count 2\n"))
+      << Err;
+}
+
+TEST(ObsMetrics, QuantileBoundContract) {
+  // Pinned contract of HistogramValue::quantileBound (see Metrics.h).
+  obs::MetricsRegistry Reg;
+
+  // Empty histogram: 0 for every Q.
+  {
+    obs::Histogram &H = Reg.histogram("t.qc.empty", {10, 100});
+    (void)H;
+    auto S = Reg.snapshot();
+    const obs::HistogramValue *V = S.histogram("t.qc.empty");
+    ASSERT_NE(V, nullptr);
+    EXPECT_EQ(V->quantileBound(0), 0u);
+    EXPECT_EQ(V->quantileBound(0.5), 0u);
+    EXPECT_EQ(V->quantileBound(1), 0u);
+  }
+
+  // Endpoints: Q<=0 -> first non-empty bucket; Q>=1 -> last non-empty.
+  {
+    obs::Histogram &H = Reg.histogram("t.qc.mid", {10, 100, 1000});
+    H.record(50);  // bucket <=100
+    H.record(500); // bucket <=1000
+    auto S = Reg.snapshot();
+    const obs::HistogramValue *V = S.histogram("t.qc.mid");
+    ASSERT_NE(V, nullptr);
+    EXPECT_EQ(V->quantileBound(0), 100u);
+    EXPECT_EQ(V->quantileBound(-2.5), 100u); // clamped, no UB
+    EXPECT_EQ(V->quantileBound(1), 1000u);
+    EXPECT_EQ(V->quantileBound(7.0), 1000u); // clamped
+  }
+
+  // Every sample in the overflow bucket: +inf (UINT64_MAX) for all Q > 0,
+  // and for Q<=0 too — the first non-empty bucket IS the overflow bucket.
+  {
+    obs::Histogram &H = Reg.histogram("t.qc.over", {10});
+    H.record(11);
+    H.record(99);
+    auto S = Reg.snapshot();
+    const obs::HistogramValue *V = S.histogram("t.qc.over");
+    ASSERT_NE(V, nullptr);
+    EXPECT_EQ(V->quantileBound(0), UINT64_MAX);
+    EXPECT_EQ(V->quantileBound(0.5), UINT64_MAX);
+    EXPECT_EQ(V->quantileBound(1), UINT64_MAX);
+  }
+
+  // Q=1 with a non-empty overflow bucket answers +inf even when earlier
+  // buckets hold most samples.
+  {
+    obs::Histogram &H = Reg.histogram("t.qc.tail", {10});
+    for (int I = 0; I < 9; ++I)
+      H.record(5);
+    H.record(1 << 20);
+    auto S = Reg.snapshot();
+    const obs::HistogramValue *V = S.histogram("t.qc.tail");
+    ASSERT_NE(V, nullptr);
+    EXPECT_EQ(V->quantileBound(0.5), 10u);
+    EXPECT_EQ(V->quantileBound(1), UINT64_MAX);
+  }
+}
+
+TEST(ObsMetrics, ExpositionNameCollisionRejected) {
+  obs::MetricsRegistry Reg;
+  obs::Counter &First = Reg.counter("coll.cycles");
+  // Different registry name, identical exposition family after
+  // sanitization: rejected with a detached instrument.
+  obs::Counter &Clash = Reg.counter("coll_cycles");
+  EXPECT_NE(&First, &Clash);
+  EXPECT_EQ(Reg.rejectedNameCollisions(), 1u);
+
+  First.add(2);
+  Clash.add(100); // Writable, but never exported.
+  auto S = Reg.snapshot();
+  EXPECT_EQ(S.counterValue("coll.cycles"), 2u);
+  EXPECT_EQ(S.counterValue("coll_cycles"), 0u);
+
+  // Re-registering the same name is a find, never a collision.
+  EXPECT_EQ(&Reg.counter("coll.cycles"), &First);
+  EXPECT_EQ(Reg.rejectedNameCollisions(), 1u);
+
+  // Cross-kind: a histogram owns base, _bucket, _sum and _count; a gauge
+  // landing on any of them is ambiguous and must be rejected.
+  Reg.histogram("coll.lat", {10});
+  Reg.gauge("coll.lat.sum");
+  EXPECT_EQ(Reg.rejectedNameCollisions(), 2u);
+  auto S2 = Reg.snapshot();
+  EXPECT_EQ(S2.gaugeValue("coll.lat.sum"), 0);
+
+  // A counter after a gauge of the same dotted name is NOT a collision:
+  // the counter exposes `_total`, the gauge the bare name.
+  Reg.gauge("coll.mixed");
+  Reg.counter("coll.mixed");
+  EXPECT_EQ(Reg.rejectedNameCollisions(), 2u);
+
+  // The exposition of a registry containing near-miss names stays valid.
+  std::string Err;
+  EXPECT_TRUE(obs::promValidateExposition(
+      obs::metricsToPrometheus(Reg.snapshot()), &Err))
+      << Err;
 }
