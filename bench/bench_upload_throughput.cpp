@@ -1,0 +1,439 @@
+//===- bench_upload_throughput.cpp - Wire ingestion under backpressure ------===//
+//
+// Measures the network report-upload front end (src/net/ReportClient,
+// CollectorDaemon::handleUpload, docs/INGEST.md "Wire ingestion") in two
+// phases:
+//
+//  1. *Wire throughput, exactly-once under 429s.* A real daemon with a
+//     loopback listener starts with its spool pre-filled past the high
+//     watermark, so every pusher's first attempt is deterministically
+//     answered 429 (the control thread holds its first drain back long
+//     enough for the throttles to land). Concurrent pusher threads then
+//     retry-with-backoff until their frames are accepted, replaying every
+//     fifth frame as a client whose 200 was lost would. The phase fails
+//     unless every unique record is submitted exactly once — no loss, no
+//     double count, nothing quarantined — with the throttle/retry path
+//     demonstrably exercised.
+//
+//  2. *Adaptive vs fixed drain cadence, p99 arrival -> scheduled.* The
+//     same bursty arrival schedule (bursts of reports spread over a few
+//     hundred ms, quiet in between) runs against an adaptive daemon
+//     (DrainIntervalMs as a maximum, compressed toward the floor by
+//     pressure and drain volume) and a fixed-cadence daemon, both on a
+//     VirtualClock so the sweep is deterministic. The phase fails unless
+//     the adaptive schedule beats the fixed one on p99 latency.
+//
+// Usage: bench_upload_throughput [--pushers N] [--frames N] [--records N]
+//                                [--reports N] [--bursts N] [--json FILE]
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchJson.h"
+#include "fleet/FleetScheduler.h"
+#include "ingest/CollectorDaemon.h"
+#include "ingest/ReportSpool.h"
+#include "net/ReportClient.h"
+#include "support/Rng.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace er;
+namespace fs = std::filesystem;
+
+namespace {
+
+/// Unknown bug ids keep campaigns trivial (they complete inline), so the
+/// measurements isolate the upload/drain path rather than reconstruction.
+FleetFailureReport makeReport(uint64_t Machine, uint64_t Seq) {
+  FleetFailureReport R;
+  R.BugId = "synthetic-upload-" + std::to_string(Seq % 6);
+  R.MachineId = Machine;
+  R.Sequence = Seq;
+  R.Failure.Kind = FailureKind::NullDeref;
+  R.Failure.InstrGlobalId = static_cast<unsigned>(10 + Seq % 6);
+  R.Failure.CallStack = {static_cast<unsigned>(1 + Seq % 4)};
+  R.Failure.Message = "upload throughput bench";
+  return R;
+}
+
+uint64_t totalOccurrences(const FleetScheduler &Sched) {
+  uint64_t Total = 0;
+  for (const Campaign &C : Sched.getCampaigns())
+    Total += C.Occurrences;
+  return Total;
+}
+
+double percentile(const std::vector<double> &Sorted, double P) {
+  if (Sorted.empty())
+    return 0;
+  size_t Idx = static_cast<size_t>(P * (Sorted.size() - 1));
+  return Sorted[Idx];
+}
+
+//===----------------------------------------------------------------------===//
+// Phase 1: wire throughput under injected backpressure
+//===----------------------------------------------------------------------===//
+
+struct WireResult {
+  double WallS = 0;
+  uint64_t Frames = 0, Records = 0, Bytes = 0;
+  uint64_t Attempts = 0, Throttled = 0, ReplayedFrames = 0;
+  uint64_t DuplicatesDropped = 0;
+  bool CountsOk = false;
+};
+
+WireResult runWire(unsigned Pushers, unsigned FramesPerPusher,
+                   unsigned RecordsPerFrame, const std::string &Root) {
+  fs::remove_all(Root);
+  const std::string Spool = Root + "/spool";
+  fs::create_directories(Spool);
+
+  // Pre-fill past the high watermark: the daemon samples pressure on
+  // start(), so the edge begins the bench shedding and the first round
+  // of pushes meets real 429s.
+  constexpr uint64_t Prefill = 6;
+  for (uint64_t M = 0; M < Prefill; ++M) {
+    SpoolWriter W(Spool, 900 + M);
+    W.append(makeReport(900 + M, 1));
+    W.flush();
+  }
+
+  FleetConfig FC;
+  FC.RootSeed = 20260807;
+  FleetScheduler Sched(FC);
+  DaemonConfig DC;
+  DC.Collector.SpoolDir = Spool;
+  DC.Listen = "127.0.0.1:0";
+  DC.Pressure.HighFiles = 4;
+  DC.Pressure.LowFiles = 1;
+  CollectorDaemon Daemon(DC, Sched);
+
+  WireResult Res;
+  std::string Err;
+  if (!Daemon.start(&Err)) {
+    std::fprintf(stderr, "daemon start failed: %s\n", Err.c_str());
+    return Res;
+  }
+  uint16_t Port = Daemon.listenPort();
+
+  std::atomic<uint64_t> Attempts{0}, Throttled{0}, Bytes{0}, Failures{0};
+  std::atomic<unsigned> Done{0};
+  auto T0 = std::chrono::steady_clock::now();
+
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T < Pushers; ++T)
+    Threads.emplace_back([&, T] {
+      net::ReportClientConfig RC;
+      RC.BackoffMs = 20;
+      RC.BackoffCapMs = 200;
+      RC.RetryAfterCapMs = 40; // Keep the bench measuring I/O, not hints.
+      RC.MaxRetries = 50; // Throttling is expected; giving up is failure.
+      RC.JitterSeed = T + 1;
+      SpoolWriter W("", T + 1, 1);
+      for (unsigned F = 0; F < FramesPerPusher; ++F) {
+        for (unsigned R = 0; R < RecordsPerFrame; ++R)
+          W.append(makeReport(T + 1, F * RecordsPerFrame + R + 1));
+        std::string Frame = W.takeFrame();
+        unsigned Sends = F % 5 == 4 ? 2u : 1u; // Replay every fifth frame.
+        for (unsigned S = 0; S < Sends; ++S) {
+          net::PushResult PR = net::pushReport("127.0.0.1", Port, Frame, RC);
+          Attempts.fetch_add(PR.Attempts, std::memory_order_relaxed);
+          Throttled.fetch_add(PR.Throttled, std::memory_order_relaxed);
+          if (!PR.Ok) {
+            Failures.fetch_add(1, std::memory_order_relaxed);
+            break;
+          }
+          Bytes.fetch_add(Frame.size(), std::memory_order_relaxed);
+        }
+      }
+      Done.fetch_add(1, std::memory_order_release);
+    });
+
+  // Hold the first drain back long enough for the initial 429 round to
+  // land, then cycle until the pushers are done and the spool is dry.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  while (Done.load(std::memory_order_acquire) < Pushers ||
+         !listSpoolFiles(Spool).empty()) {
+    if (!Daemon.runCycle(&Err)) {
+      std::fprintf(stderr, "cycle failed: %s\n", Err.c_str());
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  for (std::thread &T : Threads)
+    T.join();
+  Daemon.runCycle(&Err); // Sweep anything the last check raced.
+  Res.WallS =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - T0)
+          .count();
+
+  const uint64_t Unique =
+      Prefill + uint64_t(Pushers) * FramesPerPusher * RecordsPerFrame;
+  const CollectorStats &CS = Daemon.collectorStats();
+  Res.Frames = uint64_t(Pushers) * FramesPerPusher;
+  Res.Records = uint64_t(Pushers) * FramesPerPusher * RecordsPerFrame;
+  Res.Bytes = Bytes.load();
+  Res.Attempts = Attempts.load();
+  Res.Throttled = Throttled.load();
+  Res.ReplayedFrames = uint64_t(Pushers) * (FramesPerPusher / 5);
+  Res.DuplicatesDropped = CS.DuplicatesDropped;
+  Res.CountsOk = Failures.load() == 0 && CS.Submitted == Unique &&
+                 CS.FilesQuarantined == 0 && totalOccurrences(Sched) == Unique &&
+                 Res.Throttled > 0;
+  fs::remove_all(Root);
+  return Res;
+}
+
+//===----------------------------------------------------------------------===//
+// Phase 2: adaptive vs fixed cadence on bursty arrivals
+//===----------------------------------------------------------------------===//
+
+struct Arrival {
+  uint64_t AtNs = 0;
+  uint64_t Machine = 0;
+};
+
+struct CadenceResult {
+  uint64_t Cycles = 0;
+  double P50Ms = 0, P95Ms = 0, P99Ms = 0, MaxMs = 0, MeanDelayMs = 0;
+  bool CountsOk = false;
+};
+
+/// Bursty schedule: \p Bursts clusters, each spreading its share of
+/// \p Reports over ~600ms of a 30s window, quiet in between — the regime
+/// where a fixed cadence wastes its whole interval on stragglers.
+std::vector<Arrival> makeBurstySchedule(uint64_t Reports, uint64_t Bursts,
+                                        uint64_t StartNs) {
+  constexpr uint64_t WindowMs = 30'000, BurstMs = 600, Machines = 4;
+  Rng R(20260807);
+  std::vector<Arrival> Schedule(Reports);
+  uint64_t PerBurst = std::max<uint64_t>(1, Reports / Bursts);
+  for (uint64_t I = 0; I < Reports; ++I) {
+    uint64_t Burst = std::min(I / PerBurst, Bursts - 1);
+    uint64_t BurstStartNs =
+        StartNs + (Burst * WindowMs / Bursts) * 1'000'000ULL +
+        R.nextBounded(2'000'000'000ULL / Bursts);
+    Schedule[I].AtNs = BurstStartNs + R.nextBounded(BurstMs * 1'000'000ULL);
+  }
+  std::sort(Schedule.begin(), Schedule.end(),
+            [](const Arrival &A, const Arrival &B) { return A.AtNs < B.AtNs; });
+  for (uint64_t I = 0; I < Reports; ++I)
+    Schedule[I].Machine = 1 + I % Machines;
+  return Schedule;
+}
+
+CadenceResult runCadence(bool Adaptive, const std::vector<Arrival> &Schedule,
+                         uint64_t IntervalMs, const std::string &Root) {
+  fs::remove_all(Root);
+  const std::string Spool = Root + "/spool";
+  fs::create_directories(Spool);
+  constexpr uint64_t Machines = 4;
+  const uint64_t StartNs = Schedule.empty() ? 0 : Schedule.front().AtNs;
+
+  VirtualClock Clock(StartNs);
+  FleetConfig FC;
+  FC.RootSeed = 20260807;
+  FleetScheduler Sched(FC);
+  DaemonConfig DC;
+  DC.Collector.SpoolDir = Spool;
+  DC.DrainIntervalMs = IntervalMs;
+  DC.AdaptiveDrain = Adaptive;
+  DC.Clock = &Clock;
+  DC.Sleep = [&Clock](uint64_t Ms) { Clock.advanceNs(Ms * 1'000'000ULL); };
+  CollectorDaemon Daemon(DC, Sched);
+
+  CadenceResult Res;
+  std::string Err;
+  if (!Daemon.start(&Err)) {
+    std::fprintf(stderr, "daemon start failed: %s\n", Err.c_str());
+    return Res;
+  }
+
+  std::vector<SpoolWriter> Writers;
+  for (uint64_t M = 1; M <= Machines; ++M)
+    Writers.emplace_back(Spool, M);
+  std::vector<uint64_t> NextSeq(Machines, 1);
+
+  std::vector<double> LatenciesMs;
+  LatenciesMs.reserve(Schedule.size());
+  double DelaySumMs = 0;
+  size_t Next = 0;
+  uint64_t NowNs = StartNs;
+
+  // The cycle cadence is simulated: each iteration publishes what
+  // arrived during the preceding (fixed or adaptive) sleep, drains, then
+  // asks the daemon how long it would sleep next.
+  for (uint64_t Cycle = 0;; ++Cycle) {
+    Clock.set(NowNs);
+    size_t Published = 0;
+    while (Next < Schedule.size() && Schedule[Next].AtNs <= NowNs) {
+      const Arrival &A = Schedule[Next];
+      size_t W = A.Machine - 1;
+      Writers[W].append(makeReport(A.Machine, NextSeq[W]++));
+      Writers[W].flush();
+      LatenciesMs.push_back(double(NowNs - A.AtNs) / 1e6);
+      ++Next;
+      ++Published;
+    }
+    (void)Published;
+    if (!Daemon.runCycle(&Err)) {
+      std::fprintf(stderr, "cycle failed: %s\n", Err.c_str());
+      break;
+    }
+    Res.Cycles = Cycle + 1;
+    if (Next >= Schedule.size() && !Sched.hasPendingWork())
+      break;
+    uint64_t DelayMs = Daemon.nextDrainDelayMs();
+    DelaySumMs += double(DelayMs);
+    NowNs += DelayMs * 1'000'000ULL;
+  }
+
+  const CollectorStats &CS = Daemon.collectorStats();
+  Res.CountsOk = CS.Submitted == Schedule.size() &&
+                 CS.DuplicatesDropped == 0 && CS.FilesQuarantined == 0 &&
+                 LatenciesMs.size() == Schedule.size();
+  std::sort(LatenciesMs.begin(), LatenciesMs.end());
+  Res.P50Ms = percentile(LatenciesMs, 0.50);
+  Res.P95Ms = percentile(LatenciesMs, 0.95);
+  Res.P99Ms = percentile(LatenciesMs, 0.99);
+  Res.MaxMs = LatenciesMs.empty() ? 0 : LatenciesMs.back();
+  Res.MeanDelayMs = Res.Cycles > 1 ? DelaySumMs / double(Res.Cycles - 1) : 0;
+  fs::remove_all(Root);
+  return Res;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  unsigned Pushers = 4, FramesPerPusher = 25, RecordsPerFrame = 8;
+  uint64_t Reports = 2000, Bursts = 8;
+  bench::JsonReporter Json("bench_upload_throughput");
+  for (int I = 1; I < argc; ++I) {
+    if (int R = Json.parseArg(argc, argv, I)) {
+      if (R < 0)
+        return 2;
+    } else if (!std::strcmp(argv[I], "--pushers") && I + 1 < argc)
+      Pushers = static_cast<unsigned>(std::strtoul(argv[++I], nullptr, 10));
+    else if (!std::strcmp(argv[I], "--frames") && I + 1 < argc)
+      FramesPerPusher =
+          static_cast<unsigned>(std::strtoul(argv[++I], nullptr, 10));
+    else if (!std::strcmp(argv[I], "--records") && I + 1 < argc)
+      RecordsPerFrame =
+          static_cast<unsigned>(std::strtoul(argv[++I], nullptr, 10));
+    else if (!std::strcmp(argv[I], "--reports") && I + 1 < argc)
+      Reports = std::strtoull(argv[++I], nullptr, 10);
+    else if (!std::strcmp(argv[I], "--bursts") && I + 1 < argc)
+      Bursts = std::strtoull(argv[++I], nullptr, 10);
+    else {
+      std::printf("usage: bench_upload_throughput [--pushers N] [--frames N] "
+                  "[--records N] [--reports N] [--bursts N] [--json FILE]\n");
+      return 2;
+    }
+  }
+  if (!Pushers || !FramesPerPusher || !RecordsPerFrame || !Reports ||
+      !Bursts) {
+    std::printf("all sizes must be positive\n");
+    return 2;
+  }
+
+  std::string Root =
+      (fs::temp_directory_path() / "er_bench_upload_throughput").string();
+
+  std::printf("wire upload: %u pusher(s) x %u frame(s) x %u record(s), "
+              "spool pre-filled past the high watermark\n",
+              Pushers, FramesPerPusher, RecordsPerFrame);
+  WireResult Wire = runWire(Pushers, FramesPerPusher, RecordsPerFrame,
+                            Root + "_wire");
+  double Mb = double(Wire.Bytes) / 1e6;
+  std::printf("  %llu frame(s), %llu record(s) in %.2fs: %.0f frames/s, "
+              "%.0f records/s, %.2f MB/s\n",
+              (unsigned long long)Wire.Frames,
+              (unsigned long long)Wire.Records, Wire.WallS,
+              Wire.WallS > 0 ? double(Wire.Frames) / Wire.WallS : 0,
+              Wire.WallS > 0 ? double(Wire.Records) / Wire.WallS : 0,
+              Wire.WallS > 0 ? Mb / Wire.WallS : 0);
+  std::printf("  backpressure: %llu attempt(s), %llu throttled (429), "
+              "%llu frame(s) replayed, %llu duplicate record(s) dropped\n",
+              (unsigned long long)Wire.Attempts,
+              (unsigned long long)Wire.Throttled,
+              (unsigned long long)Wire.ReplayedFrames,
+              (unsigned long long)Wire.DuplicatesDropped);
+  std::printf("  exactly-once accounting: %s\n\n",
+              Wire.CountsOk ? "ok" : "FAIL");
+  Json.add("wire_throughput")
+      .param("pushers", Pushers)
+      .param("frames_per_pusher", FramesPerPusher)
+      .param("records_per_frame", RecordsPerFrame)
+      .metric("wall_s", Wire.WallS)
+      .metric("frames", Wire.Frames)
+      .metric("records", Wire.Records)
+      .metric("frames_per_s",
+              Wire.WallS > 0 ? double(Wire.Frames) / Wire.WallS : 0)
+      .metric("records_per_s",
+              Wire.WallS > 0 ? double(Wire.Records) / Wire.WallS : 0)
+      .metric("mb_per_s", Wire.WallS > 0 ? Mb / Wire.WallS : 0)
+      .metric("push_attempts", Wire.Attempts)
+      .metric("throttled_429", Wire.Throttled)
+      .metric("replayed_frames", Wire.ReplayedFrames)
+      .metric("duplicates_dropped", Wire.DuplicatesDropped)
+      .metric("counts_ok", static_cast<uint64_t>(Wire.CountsOk));
+
+  constexpr uint64_t IntervalMs = 250;
+  std::printf("drain cadence: %llu report(s) in %llu burst(s), interval max "
+              "%llu ms, virtual clock\n",
+              (unsigned long long)Reports, (unsigned long long)Bursts,
+              (unsigned long long)IntervalMs);
+  std::vector<Arrival> Schedule =
+      makeBurstySchedule(Reports, Bursts, 1'000'000'000'000ULL);
+  std::printf("\n%10s %8s %10s %10s %10s %10s %14s %7s\n", "cadence",
+              "cycles", "p50(ms)", "p95(ms)", "p99(ms)", "max(ms)",
+              "mean delay(ms)", "counts");
+  CadenceResult ByMode[2];
+  for (bool Adaptive : {true, false}) {
+    CadenceResult R =
+        runCadence(Adaptive, Schedule, IntervalMs, Root + "_cadence");
+    ByMode[Adaptive ? 0 : 1] = R;
+    std::printf("%10s %8llu %10.2f %10.2f %10.2f %10.2f %14.2f %7s\n",
+                Adaptive ? "adaptive" : "fixed",
+                (unsigned long long)R.Cycles, R.P50Ms, R.P95Ms, R.P99Ms,
+                R.MaxMs, R.MeanDelayMs, R.CountsOk ? "ok" : "FAIL");
+    Json.add("cadence")
+        .param("mode", Adaptive ? "adaptive" : "fixed")
+        .param("interval_ms", IntervalMs)
+        .param("reports", Reports)
+        .param("bursts", Bursts)
+        .metric("cycles", R.Cycles)
+        .metric("p50_ms", R.P50Ms)
+        .metric("p95_ms", R.P95Ms)
+        .metric("p99_ms", R.P99Ms)
+        .metric("max_ms", R.MaxMs)
+        .metric("mean_delay_ms", R.MeanDelayMs)
+        .metric("counts_ok", static_cast<uint64_t>(R.CountsOk));
+  }
+  const CadenceResult &Ad = ByMode[0], &Fx = ByMode[1];
+  bool AdaptiveWins = Ad.P99Ms < Fx.P99Ms;
+  double Speedup = Ad.P99Ms > 0 ? Fx.P99Ms / Ad.P99Ms : 0;
+  std::printf("\nadaptive p99 %.2f ms vs fixed %.2f ms: %.2fx %s\n",
+              Ad.P99Ms, Fx.P99Ms, Speedup,
+              AdaptiveWins ? "(adaptive wins)" : "(ADAPTIVE DID NOT WIN)");
+  Json.add("cadence_compare")
+      .param("interval_ms", IntervalMs)
+      .metric("adaptive_p99_ms", Ad.P99Ms)
+      .metric("fixed_p99_ms", Fx.P99Ms)
+      .metric("p99_speedup", Speedup)
+      .metric("adaptive_beats_fixed", static_cast<uint64_t>(AdaptiveWins));
+
+  bool AllOk = Wire.CountsOk && Ad.CountsOk && Fx.CountsOk && AdaptiveWins;
+  std::printf("overall: %s\n", AllOk ? "ok" : "FAIL");
+  if (int Rc = Json.flush())
+    return Rc;
+  return AllOk ? 0 : 1;
+}

@@ -18,6 +18,7 @@
 #include "ingest/CollectorDaemon.h"
 #include "ingest/ReportCollector.h"
 #include "ingest/ReportSpool.h"
+#include "net/ReportClient.h"
 #include "obs/Metrics.h"
 #include "obs/PromExport.h"
 #include "obs/Tracer.h"
@@ -27,13 +28,16 @@
 #include "vm/Interpreter.h"
 #include "workloads/Workloads.h"
 
+#include <atomic>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <sys/stat.h>
+#include <thread>
 #include <vector>
 
 using namespace er;
@@ -46,18 +50,26 @@ static int usage() {
       "       er_cli fleet   [--jobs N] [--seed S] [--machines M] [--runs R]\n"
       "                      [--bugs id,id,...] [--state FILE]\n"
       "                      [telemetry flags]\n"
-      "       er_cli report  --spool DIR --machine ID [--runs R] [--seed S]\n"
-      "                      [--bugs id,id,...] [--first-seq N]\n"
+      "       er_cli report  (--spool DIR | --push URL) --machine ID\n"
+      "                      [--runs R] [--seed S] [--bugs id,id,...]\n"
+      "                      [--first-seq N] [--timeout-ms N]\n"
+      "       er_cli pushfleet --url URL [--machines M] [--jobs N]\n"
+      "                      [--runs R] [--seed S] [--bugs id,id,...]\n"
+      "                      [--timeout-ms N] [--push-retries N]\n"
       "       er_cli collect --spool DIR [--jobs N] [--seed S] [--state FILE]\n"
       "                      [--max-pending N] [--keep-drained]\n"
       "                      [--daemon] [--interval-ms N] [--max-cycles N]\n"
       "                      [--step-budget N] [--retries N] [--preempt-hot N]\n"
-      "                      [--listen HOST:PORT] [--cycle-deadline-ms N]\n"
+      "                      [--listen HOST:PORT] [--body-cap BYTES]\n"
+      "                      [--fixed-interval] [--min-interval-ms N]\n"
+      "                      [--high-files N] [--high-bytes N]\n"
+      "                      [--low-files N] [--low-bytes N]\n"
+      "                      [--cycle-deadline-ms N]\n"
       "                      [--stall-dir DIR] [--metrics-every N]\n"
       "                      [--metrics-json FILE] [telemetry flags]\n"
       "       er_cli stats   [--jobs N] [--seed S] [--machines M] [--runs R]\n"
       "                      [--bugs id,id,...] [telemetry flags]\n"
-      "       er_cli promcheck FILE\n"
+      "       er_cli promcheck FILE|http://HOST:PORT/metrics\n"
       "\n"
       "telemetry flags (docs/OBSERVABILITY.md):\n"
       "  --metrics-out FILE   export the metrics registry as JSON\n"
@@ -74,16 +86,25 @@ static int usage() {
       "\n"
       "report/collect: the cross-process path (docs/INGEST.md). `report`\n"
       "runs ONE production machine and appends its failures to a spool\n"
-      "directory; `collect` drains the spool (validating, quarantining,\n"
+      "directory — or, with --push, uploads each frame to a daemon's\n"
+      "POST /report endpoint (429/503 retried with backoff + jitter);\n"
+      "`collect` drains the spool (validating, quarantining,\n"
       "deduplicating) into the same triage + campaign pipeline. Draining\n"
       "what machines 0..M-1 reported reproduces `fleet --machines M`\n"
-      "byte-for-byte.\n"
+      "byte-for-byte, whether the frames arrived by filesystem or wire.\n"
       "\n"
-      "collect --daemon: stay resident and drain the spool every\n"
-      "--interval-ms (default 250), advancing campaigns incrementally\n"
-      "between drains (--step-budget steps per cycle, 0 = until idle) and\n"
-      "checkpointing --state atomically each cycle. Transient drain I/O\n"
-      "errors are retried --retries times with doubling backoff.\n"
+      "pushfleet: M simulated machines upload concurrently (--jobs pusher\n"
+      "threads) to one daemon over localhost — the end-to-end wire\n"
+      "ingestion exerciser (docs/INGEST.md, \"Wire ingestion\").\n"
+      "\n"
+      "collect --daemon: stay resident and drain the spool up to every\n"
+      "--interval-ms (default 250; an adaptive maximum — cycles come\n"
+      "sooner as spool pressure rises, down to --min-interval-ms;\n"
+      "--fixed-interval pins the classic cadence), advancing campaigns\n"
+      "incrementally between drains (--step-budget steps per cycle, 0 =\n"
+      "until idle) and checkpointing --state atomically each cycle.\n"
+      "Transient drain I/O errors are retried --retries times with\n"
+      "doubling backoff.\n"
       "--preempt-hot N suspends the weakest running campaign when a\n"
       "pending bucket reaches N occurrences. SIGINT/SIGTERM stop the loop\n"
       "cleanly after a final checkpoint; ER_FAULT_SPEC injects scripted\n"
@@ -91,8 +112,13 @@ static int usage() {
       "\n"
       "daemon live telemetry (docs/OBSERVABILITY.md, \"Live endpoints\"):\n"
       "--listen serves GET /metrics (Prometheus text exposition), /healthz\n"
-      "and /status (JSON) — port 0 binds an ephemeral port, printed on\n"
-      "startup. --cycle-deadline-ms arms a watchdog around each cycle: a\n"
+      "and /status (JSON), and accepts report uploads on POST /report\n"
+      "(docs/INGEST.md, \"Wire ingestion\"; bodies up to --body-cap,\n"
+      "default 1 MiB) — port 0 binds an ephemeral port, printed on\n"
+      "startup. Uploads are answered 429 (and, deeper in, 503 at accept)\n"
+      "while the spool sits past --high-files/--high-bytes, until it\n"
+      "falls back under --low-files/--low-bytes.\n"
+      "--cycle-deadline-ms arms a watchdog around each cycle: a\n"
       "cycle exceeding it flips /healthz unhealthy and dumps stall\n"
       "diagnostics into --stall-dir. --metrics-every N atomically rewrites\n"
       "--metrics-json (default metrics.json) every N cycles.\n"
@@ -100,8 +126,9 @@ static int usage() {
       "stats: run the fleet pipeline with tracing on and print the full\n"
       "metric catalog and a per-phase span time summary as text tables.\n"
       "\n"
-      "promcheck: strict Prometheus text-exposition parse of FILE (the\n"
-      "format /metrics serves); exit 0 iff valid. CI gates scrapes on it.\n");
+      "promcheck: strict Prometheus text-exposition parse of FILE — or of\n"
+      "a live endpoint when given an http:// URL (scraped with a 5 s\n"
+      "deadline); exit 0 iff valid. CI gates scrapes on it.\n");
   return 2;
 }
 
@@ -440,8 +467,9 @@ static int cmdFleet(int argc, char **argv) {
 }
 
 static int cmdReport(int argc, char **argv) {
-  std::string SpoolDir;
+  std::string SpoolDir, PushUrl;
   uint64_t MachineId = 0, RootSeed = 20260807, FirstSeq = 1;
+  uint64_t TimeoutMs = 5000;
   bool HaveMachine = false;
   unsigned Runs = 400;
   std::vector<std::string> BugIds;
@@ -459,6 +487,14 @@ static int cmdReport(int argc, char **argv) {
       if (!(V = NextArg("--spool")))
         return 2;
       SpoolDir = V;
+    } else if (!std::strcmp(argv[I], "--push")) {
+      if (!(V = NextArg("--push")))
+        return 2;
+      PushUrl = V;
+    } else if (!std::strcmp(argv[I], "--timeout-ms")) {
+      if (!(V = NextArg("--timeout-ms")))
+        return 2;
+      TimeoutMs = std::strtoull(V, nullptr, 10);
     } else if (!std::strcmp(argv[I], "--machine")) {
       if (!(V = NextArg("--machine")))
         return 2;
@@ -485,8 +521,10 @@ static int cmdReport(int argc, char **argv) {
       return 2;
     }
   }
-  if (SpoolDir.empty() || !HaveMachine) {
-    std::printf("report needs --spool DIR and --machine ID\n");
+  if ((SpoolDir.empty() == PushUrl.empty()) || !HaveMachine) {
+    std::printf(
+        "report needs --machine ID and exactly one of --spool DIR or "
+        "--push URL\n");
     return 2;
   }
 
@@ -495,25 +533,162 @@ static int cmdReport(int argc, char **argv) {
     return 2;
 
   // Exactly the in-process harvest loop, with the spool as the sink: one
-  // published file per workload that observed at least one failure.
+  // published file (or one uploaded frame) per workload that observed at
+  // least one failure. The wire path ships the byte-identical frame a
+  // flush would have renamed into place, so the collector cannot tell
+  // the transports apart.
   SpoolWriter Writer(SpoolDir, MachineId, FirstSeq);
-  unsigned Observed = 0;
+  net::ReportClientConfig Push;
+  Push.TimeoutMs = TimeoutMs;
+  Push.JitterSeed = MachineId + 1;
+  unsigned Observed = 0, Pushed = 0;
   for (const BugSpec *Spec : Corpus) {
     Observed += simulateMachine(
         *Spec, Runs, MachineId, RootSeed, VmConfig(),
         [&](const FleetFailureReport &R) { Writer.append(R); },
         Writer.nextSequence());
+    if (!PushUrl.empty()) {
+      std::string Frame = Writer.takeFrame();
+      if (Frame.empty())
+        continue;
+      net::PushResult PR = net::pushReportUrl(PushUrl, Frame, Push);
+      if (!PR.Ok) {
+        std::printf("cannot push to %s: %s\n", PushUrl.c_str(),
+                    PR.Error.c_str());
+        return 1;
+      }
+      ++Pushed;
+      continue;
+    }
     std::string Err;
     if (!Writer.flush(&Err)) {
       std::printf("cannot write spool: %s\n", Err.c_str());
       return 1;
     }
   }
-  std::printf("machine %llu: observed %u failure(s) over %u run(s) x %zu "
-              "workload(s); spooled to %s (next seq %llu)\n",
-              (unsigned long long)MachineId, Observed, Runs, Corpus.size(),
-              SpoolDir.c_str(), (unsigned long long)Writer.nextSequence());
+  if (!PushUrl.empty())
+    std::printf("machine %llu: observed %u failure(s) over %u run(s) x %zu "
+                "workload(s); pushed %u frame(s) to %s (next seq %llu)\n",
+                (unsigned long long)MachineId, Observed, Runs, Corpus.size(),
+                Pushed, PushUrl.c_str(),
+                (unsigned long long)Writer.nextSequence());
+  else
+    std::printf("machine %llu: observed %u failure(s) over %u run(s) x %zu "
+                "workload(s); spooled to %s (next seq %llu)\n",
+                (unsigned long long)MachineId, Observed, Runs, Corpus.size(),
+                SpoolDir.c_str(), (unsigned long long)Writer.nextSequence());
   return 0;
+}
+
+/// `pushfleet`: M simulated machines feed one daemon over localhost,
+/// --jobs at a time — the concurrent end-to-end exerciser for the wire
+/// ingestion path (each pusher thread owns disjoint machines; all the
+/// shared state is a handful of atomics).
+static int cmdPushfleet(int argc, char **argv) {
+  std::string Url;
+  uint64_t RootSeed = 20260807, TimeoutMs = 5000;
+  unsigned Machines = 3, Jobs = 2, Runs = 400, PushRetries = 5;
+  std::vector<std::string> BugIds;
+
+  for (int I = 2; I < argc; ++I) {
+    auto NextArg = [&](const char *Flag) -> const char * {
+      if (I + 1 >= argc) {
+        std::printf("%s needs a value\n", Flag);
+        return nullptr;
+      }
+      return argv[++I];
+    };
+    const char *V = nullptr;
+    if (!std::strcmp(argv[I], "--url")) {
+      if (!(V = NextArg("--url")))
+        return 2;
+      Url = V;
+    } else if (!std::strcmp(argv[I], "--machines")) {
+      if (!(V = NextArg("--machines")))
+        return 2;
+      Machines = static_cast<unsigned>(std::strtoul(V, nullptr, 10));
+    } else if (!std::strcmp(argv[I], "--jobs")) {
+      if (!(V = NextArg("--jobs")))
+        return 2;
+      Jobs = static_cast<unsigned>(std::strtoul(V, nullptr, 10));
+    } else if (!std::strcmp(argv[I], "--runs")) {
+      if (!(V = NextArg("--runs")))
+        return 2;
+      Runs = static_cast<unsigned>(std::strtoul(V, nullptr, 10));
+    } else if (!std::strcmp(argv[I], "--seed")) {
+      if (!(V = NextArg("--seed")))
+        return 2;
+      RootSeed = std::strtoull(V, nullptr, 10);
+    } else if (!std::strcmp(argv[I], "--timeout-ms")) {
+      if (!(V = NextArg("--timeout-ms")))
+        return 2;
+      TimeoutMs = std::strtoull(V, nullptr, 10);
+    } else if (!std::strcmp(argv[I], "--push-retries")) {
+      if (!(V = NextArg("--push-retries")))
+        return 2;
+      PushRetries = static_cast<unsigned>(std::strtoul(V, nullptr, 10));
+    } else if (!std::strcmp(argv[I], "--bugs")) {
+      if (!(V = NextArg("--bugs")))
+        return 2;
+      splitBugList(V, BugIds);
+    } else {
+      std::printf("unknown pushfleet option '%s'\n", argv[I]);
+      return 2;
+    }
+  }
+  if (Url.empty()) {
+    std::printf("pushfleet needs --url URL\n");
+    return 2;
+  }
+  std::vector<const BugSpec *> Corpus;
+  if (!resolveCorpus(BugIds, Corpus))
+    return 2;
+  Jobs = std::max(1u, std::min(Jobs, std::max(1u, Machines)));
+
+  std::atomic<unsigned> Observed{0}, Frames{0}, Attempts{0}, Throttled{0};
+  std::atomic<bool> Failed{false};
+  std::mutex PrintMu;
+  auto Pusher = [&](unsigned First) {
+    for (unsigned Machine = First; Machine < Machines; Machine += Jobs) {
+      SpoolWriter Writer("", Machine, 1);
+      net::ReportClientConfig Push;
+      Push.TimeoutMs = TimeoutMs;
+      Push.MaxRetries = PushRetries;
+      Push.JitterSeed = Machine + 1;
+      for (const BugSpec *Spec : Corpus) {
+        Observed += simulateMachine(
+            *Spec, Runs, Machine, RootSeed, VmConfig(),
+            [&](const FleetFailureReport &R) { Writer.append(R); },
+            Writer.nextSequence());
+        std::string Frame = Writer.takeFrame();
+        if (Frame.empty())
+          continue;
+        net::PushResult PR = net::pushReportUrl(Url, Frame, Push);
+        Attempts += PR.Attempts;
+        Throttled += PR.Throttled;
+        if (!PR.Ok) {
+          std::lock_guard<std::mutex> Lock(PrintMu);
+          std::printf("machine %u: push failed: %s\n", Machine,
+                      PR.Error.c_str());
+          Failed.store(true);
+          return;
+        }
+        ++Frames;
+      }
+    }
+  };
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T < Jobs; ++T)
+    Threads.emplace_back(Pusher, T);
+  for (std::thread &T : Threads)
+    T.join();
+
+  std::printf("pushfleet: %u machine(s) x %u run(s) x %zu workload(s) over "
+              "%u thread(s): %u failure(s) observed, %u frame(s) pushed to "
+              "%s (%u attempt(s), %u throttled)\n",
+              Machines, Runs, Corpus.size(), Jobs, Observed.load(),
+              Frames.load(), Url.c_str(), Attempts.load(), Throttled.load());
+  return Failed.load() ? 1 : 0;
 }
 
 /// The daemon the stop signals talk to. Signal handlers may only touch
@@ -572,7 +747,8 @@ static int runCollectDaemon(const DaemonConfig &DC, FleetScheduler &Sched,
     std::string Host = "127.0.0.1";
     uint16_t Port = 0;
     net::parseHostPort(DC.Listen, Host, Port);
-    std::printf("daemon: listening on %s:%u (/metrics /healthz /status)\n",
+    std::printf("daemon: listening on %s:%u (/metrics /healthz /status; "
+                "POST /report)\n",
                 Host.c_str(), (unsigned)Daemon.listenPort());
   }
   // Smoke tests grep the banner for the ephemeral port while the daemon
@@ -695,6 +871,32 @@ static int cmdCollect(int argc, char **argv) {
       if (!(V = NextArg("--metrics-json")))
         return 2;
       DC.MetricsJsonPath = V;
+    } else if (!std::strcmp(argv[I], "--body-cap")) {
+      if (!(V = NextArg("--body-cap")))
+        return 2;
+      DC.Http.MaxBodyBytes = std::strtoull(V, nullptr, 10);
+    } else if (!std::strcmp(argv[I], "--fixed-interval")) {
+      DC.AdaptiveDrain = false;
+    } else if (!std::strcmp(argv[I], "--min-interval-ms")) {
+      if (!(V = NextArg("--min-interval-ms")))
+        return 2;
+      DC.MinDrainIntervalMs = std::strtoull(V, nullptr, 10);
+    } else if (!std::strcmp(argv[I], "--high-files")) {
+      if (!(V = NextArg("--high-files")))
+        return 2;
+      DC.Pressure.HighFiles = std::strtoull(V, nullptr, 10);
+    } else if (!std::strcmp(argv[I], "--high-bytes")) {
+      if (!(V = NextArg("--high-bytes")))
+        return 2;
+      DC.Pressure.HighBytes = std::strtoull(V, nullptr, 10);
+    } else if (!std::strcmp(argv[I], "--low-files")) {
+      if (!(V = NextArg("--low-files")))
+        return 2;
+      DC.Pressure.LowFiles = std::strtoull(V, nullptr, 10);
+    } else if (!std::strcmp(argv[I], "--low-bytes")) {
+      if (!(V = NextArg("--low-bytes")))
+        return 2;
+      DC.Pressure.LowBytes = std::strtoull(V, nullptr, 10);
     } else {
       std::printf("unknown collect option '%s'\n", argv[I]);
       return 2;
@@ -844,16 +1046,35 @@ static int cmdStats(int argc, char **argv) {
 /// for promtool so the gate needs no network or extra install.
 static int cmdPromcheck(int argc, char **argv) {
   if (argc < 3) {
-    std::printf("promcheck needs a file\n");
+    std::printf("promcheck needs a file or http://HOST:PORT/metrics URL\n");
     return 2;
   }
-  std::vector<uint8_t> Bytes;
-  std::string Err;
-  if (FsOps::real().readFile(argv[2], Bytes, &Err) != FsStatus::Ok) {
-    std::printf("promcheck: cannot read %s: %s\n", argv[2], Err.c_str());
-    return 1;
+  std::string Text, Err;
+  if (!std::strncmp(argv[2], "http://", 7)) {
+    std::string Host, Path;
+    uint16_t Port = 0;
+    if (!net::parseHttpUrl(argv[2], Host, Port, Path, &Err)) {
+      std::printf("promcheck: bad URL %s: %s\n", argv[2], Err.c_str());
+      return 1;
+    }
+    net::HttpClientResponse Resp;
+    if (!net::httpGet(Host, Port, Path, Resp, &Err, /*TimeoutMs=*/5000)) {
+      std::printf("promcheck: cannot scrape %s: %s\n", argv[2], Err.c_str());
+      return 1;
+    }
+    if (Resp.Status != 200) {
+      std::printf("promcheck: %s: HTTP %d\n", argv[2], Resp.Status);
+      return 1;
+    }
+    Text = Resp.Body;
+  } else {
+    std::vector<uint8_t> Bytes;
+    if (FsOps::real().readFile(argv[2], Bytes, &Err) != FsStatus::Ok) {
+      std::printf("promcheck: cannot read %s: %s\n", argv[2], Err.c_str());
+      return 1;
+    }
+    Text.assign(Bytes.begin(), Bytes.end());
   }
-  std::string Text(Bytes.begin(), Bytes.end());
   if (!obs::promValidateExposition(Text, &Err)) {
     std::printf("promcheck: %s: INVALID: %s\n", argv[2], Err.c_str());
     return 1;
@@ -871,6 +1092,8 @@ int main(int argc, char **argv) {
     return cmdPromcheck(argc, argv);
   if (!std::strcmp(argv[1], "fleet"))
     return cmdFleet(argc, argv);
+  if (!std::strcmp(argv[1], "pushfleet"))
+    return cmdPushfleet(argc, argv);
   if (!std::strcmp(argv[1], "report"))
     return cmdReport(argc, argv);
   if (!std::strcmp(argv[1], "collect"))

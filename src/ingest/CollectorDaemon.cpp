@@ -2,10 +2,12 @@
 
 #include "ingest/CollectorDaemon.h"
 
+#include "ingest/ReportCodec.h"
 #include "obs/Json.h"
 #include "obs/Metrics.h"
 #include "obs/PromExport.h"
 #include "obs/Tracer.h"
+#include "support/Format.h"
 
 #include <algorithm>
 #include <chrono>
@@ -19,6 +21,8 @@ struct DaemonMetrics {
   obs::Counter &Steps, &Checkpoints, &CheckpointFailures, &FilesAcked;
   obs::Counter &MetricsSnapshots, &MetricsSnapshotFailures;
   obs::Gauge &UptimeNs, &DrainIntervalNs;
+  obs::Counter &Accelerated, &EarlyWakes;
+  obs::Gauge &AdaptiveIntervalMs;
 
   static DaemonMetrics &get() {
     auto &Reg = obs::MetricsRegistry::global();
@@ -33,7 +37,26 @@ struct DaemonMetrics {
                            Reg.counter("daemon.metrics.snapshots"),
                            Reg.counter("daemon.metrics.snapshot.failures"),
                            Reg.gauge("daemon.uptime_ns"),
-                           Reg.gauge("daemon.drain_interval_ns")};
+                           Reg.gauge("daemon.drain_interval_ns"),
+                           Reg.counter("daemon.adaptive.accelerated"),
+                           Reg.counter("daemon.adaptive.early_wakes"),
+                           Reg.gauge("daemon.adaptive.interval_ms")};
+    return M;
+  }
+};
+
+struct UploadMetrics {
+  obs::Counter &Accepted, &Records, &Bytes;
+  obs::Counter &Rejected, &Throttled, &Quarantined;
+
+  static UploadMetrics &get() {
+    auto &Reg = obs::MetricsRegistry::global();
+    static UploadMetrics M{Reg.counter("ingest.upload.accepted"),
+                           Reg.counter("ingest.upload.records"),
+                           Reg.counter("ingest.upload.bytes"),
+                           Reg.counter("ingest.upload.rejected"),
+                           Reg.counter("ingest.upload.throttled"),
+                           Reg.counter("ingest.upload.quarantined")};
     return M;
   }
 };
@@ -57,12 +80,8 @@ obs::WatchdogConfig watchdogConfig(const DaemonConfig &DC) {
   WC.Fs = DC.Collector.Fs;
   return WC;
 }
-
-bool endsWith(const std::string &S, const char *Suffix) {
-  size_t N = std::string(Suffix).size();
-  return S.size() >= N && S.compare(S.size() - N, N, Suffix) == 0;
-}
 } // namespace
+
 
 const char *er::daemonPhaseName(DaemonPhase P) {
   switch (P) {
@@ -85,6 +104,8 @@ const char *er::daemonPhaseName(DaemonPhase P) {
 CollectorDaemon::CollectorDaemon(DaemonConfig Config, FleetScheduler &Sched)
     : Config(Config), Sched(Sched),
       Collector(adjustForDaemon(Config.Collector, !Config.StateFile.empty())),
+      Pressure(Config.Collector.SpoolDir, Config.Pressure,
+               Config.Collector.Fs),
       Watchdog(watchdogConfig(Config)) {}
 
 ClockSource &CollectorDaemon::clock() const {
@@ -222,13 +243,27 @@ void CollectorDaemon::writeMetricsSnapshot() {
 }
 
 void CollectorDaemon::publishStatus() {
+  // One spool scan serves both the status snapshot and the pressure
+  // signal (gauges, 429/503 decisions, adaptive schedule).
+  Pressure.sample();
+  // Accept-shed tracks the critical watermark with the same hysteresis
+  // as the signal itself.
+  if (Http)
+    Http->setAcceptShed(Pressure.level() == PressureLevel::Critical);
+
   DaemonStatus S;
   S.Cycle = Stats.Cycles;
   S.UptimeNs = uptimeNs();
   S.LastCheckpointNs = LastCheckpointNs.load(std::memory_order_relaxed);
-  for (const std::string &Name : fsOps().listDir(Config.Collector.SpoolDir))
-    if (endsWith(Name, ".ers"))
-      ++S.SpoolDepth;
+  S.SpoolDepth = Pressure.sampledFiles();
+  S.SpoolBytes = Pressure.sampledBytes();
+  S.PressureRatio = Pressure.ratio();
+  S.Pressure = Pressure.level();
+  S.UploadsAccepted = UploadsAccepted.load(std::memory_order_relaxed);
+  S.UploadsRejected = UploadsRejected.load(std::memory_order_relaxed);
+  S.UploadsThrottled = UploadsThrottled.load(std::memory_order_relaxed);
+  S.LastDrainDelayMs = LastDrainDelayMs.load(std::memory_order_relaxed);
+  S.EarlyWakes = EarlyWakes.load(std::memory_order_relaxed);
   S.PendingAckFiles = Collector.pendingAckCount();
   S.ClaimRetries = Collector.getStats().ClaimRetries;
   S.ClaimFailures = Collector.getStats().ClaimFailures;
@@ -256,9 +291,15 @@ bool CollectorDaemon::runCycle(std::string *Error) {
 
   // 1. Drain. A cycle whose drain fails even after retries still steps
   // campaigns — existing work must not starve behind a sick disk.
+  uint64_t ClaimedBefore = Collector.getStats().FilesClaimed;
   std::string DrainError;
   bool Drained = drainWithRetry(&DrainError);
   Span.arg("drained", static_cast<uint64_t>(Drained));
+  // How much this drain swallowed is the adaptive schedule's arrival-rate
+  // term: a cycle that claimed a full batch implies more is coming at
+  // this cadence, even though the spool now scans empty.
+  DrainedLastCycle.store(Collector.getStats().FilesClaimed - ClaimedBefore,
+                         std::memory_order_relaxed);
 
   // 2. Advance campaigns incrementally; new reports merged by drain feed
   // existing buckets without restarting them.
@@ -305,7 +346,7 @@ bool CollectorDaemon::runLoop(std::string *Error) {
       break;
     if (Config.MaxCycles && Stats.Cycles >= Config.MaxCycles)
       break;
-    sleepMs(Config.DrainIntervalMs);
+    interCycleSleep();
     if (stopRequested())
       break;
   }
@@ -324,6 +365,57 @@ bool CollectorDaemon::runLoop(std::string *Error) {
   if (Http)
     Http->stop();
   return Ok;
+}
+
+uint64_t CollectorDaemon::nextDrainDelayMs() const {
+  uint64_t Max = Config.DrainIntervalMs;
+  if (!Config.AdaptiveDrain || Max == 0)
+    return Max;
+  uint64_t Min = Config.MinDrainIntervalMs ? Config.MinDrainIntervalMs
+                                           : std::max<uint64_t>(1, Max / 8);
+  Min = std::min(Min, Max);
+  // Two reasons to hurry: the spool is filling (pressure, which counts
+  // uploads landed since the last sample), or the last drain claimed a
+  // batch big enough to imply a sustained arrival stream. Either at 1.0
+  // pins the delay to the floor; in between the delay scales linearly.
+  uint64_t Busy = std::max<uint64_t>(1, Config.AdaptiveBusyFiles);
+  double Urgency =
+      std::max(Pressure.ratio(),
+               static_cast<double>(
+                   DrainedLastCycle.load(std::memory_order_relaxed)) /
+                   static_cast<double>(Busy));
+  Urgency = std::min(Urgency, 1.0);
+  return Max - static_cast<uint64_t>(static_cast<double>(Max - Min) * Urgency);
+}
+
+void CollectorDaemon::interCycleSleep() {
+  DaemonMetrics &DM = DaemonMetrics::get();
+  uint64_t Delay = nextDrainDelayMs();
+  LastDrainDelayMs.store(Delay, std::memory_order_relaxed);
+  DM.AdaptiveIntervalMs.set(static_cast<int64_t>(Delay));
+  if (Delay < Config.DrainIntervalMs)
+    DM.Accelerated.inc();
+  if (!Config.AdaptiveDrain) {
+    sleepMs(Delay);
+    return;
+  }
+  // Sleep in floor-sized slices so an upload burst landing mid-interval
+  // can pull the next drain forward instead of waiting out the rest.
+  uint64_t Slice = std::max<uint64_t>(
+      1, Config.MinDrainIntervalMs
+             ? Config.MinDrainIntervalMs
+             : std::max<uint64_t>(1, Config.DrainIntervalMs / 8));
+  uint64_t Slept = 0;
+  while (Slept < Delay && !stopRequested()) {
+    uint64_t Chunk = std::min(Slice, Delay - Slept);
+    sleepMs(Chunk);
+    Slept += Chunk;
+    if (Slept < Delay && Pressure.ratio() >= 1.0) {
+      EarlyWakes.fetch_add(1, std::memory_order_relaxed);
+      DM.EarlyWakes.inc();
+      break;
+    }
+  }
 }
 
 //===----------------------------------------------------------------------===//
@@ -372,10 +464,28 @@ net::HttpResponse CollectorDaemon::renderStatus() {
   W.kv("uptime_ns", S.UptimeNs);
   W.kv("last_checkpoint_ns", S.LastCheckpointNs);
   W.kv("spool_depth", static_cast<uint64_t>(S.SpoolDepth));
+  W.kv("spool_bytes", S.SpoolBytes);
   W.kv("pending_ack_files", static_cast<uint64_t>(S.PendingAckFiles));
   W.kv("claim_retries", S.ClaimRetries);
   W.kv("claim_failures", S.ClaimFailures);
   W.kv("preemptions", S.Preemptions);
+  W.key("pressure");
+  W.beginObject();
+  W.kv("ratio", S.PressureRatio);
+  W.kv("level", pressureLevelName(S.Pressure));
+  W.endObject();
+  W.key("uploads");
+  W.beginObject();
+  W.kv("accepted", S.UploadsAccepted);
+  W.kv("rejected", S.UploadsRejected);
+  W.kv("throttled", S.UploadsThrottled);
+  W.endObject();
+  W.key("adaptive");
+  W.beginObject();
+  W.kv("enabled", Config.AdaptiveDrain);
+  W.kv("last_delay_ms", S.LastDrainDelayMs);
+  W.kv("early_wakes", S.EarlyWakes);
+  W.endObject();
   W.key("stats");
   W.beginObject();
   W.kv("cycles", S.Stats.Cycles);
@@ -417,8 +527,143 @@ net::HttpResponse CollectorDaemon::renderStatus() {
   return R;
 }
 
+net::HttpResponse CollectorDaemon::handleUpload(const net::HttpRequest &Req) {
+  UploadMetrics &UM = UploadMetrics::get();
+  obs::ScopedSpan Span("ingest.upload", "daemon");
+  Span.arg("bytes", static_cast<uint64_t>(Req.Body.size()));
+
+  auto Reject = [&](int Status, const std::string &Why) {
+    UploadsRejected.fetch_add(1, std::memory_order_relaxed);
+    UM.Rejected.inc();
+    Span.arg("rejected", Why);
+    net::HttpResponse R;
+    R.Status = Status;
+    R.Body = Why + "\n";
+    return R;
+  };
+
+  // Backpressure first: while the spool is past its high watermark the
+  // daemon will not even look at the bytes. The client retries after the
+  // hint; nothing is lost (the sender still holds the frame).
+  if (Pressure.level() != PressureLevel::Ok) {
+    UploadsThrottled.fetch_add(1, std::memory_order_relaxed);
+    UM.Throttled.inc();
+    Span.arg("throttled", uint64_t(1));
+    net::HttpResponse R;
+    R.Status = 429;
+    R.Body = "spool over high watermark; retry later\n";
+    R.ExtraHeaders.push_back(
+        {"Retry-After", std::to_string(Pressure.retryAfterSeconds())});
+    return R;
+  }
+
+  if (Req.Body.empty())
+    return Reject(400, "empty report frame");
+
+  // Validate the whole frame before publishing anything: header, then
+  // every record's length + CRC. The spool must only ever contain files
+  // a drain will fully decode.
+  const uint8_t *Data = reinterpret_cast<const uint8_t *>(Req.Body.data());
+  size_t Size = Req.Body.size(), Offset = 0;
+  uint32_t Version = 0;
+  DecodeStatus DS = decodeSpoolHeader(Data, Size, Offset, Version);
+  uint64_t Records = 0, Machine = 0, FirstSeq = 0;
+  while (DS == DecodeStatus::Ok && Offset < Size) {
+    FleetFailureReport Rec;
+    DS = decodeReport(Data, Size, Offset, Rec);
+    if (DS != DecodeStatus::Ok)
+      break;
+    if (!Records) {
+      Machine = Rec.MachineId;
+      FirstSeq = Rec.Sequence;
+    }
+    ++Records;
+  }
+  if (DS != DecodeStatus::Ok || Records == 0) {
+    // A frame that fails CRC/framing goes to the quarantine, exactly
+    // where the drain puts a corrupt on-disk file — same triage
+    // directory, same operator workflow (docs/INGEST.md).
+    FsOps &Fs = fsOps();
+    std::string QDir = Config.Collector.SpoolDir + "/quarantine";
+    std::string QName = formatString(
+        "upload-%016llx.bad",
+        (unsigned long long)UploadSeq.fetch_add(1, std::memory_order_relaxed));
+    if (Fs.createDirectories(QDir))
+      Fs.writeFile(QDir + "/" + QName, Req.Body);
+    UM.Quarantined.inc();
+    std::string Why = Records == 0 && DS == DecodeStatus::Ok
+                          ? std::string("frame contains no records")
+                          : std::string("bad frame (") + decodeStatusName(DS) +
+                                ")";
+    return Reject(400, Why + "; quarantined as " + QName);
+  }
+
+  // Publish exactly as a SpoolWriter would: the body IS a spool file.
+  // The final name is content-derived — (machine, first sequence) — so a
+  // client retrying an upload whose 200 got lost republishes the same
+  // name (rename overwrites its twin) and the collector's high-water
+  // dedup drops any record a previous drain already owned: exactly-once
+  // end-to-end, with zero upload-specific bookkeeping.
+  FsOps &Fs = fsOps();
+  std::string Base =
+      formatString("m%016llx-%016llx", (unsigned long long)Machine,
+                   (unsigned long long)FirstSeq);
+  std::string Tmp = Config.Collector.SpoolDir + "/" + Base +
+                    formatString(".u%llu.tmp",
+                                 (unsigned long long)UploadSeq.fetch_add(
+                                     1, std::memory_order_relaxed));
+  std::string Final = Config.Collector.SpoolDir + "/" + Base + ".ers";
+  std::string IoError;
+  if (!Fs.createDirectories(Config.Collector.SpoolDir, &IoError) ||
+      Fs.writeFile(Tmp, Req.Body, &IoError) != FsStatus::Ok ||
+      Fs.rename(Tmp, Final, &IoError) != FsStatus::Ok) {
+    Fs.remove(Tmp);
+    UploadsRejected.fetch_add(1, std::memory_order_relaxed);
+    UM.Rejected.inc();
+    net::HttpResponse R;
+    R.Status = 500;
+    R.Body = "cannot publish upload: " + IoError + "\n";
+    return R;
+  }
+
+  UploadsAccepted.fetch_add(1, std::memory_order_relaxed);
+  UM.Accepted.inc();
+  UM.Records.add(Records);
+  UM.Bytes.add(Req.Body.size());
+  Pressure.addUpload(Req.Body.size());
+  Span.arg("records", Records);
+
+  obs::JsonWriter W;
+  W.beginObject();
+  W.kv("accepted", Records);
+  W.kv("machine", Machine);
+  W.kv("first_sequence", FirstSeq);
+  W.kv("file", Base + ".ers");
+  W.endObject();
+  net::HttpResponse R;
+  R.ContentType = "application/json; charset=utf-8";
+  R.Body = W.take();
+  R.Body += '\n';
+  return R;
+}
+
 net::HttpResponse CollectorDaemon::handleHttp(const net::HttpRequest &Req) {
   std::string Path = Req.Path.substr(0, Req.Path.find('?'));
+  if (Path == "/report") {
+    if (Req.Method != "POST") {
+      net::HttpResponse R;
+      R.Status = 405;
+      R.Body = "/report accepts POST only\n";
+      return R;
+    }
+    return handleUpload(Req);
+  }
+  if (Req.Method != "GET") {
+    net::HttpResponse R;
+    R.Status = 404;
+    R.Body = "not found\n";
+    return R;
+  }
   if (Path == "/metrics") {
     // A scrape is also a watchdog evaluation: a wedged daemon thread
     // cannot poll its own deadline.
@@ -433,5 +678,8 @@ net::HttpResponse CollectorDaemon::handleHttp(const net::HttpRequest &Req) {
     return renderHealthz();
   if (Path == "/status")
     return renderStatus();
-  return {404, "text/plain; charset=utf-8", "not found\n"};
+  net::HttpResponse R;
+  R.Status = 404;
+  R.Body = "not found\n";
+  return R;
 }

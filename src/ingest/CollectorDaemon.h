@@ -35,6 +35,7 @@
 #define ER_INGEST_COLLECTORDAEMON_H
 
 #include "ingest/ReportCollector.h"
+#include "ingest/SpoolPressure.h"
 #include "net/HttpServer.h"
 #include "obs/Watchdog.h"
 #include "support/Fs.h"
@@ -75,9 +76,23 @@ struct DaemonConfig {
   /// Serves GET /metrics (Prometheus text exposition), /healthz, and
   /// /status (docs/OBSERVABILITY.md, "Live endpoints").
   std::string Listen;
-  /// Listener tuning (connection cap, request deadline); Host/Port are
-  /// overridden from Listen.
+  /// Listener tuning (connection cap, request deadline, body cap);
+  /// Host/Port are overridden from Listen.
   net::HttpServerConfig Http;
+  /// Spool watermarks behind the upload endpoint's 429/503 answers and
+  /// the adaptive drain schedule (docs/INGEST.md "Backpressure").
+  SpoolPressureConfig Pressure;
+  /// Adaptive drains: DrainIntervalMs becomes the *maximum* inter-cycle
+  /// delay; the next cycle is scheduled sooner as spool pressure or the
+  /// last cycle's drain volume rises (nextDrainDelayMs). False pins the
+  /// classic fixed cadence.
+  bool AdaptiveDrain = true;
+  /// Floor for the adaptive delay; 0 derives max(1, DrainIntervalMs / 8).
+  uint64_t MinDrainIntervalMs = 0;
+  /// Files drained in one cycle that count as "arrivals are saturating
+  /// the cadence" — at or past this the next delay hits the floor even
+  /// though the just-drained spool looks empty.
+  uint64_t AdaptiveBusyFiles = 8;
   /// Cycle watchdog deadline: a drain→step→checkpoint cycle exceeding
   /// this flips /healthz unhealthy, bumps daemon.watchdog.trips, and
   /// dumps stall diagnostics. 0 disables the watchdog.
@@ -138,6 +153,19 @@ struct DaemonStatus {
   uint64_t LastCheckpointNs = 0;
   /// Published (unclaimed) spool files at the end of the last cycle.
   size_t SpoolDepth = 0;
+  /// Their byte total, per the same scan.
+  uint64_t SpoolBytes = 0;
+  /// Pressure signal at the same instant.
+  double PressureRatio = 0.0;
+  PressureLevel Pressure = PressureLevel::Ok;
+  /// Wire-upload counters (accepted = published into the spool).
+  uint64_t UploadsAccepted = 0;
+  uint64_t UploadsRejected = 0;  ///< 400/413-class permanent rejections.
+  uint64_t UploadsThrottled = 0; ///< 429 backpressure answers.
+  /// Adaptive schedule: delay chosen after the last cycle, and sleeps
+  /// cut short by mid-interval pressure.
+  uint64_t LastDrainDelayMs = 0;
+  uint64_t EarlyWakes = 0;
   /// Drained files awaiting their covering checkpoint.
   size_t PendingAckFiles = 0;
   uint64_t ClaimRetries = 0;
@@ -190,12 +218,26 @@ public:
 
   //===--- Live telemetry (docs/OBSERVABILITY.md, "Live endpoints") ----===//
 
-  /// Routes one request: GET /metrics | /healthz | /status, 404
-  /// otherwise. This IS the listener's handler, public so tests drive the
-  /// endpoints without sockets. Thread-safe against the cycle loop: it
-  /// reads metric snapshots, relaxed atomics, and the mutex-guarded
-  /// status copy — never live scheduler/collector state.
+  /// Routes one request: GET /metrics | /healthz | /status, POST
+  /// /report, 404 otherwise. This IS the listener's handler, public so
+  /// tests drive the endpoints without sockets. Thread-safe against the
+  /// cycle loop: it reads metric snapshots, relaxed atomics, and the
+  /// mutex-guarded status copy — never live scheduler/collector state.
+  /// The upload path additionally publishes spool files, which is safe
+  /// against a concurrent drain by the temp+rename protocol (uploads are
+  /// just one more spool writer process, as far as the drain can tell).
   net::HttpResponse handleHttp(const net::HttpRequest &Req);
+
+  /// Delay before the next cycle under the adaptive schedule: the
+  /// configured DrainIntervalMs scaled down toward the floor as pressure
+  /// (spool fullness, incl. uploads since the last sample) or the last
+  /// cycle's drain volume rises. Equals DrainIntervalMs exactly when
+  /// AdaptiveDrain is off or everything is quiet.
+  uint64_t nextDrainDelayMs() const;
+
+  /// The edge-backpressure signal (sampled once per cycle; uploads fold
+  /// in between samples).
+  SpoolPressure &pressure() { return Pressure; }
 
   /// Bound listener port (the ephemeral answer for ":0"); 0 when no
   /// listener is configured or it has not started.
@@ -222,6 +264,13 @@ private:
   /// Rebuilds the mutex-guarded DaemonStatus from live state; cycle-loop
   /// thread only.
   void publishStatus();
+  /// `POST /report`: validate the frame, publish it into the spool (or
+  /// the quarantine), answer 2xx/4xx. HTTP thread.
+  net::HttpResponse handleUpload(const net::HttpRequest &Req);
+  /// The inter-cycle wait: one fixed sleep, or (adaptive) slices with a
+  /// mid-interval early wake when uploads push pressure past the high
+  /// watermark.
+  void interCycleSleep();
   /// Periodic `metrics.json` publish (temp+rename through the Fs seam).
   void writeMetricsSnapshot();
   net::HttpResponse renderHealthz();
@@ -230,12 +279,25 @@ private:
   DaemonConfig Config;
   FleetScheduler &Sched;
   ReportCollector Collector;
+  SpoolPressure Pressure;
   DaemonStats Stats;
   obs::CycleWatchdog Watchdog;
   std::unique_ptr<net::HttpServer> Http;
   std::atomic<bool> StopRequested{false};
   std::atomic<int> Phase{static_cast<int>(DaemonPhase::Idle)};
   std::atomic<uint64_t> LastCheckpointNs{0};
+  // Upload counters cross the HTTP/control thread boundary; everything
+  // else in Stats is control-thread-only.
+  std::atomic<uint64_t> UploadsAccepted{0}, UploadsRejected{0},
+      UploadsThrottled{0};
+  /// Uniquifies concurrent upload temp files (publication names are
+  /// content-derived; temps must not collide).
+  std::atomic<uint64_t> UploadSeq{0};
+  /// Files the last cycle's drain claimed — the arrival-rate term of the
+  /// adaptive schedule.
+  std::atomic<uint64_t> DrainedLastCycle{0};
+  std::atomic<uint64_t> LastDrainDelayMs{0};
+  std::atomic<uint64_t> EarlyWakes{0};
   mutable std::mutex StatusMu;
   DaemonStatus Status;
   bool Started = false;

@@ -65,6 +65,18 @@ bool SpoolWriter::flush(std::string *Error) {
   return true;
 }
 
+std::string SpoolWriter::takeFrame() {
+  if (!BufferedRecords)
+    return "";
+  std::vector<uint8_t> File;
+  encodeSpoolHeader(File);
+  File.insert(File.end(), Buffer.begin(), Buffer.end());
+  Buffer.clear();
+  BufferedRecords = 0;
+  BufferFirstSequence = 0;
+  return std::string(reinterpret_cast<const char *>(File.data()), File.size());
+}
+
 std::vector<std::string> er::listSpoolFiles(const std::string &SpoolDir,
                                             uint64_t *StaleTemps, FsOps *Fs) {
   FsOps &F = Fs ? *Fs : FsOps::real();

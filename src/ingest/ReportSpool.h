@@ -52,6 +52,18 @@ public:
   /// \p Error) on I/O failure; the temp file is removed on failure.
   bool flush(std::string *Error = nullptr);
 
+  /// Drains the buffer as one complete spool *frame* — the exact byte
+  /// stream flush() would have published (header + records) — for
+  /// transports other than the local filesystem, e.g. the `POST /report`
+  /// body (docs/INGEST.md "Wire ingestion"). Empty when nothing is
+  /// buffered. The sequence counter advances exactly as with flush(), so
+  /// a writer may interleave both paths.
+  std::string takeFrame();
+
+  /// Records currently buffered (i.e. what the next flush/takeFrame
+  /// publishes).
+  unsigned bufferedRecords() const { return BufferedRecords; }
+
   /// Sequence number the next append will be stamped with.
   uint64_t nextSequence() const { return NextSequence; }
   uint64_t machineId() const { return MachineId; }

@@ -1,0 +1,107 @@
+//===- SpoolPressure.cpp - Spool backlog watermark signal --------------------===//
+
+#include "ingest/SpoolPressure.h"
+
+#include "ingest/ReportSpool.h"
+#include "obs/Metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace er;
+
+namespace {
+
+struct PressureMetrics {
+  obs::Gauge &Files, &Bytes, &Shedding;
+
+  static PressureMetrics &get() {
+    auto &Reg = obs::MetricsRegistry::global();
+    static PressureMetrics M{Reg.gauge("ingest.spool.files"),
+                             Reg.gauge("ingest.spool.bytes"),
+                             Reg.gauge("ingest.spool.shedding")};
+    return M;
+  }
+};
+
+} // namespace
+
+const char *er::pressureLevelName(PressureLevel L) {
+  switch (L) {
+  case PressureLevel::Ok:
+    return "ok";
+  case PressureLevel::Shedding:
+    return "shedding";
+  case PressureLevel::Critical:
+    return "critical";
+  }
+  return "?";
+}
+
+SpoolPressure::SpoolPressure(std::string SpoolDir, SpoolPressureConfig Config,
+                             FsOps *Fs)
+    : SpoolDir(std::move(SpoolDir)), Config(Config),
+      Fs(Fs ? *Fs : FsOps::real()) {
+  // Watermarks of zero would make every ratio infinite; clamp to 1 so a
+  // misconfigured daemon degrades to "always shedding", not UB.
+  this->Config.HighFiles = std::max<uint64_t>(1, this->Config.HighFiles);
+  this->Config.HighBytes = std::max<uint64_t>(1, this->Config.HighBytes);
+}
+
+void SpoolPressure::sample() {
+  uint64_t NFiles = 0, NBytes = 0;
+  for (const std::string &Name : listSpoolFiles(SpoolDir, nullptr, &Fs)) {
+    ++NFiles;
+    NBytes += Fs.fileSize(SpoolDir + "/" + Name);
+  }
+  Files.store(NFiles, std::memory_order_relaxed);
+  Bytes.store(NBytes, std::memory_order_relaxed);
+  // The scan saw everything published so far, including uploads recorded
+  // since the previous sample — their deltas are now double counts.
+  UploadFiles.store(0, std::memory_order_relaxed);
+  UploadBytes.store(0, std::memory_order_relaxed);
+
+  // Hysteresis: engage on either high watermark, release only when both
+  // lows are satisfied.
+  if (NFiles >= Config.HighFiles || NBytes >= Config.HighBytes)
+    Engaged.store(true, std::memory_order_relaxed);
+  else if (NFiles < Config.LowFiles && NBytes < Config.LowBytes)
+    Engaged.store(false, std::memory_order_relaxed);
+
+  PressureMetrics &PM = PressureMetrics::get();
+  PM.Files.set(static_cast<int64_t>(NFiles));
+  PM.Bytes.set(static_cast<int64_t>(NBytes));
+  PM.Shedding.set(level() == PressureLevel::Ok ? 0 : 1);
+}
+
+void SpoolPressure::addUpload(uint64_t UploadedBytes) {
+  UploadFiles.fetch_add(1, std::memory_order_relaxed);
+  UploadBytes.fetch_add(UploadedBytes, std::memory_order_relaxed);
+}
+
+double SpoolPressure::ratio() const {
+  uint64_t F = Files.load(std::memory_order_relaxed) +
+               UploadFiles.load(std::memory_order_relaxed);
+  uint64_t B = Bytes.load(std::memory_order_relaxed) +
+               UploadBytes.load(std::memory_order_relaxed);
+  return std::max(static_cast<double>(F) / Config.HighFiles,
+                  static_cast<double>(B) / Config.HighBytes);
+}
+
+PressureLevel SpoolPressure::level() const {
+  double R = ratio();
+  if (R >= Config.CriticalFactor)
+    return PressureLevel::Critical;
+  if (R >= 1.0 || Engaged.load(std::memory_order_relaxed))
+    return PressureLevel::Shedding;
+  return PressureLevel::Ok;
+}
+
+uint64_t SpoolPressure::retryAfterSeconds() const {
+  // Deeper overload buys the drain a longer quiet window. ratio 1 -> 2s,
+  // 4 (critical default) -> 8s, capped at 30.
+  double Secs = std::ceil(ratio() * 2.0);
+  if (Secs < 1.0)
+    return 1;
+  return static_cast<uint64_t>(std::min(Secs, 30.0));
+}

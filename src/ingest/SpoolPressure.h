@@ -1,0 +1,118 @@
+//===- SpoolPressure.h - Spool backlog watermark signal ---------*- C++ -*-===//
+///
+/// \file
+/// The edge-backpressure signal for the wire ingestion path
+/// (docs/INGEST.md "Backpressure"): how full is the spool, relative to
+/// configured high/low watermarks, and what should the front end do about
+/// it? Three consumers read it:
+///
+///  - the `POST /report` handler answers **429 + Retry-After** while the
+///    signal says Shedding (uploads are the one inflow we can refuse
+///    cheaply — the client retries with backoff and nothing is lost);
+///  - the daemon flips the HTTP server's accept-shed valve (**503 at
+///    accept**) when pressure goes Critical — a spool several multiples
+///    past its high watermark means even parsing requests is cycles the
+///    drain needs more;
+///  - the adaptive drain scheduler shortens the next cycle's delay as
+///    the ratio rises (CollectorDaemon::nextDrainDelayMs).
+///
+/// The signal is a hysteresis loop, not a threshold: shedding engages
+/// when *either* file count or byte total crosses its high watermark and
+/// releases only when *both* fall under the low watermarks, so a spool
+/// hovering at the boundary does not flap between 200 and 429 on every
+/// upload.
+///
+/// Threading: sample() runs on the daemon control thread (it scans the
+/// spool directory); addUpload() runs on the HTTP server thread as
+/// uploads land between samples and is folded into the ratio so a burst
+/// arriving mid-interval raises pressure immediately rather than one
+/// cycle late. All published state is atomic; readers never block.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ER_INGEST_SPOOLPRESSURE_H
+#define ER_INGEST_SPOOLPRESSURE_H
+
+#include "support/Fs.h"
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace er {
+
+struct SpoolPressureConfig {
+  /// High watermarks: crossing *either* engages shedding.
+  uint64_t HighFiles = 64;
+  uint64_t HighBytes = 8ull << 20;
+  /// Low watermarks: shedding releases only when *both* are back under.
+  uint64_t LowFiles = 16;
+  uint64_t LowBytes = 2ull << 20;
+  /// Ratio at which pressure is Critical (accept-shed): this multiple of
+  /// the high watermark.
+  double CriticalFactor = 4.0;
+};
+
+enum class PressureLevel {
+  Ok,       ///< Accept everything.
+  Shedding, ///< Uploads answered 429 + Retry-After.
+  Critical, ///< Everything refused 503 at accept.
+};
+
+const char *pressureLevelName(PressureLevel L);
+
+/// Watermark signal over one spool directory. One instance per daemon;
+/// see the threading contract in the file header.
+class SpoolPressure {
+public:
+  explicit SpoolPressure(std::string SpoolDir, SpoolPressureConfig Config = {},
+                         FsOps *Fs = nullptr);
+
+  /// Rescans the spool (published `.ers` files only — claimed/tmp files
+  /// are the drain's business), folds the scan into the signal, resets
+  /// the between-samples upload deltas, and updates the
+  /// `ingest.spool.*` gauges. Control thread only.
+  void sample();
+
+  /// Records an upload published directly into the spool between
+  /// samples. Any thread.
+  void addUpload(uint64_t Bytes);
+
+  /// Fullness relative to the high watermarks: max of files/HighFiles
+  /// and bytes/HighBytes, counting uploads since the last sample. 1.0 =
+  /// at the high watermark. Any thread.
+  double ratio() const;
+
+  /// Current hysteresis state (recomputed from ratio() so mid-interval
+  /// uploads can engage shedding before the next sample). Any thread.
+  PressureLevel level() const;
+
+  /// `Retry-After` hint for a 429/503: grows with overload, clamped to
+  /// [1, 30] seconds.
+  uint64_t retryAfterSeconds() const;
+
+  /// Last sampled counts (exclusive of between-sample uploads).
+  uint64_t sampledFiles() const {
+    return Files.load(std::memory_order_relaxed);
+  }
+  uint64_t sampledBytes() const {
+    return Bytes.load(std::memory_order_relaxed);
+  }
+
+  const SpoolPressureConfig &config() const { return Config; }
+
+private:
+  std::string SpoolDir;
+  SpoolPressureConfig Config;
+  FsOps &Fs;
+
+  std::atomic<uint64_t> Files{0}, Bytes{0};
+  std::atomic<uint64_t> UploadFiles{0}, UploadBytes{0};
+  /// Hysteresis memory: sticky once engaged, cleared by sample() when
+  /// both low watermarks are satisfied.
+  std::atomic<bool> Engaged{false};
+};
+
+} // namespace er
+
+#endif // ER_INGEST_SPOOLPRESSURE_H

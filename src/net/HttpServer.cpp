@@ -6,12 +6,14 @@
 
 #include <algorithm>
 #include <arpa/inet.h>
+#include <cctype>
 #include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fcntl.h>
+#include <string_view>
 #include <netinet/in.h>
 #include <poll.h>
 #include <sys/socket.h>
@@ -25,6 +27,8 @@ namespace {
 struct NetMetrics {
   obs::Counter &Accepted, &Requests, &R2xx, &R4xx, &R5xx;
   obs::Counter &Timeouts, &Overflows, &BadRequests;
+  obs::Counter &PostRequests, &PostBytes, &PostTooLarge, &ContinueSent;
+  obs::Counter &ShedAccepts;
 
   static NetMetrics &get() {
     auto &Reg = obs::MetricsRegistry::global();
@@ -35,7 +39,12 @@ struct NetMetrics {
                         Reg.counter("net.http.responses.5xx"),
                         Reg.counter("net.http.timeouts"),
                         Reg.counter("net.http.overflows"),
-                        Reg.counter("net.http.bad_requests")};
+                        Reg.counter("net.http.bad_requests"),
+                        Reg.counter("net.http.post.requests"),
+                        Reg.counter("net.http.post.body_bytes"),
+                        Reg.counter("net.http.post.too_large"),
+                        Reg.counter("net.http.post.continue_sent"),
+                        Reg.counter("net.http.accept_shed")};
     return M;
   }
 };
@@ -52,30 +61,90 @@ bool setNonBlocking(int Fd) {
 }
 
 std::string renderResponse(const HttpResponse &R) {
-  char Head[256];
-  std::snprintf(Head, sizeof(Head),
-                "HTTP/1.1 %d %s\r\n"
-                "Content-Type: %s\r\n"
-                "Content-Length: %zu\r\n"
-                "Connection: close\r\n\r\n",
-                R.Status, HttpServer::statusText(R.Status),
-                R.ContentType.c_str(), R.Body.size());
+  char Line[128];
+  std::snprintf(Line, sizeof(Line), "HTTP/1.1 %d %s\r\n", R.Status,
+                HttpServer::statusText(R.Status));
+  std::string Head = Line;
+  for (const auto &H : R.ExtraHeaders)
+    Head += H.first + ": " + H.second + "\r\n";
+  std::snprintf(Line, sizeof(Line),
+                "Content-Length: %zu\r\nConnection: close\r\n\r\n",
+                R.Body.size());
+  Head += "Content-Type: " + R.ContentType + "\r\n";
+  Head += Line;
   return Head + R.Body;
+}
+
+/// Plain-text response literal; keeps call sites clear of aggregate
+/// initialization (HttpResponse grew an ExtraHeaders member).
+HttpResponse textResponse(int Status, std::string Body) {
+  HttpResponse R;
+  R.Status = Status;
+  R.Body = std::move(Body);
+  return R;
 }
 
 /// Fire-and-forget response for sockets we are about to close (503 at the
 /// connection cap, 408 at the deadline). The socket's send buffer is
 /// empty or nearly so; if the kernel cannot take it, the close alone
-/// carries the message.
+/// carries the message. Pending input is drained first: closing with
+/// unread request bytes in the receive buffer makes the kernel answer
+/// with RST, which can destroy the response before the peer reads it.
 void sendBestEffort(int Fd, const HttpResponse &R) {
+  char Sink[1024];
+  while (::recv(Fd, Sink, sizeof(Sink), MSG_DONTWAIT) > 0)
+    ;
   std::string Bytes = renderResponse(R);
   (void)::send(Fd, Bytes.data(), Bytes.size(), MSG_NOSIGNAL | MSG_DONTWAIT);
 }
 
+bool asciiIEquals(std::string_view A, std::string_view B) {
+  if (A.size() != B.size())
+    return false;
+  for (size_t I = 0; I < A.size(); ++I)
+    if (std::tolower(static_cast<unsigned char>(A[I])) !=
+        std::tolower(static_cast<unsigned char>(B[I])))
+      return false;
+  return true;
+}
+
+/// Value of header \p Name inside raw head bytes (request line included;
+/// lines separated by \r\n). Names are case-insensitive per RFC 9110;
+/// leading/trailing whitespace around the value is trimmed. Returns false
+/// when the header is absent.
+bool findHeader(std::string_view Head, std::string_view Name,
+                std::string &Value) {
+  size_t Pos = Head.find("\r\n"); // Skip the request/status line.
+  while (Pos != std::string_view::npos && Pos + 2 < Head.size()) {
+    size_t LineStart = Pos + 2;
+    size_t LineEnd = Head.find("\r\n", LineStart);
+    std::string_view Line = Head.substr(
+        LineStart, LineEnd == std::string_view::npos ? std::string_view::npos
+                                                     : LineEnd - LineStart);
+    size_t Colon = Line.find(':');
+    if (Colon != std::string_view::npos &&
+        asciiIEquals(Line.substr(0, Colon), Name)) {
+      size_t VStart = Colon + 1;
+      while (VStart < Line.size() && (Line[VStart] == ' ' || Line[VStart] == '\t'))
+        ++VStart;
+      size_t VEnd = Line.size();
+      while (VEnd > VStart && (Line[VEnd - 1] == ' ' || Line[VEnd - 1] == '\t' ||
+                               Line[VEnd - 1] == '\r'))
+        --VEnd;
+      Value.assign(Line.substr(VStart, VEnd - VStart));
+      return true;
+    }
+    Pos = LineEnd;
+  }
+  return false;
+}
+
 } // namespace
 
-/// One client socket's lifecycle: reading the request head, then draining
-/// the rendered response; one absolute deadline covers both.
+/// One client socket's lifecycle: reading the request head, then (POST)
+/// the declared body, then draining the rendered response. One absolute
+/// deadline covers head + response; a completed POST head re-arms it once
+/// so the body gets its own full budget without resetting per byte.
 struct HttpServer::Connection {
   int Fd = -1;
   uint64_t DeadlineNs = 0;
@@ -83,15 +152,25 @@ struct HttpServer::Connection {
   std::string Out;
   size_t OutPos = 0;
   bool Writing = false;
+  /// POST body phase: head parsed, awaiting ContentLength body bytes
+  /// starting at In[BodyStart].
+  bool ReadingBody = false;
+  size_t BodyStart = 0;
+  size_t ContentLength = 0;
+  HttpRequest Req;
 };
 
 const char *HttpServer::statusText(int Status) {
   switch (Status) {
+  case 100: return "Continue";
   case 200: return "OK";
   case 400: return "Bad Request";
   case 404: return "Not Found";
   case 405: return "Method Not Allowed";
   case 408: return "Request Timeout";
+  case 411: return "Length Required";
+  case 413: return "Payload Too Large";
+  case 429: return "Too Many Requests";
   case 431: return "Request Header Fields Too Large";
   case 500: return "Internal Server Error";
   case 503: return "Service Unavailable";
@@ -216,6 +295,10 @@ HttpServerStats HttpServer::statsSnapshot() const {
   S.Timeouts = Timeouts.load(std::memory_order_relaxed);
   S.Overflows = Overflows.load(std::memory_order_relaxed);
   S.BadRequests = BadRequests.load(std::memory_order_relaxed);
+  S.PostRequests = PostRequests.load(std::memory_order_relaxed);
+  S.PostBodyBytes = PostBodyBytes.load(std::memory_order_relaxed);
+  S.ContinueSent = ContinueSent.load(std::memory_order_relaxed);
+  S.ShedAccepts = ShedAccepts.load(std::memory_order_relaxed);
   return S;
 }
 
@@ -258,8 +341,7 @@ bool HttpServer::stepConnection(Connection &C, short Revents, uint64_t NowNs) {
     Timeouts.fetch_add(1, std::memory_order_relaxed);
     NM.Timeouts.inc();
     if (!C.Writing)
-      sendBestEffort(C.Fd, {408, "text/plain; charset=utf-8",
-                            "request timed out\n"});
+      sendBestEffort(C.Fd, textResponse(408, "request timed out\n"));
     return false;
   }
   if (Revents & (POLLERR | POLLNVAL))
@@ -289,9 +371,12 @@ bool HttpServer::stepConnection(Connection &C, short Revents, uint64_t NowNs) {
     ssize_t N = ::recv(C.Fd, Buf, sizeof(Buf), 0);
     if (N > 0) {
       C.In.append(Buf, static_cast<size_t>(N));
-      if (C.In.size() > Config.MaxRequestBytes) {
-        finishResponse(C, {431, "text/plain; charset=utf-8",
-                           "request head too large\n"},
+      // The head cap guards the pre-parse phase only; once a POST head
+      // has declared a (bounded) Content-Length, the body check below
+      // takes over.
+      if (!C.ReadingBody && C.In.size() > Config.MaxRequestBytes &&
+          C.In.find("\r\n\r\n") == std::string::npos) {
+        finishResponse(C, textResponse(431, "request head too large\n"),
                        /*CountAsRequest=*/false);
         return true;
       }
@@ -304,43 +389,124 @@ bool HttpServer::stepConnection(Connection &C, short Revents, uint64_t NowNs) {
     return false;
   }
 
-  // A complete head ends with a blank line; until then keep reading
-  // (subject to the deadline).
-  size_t HeadEnd = C.In.find("\r\n\r\n");
-  size_t LineEnd = C.In.find("\r\n");
-  if (HeadEnd == std::string::npos)
-    return true;
+  if (!C.ReadingBody) {
+    // A complete head ends with a blank line; until then keep reading
+    // (subject to the deadline). The cap applies to the head itself —
+    // complete or not — never to body bytes that may already have
+    // arrived behind it.
+    size_t HeadEnd = C.In.find("\r\n\r\n");
+    size_t LineEnd = C.In.find("\r\n");
+    if (HeadEnd == std::string::npos || HeadEnd > Config.MaxRequestBytes) {
+      if (HeadEnd != std::string::npos ||
+          C.In.size() > Config.MaxRequestBytes)
+        finishResponse(C, textResponse(431, "request head too large\n"),
+                       /*CountAsRequest=*/false);
+      return true;
+    }
 
-  // Request line: METHOD SP TARGET SP HTTP/1.x
-  std::string Line = C.In.substr(0, LineEnd);
-  size_t Sp1 = Line.find(' ');
-  size_t Sp2 = Sp1 == std::string::npos ? std::string::npos
-                                        : Line.find(' ', Sp1 + 1);
-  if (Sp1 == std::string::npos || Sp2 == std::string::npos ||
-      Line.compare(Sp2 + 1, 5, "HTTP/") != 0) {
-    finishResponse(C, {400, "text/plain; charset=utf-8", "bad request\n"},
-                   /*CountAsRequest=*/false);
-    return true;
-  }
-  HttpRequest Req;
-  Req.Method = Line.substr(0, Sp1);
-  Req.Path = Line.substr(Sp1 + 1, Sp2 - Sp1 - 1);
-  if (Req.Method != "GET") {
-    finishResponse(C, {405, "text/plain; charset=utf-8",
-                       "only GET is supported\n"},
-                   /*CountAsRequest=*/false);
-    return true;
+    // Request line: METHOD SP TARGET SP HTTP/1.x
+    std::string Line = C.In.substr(0, LineEnd);
+    size_t Sp1 = Line.find(' ');
+    size_t Sp2 = Sp1 == std::string::npos ? std::string::npos
+                                          : Line.find(' ', Sp1 + 1);
+    if (Sp1 == std::string::npos || Sp2 == std::string::npos ||
+        Line.compare(Sp2 + 1, 5, "HTTP/") != 0) {
+      finishResponse(C, textResponse(400, "bad request\n"),
+                     /*CountAsRequest=*/false);
+      return true;
+    }
+    C.Req = HttpRequest();
+    C.Req.Method = Line.substr(0, Sp1);
+    C.Req.Path = Line.substr(Sp1 + 1, Sp2 - Sp1 - 1);
+
+    if (C.Req.Method == "GET") {
+      dispatch(C);
+      return true;
+    }
+    if (C.Req.Method != "POST") {
+      finishResponse(C, textResponse(405, "only GET and POST are supported\n"),
+                     /*CountAsRequest=*/false);
+      return true;
+    }
+
+    std::string_view Head(C.In.data(), HeadEnd);
+    std::string Value;
+    if (!findHeader(Head, "Content-Length", Value)) {
+      finishResponse(C, textResponse(411, "POST requires Content-Length\n"),
+                     /*CountAsRequest=*/false);
+      return true;
+    }
+    char *End = nullptr;
+    unsigned long long CL = std::strtoull(Value.c_str(), &End, 10);
+    if (Value.empty() || *End != '\0') {
+      finishResponse(C, textResponse(400, "bad Content-Length\n"),
+                     /*CountAsRequest=*/false);
+      return true;
+    }
+    if (CL > Config.MaxBodyBytes) {
+      // Reject on the declaration, before any body byte is read: an
+      // `Expect: 100-continue` client loses one round trip, not one
+      // upload's worth of bandwidth.
+      NM.PostTooLarge.inc();
+      finishResponse(C,
+                     textResponse(413, "body exceeds " +
+                                           std::to_string(Config.MaxBodyBytes) +
+                                           " byte cap\n"),
+                     /*CountAsRequest=*/false);
+      return true;
+    }
+    if (findHeader(Head, "Expect", Value) &&
+        Value.find("100-continue") != std::string::npos) {
+      // Interim response, sent inline: it is 25 bytes into an empty
+      // send buffer, so best-effort is fine.
+      static const char Interim[] = "HTTP/1.1 100 Continue\r\n\r\n";
+      (void)::send(C.Fd, Interim, sizeof(Interim) - 1,
+                   MSG_NOSIGNAL | MSG_DONTWAIT);
+      ContinueSent.fetch_add(1, std::memory_order_relaxed);
+      NM.ContinueSent.inc();
+    }
+    C.ReadingBody = true;
+    C.BodyStart = HeadEnd + 4;
+    C.ContentLength = static_cast<size_t>(CL);
+    // The head consumed some of the connection budget; give the body a
+    // fresh one (still absolute — a trickling body is cut, not renewed).
+    C.DeadlineNs = NowNs + Config.RequestTimeoutMs * 1'000'000ULL;
   }
 
+  if (C.ReadingBody && !C.Writing) {
+    size_t Avail = C.In.size() - C.BodyStart;
+    if (Avail > C.ContentLength) {
+      // More bytes than Content-Length declared: a liar or a framing
+      // bug. Rejecting is safer than guessing where the body ends.
+      finishResponse(C,
+                     textResponse(400, "body exceeds declared Content-Length\n"),
+                     /*CountAsRequest=*/false);
+      return true;
+    }
+    if (Avail == C.ContentLength) {
+      C.Req.Body = C.In.substr(C.BodyStart, C.ContentLength);
+      PostRequests.fetch_add(1, std::memory_order_relaxed);
+      PostBodyBytes.fetch_add(C.ContentLength, std::memory_order_relaxed);
+      NM.PostRequests.inc();
+      NM.PostBytes.add(C.ContentLength);
+      dispatch(C);
+    }
+    // else: keep reading until the declared length (or the deadline).
+  }
+  return true;
+}
+
+/// Runs the handler for the parsed request in \p C and queues the
+/// response.
+void HttpServer::dispatch(Connection &C) {
   HttpResponse R;
   if (Handler) {
-    R = Handler(Req);
+    R = Handler(C.Req);
   } else {
     R.Status = 500;
     R.Body = "no handler\n";
   }
   finishResponse(C, R, /*CountAsRequest=*/true);
-  return true;
 }
 
 void HttpServer::acceptPending() {
@@ -351,13 +517,24 @@ void HttpServer::acceptPending() {
       return; // EAGAIN (drained) or transient error; poll again later.
     Accepted.fetch_add(1, std::memory_order_relaxed);
     NM.Accepted.inc();
+    if (AcceptShed.load(std::memory_order_relaxed)) {
+      // Backpressure valve: the owning daemon's spool is past its
+      // critical watermark, so refuse *everything* at the door — even a
+      // scrape costs cycles the drain needs.
+      ShedAccepts.fetch_add(1, std::memory_order_relaxed);
+      NM.ShedAccepts.inc();
+      HttpResponse R = textResponse(503, "shedding load; retry later\n");
+      R.ExtraHeaders.push_back({"Retry-After", "2"});
+      sendBestEffort(Fd, R);
+      ::close(Fd);
+      continue;
+    }
     if (Connections.size() >= Config.MaxConnections) {
       // Full house: answer instead of letting the scrape hang in the
       // backlog until *our* poll loop frees a slot.
       Overflows.fetch_add(1, std::memory_order_relaxed);
       NM.Overflows.inc();
-      sendBestEffort(Fd, {503, "text/plain; charset=utf-8",
-                          "connection limit reached\n"});
+      sendBestEffort(Fd, textResponse(503, "connection limit reached\n"));
       ::close(Fd);
       continue;
     }
@@ -433,44 +610,85 @@ void HttpServer::serveLoop() {
 // Client
 //===----------------------------------------------------------------------===//
 
-bool net::httpGet(const std::string &Host, uint16_t Port,
-                  const std::string &Path, HttpClientResponse &Out,
+namespace {
+
+/// Remaining budget before \p DeadlineNs as a poll(2) timeout; -1 when
+/// already past (callers treat that as expiry, not infinite wait).
+int remainingMs(uint64_t DeadlineNs) {
+  uint64_t Now = monoNowNs();
+  if (Now >= DeadlineNs)
+    return -1;
+  uint64_t Ms = (DeadlineNs - Now) / 1'000'000;
+  return static_cast<int>(std::min<uint64_t>(Ms + 1, 60'000));
+}
+
+/// One request/response exchange over a fresh connection, every phase —
+/// connect, send, receive-to-EOF — charged against a single absolute
+/// deadline. The socket is non-blocking throughout; per-phase progress is
+/// awaited with poll(2) bounded by the remaining budget, so a server that
+/// accepts and stalls, or trickles one byte per second, fails the call at
+/// the deadline instead of resetting kernel timers forever.
+bool httpExchange(const std::string &Host, uint16_t Port,
+                  const std::string &Request, HttpClientResponse &Out,
                   std::string *Error, uint64_t TimeoutMs) {
-  auto Fail = [&](int Fd, const std::string &Msg) {
+  const uint64_t DeadlineNs = monoNowNs() + TimeoutMs * 1'000'000ULL;
+  int Fd = -1;
+  auto Fail = [&](const std::string &Msg, bool Errno) {
     if (Error)
-      *Error = Msg + ": " + std::strerror(errno);
+      *Error = Errno ? Msg + ": " + std::strerror(errno) : Msg;
     if (Fd >= 0)
       ::close(Fd);
     return false;
   };
+  auto Expired = [&] { return Fail("deadline exceeded after " +
+                                       std::to_string(TimeoutMs) + "ms",
+                                   false); };
 
   sockaddr_in Addr{};
   Addr.sin_family = AF_INET;
   Addr.sin_port = htons(Port);
-  if (::inet_pton(AF_INET, Host.c_str(), &Addr.sin_addr) != 1) {
-    if (Error)
-      *Error = "bad host '" + Host + "'";
-    return false;
-  }
-  int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (::inet_pton(AF_INET, Host.c_str(), &Addr.sin_addr) != 1)
+    return Fail("bad host '" + Host + "'", false);
+  Fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (Fd < 0)
-    return Fail(Fd, "socket");
-  timeval Tv{};
-  Tv.tv_sec = static_cast<time_t>(TimeoutMs / 1000);
-  Tv.tv_usec = static_cast<suseconds_t>((TimeoutMs % 1000) * 1000);
-  ::setsockopt(Fd, SOL_SOCKET, SO_RCVTIMEO, &Tv, sizeof(Tv));
-  ::setsockopt(Fd, SOL_SOCKET, SO_SNDTIMEO, &Tv, sizeof(Tv));
-  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0)
-    return Fail(Fd, "connect " + Host + ":" + std::to_string(Port));
+    return Fail("socket", true);
+  if (!setNonBlocking(Fd))
+    return Fail("fcntl", true);
 
-  std::string Req = "GET " + Path + " HTTP/1.1\r\nHost: " + Host +
-                    "\r\nConnection: close\r\n\r\n";
+  // Non-blocking connect: EINPROGRESS, then wait for writability and
+  // check SO_ERROR — SO_SNDTIMEO does not bound connect(2) on Linux.
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0) {
+    if (errno != EINPROGRESS)
+      return Fail("connect " + Host + ":" + std::to_string(Port), true);
+    pollfd P{Fd, POLLOUT, 0};
+    int Wait = remainingMs(DeadlineNs);
+    if (Wait < 0 || ::poll(&P, 1, Wait) <= 0)
+      return Expired();
+    int Err = 0;
+    socklen_t Len = sizeof(Err);
+    ::getsockopt(Fd, SOL_SOCKET, SO_ERROR, &Err, &Len);
+    if (Err != 0) {
+      errno = Err;
+      return Fail("connect " + Host + ":" + std::to_string(Port), true);
+    }
+  }
+
   size_t Sent = 0;
-  while (Sent < Req.size()) {
-    ssize_t N = ::send(Fd, Req.data() + Sent, Req.size() - Sent, MSG_NOSIGNAL);
-    if (N <= 0)
-      return Fail(Fd, "send");
-    Sent += static_cast<size_t>(N);
+  while (Sent < Request.size()) {
+    ssize_t N = ::send(Fd, Request.data() + Sent, Request.size() - Sent,
+                       MSG_NOSIGNAL);
+    if (N > 0) {
+      Sent += static_cast<size_t>(N);
+      continue;
+    }
+    if (N < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      pollfd P{Fd, POLLOUT, 0};
+      int Wait = remainingMs(DeadlineNs);
+      if (Wait < 0 || ::poll(&P, 1, Wait) <= 0)
+        return Expired();
+      continue;
+    }
+    return Fail("send", true);
   }
 
   std::string Raw;
@@ -482,10 +700,18 @@ bool net::httpGet(const std::string &Host, uint16_t Port,
       continue;
     }
     if (N == 0)
-      break;
-    return Fail(Fd, "recv");
+      break; // EOF: whole response in hand.
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      pollfd P{Fd, POLLIN, 0};
+      int Wait = remainingMs(DeadlineNs);
+      if (Wait < 0 || ::poll(&P, 1, Wait) <= 0)
+        return Expired();
+      continue;
+    }
+    return Fail("recv", true);
   }
   ::close(Fd);
+  Fd = -1;
 
   if (Raw.compare(0, 5, "HTTP/") != 0) {
     if (Error)
@@ -493,9 +719,7 @@ bool net::httpGet(const std::string &Host, uint16_t Port,
     return false;
   }
   size_t Sp = Raw.find(' ');
-  Out.Status = Sp == std::string::npos
-                   ? 0
-                   : std::atoi(Raw.c_str() + Sp + 1);
+  Out.Status = Sp == std::string::npos ? 0 : std::atoi(Raw.c_str() + Sp + 1);
   size_t HeadEnd = Raw.find("\r\n\r\n");
   if (HeadEnd == std::string::npos) {
     Out.Header = Raw;
@@ -505,4 +729,48 @@ bool net::httpGet(const std::string &Host, uint16_t Port,
     Out.Body = Raw.substr(HeadEnd + 4);
   }
   return true;
+}
+
+} // namespace
+
+bool net::httpGet(const std::string &Host, uint16_t Port,
+                  const std::string &Path, HttpClientResponse &Out,
+                  std::string *Error, uint64_t TimeoutMs) {
+  std::string Req = "GET " + Path + " HTTP/1.1\r\nHost: " + Host +
+                    "\r\nConnection: close\r\n\r\n";
+  return httpExchange(Host, Port, Req, Out, Error, TimeoutMs);
+}
+
+bool net::httpPost(const std::string &Host, uint16_t Port,
+                   const std::string &Path, const std::string &Body,
+                   const std::string &ContentType, HttpClientResponse &Out,
+                   std::string *Error, uint64_t TimeoutMs) {
+  std::string Req = "POST " + Path + " HTTP/1.1\r\nHost: " + Host +
+                    "\r\nContent-Type: " + ContentType +
+                    "\r\nContent-Length: " + std::to_string(Body.size()) +
+                    "\r\nConnection: close\r\n\r\n" + Body;
+  return httpExchange(Host, Port, Req, Out, Error, TimeoutMs);
+}
+
+bool net::parseHttpUrl(const std::string &Url, std::string &Host,
+                       uint16_t &Port, std::string &Path, std::string *Error) {
+  const std::string Scheme = "http://";
+  if (Url.compare(0, Scheme.size(), Scheme) != 0) {
+    if (Error)
+      *Error = "expected http://HOST:PORT[/path], got '" + Url + "'";
+    return false;
+  }
+  std::string Rest = Url.substr(Scheme.size());
+  size_t Slash = Rest.find('/');
+  std::string HostPort = Rest.substr(0, Slash);
+  Path = Slash == std::string::npos ? "/" : Rest.substr(Slash);
+  return parseHostPort(HostPort, Host, Port, Error);
+}
+
+std::string net::headerValue(const std::string &HeaderBlock,
+                             const std::string &Name) {
+  std::string Value;
+  if (findHeader(HeaderBlock, Name, Value))
+    return Value;
+  return "";
 }

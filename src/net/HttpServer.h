@@ -1,32 +1,35 @@
 //===- HttpServer.h - Minimal poll-based HTTP/1.1 server --------*- C++ -*-===//
 ///
 /// \file
-/// The network front end for the collector daemon's live telemetry
-/// endpoints (docs/OBSERVABILITY.md, "Live endpoints"): a dependency-free
-/// HTTP/1.1 server just big enough to serve `/metrics`, `/healthz`, and
-/// `/status` to curl and a Prometheus scraper — and deliberately nothing
-/// bigger. No TLS, no keep-alive, no request bodies, GET only; every
-/// response closes the connection.
+/// The network front end for the collector daemon (docs/OBSERVABILITY.md
+/// "Live endpoints", docs/INGEST.md "Wire ingestion"): a dependency-free
+/// HTTP/1.1 server big enough to serve `/metrics`, `/healthz`, `/status`
+/// to curl and a Prometheus scraper and to accept `POST /report` upload
+/// bodies — and deliberately nothing bigger. No TLS, no keep-alive, no
+/// chunked transfer; every response closes the connection.
 ///
 /// Shape: one server thread runs a poll(2) loop over the listening socket
 /// plus up to MaxConnections non-blocking client sockets. Each connection
-/// is a tiny state machine (read request head -> dispatch -> drain
-/// response) with one absolute deadline covering both halves, so a
-/// slow-loris peer (bytes trickling in forever) or a stalled reader
-/// (response bytes never drained) is cut off at RequestTimeoutMs with
-/// best-effort 408, not held open. Oversized request heads get 431;
-/// non-GET methods 405; a full house is answered 503-and-close at accept
-/// time so the kernel backlog never silently queues scrapes.
+/// is a tiny state machine (read request head -> read body -> dispatch ->
+/// drain response) with an absolute deadline per phase, so a slow-loris
+/// peer (bytes trickling in forever), a POST that never delivers its
+/// promised Content-Length, or a stalled reader (response bytes never
+/// drained) is cut off at RequestTimeoutMs with best-effort 408, not held
+/// open. Oversized request heads get 431; a body beyond MaxBodyBytes 413
+/// (before the body is read — `Expect: 100-continue` clients learn this
+/// for one round trip, not one upload); methods other than GET/POST 405;
+/// a full house is answered 503-and-close at accept time so the kernel
+/// backlog never silently queues scrapes. setAcceptShed(true) extends the
+/// 503-at-accept answer to *every* accept — the owning daemon's spool
+/// backpressure valve (docs/INGEST.md, watermarks).
 ///
 /// The handler runs on the server thread. Handlers must therefore be
 /// thread-safe against the owning daemon — the intended pattern (see
 /// CollectorDaemon) is snapshot-only: read atomics, copy a mutex-guarded
-/// status struct, render. A handler must never take a lock the daemon
-/// holds across a drain.
-///
-/// This listener is the substrate for the ROADMAP rung "a network front
-/// end feeding the spool": the accept loop, bounded-connection policy,
-/// and deadline machinery are what a report-ingest endpoint will reuse.
+/// status struct, render. The upload handler extends the pattern with
+/// operations that are multi-process-safe by protocol (temp+rename spool
+/// publication). A handler must never take a lock the daemon holds across
+/// a drain.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -38,20 +41,24 @@
 #include <functional>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace er {
 namespace net {
 
 struct HttpRequest {
-  std::string Method; ///< Uppercase, e.g. "GET".
+  std::string Method; ///< Uppercase, e.g. "GET" or "POST".
   std::string Path;   ///< Request target as sent, e.g. "/metrics".
+  std::string Body;   ///< Exactly Content-Length bytes (POST; empty for GET).
 };
 
 struct HttpResponse {
   int Status = 200;
   std::string ContentType = "text/plain; charset=utf-8";
   std::string Body;
+  /// Extra response headers rendered verbatim (e.g. {"Retry-After","2"}).
+  std::vector<std::pair<std::string, std::string>> ExtraHeaders;
 };
 
 /// Produces the response for one parsed request; runs on the server
@@ -64,10 +71,15 @@ struct HttpServerConfig {
   uint16_t Port = 0;
   /// Concurrent client sockets; excess accepts are answered 503.
   unsigned MaxConnections = 16;
-  /// Absolute per-connection deadline, accept to last response byte.
+  /// Absolute per-connection deadline, accept to last response byte. A
+  /// POST whose head completes gets one fresh budget of this for its body
+  /// (deadlines extend to body reads; they never reset per byte).
   uint64_t RequestTimeoutMs = 5000;
   /// Request-head cap (request line + headers); beyond it: 431.
   size_t MaxRequestBytes = 8192;
+  /// Request-body cap; a POST declaring more than this is answered 413
+  /// before any body byte is read. 0 disables bodies entirely (POST: 413).
+  size_t MaxBodyBytes = 1 << 20;
 };
 
 /// Cumulative listener counters (also exported as `net.http.*` metrics).
@@ -79,7 +91,11 @@ struct HttpServerStats {
   uint64_t Responses5xx = 0;
   uint64_t Timeouts = 0;       ///< Connections cut at the deadline.
   uint64_t Overflows = 0;      ///< Accepts refused 503 at MaxConnections.
-  uint64_t BadRequests = 0;    ///< 400/405/431 short-circuits.
+  uint64_t BadRequests = 0;    ///< 400/405/411/413/431 short-circuits.
+  uint64_t PostRequests = 0;   ///< POSTs with a complete body dispatched.
+  uint64_t PostBodyBytes = 0;  ///< Body bytes handed to the handler.
+  uint64_t ContinueSent = 0;   ///< Interim `100 Continue` lines sent.
+  uint64_t ShedAccepts = 0;    ///< Accepts refused 503 by setAcceptShed.
 };
 
 /// Blocking-accept HTTP server on one background thread. start() binds
@@ -110,6 +126,17 @@ public:
   /// Point-in-time copy of the listener counters.
   HttpServerStats statsSnapshot() const;
 
+  /// Load-shed valve: while true, every accept is answered 503 with a
+  /// `Retry-After` hint and closed — nothing reaches a handler. Safe from
+  /// any thread (the daemon flips it as spool pressure crosses its
+  /// critical watermark).
+  void setAcceptShed(bool Shed) {
+    AcceptShed.store(Shed, std::memory_order_relaxed);
+  }
+  bool acceptShedding() const {
+    return AcceptShed.load(std::memory_order_relaxed);
+  }
+
   /// Reason phrase for \p Status ("OK", "Not Found", ...).
   static const char *statusText(int Status);
 
@@ -119,6 +146,7 @@ private:
   void serveLoop();
   void acceptPending();
   bool stepConnection(Connection &C, short Revents, uint64_t NowNs);
+  void dispatch(Connection &C);
   void finishResponse(Connection &C, const HttpResponse &R,
                       bool CountAsRequest);
 
@@ -133,10 +161,13 @@ private:
   std::atomic<bool> StopRequested{false};
   std::vector<Connection> Connections;
 
+  std::atomic<bool> AcceptShed{false};
+
   // Stats are written only on the server thread; readers take snapshots
   // through atomics.
   std::atomic<uint64_t> Accepted{0}, Requests{0}, R2xx{0}, R4xx{0}, R5xx{0},
-      Timeouts{0}, Overflows{0}, BadRequests{0};
+      Timeouts{0}, Overflows{0}, BadRequests{0}, PostRequests{0},
+      PostBodyBytes{0}, ContinueSent{0}, ShedAccepts{0};
 };
 
 /// Splits "host:port" (e.g. "127.0.0.1:9464", ":0"). An empty host means
@@ -144,9 +175,19 @@ private:
 bool parseHostPort(const std::string &Spec, std::string &Host, uint16_t &Port,
                    std::string *Error = nullptr);
 
-/// Tiny blocking client for tests, benches, and smoke checks: one GET,
-/// whole response read until EOF. False + message on connect/IO failure
-/// or an unparseable status line.
+/// Splits "http://host:port[/path]" (e.g. "http://127.0.0.1:9464/metrics").
+/// The port is mandatory — this is localhost tooling, not a general URL
+/// parser. A missing path means "/". False + message on anything else
+/// (https, missing scheme, bad port).
+bool parseHttpUrl(const std::string &Url, std::string &Host, uint16_t &Port,
+                  std::string &Path, std::string *Error = nullptr);
+
+/// Tiny blocking client for tests, benches, smoke checks, and the report
+/// upload path: one request, whole response read until EOF. One absolute
+/// deadline (TimeoutMs) covers connect + send + receive, so a stalled or
+/// byte-trickling server can never hang the caller — the failure mode a
+/// per-recv SO_RCVTIMEO alone does not close. False + message on
+/// connect/IO failure, deadline expiry, or an unparseable status line.
 struct HttpClientResponse {
   int Status = 0;
   std::string Body;
@@ -155,6 +196,18 @@ struct HttpClientResponse {
 bool httpGet(const std::string &Host, uint16_t Port, const std::string &Path,
              HttpClientResponse &Out, std::string *Error = nullptr,
              uint64_t TimeoutMs = 5000);
+
+/// One POST under the same deadline regime. \p Body is sent with
+/// Content-Length (no chunking); the response is read until EOF.
+bool httpPost(const std::string &Host, uint16_t Port, const std::string &Path,
+              const std::string &Body, const std::string &ContentType,
+              HttpClientResponse &Out, std::string *Error = nullptr,
+              uint64_t TimeoutMs = 5000);
+
+/// Value of header \p Name (case-insensitive) in a raw header block as
+/// returned in HttpClientResponse::Header; "" when absent.
+std::string headerValue(const std::string &HeaderBlock,
+                        const std::string &Name);
 
 } // namespace net
 } // namespace er

@@ -1,0 +1,151 @@
+//===- ReportClient.cpp - Retrying report upload client ----------------------===//
+
+#include "net/ReportClient.h"
+
+#include "net/HttpServer.h"
+#include "obs/Metrics.h"
+#include "obs/Tracer.h"
+#include "support/Rng.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+
+using namespace er;
+using namespace er::net;
+
+namespace {
+
+struct PushMetrics {
+  obs::Counter &Attempts, &Pushed, &Retries, &Throttled, &Failures;
+
+  static PushMetrics &get() {
+    auto &Reg = obs::MetricsRegistry::global();
+    static PushMetrics M{Reg.counter("net.client.push.attempts"),
+                         Reg.counter("net.client.push.ok"),
+                         Reg.counter("net.client.push.retries"),
+                         Reg.counter("net.client.push.throttled"),
+                         Reg.counter("net.client.push.failures")};
+    return M;
+  }
+};
+
+void sleepMs(const ReportClientConfig &Config, uint64_t Ms) {
+  if (Config.Sleep)
+    Config.Sleep(Ms);
+  else
+    std::this_thread::sleep_for(std::chrono::milliseconds(Ms));
+}
+
+/// ±25% multiplicative jitter so synchronized clients spread out.
+uint64_t jittered(uint64_t Ms, Rng &R) {
+  if (Ms == 0)
+    return 0;
+  double Factor = 0.75 + 0.5 * R.nextDouble();
+  uint64_t J = static_cast<uint64_t>(static_cast<double>(Ms) * Factor);
+  return std::max<uint64_t>(1, J);
+}
+
+/// Seconds from a Retry-After header value, capped at CapMs; 0 when
+/// absent/unparseable (HTTP-date form is not worth supporting for
+/// localhost tooling).
+uint64_t retryAfterMs(const std::string &Header, uint64_t CapMs) {
+  std::string Value = headerValue(Header, "Retry-After");
+  if (Value.empty())
+    return 0;
+  char *End = nullptr;
+  unsigned long long Secs = std::strtoull(Value.c_str(), &End, 10);
+  if (*End != '\0')
+    return 0;
+  return std::min<unsigned long long>(Secs * 1000, CapMs);
+}
+
+PushResult pushReportTo(const std::string &Host, uint16_t Port,
+                        const std::string &Path, const std::string &Frame,
+                        const ReportClientConfig &Config) {
+  PushMetrics &PM = PushMetrics::get();
+  obs::ScopedSpan Span("report.push", "net");
+  Span.arg("bytes", static_cast<uint64_t>(Frame.size()));
+
+  PushResult Result;
+  Rng Jitter(Config.JitterSeed ? Config.JitterSeed : 1);
+  uint64_t Backoff = std::max<uint64_t>(1, Config.BackoffMs);
+
+  for (unsigned Attempt = 0;; ++Attempt) {
+    ++Result.Attempts;
+    PM.Attempts.inc();
+
+    HttpClientResponse Resp;
+    std::string Error;
+    bool Sent = httpPost(Host, Port, Path, Frame,
+                         "application/x-er-spool", Resp, &Error,
+                         Config.TimeoutMs);
+    if (Sent) {
+      Result.Status = Resp.Status;
+      if (Resp.Status >= 200 && Resp.Status < 300) {
+        Result.Ok = true;
+        PM.Pushed.inc();
+        Span.arg("attempts", Result.Attempts);
+        return Result;
+      }
+      if (Resp.Status == 429 || Resp.Status == 503) {
+        // The edge is shedding; this is the retry case the whole backoff
+        // machinery exists for.
+        ++Result.Throttled;
+        PM.Throttled.inc();
+      } else {
+        // Permanent: the same bytes will fail the same way (CRC 400,
+        // over-cap 413, wrong path 404). Body carries the server's why.
+        Result.Error = "server rejected upload (" +
+                       std::to_string(Resp.Status) + "): " + Resp.Body;
+        PM.Failures.inc();
+        return Result;
+      }
+    } else {
+      Result.Status = 0;
+      Result.Error = Error;
+    }
+
+    if (Attempt >= Config.MaxRetries) {
+      if (Result.Error.empty())
+        Result.Error = "gave up after " + std::to_string(Result.Attempts) +
+                       " attempts (last status " +
+                       std::to_string(Result.Status) + ")";
+      PM.Failures.inc();
+      return Result;
+    }
+
+    uint64_t DelayMs =
+        Sent ? retryAfterMs(Resp.Header, Config.RetryAfterCapMs) : 0;
+    if (DelayMs == 0)
+      DelayMs = Backoff;
+    PM.Retries.inc();
+    sleepMs(Config, jittered(DelayMs, Jitter));
+    Backoff = std::min(Backoff * 2, std::max<uint64_t>(1, Config.BackoffCapMs));
+  }
+}
+
+} // namespace
+
+PushResult net::pushReport(const std::string &Host, uint16_t Port,
+                           const std::string &Frame,
+                           const ReportClientConfig &Config) {
+  return pushReportTo(Host, Port, "/report", Frame, Config);
+}
+
+PushResult net::pushReportUrl(const std::string &Url, const std::string &Frame,
+                              const ReportClientConfig &Config) {
+  std::string Host, Path, Error;
+  uint16_t Port = 0;
+  if (!parseHttpUrl(Url, Host, Port, Path, &Error)) {
+    PushResult Result;
+    Result.Error = Error;
+    return Result;
+  }
+  // parseHttpUrl defaults a missing path to "/": the upload endpoint is
+  // /report unless the caller spelled out something else.
+  if (Path == "/")
+    Path = "/report";
+  return pushReportTo(Host, Port, Path, Frame, Config);
+}

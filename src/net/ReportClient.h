@@ -1,0 +1,81 @@
+//===- ReportClient.h - Retrying report upload client -----------*- C++ -*-===//
+///
+/// \file
+/// The machine side of wire ingestion (docs/INGEST.md): pushes one spool
+/// frame (a SpoolWriter::takeFrame byte stream, or the bytes of an
+/// on-disk `.ers` file) to a collector daemon's `POST /report` endpoint
+/// and deals with what the edge throws back.
+///
+/// Retry policy — the client half of the backpressure contract:
+///
+///  - **429 / 503** are the daemon shedding load. The client honors
+///    `Retry-After` when present, otherwise exponential backoff, both
+///    with ±25% jitter so a fleet told "retry in 2s" does not return as
+///    one synchronized thundering herd.
+///  - **Connect/IO failures and timeouts** get the same exponential
+///    backoff: the daemon may simply not be up yet.
+///  - **Other 4xx are permanent.** A 400 (frame failed CRC) or 413 (over
+///    the body cap) will not succeed on retry; retrying would just
+///    re-quarantine the same bytes. The client reports failure
+///    immediately with the server's explanation.
+///
+/// Pushing the same frame twice (e.g. a response lost after the server
+/// published) is safe end-to-end: the spool file name is derived from
+/// (machine, first sequence) so a replay overwrites its twin, and the
+/// collector's dedup drops any record it has already seen.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ER_NET_REPORTCLIENT_H
+#define ER_NET_REPORTCLIENT_H
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace er {
+namespace net {
+
+struct ReportClientConfig {
+  /// Per-attempt absolute deadline (connect + send + receive).
+  uint64_t TimeoutMs = 5000;
+  /// Attempts beyond the first for retryable outcomes.
+  unsigned MaxRetries = 5;
+  /// First backoff; doubles per retry up to BackoffCapMs. A server
+  /// `Retry-After` overrides the computed delay.
+  uint64_t BackoffMs = 200;
+  uint64_t BackoffCapMs = 10'000;
+  /// Ceiling on an honored `Retry-After` (a confused or hostile server
+  /// must not park the client for an hour; benches turn it way down).
+  uint64_t RetryAfterCapMs = 60'000;
+  /// Jitter seed; split per client so fleet members desynchronize.
+  uint64_t JitterSeed = 1;
+  /// Sleep seam, milliseconds. Null = really sleep (tests and the bench
+  /// install hooks; simulated fleets must never wall-clock sleep).
+  std::function<void(uint64_t)> Sleep;
+};
+
+/// Outcome of pushReport, success or final failure.
+struct PushResult {
+  bool Ok = false;
+  int Status = 0;        ///< Last HTTP status (0: never got a response).
+  unsigned Attempts = 0; ///< Total attempts, including the successful one.
+  unsigned Throttled = 0; ///< 429/503 responses absorbed along the way.
+  std::string Error;     ///< Final failure explanation; empty on success.
+};
+
+/// Uploads one frame, retrying per the policy above. Blocking (modulo
+/// the Sleep seam); thread-safe for distinct \p Config values.
+PushResult pushReport(const std::string &Host, uint16_t Port,
+                      const std::string &Frame,
+                      const ReportClientConfig &Config = {});
+
+/// As pushReport, with the target given as "http://host:port[/path]"
+/// (missing path defaults to /report).
+PushResult pushReportUrl(const std::string &Url, const std::string &Frame,
+                         const ReportClientConfig &Config = {});
+
+} // namespace net
+} // namespace er
+
+#endif // ER_NET_REPORTCLIENT_H

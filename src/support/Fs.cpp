@@ -124,6 +124,12 @@ bool FsOps::exists(const std::string &Path) {
   return fs::exists(Path, EC);
 }
 
+uint64_t FsOps::fileSize(const std::string &Path) {
+  std::error_code EC;
+  uintmax_t Size = fs::file_size(Path, EC);
+  return EC ? 0 : static_cast<uint64_t>(Size);
+}
+
 std::vector<std::string> FsOps::listDir(const std::string &Dir) {
   std::vector<std::string> Names;
   std::error_code EC;

@@ -96,6 +96,11 @@ public:
 
   virtual bool exists(const std::string &Path);
 
+  /// Size in bytes of the regular file at \p Path; 0 when it is missing
+  /// or unreadable (callers treating size as a pressure signal must not
+  /// fail on a file that vanished mid-scan).
+  virtual uint64_t fileSize(const std::string &Path);
+
   /// Names (not paths) of regular files directly inside \p Dir, sorted.
   /// A missing or unreadable directory lists as empty.
   virtual std::vector<std::string> listDir(const std::string &Dir);

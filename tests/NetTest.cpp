@@ -1,23 +1,30 @@
 //===- NetTest.cpp - Minimal HTTP server tests ------------------------------===//
 //
-// Covers src/net/HttpServer.*: request/response round trips on a real
-// loopback socket, the abuse paths the daemon's telemetry listener must
-// survive (slow-loris, oversized heads, malformed request lines, a full
-// connection table), parseHostPort, and concurrent scrapes (the TSan CI
-// job runs this suite, so the handler/stats paths get a data-race check
-// for free). Timeouts in these tests are real but loopback-short.
+// Covers src/net/HttpServer.* and src/net/ReportClient.*: request and
+// POST-body round trips on a real loopback socket, the abuse paths the
+// daemon's front end must survive (slow-loris, oversized heads, bodies
+// that never arrive or overrun their Content-Length, malformed request
+// lines, a full connection table), parseHostPort/parseHttpUrl, client
+// deadlines against a stalled server, the upload client's retry/backoff
+// policy, and concurrent scrapes (the TSan CI job runs this suite, so
+// the handler/stats paths get a data-race check for free). Timeouts in
+// these tests are real but loopback-short.
 //
 //===----------------------------------------------------------------------===//
 
 #include "net/HttpServer.h"
+#include "net/ReportClient.h"
 
 #include <gtest/gtest.h>
 
 #include <arpa/inet.h>
+#include <atomic>
+#include <chrono>
 #include <netinet/in.h>
 #include <sys/socket.h>
 #include <thread>
 #include <unistd.h>
+#include <vector>
 
 using namespace er;
 
@@ -57,18 +64,23 @@ std::string rawExchange(uint16_t Port, const std::string &Bytes,
   return Out;
 }
 
-/// Server whose handler echoes the path; the fixture every test starts
-/// from.
+/// Server whose handler echoes the path (GET) or the body (POST); the
+/// fixture every test starts from.
 struct EchoServer {
   net::HttpServer Server;
 
   explicit EchoServer(net::HttpServerConfig Config = {})
       : Server(std::move(Config), [](const net::HttpRequest &Req) {
-          if (Req.Path == "/missing")
-            return net::HttpResponse{404, "text/plain; charset=utf-8",
-                                     "nope\n"};
-          return net::HttpResponse{200, "text/plain; charset=utf-8",
-                                   "path=" + Req.Path + "\n"};
+          net::HttpResponse R;
+          if (Req.Path == "/missing") {
+            R.Status = 404;
+            R.Body = "nope\n";
+          } else if (Req.Method == "POST") {
+            R.Body = "echo:" + Req.Body;
+          } else {
+            R.Body = "path=" + Req.Path + "\n";
+          }
+          return R;
         }) {
     std::string Err;
     EXPECT_TRUE(Server.start(&Err)) << Err;
@@ -102,13 +114,141 @@ TEST(HttpServer, ServesGetAndClosesConnection) {
   EXPECT_EQ(Stats.Responses4xx, 1u);
 }
 
-TEST(HttpServer, RejectsNonGetWith405) {
+TEST(HttpServer, RejectsUnsupportedMethodWith405) {
   EchoServer S;
   std::string Resp = rawExchange(S.Server.boundPort(),
-                                 "POST /metrics HTTP/1.1\r\n"
+                                 "PUT /metrics HTTP/1.1\r\n"
                                  "Host: x\r\n\r\n");
   EXPECT_NE(Resp.find("405"), std::string::npos) << Resp;
   EXPECT_EQ(S.Server.statsSnapshot().BadRequests, 1u);
+}
+
+TEST(HttpServer, PostBodyRoundTrip) {
+  EchoServer S;
+  net::HttpClientResponse R;
+  std::string Err;
+  std::string Body(4096, 'p');
+  Body[17] = '\0'; // Bodies are bytes, not text: NULs must survive.
+  ASSERT_TRUE(net::httpPost("127.0.0.1", S.Server.boundPort(), "/up", Body,
+                            "application/octet-stream", R, &Err))
+      << Err;
+  EXPECT_EQ(R.Status, 200);
+  EXPECT_EQ(R.Body, "echo:" + Body);
+
+  auto Stats = S.Server.statsSnapshot();
+  EXPECT_EQ(Stats.PostRequests, 1u);
+  EXPECT_EQ(Stats.PostBodyBytes, Body.size());
+  EXPECT_EQ(Stats.Responses2xx, 1u);
+}
+
+TEST(HttpServer, ZeroLengthPostDispatches) {
+  EchoServer S;
+  net::HttpClientResponse R;
+  std::string Err;
+  ASSERT_TRUE(net::httpPost("127.0.0.1", S.Server.boundPort(), "/up", "",
+                            "application/octet-stream", R, &Err))
+      << Err;
+  EXPECT_EQ(R.Status, 200);
+  EXPECT_EQ(R.Body, "echo:");
+  EXPECT_EQ(S.Server.statsSnapshot().PostRequests, 1u);
+  EXPECT_EQ(S.Server.statsSnapshot().PostBodyBytes, 0u);
+}
+
+TEST(HttpServer, PostWithoutContentLengthIs411) {
+  EchoServer S;
+  std::string Resp = rawExchange(S.Server.boundPort(),
+                                 "POST /up HTTP/1.1\r\nHost: x\r\n\r\nbody");
+  EXPECT_NE(Resp.find("411"), std::string::npos) << Resp;
+  EXPECT_GE(S.Server.statsSnapshot().BadRequests, 1u);
+}
+
+TEST(HttpServer, PostOverBodyCapIs413BeforeBodyRead) {
+  net::HttpServerConfig Config;
+  Config.MaxBodyBytes = 64;
+  EchoServer S(Config);
+  // Only the head is sent: the 413 must come from the declaration alone.
+  std::string Resp = rawExchange(S.Server.boundPort(),
+                                 "POST /up HTTP/1.1\r\nHost: x\r\n"
+                                 "Content-Length: 65\r\n\r\n");
+  EXPECT_NE(Resp.find("413"), std::string::npos) << Resp;
+  EXPECT_EQ(S.Server.statsSnapshot().PostRequests, 0u);
+}
+
+TEST(HttpServer, PostShortBodyIsCut408AtDeadline) {
+  net::HttpServerConfig Config;
+  Config.RequestTimeoutMs = 150; // Real but loopback-short.
+  EchoServer S(Config);
+  // Promise 100 bytes, deliver 4, stall: the body phase deadline must
+  // cut the connection rather than wait for the remainder forever.
+  std::string Resp = rawExchange(S.Server.boundPort(),
+                                 "POST /up HTTP/1.1\r\nHost: x\r\n"
+                                 "Content-Length: 100\r\n\r\nstub");
+  EXPECT_TRUE(Resp.empty() || Resp.find("408") != std::string::npos) << Resp;
+  EXPECT_EQ(S.Server.statsSnapshot().Timeouts, 1u);
+  EXPECT_EQ(S.Server.statsSnapshot().PostRequests, 0u);
+}
+
+TEST(HttpServer, PostBodyBeyondContentLengthIs400) {
+  EchoServer S;
+  std::string Resp = rawExchange(S.Server.boundPort(),
+                                 "POST /up HTTP/1.1\r\nHost: x\r\n"
+                                 "Content-Length: 2\r\n\r\nmore-than-two");
+  EXPECT_NE(Resp.find("400"), std::string::npos) << Resp;
+  EXPECT_EQ(S.Server.statsSnapshot().PostRequests, 0u);
+}
+
+TEST(HttpServer, Expect100ContinueGetsInterimResponse) {
+  EchoServer S;
+  int Fd = -1;
+  rawExchange(S.Server.boundPort(),
+              "POST /up HTTP/1.1\r\nHost: x\r\nContent-Length: 5\r\n"
+              "Expect: 100-continue\r\n\r\n",
+              /*ReadToEof=*/false, &Fd);
+  ASSERT_GE(Fd, 0);
+  // The interim status must arrive before any body byte is sent.
+  std::string Interim;
+  char Buf[256];
+  for (int Spin = 0; Spin < 100; ++Spin) {
+    ssize_t N = ::recv(Fd, Buf, sizeof(Buf), MSG_DONTWAIT);
+    if (N > 0) {
+      Interim.append(Buf, static_cast<size_t>(N));
+      if (Interim.find("\r\n\r\n") != std::string::npos)
+        break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_NE(Interim.find("100 Continue"), std::string::npos) << Interim;
+
+  ASSERT_EQ(::send(Fd, "hello", 5, 0), 5);
+  std::string Final;
+  for (;;) {
+    ssize_t N = ::recv(Fd, Buf, sizeof(Buf), 0);
+    if (N <= 0)
+      break;
+    Final.append(Buf, static_cast<size_t>(N));
+  }
+  ::close(Fd);
+  EXPECT_NE(Final.find("200"), std::string::npos) << Final;
+  EXPECT_NE(Final.find("echo:hello"), std::string::npos) << Final;
+  EXPECT_EQ(S.Server.statsSnapshot().ContinueSent, 1u);
+}
+
+TEST(HttpServer, AcceptShedAnswers503Everywhere) {
+  EchoServer S;
+  S.Server.setAcceptShed(true);
+  EXPECT_TRUE(S.Server.acceptShedding());
+  std::string Resp = rawExchange(S.Server.boundPort(),
+                                 "GET /metrics HTTP/1.1\r\n\r\n");
+  EXPECT_NE(Resp.find("503"), std::string::npos) << Resp;
+  EXPECT_NE(Resp.find("Retry-After"), std::string::npos) << Resp;
+  EXPECT_GE(S.Server.statsSnapshot().ShedAccepts, 1u);
+
+  S.Server.setAcceptShed(false);
+  net::HttpClientResponse R;
+  std::string Err;
+  ASSERT_TRUE(net::httpGet("127.0.0.1", S.Server.boundPort(), "/ok", R, &Err))
+      << Err;
+  EXPECT_EQ(R.Status, 200);
 }
 
 TEST(HttpServer, RejectsMalformedRequestLineWith400) {
@@ -211,4 +351,164 @@ TEST(HttpServer, ParseHostPort) {
   EXPECT_FALSE(net::parseHostPort("no-port", Host, Port, &Err));
   EXPECT_FALSE(net::parseHostPort("h:not-a-number", Host, Port, &Err));
   EXPECT_FALSE(net::parseHostPort("h:99999", Host, Port, &Err));
+}
+
+TEST(HttpServer, ParseHttpUrl) {
+  std::string Host, Path, Err;
+  uint16_t Port = 0;
+  EXPECT_TRUE(net::parseHttpUrl("http://127.0.0.1:9464/metrics", Host, Port,
+                                Path, &Err))
+      << Err;
+  EXPECT_EQ(Host, "127.0.0.1");
+  EXPECT_EQ(Port, 9464);
+  EXPECT_EQ(Path, "/metrics");
+
+  EXPECT_TRUE(net::parseHttpUrl("http://localhost:80", Host, Port, Path));
+  EXPECT_EQ(Host, "localhost");
+  EXPECT_EQ(Port, 80);
+  EXPECT_EQ(Path, "/"); // Missing path defaults to "/".
+
+  EXPECT_FALSE(net::parseHttpUrl("https://h:1/x", Host, Port, Path, &Err));
+  EXPECT_FALSE(net::parseHttpUrl("h:1/x", Host, Port, Path, &Err));
+  EXPECT_FALSE(net::parseHttpUrl("http://h/x", Host, Port, Path, &Err));
+  EXPECT_FALSE(net::parseHttpUrl("http://h:bad/x", Host, Port, Path, &Err));
+}
+
+TEST(HttpServer, HeaderValueIsCaseInsensitive) {
+  std::string Head = "HTTP/1.1 429 Too Many Requests\r\n"
+                     "Content-Type: text/plain\r\n"
+                     "retry-after:  7 \r\n";
+  EXPECT_EQ(net::headerValue(Head, "Retry-After"), "7");
+  EXPECT_EQ(net::headerValue(Head, "content-type"), "text/plain");
+  EXPECT_EQ(net::headerValue(Head, "X-Missing"), "");
+}
+
+TEST(HttpServer, ClientDeadlineCoversStalledServer) {
+  // A listener that accepts (via the kernel backlog) but never responds:
+  // the client must fail within its absolute deadline instead of hanging
+  // on recv forever — the gap a per-recv SO_RCVTIMEO would not close if
+  // the server trickled one byte per timeout.
+  int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(Fd, 0);
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_port = 0;
+  ::inet_pton(AF_INET, "127.0.0.1", &Addr.sin_addr);
+  ASSERT_EQ(::bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)), 0);
+  ASSERT_EQ(::listen(Fd, 4), 0);
+  socklen_t Len = sizeof(Addr);
+  ASSERT_EQ(::getsockname(Fd, reinterpret_cast<sockaddr *>(&Addr), &Len), 0);
+  uint16_t Port = ntohs(Addr.sin_port);
+
+  net::HttpClientResponse R;
+  std::string Err;
+  auto Start = std::chrono::steady_clock::now();
+  EXPECT_FALSE(net::httpGet("127.0.0.1", Port, "/never", R, &Err,
+                            /*TimeoutMs=*/200));
+  auto ElapsedMs = std::chrono::duration_cast<std::chrono::milliseconds>(
+                       std::chrono::steady_clock::now() - Start)
+                       .count();
+  EXPECT_LT(ElapsedMs, 2000) << "deadline did not bound the exchange";
+  EXPECT_FALSE(Err.empty());
+  ::close(Fd);
+}
+
+TEST(ReportClient, RetriesThrottleThenSucceeds) {
+  // First two hits are shed with Retry-After; the third is accepted. The
+  // client must absorb the 429s, honor the hint via its Sleep seam, and
+  // land the frame.
+  std::atomic<unsigned> Hits{0};
+  net::HttpServerConfig Config;
+  net::HttpServer Server(Config, [&](const net::HttpRequest &Req) {
+    net::HttpResponse R;
+    if (Hits.fetch_add(1) < 2) {
+      R.Status = 429;
+      R.Body = "shedding\n";
+      R.ExtraHeaders.push_back({"Retry-After", "3"});
+      return R;
+    }
+    R.Body = "accepted " + std::to_string(Req.Body.size()) + "\n";
+    return R;
+  });
+  std::string Err;
+  ASSERT_TRUE(Server.start(&Err)) << Err;
+
+  std::vector<uint64_t> Sleeps;
+  net::ReportClientConfig RC;
+  RC.Sleep = [&](uint64_t Ms) { Sleeps.push_back(Ms); };
+  net::PushResult PR =
+      net::pushReport("127.0.0.1", Server.boundPort(), "frame-bytes", RC);
+  EXPECT_TRUE(PR.Ok) << PR.Error;
+  EXPECT_EQ(PR.Status, 200);
+  EXPECT_EQ(PR.Attempts, 3u);
+  EXPECT_EQ(PR.Throttled, 2u);
+  ASSERT_EQ(Sleeps.size(), 2u);
+  for (uint64_t Ms : Sleeps) {
+    // Retry-After: 3 → 3000ms ± 25% jitter.
+    EXPECT_GE(Ms, 2250u);
+    EXPECT_LE(Ms, 3750u);
+  }
+}
+
+TEST(ReportClient, PermanentRejectionFailsFast) {
+  net::HttpServerConfig Config;
+  net::HttpServer Server(Config, [](const net::HttpRequest &) {
+    net::HttpResponse R;
+    R.Status = 400;
+    R.Body = "frame failed checksum\n";
+    return R;
+  });
+  std::string Err;
+  ASSERT_TRUE(Server.start(&Err)) << Err;
+
+  unsigned SleepCalls = 0;
+  net::ReportClientConfig RC;
+  RC.Sleep = [&](uint64_t) { ++SleepCalls; };
+  net::PushResult PR =
+      net::pushReport("127.0.0.1", Server.boundPort(), "junk", RC);
+  EXPECT_FALSE(PR.Ok);
+  EXPECT_EQ(PR.Status, 400);
+  EXPECT_EQ(PR.Attempts, 1u); // No retry: the same bytes would fail again.
+  EXPECT_EQ(SleepCalls, 0u);
+  EXPECT_NE(PR.Error.find("checksum"), std::string::npos) << PR.Error;
+}
+
+TEST(ReportClient, GivesUpAfterMaxRetriesWithBackoff) {
+  // No server at all: every attempt is a connect failure, backoff doubles
+  // (with ±25% jitter) until MaxRetries is exhausted.
+  int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(Fd, 0);
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_port = 0;
+  ::inet_pton(AF_INET, "127.0.0.1", &Addr.sin_addr);
+  ASSERT_EQ(::bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)), 0);
+  socklen_t Len = sizeof(Addr);
+  ASSERT_EQ(::getsockname(Fd, reinterpret_cast<sockaddr *>(&Addr), &Len), 0);
+  uint16_t DeadPort = ntohs(Addr.sin_port);
+  ::close(Fd); // Bound but never listened: connect gets RST immediately.
+
+  std::vector<uint64_t> Sleeps;
+  net::ReportClientConfig RC;
+  RC.MaxRetries = 3;
+  RC.BackoffMs = 100;
+  RC.TimeoutMs = 500;
+  RC.Sleep = [&](uint64_t Ms) { Sleeps.push_back(Ms); };
+  net::PushResult PR = net::pushReport("127.0.0.1", DeadPort, "frame", RC);
+  EXPECT_FALSE(PR.Ok);
+  EXPECT_EQ(PR.Status, 0);
+  EXPECT_EQ(PR.Attempts, 4u); // 1 + MaxRetries.
+  ASSERT_EQ(Sleeps.size(), 3u);
+  // 100, 200, 400 before jitter; each within ±25%.
+  EXPECT_GE(Sleeps[1], Sleeps[0]);
+  EXPECT_LE(Sleeps[0], 125u);
+  EXPECT_GE(Sleeps[2], 300u);
+  EXPECT_FALSE(PR.Error.empty());
+}
+
+TEST(ReportClient, PushReportUrlRejectsBadUrl) {
+  net::PushResult PR = net::pushReportUrl("https://x:1/report", "frame");
+  EXPECT_FALSE(PR.Ok);
+  EXPECT_EQ(PR.Attempts, 0u);
+  EXPECT_FALSE(PR.Error.empty());
 }

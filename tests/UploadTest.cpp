@@ -1,0 +1,435 @@
+//===- UploadTest.cpp - Wire ingestion: POST /report end to end ------------===//
+//
+// Covers the network front end of ingestion (docs/INGEST.md, "Wire
+// ingestion"): CollectorDaemon::handleUpload driven directly (no sockets)
+// for the validation/publish/backpressure paths, and through a real
+// loopback listener for the concurrent-uploads-during-drain race (the
+// TSan CI job runs this suite). The invariants under test:
+//
+//  - An uploaded frame is published byte-identical to the file a local
+//    SpoolWriter::flush would have produced, under the same
+//    content-derived name — the drain cannot tell the transports apart.
+//  - Exactly-once survives replays: a retried upload rename-overwrites
+//    its twin, and records a drain already owns are dropped as
+//    duplicates.
+//  - A frame that fails CRC/framing lands in spool/quarantine/, never in
+//    the spool proper.
+//  - Past the high watermark the endpoint answers 429 with Retry-After
+//    before looking at the bytes; at the critical watermark the listener
+//    sheds at accept with 503.
+//  - The adaptive schedule compresses the inter-cycle delay toward its
+//    floor as pressure or drain volume rises, and never moves when
+//    pinned to the classic fixed cadence.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ingest/CollectorDaemon.h"
+#include "ingest/ReportCollector.h"
+#include "ingest/ReportSpool.h"
+#include "net/HttpServer.h"
+#include "net/ReportClient.h"
+#include "support/FaultFs.h"
+#include "support/Fs.h"
+
+#include "fleet/FleetScheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace er;
+namespace fs = std::filesystem;
+
+namespace {
+
+/// Fresh, empty directory unique to the calling test.
+std::string freshDir(const std::string &Name) {
+  fs::path Dir = fs::path(testing::TempDir()) / ("er_upload_" + Name);
+  fs::remove_all(Dir);
+  fs::create_directories(Dir);
+  return Dir.string();
+}
+
+FleetFailureReport makeReport(const std::string &BugId, unsigned Instr) {
+  FleetFailureReport R;
+  R.BugId = BugId;
+  R.Failure.Kind = FailureKind::NullDeref;
+  R.Failure.InstrGlobalId = Instr;
+  R.Failure.CallStack = {1, 2};
+  return R;
+}
+
+/// One three-record frame from \p Machine starting at \p FirstSeq — the
+/// bytes `er_cli report --push` would send. BugIds are not in the
+/// workload registry, so drained campaigns complete inline.
+std::string makeFrame(uint64_t Machine, uint64_t FirstSeq = 1) {
+  SpoolWriter Writer("", Machine, FirstSeq);
+  Writer.append(makeReport("bug-a", 10));
+  Writer.append(makeReport("bug-a", 10));
+  Writer.append(makeReport("bug-b", 20));
+  return Writer.takeFrame();
+}
+
+net::HttpRequest postReport(std::string Body) {
+  net::HttpRequest Req;
+  Req.Method = "POST";
+  Req.Path = "/report";
+  Req.Body = std::move(Body);
+  return Req;
+}
+
+std::string readAll(const std::string &Path) {
+  std::ifstream IS(Path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(IS),
+                     std::istreambuf_iterator<char>());
+}
+
+uint64_t totalOccurrences(const FleetScheduler &Sched) {
+  uint64_t Total = 0;
+  for (const Campaign &C : Sched.getCampaigns())
+    Total += C.Occurrences;
+  return Total;
+}
+
+} // namespace
+
+TEST(Upload, PublishesContentDerivedFileAndDrainDelivers) {
+  std::string Spool = freshDir("roundtrip");
+  FleetScheduler Sched((FleetConfig()));
+  DaemonConfig DC;
+  DC.Collector.SpoolDir = Spool;
+  CollectorDaemon Daemon(DC, Sched);
+  ASSERT_TRUE(Daemon.start());
+
+  net::HttpResponse R = Daemon.handleHttp(postReport(makeFrame(7, 41)));
+  EXPECT_EQ(R.Status, 200) << R.Body;
+  EXPECT_NE(R.Body.find("\"accepted\":3"), std::string::npos) << R.Body;
+  // The published name is derived from (machine, first sequence) — the
+  // same name a local SpoolWriter::flush on machine 7 would have used.
+  std::string Expect = "m0000000000000007-0000000000000029.ers";
+  EXPECT_NE(R.Body.find(Expect), std::string::npos) << R.Body;
+  EXPECT_TRUE(fs::exists(fs::path(Spool) / Expect));
+
+  ASSERT_TRUE(Daemon.runCycle());
+  EXPECT_EQ(Daemon.collectorStats().Submitted, 3u);
+  EXPECT_EQ(totalOccurrences(Sched), 3u);
+  EXPECT_TRUE(listSpoolFiles(Spool).empty()) << "drain must consume it";
+
+  DaemonStatus Status = Daemon.statusSnapshot();
+  EXPECT_EQ(Status.UploadsAccepted, 1u);
+  EXPECT_EQ(Status.UploadsRejected, 0u);
+}
+
+TEST(Upload, UploadedFileIsByteIdenticalToLocalFlush) {
+  // Same reports through both transports: flush publishes locally,
+  // takeFrame + POST publishes over the wire. The on-disk results must
+  // be indistinguishable, byte for byte, name for name.
+  std::string FlushDir = freshDir("identity_flush");
+  SpoolWriter Local(FlushDir, /*MachineId=*/5, /*FirstSequence=*/1);
+  Local.append(makeReport("bug-a", 10));
+  Local.append(makeReport("bug-a", 10));
+  Local.append(makeReport("bug-b", 20));
+  std::string Err;
+  ASSERT_TRUE(Local.flush(&Err)) << Err;
+  std::vector<std::string> Flushed = listSpoolFiles(FlushDir);
+  ASSERT_EQ(Flushed.size(), 1u);
+
+  std::string Spool = freshDir("identity_wire");
+  FleetScheduler Sched((FleetConfig()));
+  DaemonConfig DC;
+  DC.Collector.SpoolDir = Spool;
+  CollectorDaemon Daemon(DC, Sched);
+  ASSERT_TRUE(Daemon.start());
+  net::HttpResponse R = Daemon.handleHttp(postReport(makeFrame(5, 1)));
+  ASSERT_EQ(R.Status, 200) << R.Body;
+  std::vector<std::string> Uploaded = listSpoolFiles(Spool);
+  ASSERT_EQ(Uploaded.size(), 1u);
+
+  EXPECT_EQ(fs::path(Flushed[0]).filename(), fs::path(Uploaded[0]).filename());
+  EXPECT_EQ(readAll(Flushed[0]), readAll(Uploaded[0]));
+}
+
+TEST(Upload, ReplayedUploadStaysExactlyOnce) {
+  std::string Spool = freshDir("replay");
+  FleetScheduler Sched((FleetConfig()));
+  DaemonConfig DC;
+  DC.Collector.SpoolDir = Spool;
+  CollectorDaemon Daemon(DC, Sched);
+  ASSERT_TRUE(Daemon.start());
+
+  // A client whose 200 was lost retries the same frame: the replay
+  // rename-overwrites its twin, so only one file exists to drain.
+  std::string Frame = makeFrame(9, 1);
+  EXPECT_EQ(Daemon.handleHttp(postReport(Frame)).Status, 200);
+  EXPECT_EQ(Daemon.handleHttp(postReport(Frame)).Status, 200);
+  EXPECT_EQ(listSpoolFiles(Spool).size(), 1u);
+  ASSERT_TRUE(Daemon.runCycle());
+  EXPECT_EQ(Daemon.collectorStats().Submitted, 3u);
+
+  // A replay arriving after the drain republishes the file, but the
+  // collector's high-water dedup already owns every record in it.
+  EXPECT_EQ(Daemon.handleHttp(postReport(Frame)).Status, 200);
+  ASSERT_TRUE(Daemon.runCycle());
+  EXPECT_EQ(Daemon.collectorStats().DuplicatesDropped, 3u);
+  EXPECT_EQ(Daemon.collectorStats().Submitted, 3u);
+  EXPECT_EQ(totalOccurrences(Sched), 3u);
+}
+
+TEST(Upload, EmptyBodyIsRejected400) {
+  std::string Spool = freshDir("empty");
+  FleetScheduler Sched((FleetConfig()));
+  DaemonConfig DC;
+  DC.Collector.SpoolDir = Spool;
+  CollectorDaemon Daemon(DC, Sched);
+  ASSERT_TRUE(Daemon.start());
+
+  net::HttpResponse R = Daemon.handleHttp(postReport(""));
+  EXPECT_EQ(R.Status, 400);
+  EXPECT_TRUE(listSpoolFiles(Spool).empty());
+  // The status snapshot is rebuilt once per cycle, not per upload.
+  ASSERT_TRUE(Daemon.runCycle());
+  EXPECT_EQ(Daemon.statusSnapshot().UploadsRejected, 1u);
+}
+
+TEST(Upload, MalformedFrameIsQuarantinedNotSpooled) {
+  std::string Spool = freshDir("quarantine");
+  FleetScheduler Sched((FleetConfig()));
+  DaemonConfig DC;
+  DC.Collector.SpoolDir = Spool;
+  CollectorDaemon Daemon(DC, Sched);
+  ASSERT_TRUE(Daemon.start());
+
+  // Flip one payload byte: the record CRC must catch it and the bytes
+  // must land in the same triage directory a corrupt on-disk file would.
+  std::string Frame = makeFrame(3, 1);
+  Frame[Frame.size() / 2] ^= 0x40;
+  net::HttpResponse R = Daemon.handleHttp(postReport(Frame));
+  EXPECT_EQ(R.Status, 400);
+  EXPECT_NE(R.Body.find("quarantined"), std::string::npos) << R.Body;
+
+  EXPECT_TRUE(listSpoolFiles(Spool).empty())
+      << "a bad frame must never become a drainable spool file";
+  unsigned Quarantined = 0;
+  for (const auto &E : fs::directory_iterator(fs::path(Spool) / "quarantine"))
+    Quarantined += E.is_regular_file();
+  EXPECT_EQ(Quarantined, 1u);
+
+  // The drain afterwards sees a clean spool: nothing to count, nothing
+  // to re-quarantine.
+  ASSERT_TRUE(Daemon.runCycle());
+  EXPECT_EQ(Daemon.collectorStats().Submitted, 0u);
+  EXPECT_EQ(Daemon.statusSnapshot().UploadsRejected, 1u);
+}
+
+TEST(Upload, ThrottledWith429AndRetryAfterPastHighWatermark) {
+  std::string Spool = freshDir("throttle");
+  FleetScheduler Sched((FleetConfig()));
+  DaemonConfig DC;
+  DC.Collector.SpoolDir = Spool;
+  DC.Pressure.HighFiles = 2;
+  DC.Pressure.LowFiles = 1;
+  CollectorDaemon Daemon(DC, Sched);
+  ASSERT_TRUE(Daemon.start());
+
+  // Fill the spool to the watermark behind the daemon's back (a fleet of
+  // filesystem writers), then resample: uploads must now bounce.
+  for (uint64_t M = 0; M < 2; ++M) {
+    SpoolWriter W(Spool, /*MachineId=*/100 + M);
+    W.append(makeReport("bug-a", 10));
+    std::string Err;
+    ASSERT_TRUE(W.flush(&Err)) << Err;
+  }
+  Daemon.pressure().sample();
+  ASSERT_NE(Daemon.pressure().level(), PressureLevel::Ok);
+
+  net::HttpResponse R = Daemon.handleHttp(postReport(makeFrame(4, 1)));
+  EXPECT_EQ(R.Status, 429);
+  ASSERT_EQ(R.ExtraHeaders.size(), 1u);
+  EXPECT_EQ(R.ExtraHeaders[0].first, "Retry-After");
+  EXPECT_GE(std::stoul(R.ExtraHeaders[0].second), 1u);
+  EXPECT_TRUE(listSpoolFiles(Spool).size() == 2u)
+      << "a throttled frame must not have been published";
+
+  // The drain empties the spool; hysteresis releases below the low
+  // watermark and the same frame lands. The cycle also rebuilds the
+  // status snapshot with the throttle counter.
+  ASSERT_TRUE(Daemon.runCycle());
+  EXPECT_EQ(Daemon.statusSnapshot().UploadsThrottled, 1u);
+  EXPECT_EQ(Daemon.pressure().level(), PressureLevel::Ok);
+  EXPECT_EQ(Daemon.handleHttp(postReport(makeFrame(4, 1))).Status, 200);
+}
+
+TEST(Upload, AdaptiveDelayCompressesUnderPressureAndDrainVolume) {
+  std::string Spool = freshDir("adaptive");
+  FleetScheduler Sched((FleetConfig()));
+  DaemonConfig DC;
+  DC.Collector.SpoolDir = Spool;
+  DC.DrainIntervalMs = 800;
+  DC.Pressure.HighFiles = 4;
+  DC.Pressure.LowFiles = 1;
+  CollectorDaemon Daemon(DC, Sched);
+  ASSERT_TRUE(Daemon.start());
+
+  // Quiet daemon: the configured interval is the delay.
+  EXPECT_EQ(Daemon.nextDrainDelayMs(), 800u);
+
+  // Half the high watermark: the delay scales linearly toward the floor.
+  for (uint64_t M = 0; M < 2; ++M) {
+    SpoolWriter W(Spool, 200 + M);
+    W.append(makeReport("bug-a", 10));
+    std::string Err;
+    ASSERT_TRUE(W.flush(&Err)) << Err;
+  }
+  Daemon.pressure().sample();
+  uint64_t Half = Daemon.nextDrainDelayMs();
+  EXPECT_LT(Half, 800u);
+  EXPECT_GT(Half, 100u); // Derived floor is max(1, 800/8) = 100.
+
+  // At/past the watermark the delay pins to the floor.
+  for (uint64_t M = 2; M < 6; ++M) {
+    SpoolWriter W(Spool, 200 + M);
+    W.append(makeReport("bug-a", 10));
+    std::string Err;
+    ASSERT_TRUE(W.flush(&Err)) << Err;
+  }
+  Daemon.pressure().sample();
+  EXPECT_EQ(Daemon.nextDrainDelayMs(), 100u);
+
+  // Draining the backlog releases the pressure term, but a six-file
+  // drain against AdaptiveBusyFiles = 8 keeps the arrival-rate term
+  // hot: 800 - 700 * 6/8 = 275. Only a genuinely quiet cycle restores
+  // the full interval.
+  ASSERT_TRUE(Daemon.runCycle());
+  EXPECT_EQ(Daemon.nextDrainDelayMs(), 275u);
+  ASSERT_TRUE(Daemon.runCycle()); // Nothing to drain: quiet again.
+  EXPECT_EQ(Daemon.nextDrainDelayMs(), 800u);
+
+  // The fixed cadence never moves, whatever the spool looks like.
+  DaemonConfig Fixed = DC;
+  Fixed.AdaptiveDrain = false;
+  Fixed.Collector.SpoolDir = freshDir("adaptive_fixed");
+  FleetScheduler Sched2((FleetConfig()));
+  CollectorDaemon Pinned(Fixed, Sched2);
+  ASSERT_TRUE(Pinned.start());
+  for (uint64_t M = 0; M < 8; ++M) {
+    SpoolWriter W(Fixed.Collector.SpoolDir, 300 + M);
+    W.append(makeReport("bug-a", 10));
+    std::string Err;
+    ASSERT_TRUE(W.flush(&Err)) << Err;
+  }
+  Pinned.pressure().sample();
+  EXPECT_EQ(Pinned.nextDrainDelayMs(), 800u);
+}
+
+TEST(Upload, CriticalPressureShedsAtAccept) {
+  std::string Spool = freshDir("shed");
+  // Claims always fail: the drain survives (budget exhausted, files left
+  // for next time), so the spool deterministically stays over critical
+  // across the cycle whose publishStatus flips the shed valve.
+  FaultFs FF;
+  std::vector<Failpoint> Points;
+  ASSERT_TRUE(parseFaultSpec("rename:fail:path=.ers:fire=0", Points));
+  for (const Failpoint &P : Points)
+    FF.addFailpoint(P);
+
+  FleetScheduler Sched((FleetConfig()));
+  DaemonConfig DC;
+  DC.Collector.SpoolDir = Spool;
+  DC.Collector.Fs = &FF;
+  DC.Listen = "127.0.0.1:0";
+  DC.Pressure.HighFiles = 1;
+  DC.Pressure.LowFiles = 1;
+  DC.Pressure.HighBytes = 1; // Ratio = bytes/1: trivially critical.
+  CollectorDaemon Daemon(DC, Sched);
+  ASSERT_TRUE(Daemon.start());
+  ASSERT_NE(Daemon.listenPort(), 0u);
+
+  // Healthy daemon first: the listener answers scrapes.
+  net::HttpClientResponse R;
+  std::string Err;
+  ASSERT_TRUE(net::httpGet("127.0.0.1", Daemon.listenPort(), "/healthz", R,
+                           &Err))
+      << Err;
+  EXPECT_EQ(R.Status, 200);
+
+  SpoolWriter W(Spool, 50);
+  for (unsigned I = 0; I < 8; ++I)
+    W.append(makeReport("bug-critical-unregistered", 10));
+  ASSERT_TRUE(W.flush(&Err)) << Err;
+  ASSERT_TRUE(Daemon.runCycle());
+  ASSERT_EQ(Daemon.statusSnapshot().Pressure, PressureLevel::Critical);
+
+  // Every accept — scrape or upload alike — is now answered 503 with a
+  // retry hint before any request byte is read. The answer is best
+  // effort (a shed close can RST past an unlucky in-flight request), so
+  // probe until a response parses — it must then be the 503.
+  bool Got = false;
+  for (int Attempt = 0; Attempt < 50 && !Got; ++Attempt)
+    Got = net::httpGet("127.0.0.1", Daemon.listenPort(), "/healthz", R, &Err);
+  ASSERT_TRUE(Got) << Err;
+  EXPECT_EQ(R.Status, 503);
+  EXPECT_FALSE(net::headerValue(R.Header, "Retry-After").empty()) << R.Header;
+
+  // The disk heals, the next cycle drains below the low watermark, and
+  // the valve releases.
+  FF.clearFailpoints();
+  ASSERT_TRUE(Daemon.runCycle());
+  ASSERT_TRUE(net::httpGet("127.0.0.1", Daemon.listenPort(), "/healthz", R,
+                           &Err))
+      << Err;
+  EXPECT_EQ(R.Status, 200);
+}
+
+TEST(Upload, ConcurrentUploadsDuringDrainsStayExactlyOnce) {
+  // The TSan race: pusher threads POST over real sockets while the
+  // control thread drains, and every record must be counted exactly
+  // once. Distinct machines and sequences per thread, so the expected
+  // unique total is exact.
+  std::string Spool = freshDir("concurrent");
+  FleetScheduler Sched((FleetConfig()));
+  DaemonConfig DC;
+  DC.Collector.SpoolDir = Spool;
+  DC.Listen = "127.0.0.1:0";
+  CollectorDaemon Daemon(DC, Sched);
+  ASSERT_TRUE(Daemon.start());
+  uint16_t Port = Daemon.listenPort();
+  ASSERT_NE(Port, 0u);
+
+  constexpr unsigned Pushers = 4, FramesPerPusher = 5, RecordsPerFrame = 3;
+  std::atomic<unsigned> PushFailures{0};
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T < Pushers; ++T)
+    Threads.emplace_back([&, T] {
+      net::ReportClientConfig RC;
+      RC.JitterSeed = T + 1;
+      for (unsigned F = 0; F < FramesPerPusher; ++F) {
+        std::string Frame =
+            makeFrame(/*Machine=*/T + 1,
+                      /*FirstSeq=*/1 + F * RecordsPerFrame);
+        net::PushResult PR = net::pushReport("127.0.0.1", Port, Frame, RC);
+        if (!PR.Ok)
+          PushFailures.fetch_add(1);
+      }
+    });
+
+  // Drain concurrently with the pushes, then join and sweep the rest.
+  for (unsigned Cycle = 0; Cycle < 6; ++Cycle)
+    ASSERT_TRUE(Daemon.runCycle());
+  for (std::thread &T : Threads)
+    T.join();
+  ASSERT_TRUE(Daemon.runCycle());
+
+  EXPECT_EQ(PushFailures.load(), 0u);
+  constexpr uint64_t Unique = Pushers * FramesPerPusher * RecordsPerFrame;
+  const CollectorStats &CS = Daemon.collectorStats();
+  EXPECT_EQ(CS.Submitted, Unique);
+  EXPECT_EQ(totalOccurrences(Sched), Unique);
+  EXPECT_TRUE(listSpoolFiles(Spool).empty());
+  EXPECT_EQ(Daemon.statusSnapshot().UploadsAccepted,
+            uint64_t(Pushers) * FramesPerPusher);
+}
