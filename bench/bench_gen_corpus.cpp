@@ -1,0 +1,266 @@
+//===- bench_gen_corpus.cpp - Generated corpus reconstruction gate -----------===//
+//
+// The acceptance gate for the generated workload factory (src/gen/):
+//
+//  1. generate: a fixed-seed corpus of >=200 campaigns must span the full
+//     taxonomy (>=8 single-threaded + 3 concurrency classes) and be
+//     byte-identical when regenerated — the determinism contract that
+//     makes corpus artifacts reproducible from (seed, count) alone.
+//  2. fleet: a fleet run over a generated batch must reconstruct >=90% of
+//     single-threaded and >=60% of concurrency failure buckets.
+//  3. schedsearch: with tie-break retries disabled, at least one planted
+//     data race must be rescued by schedule search — a reproduction the
+//     recorded-order replay alone misses — and the witness must replay.
+//
+// The bench exits nonzero when any gate fails, so CI (and the committed
+// BENCH_gen_corpus.json) tracks the corpus quality, not just its size.
+//
+// Usage: bench_gen_corpus [--quick] [--seed N] [--count N] [--json FILE]
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchJson.h"
+#include "er/Driver.h"
+#include "fleet/FleetScheduler.h"
+#include "gen/CorpusWriter.h"
+#include "gen/GenConfig.h"
+#include "support/Timer.h"
+#include "workloads/Workloads.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+using namespace er;
+
+namespace {
+
+struct FleetRates {
+  unsigned StBuckets = 0, StReproduced = 0;
+  unsigned MtBuckets = 0, MtReproduced = 0;
+  unsigned SchedRescues = 0;
+  double WallSeconds = 0;
+};
+
+FleetRates runFleetOverCorpus(const std::vector<gen::GeneratedCampaign> &Batch,
+                              unsigned Jobs, unsigned RunsPerMachine) {
+  std::vector<BugSpec> Specs;
+  Specs.reserve(Batch.size());
+  for (const auto &C : Batch)
+    Specs.push_back(gen::toBugSpec(C));
+  // Campaign BugIds resolve through the workload registry at run time.
+  registerGeneratedSpecs(Specs);
+
+  FleetConfig FC;
+  FC.Jobs = Jobs;
+  FC.RootSeed = 20260809;
+  FleetScheduler Sched(FC);
+  Stopwatch Timer;
+  for (const BugSpec &Spec : Specs)
+    Sched.harvest(Spec, RunsPerMachine, /*MachineId=*/1);
+  FleetReport FR = Sched.run();
+
+  std::map<std::string, bool> IdIsMt;
+  for (const auto &C : Batch)
+    IdIsMt[C.Id] = C.Multithreaded;
+
+  FleetRates R;
+  R.WallSeconds = Timer.seconds();
+  for (const Campaign &C : FR.Campaigns) {
+    bool Mt = IdIsMt[C.BugId];
+    (Mt ? R.MtBuckets : R.StBuckets) += 1;
+    if (C.Report.Success)
+      (Mt ? R.MtReproduced : R.StReproduced) += 1;
+    if (C.Report.Sched.Used)
+      ++R.SchedRescues;
+  }
+  return R;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  bool Quick = false;
+  uint64_t Seed = 20260809;
+  unsigned Count = 220;
+  bench::JsonReporter Json("bench_gen_corpus");
+  for (int I = 1; I < argc; ++I) {
+    if (int R = Json.parseArg(argc, argv, I)) {
+      if (R < 0)
+        return 2;
+    } else if (!std::strcmp(argv[I], "--quick")) {
+      Quick = true;
+    } else if (!std::strcmp(argv[I], "--seed") && I + 1 < argc) {
+      Seed = std::strtoull(argv[++I], nullptr, 10);
+    } else if (!std::strcmp(argv[I], "--count") && I + 1 < argc) {
+      Count = static_cast<unsigned>(std::strtoul(argv[++I], nullptr, 10));
+    } else {
+      std::printf("usage: bench_gen_corpus [--quick] [--seed N] [--count N] "
+                  "[--json FILE]\n");
+      return 2;
+    }
+  }
+
+  bool Ok = true;
+
+  //===--- Gate 1: generation scale + determinism ------------------------===
+  gen::GenConfig GC;
+  GC.Seed = Seed;
+  GC.Count = Count;
+  Stopwatch GenTimer;
+  std::vector<gen::GeneratedCampaign> Corpus = gen::generateCorpus(GC);
+  double GenSeconds = GenTimer.seconds();
+
+  std::set<gen::BugClass> Classes;
+  unsigned ConcCampaigns = 0;
+  uint64_t SourceBytes = 0;
+  for (const auto &C : Corpus) {
+    Classes.insert(C.Class);
+    if (C.Multithreaded)
+      ++ConcCampaigns;
+    SourceBytes += C.Source.size();
+  }
+  unsigned ConcClasses = 0;
+  for (gen::BugClass C : Classes)
+    if (gen::bugClassMultithreaded(C))
+      ++ConcClasses;
+
+  std::vector<gen::GeneratedCampaign> Again = gen::generateCorpus(GC);
+  bool Deterministic = Again.size() == Corpus.size();
+  for (size_t I = 0; Deterministic && I < Corpus.size(); ++I)
+    Deterministic = gen::serializeCampaign(Again[I]) ==
+                    gen::serializeCampaign(Corpus[I]);
+
+  std::printf("generate: %zu campaigns, %zu classes (%u concurrency), "
+              "%llu source bytes, %.2fs, deterministic=%d\n",
+              Corpus.size(), Classes.size(), ConcClasses,
+              static_cast<unsigned long long>(SourceBytes), GenSeconds,
+              Deterministic ? 1 : 0);
+  if (Corpus.size() < 200 || Classes.size() < 8 || ConcClasses < 3 ||
+      !Deterministic) {
+    std::printf("GATE FAILED: corpus scale/coverage/determinism\n");
+    Ok = false;
+  }
+  Json.add("generate")
+      .param("seed", Seed)
+      .param("count", Count)
+      .metric("campaigns", static_cast<uint64_t>(Corpus.size()))
+      .metric("classes", static_cast<uint64_t>(Classes.size()))
+      .metric("concurrency_classes", ConcClasses)
+      .metric("concurrency_campaigns", ConcCampaigns)
+      .metric("source_bytes", SourceBytes)
+      .metric("wall_s", GenSeconds)
+      .metric("deterministic", static_cast<uint64_t>(Deterministic));
+
+  //===--- Gate 2: fleet reconstruction rates ----------------------------===
+  // One batch per class keeps the bench bounded while exercising every
+  // planter; the fleet dedups each campaign's failures into buckets and
+  // reconstructs bucket by bucket.
+  unsigned PerClass = Quick ? 2 : 4;
+  std::vector<gen::GeneratedCampaign> Batch;
+  std::map<gen::BugClass, unsigned> Taken;
+  for (const auto &C : Corpus)
+    if (Taken[C.Class]++ < PerClass)
+      Batch.push_back(C);
+
+  FleetRates FR = runFleetOverCorpus(Batch, /*Jobs=*/4,
+                                     /*RunsPerMachine=*/80);
+  double StRate = FR.StBuckets ? double(FR.StReproduced) / FR.StBuckets : 0;
+  double MtRate = FR.MtBuckets ? double(FR.MtReproduced) / FR.MtBuckets : 0;
+  std::printf("fleet: %u campaigns -> ST %u/%u (%.0f%%), MT %u/%u (%.0f%%), "
+              "%u sched rescues, %.2fs\n",
+              static_cast<unsigned>(Batch.size()), FR.StReproduced,
+              FR.StBuckets, 100 * StRate, FR.MtReproduced, FR.MtBuckets,
+              100 * MtRate, FR.SchedRescues, FR.WallSeconds);
+  if (StRate < 0.9 || MtRate < 0.6) {
+    std::printf("GATE FAILED: reconstruction rates (need ST>=90%%, MT>=60%%)\n");
+    Ok = false;
+  }
+  Json.add("fleet")
+      .param("campaigns", static_cast<uint64_t>(Batch.size()))
+      .param("jobs", 4u)
+      .param("runs_per_machine", 80u)
+      .metric("st_buckets", FR.StBuckets)
+      .metric("st_reproduced", FR.StReproduced)
+      .metric("st_rate", StRate)
+      .metric("mt_buckets", FR.MtBuckets)
+      .metric("mt_reproduced", FR.MtReproduced)
+      .metric("mt_rate", MtRate)
+      .metric("wall_s", FR.WallSeconds);
+
+  //===--- Gate 3: schedule search rescues a race ------------------------===
+  // Tie-break retries off forces validation failures onto the schedule-
+  // search path; the planted data race couples an input byte to a racily
+  // read cursor, so some (campaign, seed) pairs reconstruct an input that
+  // only fails under the interleaving symex assumed — exactly what the
+  // Phase A order search recovers.
+  gen::GenConfig RaceGC;
+  RaceGC.Seed = 11;
+  RaceGC.Count = Quick ? 30 : 60;
+  RaceGC.ClassMask =
+      (1u << static_cast<unsigned>(gen::BugClass::DataRace)) |
+      (1u << static_cast<unsigned>(gen::BugClass::LostUpdate)) |
+      (1u << static_cast<unsigned>(gen::BugClass::Deadlock));
+  std::vector<gen::GeneratedCampaign> RaceCorpus = gen::generateCorpus(RaceGC);
+
+  Stopwatch SchedTimer;
+  unsigned Rescues = 0, ExplicitRescues = 0, Driven = 0, WitnessReplays = 0;
+  for (const auto &C : RaceCorpus) {
+    if (C.Class != gen::BugClass::DataRace)
+      continue;
+    BugSpec Spec = gen::toBugSpec(C);
+    std::unique_ptr<Module> M = compileBug(Spec);
+    for (uint64_t K = 1; K <= 4; ++K) {
+      DriverConfig DC;
+      DC.Seed = K * 7919;
+      DC.Vm.ChunkSize = Spec.VmChunkSize;
+      DC.Solver.WorkBudget = Spec.SolverWorkBudget;
+      DC.MaxTieBreakRetries = 0;
+      ReconstructionDriver Driver(*M, DC);
+      ReconstructionReport R = Driver.reconstruct(Spec.ProductionInput);
+      ++Driven;
+      if (!R.Success || !R.Sched.Used)
+        continue;
+      ++Rescues;
+      if (R.Sched.ExplicitOrder)
+        ++ExplicitRescues;
+      // The persisted witness must replay the failure on a fresh VM.
+      VmConfig VC;
+      VC.ChunkSize = Spec.VmChunkSize;
+      VC.ScheduleSeed = R.Sched.Seed;
+      if (R.Sched.ExplicitOrder)
+        VC.ExplicitSchedule = &R.Sched.Order;
+      Interpreter Replay(*M, VC);
+      RunResult RR = Replay.run(R.TestCase);
+      if (RR.Status == ExitStatus::Failure &&
+          RR.Failure.sameFailure(R.Failure))
+        ++WitnessReplays;
+    }
+  }
+  double SchedSeconds = SchedTimer.seconds();
+  std::printf("schedsearch: %u campaigns driven, %u rescues (%u explicit), "
+              "%u witnesses replayed, %.2fs\n",
+              Driven, Rescues, ExplicitRescues, WitnessReplays, SchedSeconds);
+  if (Rescues < 1 || WitnessReplays != Rescues) {
+    std::printf("GATE FAILED: schedule search must rescue >=1 race campaign "
+                "with a replayable witness\n");
+    Ok = false;
+  }
+  Json.add("schedsearch")
+      .param("seed", RaceGC.Seed)
+      .param("count", RaceGC.Count)
+      .metric("driven", Driven)
+      .metric("rescues", Rescues)
+      .metric("explicit_rescues", ExplicitRescues)
+      .metric("witness_replays", WitnessReplays)
+      .metric("wall_s", SchedSeconds);
+
+  if (int R = Json.flush())
+    return R;
+  std::printf(Ok ? "all gates passed\n" : "GATES FAILED\n");
+  return Ok ? 0 : 1;
+}

@@ -15,6 +15,7 @@
 
 #include "er/Driver.h"
 #include "fleet/FleetScheduler.h"
+#include "gen/CorpusWriter.h"
 #include "ingest/CollectorDaemon.h"
 #include "ingest/ReportCollector.h"
 #include "ingest/ReportSpool.h"
@@ -47,8 +48,11 @@ static int usage() {
       "usage: er_cli list\n"
       "       er_cli run <BugId> [seed] [telemetry flags]\n"
       "       er_cli trace <BugId>\n"
+      "       er_cli gen     [--seed S] [--count N] [--out DIR]\n"
+      "                      [--classes tag,tag,...] [--check]\n"
+      "                      [telemetry flags]\n"
       "       er_cli fleet   [--jobs N] [--seed S] [--machines M] [--runs R]\n"
-      "                      [--bugs id,id,...] [--state FILE]\n"
+      "                      [--bugs id,id,...] [--corpus DIR] [--state FILE]\n"
       "                      [telemetry flags]\n"
       "       er_cli report  (--spool DIR | --push URL) --machine ID\n"
       "                      [--runs R] [--seed S] [--bugs id,id,...]\n"
@@ -79,10 +83,21 @@ static int usage() {
       "Span recording is enabled iff a trace output is requested (or for\n"
       "`stats`, always); metrics counters are always on.\n"
       "\n"
+      "gen: synthesize a seeded bug corpus (docs/WORKLOADS.md) — N\n"
+      "campaigns round-robin over the planted-bug taxonomy (or the\n"
+      "--classes subset; tags: bufov intbug nullptr uaf dfree divzero\n"
+      "logic leak race lostupd dlock). The corpus is a pure function of\n"
+      "--seed: byte-identical across runs and prefix-stable in --count.\n"
+      "--out writes one .mlc file per campaign plus a MANIFEST (written\n"
+      "last, temp+rename); --check regenerates and verifies determinism\n"
+      "and serialization round-trips.\n"
+      "\n"
       "fleet: simulate a deployment — M machines x R production runs per\n"
       "workload feed a triage queue; deduplicated failure buckets are\n"
       "reconstructed as N concurrent campaigns sharing a solver cache.\n"
-      "--state persists/resumes triage across invocations.\n"
+      "--corpus loads a generated corpus directory (er_cli gen --out) and\n"
+      "registers its campaigns as the workload set (--bugs still filters\n"
+      "by id). --state persists/resumes triage across invocations.\n"
       "\n"
       "report/collect: the cross-process path (docs/INGEST.md). `report`\n"
       "runs ONE production machine and appends its failures to a spool\n"
@@ -387,10 +402,134 @@ static int saveStateIfRequested(FleetScheduler &Sched,
   return 0;
 }
 
+//===----------------------------------------------------------------------===//
+// gen: seeded bug-corpus synthesis (src/gen/, docs/WORKLOADS.md)
+//===----------------------------------------------------------------------===//
+
+static int cmdGen(int argc, char **argv) {
+  gen::GenConfig GC;
+  std::string OutDir;
+  bool Check = false;
+  TelemetryOptions Telemetry;
+
+  for (int I = 2; I < argc; ++I) {
+    auto NextArg = [&](const char *Flag) -> const char * {
+      if (I + 1 >= argc) {
+        std::printf("%s needs a value\n", Flag);
+        return nullptr;
+      }
+      return argv[++I];
+    };
+    if (int R = parseTelemetryArg(argc, argv, I, Telemetry)) {
+      if (R < 0)
+        return 2;
+    } else if (!std::strcmp(argv[I], "--seed")) {
+      const char *V = NextArg("--seed");
+      if (!V)
+        return 2;
+      GC.Seed = std::strtoull(V, nullptr, 10);
+    } else if (!std::strcmp(argv[I], "--count")) {
+      const char *V = NextArg("--count");
+      if (!V)
+        return 2;
+      GC.Count = static_cast<unsigned>(std::strtoul(V, nullptr, 10));
+    } else if (!std::strcmp(argv[I], "--out")) {
+      const char *V = NextArg("--out");
+      if (!V)
+        return 2;
+      OutDir = V;
+    } else if (!std::strcmp(argv[I], "--classes")) {
+      const char *V = NextArg("--classes");
+      if (!V)
+        return 2;
+      std::vector<std::string> Tags;
+      splitBugList(V, Tags);
+      GC.ClassMask = 0;
+      for (const std::string &T : Tags) {
+        gen::BugClass C;
+        if (!gen::parseBugClassTag(T, C)) {
+          std::printf("unknown bug class '%s'\n", T.c_str());
+          return 2;
+        }
+        GC.ClassMask |= 1u << static_cast<unsigned>(C);
+      }
+      if (GC.ClassMask == 0) {
+        std::printf("--classes selected no classes\n");
+        return 2;
+      }
+    } else if (!std::strcmp(argv[I], "--check")) {
+      Check = true;
+    } else {
+      std::printf("unknown gen option '%s'\n", argv[I]);
+      return 2;
+    }
+  }
+
+  Telemetry.enableTracing();
+  std::vector<gen::GeneratedCampaign> Corpus = gen::generateCorpus(GC);
+
+  unsigned PerClass[gen::NumBugClasses] = {};
+  unsigned Concurrency = 0;
+  uint64_t SourceBytes = 0;
+  for (const auto &C : Corpus) {
+    ++PerClass[static_cast<unsigned>(C.Class)];
+    if (C.Multithreaded)
+      ++Concurrency;
+    SourceBytes += C.Source.size();
+  }
+  unsigned ClassesSpanned = 0;
+  for (unsigned N : PerClass)
+    if (N)
+      ++ClassesSpanned;
+  std::printf("generated %zu campaign(s) from seed %llu: %u class(es), "
+              "%u concurrency, %llu source bytes\n",
+              Corpus.size(), (unsigned long long)GC.Seed, ClassesSpanned,
+              Concurrency, (unsigned long long)SourceBytes);
+  for (unsigned I = 0; I < gen::NumBugClasses; ++I)
+    if (PerClass[I])
+      std::printf("  %-8s %-26s %4u campaign(s)\n",
+                  gen::bugClassTag(static_cast<gen::BugClass>(I)),
+                  gen::bugClassName(static_cast<gen::BugClass>(I)),
+                  PerClass[I]);
+
+  if (Check) {
+    // Determinism: a second generation must serialize byte-identically,
+    // and every campaign must survive a parse round-trip.
+    std::vector<gen::GeneratedCampaign> Again = gen::generateCorpus(GC);
+    for (size_t I = 0; I < Corpus.size(); ++I) {
+      std::string A = gen::serializeCampaign(Corpus[I]);
+      if (A != gen::serializeCampaign(Again[I])) {
+        std::printf("check FAILED: campaign %zu not deterministic\n", I);
+        return 1;
+      }
+      gen::GeneratedCampaign RT;
+      std::string Err;
+      if (!gen::parseCampaign(A, RT, Err) ||
+          gen::serializeCampaign(RT) != A) {
+        std::printf("check FAILED: campaign %s round-trip: %s\n",
+                    Corpus[I].Id.c_str(), Err.c_str());
+        return 1;
+      }
+    }
+    std::printf("check passed: deterministic, round-trips\n");
+  }
+
+  if (!OutDir.empty()) {
+    std::string Err = gen::writeCorpus(OutDir, Corpus);
+    if (!Err.empty()) {
+      std::printf("cannot write corpus: %s\n", Err.c_str());
+      return 1;
+    }
+    std::printf("corpus written to %s (%zu files + MANIFEST)\n",
+                OutDir.c_str(), Corpus.size());
+  }
+  return Telemetry.exportAll();
+}
+
 static int cmdFleet(int argc, char **argv) {
   FleetConfig FC;
   unsigned Machines = 3, RunsPerMachine = 400;
-  std::string StateFile;
+  std::string StateFile, CorpusDir;
   std::vector<std::string> BugIds;
   TelemetryOptions Telemetry;
 
@@ -430,6 +569,11 @@ static int cmdFleet(int argc, char **argv) {
       if (!V)
         return 2;
       StateFile = V;
+    } else if (!std::strcmp(argv[I], "--corpus")) {
+      const char *V = NextArg("--corpus");
+      if (!V)
+        return 2;
+      CorpusDir = V;
     } else if (!std::strcmp(argv[I], "--bugs")) {
       const char *V = NextArg("--bugs");
       if (!V)
@@ -442,7 +586,30 @@ static int cmdFleet(int argc, char **argv) {
   }
 
   std::vector<const BugSpec *> Corpus;
-  if (!resolveCorpus(BugIds, Corpus))
+  if (!CorpusDir.empty()) {
+    // Generated-corpus intake: register the batch so campaign BugIds
+    // resolve through findBug like hand-built workloads, then (absent a
+    // --bugs filter) make the batch the workload set.
+    std::string Err;
+    std::vector<gen::GeneratedCampaign> Loaded =
+        gen::loadCorpus(CorpusDir, Err);
+    if (Loaded.empty()) {
+      std::printf("cannot load corpus from %s: %s\n", CorpusDir.c_str(),
+                  Err.c_str());
+      return 1;
+    }
+    std::vector<BugSpec> Specs;
+    Specs.reserve(Loaded.size());
+    for (const auto &C : Loaded)
+      Specs.push_back(gen::toBugSpec(C));
+    registerGeneratedSpecs(std::move(Specs));
+    std::printf("loaded %zu generated campaign(s) from %s\n", Loaded.size(),
+                CorpusDir.c_str());
+    if (BugIds.empty())
+      for (const auto &S : generatedBugSpecs())
+        Corpus.push_back(&S);
+  }
+  if (Corpus.empty() && !resolveCorpus(BugIds, Corpus))
     return 2;
 
   Telemetry.enableTracing();
@@ -1090,6 +1257,8 @@ int main(int argc, char **argv) {
     return cmdList();
   if (!std::strcmp(argv[1], "promcheck"))
     return cmdPromcheck(argc, argv);
+  if (!std::strcmp(argv[1], "gen"))
+    return cmdGen(argc, argv);
   if (!std::strcmp(argv[1], "fleet"))
     return cmdFleet(argc, argv);
   if (!std::strcmp(argv[1], "pushfleet"))

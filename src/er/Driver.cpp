@@ -277,6 +277,34 @@ bool ReconstructionSession::iterationStep() {
         Finished = true;
         return false;
       }
+      // The generated input did not fail under the recorded schedule —
+      // for concurrency bugs the input is usually right and the
+      // *interleaving* wrong (Section 3.4's caveat). Search chunk orders
+      // consistent with the trace's timestamp partial order, then fresh
+      // seeds, before burning another occurrence.
+      if (Config.SchedSearch.Enabled) {
+        ScheduleSearchResult SSR =
+            searchSchedules(M, Config.Vm, SR.GeneratedInput, Decoded, Target,
+                            Config.SchedSearch, FailingSeed);
+        if (SSR.Found) {
+          Report.Success = true;
+          Report.TestCase = SR.GeneratedInput;
+          Report.ReplayScheduleSeed = SSR.Seed;
+          Report.Sched.Used = true;
+          Report.Sched.ExplicitOrder = SSR.ExplicitOrder;
+          Report.Sched.Attempts = SSR.Attempts;
+          Report.Sched.Seed = SSR.Seed;
+          Report.Sched.Order = std::move(SSR.Order);
+          IR.Detail = SSR.ExplicitOrder
+                          ? "reproduced via schedule search (explicit order)"
+                          : "reproduced via schedule search (seed sweep)";
+          Report.Iterations.push_back(IR);
+          DM.Reproduced.inc();
+          ResultTag = "reproduced";
+          Finished = true;
+          return false;
+        }
+      }
       // Rare: the reconstruction picked an interleaving-inconsistent
       // ordering (Section 3.4's caveat). Use the next occurrence's trace.
       IR.Detail = "generated input failed validation; retrying with a "

@@ -18,6 +18,7 @@
 #ifndef ER_ER_DRIVER_H
 #define ER_ER_DRIVER_H
 
+#include "er/ScheduleSearch.h"
 #include "er/Selection.h"
 #include "ir/IR.h"
 #include "support/Rng.h"
@@ -60,6 +61,11 @@ struct DriverConfig {
   /// The fleet throughput bench sets this so concurrent campaigns overlap
   /// their waits; it never affects reconstruction results, only wall time.
   double OccurrenceLatencySeconds = 0;
+  /// Concurrency fallback: when a reconstructed input fails validation
+  /// under the recorded schedule, search alternative chunk orders (and
+  /// then seeds) consistent with the trace's timestamp partial order
+  /// before burning another occurrence. See er/ScheduleSearch.h.
+  ScheduleSearchConfig SchedSearch;
 };
 
 /// Telemetry for one iteration (one failure occurrence + one offline phase).
@@ -79,6 +85,18 @@ struct IterationReport {
   std::string Detail;
 };
 
+/// How a campaign's test case reproduces when schedule search had to step
+/// in: either an explicit chunk order (replay with
+/// `VmConfig::ExplicitSchedule = &Order`) or just a scheduler seed. The
+/// fleet persists this witness with the campaign state.
+struct SchedWitness {
+  bool Used = false;          ///< Schedule search produced the reproduction.
+  bool ExplicitOrder = false; ///< Order (vs. Seed alone) is the witness.
+  unsigned Attempts = 0;      ///< Candidate replays the search consumed.
+  uint64_t Seed = 0;          ///< Scheduler seed of the reproducing run.
+  std::vector<ScheduleSlice> Order;
+};
+
 /// The outcome of a whole reconstruction campaign.
 struct ReconstructionReport {
   bool Success = false;
@@ -86,6 +104,7 @@ struct ReconstructionReport {
   double TotalSymexSeconds = 0;
   ProgramInput TestCase;
   uint64_t ReplayScheduleSeed = 0; ///< Schedule under which TestCase fails.
+  SchedWitness Sched; ///< Set when schedule search rescued the campaign.
   FailureRecord Failure;
   uint64_t FailingInstrCount = 0; ///< #Instr of the last failing execution.
   std::vector<IterationReport> Iterations;

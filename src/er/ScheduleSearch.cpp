@@ -1,0 +1,168 @@
+//===- ScheduleSearch.cpp - Schedule search for concurrency bugs -----------===//
+
+#include "er/ScheduleSearch.h"
+
+#include "obs/Metrics.h"
+#include "obs/Tracer.h"
+#include "support/Rng.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+using namespace er;
+
+namespace {
+
+struct SearchMetrics {
+  obs::Counter &Searches, &Rescues, &Runs;
+  obs::Histogram &Attempts;
+
+  static SearchMetrics &get() {
+    auto &Reg = obs::MetricsRegistry::global();
+    static SearchMetrics M{Reg.counter("er.schedsearch.searches"),
+                           Reg.counter("er.schedsearch.rescues"),
+                           Reg.counter("er.schedsearch.runs"),
+                           Reg.histogram("er.schedsearch.attempts",
+                                         obs::exponentialBounds(1, 8, 2))};
+    return M;
+  }
+};
+
+/// Per-thread cursor into the decoded chunk streams.
+struct ThreadCursor {
+  uint32_t Tid = 0;
+  const std::vector<ChunkInfo> *Chunks = nullptr;
+  size_t Next = 0;
+};
+
+/// Builds one linear extension of the chunk partial order: per-thread
+/// chunk order is preserved; whenever several threads' next chunks start
+/// within \p TsWindow ticks of the earliest pending one, \p Choice picks
+/// among them (null = deterministic lowest-thread-id tie-break).
+std::vector<ScheduleSlice> linearExtension(const DecodedTrace &Decoded,
+                                           uint64_t TsWindow, Rng *Choice) {
+  std::vector<ThreadCursor> Cur;
+  size_t Total = 0;
+  for (const auto &T : Decoded.Threads) {
+    if (T.Chunks.empty())
+      continue;
+    Cur.push_back({T.Tid, &T.Chunks, 0});
+    Total += T.Chunks.size();
+  }
+  std::sort(Cur.begin(), Cur.end(),
+            [](const ThreadCursor &A, const ThreadCursor &B) {
+              return A.Tid < B.Tid;
+            });
+
+  std::vector<ScheduleSlice> Out;
+  Out.reserve(Total);
+  std::vector<size_t> Cand;
+  while (Out.size() < Total) {
+    uint64_t MinTs = UINT64_MAX;
+    for (const auto &C : Cur)
+      if (C.Next < C.Chunks->size())
+        MinTs = std::min(MinTs, (*C.Chunks)[C.Next].Timestamp);
+    Cand.clear();
+    for (size_t I = 0; I < Cur.size(); ++I) {
+      const auto &C = Cur[I];
+      if (C.Next < C.Chunks->size() &&
+          (*C.Chunks)[C.Next].Timestamp <= MinTs + TsWindow)
+        Cand.push_back(I);
+    }
+    size_t Pick = 0;
+    if (Choice && Cand.size() > 1)
+      Pick = Choice->nextBounded(Cand.size());
+    ThreadCursor &C = Cur[Cand[Pick]];
+    const ChunkInfo &Ch = (*C.Chunks)[C.Next++];
+    Out.push_back({C.Tid, Ch.NumInstrs ? Ch.NumInstrs : 1});
+  }
+  return Out;
+}
+
+uint64_t hashOrder(const std::vector<ScheduleSlice> &Order) {
+  uint64_t H = 0xcbf29ce484222325ull;
+  for (const ScheduleSlice &S : Order) {
+    H = (H ^ S.Tid) * 0x100000001b3ull;
+    H = (H ^ S.Instrs) * 0x100000001b3ull;
+  }
+  return H;
+}
+
+bool reproduces(const Module &M, const VmConfig &VC, const ProgramInput &In,
+                const FailureRecord &Target) {
+  Interpreter VM(M, VC);
+  RunResult RR = VM.run(In);
+  return RR.Status == ExitStatus::Failure && RR.Failure.sameFailure(Target);
+}
+
+} // namespace
+
+ScheduleSearchResult er::searchSchedules(const Module &M,
+                                         const VmConfig &BaseVm,
+                                         const ProgramInput &In,
+                                         const DecodedTrace &Decoded,
+                                         const FailureRecord &Target,
+                                         const ScheduleSearchConfig &Config,
+                                         uint64_t FallbackSeed) {
+  ScheduleSearchResult R;
+  if (!Config.Enabled)
+    return R;
+  SearchMetrics &SM = SearchMetrics::get();
+  SM.Searches.inc();
+  obs::ScopedSpan Span("er.schedsearch");
+
+  // Phase A: replay linear extensions of the decoded chunk partial order.
+  // Attempt K draws its reordering choices from Root.split(K), so the
+  // sequence of candidates is a pure function of (SearchSeed, K). A small
+  // hash set skips duplicate extensions (common when the trace has few
+  // timestamp ties) without consuming replay budget.
+  Rng Root(Config.SearchSeed);
+  std::unordered_set<uint64_t> Seen;
+  for (unsigned A = 0; A < Config.MaxOrderAttempts && !R.Found; ++A) {
+    Rng Choice = Root.split(A);
+    std::vector<ScheduleSlice> Order =
+        A == 0 ? linearExtension(Decoded, 0, nullptr)
+               : linearExtension(Decoded, Config.TsWindow, &Choice);
+    if (Order.empty())
+      break; // Untraced run; only the seed sweep can help.
+    if (!Seen.insert(hashOrder(Order)).second)
+      continue;
+    ++R.Attempts;
+    VmConfig VC = BaseVm;
+    VC.ScheduleSeed = FallbackSeed;
+    VC.ExplicitSchedule = &Order;
+    SM.Runs.inc();
+    if (reproduces(M, VC, In, Target)) {
+      R.Found = true;
+      R.ExplicitOrder = true;
+      R.Seed = FallbackSeed;
+      R.Order = std::move(Order);
+    }
+  }
+
+  // Phase B: sweep fresh scheduler seeds for interleavings the recorded
+  // chunk boundaries cannot express.
+  if (!R.Found) {
+    Rng Seeds = Root.split(0x5eed);
+    for (unsigned A = 0; A < Config.MaxSeedAttempts; ++A) {
+      ++R.Attempts;
+      uint64_t S = Seeds.next();
+      VmConfig VC = BaseVm;
+      VC.ScheduleSeed = S;
+      SM.Runs.inc();
+      if (reproduces(M, VC, In, Target)) {
+        R.Found = true;
+        R.Seed = S;
+        break;
+      }
+    }
+  }
+
+  SM.Attempts.record(R.Attempts);
+  if (R.Found)
+    SM.Rescues.inc();
+  Span.arg("attempts", static_cast<uint64_t>(R.Attempts));
+  Span.arg("found", static_cast<uint64_t>(R.Found));
+  Span.arg("explicit", static_cast<uint64_t>(R.ExplicitOrder));
+  return R;
+}

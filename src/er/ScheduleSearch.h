@@ -1,0 +1,82 @@
+//===- ScheduleSearch.h - Schedule search for concurrency bugs ---*- C++ -*-===//
+///
+/// \file
+/// When a reconstructed input fails validation under the recorded run's
+/// scheduler seed, the input is usually right and the *interleaving* is
+/// wrong: the quantized chunk timestamps only give a partial order across
+/// threads (Section 3.4 of the paper), and the seeded replay picked an
+/// order the bug does not fire under. Schedule search recovers such
+/// campaigns in two bounded phases:
+///
+///  - **Phase A (order search)**: enumerate linear extensions of the
+///    decoded chunk partial order — per-thread chunk order is fixed; at
+///    each step any thread whose next chunk starts within `TsWindow`
+///    quantized ticks of the earliest pending chunk is a candidate — and
+///    replay each through `VmConfig::ExplicitSchedule`. Attempt 0 is the
+///    canonical earliest-timestamp order (thread-id tie-break); later
+///    attempts randomize the candidate choice from a split of
+///    `SearchSeed`, so the enumeration is deterministic and independent
+///    of attempt count.
+///  - **Phase B (seed sweep)**: fresh scheduler seeds drawn from another
+///    split, for failures whose trigger interleaving lies outside the
+///    recorded chunk boundaries entirely.
+///
+/// A hit returns a witness (explicit order or seed) that the driver
+/// persists in the campaign report so the reproduction is replayable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ER_ER_SCHEDULESEARCH_H
+#define ER_ER_SCHEDULESEARCH_H
+
+#include "ir/IR.h"
+#include "trace/Trace.h"
+#include "vm/Failure.h"
+#include "vm/Input.h"
+#include "vm/Interpreter.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace er {
+
+/// Bounds for one schedule search (invoked at most once per failed
+/// validation, so the budgets are per-iteration).
+struct ScheduleSearchConfig {
+  bool Enabled = true;
+  /// Phase A: linear extensions of the chunk partial order to try.
+  unsigned MaxOrderAttempts = 48;
+  /// Phase B: fresh scheduler seeds to try after order search misses.
+  unsigned MaxSeedAttempts = 24;
+  /// Chunks starting within this many quantized ticks of the earliest
+  /// pending chunk are considered concurrent (candidate reorderings).
+  uint64_t TsWindow = 2;
+  /// Root of the deterministic search stream (split per attempt).
+  uint64_t SearchSeed = 1;
+};
+
+/// The outcome of one search; `Found` implies the witness fields below
+/// replay the failure: run with `ExplicitSchedule = &Order` (when
+/// ExplicitOrder) and `ScheduleSeed = Seed` either way.
+struct ScheduleSearchResult {
+  bool Found = false;
+  bool ExplicitOrder = false; ///< Phase A hit (Order holds the witness).
+  unsigned Attempts = 0;      ///< Total candidate replays consumed.
+  uint64_t Seed = 0;          ///< Scheduler seed of the reproducing run.
+  std::vector<ScheduleSlice> Order;
+};
+
+/// Searches for an interleaving under which \p In reproduces \p Target.
+/// \p Decoded is the failing run's trace (source of the chunk partial
+/// order); \p FallbackSeed seeds the scheduler once an explicit plan is
+/// exhausted (the failing run's seed, so the tail interleaving matches).
+ScheduleSearchResult searchSchedules(const Module &M, const VmConfig &BaseVm,
+                                     const ProgramInput &In,
+                                     const DecodedTrace &Decoded,
+                                     const FailureRecord &Target,
+                                     const ScheduleSearchConfig &Config,
+                                     uint64_t FallbackSeed);
+
+} // namespace er
+
+#endif // ER_ER_SCHEDULESEARCH_H

@@ -104,6 +104,17 @@ bool er::saveFleetState(const std::string &Path, uint64_t RootSeed,
       }
       OS << '\n';
       writeIdList(OS, "recordingset", C->RecordingSet);
+      // Schedule-search witness (concurrency campaigns whose recorded
+      // schedule missed): how TestCase actually reproduces. Absent
+      // otherwise, keeping pre-existing files byte-identical.
+      if (R.Sched.Used) {
+        OS << "schedsearch " << (R.Sched.ExplicitOrder ? 1 : 0) << ' '
+           << R.Sched.Attempts << ' ' << R.Sched.Seed << '\n';
+        OS << "schedorder " << R.Sched.Order.size();
+        for (const ScheduleSlice &S : R.Sched.Order)
+          OS << ' ' << S.Tid << ':' << S.Instrs;
+        OS << '\n';
+      }
     }
     OS << "end\n";
   }
@@ -364,6 +375,32 @@ bool er::loadFleetState(const std::string &Path, uint64_t &RootSeed,
     } else if (Key == "recordingset") {
       if (!readIdList(R, C->RecordingSet, Error))
         return false;
+    } else if (Key == "schedsearch") {
+      uint64_t Explicit = 0, Attempts = 0, Seed = 0;
+      if (!R.u64(Explicit) || !R.u64(Attempts) || !R.u64(Seed))
+        return fail(Error, R.lineNo(), "malformed schedsearch");
+      C->Report.Sched.Used = true;
+      C->Report.Sched.ExplicitOrder = Explicit != 0;
+      C->Report.Sched.Attempts = static_cast<unsigned>(Attempts);
+      C->Report.Sched.Seed = Seed;
+    } else if (Key == "schedorder") {
+      uint64_t N = 0;
+      if (!R.u64(N))
+        return fail(Error, R.lineNo(), "malformed schedorder");
+      // Every slice costs at least " t:n" on the line; bound the reserve
+      // like readIdList does before trusting the count.
+      if (N > (R.remaining() + 1) / 4)
+        return fail(Error, R.lineNo(), "schedorder length exceeds line");
+      C->Report.Sched.Order.clear();
+      C->Report.Sched.Order.reserve(N);
+      for (uint64_t I = 0; I < N; ++I) {
+        std::string Tok = R.word();
+        unsigned long long Tid = 0, Instrs = 0;
+        if (std::sscanf(Tok.c_str(), "%llu:%llu", &Tid, &Instrs) != 2)
+          return fail(Error, R.lineNo(), "bad schedorder slice");
+        C->Report.Sched.Order.push_back(
+            {static_cast<uint32_t>(Tid), Instrs});
+      }
     } else if (Key == "end") {
       // A campaign without identity must not load: FleetScheduler merges
       // by signature, and a default (all-zero) signature would silently

@@ -1,0 +1,598 @@
+//===- BugPlanter.cpp - Per-class bug synthesis ----------------------------===//
+///
+/// Each planter synthesizes a small program with one bug of its class and
+/// derives the matching InputProfile. The invariants every planter keeps:
+///
+///  - the production distribution reaches the bug with modest probability
+///    (mostly-benign inputs, like the hand-built Table-1 workloads),
+///  - the perf distribution *cannot* reach it (every byte below the planted
+///    trigger threshold, or the mode byte pinned to the locked path),
+///  - no input can produce a failure of a different kind than the oracle
+///    (e.g. the race planter sizes MinBytes so lost updates can at worst
+///    consume 2*STEPS bytes and still never underrun the input stream).
+///
+//===----------------------------------------------------------------------===//
+
+#include "gen/BugPlanter.h"
+
+#include "gen/ProgramBuilder.h"
+#include "support/Error.h"
+#include "support/Format.h"
+
+#include <utility>
+
+using namespace er;
+using namespace er::gen;
+using namespace er::lang;
+
+namespace {
+
+template <typename... E> std::vector<ExprPtr> exprs(E... Es) {
+  std::vector<ExprPtr> Out;
+  (Out.push_back(std::move(Es)), ...);
+  return Out;
+}
+
+template <typename... S> std::vector<StmtPtr> stmts(S... Ss) {
+  std::vector<StmtPtr> Out;
+  (Out.push_back(std::move(Ss)), ...);
+  return Out;
+}
+
+/// Synthesis context: ProgramBuilder plus expression shorthands, so the
+/// planters read close to the MiniLang they emit.
+struct Ctx {
+  ProgramBuilder PB;
+  AstBuilder &A;
+  Ctx() : A(PB.ast()) {}
+
+  ExprPtr lit(uint64_t N) { return A.lit(N); }
+  ExprPtr ref(const char *N) { return A.ref(N); }
+  /// Scalar global cell: `name[0]`.
+  ExprPtr cell(const char *N) { return A.elem(N, 0); }
+  ExprPtr at(const char *N, ExprPtr I) { return A.index(N, std::move(I)); }
+  ExprPtr atp(ExprPtr Base, ExprPtr I) {
+    return A.index(std::move(Base), std::move(I));
+  }
+
+  ExprPtr add(ExprPtr X, ExprPtr Y) {
+    return A.bin(BinaryOp::Add, std::move(X), std::move(Y));
+  }
+  ExprPtr sub(ExprPtr X, ExprPtr Y) {
+    return A.bin(BinaryOp::Sub, std::move(X), std::move(Y));
+  }
+  ExprPtr mul(ExprPtr X, ExprPtr Y) {
+    return A.bin(BinaryOp::Mul, std::move(X), std::move(Y));
+  }
+  ExprPtr div(ExprPtr X, ExprPtr Y) {
+    return A.bin(BinaryOp::Div, std::move(X), std::move(Y));
+  }
+  ExprPtr mod(ExprPtr X, ExprPtr Y) {
+    return A.bin(BinaryOp::Rem, std::move(X), std::move(Y));
+  }
+  ExprPtr lt(ExprPtr X, ExprPtr Y) {
+    return A.bin(BinaryOp::Lt, std::move(X), std::move(Y));
+  }
+  ExprPtr le(ExprPtr X, ExprPtr Y) {
+    return A.bin(BinaryOp::Le, std::move(X), std::move(Y));
+  }
+  ExprPtr gt(ExprPtr X, ExprPtr Y) {
+    return A.bin(BinaryOp::Gt, std::move(X), std::move(Y));
+  }
+  ExprPtr ge(ExprPtr X, ExprPtr Y) {
+    return A.bin(BinaryOp::Ge, std::move(X), std::move(Y));
+  }
+  ExprPtr eq(ExprPtr X, ExprPtr Y) {
+    return A.bin(BinaryOp::Eq, std::move(X), std::move(Y));
+  }
+
+  StmtPtr set(ExprPtr Lhs, ExprPtr Rhs) {
+    return A.assign(std::move(Lhs), std::move(Rhs));
+  }
+  StmtPtr decl(const char *N, ExprPtr Init) {
+    return A.var(N, A.i64(), std::move(Init));
+  }
+  /// `name = name + 1;`
+  StmtPtr inc(const char *N) {
+    return set(ref(N), add(ref(N), lit(1)));
+  }
+  StmtPtr lockS(uint64_t Id) {
+    return A.exprStmt(A.call("lock", exprs(lit(Id))));
+  }
+  StmtPtr unlockS(uint64_t Id) {
+    return A.exprStmt(A.call("unlock", exprs(lit(Id))));
+  }
+  /// `var t: i64 = 0; while (t < Bound) { t = t + 1; }` — a busy-wait pad
+  /// that widens race windows. Returns both statements.
+  void pad(std::vector<StmtPtr> &Out, ExprPtr Bound) {
+    Out.push_back(decl("t", lit(0)));
+    Out.push_back(A.whileStmt(lt(ref("t"), std::move(Bound)),
+                              A.block(stmts(inc("t")))));
+  }
+  /// Shared two-worker prologue: mode byte into mode[0], then spawn both
+  /// entry functions on scratch cells and join them.
+  std::vector<StmtPtr> spawnPair(const char *F1, const char *F2) {
+    std::vector<StmtPtr> Main;
+    Main.push_back(set(cell("mode"), PB.inByte()));
+    Main.push_back(A.var(
+        "t1", A.i64(),
+        A.call("spawn", exprs(ref(F1), A.addrOf(A.elem("scratch", 0))))));
+    Main.push_back(A.var(
+        "t2", A.i64(),
+        A.call("spawn", exprs(ref(F2), A.addrOf(A.elem("scratch", 1))))));
+    Main.push_back(A.exprStmt(A.call("join", exprs(ref("t1")))));
+    Main.push_back(A.exprStmt(A.call("join", exprs(ref("t2")))));
+    return Main;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Single-threaded classes
+//===----------------------------------------------------------------------===//
+
+/// Off-by-one store: `put` writes indices 0..len inclusive, and the caller
+/// clamps to CAP instead of CAP-1, so a byte >= CAP stores buf[CAP].
+void plantBufferOverflow(Ctx &C, Rng &R, GeneratedCampaign &G) {
+  const uint64_t Cap = 8 + R.nextBounded(17);
+  const uint64_t K = 1 + R.nextBounded(7);
+  const uint32_t ByteMod = static_cast<uint32_t>(Cap + 2 + R.nextBounded(3));
+  auto &A = C.A;
+
+  A.global("buf", A.array(A.i64(), Cap));
+
+  A.func("put", {A.param("len", A.i64())}, A.voidTy(),
+         A.block(stmts(
+             C.decl("j", C.lit(0)),
+             A.whileStmt(C.le(C.ref("j"), C.ref("len")),
+                         A.block(stmts(
+                             C.set(C.at("buf", C.ref("j")),
+                                   C.mul(C.ref("j"), C.lit(K))),
+                             C.inc("j")))))));
+
+  C.PB.buildByteDriver(
+      {},
+      stmts(C.decl("len", C.ref("b")),
+            A.ifStmt(C.gt(C.ref("len"), C.lit(Cap)),
+                     C.set(C.ref("len"), C.lit(Cap))),
+            A.exprStmt(A.call("put", exprs(C.ref("len"))))),
+      {});
+
+  G.Profile.MinBytes = 3 + static_cast<uint32_t>(R.nextBounded(4));
+  G.Profile.MaxBytes = G.Profile.MinBytes + 4 + R.nextBounded(8);
+  G.Profile.ByteMod = ByteMod;
+  G.Profile.PerfByteMod = static_cast<uint32_t>(Cap);
+}
+
+/// Truncation sign flip: bytes >= 128 survive an i8 round-trip as negative
+/// values; the table index then wraps to a huge unsigned offset. The bug
+/// hides behind an op-selector gate so most large bytes stay benign.
+void plantIntegerBug(Ctx &C, Rng &R, GeneratedCampaign &G) {
+  const uint64_t N = 128 + R.nextBounded(33);
+  const uint64_t Sel = R.nextBounded(8);
+  auto &A = C.A;
+
+  A.global("tab", A.array(A.i64(), N));
+
+  C.PB.buildByteDriver(
+      {},
+      stmts(C.set(C.at("tab", C.mod(C.ref("b"), C.lit(8))), C.ref("b")),
+            A.ifStmt(
+                C.eq(C.mod(C.ref("b"), C.lit(8)), C.lit(Sel)),
+                A.block(stmts(
+                    A.var("small", A.i8(), A.cast(C.ref("b"), A.i8())),
+                    C.decl("idx", A.cast(C.ref("small"), A.i64())),
+                    C.decl("v", C.at("tab", C.ref("idx"))),
+                    C.set(C.cell("tab"), C.add(C.cell("tab"), C.ref("v"))))))),
+      {});
+
+  G.Profile.MinBytes = 4 + static_cast<uint32_t>(R.nextBounded(5));
+  G.Profile.MaxBytes = G.Profile.MinBytes + 8 + R.nextBounded(9);
+  G.Profile.ByteMod = 256;
+  G.Profile.PerfByteMod = 128;
+}
+
+/// Fast path missing the init check: bytes below InitT lazily allocate;
+/// bytes at or above it assume the pointer is live. A reset op drops the
+/// allocation again so the window reopens mid-stream.
+void plantNullDeref(Ctx &C, Rng &R, GeneratedCampaign &G) {
+  const uint32_t M = 24 + static_cast<uint32_t>(R.nextBounded(17));
+  const uint32_t InitT = M - 3 - static_cast<uint32_t>(R.nextBounded(3));
+  const uint64_t Ops = 5 + R.nextBounded(4);
+  const uint64_t ResetOp = R.nextBounded(Ops);
+  auto &A = C.A;
+
+  A.global("ready", A.array(A.i64(), 1));
+
+  C.PB.buildByteDriver(
+      stmts(A.var("p", A.ptr(A.i64()), A.nullLit())),
+      stmts(A.ifStmt(C.eq(C.mod(C.ref("b"), C.lit(Ops)), C.lit(ResetOp)),
+                     A.block(stmts(C.set(C.ref("p"), A.nullLit()),
+                                   C.set(C.cell("ready"), C.lit(0))))),
+            A.ifStmt(
+                C.lt(C.ref("b"), C.lit(InitT)),
+                A.block(stmts(
+                    A.ifStmt(C.eq(C.cell("ready"), C.lit(0)),
+                             A.block(stmts(
+                                 C.set(C.ref("p"),
+                                       A.newArr(A.i64(), A.lit(4))),
+                                 C.set(C.cell("ready"), C.lit(1))))),
+                    C.set(C.atp(C.ref("p"), C.mod(C.ref("b"), C.lit(4))),
+                          C.ref("b")))),
+                A.block(stmts(C.set(C.atp(C.ref("p"), C.lit(0)),
+                                    C.add(C.atp(C.ref("p"), C.lit(0)),
+                                          C.ref("b"))))))),
+      {});
+
+  G.Profile.MinBytes = 3 + static_cast<uint32_t>(R.nextBounded(4));
+  G.Profile.MaxBytes = G.Profile.MinBytes + 6 + R.nextBounded(8);
+  G.Profile.ByteMod = M;
+  G.Profile.PerfByteMod = InitT;
+}
+
+/// Stale alias: eviction frees and reallocates through `p` but never
+/// repoints `q`; any later high byte touches the freed object through `q`.
+void plantUseAfterFree(Ctx &C, Rng &R, GeneratedCampaign &G) {
+  const uint32_t M = 32 + static_cast<uint32_t>(R.nextBounded(17));
+  const uint32_t UseT = M - 4 - static_cast<uint32_t>(R.nextBounded(4));
+  const uint64_t Ops = 6 + R.nextBounded(5);
+  const uint64_t Evict = R.nextBounded(Ops);
+  const uint64_t Sz = 4 + R.nextBounded(5);
+  auto &A = C.A;
+
+  C.PB.buildByteDriver(
+      stmts(A.var("p", A.ptr(A.i64()), A.newArr(A.i64(), A.lit(Sz))),
+            A.var("q", A.ptr(A.i64()), C.ref("p"))),
+      stmts(A.ifStmt(C.eq(C.mod(C.ref("b"), C.lit(Ops)), C.lit(Evict)),
+                     A.block(stmts(
+                         A.del(C.ref("p")),
+                         C.set(C.ref("p"), A.newArr(A.i64(), A.lit(Sz)))))),
+            A.ifStmt(C.ge(C.ref("b"), C.lit(UseT)),
+                     A.block(stmts(C.set(
+                         C.atp(C.ref("q"), C.lit(0)),
+                         C.add(C.atp(C.ref("q"), C.lit(0)), C.lit(1))))),
+                     A.block(stmts(C.set(
+                         C.atp(C.ref("p"), C.mod(C.ref("b"), C.lit(Sz))),
+                         C.ref("b")))))),
+      stmts(A.del(C.ref("p"))));
+
+  G.Profile.MinBytes = 4 + static_cast<uint32_t>(R.nextBounded(4));
+  G.Profile.MaxBytes = G.Profile.MinBytes + 8 + R.nextBounded(9);
+  G.Profile.ByteMod = M;
+  G.Profile.PerfByteMod = UseT;
+}
+
+/// Ownership confusion: the release op frees under an ownership check, but
+/// the high-byte error path frees unconditionally — the second free of the
+/// same allocation is the bug.
+void plantDoubleFree(Ctx &C, Rng &R, GeneratedCampaign &G) {
+  const uint32_t M = 32 + static_cast<uint32_t>(R.nextBounded(17));
+  const uint32_t FreeT = M - 3 - static_cast<uint32_t>(R.nextBounded(4));
+  const uint64_t Ops = 6 + R.nextBounded(5);
+  const uint64_t Release = R.nextBounded(Ops);
+  auto &A = C.A;
+
+  C.PB.buildByteDriver(
+      stmts(A.var("p", A.ptr(A.i64()), A.newArr(A.i64(), A.lit(4))),
+            C.decl("owned", C.lit(1))),
+      stmts(A.ifStmt(C.eq(C.ref("owned"), C.lit(1)),
+                     A.block(stmts(C.set(
+                         C.atp(C.ref("p"), C.mod(C.ref("b"), C.lit(4))),
+                         C.ref("b"))))),
+            A.ifStmt(C.eq(C.mod(C.ref("b"), C.lit(Ops)), C.lit(Release)),
+                     A.block(stmts(A.ifStmt(
+                         C.eq(C.ref("owned"), C.lit(1)),
+                         A.block(stmts(A.del(C.ref("p")),
+                                       C.set(C.ref("owned"), C.lit(0)))))))),
+            A.ifStmt(C.ge(C.ref("b"), C.lit(FreeT)),
+                     A.block(stmts(
+                         A.del(C.ref("p")),
+                         C.set(C.ref("p"), A.newArr(A.i64(), A.lit(4))),
+                         C.set(C.ref("owned"), C.lit(1)))))),
+      stmts(A.ifStmt(C.eq(C.ref("owned"), C.lit(1)),
+                     A.block(stmts(A.del(C.ref("p")))))));
+
+  G.Profile.MinBytes = 4 + static_cast<uint32_t>(R.nextBounded(4));
+  G.Profile.MaxBytes = G.Profile.MinBytes + 8 + R.nextBounded(9);
+  G.Profile.ByteMod = M;
+  G.Profile.PerfByteMod = FreeT;
+}
+
+/// Unguarded denominator: `(b % M2) - Z` passes through zero for bytes
+/// congruent to Z; the division does not check.
+void plantDivByZero(Ctx &C, Rng &R, GeneratedCampaign &G) {
+  const uint64_t M2 = 10 + R.nextBounded(7);
+  const uint64_t Z = 2 + R.nextBounded(M2 - 3);
+  const uint64_t Scale = 100 + R.nextBounded(900);
+
+  C.PB.buildByteDriver(
+      stmts(C.decl("acc", C.lit(0))),
+      stmts(C.decl("den", C.sub(C.mod(C.ref("b"), C.lit(M2)), C.lit(Z))),
+            C.set(C.ref("acc"),
+                  C.add(C.ref("acc"), C.div(C.lit(Scale), C.ref("den"))))),
+      {});
+
+  G.Profile.MinBytes = 2;
+  G.Profile.MaxBytes = 2 + R.nextBounded(5);
+  G.Profile.ByteMod = 64 + static_cast<uint32_t>(R.nextBounded(65));
+  G.Profile.PerfByteMod = static_cast<uint32_t>(Z);
+}
+
+/// Unguarded pop: the high-byte dispatch decrements the depth counter
+/// without the emptiness check every other pop carries; the depth invariant
+/// assert fires.
+void plantLogicError(Ctx &C, Rng &R, GeneratedCampaign &G) {
+  const uint32_t M = 48 + static_cast<uint32_t>(R.nextBounded(17));
+  const uint32_t T = M - 6 - static_cast<uint32_t>(R.nextBounded(6));
+  auto &A = C.A;
+
+  C.PB.buildByteDriver(
+      stmts(C.decl("depth", C.lit(0))),
+      stmts(C.decl("op", C.mod(C.ref("b"), C.lit(3))),
+            A.ifStmt(C.eq(C.ref("op"), C.lit(0)),
+                     C.set(C.ref("depth"), C.add(C.ref("depth"), C.lit(1)))),
+            A.ifStmt(C.eq(C.ref("op"), C.lit(1)),
+                     A.block(stmts(A.ifStmt(
+                         C.gt(C.ref("depth"), C.lit(0)),
+                         C.set(C.ref("depth"),
+                               C.sub(C.ref("depth"), C.lit(1))))))),
+            A.ifStmt(C.ge(C.ref("b"), C.lit(T)),
+                     A.block(stmts(A.ifStmt(
+                         C.eq(C.ref("op"), C.lit(2)),
+                         C.set(C.ref("depth"),
+                               C.sub(C.ref("depth"), C.lit(1))))))),
+            A.assertStmt(C.ge(C.ref("depth"), C.lit(0)))),
+      {});
+
+  G.Profile.MinBytes = 3 + static_cast<uint32_t>(R.nextBounded(4));
+  G.Profile.MaxBytes = G.Profile.MinBytes + 8 + R.nextBounded(9);
+  G.Profile.ByteMod = M;
+  G.Profile.PerfByteMod = T;
+}
+
+/// Slot leak: high bytes skip the release, so the pool's live count only
+/// grows; once it hits capacity, acquire returns the sentinel index and the
+/// unchecked store walks off the pool.
+void plantResourceLeak(Ctx &C, Rng &R, GeneratedCampaign &G) {
+  const uint64_t Pool = 4 + R.nextBounded(5);
+  const uint32_t M = 40 + static_cast<uint32_t>(R.nextBounded(25));
+  const uint32_t RelT = M - M / 4;
+  auto &A = C.A;
+
+  A.global("pool", A.array(A.i64(), Pool));
+  A.global("used", A.array(A.i64(), 1));
+
+  A.func("acquire", {}, A.i64(),
+         A.block(stmts(
+             A.ifStmt(C.lt(C.cell("used"), C.lit(Pool)),
+                      A.block(stmts(
+                          C.set(C.cell("used"),
+                                C.add(C.cell("used"), C.lit(1))),
+                          A.ret(C.sub(C.cell("used"), C.lit(1)))))),
+             A.ret(C.lit(Pool)))));
+
+  C.PB.buildByteDriver(
+      {},
+      stmts(C.decl("h", A.call("acquire", {})),
+            C.set(C.at("pool", C.ref("h")), C.ref("b")),
+            A.ifStmt(C.lt(C.ref("b"), C.lit(RelT)),
+                     C.set(C.cell("used"), C.sub(C.cell("used"), C.lit(1))))),
+      {});
+
+  G.Profile.MinBytes = static_cast<uint32_t>(Pool * 2);
+  G.Profile.MaxBytes =
+      static_cast<uint32_t>(Pool * 6) + static_cast<uint32_t>(R.nextBounded(9));
+  G.Profile.ByteMod = M;
+  G.Profile.PerfByteMod = RelT;
+}
+
+//===----------------------------------------------------------------------===//
+// Concurrency classes
+//===----------------------------------------------------------------------===//
+
+/// Check-then-act data race on a shared cursor: both workers can pass the
+/// `wpos < CAP` check at CAP-1; the second one re-reads the cursor after
+/// the first advanced it and stores sink[CAP]. The race window is a busy
+/// wait of `v + c*WMul` iterations — an *input byte* mixed with the
+/// *racily read cursor* — so a symbolic replay that misorders tied chunk
+/// timestamps sees a different c, pins the wrong v, and generates an input
+/// that misses under the recorded schedule. Only a chunk order consistent
+/// with what symex assumed reproduces — the class schedule search exists
+/// for (Section 3.4's caveat made concrete).
+void plantDataRace(Ctx &C, Rng &R, GeneratedCampaign &G) {
+  const uint64_t Cap = 6 + R.nextBounded(5);
+  const uint64_t Steps = Cap + 2;
+  const uint64_t WMul = 2 + R.nextBounded(3);
+  auto &A = C.A;
+
+  A.global("wpos", A.array(A.i64(), 1));
+  A.global("sink", A.array(A.i64(), Cap));
+  A.global("mode", A.array(A.i64(), 1));
+  A.global("scratch", A.array(A.i64(), 2));
+
+  std::vector<StmtPtr> Window;
+  Window.push_back(A.var("v", A.i64(), C.PB.inByte()));
+  C.pad(Window, C.add(C.ref("v"), C.mul(C.ref("c"), C.lit(WMul))));
+  Window.push_back(C.decl("w", C.cell("wpos")));
+  Window.push_back(C.set(C.atp(C.ref("p"), C.lit(0)),
+                         C.add(C.atp(C.ref("p"), C.lit(0)), C.ref("v"))));
+  Window.push_back(C.set(C.at("sink", C.ref("w")), C.ref("v")));
+  Window.push_back(C.set(C.cell("wpos"), C.add(C.ref("w"), C.lit(1))));
+
+  std::vector<StmtPtr> Body;
+  Body.push_back(A.ifStmt(C.eq(C.cell("mode"), C.lit(1)), C.lockS(1)));
+  Body.push_back(C.decl("c", C.cell("wpos")));
+  Body.push_back(
+      A.ifStmt(C.lt(C.ref("c"), C.lit(Cap)), A.block(std::move(Window))));
+  Body.push_back(A.ifStmt(C.eq(C.cell("mode"), C.lit(1)), C.unlockS(1)));
+  Body.push_back(C.inc("k"));
+
+  A.func("worker", {A.param("p", A.ptr(A.i64()))}, A.voidTy(),
+         A.block(stmts(C.decl("k", C.lit(0)),
+                       A.whileStmt(C.lt(C.ref("k"), C.lit(Steps)),
+                                   A.block(std::move(Body))))));
+
+  std::vector<StmtPtr> Main = C.spawnPair("worker", "worker");
+  Main.push_back(A.ret(C.lit(0)));
+  A.func("main", {}, A.i64(), A.block(std::move(Main)));
+
+  G.Profile.HasModeByte = true;
+  G.Profile.UnsafePermille = 350 + static_cast<uint32_t>(R.nextBounded(200));
+  // Worst case (all lost updates) each worker consumes one byte per loop
+  // iteration: 2*Steps total. MinBytes covers that so a racy run can never
+  // degenerate into an InputUnderrun instead of the planted OutOfBounds.
+  G.Profile.MinBytes = static_cast<uint32_t>(2 * Steps + 2);
+  G.Profile.MaxBytes = G.Profile.MinBytes + 6;
+  G.Profile.ByteMod = 256;
+  G.Profile.PerfBytes = static_cast<uint32_t>(2 * Steps + 8);
+  G.Profile.PerfByteMod = 256;
+  G.VmChunkSize = 14 + static_cast<unsigned>(R.nextBounded(11));
+  G.SolverWorkBudget = 60'000;
+}
+
+/// Classic lost update: read, pad, write back +1 from two workers. Under
+/// the racy mode some increments vanish and the final count assert fires.
+/// No worker reads input, so the recorded chunk order replays exactly.
+void plantLostUpdate(Ctx &C, Rng &R, GeneratedCampaign &G) {
+  const uint64_t Rounds = 5 + R.nextBounded(6);
+  const uint64_t Pad = 2 + R.nextBounded(5);
+  auto &A = C.A;
+
+  A.global("counter", A.array(A.i64(), 1));
+  A.global("mode", A.array(A.i64(), 1));
+  A.global("scratch", A.array(A.i64(), 2));
+
+  std::vector<StmtPtr> Body;
+  Body.push_back(A.ifStmt(C.eq(C.cell("mode"), C.lit(1)), C.lockS(1)));
+  Body.push_back(C.decl("c", C.cell("counter")));
+  C.pad(Body, C.lit(Pad));
+  Body.push_back(C.set(C.cell("counter"), C.add(C.ref("c"), C.lit(1))));
+  Body.push_back(C.set(C.atp(C.ref("p"), C.lit(0)),
+                       C.add(C.atp(C.ref("p"), C.lit(0)), C.lit(1))));
+  Body.push_back(A.ifStmt(C.eq(C.cell("mode"), C.lit(1)), C.unlockS(1)));
+  Body.push_back(C.inc("k"));
+
+  A.func("worker", {A.param("p", A.ptr(A.i64()))}, A.voidTy(),
+         A.block(stmts(C.decl("k", C.lit(0)),
+                       A.whileStmt(C.lt(C.ref("k"), C.lit(Rounds)),
+                                   A.block(std::move(Body))))));
+
+  std::vector<StmtPtr> Main = C.spawnPair("worker", "worker");
+  Main.push_back(A.assertStmt(C.eq(C.cell("counter"), C.lit(2 * Rounds))));
+  Main.push_back(A.ret(C.lit(0)));
+  A.func("main", {}, A.i64(), A.block(std::move(Main)));
+
+  G.Profile.HasModeByte = true;
+  G.Profile.UnsafePermille = 400 + static_cast<uint32_t>(R.nextBounded(200));
+  G.Profile.MinBytes = 0;
+  G.Profile.MaxBytes = 0;
+  G.Profile.PerfBytes = 0;
+  G.VmChunkSize = 14 + static_cast<unsigned>(R.nextBounded(11));
+  G.SolverWorkBudget = 60'000;
+}
+
+/// Lock-order inversion: `left` takes mutex 1 then 2; the racy mode of
+/// `right` takes 2 then 1, holding its first lock across an input-scaled
+/// spin window. When the windows overlap, every live thread blocks.
+void plantDeadlock(Ctx &C, Rng &R, GeneratedCampaign &G) {
+  const uint64_t HoldM = 6 + R.nextBounded(7);
+  const uint64_t Lo = 2 + R.nextBounded(3);
+  auto &A = C.A;
+
+  A.global("mode", A.array(A.i64(), 1));
+  A.global("hold", A.array(A.i64(), 2));
+  A.global("scratch", A.array(A.i64(), 2));
+
+  auto bumpP = [&]() {
+    return C.set(C.atp(C.ref("p"), C.lit(0)),
+                 C.add(C.atp(C.ref("p"), C.lit(0)), C.lit(1)));
+  };
+
+  std::vector<StmtPtr> Left;
+  Left.push_back(C.lockS(1));
+  C.pad(Left, A.elem("hold", 0));
+  Left.push_back(C.lockS(2));
+  Left.push_back(bumpP());
+  Left.push_back(C.unlockS(2));
+  Left.push_back(C.unlockS(1));
+  A.func("left", {A.param("p", A.ptr(A.i64()))}, A.voidTy(),
+         A.block(std::move(Left)));
+
+  std::vector<StmtPtr> Inverted;
+  Inverted.push_back(C.lockS(2));
+  C.pad(Inverted, A.elem("hold", 1));
+  Inverted.push_back(C.lockS(1));
+  Inverted.push_back(bumpP());
+  Inverted.push_back(C.unlockS(1));
+  Inverted.push_back(C.unlockS(2));
+
+  A.func("right", {A.param("p", A.ptr(A.i64()))}, A.voidTy(),
+         A.block(stmts(A.ifStmt(
+             C.eq(C.cell("mode"), C.lit(1)),
+             A.block(stmts(C.lockS(1), C.lockS(2), bumpP(), C.unlockS(2),
+                           C.unlockS(1))),
+             A.block(std::move(Inverted))))));
+
+  std::vector<StmtPtr> Main;
+  Main.push_back(C.set(C.cell("mode"), C.PB.inByte()));
+  Main.push_back(C.set(A.elem("hold", 0),
+                       C.add(C.lit(Lo), C.mod(C.PB.inByte(), C.lit(HoldM)))));
+  Main.push_back(C.set(A.elem("hold", 1),
+                       C.add(C.lit(Lo), C.mod(C.PB.inByte(), C.lit(HoldM)))));
+  Main.push_back(A.var(
+      "t1", A.i64(),
+      A.call("spawn", exprs(C.ref("left"), A.addrOf(A.elem("scratch", 0))))));
+  Main.push_back(A.var(
+      "t2", A.i64(),
+      A.call("spawn", exprs(C.ref("right"), A.addrOf(A.elem("scratch", 1))))));
+  Main.push_back(A.exprStmt(A.call("join", exprs(C.ref("t1")))));
+  Main.push_back(A.exprStmt(A.call("join", exprs(C.ref("t2")))));
+  Main.push_back(A.ret(C.lit(0)));
+  A.func("main", {}, A.i64(), A.block(std::move(Main)));
+
+  G.Profile.HasModeByte = true;
+  G.Profile.UnsafePermille = 400 + static_cast<uint32_t>(R.nextBounded(200));
+  G.Profile.MinBytes = 2; // the two hold-window bytes
+  G.Profile.MaxBytes = 2;
+  G.Profile.ByteMod = 256;
+  G.Profile.PerfBytes = 2;
+  G.Profile.PerfByteMod = 256;
+  G.VmChunkSize = 12 + static_cast<unsigned>(R.nextBounded(13));
+  G.SolverWorkBudget = 60'000;
+}
+
+} // namespace
+
+GeneratedCampaign er::gen::plantBug(BugClass Class, uint64_t RootSeed,
+                                    uint64_t Index, Rng Child) {
+  GeneratedCampaign G;
+  G.Class = Class;
+  G.RootSeed = RootSeed;
+  G.Index = Index;
+  G.Oracle = bugClassOracle(Class);
+  G.Multithreaded = bugClassMultithreaded(Class);
+  G.Id = formatString("GEN-%s-%04llu", bugClassTag(Class),
+                      static_cast<unsigned long long>(Index));
+  // Defaults the single-threaded planters keep; the concurrency planters
+  // override chunk size and budget to their smaller scale.
+  Rng D = Child.split(0);
+  G.VmChunkSize = 96 + static_cast<unsigned>(D.nextBounded(49));
+  G.Profile.PerfBytes = 48 + static_cast<uint32_t>(D.nextBounded(33));
+
+  Ctx C;
+  Rng R = Child.split(1);
+  switch (Class) {
+  case BugClass::BufferOverflow: plantBufferOverflow(C, R, G); break;
+  case BugClass::IntegerBug:     plantIntegerBug(C, R, G); break;
+  case BugClass::NullDeref:      plantNullDeref(C, R, G); break;
+  case BugClass::UseAfterFree:   plantUseAfterFree(C, R, G); break;
+  case BugClass::DoubleFree:     plantDoubleFree(C, R, G); break;
+  case BugClass::DivByZero:      plantDivByZero(C, R, G); break;
+  case BugClass::LogicError:     plantLogicError(C, R, G); break;
+  case BugClass::ResourceLeak:   plantResourceLeak(C, R, G); break;
+  case BugClass::DataRace:       plantDataRace(C, R, G); break;
+  case BugClass::LostUpdate:     plantLostUpdate(C, R, G); break;
+  case BugClass::Deadlock:       plantDeadlock(C, R, G); break;
+  }
+  G.Source = C.PB.finish();
+  return G;
+}

@@ -1,0 +1,31 @@
+//===- BugPlanter.h - Per-class bug synthesis --------------------*- C++ -*-===//
+///
+/// \file
+/// One planter per BugClass. Each synthesizes a small application-shaped
+/// MiniLang program with exactly one bug of its class, randomizing the
+/// surrounding constants (buffer sizes, thresholds, op selectors, loop
+/// rounds) from the campaign's child Rng so no two campaigns are the same
+/// program, then derives an InputProfile whose production distribution
+/// reaches the bug with modest probability and whose perf distribution
+/// provably cannot.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ER_GEN_BUGPLANTER_H
+#define ER_GEN_BUGPLANTER_H
+
+#include "gen/GenConfig.h"
+
+namespace er {
+namespace gen {
+
+/// Synthesizes campaign number \p Index of class \p Class from \p Child
+/// (the campaign's split stream; see the seeding discipline in
+/// GenConfig.h). \p RootSeed is recorded in the campaign for provenance.
+GeneratedCampaign plantBug(BugClass Class, uint64_t RootSeed, uint64_t Index,
+                           Rng Child);
+
+} // namespace gen
+} // namespace er
+
+#endif // ER_GEN_BUGPLANTER_H

@@ -1,0 +1,226 @@
+//===- CorpusWriter.cpp - Campaign corpus serialization --------------------===//
+
+#include "gen/CorpusWriter.h"
+
+#include "obs/Metrics.h"
+#include "obs/Tracer.h"
+#include "support/Format.h"
+
+#include <cstdlib>
+#include <sstream>
+
+using namespace er;
+using namespace er::gen;
+
+namespace {
+
+struct GenMetrics {
+  obs::Counter &CampaignsWritten;
+  obs::Counter &CampaignsLoaded;
+  obs::Counter &LoadErrors;
+
+  static GenMetrics &get() {
+    static GenMetrics M = [] {
+      auto &Reg = obs::MetricsRegistry::global();
+      return GenMetrics{
+          Reg.counter("gen.corpus.written"),
+          Reg.counter("gen.corpus.loaded"),
+          Reg.counter("gen.corpus.load_errors"),
+      };
+    }();
+    return M;
+  }
+};
+
+constexpr const char *Magic = "er-gen-campaign v1";
+constexpr const char *ManifestMagic = "er-gen-manifest v1";
+
+/// Reads the next \n-terminated line starting at \p Pos; false at EOF.
+bool nextLine(const std::string &Text, size_t &Pos, std::string &Line) {
+  if (Pos >= Text.size())
+    return false;
+  size_t Nl = Text.find('\n', Pos);
+  if (Nl == std::string::npos) {
+    Line = Text.substr(Pos);
+    Pos = Text.size();
+  } else {
+    Line = Text.substr(Pos, Nl - Pos);
+    Pos = Nl + 1;
+  }
+  return true;
+}
+
+} // namespace
+
+std::string er::gen::serializeCampaign(const GeneratedCampaign &C) {
+  std::ostringstream S;
+  S << Magic << "\n";
+  S << "id " << C.Id << "\n";
+  S << "class " << bugClassTag(C.Class) << "\n";
+  S << "rootseed " << C.RootSeed << "\n";
+  S << "index " << C.Index << "\n";
+  S << "chunk " << C.VmChunkSize << "\n";
+  S << "budget " << C.SolverWorkBudget << "\n";
+  const InputProfile &P = C.Profile;
+  S << "profile " << P.MinBytes << " " << P.MaxBytes << " " << P.ByteMod
+    << " " << (P.HasModeByte ? 1 : 0) << " " << P.UnsafePermille << " "
+    << P.PerfBytes << " " << P.PerfByteMod << "\n";
+  S << "source " << C.Source.size() << "\n";
+  S << C.Source;
+  S << "end\n";
+  return S.str();
+}
+
+bool er::gen::parseCampaign(const std::string &Text, GeneratedCampaign &Out,
+                            std::string &Err) {
+  size_t Pos = 0;
+  std::string Line;
+  if (!nextLine(Text, Pos, Line) || Line != Magic) {
+    Err = "bad campaign magic";
+    return false;
+  }
+  Out = GeneratedCampaign();
+  bool HaveClass = false, HaveSource = false;
+  while (nextLine(Text, Pos, Line)) {
+    if (Line == "end")
+      break;
+    std::istringstream LS(Line);
+    std::string Key;
+    LS >> Key;
+    if (Key == "id") {
+      LS >> Out.Id;
+    } else if (Key == "class") {
+      std::string Tag;
+      LS >> Tag;
+      if (!parseBugClassTag(Tag, Out.Class)) {
+        Err = "unknown bug class '" + Tag + "'";
+        return false;
+      }
+      HaveClass = true;
+    } else if (Key == "rootseed") {
+      LS >> Out.RootSeed;
+    } else if (Key == "index") {
+      LS >> Out.Index;
+    } else if (Key == "chunk") {
+      LS >> Out.VmChunkSize;
+    } else if (Key == "budget") {
+      LS >> Out.SolverWorkBudget;
+    } else if (Key == "profile") {
+      InputProfile &P = Out.Profile;
+      unsigned Mode = 0;
+      LS >> P.MinBytes >> P.MaxBytes >> P.ByteMod >> Mode >>
+          P.UnsafePermille >> P.PerfBytes >> P.PerfByteMod;
+      if (LS.fail()) {
+        Err = "malformed profile line";
+        return false;
+      }
+      P.HasModeByte = Mode != 0;
+    } else if (Key == "source") {
+      uint64_t N = 0;
+      LS >> N;
+      if (LS.fail() || N > Text.size() - Pos) {
+        Err = "malformed source block";
+        return false;
+      }
+      Out.Source = Text.substr(Pos, N);
+      Pos += N;
+      HaveSource = true;
+    }
+    // Unknown keys are skipped: newer writers may add fields.
+  }
+  if (!HaveClass || !HaveSource || Out.Id.empty()) {
+    Err = "campaign missing id/class/source";
+    return false;
+  }
+  Out.Oracle = bugClassOracle(Out.Class);
+  Out.Multithreaded = bugClassMultithreaded(Out.Class);
+  return true;
+}
+
+std::string er::gen::writeCorpus(const std::string &Dir,
+                                 const std::vector<GeneratedCampaign> &Corpus,
+                                 FsOps *Fs) {
+  obs::ScopedSpan Span("gen.corpus.write");
+  Span.arg("campaigns", std::to_string(Corpus.size()));
+  FsOps &F = Fs ? *Fs : FsOps::real();
+  std::string Error;
+  if (!F.createDirectories(Dir, &Error))
+    return "cannot create corpus directory " + Dir + ": " + Error;
+
+  std::ostringstream Manifest;
+  Manifest << ManifestMagic << "\n";
+  Manifest << "count " << Corpus.size() << "\n";
+  for (const GeneratedCampaign &C : Corpus) {
+    std::string File = C.Id + ".mlc";
+    if (F.writeFile(Dir + "/" + File, serializeCampaign(C), &Error) !=
+        FsStatus::Ok)
+      return "cannot write " + File + ": " + Error;
+    Manifest << "campaign " << C.Id << " " << File << "\n";
+    GenMetrics::get().CampaignsWritten.inc();
+  }
+  // MANIFEST last, via temp + rename: its presence marks a complete corpus.
+  std::string Tmp = Dir + "/.MANIFEST.tmp";
+  if (F.writeFile(Tmp, Manifest.str(), &Error) != FsStatus::Ok)
+    return "cannot write manifest temp: " + Error;
+  if (F.rename(Tmp, Dir + "/MANIFEST", &Error) != FsStatus::Ok)
+    return "cannot publish manifest: " + Error;
+  return "";
+}
+
+std::vector<GeneratedCampaign>
+er::gen::loadCorpus(const std::string &Dir, std::string &Err, FsOps *Fs) {
+  obs::ScopedSpan Span("gen.corpus.load");
+  FsOps &F = Fs ? *Fs : FsOps::real();
+  std::vector<GeneratedCampaign> Out;
+
+  std::vector<uint8_t> Raw;
+  if (F.readFile(Dir + "/MANIFEST", Raw, &Err) != FsStatus::Ok) {
+    GenMetrics::get().LoadErrors.inc();
+    Err = "cannot read " + Dir + "/MANIFEST (not a corpus directory?)";
+    return {};
+  }
+  std::string Manifest(Raw.begin(), Raw.end());
+  size_t Pos = 0;
+  std::string Line;
+  if (!nextLine(Manifest, Pos, Line) || Line != ManifestMagic) {
+    GenMetrics::get().LoadErrors.inc();
+    Err = "bad manifest magic in " + Dir;
+    return {};
+  }
+  while (nextLine(Manifest, Pos, Line)) {
+    std::istringstream LS(Line);
+    std::string Key;
+    LS >> Key;
+    if (Key != "campaign")
+      continue; // count + future keys
+    std::string Id, File;
+    LS >> Id >> File;
+    if (Id.empty() || File.empty() || File.find('/') != std::string::npos) {
+      GenMetrics::get().LoadErrors.inc();
+      Err = "malformed manifest entry: " + Line;
+      return {};
+    }
+    std::vector<uint8_t> Bytes;
+    if (F.readFile(Dir + "/" + File, Bytes, &Err) != FsStatus::Ok) {
+      GenMetrics::get().LoadErrors.inc();
+      Err = "cannot read campaign file " + File;
+      return {};
+    }
+    GeneratedCampaign C;
+    std::string Text(Bytes.begin(), Bytes.end());
+    if (!parseCampaign(Text, C, Err)) {
+      GenMetrics::get().LoadErrors.inc();
+      Err = File + ": " + Err;
+      return {};
+    }
+    if (C.Id != Id) {
+      GenMetrics::get().LoadErrors.inc();
+      Err = File + ": id mismatch (manifest " + Id + ", file " + C.Id + ")";
+      return {};
+    }
+    Out.push_back(std::move(C));
+    GenMetrics::get().CampaignsLoaded.inc();
+  }
+  Span.arg("campaigns", std::to_string(Out.size()));
+  return Out;
+}

@@ -1,0 +1,50 @@
+//===- CorpusWriter.h - Campaign corpus serialization ------------*- C++ -*-===//
+///
+/// \file
+/// On-disk form of a generated corpus: one `<id>.mlc` file per campaign in
+/// the line-oriented `er-gen-campaign v1` format (header keys, then the raw
+/// program source as a length-prefixed block), plus a MANIFEST written last
+/// — temp-file + rename, the spool discipline — so a directory with a
+/// MANIFEST is a complete corpus and a crashed writer leaves no ambiguity.
+/// Loaders skip unknown header keys, mirroring the fleet state format's
+/// forward compatibility.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ER_GEN_CORPUSWRITER_H
+#define ER_GEN_CORPUSWRITER_H
+
+#include "gen/GenConfig.h"
+#include "support/Fs.h"
+
+#include <string>
+#include <vector>
+
+namespace er {
+namespace gen {
+
+/// Renders one campaign to the `er-gen-campaign v1` wire form.
+std::string serializeCampaign(const GeneratedCampaign &C);
+
+/// Parses the wire form; returns false with a diagnostic on malformed
+/// input. Unknown header keys are skipped.
+bool parseCampaign(const std::string &Text, GeneratedCampaign &Out,
+                   std::string &Err);
+
+/// Writes the corpus into \p Dir (created if missing). Returns an empty
+/// string on success, else a diagnostic. \p Fs is the filesystem seam
+/// (null = real).
+std::string writeCorpus(const std::string &Dir,
+                        const std::vector<GeneratedCampaign> &Corpus,
+                        FsOps *Fs = nullptr);
+
+/// Loads every campaign listed in \p Dir's MANIFEST. On failure returns an
+/// empty vector and sets \p Err.
+std::vector<GeneratedCampaign> loadCorpus(const std::string &Dir,
+                                          std::string &Err,
+                                          FsOps *Fs = nullptr);
+
+} // namespace gen
+} // namespace er
+
+#endif // ER_GEN_CORPUSWRITER_H

@@ -1,0 +1,130 @@
+//===- GenConfig.cpp - Corpus generation and registry adaptation -----------===//
+
+#include "gen/GenConfig.h"
+
+#include "gen/BugPlanter.h"
+#include "obs/Metrics.h"
+#include "obs/Tracer.h"
+#include "support/Error.h"
+#include "vm/Input.h"
+
+using namespace er;
+using namespace er::gen;
+
+namespace {
+
+struct ClassInfo {
+  const char *Tag;
+  const char *Name;
+  FailureKind Oracle;
+  bool Multithreaded;
+};
+
+constexpr ClassInfo Classes[NumBugClasses] = {
+    {"bufov", "buffer overflow", FailureKind::OutOfBounds, false},
+    // A sign-flipped index lands so far outside the object that the VM
+    // reports an invalid load (NullDeref kind), not a near-miss OutOfBounds.
+    {"intbug", "integer bug", FailureKind::NullDeref, false},
+    {"nullptr", "null pointer dereference", FailureKind::NullDeref, false},
+    {"uaf", "use after free", FailureKind::UseAfterFree, false},
+    {"dfree", "double free", FailureKind::DoubleFree, false},
+    {"divzero", "division by zero", FailureKind::DivByZero, false},
+    {"logic", "logic error", FailureKind::Abort, false},
+    {"leak", "resource leak", FailureKind::OutOfBounds, false},
+    {"race", "data race", FailureKind::OutOfBounds, true},
+    {"lostupd", "lost update", FailureKind::Abort, true},
+    {"dlock", "deadlock", FailureKind::Deadlock, true},
+};
+
+const ClassInfo &info(BugClass C) {
+  unsigned I = static_cast<unsigned>(C);
+  if (I >= NumBugClasses)
+    fatalError("invalid BugClass");
+  return Classes[I];
+}
+
+} // namespace
+
+const char *er::gen::bugClassTag(BugClass C) { return info(C).Tag; }
+const char *er::gen::bugClassName(BugClass C) { return info(C).Name; }
+FailureKind er::gen::bugClassOracle(BugClass C) { return info(C).Oracle; }
+bool er::gen::bugClassMultithreaded(BugClass C) {
+  return info(C).Multithreaded;
+}
+
+bool er::gen::parseBugClassTag(const std::string &Tag, BugClass &Out) {
+  for (unsigned I = 0; I < NumBugClasses; ++I) {
+    if (Tag == Classes[I].Tag) {
+      Out = static_cast<BugClass>(I);
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<GeneratedCampaign>
+er::gen::generateCorpus(const GenConfig &Config) {
+  std::vector<BugClass> Enabled;
+  for (unsigned I = 0; I < NumBugClasses; ++I)
+    if (Config.ClassMask & (1u << I))
+      Enabled.push_back(static_cast<BugClass>(I));
+  if (Enabled.empty())
+    fatalError("generateCorpus: empty class mask");
+
+  obs::ScopedSpan Span("gen.generate");
+  Span.arg("count", static_cast<uint64_t>(Config.Count));
+  auto &Reg = obs::MetricsRegistry::global();
+  obs::Counter &Campaigns = Reg.counter("gen.campaigns");
+  obs::Histogram &SourceBytes =
+      Reg.histogram("gen.source.bytes", obs::exponentialBounds(256, 12, 2));
+
+  // Campaign I draws everything from Root.split(I): see the seeding
+  // discipline in GenConfig.h. The round-robin keeps any prefix spanning
+  // the enabled taxonomy.
+  Rng Root(Config.Seed);
+  std::vector<GeneratedCampaign> Out;
+  Out.reserve(Config.Count);
+  for (uint64_t I = 0; I < Config.Count; ++I) {
+    Out.push_back(plantBug(Enabled[I % Enabled.size()], Config.Seed, I,
+                           Root.split(I)));
+    Campaigns.inc();
+    SourceBytes.record(Out.back().Source.size());
+  }
+  return Out;
+}
+
+BugSpec er::gen::toBugSpec(const GeneratedCampaign &C) {
+  BugSpec S;
+  S.Id = C.Id;
+  S.App = std::string("gen/") + bugClassTag(C.Class);
+  S.BugType = bugClassName(C.Class);
+  S.Multithreaded = C.Multithreaded;
+  S.Source = C.Source;
+  S.VmChunkSize = C.VmChunkSize;
+  S.SolverWorkBudget = C.SolverWorkBudget;
+  S.PerfBenchmark = "generated";
+
+  const InputProfile P = C.Profile;
+  S.ProductionInput = [P](Rng &R) {
+    ProgramInput In;
+    if (P.HasModeByte)
+      In.Bytes.push_back(R.nextBounded(1000) < P.UnsafePermille ? 0 : 1);
+    uint64_t N = P.MinBytes;
+    if (P.MaxBytes > P.MinBytes)
+      N += R.nextBounded(P.MaxBytes - P.MinBytes + 1);
+    for (uint64_t I = 0; I < N; ++I)
+      In.Bytes.push_back(
+          static_cast<uint8_t>(R.nextBounded(P.ByteMod ? P.ByteMod : 256)));
+    return In;
+  };
+  S.PerfInput = [P](Rng &R) {
+    ProgramInput In;
+    if (P.HasModeByte)
+      In.Bytes.push_back(1); // always the correctly-locked mode
+    for (uint64_t I = 0; I < P.PerfBytes; ++I)
+      In.Bytes.push_back(static_cast<uint8_t>(
+          R.nextBounded(P.PerfByteMod ? P.PerfByteMod : 1)));
+    return In;
+  };
+  return S;
+}

@@ -1,0 +1,133 @@
+//===- GenConfig.h - Generated bug-corpus configuration ----------*- C++ -*-===//
+///
+/// \file
+/// Configuration and campaign model for the generated workload factory.
+/// The generator extends the hand-built Table-1 registry (src/workloads/)
+/// with seeded, self-describing campaigns: each campaign is a synthesized
+/// MiniLang program with one bug planted by class, an oracle describing the
+/// failure the bug produces, and the input profile needed to rebuild its
+/// production/perf input distributions from a campaign file alone.
+///
+/// ## Seeding discipline
+///
+/// All randomness descends from one root `Rng(GenConfig.Seed)`. Campaign
+/// number I draws every decision from the child `root.split(I)` and nothing
+/// else — `Rng::split` derives an independent stream without advancing the
+/// parent, so campaign I's bytes depend only on (Seed, I):
+///
+///  - the corpus is byte-identical across runs for a fixed seed,
+///  - it is *prefix-stable*: growing `Count` appends campaigns without
+///    changing earlier ones, and
+///  - generation order / job count cannot matter, because no planter ever
+///    touches a shared generator.
+///
+/// Planters that need several independent decision streams split again from
+/// their campaign child (`Child.split(K)` for a fixed per-decision K) rather
+/// than interleaving draws, so inserting a new decision into one planter
+/// does not reshuffle the others.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ER_GEN_GENCONFIG_H
+#define ER_GEN_GENCONFIG_H
+
+#include "support/Rng.h"
+#include "vm/Failure.h"
+#include "workloads/Workloads.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace er {
+namespace gen {
+
+/// The planted-bug taxonomy. The first eight are single-threaded classes
+/// extending the paper's Table-1 "Bug Type" column; the last three are
+/// concurrency classes (data race, lost update, deadlock) that exercise the
+/// chunk scheduler and schedule-search reconstruction.
+enum class BugClass : uint8_t {
+  BufferOverflow, ///< Off-by-one store past a clamped buffer.
+  IntegerBug,     ///< i8 truncation flips sign; negative index -> wild load.
+  NullDeref,      ///< Fast path skips the initialization check.
+  UseAfterFree,   ///< Stale alias not repointed on eviction.
+  DoubleFree,     ///< Error path frees without taking ownership.
+  DivByZero,      ///< Unguarded modular denominator.
+  LogicError,     ///< State machine pops an empty stack; assert fires.
+  ResourceLeak,   ///< Leaked slots exhaust a pool; sentinel index escapes.
+  DataRace,       ///< Check-then-act on a shared cursor (TOCTOU).
+  LostUpdate,     ///< Unlocked read-pad-write; final count assert fires.
+  Deadlock,       ///< Lock-order inversion between two workers.
+};
+
+constexpr unsigned NumBugClasses = 11;
+constexpr unsigned NumConcurrencyClasses = 3;
+
+/// Short stable tag used in campaign ids and CLI class filters ("bufov").
+const char *bugClassTag(BugClass C);
+/// Human-readable Table-1-style name ("buffer overflow").
+const char *bugClassName(BugClass C);
+/// The failure kind the planted bug produces when it fires.
+FailureKind bugClassOracle(BugClass C);
+/// True for the classes whose programs spawn threads.
+bool bugClassMultithreaded(BugClass C);
+/// Parses a tag back to a class; returns false on unknown tags.
+bool parseBugClassTag(const std::string &Tag, BugClass &Out);
+
+/// Everything needed to rebuild a campaign's input distributions without
+/// the generator: production inputs draw a uniform length in
+/// [MinBytes, MaxBytes] of bytes uniform in [0, ByteMod); perf inputs are
+/// PerfBytes bytes uniform in [0, PerfByteMod), chosen below every planted
+/// trigger threshold so the overhead workload never faults. Concurrency
+/// programs prepend a mode byte (1 = correctly locked, 0 = racy) that
+/// production draws unsafe with probability UnsafePermille/1000 and perf
+/// always draws safe.
+struct InputProfile {
+  uint32_t MinBytes = 1;
+  uint32_t MaxBytes = 1;
+  uint32_t ByteMod = 256;
+  bool HasModeByte = false;
+  uint32_t UnsafePermille = 0;
+  uint32_t PerfBytes = 64;
+  uint32_t PerfByteMod = 1;
+};
+
+/// One generated campaign: a self-describing (program, oracle, seed)
+/// triple. Serialized by CorpusWriter; convertible to a BugSpec that
+/// registers alongside the hand-built workloads.
+struct GeneratedCampaign {
+  std::string Id;      ///< "GEN-<tag>-<NNNN>".
+  BugClass Class = BugClass::BufferOverflow;
+  uint64_t RootSeed = 0; ///< GenConfig.Seed the corpus was built from.
+  uint64_t Index = 0;    ///< Campaign number (the split stream id).
+  FailureKind Oracle = FailureKind::None;
+  bool Multithreaded = false;
+  unsigned VmChunkSize = 120;
+  uint64_t SolverWorkBudget = 200'000;
+  InputProfile Profile;
+  std::string Source; ///< Printed MiniLang program.
+};
+
+/// Corpus generation parameters.
+struct GenConfig {
+  uint64_t Seed = 1;
+  unsigned Count = 200;
+  /// Bit I enables class I (default: all classes).
+  uint32_t ClassMask = 0xffffffffu;
+};
+
+/// Generates `Count` campaigns. Classes round-robin over the enabled set so
+/// any prefix spans the taxonomy; campaign I is a pure function of
+/// (Seed, I) per the seeding discipline above. Every returned campaign's
+/// source has been compiled once as a self-check (fatal on planter bugs).
+std::vector<GeneratedCampaign> generateCorpus(const GenConfig &Config);
+
+/// Adapts a campaign to the workload-registry spec shape. The input
+/// closures are rebuilt from the profile, so a campaign loaded from disk
+/// behaves identically to a freshly generated one.
+BugSpec toBugSpec(const GeneratedCampaign &C);
+
+} // namespace gen
+} // namespace er
+
+#endif // ER_GEN_GENCONFIG_H

@@ -1,0 +1,49 @@
+//===- ProgramBuilder.cpp - Synthesis scaffolding for planters -------------===//
+
+#include "gen/ProgramBuilder.h"
+
+#include "lang/Codegen.h"
+#include "support/Error.h"
+
+using namespace er;
+using namespace er::gen;
+using namespace er::lang;
+
+ExprPtr ProgramBuilder::inByte() {
+  return B.cast(B.call("input_byte", {}), B.i64());
+}
+
+StmtPtr ProgramBuilder::declByte(const std::string &Name) {
+  return B.var(Name, B.i64(), inByte());
+}
+
+void ProgramBuilder::buildByteDriver(std::vector<StmtPtr> Prologue,
+                                     std::vector<StmtPtr> PerByte,
+                                     std::vector<StmtPtr> Epilogue) {
+  std::vector<StmtPtr> Loop;
+  Loop.push_back(declByte());
+  for (auto &S : PerByte)
+    Loop.push_back(std::move(S));
+  Loop.push_back(
+      B.assign(B.ref("i"), B.bin(BinaryOp::Add, B.ref("i"), B.lit(1))));
+
+  std::vector<StmtPtr> Main = std::move(Prologue);
+  Main.push_back(B.var("n", B.i64(), B.call("input_size", {})));
+  Main.push_back(B.var("i", B.i64(), B.lit(0)));
+  Main.push_back(B.whileStmt(B.bin(BinaryOp::Lt, B.ref("i"), B.ref("n")),
+                             B.block(std::move(Loop))));
+  for (auto &S : Epilogue)
+    Main.push_back(std::move(S));
+  Main.push_back(B.ret(B.lit(0)));
+
+  B.func("main", {}, B.i64(), B.block(std::move(Main)));
+}
+
+std::string ProgramBuilder::finish() {
+  std::string Source = printProgram(P);
+  CompileResult R = compileMiniLang(Source);
+  if (!R.ok())
+    fatalError("generated program failed to compile: " + R.Error +
+               "\n--- source ---\n" + Source);
+  return Source;
+}

@@ -1,0 +1,65 @@
+//===- ProgramBuilder.h - Synthesis scaffolding for planters -----*- C++ -*-===//
+///
+/// \file
+/// Shared scaffolding the bug planters build programs on: an owned Program
+/// plus AstBuilder, byte-driver skeletons (the input loop every
+/// single-threaded campaign shares), and a finish step that prints the AST
+/// to source and compile-checks it, so a planter bug dies at generation
+/// time rather than inside a fleet run.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ER_GEN_PROGRAMBUILDER_H
+#define ER_GEN_PROGRAMBUILDER_H
+
+#include "lang/AstBuilder.h"
+
+#include <string>
+#include <vector>
+
+namespace er {
+namespace gen {
+
+class ProgramBuilder {
+public:
+  ProgramBuilder() : B(P) {}
+
+  lang::AstBuilder &ast() { return B; }
+  lang::Program &program() { return P; }
+
+  /// `(input_byte() as i64)`.
+  lang::ExprPtr inByte();
+  /// `var b: i64 = (input_byte() as i64);`
+  lang::StmtPtr declByte(const std::string &Name = "b");
+
+  /// Wraps \p PerByte in the standard driver and appends `fn main`:
+  ///
+  ///   fn main() {
+  ///     <Prologue>
+  ///     var n: i64 = input_size();
+  ///     var i: i64 = 0;
+  ///     while (i < n) {
+  ///       var b: i64 = (input_byte() as i64);
+  ///       <PerByte>
+  ///       i = i + 1;
+  ///     }
+  ///     <Epilogue>
+  ///   }
+  void buildByteDriver(std::vector<lang::StmtPtr> Prologue,
+                       std::vector<lang::StmtPtr> PerByte,
+                       std::vector<lang::StmtPtr> Epilogue);
+
+  /// Prints the program to source and compiles it as a self-check; fatal
+  /// with the compiler diagnostic if the planter synthesized an invalid
+  /// program.
+  std::string finish();
+
+private:
+  lang::Program P;
+  lang::AstBuilder B;
+};
+
+} // namespace gen
+} // namespace er
+
+#endif // ER_GEN_PROGRAMBUILDER_H

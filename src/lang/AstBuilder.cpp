@@ -1,0 +1,485 @@
+//===- AstBuilder.cpp - Programmatic MiniLang synthesis -------------------------===//
+
+#include "lang/AstBuilder.h"
+
+#include "support/Error.h"
+
+using namespace er;
+using namespace er::lang;
+
+//===----------------------------------------------------------------------===//
+// Expression factories
+//===----------------------------------------------------------------------===//
+
+ExprPtr AstBuilder::lit(uint64_t V) { return std::make_unique<IntLitExpr>(V); }
+
+ExprPtr AstBuilder::boolLit(bool V) { return std::make_unique<BoolLitExpr>(V); }
+
+ExprPtr AstBuilder::nullLit() { return std::make_unique<NullLitExpr>(); }
+
+ExprPtr AstBuilder::ref(std::string Name) {
+  return std::make_unique<VarRefExpr>(std::move(Name));
+}
+
+ExprPtr AstBuilder::index(ExprPtr Base, ExprPtr Idx) {
+  return std::make_unique<IndexExpr>(std::move(Base), std::move(Idx));
+}
+
+ExprPtr AstBuilder::index(std::string Name, ExprPtr Idx) {
+  return index(ref(std::move(Name)), std::move(Idx));
+}
+
+ExprPtr AstBuilder::elem(std::string Name, uint64_t I) {
+  return index(ref(std::move(Name)), lit(I));
+}
+
+ExprPtr AstBuilder::call(std::string Callee, std::vector<ExprPtr> Args) {
+  return std::make_unique<CallExpr>(std::move(Callee), std::move(Args));
+}
+
+ExprPtr AstBuilder::un(UnaryOp Op, ExprPtr Sub) {
+  return std::make_unique<UnaryExpr>(Op, std::move(Sub));
+}
+
+ExprPtr AstBuilder::bin(BinaryOp Op, ExprPtr L, ExprPtr R) {
+  return std::make_unique<BinaryExpr>(Op, std::move(L), std::move(R));
+}
+
+ExprPtr AstBuilder::cast(ExprPtr Sub, const LangType *Ty) {
+  return std::make_unique<CastExpr>(std::move(Sub), Ty);
+}
+
+ExprPtr AstBuilder::newArr(const LangType *Elem, ExprPtr Count) {
+  return std::make_unique<NewExpr>(Elem, std::move(Count));
+}
+
+ExprPtr AstBuilder::addrOf(ExprPtr Base) {
+  return std::make_unique<AddrOfExpr>(std::move(Base));
+}
+
+//===----------------------------------------------------------------------===//
+// Statement factories
+//===----------------------------------------------------------------------===//
+
+StmtPtr AstBuilder::asBlock(StmtPtr S) {
+  if (!S || S->K == Stmt::Kind::Block)
+    return S;
+  std::vector<StmtPtr> One;
+  One.push_back(std::move(S));
+  return block(std::move(One));
+}
+
+StmtPtr AstBuilder::var(std::string Name, const LangType *Ty, ExprPtr Init) {
+  return std::make_unique<VarDeclStmt>(std::move(Name), Ty, std::move(Init));
+}
+
+StmtPtr AstBuilder::assign(ExprPtr Lhs, ExprPtr Rhs) {
+  return std::make_unique<AssignStmt>(std::move(Lhs), std::move(Rhs));
+}
+
+StmtPtr AstBuilder::exprStmt(ExprPtr E) {
+  return std::make_unique<ExprStmt>(std::move(E));
+}
+
+StmtPtr AstBuilder::ret(ExprPtr V) {
+  return std::make_unique<ReturnStmt>(std::move(V));
+}
+
+StmtPtr AstBuilder::assertStmt(ExprPtr Cond) {
+  return std::make_unique<AssertStmt>(std::move(Cond));
+}
+
+StmtPtr AstBuilder::abortStmt(std::string Msg) {
+  return std::make_unique<AbortStmt>(std::move(Msg));
+}
+
+StmtPtr AstBuilder::del(ExprPtr Ptr) {
+  return std::make_unique<DeleteStmt>(std::move(Ptr));
+}
+
+StmtPtr AstBuilder::block(std::vector<StmtPtr> Stmts) {
+  auto B = std::make_unique<BlockStmt>();
+  B->Stmts = std::move(Stmts);
+  return B;
+}
+
+StmtPtr AstBuilder::ifStmt(ExprPtr Cond, StmtPtr Then, StmtPtr Else) {
+  return std::make_unique<IfStmt>(std::move(Cond), asBlock(std::move(Then)),
+                                  asBlock(std::move(Else)));
+}
+
+StmtPtr AstBuilder::whileStmt(ExprPtr Cond, StmtPtr Body) {
+  return std::make_unique<WhileStmt>(std::move(Cond), asBlock(std::move(Body)));
+}
+
+StmtPtr AstBuilder::forStmt(StmtPtr Init, ExprPtr Cond, StmtPtr Step,
+                            StmtPtr Body) {
+  return std::make_unique<ForStmt>(std::move(Init), std::move(Cond),
+                                   std::move(Step), asBlock(std::move(Body)));
+}
+
+StmtPtr AstBuilder::breakStmt() { return std::make_unique<BreakStmt>(); }
+
+StmtPtr AstBuilder::continueStmt() { return std::make_unique<ContinueStmt>(); }
+
+//===----------------------------------------------------------------------===//
+// Declarations
+//===----------------------------------------------------------------------===//
+
+void AstBuilder::global(std::string Name, const LangType *Ty,
+                        std::vector<uint64_t> Init) {
+  auto G = std::make_unique<GlobalDecl>();
+  G->Name = std::move(Name);
+  G->Ty = Ty;
+  G->Init = std::move(Init);
+  P.Globals.push_back(std::move(G));
+}
+
+void AstBuilder::func(std::string Name, std::vector<ParamDecl> Params,
+                      const LangType *RetTy, StmtPtr Body) {
+  auto F = std::make_unique<FuncDecl>();
+  F->Name = std::move(Name);
+  for (unsigned I = 0; I < Params.size(); ++I)
+    Params[I].Index = I;
+  F->Params = std::move(Params);
+  F->RetTy = RetTy;
+  F->Body = asBlock(std::move(Body));
+  P.Funcs.push_back(std::move(F));
+}
+
+ParamDecl AstBuilder::param(std::string Name, const LangType *Ty) {
+  ParamDecl D;
+  D.Name = std::move(Name);
+  D.Ty = Ty;
+  return D;
+}
+
+//===----------------------------------------------------------------------===//
+// Printer
+//===----------------------------------------------------------------------===//
+
+std::string er::lang::printType(const LangType *T) {
+  if (!T)
+    return "<null>";
+  switch (T->K) {
+  case LangType::Kind::Void:
+    return "void";
+  case LangType::Kind::Bool:
+    return "bool";
+  case LangType::Kind::Int:
+    return std::string(T->Signed ? "i" : "u") + std::to_string(T->Bits);
+  case LangType::Kind::Ptr:
+    return "*" + printType(T->Elem);
+  case LangType::Kind::Array:
+    return printType(T->Elem) + "[" + std::to_string(T->NumElems) + "]";
+  }
+  return "<bad>";
+}
+
+namespace {
+
+class Printer {
+public:
+  std::string render(const Program &P) {
+    for (const auto &G : P.Globals)
+      printGlobal(*G);
+    if (!P.Globals.empty())
+      Out += "\n";
+    for (const auto &F : P.Funcs) {
+      printFunc(*F);
+      Out += "\n";
+    }
+    return std::move(Out);
+  }
+
+private:
+  void indent() { Out.append(Level * 2, ' '); }
+
+  /// Global initializers are stored as raw uint64 element values; render
+  /// two's-complement-negative ones with a minus sign so they re-parse.
+  static std::string initValue(uint64_t V) {
+    int64_t S = static_cast<int64_t>(V);
+    if (S < 0)
+      return "-" + std::to_string(static_cast<uint64_t>(-S));
+    return std::to_string(V);
+  }
+
+  void printGlobal(const GlobalDecl &G) {
+    Out += "global " + G.Name + ": " + printType(G.Ty);
+    if (G.Init.size() == 1) {
+      Out += " = " + initValue(G.Init[0]);
+    } else if (G.Init.size() > 1) {
+      Out += " = { ";
+      for (size_t I = 0; I < G.Init.size(); ++I) {
+        if (I)
+          Out += ", ";
+        Out += initValue(G.Init[I]);
+      }
+      Out += " }";
+    }
+    Out += ";\n";
+  }
+
+  void printFunc(const FuncDecl &F) {
+    Out += "fn " + F.Name + "(";
+    for (size_t I = 0; I < F.Params.size(); ++I) {
+      if (I)
+        Out += ", ";
+      Out += F.Params[I].Name + ": " + printType(F.Params[I].Ty);
+    }
+    Out += ")";
+    if (F.RetTy && !F.RetTy->isVoid())
+      Out += " -> " + printType(F.RetTy);
+    Out += " ";
+    printBlockInline(*F.Body);
+    Out += "\n";
+  }
+
+  void printBlockInline(const Stmt &S) {
+    const auto &B = static_cast<const BlockStmt &>(S);
+    Out += "{\n";
+    ++Level;
+    for (const auto &Inner : B.Stmts)
+      printStmt(*Inner);
+    --Level;
+    indent();
+    Out += "}";
+  }
+
+  /// Simple statements as they appear inside for(...) headers: no
+  /// indentation, no trailing semicolon.
+  void printSimple(const Stmt &S) {
+    switch (S.K) {
+    case Stmt::Kind::VarDecl: {
+      const auto &V = static_cast<const VarDeclStmt &>(S);
+      Out += "var " + V.Name + ": " + printType(V.DeclTy);
+      if (V.Init)
+        Out += " = " + expr(*V.Init);
+      return;
+    }
+    case Stmt::Kind::Assign: {
+      const auto &A = static_cast<const AssignStmt &>(S);
+      Out += expr(*A.Lhs) + " = " + expr(*A.Rhs);
+      return;
+    }
+    case Stmt::Kind::ExprStmt:
+      Out += expr(*static_cast<const ExprStmt &>(S).E);
+      return;
+    default:
+      fatalError("printSimple: unsupported statement kind");
+    }
+  }
+
+  void printStmt(const Stmt &S) {
+    switch (S.K) {
+    case Stmt::Kind::VarDecl:
+    case Stmt::Kind::Assign:
+    case Stmt::Kind::ExprStmt:
+      indent();
+      printSimple(S);
+      Out += ";\n";
+      return;
+    case Stmt::Kind::If: {
+      const auto &I = static_cast<const IfStmt &>(S);
+      indent();
+      Out += "if (" + expr(*I.Cond) + ") ";
+      printBlockInline(*I.Then);
+      if (I.Else) {
+        Out += " else ";
+        if (I.Else->K == Stmt::Kind::If) {
+          // else-if chain: print the nested if inline on the same line.
+          const auto &EI = static_cast<const IfStmt &>(*I.Else);
+          Out += "if (" + expr(*EI.Cond) + ") ";
+          printBlockInline(*EI.Then);
+          if (EI.Else) {
+            Out += " else ";
+            printBlockInline(*EI.Else);
+          }
+        } else {
+          printBlockInline(*I.Else);
+        }
+      }
+      Out += "\n";
+      return;
+    }
+    case Stmt::Kind::While: {
+      const auto &W = static_cast<const WhileStmt &>(S);
+      indent();
+      Out += "while (" + expr(*W.Cond) + ") ";
+      printBlockInline(*W.Body);
+      Out += "\n";
+      return;
+    }
+    case Stmt::Kind::For: {
+      const auto &F = static_cast<const ForStmt &>(S);
+      indent();
+      Out += "for (";
+      if (F.Init)
+        printSimple(*F.Init);
+      Out += "; ";
+      if (F.Cond)
+        Out += expr(*F.Cond);
+      Out += "; ";
+      if (F.Step)
+        printSimple(*F.Step);
+      Out += ") ";
+      printBlockInline(*F.Body);
+      Out += "\n";
+      return;
+    }
+    case Stmt::Kind::Break:
+      indent();
+      Out += "break;\n";
+      return;
+    case Stmt::Kind::Continue:
+      indent();
+      Out += "continue;\n";
+      return;
+    case Stmt::Kind::Return: {
+      const auto &R = static_cast<const ReturnStmt &>(S);
+      indent();
+      Out += "return";
+      if (R.Value)
+        Out += " " + expr(*R.Value);
+      Out += ";\n";
+      return;
+    }
+    case Stmt::Kind::Assert: {
+      indent();
+      Out += "assert(" + expr(*static_cast<const AssertStmt &>(S).Cond) +
+             ");\n";
+      return;
+    }
+    case Stmt::Kind::Abort: {
+      indent();
+      Out += "abort(\"" + safeString(static_cast<const AbortStmt &>(S).Message) +
+             "\");\n";
+      return;
+    }
+    case Stmt::Kind::Delete: {
+      indent();
+      Out += "delete " + expr(*static_cast<const DeleteStmt &>(S).Ptr) + ";\n";
+      return;
+    }
+    case Stmt::Kind::Block: {
+      indent();
+      printBlockInline(S);
+      Out += "\n";
+      return;
+    }
+    }
+  }
+
+  /// String literals pass through the lexer's escape machinery; synthesized
+  /// messages stick to characters that need none.
+  static std::string safeString(const std::string &S) {
+    std::string R;
+    for (char C : S) {
+      bool Ok = (C >= 'a' && C <= 'z') || (C >= 'A' && C <= 'Z') ||
+                (C >= '0' && C <= '9') || C == ' ' || C == '_' || C == '-' ||
+                C == '.' || C == ':';
+      R += Ok ? C : '_';
+    }
+    return R;
+  }
+
+  static const char *binOp(BinaryOp Op) {
+    switch (Op) {
+    case BinaryOp::Add: return "+";
+    case BinaryOp::Sub: return "-";
+    case BinaryOp::Mul: return "*";
+    case BinaryOp::Div: return "/";
+    case BinaryOp::Rem: return "%";
+    case BinaryOp::And: return "&";
+    case BinaryOp::Or: return "|";
+    case BinaryOp::Xor: return "^";
+    case BinaryOp::Shl: return "<<";
+    case BinaryOp::Shr: return ">>";
+    case BinaryOp::Lt: return "<";
+    case BinaryOp::Le: return "<=";
+    case BinaryOp::Gt: return ">";
+    case BinaryOp::Ge: return ">=";
+    case BinaryOp::Eq: return "==";
+    case BinaryOp::Ne: return "!=";
+    case BinaryOp::LogAnd: return "&&";
+    case BinaryOp::LogOr: return "||";
+    }
+    return "?";
+  }
+
+  std::string expr(const Expr &E) {
+    switch (E.K) {
+    case Expr::Kind::IntLit:
+      return std::to_string(static_cast<const IntLitExpr &>(E).Value);
+    case Expr::Kind::BoolLit:
+      return static_cast<const BoolLitExpr &>(E).Value ? "true" : "false";
+    case Expr::Kind::NullLit:
+      return "null";
+    case Expr::Kind::VarRef:
+      return static_cast<const VarRefExpr &>(E).Name;
+    case Expr::Kind::Index: {
+      const auto &I = static_cast<const IndexExpr &>(E);
+      return postfixBase(*I.Base) + "[" + expr(*I.Idx) + "]";
+    }
+    case Expr::Kind::Call: {
+      const auto &C = static_cast<const CallExpr &>(E);
+      std::string R = C.Callee + "(";
+      for (size_t I = 0; I < C.Args.size(); ++I) {
+        if (I)
+          R += ", ";
+        R += expr(*C.Args[I]);
+      }
+      return R + ")";
+    }
+    case Expr::Kind::Unary: {
+      const auto &U = static_cast<const UnaryExpr &>(E);
+      const char *Op = U.Op == UnaryOp::Neg   ? "-"
+                       : U.Op == UnaryOp::Not ? "!"
+                                              : "~";
+      return std::string("(") + Op + expr(*U.Sub) + ")";
+    }
+    case Expr::Kind::Binary: {
+      const auto &B = static_cast<const BinaryExpr &>(E);
+      return "(" + expr(*B.Lhs) + " " + binOp(B.Op) + " " + expr(*B.Rhs) +
+             ")";
+    }
+    case Expr::Kind::Cast: {
+      const auto &C = static_cast<const CastExpr &>(E);
+      return "(" + expr(*C.Sub) + " as " + printType(C.Target) + ")";
+    }
+    case Expr::Kind::New: {
+      const auto &N = static_cast<const NewExpr &>(E);
+      return "new " + printType(N.ElemTy) + "[" + expr(*N.Count) + "]";
+    }
+    case Expr::Kind::AddrOf: {
+      const auto &A = static_cast<const AddrOfExpr &>(E);
+      return "(&" + expr(*A.Base) + ")";
+    }
+    }
+    return "?";
+  }
+
+  /// The base of an index must be a postfix form; parenthesized bases do not
+  /// re-parse as `postfix := primary ('[' expr ']')*` unless the base is a
+  /// primary, which VarRef/Index/Call and '('expr')' all are.
+  std::string postfixBase(const Expr &E) {
+    switch (E.K) {
+    case Expr::Kind::VarRef:
+    case Expr::Kind::Index:
+    case Expr::Kind::Call:
+      return expr(E);
+    default:
+      return "(" + expr(E) + ")";
+    }
+  }
+
+  std::string Out;
+  unsigned Level = 0;
+};
+
+} // namespace
+
+std::string er::lang::printProgram(const Program &P) {
+  Printer Pr;
+  return Pr.render(P);
+}

@@ -1,0 +1,102 @@
+//===- AstBuilder.h - Programmatic MiniLang synthesis ------------*- C++ -*-===//
+///
+/// \file
+/// Construction helpers for synthesizing MiniLang programs as ASTs, plus a
+/// printer that renders a Program back to parseable source. The generated
+/// workload factory (src/gen/) builds programs through this surface so they
+/// are well-formed by construction, then ships the *printed source* — the
+/// same artifact a hand-written workload carries — so generated campaigns
+/// round-trip through the ordinary Lexer/Parser/Sema/Codegen pipeline and a
+/// campaign file on disk is self-contained.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ER_LANG_ASTBUILDER_H
+#define ER_LANG_ASTBUILDER_H
+
+#include "lang/Ast.h"
+
+#include <string>
+#include <vector>
+
+namespace er {
+namespace lang {
+
+/// Thin value-oriented builder over one Program. All expression/statement
+/// factories return owning pointers the caller threads into enclosing
+/// nodes; declaration factories append to the Program directly.
+class AstBuilder {
+public:
+  explicit AstBuilder(Program &P) : P(P) {}
+
+  //===--- Types -----------------------------------------------------------===
+  const LangType *i64() { return P.Types.intTy(64, true); }
+  const LangType *i8() { return P.Types.intTy(8, true); }
+  const LangType *u8() { return P.Types.intTy(8, false); }
+  const LangType *boolTy() { return P.Types.boolTy(); }
+  const LangType *voidTy() { return P.Types.voidTy(); }
+  const LangType *ptr(const LangType *Elem) { return P.Types.ptrTo(Elem); }
+  const LangType *array(const LangType *Elem, uint64_t N) {
+    return P.Types.arrayOf(Elem, N);
+  }
+
+  //===--- Expressions -----------------------------------------------------===
+  ExprPtr lit(uint64_t V);
+  ExprPtr boolLit(bool V);
+  ExprPtr nullLit();
+  ExprPtr ref(std::string Name);
+  ExprPtr index(ExprPtr Base, ExprPtr Idx);
+  ExprPtr index(std::string Name, ExprPtr Idx);
+  /// elem(name, i) == name[i] with a literal index — the dominant pattern in
+  /// synthesized programs (scalar state lives in one-element globals).
+  ExprPtr elem(std::string Name, uint64_t I);
+  ExprPtr call(std::string Callee, std::vector<ExprPtr> Args);
+  ExprPtr un(UnaryOp Op, ExprPtr Sub);
+  ExprPtr bin(BinaryOp Op, ExprPtr L, ExprPtr R);
+  ExprPtr cast(ExprPtr Sub, const LangType *Ty);
+  ExprPtr newArr(const LangType *Elem, ExprPtr Count);
+  ExprPtr addrOf(ExprPtr Base);
+
+  //===--- Statements ------------------------------------------------------===
+  StmtPtr var(std::string Name, const LangType *Ty, ExprPtr Init = nullptr);
+  StmtPtr assign(ExprPtr Lhs, ExprPtr Rhs);
+  StmtPtr exprStmt(ExprPtr E);
+  StmtPtr ret(ExprPtr V = nullptr);
+  StmtPtr assertStmt(ExprPtr Cond);
+  StmtPtr abortStmt(std::string Msg);
+  StmtPtr del(ExprPtr Ptr);
+  StmtPtr block(std::vector<StmtPtr> Stmts);
+  /// Then/Else are wrapped in blocks if they are not already (the grammar
+  /// requires braced branches).
+  StmtPtr ifStmt(ExprPtr Cond, StmtPtr Then, StmtPtr Else = nullptr);
+  StmtPtr whileStmt(ExprPtr Cond, StmtPtr Body);
+  StmtPtr forStmt(StmtPtr Init, ExprPtr Cond, StmtPtr Step, StmtPtr Body);
+  StmtPtr breakStmt();
+  StmtPtr continueStmt();
+
+  //===--- Declarations ----------------------------------------------------===
+  void global(std::string Name, const LangType *Ty,
+              std::vector<uint64_t> Init = {});
+  void func(std::string Name, std::vector<ParamDecl> Params,
+            const LangType *RetTy, StmtPtr Body);
+  ParamDecl param(std::string Name, const LangType *Ty);
+
+  Program &program() { return P; }
+
+private:
+  StmtPtr asBlock(StmtPtr S);
+  Program &P;
+};
+
+/// Renders \p T as MiniLang type syntax ("*u8", "i64[4]").
+std::string printType(const LangType *T);
+
+/// Renders a synthesized Program back to source the front end accepts.
+/// Sub-expressions are conservatively parenthesized, so the output needs no
+/// precedence reasoning and round-trips through compileMiniLang verbatim.
+std::string printProgram(const Program &P);
+
+} // namespace lang
+} // namespace er
+
+#endif // ER_LANG_ASTBUILDER_H

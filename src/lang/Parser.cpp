@@ -32,6 +32,16 @@
 using namespace er;
 using namespace er::lang;
 
+namespace {
+/// RAII depth bump for the recursion bound; callers check the limit before
+/// constructing one.
+struct DepthGuard {
+  unsigned &D;
+  explicit DepthGuard(unsigned &D) : D(D) { ++D; }
+  ~DepthGuard() { --D; }
+};
+} // namespace
+
 const Token &Parser::peek(unsigned Ahead) const {
   size_t Idx = Pos + Ahead;
   return Idx < Tokens.size() ? Tokens[Idx] : Tokens.back();
@@ -69,6 +79,11 @@ bool Parser::expect(TokKind K, const char *Context) {
 //===----------------------------------------------------------------------===//
 
 const LangType *Parser::parseScalarType() {
+  if (Depth >= MaxNestingDepth) {
+    error("type nesting too deep");
+    return nullptr;
+  }
+  DepthGuard G(Depth);
   if (accept(TokKind::Star)) {
     const LangType *Elem = parseScalarType();
     return Elem ? Prog.Types.ptrTo(Elem) : nullptr;
@@ -243,6 +258,12 @@ StmtPtr Parser::parseBlock() {
 }
 
 StmtPtr Parser::parseStmt() {
+  if (Depth >= MaxNestingDepth) {
+    error("statement nesting too deep");
+    return nullptr;
+  }
+  DepthGuard G(Depth);
+  StmtOps = 0; // The op budget is per statement (see MaxOpsPerStatement).
   unsigned Line = peek().Line;
   switch (peek().Kind) {
   case TokKind::LBrace:
@@ -483,6 +504,11 @@ BinaryOp binOpOf(TokKind K) {
 } // namespace
 
 ExprPtr Parser::parseExpr() {
+  if (Depth >= MaxNestingDepth) {
+    error("expression nesting too deep");
+    return nullptr;
+  }
+  DepthGuard G(Depth);
   ExprPtr Lhs = parseCastExpr();
   if (!Lhs)
     return nullptr;
@@ -494,6 +520,12 @@ ExprPtr Parser::parseBinaryRhs(int MinPrec, ExprPtr Lhs) {
     int Prec = precedenceOf(peek().Kind);
     if (Prec < MinPrec)
       return Lhs;
+    if (++StmtOps > MaxOpsPerStatement) {
+      // A left-leaning spine deepens the AST one node per fold with no
+      // parser recursion; bound it so later tree walks stay stack-safe.
+      error("expression too complex (operator limit exceeded)");
+      return nullptr;
+    }
     unsigned Line = peek().Line;
     TokKind OpTok = advance().Kind;
     ExprPtr Rhs = parseCastExpr();
@@ -529,6 +561,11 @@ ExprPtr Parser::parseCastExpr() {
 }
 
 ExprPtr Parser::parseUnary() {
+  if (Depth >= MaxNestingDepth) {
+    error("expression nesting too deep");
+    return nullptr;
+  }
+  DepthGuard G(Depth);
   unsigned Line = peek().Line;
   if (accept(TokKind::Minus)) {
     ExprPtr S = parseUnary();

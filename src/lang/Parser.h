@@ -27,6 +27,17 @@ public:
   /// Returns true on success; on failure \p Err holds a diagnostic.
   bool parseProgram(std::string &Err);
 
+  /// Nesting bound for every recursive production (statements, parenthesized
+  /// expressions, unary chains, pointer types). Hostile inputs must fail with
+  /// a diagnostic, never by exhausting the C++ stack; the limit also bounds
+  /// AST depth, which in turn bounds Sema/Codegen recursion and node
+  /// destructor depth.
+  static constexpr unsigned MaxNestingDepth = 200;
+  /// Binary operators folded per statement. Left-leaning operator spines
+  /// (`1+1+1+...`) deepen the AST without any parser recursion, so they need
+  /// their own bound to keep downstream tree walks stack-safe.
+  static constexpr unsigned MaxOpsPerStatement = 4000;
+
 private:
   const Token &peek(unsigned Ahead = 0) const;
   const Token &advance();
@@ -53,6 +64,8 @@ private:
   Program &Prog;
   size_t Pos = 0;
   std::string ErrMsg;
+  unsigned Depth = 0;   ///< Live recursion depth (see MaxNestingDepth).
+  unsigned StmtOps = 0; ///< Binary ops folded in the current statement.
 };
 
 } // namespace lang

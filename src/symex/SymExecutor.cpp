@@ -370,7 +370,12 @@ struct ShepherdedExecutor::Impl {
     }
 
     ExprRef Bound = Ctx.constant(N, 64);
-    if (atFailurePoint(Tid, I) && Fail->Kind == FailureKind::OutOfBounds) {
+    // NullDeref is also reachable through an offset: a sign-flipped (wild)
+    // index wraps the packed-pointer encoding, so the VM classifies the
+    // access as invalid rather than a near-miss out-of-bounds. Symbolically
+    // both are "the offset escapes the object".
+    if (atFailurePoint(Tid, I) && (Fail->Kind == FailureKind::OutOfBounds ||
+                                   Fail->Kind == FailureKind::NullDeref)) {
       Path.push_back(Ctx.uge(Off, Bound));
       FailureTriggered = true;
       IsConcrete = true;
@@ -1203,6 +1208,12 @@ SymexResult ShepherdedExecutor::Impl::finish(uint64_t SolverWorkBefore) {
     R.Snapshot = std::move(Snap);
     return R;
   }
+  // A deadlock has no faulting instruction to reach: the production trace
+  // simply stops with every live thread blocked. Replaying every traced
+  // chunk to exhaustion without a mismatch IS the failure evidence.
+  if (!FailureTriggered && Fail->Kind == FailureKind::Deadlock &&
+      TotalRemaining == 0)
+    FailureTriggered = true;
   if (!FailureTriggered) {
     R.Status = SymexStatus::TraceMismatch;
     R.Detail = "trace ended without reaching the failure";

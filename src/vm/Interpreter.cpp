@@ -433,26 +433,54 @@ RunResult Interpreter::run(const ProgramInput &In, TraceRecorder *Recorder,
   RunResult R;
   uint64_t Steps = 0;
   size_t Current = 0;
+  size_t PlanIdx = 0;
+
+  auto TryUnblock = [&](Thread &T) {
+    // Unblock threads whose condition cleared.
+    if (T.State == ThreadState::BlockedJoin &&
+        Threads[T.BlockedOn].State == ThreadState::Finished)
+      T.State = ThreadState::Runnable;
+    if (T.State == ThreadState::BlockedMutex &&
+        (T.BlockedOn >= MutexOwner.size() || MutexOwner[T.BlockedOn] < 0))
+      T.State = ThreadState::Runnable;
+  };
 
   while (true) {
-    // Pick the next runnable thread (round-robin from Current).
     size_t Picked = SIZE_MAX;
-    for (size_t K = 0; K < Threads.size(); ++K) {
-      size_t Idx = (Current + K) % Threads.size();
-      Thread &T = Threads[Idx];
-      // Unblock threads whose condition cleared.
-      if (T.State == ThreadState::BlockedJoin &&
-          Threads[T.BlockedOn].State == ThreadState::Finished)
-        T.State = ThreadState::Runnable;
-      if (T.State == ThreadState::BlockedMutex &&
-          (T.BlockedOn >= MutexOwner.size() ||
-           MutexOwner[T.BlockedOn] < 0))
-        T.State = ThreadState::Runnable;
-      if (T.State == ThreadState::Runnable) {
-        Picked = Idx;
-        break;
+    uint64_t PlannedSlice = 0;
+
+    // Explicit plan first. The full unblock pass runs ONLY in plan mode:
+    // the plan may name any thread, while the seeded path below must keep
+    // unblocking lazily during its scan to stay bit-identical with the
+    // pre-plan scheduler.
+    if (Config.ExplicitSchedule &&
+        PlanIdx < Config.ExplicitSchedule->size()) {
+      for (Thread &T : Threads)
+        TryUnblock(T);
+      while (PlanIdx < Config.ExplicitSchedule->size()) {
+        const ScheduleSlice &S = (*Config.ExplicitSchedule)[PlanIdx];
+        ++PlanIdx;
+        if (S.Tid < Threads.size() &&
+            Threads[S.Tid].State == ThreadState::Runnable) {
+          Picked = S.Tid;
+          PlannedSlice = S.Instrs ? S.Instrs : 1;
+          break;
+        }
+        // Slice thread unspawned/unrunnable: skip to the next slice.
       }
     }
+
+    // Pick the next runnable thread (round-robin from Current).
+    if (Picked == SIZE_MAX)
+      for (size_t K = 0; K < Threads.size(); ++K) {
+        size_t Idx = (Current + K) % Threads.size();
+        Thread &T = Threads[Idx];
+        TryUnblock(T);
+        if (T.State == ThreadState::Runnable) {
+          Picked = Idx;
+          break;
+        }
+      }
     if (Picked == SIZE_MAX) {
       // No runnable thread: either everything finished, or deadlock.
       bool AnyLive = false;
@@ -479,12 +507,14 @@ RunResult Interpreter::run(const ProgramInput &In, TraceRecorder *Recorder,
 
     Thread &T = Threads[Picked];
     T.ChunkStartTime = GlobalTime;
-    // Randomized chunk length models scheduling jitter between production
-    // runs (same seed -> same interleaving).
-    uint64_t Slice =
-        Config.ChunkSize / 2 + ScheduleRng.nextBounded(Config.ChunkSize);
-    if (Slice == 0)
-      Slice = 1;
+    uint64_t Slice = PlannedSlice;
+    if (Slice == 0) {
+      // Randomized chunk length models scheduling jitter between production
+      // runs (same seed -> same interleaving).
+      Slice = Config.ChunkSize / 2 + ScheduleRng.nextBounded(Config.ChunkSize);
+      if (Slice == 0)
+        Slice = 1;
+    }
 
     uint64_t Executed = 0;
     while (Executed < Slice) {

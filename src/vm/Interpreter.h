@@ -24,6 +24,14 @@
 
 namespace er {
 
+/// One slice of an explicit schedule: run thread \p Tid for up to
+/// \p Instrs instructions (one chunk). Schedule search (er/ScheduleSearch)
+/// replays candidate chunk orders through these.
+struct ScheduleSlice {
+  uint32_t Tid = 0;
+  uint64_t Instrs = 0;
+};
+
 /// Execution limits and scheduling parameters.
 struct VmConfig {
   /// Fuel: maximum dynamic instructions before the run is cut off.
@@ -34,6 +42,12 @@ struct VmConfig {
   /// Seed perturbing chunk lengths so different production runs see
   /// different thread interleavings.
   uint64_t ScheduleSeed = 0;
+  /// When non-null, the scheduler follows this chunk order first: each
+  /// slice runs its thread for up to Instrs instructions. Slices naming a
+  /// thread that is not yet spawned or not runnable are skipped; once the
+  /// plan is exhausted the seeded scheduler above takes over. The default
+  /// (null) path is bit-for-bit the pre-existing seeded behaviour.
+  const std::vector<ScheduleSlice> *ExplicitSchedule = nullptr;
 };
 
 enum class ExitStatus : uint8_t { Ok, Failure, FuelExhausted };

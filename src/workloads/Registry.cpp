@@ -28,8 +28,24 @@ const std::vector<BugSpec> &er::allBugSpecs() {
   return Specs;
 }
 
+static std::vector<BugSpec> &generatedSpecs() {
+  static std::vector<BugSpec> Specs;
+  return Specs;
+}
+
+void er::registerGeneratedSpecs(std::vector<BugSpec> Specs) {
+  generatedSpecs() = std::move(Specs);
+}
+
+const std::vector<BugSpec> &er::generatedBugSpecs() {
+  return generatedSpecs();
+}
+
 const BugSpec *er::findBug(const std::string &Id) {
   for (const auto &S : allBugSpecs())
+    if (S.Id == Id)
+      return &S;
+  for (const auto &S : generatedSpecs())
     if (S.Id == Id)
       return &S;
   return nullptr;

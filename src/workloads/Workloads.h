@@ -58,8 +58,18 @@ struct BugSpec {
 /// All 13 bugs, in Table 1 order.
 const std::vector<BugSpec> &allBugSpecs();
 
-/// Lookup by id; null if unknown.
+/// Lookup by id; null if unknown. Searches the hand-built Table-1 specs
+/// first, then any generated specs registered below.
 const BugSpec *findBug(const std::string &Id);
+
+/// Registers generated campaigns (src/gen/) so fleet campaigns can resolve
+/// their BugIds through findBug exactly like hand-built workloads.
+/// Replaces any previously registered generated set. Pointers previously
+/// returned by findBug for generated ids are invalidated.
+void registerGeneratedSpecs(std::vector<BugSpec> Specs);
+
+/// The currently registered generated specs (empty until registration).
+const std::vector<BugSpec> &generatedBugSpecs();
 
 /// Compiles a spec's program (fatal on error — specs are tested).
 std::unique_ptr<Module> compileBug(const BugSpec &Spec);
